@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reproduces a measurement from the paper's Section 7 (or a
+protocol property of Figures 1/3).  Paper reference numbers are recorded in
+``extra_info`` so the generated JSON doubles as the EXPERIMENTS.md source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions
+from repro.fixtures import person_assembly_pair, person_csharp, person_java
+from repro.runtime.loader import Runtime
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    asm_a, _ = person_assembly_pair()
+    rt.load_assembly(asm_a)
+    return rt
+
+
+@pytest.fixture
+def person(runtime):
+    return runtime.new_instance("demo.a.Person", ["Benchmark"])
+
+
+@pytest.fixture
+def pragmatic_checker():
+    return ConformanceChecker(options=ConformanceOptions.pragmatic())
+
+
+@pytest.fixture
+def provider_type():
+    return person_csharp()
+
+
+@pytest.fixture
+def expected_type():
+    return person_java()

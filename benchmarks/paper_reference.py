@@ -1,0 +1,15 @@
+"""Paper reference numbers (Section 7, HP Omnibook XT / P3 / .NET CLR).
+
+Benchmarks attach these via ``extra_info`` so the pytest-benchmark JSON can
+be compared against the paper directly.
+"""
+
+PAPER = {
+    "direct_invocation_ms": 0.000142,
+    "proxy_invocation_ms": 0.03,
+    "description_create_serialize_ms": 6.14,
+    "description_deserialize_ms": 2.34,
+    "object_soap_serialize_ms": 16.68,
+    "object_soap_deserialize_ms": 1.32,
+    "conformance_check_ms": 12.66 / 1000.0,  # reported per 1000 checks
+}

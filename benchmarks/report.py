@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerate the paper-vs-measured comparison table (EXPERIMENTS.md data).
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json
+
+Prints one row per experiment id, with the paper's number (where the paper
+reports one) next to the measured mean, plus the byte/round-trip extras the
+protocol benches record.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from paper_reference import PAPER  # noqa: E402
+
+#: experiment id -> human label, in presentation order.
+_ORDER = [
+    ("7.1-direct", "§7.1 direct invocation"),
+    ("7.1-proxy", "§7.1 dynamic-proxy invocation"),
+    ("7.1-proxy-pythonic", "§7.1 proxy (attribute sugar)"),
+    ("7.1-proxy-setter", "§7.1 proxy setter w/ argument"),
+    ("7.2-create-serialize", "§7.2 description create+serialize"),
+    ("7.2-deserialize", "§7.2 description deserialize"),
+    ("7.2-create-only", "§7.2 description create only"),
+    ("7.3-soap-serialize", "§7.3 SOAP serialize"),
+    ("7.3-soap-deserialize", "§7.3 SOAP deserialize"),
+    ("7.3-binary-serialize", "§7.3 binary serialize"),
+    ("7.3-binary-deserialize", "§7.3 binary deserialize"),
+    ("7.4-cold", "§7.4 conformance check (cold)"),
+    ("7.4-warm", "§7.4 conformance check (warm)"),
+    ("7.4-reject", "§7.4 failed check"),
+    ("7.4-descriptions", "§7.4 description-based check"),
+]
+
+
+def load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    by_experiment = {}
+    for bench in data.get("benchmarks", []):
+        info = bench.get("extra_info", {})
+        experiment = info.get("experiment", bench["name"])
+        by_experiment[experiment] = {
+            "mean_ms": bench["stats"]["mean"] * 1000.0,
+            "paper_ms": info.get("paper_ms"),
+            "extras": {
+                k: v for k, v in info.items()
+                if k not in ("experiment", "paper_ms")
+            },
+        }
+    return by_experiment
+
+
+def print_report(by_experiment, out=sys.stdout) -> None:
+    out.write("%-38s %14s %14s %8s\n"
+              % ("experiment", "paper (ms)", "measured (ms)", "ratio"))
+    out.write("-" * 78 + "\n")
+    for experiment, label in _ORDER:
+        row = by_experiment.get(experiment)
+        if row is None:
+            continue
+        paper = row["paper_ms"]
+        measured = row["mean_ms"]
+        paper_text = "%.6f" % paper if paper is not None else "-"
+        ratio = "%.2fx" % (measured / paper) if paper else "-"
+        out.write("%-38s %14s %14.6f %8s\n" % (label, paper_text, measured, ratio))
+
+    out.write("\nProtocol (Figure 1) byte accounting:\n")
+    for experiment in sorted(by_experiment):
+        if not experiment.startswith("fig1-"):
+            continue
+        row = by_experiment[experiment]
+        extras = row["extras"]
+        out.write("  %-22s %10s bytes %4s round trips   (%.3f ms)\n" % (
+            experiment,
+            format(extras.get("bytes", 0), ","),
+            extras.get("round_trips", "-"),
+            row["mean_ms"],
+        ))
+
+    out.write("\nScaling / ablations:\n")
+    for experiment in sorted(by_experiment):
+        if experiment.startswith(("scaling-", "ablation-", "fig3-")):
+            row = by_experiment[experiment]
+            extra = ""
+            if row["extras"]:
+                extra = "  " + ", ".join(
+                    "%s=%s" % kv for kv in sorted(row["extras"].items())
+                )
+            out.write("  %-28s %12.6f ms%s\n" % (experiment, row["mean_ms"], extra))
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        sys.stderr.write(__doc__ + "\n")
+        return 2
+    print_report(load(argv[0]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+A — memoization cache: cold vs warm conformance checking.
+B — name-policy relaxations: strict LD=0 vs LD≤2 vs token-subset vs
+    wildcards, cost and recall over a population of renamed types.
+C — argument-permutation search on vs off.
+"""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions, NamePolicy
+from repro.cts.builder import TypeBuilder
+from repro.fixtures import person_csharp, person_java
+
+
+def renamed_population():
+    """Synthetic module population: same Person structure under varying
+    accessor spellings, plus distractors that must not match."""
+    variants = []
+    specs = [
+        ("GetName", "SetName", True),            # identical (strict hit)
+        ("getname", "setname", True),            # case only (strict hit)
+        ("GetPersonName", "SetPersonName", True),  # token superset
+        ("GetNome", "SetNome", False),           # LD 2 from Name
+        ("FetchOwner", "StoreOwner", False),     # should never match
+    ]
+    for index, (getter, setter, _) in enumerate(specs):
+        variants.append(
+            (
+                TypeBuilder("v%d.Person" % index, assembly_name="v%d" % index)
+                .field("name", "string", visibility="private")
+                .method(getter, [], "string")
+                .method(setter, [("n", "string")], "void")
+                .ctor([("n", "string")])
+                .build(),
+                specs[index][2],
+            )
+        )
+    return variants
+
+
+POLICIES = {
+    "strict": NamePolicy(),
+    "ld2": NamePolicy(max_distance=2),
+    "tokens": NamePolicy(allow_token_subset=True),
+    "tokens+ld2": NamePolicy(max_distance=2, allow_token_subset=True),
+}
+
+
+class TestAblationACache:
+    def test_cold_checker(self, benchmark):
+        benchmark.extra_info["experiment"] = "ablation-A-cold"
+        provider, expected = person_csharp(), person_java()
+        options = ConformanceOptions.pragmatic()
+        benchmark(lambda: ConformanceChecker(options=options).conforms(provider, expected))
+
+    def test_warm_checker(self, benchmark):
+        benchmark.extra_info["experiment"] = "ablation-A-warm"
+        provider, expected = person_csharp(), person_java()
+        checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        checker.conforms(provider, expected)
+        benchmark(lambda: checker.conforms(provider, expected))
+
+
+class TestAblationBNamePolicies:
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_policy_cost(self, benchmark, policy_name):
+        """Cost of sweeping the renamed population under each policy."""
+        benchmark.extra_info["experiment"] = "ablation-B-%s" % policy_name
+        expected = person_csharp()
+        population = renamed_population()
+        options = ConformanceOptions(name_policy=POLICIES[policy_name])
+
+        def sweep():
+            checker = ConformanceChecker(options=options)
+            return sum(
+                1 for provider, _ in population
+                if checker.conforms(provider, expected).ok
+            )
+
+        matches = benchmark(sweep)
+        benchmark.extra_info["matches"] = matches
+
+    def test_policy_recall_ordering(self):
+        """Relaxations are monotone: each accepts at least what stricter
+        ones do; the distractor never matches."""
+        expected = person_csharp()
+        population = renamed_population()
+        matches = {}
+        for name, policy in POLICIES.items():
+            checker = ConformanceChecker(
+                options=ConformanceOptions(name_policy=policy)
+            )
+            matches[name] = {
+                provider.full_name
+                for provider, _ in population
+                if checker.conforms(provider, expected).ok
+            }
+        assert matches["strict"] <= matches["ld2"]
+        assert matches["strict"] <= matches["tokens"]
+        assert matches["tokens"] | matches["ld2"] <= matches["tokens+ld2"]
+        for name in POLICIES:
+            assert "v4.Person" not in matches[name]  # FetchOwner/StoreOwner
+
+    def test_token_policy_finds_paper_example(self):
+        expected = person_csharp()
+        population = dict(
+            (provider.full_name, provider) for provider, _ in renamed_population()
+        )
+        checker = ConformanceChecker(
+            options=ConformanceOptions(name_policy=POLICIES["tokens"])
+        )
+        assert checker.conforms(population["v2.Person"], expected).ok  # GetPersonName
+
+
+class TestAblationCPermutations:
+    def _pair(self, arity):
+        types = ["int", "string", "bool", "double", "long"][:arity]
+        provider = (
+            TypeBuilder("x.T", assembly_name="a1")
+            .method("M", [("p%d" % i, t) for i, t in enumerate(types)], "void")
+            .build()
+        )
+        rotated = types[1:] + types[:1]
+        expected = (
+            TypeBuilder("x.T", assembly_name="a2")
+            .method("M", [("q%d" % i, t) for i, t in enumerate(rotated)], "void")
+            .build()
+        )
+        return provider, expected
+
+    @pytest.mark.parametrize("arity", [2, 3, 5])
+    def test_permutation_search_cost(self, benchmark, arity):
+        benchmark.extra_info["experiment"] = "ablation-C-perm-arity%d" % arity
+        provider, expected = self._pair(arity)
+        options = ConformanceOptions()
+
+        def check():
+            return ConformanceChecker(options=options).conforms(provider, expected)
+
+        assert benchmark(check).ok
+
+    def test_disabled_permutations_cheaper_but_blind(self):
+        import time
+
+        provider, expected = self._pair(5)
+        on = ConformanceOptions()
+        off = ConformanceOptions(allow_permutations=False)
+
+        assert ConformanceChecker(options=on).conforms(provider, expected).ok
+        assert not ConformanceChecker(options=off).conforms(provider, expected).ok
+
+        n = 200
+        start = time.perf_counter()
+        for _ in range(n):
+            ConformanceChecker(options=on).conforms(provider, expected)
+        with_perm = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(n):
+            ConformanceChecker(options=off).conforms(provider, expected)
+        without_perm = time.perf_counter() - start
+        assert without_perm < with_perm

@@ -1,0 +1,81 @@
+"""Extension bench — implicit behavioral conformance (paper §4.1).
+
+The paper defines behavioral conformance but never measures it ("rather
+tricky"); we implemented the primitive-only fragment and measure what it
+costs relative to the structural check it builds on — quantifying exactly
+why the paper's protocol checks structure *before* downloading code, and
+why behaviour can only be sampled *after*.
+"""
+
+import pytest
+
+from repro.core import (
+    BehavioralChecker,
+    BehavioralOptions,
+    ConformanceChecker,
+    ConformanceOptions,
+)
+from repro.fixtures import person_assembly_pair, person_csharp, person_java
+from repro.runtime.loader import Runtime
+
+
+@pytest.fixture
+def loaded_runtime():
+    runtime = Runtime()
+    provider = person_csharp()
+    expected = person_java()
+    runtime.load_type(provider)
+    runtime.load_type(expected)
+    return runtime, provider, expected
+
+
+class TestBehavioralCost:
+    @pytest.mark.parametrize("rounds", [5, 20])
+    def test_behavioral_check(self, benchmark, loaded_runtime, rounds):
+        runtime, provider, expected = loaded_runtime
+        benchmark.extra_info["experiment"] = "behavioral-rounds%d" % rounds
+        structural = ConformanceChecker(options=ConformanceOptions.pragmatic())
+
+        def run():
+            checker = BehavioralChecker(
+                runtime,
+                structural=structural,
+                options=BehavioralOptions(rounds=rounds, calls_per_round=6),
+            )
+            return checker.check(provider, expected)
+
+        result = benchmark(run)
+        assert result.ok
+
+    def test_structural_baseline(self, benchmark, loaded_runtime):
+        _, provider, expected = loaded_runtime
+        benchmark.extra_info["experiment"] = "behavioral-structural-baseline"
+        options = ConformanceOptions.pragmatic()
+        benchmark(lambda: ConformanceChecker(options=options).conforms(provider, expected))
+
+
+class TestBehavioralShape:
+    def test_behavioral_dwarfs_structural(self, loaded_runtime):
+        """Executing methods costs far more than inspecting signatures —
+        the reason behavioural checking cannot gate the transport protocol."""
+        import time
+
+        runtime, provider, expected = loaded_runtime
+        structural = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        options = ConformanceOptions.pragmatic()
+
+        n = 30
+        start = time.perf_counter()
+        for _ in range(n):
+            ConformanceChecker(options=options).conforms(provider, expected)
+        structural_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(n):
+            BehavioralChecker(
+                runtime, structural=structural,
+                options=BehavioralOptions(rounds=10, calls_per_round=6),
+            ).check(provider, expected)
+        behavioral_time = time.perf_counter() - start
+
+        assert behavioral_time > structural_time

@@ -1,0 +1,88 @@
+"""§7.3 — Serialization and deserialization of an object.
+
+Paper (1000 ops on a ``Person`` instance, SOAP serializer):
+serialize ≈ 16.68 ms, deserialize ≈ 1.32 ms — "creating a SOAP structure
+from an object is more complex than the opposite".
+
+Shape to reproduce: SOAP-serialize ≫ SOAP-deserialize, and the binary
+serializer is far cheaper and far smaller than SOAP.
+"""
+
+import pytest
+
+from repro.serialization.binary import BinarySerializer
+from repro.serialization.soap import SoapSerializer
+from paper_reference import PAPER
+
+
+class TestSoapObjectSerialization:
+    def test_soap_serialize(self, benchmark, runtime, person):
+        """Person → SOAP XML (paper: 16.68 ms)."""
+        benchmark.extra_info["paper_ms"] = PAPER["object_soap_serialize_ms"]
+        benchmark.extra_info["experiment"] = "7.3-soap-serialize"
+        codec = SoapSerializer(runtime)
+        data = benchmark(lambda: codec.serialize(person))
+        assert b"<Envelope>" in data
+
+    def test_soap_deserialize(self, benchmark, runtime, person):
+        """SOAP XML → Person (paper: 1.32 ms)."""
+        benchmark.extra_info["paper_ms"] = PAPER["object_soap_deserialize_ms"]
+        benchmark.extra_info["experiment"] = "7.3-soap-deserialize"
+        codec = SoapSerializer(runtime)
+        data = codec.serialize(person)
+        restored = benchmark(lambda: codec.deserialize(data))
+        assert restored.GetName() == "Benchmark"
+
+
+class TestBinaryObjectSerialization:
+    def test_binary_serialize(self, benchmark, runtime, person):
+        benchmark.extra_info["experiment"] = "7.3-binary-serialize"
+        codec = BinarySerializer(runtime)
+        benchmark(lambda: codec.serialize(person))
+
+    def test_binary_deserialize(self, benchmark, runtime, person):
+        benchmark.extra_info["experiment"] = "7.3-binary-deserialize"
+        codec = BinarySerializer(runtime)
+        data = codec.serialize(person)
+        restored = benchmark(lambda: codec.deserialize(data))
+        assert restored.GetName() == "Benchmark"
+
+
+class TestSerializationShape:
+    def test_soap_serialize_heavier_than_deserialize(self, runtime, person):
+        """The paper's headline asymmetry (ratio ≈ 12.6 on .NET)."""
+        import time
+
+        codec = SoapSerializer(runtime)
+        data = codec.serialize(person)
+        n = 500
+
+        start = time.perf_counter()
+        for _ in range(n):
+            codec.serialize(person)
+        serialize = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(n):
+            codec.deserialize(data)
+        deserialize = time.perf_counter() - start
+
+        assert serialize > deserialize
+
+    def test_binary_cheaper_and_smaller_than_soap(self, runtime, person):
+        import time
+
+        soap = SoapSerializer(runtime)
+        binary = BinarySerializer(runtime)
+        assert len(binary.serialize(person)) < len(soap.serialize(person))
+
+        n = 500
+        start = time.perf_counter()
+        for _ in range(n):
+            binary.serialize(person)
+        binary_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(n):
+            soap.serialize(person)
+        soap_time = time.perf_counter() - start
+        assert binary_time < soap_time

@@ -1,0 +1,76 @@
+"""Ablation C' — scaling with type complexity.
+
+The paper measured only "very simple" types and called its conformance
+number "a lower bound"; this bench charts how the costs of §7.2 and §7.4
+grow with the number of methods/fields — the series the paper alludes to
+but does not plot.
+"""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions
+from repro.cts.builder import TypeBuilder
+from repro.describe.description import TypeDescription
+from repro.describe.xml_codec import deserialize_description, serialize_description
+
+SIZES = [1, 5, 20, 50]
+
+
+def synthetic_type(n_members, namespace, assembly):
+    builder = TypeBuilder("%s.Widget" % namespace, assembly_name=assembly)
+    for index in range(n_members):
+        builder.field("field%d" % index, "int", visibility="private")
+        builder.method("GetField%d" % index, [], "int")
+        builder.method("SetField%d" % index, [("v", "int")], "void")
+    builder.ctor([])
+    return builder.build()
+
+
+class TestDescriptionScaling:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_describe_and_serialize(self, benchmark, size):
+        benchmark.extra_info["experiment"] = "scaling-describe-m%d" % size
+        info = synthetic_type(size, "s", "scale")
+
+        def run():
+            return serialize_description(TypeDescription.from_type_info(info))
+
+        text = benchmark(run)
+        benchmark.extra_info["xml_bytes"] = len(text)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_deserialize(self, benchmark, size):
+        benchmark.extra_info["experiment"] = "scaling-parse-m%d" % size
+        info = synthetic_type(size, "s", "scale")
+        text = serialize_description(TypeDescription.from_type_info(info))
+        benchmark(lambda: deserialize_description(text))
+
+
+class TestConformanceScaling:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_cold_check(self, benchmark, size):
+        benchmark.extra_info["experiment"] = "scaling-conform-m%d" % size
+        provider = synthetic_type(size, "p", "a1")
+        expected = synthetic_type(size, "p2", "a2")
+        options = ConformanceOptions()
+
+        def run():
+            return ConformanceChecker(options=options).conforms(provider, expected)
+
+        assert benchmark(run).ok
+
+    def test_cost_grows_with_members(self):
+        """Sanity on the series shape: bigger types cost more to check."""
+        import time
+
+        timings = []
+        for size in SIZES:
+            provider = synthetic_type(size, "p", "a1")
+            expected = synthetic_type(size, "p2", "a2")
+            options = ConformanceOptions()
+            n = 30
+            start = time.perf_counter()
+            for _ in range(n):
+                ConformanceChecker(options=options).conforms(provider, expected)
+            timings.append((time.perf_counter() - start) / n)
+        assert timings[-1] > timings[0]

@@ -1,0 +1,109 @@
+"""Figure 1 — the optimistic transport protocol vs the eager baseline.
+
+The paper's protocol "is optimistic in the sense that the code of the
+object as well as its type representation are not always sent with the
+object itself, but only when needed" and therefore "saves network
+resources".  We quantify that: bytes and round trips for N objects of the
+same type, optimistic vs eager, plus the rejection case where the
+optimistic protocol never pays for code at all.
+"""
+
+import pytest
+
+from repro.core import ConformanceOptions
+from repro.cts.assembly import Assembly
+from repro.fixtures import account_csharp, person_assembly_pair, person_java
+from repro.net.network import SimulatedNetwork
+from repro.transport.eager import EagerPeer
+from repro.transport.protocol import InteropPeer
+
+
+def build_world(peer_cls):
+    network = SimulatedNetwork()
+    sender = peer_cls("sender", network, options=ConformanceOptions.pragmatic())
+    receiver = peer_cls("receiver", network, options=ConformanceOptions.pragmatic())
+    asm_a, _ = person_assembly_pair()
+    sender.host_assembly(asm_a)
+    receiver.declare_interest(person_java())
+    return network, sender, receiver
+
+
+def send_n(sender, n):
+    for i in range(n):
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["p%d" % i]))
+
+
+class TestProtocolCost:
+    @pytest.mark.parametrize("n_objects", [1, 10, 50])
+    def test_optimistic_send_stream(self, benchmark, n_objects):
+        """Wall-clock + byte accounting for a stream of N same-type sends."""
+        def run():
+            network, sender, receiver = build_world(InteropPeer)
+            send_n(sender, n_objects)
+            return network
+
+        network = benchmark(run)
+        benchmark.extra_info["experiment"] = "fig1-optimistic-n%d" % n_objects
+        benchmark.extra_info["bytes"] = network.stats.bytes_sent
+        benchmark.extra_info["round_trips"] = network.stats.round_trips
+
+    @pytest.mark.parametrize("n_objects", [1, 10, 50])
+    def test_eager_send_stream(self, benchmark, n_objects):
+        def run():
+            network, sender, receiver = build_world(EagerPeer)
+            send_n(sender, n_objects)
+            return network
+
+        network = benchmark(run)
+        benchmark.extra_info["experiment"] = "fig1-eager-n%d" % n_objects
+        benchmark.extra_info["bytes"] = network.stats.bytes_sent
+        benchmark.extra_info["round_trips"] = network.stats.round_trips
+
+
+class TestProtocolShape:
+    def test_crossover_and_amortisation(self):
+        """The paper's claim, quantified: after the first object of a type,
+        the optimistic protocol's marginal cost is just the envelope; eager
+        pays description+code forever.  Crossover at (or right after) n=1."""
+        costs = {}
+        for cls, label in ((InteropPeer, "optimistic"), (EagerPeer, "eager")):
+            per_n = []
+            for n in (1, 2, 5, 10, 25):
+                network, sender, receiver = build_world(cls)
+                send_n(sender, n)
+                per_n.append(network.stats.bytes_sent)
+            costs[label] = per_n
+
+        # Eager grows linearly with the full bundle; optimistic flattens.
+        eager_marginal = costs["eager"][-1] - costs["eager"][-2]
+        optimistic_marginal = costs["optimistic"][-1] - costs["optimistic"][-2]
+        assert optimistic_marginal < eager_marginal
+        # Total bytes: optimistic wins from n=2 onward.
+        assert costs["optimistic"][1] < costs["eager"][1]
+        assert costs["optimistic"][-1] < costs["eager"][-1]
+
+    def test_rejection_never_pays_for_code(self):
+        network, sender, receiver = build_world(InteropPeer)
+        sender.host_assembly(Assembly("bank", [account_csharp()]))
+        sender.send("receiver", sender.new_instance("demo.bank.Account", ["o", 1]))
+        assert receiver.stats.assemblies_fetched == 0
+        assert network.stats.by_kind_messages.get("get_assembly", 0) == 0
+
+    def test_round_trip_counts(self):
+        """First object: exactly 2 round trips (description + code); later
+        objects: zero."""
+        network, sender, receiver = build_world(InteropPeer)
+        send_n(sender, 1)
+        assert network.stats.round_trips == 2
+        send_n(sender, 9)
+        assert network.stats.round_trips == 2
+
+    def test_simulated_latency_amortises(self):
+        """On the simulated clock, per-object time drops once the type is
+        known (protocol hops disappear)."""
+        network, sender, receiver = build_world(InteropPeer)
+        send_n(sender, 1)
+        first_object_time = network.clock_s
+        send_n(sender, 1)
+        second_object_time = network.clock_s - first_object_time
+        assert second_object_time < first_object_time

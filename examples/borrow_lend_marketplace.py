@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Borrow/lend marketplace with type-conformance matching (paper Section 8).
+
+Lenders put resources up for lending; borrowers ask for "anything that
+conforms to my expected type".  The lent printer was written by a different
+team with different method names — the borrower still drives it through its
+own interface, by reference, over the network.
+
+Run:  python examples/borrow_lend_marketplace.py
+"""
+
+from repro import Assembly, SimulatedNetwork
+from repro.apps.borrowlend import BorrowError, BorrowLendPeer
+from repro.langs.csharp import compile_source as compile_csharp
+from repro.langs.java import compile_source as compile_java
+
+LENDER_PRINTER = """
+class Printer {
+    private string status;
+    private int jobs;
+    public Printer() { this.status = "idle"; this.jobs = 0; }
+    public string GetStatus() { return this.status; }
+    public int GetJobs() { return this.jobs; }
+    public string PrintDocument(string doc) {
+        this.jobs = this.jobs + 1;
+        this.status = "printing " + doc;
+        return "job " + this.jobs + ": " + doc;
+    }
+}
+"""
+
+BORROWER_PRINTER = """
+class Printer {
+    private String status;
+    private int jobs;
+    public Printer() { this.status = "idle"; this.jobs = 0; }
+    public String getPrinterStatus() { return this.status; }
+    public int getPrinterJobs() { return this.jobs; }
+    public String printDocument(String doc) { return doc; }
+}
+"""
+
+
+def main():
+    network = SimulatedNetwork()
+    lender = BorrowLendPeer("print-shop", network)
+    borrower = BorrowLendPeer("law-firm", network)
+
+    printer_types = compile_csharp(LENDER_PRINTER, namespace="shop")
+    lender.host_assembly(Assembly("shop-devices", printer_types))
+    printer = lender.new_instance("shop.Printer")
+    lender.lend("front-desk-printer", printer, max_duration_s=60.0)
+    print("Lender offers:", lender.offers())
+
+    # The borrower's own Printer type (Java-like, different names).
+    expected = compile_java(BORROWER_PRINTER, namespace="firm")[0]
+
+    lease = borrower.borrow("print-shop", expected)
+    print("\nBorrowed:", lease)
+    print("status via borrower's surface:", lease.view.getPrinterStatus())
+    print("printing:", lease.view.printDocument("contract.pdf"))
+    print("printing:", lease.view.printDocument("brief.pdf"))
+    print("jobs counted on the lender's machine:", printer.GetJobs())
+    print("status:", lease.view.getPrinterStatus())
+
+    # A second borrower cannot take the same resource while it is lent.
+    competitor = BorrowLendPeer("startup", network)
+    try:
+        competitor.borrow("print-shop", expected)
+    except BorrowError as exc:
+        print("\nCompetitor's borrow failed as expected:", exc)
+
+    lease.give_back()
+    print("\nAfter return:", lender.offers())
+    second = competitor.borrow("print-shop", expected)
+    print("Competitor now borrows fine:", second.view.getPrinterStatus())
+    second.give_back()
+
+    print("\nNetwork:", network.stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart — the paper's Section 3.1 scenario.
+
+Two programmers implement the same ``Person`` module independently:
+
+* programmer A (C#-like):   ``GetName()`` / ``SetName()``
+* programmer B (Java-like): ``getPersonName()`` / ``setPersonName()``
+
+Implicit structural conformance unifies the two types, and a dynamic proxy
+lets an instance of A's type be used exactly as if it were B's.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ConformanceChecker, ConformanceOptions, Runtime, fixtures, wrap
+
+
+def main():
+    provider = fixtures.person_csharp()   # programmer A's type
+    expected = fixtures.person_java()     # programmer B's type
+
+    print("Provider type:", provider.full_name, "(%s)" % provider.language)
+    for method in provider.public_methods():
+        print("   ", method.signature())
+    print("Expected type:", expected.full_name, "(%s)" % expected.language)
+    for method in expected.public_methods():
+        print("   ", method.signature())
+
+    # 1. The paper's strict rules (LD = 0) cannot unify the renamed
+    #    accessors...
+    strict = ConformanceChecker()
+    print("\nStrict (paper Section 4) verdict:",
+          strict.conforms(provider, expected).verdict)
+
+    # 2. ...the pragmatic token-subset relaxation can.
+    checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+    result = checker.conforms(provider, expected)
+    print("Pragmatic verdict:", result.verdict)
+    print(result.explain())
+
+    # 3. Instantiate A's type and use it through B's surface.
+    runtime = Runtime()
+    runtime.load_type(provider)
+    someone = runtime.instantiate(provider, ["Ada"])
+    view = wrap(someone, expected, checker)
+
+    print("\nview.getPersonName() ->", view.getPersonName())
+    view.setPersonName("Grace")
+    print("after view.setPersonName('Grace'):")
+    print("  view.getPersonName() ->", view.getPersonName())
+    print("  underlying object    ->", someone)
+
+    # 4. The witness mapping the proxy uses:
+    print("\nWitness mapping:")
+    for match in result.mapping.methods:
+        print("  %s -> %s (permutation %s)" % (
+            match.expected.name, match.provider.name, list(match.permutation)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — a reproduction of "Pragmatic Type Interoperability"
+(Baehni, Eugster, Guerraoui, Altherr, ICDCS 2003).
+
+The library makes types that "aim at representing the same software module"
+interchangeable across programmers, languages and peers:
+
+- :mod:`repro.core` — implicit structural conformance rules (the
+  contribution);
+- :mod:`repro.cts` / :mod:`repro.il` / :mod:`repro.langs` /
+  :mod:`repro.runtime` — the managed-platform substrate (common type
+  system, intermediate language, C#/Java/VB-like frontends, loader);
+- :mod:`repro.describe` — XML type descriptions;
+- :mod:`repro.serialization` — binary / SOAP payloads and the hybrid
+  envelope;
+- :mod:`repro.net` / :mod:`repro.transport` — simulated network and the
+  optimistic protocol;
+- :mod:`repro.remoting` — dynamic proxies and pass-by-reference stubs;
+- :mod:`repro.apps` — type-based publish/subscribe and borrow/lend.
+
+Quickstart::
+
+    from repro import ConformanceChecker, fixtures, Runtime, wrap
+
+    provider = fixtures.person_csharp()   # GetName/SetName
+    expected = fixtures.person_java()     # getPersonName/setPersonName
+
+    checker = ConformanceChecker()
+    result = checker.conforms(provider, expected)
+    assert result.ok
+
+    runtime = Runtime()
+    runtime.load_type(provider)
+    someone = runtime.instantiate(provider, ["Ada"])
+    as_expected = wrap(someone, expected, checker)
+    assert as_expected.getPersonName() == "Ada"
+"""
+
+from . import fixtures
+from .core import (
+    ConformanceChecker,
+    ConformanceOptions,
+    ConformanceResult,
+    NamePolicy,
+    Verdict,
+    conforms,
+)
+from .cts import (
+    Assembly,
+    Guid,
+    TypeBuilder,
+    TypeInfo,
+    TypeRegistry,
+    bridge_class,
+    interface_builder,
+)
+from .describe import TypeDescription, describe
+from .net import CodeRepository, SimulatedNetwork
+from .remoting import DynamicProxy, RemotingPeer, unwrap, wrap
+from .runtime import CtsInstance, Runtime
+from .serialization import BinarySerializer, EnvelopeCodec, SoapSerializer
+from .transport import EagerPeer, InteropPeer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembly",
+    "BinarySerializer",
+    "CodeRepository",
+    "ConformanceChecker",
+    "ConformanceOptions",
+    "ConformanceResult",
+    "CtsInstance",
+    "DynamicProxy",
+    "EagerPeer",
+    "EnvelopeCodec",
+    "Guid",
+    "InteropPeer",
+    "NamePolicy",
+    "RemotingPeer",
+    "Runtime",
+    "SimulatedNetwork",
+    "SoapSerializer",
+    "TypeBuilder",
+    "TypeDescription",
+    "TypeInfo",
+    "TypeRegistry",
+    "Verdict",
+    "bridge_class",
+    "conforms",
+    "describe",
+    "fixtures",
+    "interface_builder",
+    "unwrap",
+    "wrap",
+    "__version__",
+]

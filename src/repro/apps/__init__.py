@@ -1,0 +1,6 @@
+"""Applications of type interoperability named by the paper (Section 8):
+type-based publish/subscribe and the borrow/lend abstraction."""
+
+from . import borrowlend, tps
+
+__all__ = ["borrowlend", "tps"]

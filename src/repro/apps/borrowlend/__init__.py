@@ -1,0 +1,19 @@
+"""Borrow/lend abstraction with type-conformance matching criteria."""
+
+from .lending import (
+    BorrowError,
+    BorrowLendPeer,
+    KIND_BL_BORROW,
+    KIND_BL_RETURN,
+    Lease,
+    Offer,
+)
+
+__all__ = [
+    "BorrowError",
+    "BorrowLendPeer",
+    "KIND_BL_BORROW",
+    "KIND_BL_RETURN",
+    "Lease",
+    "Offer",
+]

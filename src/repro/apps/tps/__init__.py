@@ -1,0 +1,19 @@
+"""Type-based publish/subscribe enhanced with type interoperability."""
+
+from .broker import (
+    KIND_TPS_SUBSCRIBE,
+    KIND_TPS_UNSUBSCRIBE,
+    LocalBroker,
+    Subscription,
+    TpsBroker,
+    TpsPeer,
+)
+
+__all__ = [
+    "KIND_TPS_SUBSCRIBE",
+    "KIND_TPS_UNSUBSCRIBE",
+    "LocalBroker",
+    "Subscription",
+    "TpsBroker",
+    "TpsPeer",
+]

@@ -1,0 +1,216 @@
+"""Type-based publish/subscribe with type interoperability.
+
+"One obvious application of type interoperability is type-based
+publish/subscribe (TPS).  With TPS, subscribers express their interest in
+events of a given type ...  The main issue with TPS is that the subscribers
+and the publishers must agree a priori on the types they want to
+transfer/receive.  Enhancing TPS with type interoperability would simply
+alleviate this problem." (Section 8)
+
+Two broker flavours:
+
+- :class:`LocalBroker` — in-process TPS: subscriptions are expected types,
+  published events are routed to every subscription whose type the event's
+  type *conforms to* (implicitly or explicitly), delivered through a
+  translating dynamic proxy when needed.
+- :class:`TpsBroker` — a network broker peer: publishers ``send()`` events
+  to it over the optimistic protocol; subscriber peers register their
+  expected type (as an XML description) and receive matching events
+  re-published to them, code travelling on demand all the way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ...core.context import ConformanceOptions
+from ...core.rules import ConformanceChecker
+from ...cts.types import TypeInfo
+from ...describe.description import TypeDescription
+from ...describe.xml_codec import deserialize_description, serialize_description_bytes
+from ...net.network import SimulatedNetwork
+from ...remoting.dynamic import wrap_with_result
+from ...serialization.binary import BinarySerializer
+from ...transport.protocol import InteropPeer, ReceivedObject
+
+KIND_TPS_SUBSCRIBE = "tps_subscribe"
+KIND_TPS_UNSUBSCRIBE = "tps_unsubscribe"
+
+Handler = Callable[[Any], None]
+
+
+class Subscription:
+    """One subscriber's expressed interest."""
+
+    __slots__ = ("expected", "handler", "subscription_id", "peer_id", "delivered")
+
+    def __init__(self, expected: TypeInfo, handler: Optional[Handler],
+                 subscription_id: int, peer_id: Optional[str] = None):
+        self.expected = expected
+        self.handler = handler
+        self.subscription_id = subscription_id
+        self.peer_id = peer_id
+        self.delivered = 0
+
+    def __repr__(self) -> str:
+        who = self.peer_id or "local"
+        return "Subscription(#%d %s -> %s)" % (
+            self.subscription_id, self.expected.full_name, who,
+        )
+
+
+class LocalBroker:
+    """In-process type-based publish/subscribe."""
+
+    def __init__(self, checker: Optional[ConformanceChecker] = None):
+        self.checker = checker if checker is not None else ConformanceChecker(
+            options=ConformanceOptions.pragmatic()
+        )
+        self._subscriptions: List[Subscription] = []
+        self._next_id = 1
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, expected: TypeInfo, handler: Handler) -> Subscription:
+        subscription = Subscription(expected, handler, self._next_id)
+        self._next_id += 1
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self._subscriptions = [
+            s for s in self._subscriptions
+            if s.subscription_id != subscription.subscription_id
+        ]
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions)
+
+    def publish(self, event: Any) -> int:
+        """Route one event; returns the number of deliveries."""
+        type_getter = getattr(event, "_repro_type", None)
+        if type_getter is None:
+            raise TypeError("event %r does not expose a CTS type" % (event,))
+        event_type = type_getter()
+        self.published += 1
+        deliveries = 0
+        for subscription in self._subscriptions:
+            result = self.checker.conforms(event_type, subscription.expected)
+            if not result.ok:
+                continue
+            view = wrap_with_result(event, subscription.expected, result, self.checker)
+            subscription.handler(view)
+            subscription.delivered += 1
+            deliveries += 1
+            self.delivered += 1
+        return deliveries
+
+
+class TpsBroker(InteropPeer):
+    """A broker peer: receives events, re-publishes to matching subscribers.
+
+    The broker declares no interests of its own (it accepts every event,
+    downloading code on demand), checks each remote subscription's expected
+    type against the event type, and forwards the event over the optimistic
+    protocol — subscribers then fetch descriptions/code *from the broker*,
+    which re-serves what it downloaded.
+    """
+
+    def __init__(self, peer_id: str, network: SimulatedNetwork, **kwargs):
+        kwargs.setdefault("options", ConformanceOptions.pragmatic())
+        super().__init__(peer_id, network, **kwargs)
+        self._remote_subscriptions: List[Subscription] = []
+        self._next_id = 1
+        self.events_routed = 0
+        self._wire = BinarySerializer()
+        self.on(KIND_TPS_SUBSCRIBE, self._handle_subscribe)
+        self.on(KIND_TPS_UNSUBSCRIBE, self._handle_unsubscribe)
+        self.on_receive(self._route)
+
+    # -- subscription management ------------------------------------------
+
+    def _handle_subscribe(self, payload: bytes, src: str) -> bytes:
+        request = self._wire.deserialize(payload)
+        description = deserialize_description(request["description"])
+        expected = description.to_type_info()
+        self.runtime.registry.register(expected)
+        subscription = Subscription(expected, None, self._next_id, peer_id=src)
+        self._next_id += 1
+        self._remote_subscriptions.append(subscription)
+        return self._wire.serialize({"id": subscription.subscription_id})
+
+    def _handle_unsubscribe(self, payload: bytes, src: str) -> bytes:
+        request = self._wire.deserialize(payload)
+        sid = request["id"]
+        self._remote_subscriptions = [
+            s for s in self._remote_subscriptions
+            if not (s.subscription_id == sid and s.peer_id == src)
+        ]
+        return self._wire.serialize({"ok": True})
+
+    def remote_subscriptions(self) -> List[Subscription]:
+        return list(self._remote_subscriptions)
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(self, received: ReceivedObject) -> None:
+        if received.value is None:
+            return
+        event_type = received.value.type_info
+        for subscription in self._remote_subscriptions:
+            result = self.checker.conforms(event_type, subscription.expected)
+            if not result.ok:
+                continue
+            if subscription.peer_id == received.sender:
+                continue  # do not echo events back to their publisher
+            self.send(subscription.peer_id, received.value)
+            subscription.delivered += 1
+            self.events_routed += 1
+
+
+class TpsSubscriberMixin:
+    """Client-side helpers for talking to a :class:`TpsBroker`.
+
+    Mix into (or use via) :class:`TpsPeer`; requires the
+    :class:`InteropPeer` surface.
+    """
+
+    def subscribe_remote(self, broker_id: str, expected: TypeInfo,
+                         handler: Handler) -> int:
+        """Declare interest at a broker; matching events arrive as proxied
+        views of ``expected`` and are passed to ``handler``."""
+        self.declare_interest(expected)
+        description = TypeDescription.from_type_info(expected)
+        response = self.request(
+            broker_id,
+            KIND_TPS_SUBSCRIBE,
+            BinarySerializer().serialize(
+                {"description": serialize_description_bytes(description)}
+            ),
+        )
+        subscription_id = BinarySerializer().deserialize(response)["id"]
+
+        def deliver(received: ReceivedObject) -> None:
+            if received.accepted and received.interest is expected:
+                handler(received.view)
+
+        self.on_receive(deliver)
+        return subscription_id
+
+    def unsubscribe_remote(self, broker_id: str, subscription_id: int) -> None:
+        self.request(
+            broker_id,
+            KIND_TPS_UNSUBSCRIBE,
+            BinarySerializer().serialize({"id": subscription_id}),
+        )
+
+    def publish(self, broker_id: str, event: Any) -> None:
+        self.send(broker_id, event)
+
+
+class TpsPeer(TpsSubscriberMixin, InteropPeer):
+    """A publisher/subscriber endpoint for broker-mediated TPS."""
+
+    def __init__(self, peer_id: str, network: SimulatedNetwork, **kwargs):
+        kwargs.setdefault("options", ConformanceOptions.pragmatic())
+        super().__init__(peer_id, network, **kwargs)

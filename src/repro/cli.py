@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro describe FILE [--namespace NS]
+    python -m repro check PROVIDER_FILE EXPECTED_FILE [--strict] [--behavioral]
+    python -m repro demo
+
+``describe`` prints the XML type description(s) of a source file;
+``check`` compiles a provider and an expected type from two source files
+and reports the conformance verdict (exit status 0 = conformant);
+``demo`` runs the paper's Section 3.1 scenario end to end.
+
+Source language is inferred from the extension: ``.cs`` (C#-like),
+``.java`` (Java-like), ``.vb`` (VB-like).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core import (
+    BehavioralChecker,
+    ConformanceChecker,
+    ConformanceOptions,
+    IncomparableError,
+)
+from .cts.types import TypeInfo
+from .describe.description import TypeDescription
+from .describe.xml_codec import serialize_description
+from .langs.csharp import compile_source as compile_csharp
+from .langs.java import compile_source as compile_java
+from .langs.vb import compile_source as compile_vb
+from .runtime.loader import Runtime
+
+_COMPILERS = {
+    ".cs": compile_csharp,
+    ".java": compile_java,
+    ".vb": compile_vb,
+}
+
+
+class CliError(Exception):
+    pass
+
+
+def compile_file(path: str, namespace: str = "") -> List[TypeInfo]:
+    for extension, compiler in _COMPILERS.items():
+        if path.endswith(extension):
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            ns = namespace or path.rsplit("/", 1)[-1][: -len(extension)]
+            return compiler(source, namespace=ns, assembly_name=ns)
+    raise CliError(
+        "cannot infer language of %r (expected .cs, .java or .vb)" % path
+    )
+
+
+def cmd_describe(args, out) -> int:
+    types = compile_file(args.file, args.namespace)
+    for info in types:
+        out.write(serialize_description(TypeDescription.from_type_info(info)))
+        out.write("\n")
+    return 0
+
+
+def cmd_check(args, out) -> int:
+    provider_types = compile_file(args.provider)
+    expected_types = compile_file(args.expected)
+    if not provider_types or not expected_types:
+        raise CliError("each file must declare at least one type")
+    provider = provider_types[0]
+    expected = expected_types[0]
+
+    options = (
+        ConformanceOptions.paper_defaults()
+        if args.strict
+        else ConformanceOptions.pragmatic()
+    )
+    checker = ConformanceChecker(options=options)
+    result = checker.conforms(provider, expected)
+    out.write(result.explain() + "\n")
+
+    if result.ok and args.behavioral:
+        runtime = Runtime()
+        for info in provider_types + expected_types:
+            runtime.load_type(info)
+        behavioral = BehavioralChecker(runtime, structural=checker)
+        try:
+            behavioral_result = behavioral.check(provider, expected)
+        except IncomparableError as exc:
+            out.write("behavioral: incomparable (%s)\n" % exc)
+            return 1
+        out.write(behavioral_result.explain() + "\n")
+        return 0 if behavioral_result.ok else 1
+
+    return 0 if result.ok else 1
+
+
+def cmd_demo(args, out) -> int:
+    from . import fixtures
+    from .remoting.dynamic import wrap
+
+    provider = fixtures.person_csharp()
+    expected = fixtures.person_java()
+    checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+    result = checker.conforms(provider, expected)
+    out.write(result.explain() + "\n")
+
+    runtime = Runtime()
+    runtime.load_type(provider)
+    someone = runtime.instantiate(provider, ["Ada"])
+    view = wrap(someone, expected, checker)
+    out.write("view.getPersonName() -> %s\n" % view.getPersonName())
+    view.setPersonName("Grace")
+    out.write("after setPersonName('Grace') -> %s\n" % view.getPersonName())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pragmatic type interoperability: describe and check types.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="print XML type descriptions")
+    describe.add_argument("file")
+    describe.add_argument("--namespace", default="")
+    describe.set_defaults(func=cmd_describe)
+
+    check = sub.add_parser("check", help="check implicit structural conformance")
+    check.add_argument("provider", help="source file of the provider type")
+    check.add_argument("expected", help="source file of the expected type")
+    check.add_argument("--strict", action="store_true",
+                       help="use the paper's verbatim rules (LD = 0)")
+    check.add_argument("--behavioral", action="store_true",
+                       help="also sample behavioural conformance")
+    check.set_defaults(func=cmd_check)
+
+    demo = sub.add_parser("demo", help="run the Section 3.1 demo")
+    demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except (CliError, OSError) as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

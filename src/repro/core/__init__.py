@@ -1,0 +1,92 @@
+"""The paper's primary contribution: implicit structural type conformance.
+
+Public surface:
+
+- :class:`ConformanceChecker` / :func:`conforms` — the rule engine (Fig. 2)
+- :class:`ConformanceOptions`, :class:`NamePolicy` — configuration
+- :class:`ConformanceResult`, :class:`Verdict`, :class:`Aspect` — outcomes
+- :class:`TypeMapping` and friends — witnesses consumed by dynamic proxies
+- Resolution policies for the paper's "up to the programmer" ambiguity rule
+- Baselines: :class:`ExactMatcher`, :class:`TaggedStructuralMatcher`
+"""
+
+from .baselines import ExactMatcher, TaggedStructuralMatcher
+from .behavioral import (
+    BehavioralChecker,
+    BehavioralOptions,
+    BehavioralResult,
+    Divergence,
+    IncomparableError,
+)
+from .compound import CompoundResult, CompoundType, compound_view, conforms_to_compound
+from .context import ConformanceOptions, EmptyResolver, TypeResolver
+from .mapping import CtorMatch, FieldMatch, MethodMatch, TypeMapping
+from .names import (
+    NamePolicy,
+    PAPER_POLICY,
+    PRAGMATIC_POLICY,
+    identifier_tokens,
+    levenshtein,
+    wildcard_match,
+)
+from .resolution import (
+    AmbiguityError,
+    CallbackPolicy,
+    FirstMatch,
+    PreferExactName,
+    RequireUnique,
+    ResolutionPolicy,
+)
+from .result import Aspect, ConformanceResult, Verdict
+from .rules import CheckerStats, ConformanceChecker
+
+
+def conforms(provider, expected, resolver=None, options=None) -> ConformanceResult:
+    """One-shot conformance check with a fresh checker.
+
+    For repeated checks construct a :class:`ConformanceChecker` once and
+    reuse it — the memoization cache is where the speed lives.
+    """
+    return ConformanceChecker(resolver=resolver, options=options).conforms(
+        provider, expected
+    )
+
+
+__all__ = [
+    "AmbiguityError",
+    "Aspect",
+    "BehavioralChecker",
+    "BehavioralOptions",
+    "BehavioralResult",
+    "Divergence",
+    "IncomparableError",
+    "CallbackPolicy",
+    "CheckerStats",
+    "CompoundResult",
+    "CompoundType",
+    "ConformanceChecker",
+    "ConformanceOptions",
+    "ConformanceResult",
+    "CtorMatch",
+    "EmptyResolver",
+    "ExactMatcher",
+    "FieldMatch",
+    "FirstMatch",
+    "MethodMatch",
+    "NamePolicy",
+    "PAPER_POLICY",
+    "PRAGMATIC_POLICY",
+    "PreferExactName",
+    "identifier_tokens",
+    "RequireUnique",
+    "ResolutionPolicy",
+    "TaggedStructuralMatcher",
+    "TypeMapping",
+    "TypeResolver",
+    "Verdict",
+    "compound_view",
+    "conforms",
+    "conforms_to_compound",
+    "levenshtein",
+    "wildcard_match",
+]

@@ -1,0 +1,124 @@
+"""Baseline matchers the paper compares against (Section 2).
+
+- :class:`ExactMatcher` — what plain middleware (CORBA / RMI / .NET) gives
+  you: a type matches only itself or a declared supertype.  No implicit
+  interoperability.
+- :class:`TaggedStructuralMatcher` — Läufer/Baumgartner/Russo-style "safe
+  structural conformance for Java": method-set conformance, but only
+  between types *tagged* as structurally conformant, and within a single
+  type hierarchy.  Legacy (untagged) types never match.
+
+Both expose the same ``conforms(provider, expected)`` surface as
+:class:`~repro.core.rules.ConformanceChecker`, so benchmarks and the
+transport layer can swap them in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..cts.members import TypeRef
+from ..cts.types import OBJECT, TypeInfo
+from .context import EmptyResolver, TypeResolver
+from .result import ConformanceResult, Verdict
+
+
+class ExactMatcher:
+    """Explicit conformance only: identity or declared subtyping."""
+
+    def __init__(self, resolver: Optional[TypeResolver] = None):
+        self.resolver = resolver if resolver is not None else EmptyResolver()
+
+    def conforms(self, provider: TypeInfo, expected: TypeInfo) -> ConformanceResult:
+        if expected.guid == OBJECT.guid or provider.guid == expected.guid:
+            verdict = Verdict.EQUAL if provider.guid == expected.guid else Verdict.EXPLICIT
+            return ConformanceResult.success(
+                provider.full_name, expected.full_name, verdict
+            )
+        if self._is_supertype(provider, expected):
+            return ConformanceResult.success(
+                provider.full_name, expected.full_name, Verdict.EXPLICIT
+            )
+        return ConformanceResult.failure(
+            provider.full_name,
+            expected.full_name,
+            ["no identity or declared-subtyping relation"],
+        )
+
+    def _is_supertype(self, provider: TypeInfo, expected: TypeInfo) -> bool:
+        stack = []
+        if provider.superclass is not None:
+            stack.append(provider.superclass)
+        stack.extend(provider.interfaces)
+        seen: Set[str] = set()
+        while stack:
+            ref = stack.pop()
+            if ref.full_name in seen:
+                continue
+            seen.add(ref.full_name)
+            if ref.full_name == expected.full_name:
+                return True
+            if ref.guid is not None and ref.guid == expected.guid:
+                return True
+            resolved = ref.resolved or self.resolver.try_resolve(ref)
+            if resolved is not None:
+                if resolved.superclass is not None:
+                    stack.append(resolved.superclass)
+                stack.extend(resolved.interfaces)
+        return False
+
+
+class TaggedStructuralMatcher:
+    """Läufer-style structural conformance with opt-in tagging.
+
+    ``tags`` is the set of type full names that declared themselves
+    structurally conformant ("only types that are tagged ... can pretend to
+    do so"); method-set conformance requires every expected public method to
+    be implemented with an *identical* signature (names case-sensitive, no
+    permutations — the Java rules, stricter than the paper's).
+    """
+
+    def __init__(self, tags: Optional[Set[str]] = None,
+                 resolver: Optional[TypeResolver] = None):
+        self.tags = tags if tags is not None else set()
+        self.resolver = resolver if resolver is not None else EmptyResolver()
+        self._exact = ExactMatcher(resolver)
+
+    def tag(self, *type_names: str) -> None:
+        self.tags.update(type_names)
+
+    def conforms(self, provider: TypeInfo, expected: TypeInfo) -> ConformanceResult:
+        exact = self._exact.conforms(provider, expected)
+        if exact.ok:
+            return exact
+        if provider.full_name not in self.tags or expected.full_name not in self.tags:
+            return ConformanceResult.failure(
+                provider.full_name,
+                expected.full_name,
+                ["type(s) not tagged for structural conformance"],
+            )
+        for expected_method in expected.public_methods():
+            if not self._implements(provider, expected_method):
+                return ConformanceResult.failure(
+                    provider.full_name,
+                    expected.full_name,
+                    ["missing identical method %s" % expected_method.signature()],
+                )
+        return ConformanceResult.success(
+            provider.full_name, expected.full_name, Verdict.IMPLICIT_STRUCTURAL
+        )
+
+    @staticmethod
+    def _implements(provider: TypeInfo, expected_method) -> bool:
+        for method in provider.public_methods():
+            if method.name != expected_method.name:
+                continue
+            if method.arity != expected_method.arity:
+                continue
+            if method.return_type.full_name != expected_method.return_type.full_name:
+                continue
+            provider_types = method.parameter_type_names()
+            expected_types = expected_method.parameter_type_names()
+            if provider_types == expected_types:
+                return True
+        return False

@@ -1,0 +1,327 @@
+"""Implicit *behavioral* type conformance (paper Section 4.1).
+
+The paper defines behavioral conformance — "based on the result of [the
+type's] methods" — and immediately scopes it out: methods "must also be
+executed in order to compare their results for corresponding inputs.  That
+should be feasible for types dealing only with primitive types but for more
+complex types it is rather tricky."  The combination of structural and
+behavioral conformance "results in a 'strong' implicit type conformance".
+
+This module implements exactly the feasible fragment the paper describes:
+
+1. Establish implicit *structural* conformance first (it supplies the
+   member correspondence — which provider method plays which expected
+   method, under which argument permutation).
+2. For every corresponding method pair whose parameters and return type are
+   all primitive, drive both implementations with the same deterministic
+   pseudo-random inputs and compare results.
+3. Methods are exercised in call *sequences* against fresh instance pairs,
+   so stateful behaviour (setters observed through getters) is compared
+   too, not just pure functions.
+
+Methods touching non-primitive types are skipped and reported, mirroring
+the paper's "rather tricky" caveat.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cts.members import MethodInfo, TypeRef
+from ..cts.types import (
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    STRING,
+    TypeInfo,
+    VOID,
+)
+from .mapping import MethodMatch, TypeMapping
+from .result import ConformanceResult, Verdict
+from .rules import ConformanceChecker
+
+_PRIMITIVE_NAMES = {
+    t.full_name for t in (BOOL, INT, LONG, FLOAT, DOUBLE, STRING, VOID)
+}
+
+_WORDS = (
+    "alpha", "bravo", "carol", "delta", "echo", "", "noise",
+    "Person", "x", "Zürich",
+)
+
+
+class BehavioralOptions:
+    """Knobs of the sampling harness.
+
+    ``rounds`` call-sequences are run, each against a fresh pair of
+    instances; every sequence performs up to ``calls_per_round`` method
+    invocations drawn from the comparable method set.
+    """
+
+    def __init__(
+        self,
+        rounds: int = 10,
+        calls_per_round: int = 8,
+        seed: int = 0,
+        int_bound: int = 1000,
+        float_bound: float = 1000.0,
+    ):
+        self.rounds = rounds
+        self.calls_per_round = calls_per_round
+        self.seed = seed
+        self.int_bound = int_bound
+        self.float_bound = float_bound
+
+
+class Divergence:
+    """One observed behavioural difference."""
+
+    __slots__ = ("method_name", "args", "provider_result", "expected_result", "round_no")
+
+    def __init__(self, method_name: str, args: List[Any],
+                 provider_result: Any, expected_result: Any, round_no: int):
+        self.method_name = method_name
+        self.args = args
+        self.provider_result = provider_result
+        self.expected_result = expected_result
+        self.round_no = round_no
+
+    def __repr__(self) -> str:
+        return (
+            "Divergence(%s(%s): provider=%r, expected=%r, round=%d)"
+            % (
+                self.method_name,
+                ", ".join(repr(a) for a in self.args),
+                self.provider_result,
+                self.expected_result,
+                self.round_no,
+            )
+        )
+
+
+class BehavioralResult:
+    """Outcome of a behavioural comparison."""
+
+    def __init__(
+        self,
+        provider_name: str,
+        expected_name: str,
+        ok: bool,
+        divergences: List[Divergence],
+        compared_methods: List[str],
+        skipped_methods: List[str],
+        calls_made: int,
+    ):
+        self.provider_name = provider_name
+        self.expected_name = expected_name
+        self.ok = ok
+        self.divergences = divergences
+        self.compared_methods = compared_methods
+        self.skipped_methods = skipped_methods
+        self.calls_made = calls_made
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def explain(self) -> str:
+        lines = [
+            "%s %s behaviorally to %s (%d calls over %d methods)"
+            % (
+                self.provider_name,
+                "conforms" if self.ok else "does NOT conform",
+                self.expected_name,
+                self.calls_made,
+                len(self.compared_methods),
+            )
+        ]
+        for name in self.skipped_methods:
+            lines.append("  skipped (non-primitive signature): %s" % name)
+        for divergence in self.divergences[:10]:
+            lines.append("  %r" % divergence)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "BehavioralResult(%s => %s: %s)" % (
+            self.provider_name, self.expected_name,
+            "ok" if self.ok else "%d divergences" % len(self.divergences),
+        )
+
+
+class IncomparableError(Exception):
+    """The pair cannot be driven (no structural mapping, no usable
+    constructor, or no executable bodies)."""
+
+
+def _is_primitive_ref(ref: TypeRef) -> bool:
+    return ref.full_name in _PRIMITIVE_NAMES
+
+
+def _method_primitive_only(method: MethodInfo) -> bool:
+    if not _is_primitive_ref(method.return_type):
+        return False
+    return all(_is_primitive_ref(p.type_ref) for p in method.parameters)
+
+
+class BehavioralChecker:
+    """Samples two implementations for behavioural agreement.
+
+    ``runtime`` must have both types loaded *with executable bodies* —
+    behavioural conformance is the one check that genuinely needs the code
+    on both sides (which is why the paper's protocol cannot run it before
+    downloading anything).
+    """
+
+    def __init__(
+        self,
+        runtime,
+        structural: Optional[ConformanceChecker] = None,
+        options: Optional[BehavioralOptions] = None,
+    ):
+        self.runtime = runtime
+        self.structural = structural if structural is not None else ConformanceChecker()
+        self.options = options if options is not None else BehavioralOptions()
+
+    # ------------------------------------------------------------------
+
+    def check(self, provider: TypeInfo, expected: TypeInfo) -> BehavioralResult:
+        structural_result = self.structural.conforms(provider, expected)
+        if not structural_result.ok:
+            raise IncomparableError(
+                "no structural conformance between %s and %s"
+                % (provider.full_name, expected.full_name)
+            )
+        mapping = structural_result.mapping
+        assert mapping is not None
+
+        comparable: List[MethodMatch] = []
+        skipped: List[str] = []
+        matches = mapping.methods
+        if not matches:
+            # Identity-like verdict: build the trivial correspondence.
+            matches = [
+                MethodMatch(m, m, tuple(range(m.arity)))
+                for m in expected.public_methods()
+            ]
+        for match in matches:
+            if _method_primitive_only(match.expected) and _method_primitive_only(match.provider):
+                comparable.append(match)
+            else:
+                skipped.append(match.expected.name)
+
+        rng = random.Random(self.options.seed)
+        divergences: List[Divergence] = []
+        calls_made = 0
+
+        for round_no in range(self.options.rounds):
+            pair = self._fresh_pair(provider, expected, mapping, rng)
+            if pair is None:
+                raise IncomparableError(
+                    "cannot instantiate %s/%s with primitive constructor args"
+                    % (provider.full_name, expected.full_name)
+                )
+            provider_obj, expected_obj = pair
+            for _ in range(self.options.calls_per_round):
+                if not comparable:
+                    break
+                match = rng.choice(comparable)
+                args = [
+                    self._sample(p.type_ref, rng)
+                    for p in match.expected.parameters
+                ]
+                provider_value, provider_err = self._invoke(
+                    provider_obj, match.provider.name, match.reorder(args)
+                )
+                expected_value, expected_err = self._invoke(
+                    expected_obj, match.expected.name, args
+                )
+                calls_made += 1
+                if provider_err != expected_err or (
+                    provider_err is None and not _agree(provider_value, expected_value)
+                ):
+                    divergences.append(
+                        Divergence(
+                            match.expected.name,
+                            args,
+                            provider_err or provider_value,
+                            expected_err or expected_value,
+                            round_no,
+                        )
+                    )
+
+        return BehavioralResult(
+            provider.full_name,
+            expected.full_name,
+            ok=not divergences,
+            divergences=divergences,
+            compared_methods=[m.expected.name for m in comparable],
+            skipped_methods=skipped,
+            calls_made=calls_made,
+        )
+
+    def strong_conforms(self, provider: TypeInfo, expected: TypeInfo) -> bool:
+        """The paper's "strong" implicit type conformance: structural AND
+        behavioral."""
+        try:
+            return self.check(provider, expected).ok
+        except IncomparableError:
+            return False
+
+    # ------------------------------------------------------------------
+
+    def _fresh_pair(self, provider, expected, mapping: TypeMapping, rng):
+        """Instantiate both sides with the *same* constructor inputs."""
+        expected_ctors = expected.public_constructors()
+        if not expected_ctors:
+            try:
+                return (
+                    self.runtime.instantiate(provider),
+                    self.runtime.instantiate(expected),
+                )
+            except Exception:
+                return None
+        for ctor in expected_ctors:
+            # Primitive parameters are sampled; non-primitive ones receive
+            # null on both sides (identical inputs, per the rule's spirit).
+            match = mapping.ctor(ctor.arity)
+            args = [
+                self._sample(p.type_ref, rng) if _is_primitive_ref(p.type_ref) else None
+                for p in ctor.parameters
+            ]
+            provider_args = match.reorder(args) if match is not None else list(args)
+            try:
+                return (
+                    self.runtime.instantiate(provider, provider_args),
+                    self.runtime.instantiate(expected, list(args)),
+                )
+            except Exception:
+                continue
+        return None
+
+    def _invoke(self, obj, method_name: str, args: List[Any]) -> Tuple[Any, Optional[str]]:
+        try:
+            return obj.invoke(method_name, *args), None
+        except Exception as exc:
+            return None, type(exc).__name__
+
+    def _sample(self, ref: TypeRef, rng: random.Random) -> Any:
+        name = ref.full_name
+        if name == BOOL.full_name:
+            return rng.random() < 0.5
+        if name in (INT.full_name, LONG.full_name):
+            return rng.randint(-self.options.int_bound, self.options.int_bound)
+        if name in (FLOAT.full_name, DOUBLE.full_name):
+            return rng.uniform(-self.options.float_bound, self.options.float_bound)
+        if name == STRING.full_name:
+            return rng.choice(_WORDS)
+        return None
+
+
+def _agree(left: Any, right: Any) -> bool:
+    if isinstance(left, float) and isinstance(right, float):
+        if left == right:
+            return True
+        return abs(left - right) <= 1e-9 * max(1.0, abs(left), abs(right))
+    return left == right

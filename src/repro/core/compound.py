@@ -1,0 +1,128 @@
+"""Compound types (related work, Section 2.2).
+
+Büchi & Weck's compound types for Java introduce the type expression
+``[TypeA, TypeB, ..., TypeN]`` denoting everything that satisfies *all*
+components.  The paper positions them as "more about composition than about
+structural conformance"; reproducing them on top of our checker shows how
+naturally they fall out: a type conforms to a compound iff it conforms to
+every component (under whichever conformance notion the checker embodies).
+
+This generalises interests and borrow queries: a subscriber can demand
+"anything that is both a Named and a Priced"."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cts.types import TypeInfo
+from .result import ConformanceResult, Verdict
+from .rules import ConformanceChecker
+
+
+class CompoundType:
+    """``[T1, T2, ..., Tn]`` — the conjunction of component types."""
+
+    def __init__(self, components: Sequence[TypeInfo]):
+        if not components:
+            raise ValueError("a compound type needs at least one component")
+        self.components = list(components)
+
+    @property
+    def display_name(self) -> str:
+        return "[%s]" % ", ".join(c.full_name for c in self.components)
+
+    def __repr__(self) -> str:
+        return "CompoundType(%s)" % self.display_name
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+
+class CompoundResult:
+    """Per-component breakdown of a compound conformance check."""
+
+    def __init__(self, provider_name: str, compound: CompoundType,
+                 component_results: List[ConformanceResult]):
+        self.provider_name = provider_name
+        self.compound = compound
+        self.component_results = component_results
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.component_results)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def failing_components(self) -> List[str]:
+        return [
+            r.expected_name for r in self.component_results if not r.ok
+        ]
+
+    def mapping_for(self, component: TypeInfo):
+        for result in self.component_results:
+            if result.expected_name == component.full_name:
+                return result.mapping
+        return None
+
+    def explain(self) -> str:
+        lines = [
+            "%s %s %s"
+            % (
+                self.provider_name,
+                "satisfies" if self.ok else "does NOT satisfy",
+                self.compound.display_name,
+            )
+        ]
+        for result in self.component_results:
+            lines.append(
+                "  %-40s %s" % (result.expected_name, result.verdict.value)
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "CompoundResult(%s: %s)" % (
+            self.compound.display_name, "ok" if self.ok else "failed",
+        )
+
+
+def conforms_to_compound(
+    provider: TypeInfo,
+    compound: CompoundType,
+    checker: Optional[ConformanceChecker] = None,
+) -> CompoundResult:
+    """Check ``provider`` against every component of the compound."""
+    checker = checker if checker is not None else ConformanceChecker()
+    results = [checker.conforms(provider, c) for c in compound.components]
+    return CompoundResult(provider.full_name, compound, results)
+
+
+def compound_view(provider_obj, compound: CompoundType,
+                  checker: ConformanceChecker) -> Dict[str, object]:
+    """One view per component, keyed by component full name.
+
+    Each view is the provider object wrapped (if needed) as that
+    component — the practical use of a compound: the same object driven
+    through several independent facets."""
+    from ..remoting.dynamic import wrap_with_result
+
+    type_getter = getattr(provider_obj, "_repro_type", None)
+    if type_getter is None:
+        raise TypeError("object %r does not expose a CTS type" % (provider_obj,))
+    provider = type_getter()
+    result = conforms_to_compound(provider, compound, checker)
+    if not result.ok:
+        raise ValueError(
+            "object of type %s does not satisfy %s (failing: %s)"
+            % (
+                provider.full_name,
+                compound.display_name,
+                ", ".join(result.failing_components()),
+            )
+        )
+    views: Dict[str, object] = {}
+    for component, component_result in zip(compound.components, result.component_results):
+        views[component.full_name] = wrap_with_result(
+            provider_obj, component, component_result, checker
+        )
+    return views

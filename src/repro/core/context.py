@@ -1,0 +1,118 @@
+"""Checker configuration and resolution context.
+
+:class:`ConformanceOptions` gathers every knob of the rule engine — the name
+policy, the ambiguity policy, which aspects to enforce (the paper warns that
+"not taking into account the whole set of aspects breaks the type safety",
+and our ablation benchmarks measure exactly that trade-off), permutation
+limits and primitive-widening behaviour.
+
+:class:`TypeResolver` is the abstract source of type structure: a local
+:class:`~repro.cts.registry.TypeRegistry`, a description cache, or a
+network-backed resolver that downloads descriptions on demand (the
+optimistic protocol plugs in there).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from ..cts.members import TypeRef
+from ..cts.types import TypeInfo
+from .names import NamePolicy
+from .resolution import DEFAULT_POLICY, ResolutionPolicy
+
+
+@runtime_checkable
+class TypeResolver(Protocol):
+    """Anything that can try to turn a :class:`TypeRef` into a :class:`TypeInfo`."""
+
+    def try_resolve(self, ref: TypeRef) -> Optional[TypeInfo]:
+        ...  # pragma: no cover - protocol
+
+
+class EmptyResolver:
+    """Resolves nothing; conformance falls back to name comparison."""
+
+    def try_resolve(self, ref: TypeRef) -> Optional[TypeInfo]:
+        if ref.is_resolved:
+            return ref.resolved
+        return None
+
+
+class ConformanceOptions:
+    """Configuration of the implicit structural conformance checker.
+
+    The defaults implement the paper's rules exactly.  Every switch exists
+    for an ablation or an extension the paper mentions:
+
+    - ``check_*``: disabling an aspect reproduces the "weaker rule" the
+      paper cautions against (Section 4.2).
+    - ``name_policy``: LD > 0 and wildcards are the paper's suggested
+      generalisations of rule (i).
+    - ``allow_numeric_widening``: primitive covariance (int usable as long /
+      double), off by default because the paper compares primitives by
+      identity.
+    - ``max_permutation_arity``: cap on the argument-permutation search of
+      rule (iv); beyond it only the identity permutation is tried.
+    """
+
+    def __init__(
+        self,
+        name_policy: Optional[NamePolicy] = None,
+        resolution: Optional[ResolutionPolicy] = None,
+        check_name: bool = True,
+        check_fields: bool = True,
+        check_supertypes: bool = True,
+        check_methods: bool = True,
+        check_constructors: bool = True,
+        require_static_match: bool = True,
+        strict_modifiers: bool = False,
+        allow_numeric_widening: bool = False,
+        allow_permutations: bool = True,
+        max_permutation_arity: int = 8,
+    ):
+        self.name_policy = name_policy if name_policy is not None else NamePolicy()
+        self.resolution = resolution if resolution is not None else DEFAULT_POLICY
+        self.check_name = check_name
+        self.check_fields = check_fields
+        self.check_supertypes = check_supertypes
+        self.check_methods = check_methods
+        self.check_constructors = check_constructors
+        self.require_static_match = require_static_match
+        self.strict_modifiers = strict_modifiers
+        self.allow_numeric_widening = allow_numeric_widening
+        self.allow_permutations = allow_permutations
+        self.max_permutation_arity = max_permutation_arity
+
+    @classmethod
+    def paper_defaults(cls) -> "ConformanceOptions":
+        """The configuration matching Section 4 verbatim."""
+        return cls()
+
+    @classmethod
+    def pragmatic(cls) -> "ConformanceOptions":
+        """Paper rules with the token-subset name relaxation that the
+        Section 3.1 scenario (``setName`` vs ``setPersonName``) requires."""
+        return cls(name_policy=NamePolicy(allow_token_subset=True))
+
+    @classmethod
+    def name_only(cls) -> "ConformanceOptions":
+        """The deliberately unsafe weak rule (for ablations): only rule (i)."""
+        return cls(
+            check_fields=False,
+            check_supertypes=False,
+            check_methods=False,
+            check_constructors=False,
+        )
+
+    def __repr__(self) -> str:
+        flags = []
+        for attr in ("check_name", "check_fields", "check_supertypes",
+                     "check_methods", "check_constructors"):
+            if not getattr(self, attr):
+                flags.append("-" + attr[len("check_"):])
+        if self.allow_numeric_widening:
+            flags.append("+widening")
+        return "ConformanceOptions(%s%s)" % (
+            self.name_policy, (", " + ", ".join(flags)) if flags else "",
+        )

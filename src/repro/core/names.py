@@ -1,0 +1,215 @@
+"""Name conformance: Levenshtein distance and matching policy.
+
+Rule (i) of the paper: "A name of a type T is said to conform to the name of
+a type T' if the names are the same (i.e. the Levenshtein distance (LD) is
+equal to 0).  The names are considered to be case insensitive.  In order to
+be more general, wildcards could be allowed but this is not the aim of this
+paper."
+
+We implement the rule exactly (case-insensitive, LD = 0 by default) and also
+the two extensions the paper gestures at — a relaxed distance bound and
+``*``/``?`` wildcards — both off by default, exercised by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
+    """Edit distance between two strings (insert/delete/substitute, cost 1).
+
+    With ``upper_bound`` set, computation may stop early and return
+    ``upper_bound + 1`` as soon as the distance provably exceeds the bound —
+    the common case in conformance checking where only "is LD <= k" matters.
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if la == 0:
+        return lb
+    if lb == 0:
+        return la
+    if upper_bound is not None and abs(la - lb) > upper_bound:
+        return upper_bound + 1
+    if la > lb:
+        a, b, la, lb = b, a, lb, la
+    previous = list(range(la + 1))
+    current = [0] * (la + 1)
+    for j in range(1, lb + 1):
+        current[0] = j
+        best = current[0]
+        bj = b[j - 1]
+        for i in range(1, la + 1):
+            cost = 0 if a[i - 1] == bj else 1
+            current[i] = min(
+                previous[i] + 1,      # deletion
+                current[i - 1] + 1,   # insertion
+                previous[i - 1] + cost,  # substitution
+            )
+            if current[i] < best:
+                best = current[i]
+        if upper_bound is not None and best > upper_bound:
+            return upper_bound + 1
+        previous, current = current, previous
+    return previous[la]
+
+
+def wildcard_match(pattern: str, text: str) -> bool:
+    """Glob-style match: ``*`` spans any run, ``?`` one character.
+
+    Iterative two-pointer algorithm (no recursion, no regex) so adversarial
+    patterns stay linear-ish.
+    """
+    pi = ti = 0
+    star_pi = -1
+    star_ti = 0
+    np, nt = len(pattern), len(text)
+    while ti < nt:
+        if pi < np and (pattern[pi] == "?" or pattern[pi] == text[ti]):
+            pi += 1
+            ti += 1
+        elif pi < np and pattern[pi] == "*":
+            star_pi = pi
+            star_ti = ti
+            pi += 1
+        elif star_pi != -1:
+            pi = star_pi + 1
+            star_ti += 1
+            ti = star_ti
+        else:
+            return False
+    while pi < np and pattern[pi] == "*":
+        pi += 1
+    return pi == np
+
+
+def identifier_tokens(name: str) -> Tuple[str, ...]:
+    """Split an identifier into lowercase word tokens.
+
+    Boundaries: underscores, digit runs, and camelCase transitions
+    (``setPersonName`` → ``('set', 'person', 'name')``; ``HTTPServer`` →
+    ``('http', 'server')``).
+    """
+    tokens = []
+    current: list = []
+    previous = ""
+    for index, ch in enumerate(name):
+        if ch == "_":
+            if current:
+                tokens.append("".join(current))
+                current = []
+            previous = ch
+            continue
+        boundary = False
+        if current:
+            if ch.isupper() and (previous.islower() or previous.isdigit()):
+                boundary = True
+            elif ch.isupper() and previous.isupper():
+                # HTTPServer: boundary before 'S' when followed by lowercase
+                nxt = name[index + 1] if index + 1 < len(name) else ""
+                if nxt.islower():
+                    boundary = True
+            elif ch.isdigit() != previous.isdigit():
+                boundary = True
+        if boundary:
+            tokens.append("".join(current))
+            current = []
+        current.append(ch.lower())
+        previous = ch
+    if current:
+        tokens.append("".join(current))
+    return tuple(tokens)
+
+
+class NamePolicy:
+    """Decides whether two member/type names conform.
+
+    Parameters
+    ----------
+    max_distance:
+        Maximum allowed Levenshtein distance (paper default: 0).
+    case_sensitive:
+        The paper treats names case-insensitively; set True to tighten.
+    allow_wildcards:
+        When True, a name containing ``*`` or ``?`` is treated as a pattern
+        (the paper's suggested generalisation of rule (i)).
+    allow_token_subset:
+        The *pragmatic* relaxation motivating the paper's own Section 3.1
+        example: ``setName`` vs ``setPersonName``.  Those names have LD 6,
+        so the strict rule can never unify the two Person implementations
+        the introduction promises to unify.  With this switch, two names
+        also conform when the word-token multiset of one is a subset of the
+        other's (``{set, name} ⊆ {set, person, name}``) — verbs must still
+        agree, so ``getName`` never matches ``setPersonName``.
+    """
+
+    STRICT_DISTANCE = 0
+
+    def __init__(
+        self,
+        max_distance: int = STRICT_DISTANCE,
+        case_sensitive: bool = False,
+        allow_wildcards: bool = False,
+        allow_token_subset: bool = False,
+    ):
+        if max_distance < 0:
+            raise ValueError("max_distance must be >= 0")
+        self.max_distance = max_distance
+        self.case_sensitive = case_sensitive
+        self.allow_wildcards = allow_wildcards
+        self.allow_token_subset = allow_token_subset
+
+    def _canon(self, name: str) -> str:
+        return name if self.case_sensitive else name.lower()
+
+    def distance(self, left: str, right: str) -> int:
+        return levenshtein(self._canon(left), self._canon(right),
+                           upper_bound=self.max_distance)
+
+    def conforms(self, left: str, right: str) -> bool:
+        """True when name ``left`` conforms to name ``right``."""
+        a, b = self._canon(left), self._canon(right)
+        if self.allow_wildcards and any(c in "*?" for c in a + b):
+            if any(c in "*?" for c in b):
+                return wildcard_match(b, a)
+            return wildcard_match(a, b)
+        if a == b:
+            return True
+        if self.allow_token_subset and self._token_subset(left, right):
+            return True
+        if self.max_distance == 0:
+            return False
+        return levenshtein(a, b, upper_bound=self.max_distance) <= self.max_distance
+
+    @staticmethod
+    def _token_subset(left: str, right: str) -> bool:
+        lt = identifier_tokens(left)
+        rt = identifier_tokens(right)
+        if not lt or not rt:
+            return False
+        small, large = (lt, rt) if len(lt) <= len(rt) else (rt, lt)
+        large_counts: dict = {}
+        for token in large:
+            large_counts[token] = large_counts.get(token, 0) + 1
+        for token in small:
+            if large_counts.get(token, 0) <= 0:
+                return False
+            large_counts[token] -= 1
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            "NamePolicy(max_distance=%d, case_sensitive=%r, wildcards=%r, "
+            "token_subset=%r)"
+            % (self.max_distance, self.case_sensitive, self.allow_wildcards,
+               self.allow_token_subset)
+        )
+
+
+#: The policy the paper specifies: case-insensitive exact match.
+PAPER_POLICY = NamePolicy()
+
+#: The relaxation needed for the paper's own Section 3.1 scenario.
+PRAGMATIC_POLICY = NamePolicy(allow_token_subset=True)

@@ -1,0 +1,92 @@
+"""Ambiguity resolution policies.
+
+Section 4.2 closes with: "What if a field, a method or a constructor of a
+type T matches several fields, methods or constructors of a type T' ...?
+In this case, the rules do not impose any criterion, it is up to the
+programmer to decide what is more suitable."
+
+We expose that decision as a pluggable :class:`ResolutionPolicy`.  The
+checker collects *all* matching provider candidates for each expected member
+and asks the policy to pick one (or to veto the match entirely).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, TypeVar
+
+Candidate = TypeVar("Candidate")
+
+
+class AmbiguityError(Exception):
+    """Raised by :class:`RequireUnique` when several candidates match."""
+
+    def __init__(self, expected_name: str, candidate_names: List[str]):
+        super().__init__(
+            "expected member %r matched by multiple candidates: %s"
+            % (expected_name, ", ".join(candidate_names))
+        )
+        self.expected_name = expected_name
+        self.candidate_names = candidate_names
+
+
+class ResolutionPolicy:
+    """Chooses one provider member among several conformant candidates.
+
+    ``choose`` receives the expected member's name and the non-empty list of
+    candidates (each a tuple-like object with a ``.name`` reachable through
+    ``name_of``); it returns the index of the winner, or ``None`` to reject
+    the match (turning ambiguity into failure).
+    """
+
+    def choose(self, expected_name: str, candidate_names: List[str]) -> Optional[int]:
+        raise NotImplementedError
+
+
+class FirstMatch(ResolutionPolicy):
+    """Deterministic default: declaration order wins."""
+
+    def choose(self, expected_name: str, candidate_names: List[str]) -> Optional[int]:
+        return 0
+
+
+class PreferExactName(ResolutionPolicy):
+    """Prefer a case-insensitive exact name; then an exact-case name; then
+    declaration order."""
+
+    def choose(self, expected_name: str, candidate_names: List[str]) -> Optional[int]:
+        lowered = expected_name.lower()
+        exact_case = None
+        exact_insensitive = None
+        for index, name in enumerate(candidate_names):
+            if name == expected_name and exact_case is None:
+                exact_case = index
+            if name.lower() == lowered and exact_insensitive is None:
+                exact_insensitive = index
+        if exact_case is not None:
+            return exact_case
+        if exact_insensitive is not None:
+            return exact_insensitive
+        return 0
+
+
+class RequireUnique(ResolutionPolicy):
+    """Strict mode: any ambiguity is an error."""
+
+    def choose(self, expected_name: str, candidate_names: List[str]) -> Optional[int]:
+        if len(candidate_names) > 1:
+            raise AmbiguityError(expected_name, candidate_names)
+        return 0
+
+
+class CallbackPolicy(ResolutionPolicy):
+    """Delegates the choice to user code — the paper's "up to the
+    programmer" verbatim."""
+
+    def __init__(self, chooser: Callable[[str, List[str]], Optional[int]]):
+        self._chooser = chooser
+
+    def choose(self, expected_name: str, candidate_names: List[str]) -> Optional[int]:
+        return self._chooser(expected_name, candidate_names)
+
+
+DEFAULT_POLICY = PreferExactName()

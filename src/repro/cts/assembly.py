@@ -1,0 +1,268 @@
+"""Assemblies: named, versioned units of deployable code.
+
+An assembly bundles CTS types *with their IL bodies* — it is "the code" that
+the optimistic protocol downloads only after a successful conformance check
+(step 4-5 of Figure 1).  Assemblies have a canonical wire form (plain dicts
+of primitives) so any of our serializers can ship them and so their size can
+be accounted by the simulated network.
+
+Native-Python method bodies (from ``python_bridge`` or ``TypeBuilder`` with
+callables) are not portable; assemblies containing them refuse to serialize,
+mirroring how a real platform cannot ship opaque native code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..il.instructions import MethodBody
+from .identity import Guid
+from .members import (
+    ConstructorInfo,
+    FieldInfo,
+    MethodInfo,
+    Modifiers,
+    ParameterInfo,
+    TypeRef,
+    Visibility,
+)
+from .types import TypeInfo, TypeKind
+
+
+class NotSerializableError(TypeError):
+    """An assembly containing native (non-IL) bodies cannot be shipped."""
+
+
+# ---------------------------------------------------------------------------
+# TypeRef / member wire forms
+# ---------------------------------------------------------------------------
+
+
+def ref_to_wire(ref: Optional[TypeRef]) -> Optional[Dict[str, Any]]:
+    if ref is None:
+        return None
+    path = ref.download_path
+    if path is None and ref.is_resolved:
+        path = ref.resolved.download_path
+    return {
+        "name": ref.full_name,
+        "guid": str(ref.guid) if ref.guid is not None else None,
+        "path": path,
+    }
+
+
+def ref_from_wire(data: Optional[Dict[str, Any]]) -> Optional[TypeRef]:
+    if data is None:
+        return None
+    guid = Guid.parse(data["guid"]) if data.get("guid") else None
+    return TypeRef(data["name"], guid=guid, download_path=data.get("path"))
+
+
+def _field_to_wire(field: FieldInfo) -> Dict[str, Any]:
+    return {
+        "name": field.name,
+        "type": ref_to_wire(field.type_ref),
+        "visibility": field.visibility.value,
+        "modifiers": field.modifiers.tokens(),
+    }
+
+
+def _field_from_wire(data: Dict[str, Any]) -> FieldInfo:
+    return FieldInfo(
+        data["name"],
+        ref_from_wire(data["type"]),
+        visibility=Visibility(data["visibility"]),
+        modifiers=Modifiers.from_tokens(data.get("modifiers", [])),
+    )
+
+
+def _params_to_wire(params: Sequence[ParameterInfo]) -> List[Dict[str, Any]]:
+    return [{"name": p.name, "type": ref_to_wire(p.type_ref)} for p in params]
+
+
+def _params_from_wire(data: Sequence[Dict[str, Any]]) -> List[ParameterInfo]:
+    return [ParameterInfo(d["name"], ref_from_wire(d["type"])) for d in data]
+
+
+def _body_to_wire(body: Any, where: str, include_bodies: bool) -> Optional[Dict[str, Any]]:
+    if body is None or not include_bodies:
+        return None
+    if isinstance(body, MethodBody):
+        return body.to_wire()
+    raise NotSerializableError(
+        "%s has a native (non-IL) body and cannot be serialized" % where
+    )
+
+
+def _method_to_wire(method: MethodInfo, type_name: str, include_bodies: bool) -> Dict[str, Any]:
+    return {
+        "name": method.name,
+        "params": _params_to_wire(method.parameters),
+        "return": ref_to_wire(method.return_type),
+        "visibility": method.visibility.value,
+        "modifiers": method.modifiers.tokens(),
+        "body": _body_to_wire(
+            method.body, "%s.%s" % (type_name, method.name), include_bodies
+        ),
+    }
+
+
+def _method_from_wire(data: Dict[str, Any]) -> MethodInfo:
+    body = MethodBody.from_wire(data["body"]) if data.get("body") else None
+    return MethodInfo(
+        data["name"],
+        _params_from_wire(data.get("params", [])),
+        ref_from_wire(data["return"]),
+        visibility=Visibility(data["visibility"]),
+        modifiers=Modifiers.from_tokens(data.get("modifiers", [])),
+        body=body,
+    )
+
+
+def _ctor_to_wire(ctor: ConstructorInfo, type_name: str, include_bodies: bool) -> Dict[str, Any]:
+    return {
+        "params": _params_to_wire(ctor.parameters),
+        "visibility": ctor.visibility.value,
+        "body": _body_to_wire(ctor.body, "%s..ctor" % type_name, include_bodies),
+    }
+
+
+def _ctor_from_wire(data: Dict[str, Any]) -> ConstructorInfo:
+    body = MethodBody.from_wire(data["body"]) if data.get("body") else None
+    return ConstructorInfo(
+        _params_from_wire(data.get("params", [])),
+        visibility=Visibility(data["visibility"]),
+        body=body,
+    )
+
+
+# ---------------------------------------------------------------------------
+# TypeInfo wire form
+# ---------------------------------------------------------------------------
+
+
+def type_to_wire(info: TypeInfo, include_bodies: bool = True) -> Dict[str, Any]:
+    """Encode a full type (optionally with IL bodies) as plain data."""
+    return {
+        "full_name": info.full_name,
+        "kind": info.kind.value,
+        "element": ref_to_wire(info.element),
+        "guid": str(info.guid),
+        "assembly": info.assembly_name,
+        "language": info.language,
+        "download_path": info.download_path,
+        "superclass": ref_to_wire(info.superclass),
+        "interfaces": [ref_to_wire(r) for r in info.interfaces],
+        "fields": [_field_to_wire(f) for f in info.fields],
+        "methods": [
+            _method_to_wire(m, info.full_name, include_bodies) for m in info.methods
+        ],
+        "constructors": [
+            _ctor_to_wire(c, info.full_name, include_bodies) for c in info.constructors
+        ],
+    }
+
+
+def type_from_wire(data: Dict[str, Any]) -> TypeInfo:
+    """Decode a type, preserving its original identity."""
+    return TypeInfo(
+        data["full_name"],
+        kind=TypeKind(data["kind"]),
+        superclass=ref_from_wire(data.get("superclass")),
+        interfaces=[ref_from_wire(r) for r in data.get("interfaces", [])],
+        fields=[_field_from_wire(f) for f in data.get("fields", [])],
+        methods=[_method_from_wire(m) for m in data.get("methods", [])],
+        constructors=[_ctor_from_wire(c) for c in data.get("constructors", [])],
+        assembly_name=data.get("assembly", "default"),
+        language=data.get("language", "cts"),
+        download_path=data.get("download_path"),
+        guid=Guid.parse(data["guid"]),
+        element=ref_from_wire(data.get("element")),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+class Assembly:
+    """A named unit of code: types with executable bodies.
+
+    ``download_path`` is the address a :class:`~repro.net.codeserver.CodeRepository`
+    serves the assembly under — the string that travels inside object
+    envelopes so receivers know where to fetch code from.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        types: Sequence[TypeInfo],
+        version: str = "1.0.0",
+        download_path: Optional[str] = None,
+    ):
+        self.name = name
+        self.types = list(types)
+        self.version = version
+        self.download_path = download_path or "repo://%s/%s" % (name, version)
+        for info in self.types:
+            info.assembly_name = name
+            if info.download_path is None:
+                info.download_path = self.download_path
+        self._link_siblings()
+
+    def _link_siblings(self) -> None:
+        """Resolve intra-assembly type references (the "link" step).
+
+        A type's reference to a sibling declared in the same assembly is
+        bound eagerly, so descriptions built from these types carry the
+        sibling's identity and download path.
+        """
+        by_name = {info.full_name: info for info in self.types}
+
+        def link(ref: Optional[TypeRef]) -> None:
+            if ref is not None and not ref.is_resolved and ref.full_name in by_name:
+                ref.resolve_with(by_name[ref.full_name])
+
+        for info in self.types:
+            link(info.superclass)
+            for iface in info.interfaces:
+                link(iface)
+            for field in info.fields:
+                link(field.type_ref)
+            for method in info.methods:
+                link(method.return_type)
+                for param in method.parameters:
+                    link(param.type_ref)
+            for ctor in info.constructors:
+                for param in ctor.parameters:
+                    link(param.type_ref)
+
+    def type_names(self) -> List[str]:
+        return [t.full_name for t in self.types]
+
+    def find_type(self, full_name: str) -> Optional[TypeInfo]:
+        for info in self.types:
+            if info.full_name == full_name:
+                return info
+        return None
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "download_path": self.download_path,
+            "types": [type_to_wire(t, include_bodies=True) for t in self.types],
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Assembly":
+        return cls(
+            data["name"],
+            [type_from_wire(t) for t in data.get("types", [])],
+            version=data.get("version", "1.0.0"),
+            download_path=data.get("download_path"),
+        )
+
+    def __repr__(self) -> str:
+        return "Assembly(%s v%s, %d types)" % (self.name, self.version, len(self.types))

@@ -1,0 +1,189 @@
+"""Fluent programmatic construction of CTS types.
+
+Language frontends cover source-level authoring; :class:`TypeBuilder` covers
+programmatic authoring — handy in tests, benchmarks and anywhere a type must
+be synthesised (e.g. the scaling benchmarks generate families of types with
+M methods and F fields).
+
+Bodies may be IL (:class:`~repro.il.instructions.MethodBody`) or native
+Python callables of shape ``f(self_instance, *args)``.  Native bodies run
+fine locally but make the containing assembly non-serializable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from ..il.instructions import MethodBody
+from .members import (
+    ConstructorInfo,
+    FieldInfo,
+    MethodInfo,
+    Modifiers,
+    ParameterInfo,
+    TypeRef,
+    Visibility,
+)
+from .types import OBJECT, TypeInfo, TypeKind, lookup_builtin
+
+Body = Union[MethodBody, Callable[..., Any], None]
+
+
+def _as_ref(type_spec: Union[str, TypeInfo, TypeRef]) -> TypeRef:
+    if isinstance(type_spec, TypeRef):
+        return type_spec
+    if isinstance(type_spec, TypeInfo):
+        return TypeRef.to(type_spec)
+    builtin = lookup_builtin(type_spec)
+    if builtin is not None:
+        return TypeRef.to(builtin)
+    return TypeRef(type_spec)
+
+
+def _as_params(params: Sequence) -> List[ParameterInfo]:
+    out: List[ParameterInfo] = []
+    for index, spec in enumerate(params):
+        if isinstance(spec, ParameterInfo):
+            out.append(spec)
+        elif isinstance(spec, tuple):
+            name, type_spec = spec
+            out.append(ParameterInfo(name, _as_ref(type_spec)))
+        else:
+            out.append(ParameterInfo("arg%d" % index, _as_ref(spec)))
+    return out
+
+
+class TypeBuilder:
+    """Builds a :class:`TypeInfo` step by step.
+
+    Example::
+
+        person = (
+            TypeBuilder("demo.Person")
+            .field("name", "string", visibility="private")
+            .method("GetName", [], "string", body=lambda self: self.get_field("name"))
+            .method("SetName", [("n", "string")], "void",
+                    body=lambda self, n: self.set_field("name", n))
+            .ctor([("n", "string")], body=lambda self, n: self.set_field("name", n))
+            .build()
+        )
+    """
+
+    def __init__(
+        self,
+        full_name: str,
+        kind: TypeKind = TypeKind.CLASS,
+        assembly_name: str = "default",
+        language: str = "cts",
+    ):
+        self.full_name = full_name
+        self.kind = kind
+        self.assembly_name = assembly_name
+        self.language = language
+        self._superclass: Optional[TypeRef] = None
+        self._interfaces: List[TypeRef] = []
+        self._fields: List[FieldInfo] = []
+        self._methods: List[MethodInfo] = []
+        self._ctors: List[ConstructorInfo] = []
+
+    # -- heritage ------------------------------------------------------------
+
+    def extends(self, type_spec: Union[str, TypeInfo, TypeRef]) -> "TypeBuilder":
+        self._superclass = _as_ref(type_spec)
+        return self
+
+    def implements(self, *type_specs: Union[str, TypeInfo, TypeRef]) -> "TypeBuilder":
+        self._interfaces.extend(_as_ref(t) for t in type_specs)
+        return self
+
+    # -- members ------------------------------------------------------------
+
+    def field(
+        self,
+        name: str,
+        type_spec: Union[str, TypeInfo, TypeRef],
+        visibility: str = "public",
+        static: bool = False,
+    ) -> "TypeBuilder":
+        modifiers = Modifiers.STATIC if static else Modifiers.NONE
+        self._fields.append(
+            FieldInfo(name, _as_ref(type_spec), Visibility(visibility), modifiers)
+        )
+        return self
+
+    def method(
+        self,
+        name: str,
+        params: Sequence,
+        return_type: Union[str, TypeInfo, TypeRef] = "void",
+        body: Body = None,
+        visibility: str = "public",
+        static: bool = False,
+        abstract: bool = False,
+    ) -> "TypeBuilder":
+        modifiers = Modifiers.NONE
+        if static:
+            modifiers |= Modifiers.STATIC
+        if abstract:
+            modifiers |= Modifiers.ABSTRACT
+        self._methods.append(
+            MethodInfo(
+                name,
+                _as_params(params),
+                _as_ref(return_type),
+                visibility=Visibility(visibility),
+                modifiers=modifiers,
+                body=body,
+            )
+        )
+        return self
+
+    def getter(self, method_name: str, field_name: str,
+               type_spec: Union[str, TypeInfo, TypeRef]) -> "TypeBuilder":
+        """Shorthand for a field accessor with a native body."""
+        return self.method(
+            method_name, [], type_spec,
+            body=lambda self_obj: self_obj.get_field(field_name),
+        )
+
+    def setter(self, method_name: str, field_name: str,
+               type_spec: Union[str, TypeInfo, TypeRef]) -> "TypeBuilder":
+        """Shorthand for a field mutator with a native body."""
+        return self.method(
+            method_name, [("value", type_spec)], "void",
+            body=lambda self_obj, value: self_obj.set_field(field_name, value),
+        )
+
+    def ctor(
+        self,
+        params: Sequence,
+        body: Body = None,
+        visibility: str = "public",
+    ) -> "TypeBuilder":
+        self._ctors.append(
+            ConstructorInfo(_as_params(params), Visibility(visibility), body=body)
+        )
+        return self
+
+    # -- finalisation ------------------------------------------------------------
+
+    def build(self) -> TypeInfo:
+        superclass = self._superclass
+        if superclass is None and self.kind is TypeKind.CLASS:
+            superclass = TypeRef.to(OBJECT)
+        return TypeInfo(
+            self.full_name,
+            kind=self.kind,
+            superclass=superclass,
+            interfaces=self._interfaces,
+            fields=self._fields,
+            methods=self._methods,
+            constructors=self._ctors,
+            assembly_name=self.assembly_name,
+            language=self.language,
+        )
+
+
+def interface_builder(full_name: str, assembly_name: str = "default") -> TypeBuilder:
+    """A :class:`TypeBuilder` preconfigured for an interface."""
+    return TypeBuilder(full_name, kind=TypeKind.INTERFACE, assembly_name=assembly_name)

@@ -1,0 +1,80 @@
+"""Type identity: 128-bit globally unique identifiers for types.
+
+The paper relies on "the concept of type identity provided by the underlying
+platform. As a matter of example, .NET provides globally unique identifiers
+(GUID) of 128 bits long for types" (Section 5, footnote 5).
+
+We reproduce that concept with a :class:`Guid` value type.  Identities are
+*deterministic*: a GUID is derived from the assembly name, the full type name
+and a structural fingerprint, so the same declaration compiled on two peers
+yields the same identity — which is exactly what lets a receiver recognise
+"I have already seen this type" without a central authority.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class Guid:
+    """A 128-bit identifier, formatted like a .NET GUID.
+
+    Instances are immutable, hashable and comparable.  Construct with 16 raw
+    bytes, or use :meth:`from_name` / :meth:`parse`.
+    """
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self, raw: bytes):
+        if not isinstance(raw, bytes) or len(raw) != 16:
+            raise ValueError("Guid requires exactly 16 bytes, got %r" % (raw,))
+        self._bytes = raw
+
+    @classmethod
+    def from_name(cls, name: str) -> "Guid":
+        """Derive a deterministic GUID from an arbitrary string name."""
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        return cls(digest[:16])
+
+    @classmethod
+    def parse(cls, text: str) -> "Guid":
+        """Parse the canonical ``8-4-4-4-12`` hex representation."""
+        hexdigits = text.replace("-", "").strip().lower()
+        if len(hexdigits) != 32:
+            raise ValueError("not a GUID: %r" % (text,))
+        return cls(bytes.fromhex(hexdigits))
+
+    @property
+    def bytes(self) -> bytes:
+        return self._bytes
+
+    def __str__(self) -> str:
+        h = self._bytes.hex()
+        return "-".join((h[0:8], h[8:12], h[12:16], h[16:20], h[20:32]))
+
+    def __repr__(self) -> str:
+        return "Guid(%s)" % self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Guid):
+            return NotImplemented
+        return self._bytes == other._bytes
+
+    def __hash__(self) -> int:
+        return hash(self._bytes)
+
+    def __lt__(self, other: "Guid") -> bool:
+        if not isinstance(other, Guid):
+            return NotImplemented
+        return self._bytes < other._bytes
+
+
+def type_guid(assembly_name: str, full_name: str, fingerprint: str = "") -> Guid:
+    """Compute the identity of a type.
+
+    The identity binds the type to its assembly and its structure: two
+    declarations with the same name but different members get different
+    identities, which forces the conformance machinery (rather than identity
+    equality) to reconcile them — the behaviour the paper needs.
+    """
+    return Guid.from_name("cts-type:%s:%s:%s" % (assembly_name, full_name, fingerprint))

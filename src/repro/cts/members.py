@@ -1,0 +1,235 @@
+"""Member model of the common type system: fields, methods, constructors.
+
+These classes mirror the reflection surface the paper's conformance rules
+quantify over (Section 4.2): "the type name, the name of its supertypes, the
+name and the type of its fields and the signature of its methods".
+
+Members reference other types through :class:`TypeRef` so a member can be
+declared (and serialized as part of a ``TypeDescription``) before the types
+it mentions are locally available — the property that makes the optimistic
+transport protocol possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .identity import Guid
+    from .types import TypeInfo
+
+
+class Visibility(enum.Enum):
+    """Access modifier of a member."""
+
+    PUBLIC = "public"
+    PROTECTED = "protected"
+    PRIVATE = "private"
+    INTERNAL = "internal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Modifiers(enum.Flag):
+    """Non-access modifiers; the conformance rules require method modifiers
+    "to be the same" (rule iv), so we model them explicitly."""
+
+    NONE = 0
+    STATIC = enum.auto()
+    ABSTRACT = enum.auto()
+    FINAL = enum.auto()
+    VIRTUAL = enum.auto()
+
+    def tokens(self) -> List[str]:
+        names = []
+        for flag in (Modifiers.STATIC, Modifiers.ABSTRACT, Modifiers.FINAL, Modifiers.VIRTUAL):
+            if self & flag:
+                names.append(flag.name.lower())
+        return names
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[str]) -> "Modifiers":
+        value = cls.NONE
+        for token in tokens:
+            value |= cls[token.upper()]
+        return value
+
+
+class TypeRef:
+    """A by-name (and optionally by-identity) reference to a type.
+
+    A ``TypeRef`` may be *unresolved*: it then carries only a full name, an
+    optional GUID and an optional download path.  Resolution goes through a
+    resolver (local registry, description cache or the network) — see
+    ``repro.describe.resolver``.
+    """
+
+    __slots__ = ("full_name", "guid", "download_path", "_resolved")
+
+    def __init__(
+        self,
+        full_name: str,
+        guid: Optional["Guid"] = None,
+        download_path: Optional[str] = None,
+        resolved: Optional["TypeInfo"] = None,
+    ):
+        self.full_name = full_name
+        self.guid = guid
+        self.download_path = download_path
+        self._resolved = resolved
+
+    @classmethod
+    def to(cls, type_info: "TypeInfo") -> "TypeRef":
+        """Build a resolved reference to an in-memory type."""
+        return cls(
+            type_info.full_name,
+            guid=type_info.guid,
+            download_path=type_info.download_path,
+            resolved=type_info,
+        )
+
+    @property
+    def is_resolved(self) -> bool:
+        return self._resolved is not None
+
+    @property
+    def resolved(self) -> Optional["TypeInfo"]:
+        return self._resolved
+
+    def resolve_with(self, type_info: "TypeInfo") -> None:
+        self._resolved = type_info
+        if self.guid is None:
+            self.guid = type_info.guid
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeRef):
+            return NotImplemented
+        if self.guid is not None and other.guid is not None:
+            return self.guid == other.guid
+        return self.full_name == other.full_name
+
+    def __hash__(self) -> int:
+        return hash(self.full_name)
+
+    def __repr__(self) -> str:
+        state = "resolved" if self.is_resolved else "unresolved"
+        return "TypeRef(%r, %s)" % (self.full_name, state)
+
+
+class ParameterInfo:
+    """A formal parameter of a method or constructor."""
+
+    __slots__ = ("name", "type_ref")
+
+    def __init__(self, name: str, type_ref: TypeRef):
+        self.name = name
+        self.type_ref = type_ref
+
+    def __repr__(self) -> str:
+        return "ParameterInfo(%s: %s)" % (self.name, self.type_ref.full_name)
+
+
+class FieldInfo:
+    """A named, typed field (rule ii quantifies over these)."""
+
+    __slots__ = ("name", "type_ref", "visibility", "modifiers")
+
+    def __init__(
+        self,
+        name: str,
+        type_ref: TypeRef,
+        visibility: Visibility = Visibility.PUBLIC,
+        modifiers: Modifiers = Modifiers.NONE,
+    ):
+        self.name = name
+        self.type_ref = type_ref
+        self.visibility = visibility
+        self.modifiers = modifiers
+
+    def signature(self) -> str:
+        return "%s %s %s" % (self.visibility, self.type_ref.full_name, self.name)
+
+    def __repr__(self) -> str:
+        return "FieldInfo(%s)" % self.signature()
+
+
+class MethodInfo:
+    """A method signature plus (optionally) an executable IL body.
+
+    The body is *not* part of the signature: type descriptions strip it, and
+    the conformance rules never look at it (the paper explicitly scopes out
+    behavioural conformance).
+    """
+
+    __slots__ = ("name", "parameters", "return_type", "visibility", "modifiers", "body")
+
+    def __init__(
+        self,
+        name: str,
+        parameters: Sequence[ParameterInfo],
+        return_type: TypeRef,
+        visibility: Visibility = Visibility.PUBLIC,
+        modifiers: Modifiers = Modifiers.NONE,
+        body=None,
+    ):
+        self.name = name
+        self.parameters = list(parameters)
+        self.return_type = return_type
+        self.visibility = visibility
+        self.modifiers = modifiers
+        self.body = body
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    def parameter_type_names(self) -> List[str]:
+        return [p.type_ref.full_name for p in self.parameters]
+
+    def signature(self) -> str:
+        params = ", ".join(
+            "%s %s" % (p.type_ref.full_name, p.name) for p in self.parameters
+        )
+        mods = " ".join(self.modifiers.tokens())
+        head = "%s %s" % (self.visibility, mods) if mods else str(self.visibility)
+        return "%s %s %s(%s)" % (head, self.return_type.full_name, self.name, params)
+
+    def __repr__(self) -> str:
+        return "MethodInfo(%s)" % self.signature()
+
+
+class ConstructorInfo:
+    """A constructor: like a method, "except that there are no return values"
+    (rule v)."""
+
+    __slots__ = ("parameters", "visibility", "modifiers", "body")
+
+    def __init__(
+        self,
+        parameters: Sequence[ParameterInfo],
+        visibility: Visibility = Visibility.PUBLIC,
+        modifiers: Modifiers = Modifiers.NONE,
+        body=None,
+    ):
+        self.parameters = list(parameters)
+        self.visibility = visibility
+        self.modifiers = modifiers
+        self.body = body
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    def parameter_type_names(self) -> List[str]:
+        return [p.type_ref.full_name for p in self.parameters]
+
+    def signature(self) -> str:
+        params = ", ".join(
+            "%s %s" % (p.type_ref.full_name, p.name) for p in self.parameters
+        )
+        return "%s .ctor(%s)" % (self.visibility, params)
+
+    def __repr__(self) -> str:
+        return "ConstructorInfo(%s)" % self.signature()

@@ -1,0 +1,199 @@
+"""Bridge from live Python classes to the CTS.
+
+The paper builds type descriptions "by means of introspection" over .NET
+reflection; this module is the analogous facility for native Python classes:
+it derives a :class:`~repro.cts.types.TypeInfo` from a class via
+``inspect`` + type annotations, so ordinary Python objects can take part in
+conformance checks, pub/sub subscriptions and pass-by-reference remoting.
+
+Bridged types carry native bodies, so they cannot be shipped as assemblies
+(just like native code on a real platform); they can still be described,
+compared and proxied.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, Optional, Sequence, get_type_hints
+
+from .members import (
+    ConstructorInfo,
+    FieldInfo,
+    MethodInfo,
+    ParameterInfo,
+    TypeRef,
+    Visibility,
+)
+from .types import (
+    BOOL,
+    DOUBLE,
+    INT,
+    OBJECT,
+    STRING,
+    TypeInfo,
+    TypeKind,
+    VOID,
+)
+
+_PY_TO_CTS = {
+    int: INT,
+    float: DOUBLE,
+    str: STRING,
+    bool: BOOL,
+    type(None): VOID,
+}
+
+
+def _annotation_ref(annotation: Any) -> TypeRef:
+    if annotation is inspect.Signature.empty or annotation is None:
+        return TypeRef.to(OBJECT)
+    if annotation in _PY_TO_CTS:
+        return TypeRef.to(_PY_TO_CTS[annotation])
+    if isinstance(annotation, str):
+        simple = {"int": INT, "float": DOUBLE, "str": STRING, "bool": BOOL,
+                  "None": VOID}.get(annotation)
+        if simple is not None:
+            return TypeRef.to(simple)
+        return TypeRef(annotation)
+    if isinstance(annotation, type):
+        return TypeRef("python.%s" % annotation.__name__)
+    return TypeRef.to(OBJECT)
+
+
+def _method_params(func: Any) -> Sequence[ParameterInfo]:
+    try:
+        signature = inspect.signature(func)
+        hints = get_type_hints(func)
+    except (ValueError, TypeError, NameError):
+        return []
+    params = []
+    for name, param in signature.parameters.items():
+        if name in ("self", "cls"):
+            continue
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            continue
+        params.append(ParameterInfo(name, _annotation_ref(hints.get(name, param.annotation))))
+    return params
+
+
+def _return_ref(func: Any) -> TypeRef:
+    try:
+        hints = get_type_hints(func)
+    except (ValueError, TypeError, NameError):
+        hints = {}
+    annotation = hints.get("return", inspect.Signature.empty)
+    if annotation is type(None):
+        return TypeRef.to(VOID)
+    return _annotation_ref(annotation)
+
+
+def bridge_class(
+    cls: type,
+    full_name: Optional[str] = None,
+    assembly_name: str = "python",
+    field_types: Optional[Dict[str, Any]] = None,
+) -> TypeInfo:
+    """Derive a :class:`TypeInfo` from a live Python class.
+
+    Fields come from class-level annotations (``name: str``) plus any
+    explicit ``field_types`` overrides.  Methods come from public callables;
+    ``__init__`` becomes the constructor.  Leading-underscore members map to
+    private visibility and are excluded, matching the rules' focus on the
+    public surface.
+    """
+    name = full_name or "python.%s" % cls.__name__
+
+    fields = []
+    annotations: Dict[str, Any] = {}
+    for klass in reversed(cls.__mro__):
+        annotations.update(getattr(klass, "__annotations__", {}))
+    if field_types:
+        annotations.update(field_types)
+    for fname, annotation in annotations.items():
+        visibility = Visibility.PRIVATE if fname.startswith("_") else Visibility.PUBLIC
+        fields.append(FieldInfo(fname.lstrip("_"), _annotation_ref(annotation), visibility))
+
+    methods = []
+    for mname, func in inspect.getmembers(cls, predicate=callable):
+        if mname.startswith("_"):
+            continue
+        underlying = getattr(func, "__func__", func)
+
+        def make_body(method_name: str):
+            def body(self_obj: Any, *args: Any) -> Any:
+                return getattr(self_obj, method_name)(*args)
+            return body
+
+        methods.append(
+            MethodInfo(
+                mname,
+                _method_params(underlying),
+                _return_ref(underlying),
+                visibility=Visibility.PUBLIC,
+                body=make_body(mname),
+            )
+        )
+
+    ctors = []
+    init = cls.__dict__.get("__init__")
+    if init is not None:
+        ctors.append(
+            ConstructorInfo(
+                _method_params(init),
+                Visibility.PUBLIC,
+                body=lambda self_obj, *args: None,  # construction happens natively
+            )
+        )
+
+    bases = [b for b in cls.__bases__ if b is not object]
+    superclass = (
+        TypeRef("python.%s" % bases[0].__name__) if bases else TypeRef.to(OBJECT)
+    )
+
+    return TypeInfo(
+        name,
+        kind=TypeKind.CLASS,
+        superclass=superclass,
+        fields=fields,
+        methods=methods,
+        constructors=ctors,
+        assembly_name=assembly_name,
+        language="python",
+    )
+
+
+class BridgedInstance:
+    """Adapter giving a native Python object the ``_repro_invoke`` protocol.
+
+    Wrap a Python object in this to let IL code, dynamic proxies and the
+    remoting layer treat it uniformly with :class:`CtsInstance`.
+    """
+
+    __slots__ = ("target", "type_info")
+
+    def __init__(self, target: Any, type_info: Optional[TypeInfo] = None):
+        self.target = target
+        self.type_info = type_info if type_info is not None else bridge_class(type(target))
+
+    def _repro_invoke(self, method_name: str, args: Sequence[Any]) -> Any:
+        return getattr(self.target, method_name)(*args)
+
+    def _repro_type(self) -> TypeInfo:
+        return self.type_info
+
+    def get_field(self, name: str) -> Any:
+        if hasattr(self.target, name):
+            return getattr(self.target, name)
+        return getattr(self.target, "_" + name)
+
+    def set_field(self, name: str, value: Any) -> None:
+        if hasattr(self.target, name):
+            setattr(self.target, name, value)
+        else:
+            setattr(self.target, "_" + name, value)
+
+    def invoke(self, method_name: str, *args: Any) -> Any:
+        return self._repro_invoke(method_name, args)
+
+    def __repr__(self) -> str:
+        return "BridgedInstance(%r as %s)" % (self.target, self.type_info.full_name)

@@ -1,0 +1,139 @@
+"""Type registry: the per-peer catalogue of locally known types.
+
+Every peer in the distributed system owns a registry; the optimistic
+transport protocol consults it to decide whether a received object's type is
+already known (no description fetch needed) or not (fetch description, check
+conformance, maybe fetch the assembly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .identity import Guid
+from .members import TypeRef
+from .types import BUILTINS, TypeInfo, lookup_builtin
+
+
+class TypeNotFoundError(KeyError):
+    """Raised when a type cannot be resolved locally."""
+
+
+class DuplicateTypeError(ValueError):
+    """Raised when registering a name that is already bound to a different type."""
+
+
+class TypeRegistry:
+    """Maps full names and GUIDs to :class:`TypeInfo`.
+
+    The registry is pre-populated with the CTS builtins so that primitive
+    type references always resolve locally (the paper's descriptions never
+    ship primitive definitions either).
+    """
+
+    def __init__(self, include_builtins: bool = True):
+        self._by_name: Dict[str, TypeInfo] = {}
+        self._by_guid: Dict[Guid, TypeInfo] = {}
+        if include_builtins:
+            for info in BUILTINS.values():
+                self._register(info)
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, info: TypeInfo) -> None:
+        self._by_name[info.full_name] = info
+        self._by_guid[info.guid] = info
+
+    def register(self, info: TypeInfo, replace: bool = False,
+                 shadow: bool = False) -> TypeInfo:
+        """Register a type.
+
+        ``shadow=True`` permits coexisting *versions*: a second type with
+        the same full name but a different identity is recorded under its
+        GUID only (name lookups keep resolving to the first registration).
+        This is how a peer holds V1 and V2 of a module simultaneously —
+        GUID-bearing references always find the right one.
+        """
+        existing = self._by_name.get(info.full_name)
+        if existing is not None and not replace:
+            if existing.guid == info.guid:
+                return existing
+            if shadow:
+                self._by_guid[info.guid] = info
+                return info
+            raise DuplicateTypeError(
+                "type %r already registered with a different identity"
+                % info.full_name
+            )
+        self._register(info)
+        return info
+
+    def register_all(self, infos: Iterable[TypeInfo], replace: bool = False) -> None:
+        for info in infos:
+            self.register(info, replace=replace)
+
+    # -- lookup --------------------------------------------------------------
+
+    def contains_name(self, full_name: str) -> bool:
+        return full_name in self._by_name or lookup_builtin(full_name) is not None
+
+    def contains_guid(self, guid: Guid) -> bool:
+        return guid in self._by_guid
+
+    def get(self, full_name: str) -> Optional[TypeInfo]:
+        info = self._by_name.get(full_name)
+        if info is None and full_name.endswith("[]"):
+            element = self.get(full_name[:-2])
+            if element is not None:
+                from .types import array_of
+
+                return array_of(element)
+        if info is None:
+            info = lookup_builtin(full_name)
+        return info
+
+    def require(self, full_name: str) -> TypeInfo:
+        info = self.get(full_name)
+        if info is None:
+            raise TypeNotFoundError(full_name)
+        return info
+
+    def get_by_guid(self, guid: Guid) -> Optional[TypeInfo]:
+        return self._by_guid.get(guid)
+
+    def resolve(self, ref: TypeRef) -> TypeInfo:
+        """Resolve a :class:`TypeRef` against local knowledge.
+
+        Resolution order follows identity first (GUIDs are globally unique),
+        then name.  The ref is memoised in place on success.
+        """
+        if ref.is_resolved:
+            return ref.resolved  # type: ignore[return-value]
+        if ref.guid is not None:
+            info = self._by_guid.get(ref.guid)
+            if info is not None:
+                ref.resolve_with(info)
+                return info
+        info = self.get(ref.full_name)
+        if info is None:
+            raise TypeNotFoundError(ref.full_name)
+        ref.resolve_with(info)
+        return info
+
+    def try_resolve(self, ref: TypeRef) -> Optional[TypeInfo]:
+        try:
+            return self.resolve(ref)
+        except TypeNotFoundError:
+            return None
+
+    # -- iteration -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[TypeInfo]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def user_types(self) -> List[TypeInfo]:
+        """All registered non-builtin types."""
+        return [t for t in self._by_name.values() if t.full_name not in BUILTINS]

@@ -1,0 +1,24 @@
+"""Type representation (paper Section 5): descriptions, XML codec, caching."""
+
+from .cache import DescriptionCache
+from .description import ITypeDescription, TypeDescription, describe
+from .resolver import DescriptionResolver, FetchHook
+from .xml_codec import (
+    XmlCodecError,
+    deserialize_description,
+    serialize_description,
+    serialize_description_bytes,
+)
+
+__all__ = [
+    "DescriptionCache",
+    "DescriptionResolver",
+    "FetchHook",
+    "ITypeDescription",
+    "TypeDescription",
+    "XmlCodecError",
+    "describe",
+    "deserialize_description",
+    "serialize_description",
+    "serialize_description_bytes",
+]

@@ -1,0 +1,64 @@
+"""Description cache.
+
+"A subtype description might already be available at the receiver side, so
+there is no need to transport redundant information" (Section 5.2) — this
+cache is that receiver-side store.  It is keyed by both GUID and full name,
+and counts hits/misses so the transport benchmarks can report how much
+traffic caching saved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cts.identity import Guid
+from .description import TypeDescription
+
+
+class DescriptionCache:
+    def __init__(self):
+        self._by_guid: Dict[Guid, TypeDescription] = {}
+        self._by_name: Dict[str, TypeDescription] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, description: TypeDescription) -> None:
+        self._by_guid[description.guid()] = description
+        self._by_name[description.type_name()] = description
+
+    def get_by_guid(self, guid: Guid) -> Optional[TypeDescription]:
+        description = self._by_guid.get(guid)
+        if description is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return description
+
+    def get_by_name(self, full_name: str) -> Optional[TypeDescription]:
+        description = self._by_name.get(full_name)
+        if description is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return description
+
+    def contains_name(self, full_name: str) -> bool:
+        return full_name in self._by_name
+
+    def contains_guid(self, guid: Guid) -> bool:
+        return guid in self._by_guid
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_guid)
+
+    def clear(self) -> None:
+        self._by_guid.clear()
+        self._by_name.clear()
+
+    def __repr__(self) -> str:
+        return "DescriptionCache(%d entries, %d hits, %d misses)" % (
+            len(self), self.hits, self.misses,
+        )

@@ -1,0 +1,156 @@
+"""Type descriptions (paper Section 5).
+
+A :class:`TypeDescription` is the transferable, implementation-free view of
+a type: "its fields, methods including the arguments of the methods,
+constructors, etc."  Crucially it is **non-recursive** — types referenced by
+members appear as (name, GUID, download path) triples, not embedded
+descriptions — "(1) for saving time during the creation of the XML message
+and (2) for keeping this message small".
+
+``ITypeDescription`` defines the surface the paper names explicitly,
+including the two test methods ``equals()`` and ``conforms()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..cts.assembly import type_from_wire, type_to_wire
+from ..cts.identity import Guid
+from ..cts.types import TypeInfo
+
+
+class ITypeDescription:
+    """Interface of type descriptions (paper: ``ITypeDescription``)."""
+
+    def type_name(self) -> str:
+        raise NotImplementedError
+
+    def guid(self) -> Guid:
+        raise NotImplementedError
+
+    def equals(self, other: "ITypeDescription") -> bool:
+        raise NotImplementedError
+
+    def conforms(self, expected: "ITypeDescription", checker) -> bool:
+        raise NotImplementedError
+
+
+class TypeDescription(ITypeDescription):
+    """Concrete description built by introspection over a CTS type.
+
+    Internally the description holds the body-free wire form of the type;
+    :meth:`to_type_info` reconstructs a skeletal :class:`TypeInfo` (same
+    identity, no executable bodies) that the conformance checker consumes
+    directly — checking conformance never requires the implementation.
+    """
+
+    def __init__(self, wire: Dict[str, Any]):
+        self._wire = wire
+        self._cached_info: Optional[TypeInfo] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_type_info(cls, info: TypeInfo) -> "TypeDescription":
+        """Introspect a type into its description (bodies stripped)."""
+        return cls(type_to_wire(info, include_bodies=False))
+
+    # -- ITypeDescription ------------------------------------------------------
+
+    def type_name(self) -> str:
+        return self._wire["full_name"]
+
+    def guid(self) -> Guid:
+        return Guid.parse(self._wire["guid"])
+
+    def equals(self, other: ITypeDescription) -> bool:
+        """Identity equality (paper definition 2)."""
+        return self.guid() == other.guid()
+
+    def conforms(self, expected: ITypeDescription, checker) -> bool:
+        """Implicit structural conformance of self against ``expected``.
+
+        ``checker`` is a :class:`~repro.core.rules.ConformanceChecker`; the
+        skeletal type infos carry enough structure for every rule aspect.
+        """
+        if not isinstance(expected, TypeDescription):
+            raise TypeError("can only compare against TypeDescription")
+        return checker.conforms(self.to_type_info(), expected.to_type_info()).ok
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def wire(self) -> Dict[str, Any]:
+        return self._wire
+
+    @property
+    def assembly_name(self) -> str:
+        return self._wire.get("assembly", "default")
+
+    @property
+    def download_path(self) -> Optional[str]:
+        return self._wire.get("download_path")
+
+    @property
+    def language(self) -> str:
+        return self._wire.get("language", "cts")
+
+    def referenced_types(self) -> Dict[str, Optional[str]]:
+        """Names of member-referenced types mapped to their download paths.
+
+        This is what a receiver walks to decide which further descriptions
+        to fetch when a nested check cannot be answered locally.
+        """
+        out: Dict[str, Optional[str]] = {}
+
+        def visit(ref: Optional[Dict[str, Any]]) -> None:
+            if ref is not None and ref["name"] not in out:
+                out[ref["name"]] = ref.get("path")
+
+        visit(self._wire.get("superclass"))
+        for iface in self._wire.get("interfaces", []):
+            visit(iface)
+        for field in self._wire.get("fields", []):
+            visit(field["type"])
+        for method in self._wire.get("methods", []):
+            visit(method["return"])
+            for param in method.get("params", []):
+                visit(param["type"])
+        for ctor in self._wire.get("constructors", []):
+            for param in ctor.get("params", []):
+                visit(param["type"])
+        return out
+
+    def to_type_info(self) -> TypeInfo:
+        """Reconstruct a skeletal (body-free) :class:`TypeInfo`."""
+        if self._cached_info is None:
+            self._cached_info = type_from_wire(self._wire)
+        return self._cached_info
+
+    def member_counts(self) -> Dict[str, int]:
+        return {
+            "fields": len(self._wire.get("fields", [])),
+            "methods": len(self._wire.get("methods", [])),
+            "constructors": len(self._wire.get("constructors", [])),
+            "interfaces": len(self._wire.get("interfaces", [])),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeDescription):
+            return NotImplemented
+        return self._wire == other._wire
+
+    def __hash__(self) -> int:
+        return hash(self._wire["guid"])
+
+    def __repr__(self) -> str:
+        counts = self.member_counts()
+        return "TypeDescription(%s: %d fields, %d methods, %d ctors)" % (
+            self.type_name(), counts["fields"], counts["methods"], counts["constructors"],
+        )
+
+
+def describe(info: TypeInfo) -> TypeDescription:
+    """Convenience alias for :meth:`TypeDescription.from_type_info`."""
+    return TypeDescription.from_type_info(info)

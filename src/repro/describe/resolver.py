@@ -1,0 +1,81 @@
+"""Layered type resolution for conformance checking.
+
+The conformance rules recurse into member types; a receiver may know such a
+type (a) as a loaded local type, (b) as a cached description, or (c) not at
+all — in which case the optimistic protocol can fetch the description over
+the network.  :class:`DescriptionResolver` layers these three sources behind
+the single ``try_resolve`` surface the checker consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cts.members import TypeRef
+from ..cts.registry import TypeRegistry
+from ..cts.types import TypeInfo
+from .cache import DescriptionCache
+from .description import TypeDescription
+
+#: Signature of the network fetch hook: given a type full name and an
+#: optional download path, return the description or None.  The transport
+#: layer installs one of these; it charges bytes to the simulated network.
+FetchHook = Callable[[str, Optional[str]], Optional[TypeDescription]]
+
+
+class DescriptionResolver:
+    def __init__(
+        self,
+        registry: Optional[TypeRegistry] = None,
+        cache: Optional[DescriptionCache] = None,
+        fetch: Optional[FetchHook] = None,
+    ):
+        self.registry = registry if registry is not None else TypeRegistry()
+        self.cache = cache if cache is not None else DescriptionCache()
+        self.fetch = fetch
+        self.fetches = 0
+
+    def try_resolve(self, ref: TypeRef) -> Optional[TypeInfo]:
+        if ref.is_resolved:
+            return ref.resolved
+
+        # (a) locally loaded type
+        local = None
+        if ref.guid is not None:
+            local = self.registry.get_by_guid(ref.guid)
+        if local is None:
+            local = self.registry.get(ref.full_name)
+        if local is not None:
+            ref.resolve_with(local)
+            return local
+
+        # (b) cached description
+        description = None
+        if ref.guid is not None and self.cache.contains_guid(ref.guid):
+            description = self.cache.get_by_guid(ref.guid)
+        elif self.cache.contains_name(ref.full_name):
+            description = self.cache.get_by_name(ref.full_name)
+        if description is not None:
+            info = description.to_type_info()
+            ref.resolve_with(info)
+            return info
+
+        # (c) remote fetch
+        if self.fetch is not None:
+            self.fetches += 1
+            fetched = self.fetch(ref.full_name, ref.download_path)
+            if fetched is not None:
+                self.cache.put(fetched)
+                info = fetched.to_type_info()
+                ref.resolve_with(info)
+                return info
+        return None
+
+    def learn(self, description: TypeDescription) -> None:
+        """Record a description obtained out of band (e.g. pushed by a peer)."""
+        self.cache.put(description)
+
+    def __repr__(self) -> str:
+        return "DescriptionResolver(registry=%d types, cache=%d, fetches=%d)" % (
+            len(self.registry), len(self.cache), self.fetches,
+        )

@@ -1,0 +1,154 @@
+"""Reference types used throughout the paper, tests and benchmarks.
+
+Section 3.1's running example: "Consider a type Person with a field name.
+A first programmer can implement this type with a setter method named
+setName() and a getter method named getName().  Another programmer can
+implement the same type with the following setter and getter respectively:
+setPersonName() and getPersonName()."
+
+This module provides those two Person types (authored in two different
+surface languages, as the paper's scenario implies), a VB flavour, a richer
+``Employee``/``Address`` pair for nested-type scenarios, and helpers to
+bundle them into assemblies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .cts.assembly import Assembly
+from .cts.types import TypeInfo
+from .langs.csharp import compile_source as compile_csharp
+from .langs.java import compile_source as compile_java
+from .langs.vb import compile_source as compile_vb
+
+#: The first programmer's Person (C#-like, get/set accessors).
+PERSON_CSHARP_SOURCE = """
+class Person {
+    private string name;
+    public Person(string n) { this.name = n; }
+    public string GetName() { return this.name; }
+    public void SetName(string n) { this.name = n; }
+}
+"""
+
+#: The second programmer's Person (Java-like, getPersonName/setPersonName).
+PERSON_JAVA_SOURCE = """
+class Person {
+    private String name;
+    public Person(String n) { this.name = n; }
+    public String getPersonName() { return this.name; }
+    public void setPersonName(String n) { this.name = n; }
+}
+"""
+
+#: A third flavour (VB-like) of the same module.
+PERSON_VB_SOURCE = """
+Class Person
+    Private name As String
+    Public Sub New(n As String)
+        Me.name = n
+    End Sub
+    Public Function GetName() As String
+        Return Me.name
+    End Function
+    Public Sub SetName(n As String)
+        Me.name = n
+    End Sub
+End Class
+"""
+
+#: A structurally different type that must NOT conform to Person.
+ACCOUNT_CSHARP_SOURCE = """
+class Account {
+    private string owner;
+    private int balance;
+    public Account(string o, int b) { this.owner = o; this.balance = b; }
+    public string GetOwner() { return this.owner; }
+    public int GetBalance() { return this.balance; }
+    public void Deposit(int amount) { this.balance = this.balance + amount; }
+}
+"""
+
+#: Nested types: Employee holds an Address — exercises rule recursion,
+#: non-recursive descriptions and multi-type code download.
+EMPLOYEE_CSHARP_SOURCE = """
+class Address {
+    private string street;
+    private string city;
+    public Address(string s, string c) { this.street = s; this.city = c; }
+    public string GetStreet() { return this.street; }
+    public string GetCity() { return this.city; }
+}
+
+class Employee {
+    private string name;
+    private demo.a.Address address;
+    public Employee(string n, demo.a.Address a) { this.name = n; this.address = a; }
+    public string GetName() { return this.name; }
+    public demo.a.Address GetAddress() { return this.address; }
+}
+"""
+
+EMPLOYEE_JAVA_SOURCE = """
+class Address {
+    private String street;
+    private String city;
+    public Address(String s, String c) { this.street = s; this.city = c; }
+    public String getStreet() { return this.street; }
+    public String getCity() { return this.city; }
+}
+
+class Employee {
+    private String name;
+    private demo.b.Address address;
+    public Employee(String n, demo.b.Address a) { this.name = n; this.address = a; }
+    public String getName() { return this.name; }
+    public demo.b.Address getAddress() { return this.address; }
+}
+"""
+
+
+def person_csharp(namespace: str = "demo.a", assembly_name: str = "person-a") -> TypeInfo:
+    return compile_csharp(PERSON_CSHARP_SOURCE, namespace=namespace,
+                          assembly_name=assembly_name)[0]
+
+
+def person_java(namespace: str = "demo.b", assembly_name: str = "person-b") -> TypeInfo:
+    return compile_java(PERSON_JAVA_SOURCE, namespace=namespace,
+                        assembly_name=assembly_name)[0]
+
+
+def person_vb(namespace: str = "demo.c", assembly_name: str = "person-c") -> TypeInfo:
+    return compile_vb(PERSON_VB_SOURCE, namespace=namespace,
+                      assembly_name=assembly_name)[0]
+
+
+def account_csharp(namespace: str = "demo.bank", assembly_name: str = "bank") -> TypeInfo:
+    return compile_csharp(ACCOUNT_CSHARP_SOURCE, namespace=namespace,
+                          assembly_name=assembly_name)[0]
+
+
+def employee_csharp(namespace: str = "demo.a", assembly_name: str = "hr-a") -> List[TypeInfo]:
+    return compile_csharp(EMPLOYEE_CSHARP_SOURCE, namespace=namespace,
+                          assembly_name=assembly_name)
+
+
+def employee_java(namespace: str = "demo.b", assembly_name: str = "hr-b") -> List[TypeInfo]:
+    return compile_java(EMPLOYEE_JAVA_SOURCE, namespace=namespace,
+                        assembly_name=assembly_name)
+
+
+def person_assembly_pair() -> Tuple[Assembly, Assembly]:
+    """Two assemblies, each holding one programmer's Person."""
+    return (
+        Assembly("person-a", [person_csharp()]),
+        Assembly("person-b", [person_java()]),
+    )
+
+
+def employee_assembly_pair() -> Tuple[Assembly, Assembly]:
+    return (
+        Assembly("hr-a", employee_csharp()),
+        Assembly("hr-b", employee_java()),
+    )

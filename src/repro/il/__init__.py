@@ -1,0 +1,31 @@
+"""Common intermediate language: instruction set and interpreter."""
+
+from .instructions import (
+    BINARY_OPERATORS,
+    BodyBuilder,
+    Instr,
+    MethodBody,
+    Op,
+    UNARY_OPERATORS,
+)
+from .interp import (
+    ExecutionEnvironment,
+    IlError,
+    IlLimitExceeded,
+    IlRuntimeError,
+    Interpreter,
+)
+
+__all__ = [
+    "BINARY_OPERATORS",
+    "BodyBuilder",
+    "ExecutionEnvironment",
+    "IlError",
+    "IlLimitExceeded",
+    "IlRuntimeError",
+    "Instr",
+    "Interpreter",
+    "MethodBody",
+    "Op",
+    "UNARY_OPERATORS",
+]

@@ -1,0 +1,199 @@
+"""Instruction set of the common intermediate language.
+
+The paper's platform compiles C#, VB.NET, etc. into one intermediate
+language executed by the CLR; this gives it language interoperability
+"underneath" type interoperability.  We reproduce that layer with a small
+stack machine: every language frontend in ``repro.langs`` compiles method
+bodies down to these instructions, and ``repro.runtime`` executes them.
+
+The instruction set is deliberately compact but complete enough for the
+kinds of types the paper exchanges (accessors, arithmetic, conditionals,
+loops, object construction and method calls).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+class Op(enum.Enum):
+    """Opcodes of the stack machine."""
+
+    PUSH_CONST = "push_const"     # arg: literal (int/float/str/bool/None)
+    LOAD_ARG = "load_arg"         # arg: argument index
+    LOAD_LOCAL = "load_local"     # arg: local slot index
+    STORE_LOCAL = "store_local"   # arg: local slot index
+    LOAD_SELF = "load_self"       # arg: None
+    GET_FIELD = "get_field"       # arg: field name; pops receiver
+    SET_FIELD = "set_field"       # arg: field name; pops value, receiver
+    CALL_METHOD = "call_method"   # arg: (method name, argc); pops args then receiver
+    NEW = "new"                   # arg: (type full name, argc); pops args
+    BIN_OP = "bin_op"             # arg: operator token; pops rhs, lhs
+    UN_OP = "un_op"               # arg: operator token; pops operand
+    NEW_LIST = "new_list"         # arg: element count; pops elements
+    INDEX_GET = "index_get"       # arg: None; pops index, receiver
+    INDEX_SET = "index_set"       # arg: None; pops value, index, receiver
+    LIST_LEN = "list_len"         # arg: None; pops receiver
+    JUMP = "jump"                 # arg: absolute target pc
+    JUMP_IF_FALSE = "jump_if_false"  # arg: absolute target pc; pops condition
+    POP = "pop"                   # arg: None
+    DUP = "dup"                   # arg: None
+    RETURN = "return"             # arg: None; pops return value
+    RETURN_VOID = "return_void"   # arg: None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Binary operator tokens understood by :data:`Op.BIN_OP`.
+BINARY_OPERATORS = (
+    "+", "-", "*", "/", "%",
+    "==", "!=", "<", "<=", ">", ">=",
+    "&&", "||", "&",
+)
+
+#: Unary operator tokens understood by :data:`Op.UN_OP`.
+UNARY_OPERATORS = ("-", "!")
+
+
+class Instr:
+    """One instruction: an opcode and an optional immediate argument."""
+
+    __slots__ = ("op", "arg")
+
+    def __init__(self, op: Op, arg: Any = None):
+        self.op = op
+        self.arg = arg
+
+    def __repr__(self) -> str:
+        if self.arg is None:
+            return "Instr(%s)" % self.op
+        return "Instr(%s, %r)" % (self.op, self.arg)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instr):
+            return NotImplemented
+        return self.op is other.op and self.arg == other.arg
+
+    def __hash__(self) -> int:
+        return hash((self.op, repr(self.arg)))
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_tuple(self) -> List[Any]:
+        """Wire form: a plain 2-element list (tuples are not serializable)."""
+        arg = self.arg
+        if isinstance(arg, tuple):
+            arg = list(arg)
+        return [self.op.value, arg]
+
+    @classmethod
+    def from_tuple(cls, data: Sequence[Any]) -> "Instr":
+        op = Op(data[0])
+        arg = data[1]
+        if op in (Op.CALL_METHOD, Op.NEW) and isinstance(arg, list):
+            arg = (arg[0], arg[1])
+        return cls(op, arg)
+
+
+class MethodBody:
+    """An executable method body: instructions plus a local-variable count.
+
+    This is what "the code" of a type means in the reproduction — assemblies
+    carry :class:`MethodBody` objects, and downloading code over the
+    optimistic protocol transfers their wire form.
+    """
+
+    __slots__ = ("instructions", "n_locals", "local_names")
+
+    def __init__(
+        self,
+        instructions: Sequence[Instr],
+        n_locals: int = 0,
+        local_names: Optional[Sequence[str]] = None,
+    ):
+        self.instructions = list(instructions)
+        self.n_locals = n_locals
+        self.local_names = list(local_names) if local_names is not None else []
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return "MethodBody(%d instrs, %d locals)" % (len(self.instructions), self.n_locals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MethodBody):
+            return NotImplemented
+        return (
+            self.instructions == other.instructions
+            and self.n_locals == other.n_locals
+        )
+
+    def disassemble(self) -> str:
+        lines = []
+        for pc, instr in enumerate(self.instructions):
+            if instr.arg is None:
+                lines.append("%4d  %s" % (pc, instr.op.value))
+            else:
+                lines.append("%4d  %-14s %r" % (pc, instr.op.value, instr.arg))
+        return "\n".join(lines)
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "instructions": [i.to_tuple() for i in self.instructions],
+            "n_locals": self.n_locals,
+            "local_names": list(self.local_names),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "MethodBody":
+        return cls(
+            [Instr.from_tuple(t) for t in data["instructions"]],
+            n_locals=data.get("n_locals", 0),
+            local_names=data.get("local_names", []),
+        )
+
+
+class BodyBuilder:
+    """Convenience emitter used by the compiler in ``repro.langs``."""
+
+    def __init__(self):
+        self._instructions: List[Instr] = []
+        self._local_names: List[str] = []
+
+    def emit(self, op: Op, arg: Any = None) -> int:
+        """Append an instruction; returns its pc (useful for patching jumps)."""
+        self._instructions.append(Instr(op, arg))
+        return len(self._instructions) - 1
+
+    def patch(self, pc: int, target: int) -> None:
+        """Set the jump target of a previously emitted jump instruction."""
+        instr = self._instructions[pc]
+        if instr.op not in (Op.JUMP, Op.JUMP_IF_FALSE):
+            raise ValueError("cannot patch non-jump instruction at %d" % pc)
+        instr.arg = target
+
+    @property
+    def next_pc(self) -> int:
+        return len(self._instructions)
+
+    def local_slot(self, name: str) -> int:
+        """Slot index for a named local, allocating on first use."""
+        try:
+            return self._local_names.index(name)
+        except ValueError:
+            self._local_names.append(name)
+            return len(self._local_names) - 1
+
+    def has_local(self, name: str) -> bool:
+        return name in self._local_names
+
+    def build(self) -> MethodBody:
+        instrs = list(self._instructions)
+        if not instrs or instrs[-1].op not in (Op.RETURN, Op.RETURN_VOID):
+            instrs.append(Instr(Op.RETURN_VOID))
+        return MethodBody(instrs, n_locals=len(self._local_names), local_names=self._local_names)

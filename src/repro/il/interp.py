@@ -1,0 +1,237 @@
+"""Interpreter for the common intermediate language.
+
+The interpreter is intentionally environment-parameterised: it never imports
+the runtime object model.  Instead the caller supplies an
+:class:`ExecutionEnvironment` that knows how to read/write fields, dispatch
+method calls and construct objects.  ``repro.runtime.loader`` provides the
+production environment; tests can supply minimal fakes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from .instructions import Instr, MethodBody, Op
+
+
+class IlError(Exception):
+    """Base class for interpreter failures."""
+
+
+class IlRuntimeError(IlError):
+    """A well-formed program performed an illegal operation."""
+
+
+class IlLimitExceeded(IlError):
+    """The per-invocation instruction budget was exhausted (runaway loop)."""
+
+
+class ExecutionEnvironment:
+    """Services the interpreter needs from the surrounding runtime."""
+
+    def get_field(self, receiver: Any, name: str) -> Any:
+        raise NotImplementedError
+
+    def set_field(self, receiver: Any, name: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def call_method(self, receiver: Any, name: str, args: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+    def new_instance(self, type_name: str, args: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+
+def _binary(op: str, lhs: Any, rhs: Any) -> Any:
+    if op == "&":
+        return _stringify(lhs) + _stringify(rhs)
+    if op == "+":
+        if isinstance(lhs, str) or isinstance(rhs, str):
+            return _stringify(lhs) + _stringify(rhs)
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            if rhs == 0:
+                raise IlRuntimeError("integer division by zero")
+            quotient = abs(lhs) // abs(rhs)
+            return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+        return lhs / rhs
+    if op == "%":
+        if rhs == 0:
+            raise IlRuntimeError("modulo by zero")
+        remainder = abs(lhs) % abs(rhs)
+        return remainder if lhs >= 0 else -remainder
+    if op == "==":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    if op == "&&":
+        return bool(lhs) and bool(rhs)
+    if op == "||":
+        return bool(lhs) or bool(rhs)
+    raise IlRuntimeError("unknown binary operator %r" % op)
+
+
+def _stringify(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _unary(op: str, operand: Any) -> Any:
+    if op == "-":
+        return -operand
+    if op == "!":
+        return not operand
+    raise IlRuntimeError("unknown unary operator %r" % op)
+
+
+class Interpreter:
+    """Executes :class:`MethodBody` objects against an environment."""
+
+    def __init__(self, env: ExecutionEnvironment, max_steps: int = 1_000_000):
+        self.env = env
+        self.max_steps = max_steps
+
+    def execute(self, body: MethodBody, self_obj: Any, args: Sequence[Any]) -> Any:
+        stack: List[Any] = []
+        locals_: List[Any] = [None] * max(body.n_locals, 0)
+        instructions = body.instructions
+        n = len(instructions)
+        pc = 0
+        steps = 0
+        while pc < n:
+            steps += 1
+            if steps > self.max_steps:
+                raise IlLimitExceeded(
+                    "method exceeded %d instruction steps" % self.max_steps
+                )
+            instr = instructions[pc]
+            op = instr.op
+            pc += 1
+            if op is Op.PUSH_CONST:
+                stack.append(instr.arg)
+            elif op is Op.LOAD_ARG:
+                try:
+                    stack.append(args[instr.arg])
+                except IndexError:
+                    raise IlRuntimeError(
+                        "argument index %r out of range (got %d args)"
+                        % (instr.arg, len(args))
+                    )
+            elif op is Op.LOAD_LOCAL:
+                stack.append(locals_[instr.arg])
+            elif op is Op.STORE_LOCAL:
+                locals_[instr.arg] = stack.pop()
+            elif op is Op.LOAD_SELF:
+                stack.append(self_obj)
+            elif op is Op.GET_FIELD:
+                receiver = stack.pop()
+                stack.append(self.env.get_field(receiver, instr.arg))
+            elif op is Op.SET_FIELD:
+                value = stack.pop()
+                receiver = stack.pop()
+                self.env.set_field(receiver, instr.arg, value)
+            elif op is Op.CALL_METHOD:
+                name, argc = instr.arg
+                call_args = _pop_n(stack, argc)
+                receiver = stack.pop()
+                stack.append(self.env.call_method(receiver, name, call_args))
+            elif op is Op.NEW:
+                type_name, argc = instr.arg
+                ctor_args = _pop_n(stack, argc)
+                stack.append(self.env.new_instance(type_name, ctor_args))
+            elif op is Op.BIN_OP:
+                rhs = stack.pop()
+                lhs = stack.pop()
+                stack.append(_binary(instr.arg, lhs, rhs))
+            elif op is Op.NEW_LIST:
+                stack.append(_pop_n(stack, instr.arg))
+            elif op is Op.INDEX_GET:
+                index = stack.pop()
+                receiver = stack.pop()
+                stack.append(_index_get(receiver, index))
+            elif op is Op.INDEX_SET:
+                value = stack.pop()
+                index = stack.pop()
+                receiver = stack.pop()
+                _index_set(receiver, index, value)
+            elif op is Op.LIST_LEN:
+                receiver = stack.pop()
+                if not isinstance(receiver, (list, str, dict)):
+                    raise IlRuntimeError(
+                        "length of non-collection %r" % type(receiver).__name__
+                    )
+                stack.append(len(receiver))
+            elif op is Op.UN_OP:
+                stack.append(_unary(instr.arg, stack.pop()))
+            elif op is Op.JUMP:
+                pc = instr.arg
+            elif op is Op.JUMP_IF_FALSE:
+                if not stack.pop():
+                    pc = instr.arg
+            elif op is Op.POP:
+                stack.pop()
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+            elif op is Op.RETURN:
+                return stack.pop()
+            elif op is Op.RETURN_VOID:
+                return None
+            else:  # pragma: no cover - exhaustive over Op
+                raise IlRuntimeError("unhandled opcode %s" % op)
+        return None
+
+
+def _index_get(receiver: Any, index: Any) -> Any:
+    if isinstance(receiver, (list, str)):
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise IlRuntimeError("index must be an integer, got %r" % (index,))
+        if not 0 <= index < len(receiver):
+            raise IlRuntimeError(
+                "index %d out of range (length %d)" % (index, len(receiver))
+            )
+        return receiver[index]
+    if isinstance(receiver, dict):
+        if index not in receiver:
+            raise IlRuntimeError("missing key %r" % (index,))
+        return receiver[index]
+    raise IlRuntimeError("cannot index %r" % type(receiver).__name__)
+
+
+def _index_set(receiver: Any, index: Any, value: Any) -> None:
+    if isinstance(receiver, list):
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise IlRuntimeError("index must be an integer, got %r" % (index,))
+        if not 0 <= index < len(receiver):
+            raise IlRuntimeError(
+                "index %d out of range (length %d)" % (index, len(receiver))
+            )
+        receiver[index] = value
+        return
+    if isinstance(receiver, dict):
+        receiver[index] = value
+        return
+    raise IlRuntimeError("cannot index-assign %r" % type(receiver).__name__)
+
+
+def _pop_n(stack: List[Any], count: int) -> List[Any]:
+    if count == 0:
+        return []
+    values = stack[-count:]
+    del stack[-count:]
+    return values

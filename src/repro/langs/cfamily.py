@@ -1,0 +1,444 @@
+"""Shared recursive-descent parser for the brace-structured frontends.
+
+C#-like and Java-like sources differ only in their inheritance clause syntax
+(``class A : B, IC`` vs ``class A extends B implements IC``) and a couple of
+keywords (``this``, type spellings).  Everything else — member declarations,
+statements, expressions — is parsed here once, parameterised by a
+:class:`Dialect`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .lexer import LexError, Token, TokenStream, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__("%s (line %d)" % (message, line))
+        self.line = line
+
+
+VISIBILITIES = ("public", "private", "protected", "internal")
+MODIFIER_TOKENS = ("static", "abstract", "final", "virtual", "sealed")
+
+_MODIFIER_CANON = {"sealed": "final"}
+
+
+class Dialect:
+    """Syntax knobs distinguishing the C#-like and Java-like grammars."""
+
+    name = "cfamily"
+    self_keyword = "this"
+
+    def parse_heritage(self, ts: TokenStream) -> Tuple[Optional[str], List[str]]:
+        """Parse the superclass/interfaces clause; returns (super, interfaces)."""
+        raise NotImplementedError
+
+
+class Parser:
+    """Parses a compilation unit into :class:`ast.ClassDecl` objects."""
+
+    # Precedence climbing table: operator -> (precedence, right-assoc)
+    _PRECEDENCE = {
+        "||": 1,
+        "&&": 2,
+        "==": 3, "!=": 3,
+        "<": 4, "<=": 4, ">": 4, ">=": 4,
+        "+": 5, "-": 5,
+        "*": 6, "/": 6, "%": 6,
+    }
+
+    def __init__(self, source: str, dialect: Dialect):
+        try:
+            self.ts = TokenStream(tokenize(source))
+        except LexError as exc:
+            raise ParseError(exc.message, exc.line)
+        self.dialect = dialect
+
+    # -- compilation unit ----------------------------------------------------
+
+    def parse_unit(self) -> List[ast.ClassDecl]:
+        try:
+            decls: List[ast.ClassDecl] = []
+            while not self.ts.exhausted:
+                decls.append(self.parse_class())
+            return decls
+        except LexError as exc:
+            # expect_*() helpers raise LexError; surface a uniform error type.
+            raise ParseError(exc.message, exc.line)
+
+    def parse_class(self) -> ast.ClassDecl:
+        ts = self.ts
+        # Optional class-level visibility; recorded but unused (types are public).
+        if ts.at_ident() and ts.peek().value in VISIBILITIES:
+            ts.next()
+        is_interface = False
+        if ts.accept_ident("interface"):
+            is_interface = True
+        else:
+            ts.expect_ident("class")
+        name = ts.expect_ident().value
+        superclass, interfaces = self.dialect.parse_heritage(ts)
+        ts.expect_punct("{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodDecl] = []
+        ctors: List[ast.CtorDecl] = []
+        while not ts.accept_punct("}"):
+            if ts.exhausted:
+                raise ParseError("unexpected end of file in class body", ts.peek().line)
+            self._parse_member(name, is_interface, fields, methods, ctors)
+        return ast.ClassDecl(
+            name,
+            superclass,
+            interfaces,
+            fields,
+            methods,
+            ctors,
+            is_interface=is_interface,
+        )
+
+    # -- members ---------------------------------------------------------------
+
+    def _parse_member(self, class_name, is_interface, fields, methods, ctors) -> None:
+        ts = self.ts
+        visibility = "public"
+        modifier_tokens: List[str] = []
+        while ts.at_ident() and ts.peek().value in VISIBILITIES + MODIFIER_TOKENS:
+            token = ts.next().value
+            if token in VISIBILITIES:
+                visibility = token
+            else:
+                modifier_tokens.append(_MODIFIER_CANON.get(token, token))
+
+        # Constructor: ClassName '(' ...
+        if ts.at_ident(class_name) and ts.peek(1).kind == Token.PUNCT and ts.peek(1).value == "(":
+            ts.next()
+            params = self._parse_params()
+            body = self._parse_block()
+            ctors.append(ast.CtorDecl(params, body, visibility=visibility))
+            return
+
+        type_name = self._parse_type_name()
+        member_name = ts.expect_ident().value
+        if ts.at_punct("("):
+            params = self._parse_params()
+            body: Optional[List[ast.Stmt]] = None
+            if ts.accept_punct(";"):
+                body = None  # abstract / interface method
+            elif ts.at_punct("{"):
+                body = self._parse_block()
+            elif not is_interface:
+                raise ParseError(
+                    "expected method body or ';'", ts.peek().line
+                )
+            methods.append(
+                ast.MethodDecl(
+                    member_name,
+                    params,
+                    type_name,
+                    body=body,
+                    visibility=visibility,
+                    modifier_tokens=modifier_tokens,
+                )
+            )
+        else:
+            ts.expect_punct(";")
+            fields.append(
+                ast.FieldDecl(
+                    member_name,
+                    type_name,
+                    visibility=visibility,
+                    modifier_tokens=modifier_tokens,
+                )
+            )
+
+    def _parse_type_name(self) -> str:
+        parts = [self.ts.expect_ident().value]
+        while self.ts.at_punct("."):
+            self.ts.next()
+            parts.append(self.ts.expect_ident().value)
+        name = ".".join(parts)
+        # Array suffixes: string[], demo.Person[][], ...
+        while self.ts.at_punct("["):
+            mark_next = self.ts.peek(1)
+            if not (mark_next.kind == Token.PUNCT and mark_next.value == "]"):
+                break
+            self.ts.next()
+            self.ts.next()
+            name += "[]"
+        return name
+
+    def _parse_params(self) -> List[ast.ParamDecl]:
+        ts = self.ts
+        ts.expect_punct("(")
+        params: List[ast.ParamDecl] = []
+        if not ts.at_punct(")"):
+            while True:
+                type_name = self._parse_type_name()
+                pname = ts.expect_ident().value
+                params.append(ast.ParamDecl(pname, type_name))
+                if not ts.accept_punct(","):
+                    break
+        ts.expect_punct(")")
+        return params
+
+    # -- statements ---------------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        ts = self.ts
+        ts.expect_punct("{")
+        stmts: List[ast.Stmt] = []
+        while not ts.accept_punct("}"):
+            if ts.exhausted:
+                raise ParseError("unexpected end of file in block", ts.peek().line)
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        ts = self.ts
+        if ts.at_ident("return"):
+            ts.next()
+            if ts.accept_punct(";"):
+                return ast.Return(None)
+            value = self._parse_expr()
+            ts.expect_punct(";")
+            return ast.Return(value)
+        if ts.at_ident("if"):
+            return self._parse_if()
+        if ts.at_ident("while"):
+            ts.next()
+            ts.expect_punct("(")
+            cond = self._parse_expr()
+            ts.expect_punct(")")
+            body = self._parse_block()
+            return ast.While(cond, body)
+        if ts.at_ident("for"):
+            return self._parse_for()
+        if ts.at_ident("var"):
+            ts.next()
+            name = ts.expect_ident().value
+            ts.expect_punct("=")
+            init = self._parse_expr()
+            ts.expect_punct(";")
+            return ast.VarDecl(name, "object", init)
+        # Typed local declaration: Type name = expr ;
+        if self._looks_like_var_decl():
+            type_name = self._parse_type_name()
+            name = ts.expect_ident().value
+            init: Optional[ast.Expr] = None
+            if ts.accept_punct("="):
+                init = self._parse_expr()
+            ts.expect_punct(";")
+            return ast.VarDecl(name, type_name, init)
+        return self._parse_expr_or_assign()
+
+    def _looks_like_var_decl(self) -> bool:
+        """Lookahead: IDENT (. IDENT)* ([])* IDENT then '=' or ';'."""
+        ts = self.ts
+        if not ts.at_ident():
+            return False
+        offset = 1
+        while (
+            ts.peek(offset).kind == Token.PUNCT
+            and ts.peek(offset).value == "."
+            and ts.peek(offset + 1).kind == Token.IDENT
+        ):
+            offset += 2
+        while (
+            ts.peek(offset).kind == Token.PUNCT
+            and ts.peek(offset).value == "["
+            and ts.peek(offset + 1).kind == Token.PUNCT
+            and ts.peek(offset + 1).value == "]"
+        ):
+            offset += 2
+        if ts.peek(offset).kind != Token.IDENT:
+            return False
+        trailer = ts.peek(offset + 1)
+        return trailer.kind == Token.PUNCT and trailer.value in ("=", ";")
+
+    def _parse_if(self) -> ast.Stmt:
+        ts = self.ts
+        ts.expect_ident("if")
+        ts.expect_punct("(")
+        cond = self._parse_expr()
+        ts.expect_punct(")")
+        then_body = self._parse_block()
+        else_body: List[ast.Stmt] = []
+        if ts.accept_ident("else"):
+            if ts.at_ident("if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond, then_body, else_body)
+
+    def _parse_for(self) -> ast.Stmt:
+        ts = self.ts
+        ts.expect_ident("for")
+        ts.expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not ts.at_punct(";"):
+            if self._looks_like_var_decl() or ts.at_ident("var"):
+                # Reuse the statement parser; it consumes the ';'.
+                init = self._parse_stmt()
+            else:
+                init = self._parse_assignment_clause()
+                ts.expect_punct(";")
+        else:
+            ts.next()
+        if init is not None and not isinstance(init, (ast.VarDecl, ast.Assign,
+                                                      ast.FieldAssign, ast.IndexAssign)):
+            raise ParseError("for-initialiser must be a declaration or assignment",
+                             ts.peek().line)
+        cond: Optional[ast.Expr] = None
+        if not ts.at_punct(";"):
+            cond = self._parse_expr()
+        ts.expect_punct(";")
+        step: Optional[ast.Stmt] = None
+        if not ts.at_punct(")"):
+            step = self._parse_assignment_clause()
+        ts.expect_punct(")")
+        body = self._parse_block()
+        return ast.For(init, cond, step, body)
+
+    def _parse_assignment_clause(self) -> ast.Stmt:
+        """An assignment or expression without a trailing ';' (for-headers)."""
+        ts = self.ts
+        expr = self._parse_expr()
+        if ts.accept_punct("="):
+            value = self._parse_expr()
+            return self._assignment_for(expr, value)
+        return ast.ExprStmt(expr)
+
+    def _assignment_for(self, target: ast.Expr, value: ast.Expr) -> ast.Stmt:
+        if isinstance(target, ast.Name):
+            return ast.Assign(target.ident, value)
+        if isinstance(target, ast.FieldAccess):
+            return ast.FieldAssign(target.obj, target.field, value)
+        if isinstance(target, ast.IndexGet):
+            return ast.IndexAssign(target.obj, target.index, value)
+        raise ParseError("invalid assignment target", self.ts.peek().line)
+
+    def _parse_expr_or_assign(self) -> ast.Stmt:
+        ts = self.ts
+        expr = self._parse_expr()
+        if ts.accept_punct("="):
+            value = self._parse_expr()
+            ts.expect_punct(";")
+            return self._assignment_for(expr, value)
+        ts.expect_punct(";")
+        return ast.ExprStmt(expr)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _parse_expr(self, min_prec: int = 1) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self.ts.peek()
+            if token.kind != Token.PUNCT:
+                break
+            prec = self._PRECEDENCE.get(token.value)
+            if prec is None or prec < min_prec:
+                break
+            self.ts.next()
+            rhs = self._parse_expr(prec + 1)
+            lhs = ast.BinOp(token.value, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        ts = self.ts
+        if ts.at_punct("-"):
+            ts.next()
+            return ast.UnOp("-", self._parse_unary())
+        if ts.at_punct("!"):
+            ts.next()
+            return ast.UnOp("!", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        ts = self.ts
+        while True:
+            if ts.at_punct("."):
+                ts.next()
+                member = ts.expect_ident().value
+                if ts.at_punct("("):
+                    args = self._parse_args()
+                    expr = ast.MethodCall(expr, member, args)
+                else:
+                    expr = ast.FieldAccess(expr, member)
+            elif ts.at_punct("["):
+                ts.next()
+                index = self._parse_expr()
+                ts.expect_punct("]")
+                expr = ast.IndexGet(expr, index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        ts = self.ts
+        token = ts.peek()
+        if token.kind == Token.INT:
+            ts.next()
+            return ast.IntLit(int(token.value))
+        if token.kind == Token.FLOAT:
+            ts.next()
+            return ast.FloatLit(float(token.value))
+        if token.kind == Token.STRING:
+            ts.next()
+            return ast.StrLit(token.value)
+        if token.kind == Token.PUNCT and token.value == "(":
+            ts.next()
+            inner = self._parse_expr()
+            ts.expect_punct(")")
+            return inner
+        if token.kind == Token.IDENT:
+            word = token.value
+            if word == "true":
+                ts.next()
+                return ast.BoolLit(True)
+            if word == "false":
+                ts.next()
+                return ast.BoolLit(False)
+            if word == "null":
+                ts.next()
+                return ast.NullLit()
+            if word == self.dialect.self_keyword:
+                ts.next()
+                return ast.SelfRef()
+            if word == "new":
+                ts.next()
+                type_name = self._parse_type_name()
+                if ts.at_punct("{"):
+                    # Array literal: new T[] { a, b, c }
+                    ts.next()
+                    items: List[ast.Expr] = []
+                    if not ts.at_punct("}"):
+                        while True:
+                            items.append(self._parse_expr())
+                            if not ts.accept_punct(","):
+                                break
+                    ts.expect_punct("}")
+                    return ast.ListLit(items)
+                args = self._parse_args()
+                return ast.New(type_name, args)
+            ts.next()
+            if ts.at_punct("("):
+                args = self._parse_args()
+                return ast.MethodCall(ast.SelfRef(), word, args)
+            return ast.Name(word)
+        raise ParseError("unexpected token %r" % (token.value or "<eof>"), token.line)
+
+    def _parse_args(self) -> List[ast.Expr]:
+        ts = self.ts
+        ts.expect_punct("(")
+        args: List[ast.Expr] = []
+        if not ts.at_punct(")"):
+            while True:
+                args.append(self._parse_expr())
+                if not ts.accept_punct(","):
+                    break
+        ts.expect_punct(")")
+        return args

@@ -1,0 +1,189 @@
+"""A small tokenizer shared by the C-family frontends (C#-like, Java-like).
+
+The VB-like frontend has its own line-oriented lexer in ``vb.py``; this one
+handles brace-structured sources.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__("%s (line %d)" % (message, line))
+        self.message = message
+        self.line = line
+
+
+class Token:
+    __slots__ = ("kind", "value", "line")
+
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+    def __init__(self, kind: str, value: str, line: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, line=%d)" % (self.kind, self.value, self.line)
+
+
+_TWO_CHAR_PUNCT = {"==", "!=", "<=", ">=", "&&", "||"}
+_ONE_CHAR_PUNCT = set("{}()[];,.:=+-*/%<>!&|")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a C-family source string (handles ``//`` and ``/* */`` comments)."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == '"':
+            value, i, line = _read_string(source, i, line)
+            tokens.append(Token(Token.STRING, value, line))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == "." and i + 1 < n and source[i + 1].isdigit():
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+                tokens.append(Token(Token.FLOAT, source[start:i], line))
+            else:
+                tokens.append(Token(Token.INT, source[start:i], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            tokens.append(Token(Token.IDENT, source[start:i], line))
+            continue
+        two = source[i:i + 2]
+        if two in _TWO_CHAR_PUNCT:
+            tokens.append(Token(Token.PUNCT, two, line))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_PUNCT:
+            tokens.append(Token(Token.PUNCT, ch, line))
+            i += 1
+            continue
+        raise LexError("unexpected character %r" % ch, line)
+    tokens.append(Token(Token.EOF, "", line))
+    return tokens
+
+
+def _read_string(source: str, i: int, line: int):
+    assert source[i] == '"'
+    i += 1
+    out: List[str] = []
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == '"':
+            return "".join(out), i + 1, line
+        if ch == "\\":
+            if i + 1 >= n:
+                raise LexError("unterminated escape", line)
+            esc = source[i + 1]
+            mapping = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+            if esc not in mapping:
+                raise LexError("unknown escape \\%s" % esc, line)
+            out.append(mapping[esc])
+            i += 2
+            continue
+        if ch == "\n":
+            raise LexError("newline in string literal", line)
+        out.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", line)
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != Token.EOF:
+            self._pos += 1
+        return token
+
+    def at_punct(self, value: str) -> bool:
+        token = self.peek()
+        return token.kind == Token.PUNCT and token.value == value
+
+    def at_ident(self, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token.kind != Token.IDENT:
+            return False
+        return value is None or token.value == value
+
+    def accept_punct(self, value: str) -> bool:
+        if self.at_punct(value):
+            self.next()
+            return True
+        return False
+
+    def accept_ident(self, value: str) -> bool:
+        if self.at_ident(value):
+            self.next()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.at_punct(value):
+            token = self.peek()
+            raise LexError(
+                "expected %r, found %r" % (value, token.value or "<eof>"), token.line
+            )
+        return self.next()
+
+    def expect_ident(self, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != Token.IDENT or (value is not None and token.value != value):
+            raise LexError(
+                "expected identifier%s, found %r"
+                % (" %r" % value if value else "", token.value or "<eof>"),
+                token.line,
+            )
+        return self.next()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek().kind == Token.EOF

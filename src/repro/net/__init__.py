@@ -1,0 +1,24 @@
+"""Simulated network substrate: peers, cost accounting, code repository."""
+
+from .codeserver import CodeRepository, KIND_GET_ASSEMBLY, KIND_GET_DESCRIPTION
+from .network import (
+    MessageDropped,
+    NetworkError,
+    NetworkStats,
+    SimulatedNetwork,
+    UnknownPeerError,
+)
+from .peer import Peer, error_response
+
+__all__ = [
+    "CodeRepository",
+    "KIND_GET_ASSEMBLY",
+    "KIND_GET_DESCRIPTION",
+    "MessageDropped",
+    "NetworkError",
+    "NetworkStats",
+    "Peer",
+    "SimulatedNetwork",
+    "UnknownPeerError",
+    "error_response",
+]

@@ -1,0 +1,81 @@
+"""Code repository: the peer that serves type descriptions and assemblies.
+
+In the paper objects travel with "download paths information to get the
+code"; this is the server those paths point at.  It answers two kinds of
+requests, mirroring steps 2-3 and 4-5 of Figure 1:
+
+- ``get_description`` — the XML type description for a type name, so a
+  receiver can check conformance *without* downloading any code;
+- ``get_assembly`` — the full assembly (types + IL bodies) for a download
+  path, fetched only after a successful conformance check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cts.assembly import Assembly
+from ..describe.description import TypeDescription
+from ..describe.xml_codec import serialize_description_bytes
+from ..serialization.binary import BinarySerializer
+from .network import SimulatedNetwork
+from .peer import Peer, error_response
+
+KIND_GET_DESCRIPTION = "get_description"
+KIND_GET_ASSEMBLY = "get_assembly"
+
+
+class CodeRepository(Peer):
+    """A :class:`Peer` hosting published assemblies."""
+
+    def __init__(self, peer_id: str, network: SimulatedNetwork):
+        super().__init__(peer_id, network)
+        self._assemblies_by_path: Dict[str, Assembly] = {}
+        self._descriptions_by_name: Dict[str, TypeDescription] = {}
+        self._paths_by_type: Dict[str, str] = {}
+        self._codec = BinarySerializer()  # assembly wire form is plain data
+        self.on(KIND_GET_DESCRIPTION, self._serve_description)
+        self.on(KIND_GET_ASSEMBLY, self._serve_assembly)
+
+    # -- publication ------------------------------------------------------------
+
+    def publish(self, assembly: Assembly) -> str:
+        """Host an assembly; returns its download path."""
+        self._assemblies_by_path[assembly.download_path] = assembly
+        for info in assembly.types:
+            self._descriptions_by_name[info.full_name] = TypeDescription.from_type_info(info)
+            self._paths_by_type[info.full_name] = assembly.download_path
+        return assembly.download_path
+
+    def published_types(self):
+        return sorted(self._descriptions_by_name)
+
+    def path_for_type(self, full_name: str) -> Optional[str]:
+        return self._paths_by_type.get(full_name)
+
+    # -- request handlers ------------------------------------------------------------
+
+    def _serve_description(self, payload: bytes, src: str) -> bytes:
+        type_name = payload.decode("utf-8")
+        description = self._descriptions_by_name.get(type_name)
+        if description is None:
+            return error_response("no description for %s" % type_name)
+        return serialize_description_bytes(description)
+
+    def _serve_assembly(self, payload: bytes, src: str) -> bytes:
+        path = payload.decode("utf-8")
+        assembly = self._assemblies_by_path.get(path)
+        if assembly is None:
+            # Fall back: the path may actually be a type name.
+            mapped = self._paths_by_type.get(path)
+            if mapped is not None:
+                assembly = self._assemblies_by_path.get(mapped)
+        if assembly is None:
+            return error_response("no assembly at %s" % path)
+        return self._codec.serialize(assembly.to_wire())
+
+    # -- client helpers (used by the transport layer) -----------------------------
+
+    @staticmethod
+    def decode_assembly(data: bytes) -> Assembly:
+        return Assembly.from_wire(BinarySerializer().deserialize(data))

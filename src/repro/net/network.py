@@ -1,0 +1,164 @@
+"""Simulated network: deterministic message passing with cost accounting.
+
+The paper's claim for the optimistic protocol is resource economy — "the
+code of the object as well as its type representation are not always sent
+with the object itself, but only when needed".  To evaluate that claim
+reproducibly we need a network that *counts*: every message's bytes, every
+round trip, and a simulated clock driven by a latency + bandwidth model.
+
+The model is intentionally simple and synchronous (request/response), which
+matches the protocol of Figure 1; the apps layer adds one-way posts for
+publish/subscribe fan-out.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+Handler = Callable[[str, bytes, str], bytes]
+
+
+class NetworkError(Exception):
+    """Delivery failure (unknown peer, simulated drop, handler error)."""
+
+
+class UnknownPeerError(NetworkError):
+    pass
+
+
+class MessageDropped(NetworkError):
+    """The loss model dropped this message."""
+
+
+class NetworkStats:
+    """Aggregate counters, plus per-kind breakdowns for the benchmarks."""
+
+    def __init__(self):
+        self.messages = 0
+        self.bytes_sent = 0
+        self.round_trips = 0
+        self.by_kind_messages: Dict[str, int] = {}
+        self.by_kind_bytes: Dict[str, int] = {}
+
+    def record(self, kind: str, size: int, round_trip: bool) -> None:
+        self.messages += 1
+        self.bytes_sent += size
+        if round_trip:
+            self.round_trips += 1
+        self.by_kind_messages[kind] = self.by_kind_messages.get(kind, 0) + 1
+        self.by_kind_bytes[kind] = self.by_kind_bytes.get(kind, 0) + size
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes_sent,
+            "round_trips": self.round_trips,
+        }
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.round_trips = 0
+        self.by_kind_messages.clear()
+        self.by_kind_bytes.clear()
+
+    def __repr__(self) -> str:
+        return "NetworkStats(msgs=%d, bytes=%d, rtts=%d)" % (
+            self.messages, self.bytes_sent, self.round_trips,
+        )
+
+
+class SimulatedNetwork:
+    """Synchronous message fabric between named peers.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way propagation delay charged per message.
+    bandwidth_bps:
+        Bytes per simulated second; transfer time = size / bandwidth.
+    drop_rate:
+        Probability a message is dropped (deterministic via ``seed``);
+        0 by default — the protocol benchmarks run on a reliable fabric.
+    """
+
+    def __init__(
+        self,
+        latency_s: float = 0.001,
+        bandwidth_bps: float = 10_000_000.0,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+        self._handlers: Dict[str, Handler] = {}
+        self.clock_s = 0.0
+        self.stats = NetworkStats()
+        self.log: List[Tuple[str, str, str, int]] = []  # (src, dst, kind, size)
+        self.log_enabled = True
+
+    # -- membership ------------------------------------------------------------
+
+    def register(self, peer_id: str, handler: Handler) -> None:
+        if peer_id in self._handlers:
+            raise NetworkError("peer id %r already registered" % peer_id)
+        self._handlers[peer_id] = handler
+
+    def unregister(self, peer_id: str) -> None:
+        self._handlers.pop(peer_id, None)
+
+    def peers(self) -> List[str]:
+        return sorted(self._handlers)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _charge(self, kind: str, size: int, round_trip: bool) -> None:
+        transfer = size / self.bandwidth_bps
+        hops = 2 if round_trip else 1
+        self.clock_s += self.latency_s * hops + transfer
+        self.stats.record(kind, size, round_trip)
+
+    def _maybe_drop(self) -> None:
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            raise MessageDropped("message dropped by loss model")
+
+    def request(self, src: str, dst: str, kind: str, payload: bytes) -> bytes:
+        """Synchronous round trip; returns the destination's response bytes."""
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise UnknownPeerError("no peer %r" % dst)
+        self._maybe_drop()
+        if self.log_enabled:
+            self.log.append((src, dst, kind, len(payload)))
+        response = handler(kind, payload, src)
+        if not isinstance(response, bytes):
+            raise NetworkError(
+                "handler for %r returned %s, expected bytes" % (kind, type(response).__name__)
+            )
+        self._charge(kind, len(payload) + len(response), round_trip=True)
+        return response
+
+    def post(self, src: str, dst: str, kind: str, payload: bytes) -> None:
+        """One-way delivery; the response (if any) is discarded."""
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise UnknownPeerError("no peer %r" % dst)
+        self._maybe_drop()
+        if self.log_enabled:
+            self.log.append((src, dst, kind, len(payload)))
+        self._charge(kind, len(payload), round_trip=False)
+        handler(kind, payload, src)
+
+    # -- introspection ------------------------------------------------------------
+
+    def reset_accounting(self) -> None:
+        self.stats.reset()
+        self.log.clear()
+        self.clock_s = 0.0

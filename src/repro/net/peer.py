@@ -1,0 +1,79 @@
+"""Peers: addressable endpoints with pluggable request handlers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .network import MessageDropped, NetworkError, SimulatedNetwork
+
+KindHandler = Callable[[bytes, str], bytes]
+
+
+class Peer:
+    """A named endpoint on a :class:`SimulatedNetwork`.
+
+    Subsystems (transport, remoting, code repository, pub/sub broker)
+    register per-kind handlers; a request for an unknown kind is an error
+    response by convention (empty payload prefixed with ``ERR:``).
+    """
+
+    def __init__(self, peer_id: str, network: SimulatedNetwork):
+        self.peer_id = peer_id
+        self.network = network
+        self._handlers: Dict[str, KindHandler] = {}
+        network.register(peer_id, self._dispatch)
+
+    # -- server side ---------------------------------------------------------
+
+    def on(self, kind: str, handler: KindHandler) -> None:
+        self._handlers[kind] = handler
+
+    def _dispatch(self, kind: str, payload: bytes, src: str) -> bytes:
+        handler = self._handlers.get(kind)
+        if handler is None:
+            return b"ERR:unknown-kind:" + kind.encode("utf-8")
+        return handler(payload, src)
+
+    # -- client side ---------------------------------------------------------
+
+    def request(self, dst: str, kind: str, payload: bytes = b"",
+                retries: int = 0) -> bytes:
+        """Round trip; with ``retries`` > 0, dropped messages are resent.
+
+        Retrying is safe on this fabric: a drop raises *before* the remote
+        handler runs, so no request is ever executed twice.
+        """
+        attempts = retries + 1
+        for attempt in range(attempts):
+            try:
+                response = self.network.request(self.peer_id, dst, kind, payload)
+            except MessageDropped:
+                if attempt + 1 == attempts:
+                    raise
+                continue
+            if response.startswith(b"ERR:"):
+                raise NetworkError(response[4:].decode("utf-8", "replace"))
+            return response
+        raise MessageDropped("unreachable")  # pragma: no cover
+
+    def post(self, dst: str, kind: str, payload: bytes = b"",
+             retries: int = 0) -> None:
+        attempts = retries + 1
+        for attempt in range(attempts):
+            try:
+                self.network.post(self.peer_id, dst, kind, payload)
+                return
+            except MessageDropped:
+                if attempt + 1 == attempts:
+                    raise
+
+    def close(self) -> None:
+        self.network.unregister(self.peer_id)
+
+    def __repr__(self) -> str:
+        return "Peer(%s)" % self.peer_id
+
+
+def error_response(message: str) -> bytes:
+    """Encode an application-level error for a request handler."""
+    return b"ERR:" + message.encode("utf-8")

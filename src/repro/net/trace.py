@@ -1,0 +1,81 @@
+"""Protocol tracing: render network logs as message sequence charts.
+
+The simulated network records every message; this module turns that log
+into the kind of ASCII sequence diagram Figure 1 of the paper shows — handy
+for debugging protocol behaviour and for the examples' output.
+
+Example output::
+
+    alice                bob
+      |--- object ------->|      571 B
+      |<-- get_descri.. --|       13 B
+      ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .network import SimulatedNetwork
+
+LogEntry = Tuple[str, str, str, int]
+
+
+def sequence_chart(
+    log: Sequence[LogEntry],
+    peers: Optional[Sequence[str]] = None,
+    max_label: int = 16,
+) -> str:
+    """Render a message log as a two-or-more-lifeline sequence chart.
+
+    ``peers`` fixes the lifeline order; by default lifelines appear in
+    first-contact order.
+    """
+    if peers is None:
+        seen: List[str] = []
+        for src, dst, _, __ in log:
+            for peer in (src, dst):
+                if peer not in seen:
+                    seen.append(peer)
+        peers = seen
+    if not peers:
+        return "(no traffic)"
+
+    column: Dict[str, int] = {peer: index for index, peer in enumerate(peers)}
+    width = 22
+    lines: List[str] = []
+
+    header = ""
+    for peer in peers:
+        header += peer.ljust(width)
+    lines.append(header.rstrip())
+
+    for src, dst, kind, size in log:
+        if src not in column or dst not in column:
+            continue
+        label = kind if len(kind) <= max_label else kind[: max_label - 2] + ".."
+        left, right = sorted((column[src], column[dst]))
+        rightward = column[src] <= column[dst]
+        span = (right - left) * width - 2
+        if rightward:
+            arrow = "|" + ("-- %s " % label).ljust(span - 1, "-") + ">|"
+        else:
+            arrow = "|<" + ("-- %s " % label).ljust(span - 1, "-") + "|"
+        line = " " * (left * width) + arrow
+        lines.append("%s  %6d B" % (line.ljust(len(peers) * width), size))
+    return "\n".join(lines)
+
+
+def chart_for(network: SimulatedNetwork,
+              peers: Optional[Sequence[str]] = None) -> str:
+    """Sequence chart of everything the network has logged so far."""
+    return sequence_chart(network.log, peers)
+
+
+def kind_summary(log: Sequence[LogEntry]) -> Dict[str, Tuple[int, int]]:
+    """Per-kind (message count, total bytes) summary of a log."""
+    summary: Dict[str, Tuple[int, int]] = {}
+    for _, __, kind, size in log:
+        count, total = summary.get(kind, (0, 0))
+        summary[kind] = (count + 1, total + size)
+    return summary

@@ -1,0 +1,33 @@
+"""Dynamic proxies and pass-by-reference remoting (paper Section 6.2)."""
+
+from .dynamic import (
+    DynamicProxy,
+    NotConformantError,
+    ProxyError,
+    unwrap,
+    wrap,
+    wrap_with_result,
+)
+from .remote import (
+    KIND_INVOKE,
+    KIND_LOOKUP,
+    ObjectRef,
+    RemoteProxy,
+    RemotingError,
+    RemotingPeer,
+)
+
+__all__ = [
+    "DynamicProxy",
+    "KIND_INVOKE",
+    "KIND_LOOKUP",
+    "NotConformantError",
+    "ObjectRef",
+    "ProxyError",
+    "RemoteProxy",
+    "RemotingError",
+    "RemotingPeer",
+    "unwrap",
+    "wrap",
+    "wrap_with_result",
+]

@@ -1,0 +1,25 @@
+"""Runtime: assembly loading and execution of CTS types."""
+
+from .loader import (
+    AbstractMethodError,
+    ConstructorNotFoundError,
+    Runtime,
+)
+from .objects import (
+    CtsError,
+    CtsInstance,
+    UnknownFieldError,
+    UnknownMethodError,
+    is_invokable,
+)
+
+__all__ = [
+    "AbstractMethodError",
+    "ConstructorNotFoundError",
+    "CtsError",
+    "CtsInstance",
+    "Runtime",
+    "UnknownFieldError",
+    "UnknownMethodError",
+    "is_invokable",
+]

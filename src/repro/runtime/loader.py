@@ -1,0 +1,195 @@
+"""The runtime: loads assemblies and executes loaded types.
+
+This plays the role of the CLR in the paper's stack.  "Downloading the code"
+over the optimistic protocol ends with :meth:`Runtime.load_assembly`; from
+then on the peer can deserialize and invoke instances of the new types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..cts.assembly import Assembly
+from ..cts.members import TypeRef, Visibility
+from ..cts.registry import TypeNotFoundError, TypeRegistry
+from ..cts.types import BOOL, DOUBLE, FLOAT, INT, LONG, STRING, TypeInfo
+from ..il.instructions import MethodBody
+from ..il.interp import ExecutionEnvironment, Interpreter
+from .objects import CtsInstance, UnknownFieldError, UnknownMethodError, is_invokable
+
+
+class AbstractMethodError(Exception):
+    """Raised when invoking a method that has a signature but no body."""
+
+
+class ConstructorNotFoundError(Exception):
+    pass
+
+
+class _RuntimeEnvironment(ExecutionEnvironment):
+    """Bridges the IL interpreter to the runtime's object model."""
+
+    def __init__(self, runtime: "Runtime"):
+        self.runtime = runtime
+
+    def get_field(self, receiver: Any, name: str) -> Any:
+        if isinstance(receiver, CtsInstance):
+            return receiver.get_field(name)
+        if receiver is None:
+            raise UnknownFieldError("null reference: cannot read field %r" % name)
+        if isinstance(receiver, (list, str, dict)) and name in ("Length", "Count"):
+            return len(receiver)
+        return getattr(receiver, name)
+
+    def set_field(self, receiver: Any, name: str, value: Any) -> None:
+        if isinstance(receiver, CtsInstance):
+            receiver.set_field(name, value)
+            return
+        if receiver is None:
+            raise UnknownFieldError("null reference: cannot write field %r" % name)
+        setattr(receiver, name, value)
+
+    def call_method(self, receiver: Any, name: str, args: Sequence[Any]) -> Any:
+        if is_invokable(receiver):
+            return receiver._repro_invoke(name, args)
+        if receiver is None:
+            raise UnknownMethodError("null reference: cannot call %r" % name)
+        return getattr(receiver, name)(*args)
+
+    def new_instance(self, type_name: str, args: Sequence[Any]) -> Any:
+        return self.runtime.new_instance(type_name, list(args))
+
+
+#: Default values of primitive-typed fields (CLR semantics: numeric fields
+#: start at zero, booleans at false; reference fields at null).
+_FIELD_DEFAULTS = {
+    INT.full_name: 0,
+    LONG.full_name: 0,
+    FLOAT.full_name: 0.0,
+    DOUBLE.full_name: 0.0,
+    BOOL.full_name: False,
+}
+
+
+def default_field_value(type_ref: Optional[TypeRef]) -> Any:
+    if type_ref is None:
+        return None
+    return _FIELD_DEFAULTS.get(type_ref.full_name)
+
+
+class Runtime:
+    """Owns a type registry and executes IL or native method bodies."""
+
+    def __init__(self, registry: Optional[TypeRegistry] = None, max_steps: int = 1_000_000):
+        self.registry = registry if registry is not None else TypeRegistry()
+        self._interpreter = Interpreter(_RuntimeEnvironment(self), max_steps=max_steps)
+        self._loaded_assemblies: Dict[str, Assembly] = {}
+
+    # -- loading ------------------------------------------------------------
+
+    def load_type(self, info: TypeInfo, replace: bool = False,
+                  shadow: bool = False) -> TypeInfo:
+        return self.registry.register(info, replace=replace, shadow=shadow)
+
+    def load_assembly(self, assembly: Assembly, replace: bool = False,
+                      shadow: bool = False) -> None:
+        for info in assembly.types:
+            self.load_type(info, replace=replace, shadow=shadow)
+        self._loaded_assemblies[assembly.name] = assembly
+
+    def has_assembly(self, name: str) -> bool:
+        return name in self._loaded_assemblies
+
+    def loaded_assemblies(self) -> List[str]:
+        return sorted(self._loaded_assemblies)
+
+    # -- type walking ------------------------------------------------------------
+
+    def _type_chain(self, info: TypeInfo) -> List[TypeInfo]:
+        """The type followed by its resolvable superclass chain."""
+        chain = [info]
+        current = info
+        seen = {info.full_name}
+        while current.superclass is not None:
+            parent = self.registry.try_resolve(current.superclass)
+            if parent is None or parent.full_name in seen:
+                break
+            chain.append(parent)
+            seen.add(parent.full_name)
+            current = parent
+        return chain
+
+    def find_method(self, info: TypeInfo, name: str, arity: Optional[int] = None):
+        for holder in self._type_chain(info):
+            method = holder.find_method(name, arity)
+            if method is not None:
+                return method
+        return None
+
+    def has_method(self, info: TypeInfo, name: str) -> bool:
+        return self.find_method(info, name) is not None
+
+    def all_fields(self, info: TypeInfo):
+        fields = []
+        seen = set()
+        for holder in self._type_chain(info):
+            for field in holder.fields:
+                if field.name not in seen:
+                    seen.add(field.name)
+                    fields.append(field)
+        return fields
+
+    # -- instantiation ------------------------------------------------------------
+
+    def new_instance(self, type_name: str, args: Optional[List[Any]] = None) -> CtsInstance:
+        args = args if args is not None else []
+        info = self.registry.require(type_name)
+        return self.instantiate(info, args)
+
+    def instantiate(self, info: TypeInfo, args: Optional[List[Any]] = None) -> CtsInstance:
+        args = args if args is not None else []
+        fields = {f.name: default_field_value(f.type_ref) for f in self.all_fields(info)}
+        instance = CtsInstance(info, self, fields)
+        ctor = None
+        for holder in self._type_chain(info):
+            ctor = holder.find_constructor(len(args))
+            if ctor is not None:
+                break
+        if ctor is None:
+            if args:
+                raise ConstructorNotFoundError(
+                    "%s has no constructor of arity %d" % (info.full_name, len(args))
+                )
+            return instance  # implicit default constructor
+        self._run_body(ctor.body, instance, args, "%s..ctor" % info.full_name)
+        return instance
+
+    def raw_instance(self, info: TypeInfo, fields: Dict[str, Any]) -> CtsInstance:
+        """Create an instance without running a constructor (deserialization)."""
+        base = {f.name: default_field_value(f.type_ref) for f in self.all_fields(info)}
+        base.update(fields)
+        return CtsInstance(info, self, base)
+
+    # -- invocation ------------------------------------------------------------
+
+    def invoke(self, receiver: CtsInstance, method_name: str, args: Optional[List[Any]] = None) -> Any:
+        args = args if args is not None else []
+        info = receiver.type_info
+        method = self.find_method(info, method_name, arity=len(args))
+        if method is None:
+            method = self.find_method(info, method_name)
+        if method is None:
+            raise UnknownMethodError(
+                "%s has no method %r" % (info.full_name, method_name)
+            )
+        qualified = "%s.%s" % (info.full_name, method_name)
+        return self._run_body(method.body, receiver, args, qualified)
+
+    def _run_body(self, body: Any, self_obj: Any, args: List[Any], what: str) -> Any:
+        if body is None:
+            raise AbstractMethodError("%s has no body" % what)
+        if isinstance(body, MethodBody):
+            return self._interpreter.execute(body, self_obj, args)
+        if callable(body):
+            return body(self_obj, *args)
+        raise TypeError("unsupported body kind for %s: %r" % (what, type(body)))

@@ -1,0 +1,28 @@
+"""Object serialization (paper Section 6): binary, SOAP-like and the hybrid
+XML envelope of Figure 3."""
+
+from .binary import BinarySerializer
+from .envelope import EnvelopeCodec, ObjectEnvelope, TypeEntry
+from .errors import (
+    SerializationError,
+    UnknownTypeError,
+    UnsupportedValueError,
+    WireFormatError,
+)
+from .graph import check_serializable, collect_types, graph_size
+from .soap import SoapSerializer
+
+__all__ = [
+    "BinarySerializer",
+    "EnvelopeCodec",
+    "ObjectEnvelope",
+    "SerializationError",
+    "SoapSerializer",
+    "TypeEntry",
+    "UnknownTypeError",
+    "UnsupportedValueError",
+    "WireFormatError",
+    "check_serializable",
+    "collect_types",
+    "graph_size",
+]

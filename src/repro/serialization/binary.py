@@ -1,0 +1,262 @@
+"""Compact binary object serializer.
+
+One of the two payload formats of the hybrid scheme (Section 6.2: "The SOAP
+or binary serializations are used to serialize efficiently the whole object
+(including the private fields)").  The format is tag-prefixed with varint
+lengths, and supports shared references and cycles via back-references.
+
+Layout (one value)::
+
+    NULL | TRUE | FALSE
+    INT     zigzag varint
+    FLOAT   8-byte IEEE-754 big-endian
+    STR     varint byte-length + UTF-8
+    LIST    varint count + values
+    DICT    varint count + (STR key, value) pairs
+    OBJ     16-byte type GUID + STR type name + varint field count
+            + (STR name, value) pairs
+    REF     varint back-reference index (objects only, in OBJ-emission order)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional
+
+from ..cts.identity import Guid
+from ..runtime.loader import Runtime
+from ..runtime.objects import CtsInstance
+from .errors import UnknownTypeError, UnsupportedValueError, WireFormatError
+
+_T_NULL = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_LIST = 0x06
+_T_DICT = 0x07
+_T_OBJ = 0x08
+_T_REF = 0x09
+_T_BYTES = 0x0A
+
+_MAGIC = b"RBS1"  # "Repro Binary Serialization v1"
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag(value: int) -> int:
+    # Width-independent zigzag: Python ints are arbitrary precision.
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def read(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise WireFormatError("truncated binary payload")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+    def read_byte(self) -> int:
+        return self.read(1)[0]
+
+    def read_varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self.read_byte()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 2048:  # generous: arbitrary-precision ints allowed
+                raise WireFormatError("varint too long")
+
+    def read_str(self) -> str:
+        length = self.read_varint()
+        try:
+            return self.read(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("invalid UTF-8 in string: %s" % exc)
+
+
+class BinarySerializer:
+    """Serializes object graphs to bytes and back.
+
+    Deserialization needs a :class:`~repro.runtime.loader.Runtime` to
+    materialise instances; hitting a type the runtime does not know raises
+    :class:`UnknownTypeError` — the signal the optimistic transport protocol
+    reacts to.
+    """
+
+    format_name = "binary"
+
+    def __init__(self, runtime: Optional[Runtime] = None):
+        self.runtime = runtime
+
+    # -- encode ------------------------------------------------------------
+
+    def serialize(self, value: Any) -> bytes:
+        out = bytearray(_MAGIC)
+        self._encode(out, value, {})
+        return bytes(out)
+
+    def _encode(self, out: bytearray, value: Any, seen: Dict[int, int]) -> None:
+        if value is None:
+            out.append(_T_NULL)
+        elif value is True:
+            out.append(_T_TRUE)
+        elif value is False:
+            out.append(_T_FALSE)
+        elif isinstance(value, int):
+            out.append(_T_INT)
+            _write_varint(out, _zigzag(value))
+        elif isinstance(value, float):
+            out.append(_T_FLOAT)
+            out.extend(struct.pack(">d", value))
+        elif isinstance(value, str):
+            out.append(_T_STR)
+            self._encode_str(out, value)
+        elif isinstance(value, (bytes, bytearray)):
+            out.append(_T_BYTES)
+            _write_varint(out, len(value))
+            out.extend(value)
+        elif isinstance(value, list):
+            out.append(_T_LIST)
+            _write_varint(out, len(value))
+            for item in value:
+                self._encode(out, item, seen)
+        elif isinstance(value, dict):
+            out.append(_T_DICT)
+            _write_varint(out, len(value))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise UnsupportedValueError("dict keys must be strings")
+                self._encode_str(out, key)
+                self._encode(out, item, seen)
+        elif isinstance(value, CtsInstance):
+            marker = id(value)
+            if marker in seen:
+                out.append(_T_REF)
+                _write_varint(out, seen[marker])
+                return
+            seen[marker] = len(seen)
+            out.append(_T_OBJ)
+            out.extend(value.type_info.guid.bytes)
+            self._encode_str(out, value.type_info.full_name)
+            fields = value.fields
+            _write_varint(out, len(fields))
+            for name, item in fields.items():
+                self._encode_str(out, name)
+                self._encode(out, item, seen)
+        else:
+            raise UnsupportedValueError(
+                "cannot binary-serialize value of type %s" % type(value).__name__
+            )
+
+    @staticmethod
+    def _encode_str(out: bytearray, text: str) -> None:
+        data = text.encode("utf-8")
+        _write_varint(out, len(data))
+        out.extend(data)
+
+    # -- decode ------------------------------------------------------------
+
+    def deserialize(self, data: bytes) -> Any:
+        if not data.startswith(_MAGIC):
+            raise WireFormatError("bad magic: not a binary payload")
+        reader = _Reader(data)
+        reader.pos = len(_MAGIC)
+        objects: List[CtsInstance] = []
+        value = self._decode(reader, objects)
+        if reader.pos != len(data):
+            raise WireFormatError("trailing bytes after payload")
+        return value
+
+    def _decode(self, reader: _Reader, objects: List[CtsInstance]) -> Any:
+        tag = reader.read_byte()
+        if tag == _T_NULL:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return _unzigzag(reader.read_varint())
+        if tag == _T_FLOAT:
+            return struct.unpack(">d", reader.read(8))[0]
+        if tag == _T_STR:
+            return reader.read_str()
+        if tag == _T_BYTES:
+            return reader.read(reader.read_varint())
+        if tag == _T_LIST:
+            count = reader.read_varint()
+            return [self._decode(reader, objects) for _ in range(count)]
+        if tag == _T_DICT:
+            count = reader.read_varint()
+            out: Dict[str, Any] = {}
+            for _ in range(count):
+                key = reader.read_str()
+                out[key] = self._decode(reader, objects)
+            return out
+        if tag == _T_OBJ:
+            return self._decode_object(reader, objects)
+        if tag == _T_REF:
+            index = reader.read_varint()
+            if index >= len(objects):
+                raise WireFormatError("dangling back-reference %d" % index)
+            return objects[index]
+        raise WireFormatError("unknown tag 0x%02x" % tag)
+
+    def _decode_object(self, reader: _Reader, objects: List[CtsInstance]) -> CtsInstance:
+        if self.runtime is None:
+            raise WireFormatError(
+                "payload contains objects but no runtime was provided"
+            )
+        guid = Guid(reader.read(16))
+        type_name = reader.read_str()
+        info = self.runtime.registry.get_by_guid(guid)
+        if info is None:
+            # Name fallback only when identities agree — a same-named type
+            # of a *different version* must not be silently substituted.
+            candidate = self.runtime.registry.get(type_name)
+            if candidate is not None and candidate.guid == guid:
+                info = candidate
+        if info is None:
+            raise UnknownTypeError(type_name, str(guid))
+        # Allocate first so cyclic back-references resolve.
+        instance = self.runtime.raw_instance(info, {})
+        objects.append(instance)
+        count = reader.read_varint()
+        for _ in range(count):
+            name = reader.read_str()
+            value = self._decode(reader, objects)
+            if name in instance.fields:
+                instance.fields[name] = value
+            else:
+                # Field present on the wire but absent locally (schema drift):
+                # keep it anyway; conformance mapping may still address it.
+                instance.fields[name] = value
+        return instance

@@ -1,0 +1,157 @@
+"""The hybrid XML message (paper Section 6.2, Figure 3).
+
+"An XML message encompassing the object is sent instead of only the object
+itself.  This XML message consists of information about the types of the
+object (type names and download paths of their implementations) and includes
+the SOAP or binary serialized object."
+
+The envelope is the unit the optimistic transport protocol actually puts on
+the wire.  Note what it does *not* contain: no type descriptions and no
+code — those travel only on demand.
+"""
+
+from __future__ import annotations
+
+import base64
+import xml.etree.ElementTree as ET
+from typing import Any, List, Optional
+
+from ..cts.types import TypeInfo
+from .binary import BinarySerializer
+from .errors import WireFormatError
+from .graph import collect_types
+from .soap import SoapSerializer
+
+
+class TypeEntry:
+    """One ``<Type>`` line of the envelope's type-information section."""
+
+    __slots__ = ("name", "guid_text", "assembly", "download_path")
+
+    def __init__(self, name: str, guid_text: str, assembly: str,
+                 download_path: Optional[str]):
+        self.name = name
+        self.guid_text = guid_text
+        self.assembly = assembly
+        self.download_path = download_path
+
+    @classmethod
+    def for_type(cls, info: TypeInfo) -> "TypeEntry":
+        return cls(info.full_name, str(info.guid), info.assembly_name, info.download_path)
+
+    def __repr__(self) -> str:
+        return "TypeEntry(%s @ %s)" % (self.name, self.download_path)
+
+
+class ObjectEnvelope:
+    """A parsed (or to-be-sent) hybrid message."""
+
+    def __init__(self, type_entries: List[TypeEntry], encoding: str, payload: bytes):
+        self.type_entries = type_entries
+        self.encoding = encoding  # "binary" | "soap"
+        self.payload = payload
+
+    def type_names(self) -> List[str]:
+        return [entry.name for entry in self.type_entries]
+
+    def root_entry(self) -> TypeEntry:
+        if not self.type_entries:
+            raise WireFormatError("envelope has no type information")
+        return self.type_entries[0]
+
+    def __repr__(self) -> str:
+        return "ObjectEnvelope(%s, %d types, %d payload bytes)" % (
+            self.encoding, len(self.type_entries), len(self.payload),
+        )
+
+
+class EnvelopeCodec:
+    """Builds and parses hybrid envelopes.
+
+    ``encoding`` selects the payload serializer: ``"binary"`` (compact) or
+    ``"soap"`` (verbose XML) — both available exactly as in the paper.
+    """
+
+    def __init__(self, runtime=None, encoding: str = "binary"):
+        if encoding not in ("binary", "soap"):
+            raise ValueError("encoding must be 'binary' or 'soap'")
+        self.encoding = encoding
+        self._binary = BinarySerializer(runtime)
+        self._soap = SoapSerializer(runtime)
+
+    def _payload_serializer(self, encoding: str):
+        return self._binary if encoding == "binary" else self._soap
+
+    # -- build ------------------------------------------------------------
+
+    def wrap(self, value: Any) -> ObjectEnvelope:
+        """Object graph → envelope (types section + serialized payload)."""
+        entries = [TypeEntry.for_type(t) for t in collect_types(value)]
+        payload = self._payload_serializer(self.encoding).serialize(value)
+        return ObjectEnvelope(entries, self.encoding, payload)
+
+    def encode(self, value: Any) -> bytes:
+        """Object graph → wire bytes of the full XML message."""
+        return self.envelope_to_bytes(self.wrap(value))
+
+    def envelope_to_bytes(self, envelope: ObjectEnvelope) -> bytes:
+        root = ET.Element("XmlMessage")
+        type_info = ET.SubElement(root, "TypeInformation")
+        for entry in envelope.type_entries:
+            attrs = {
+                "name": entry.name,
+                "guid": entry.guid_text,
+                "assembly": entry.assembly,
+            }
+            if entry.download_path:
+                attrs["path"] = entry.download_path
+            ET.SubElement(type_info, "Type", attrs)
+        payload = ET.SubElement(root, "Payload", {"encoding": envelope.encoding})
+        payload.text = base64.b64encode(envelope.payload).decode("ascii")
+        return ET.tostring(root, encoding="utf-8")
+
+    # -- parse ------------------------------------------------------------
+
+    def parse(self, data: bytes) -> ObjectEnvelope:
+        """Wire bytes → envelope (payload NOT yet deserialized)."""
+        try:
+            root = ET.fromstring(data)
+        except ET.ParseError as exc:
+            raise WireFormatError("invalid envelope XML: %s" % exc)
+        if root.tag != "XmlMessage":
+            raise WireFormatError("expected <XmlMessage>, found <%s>" % root.tag)
+        type_info = root.find("TypeInformation")
+        entries: List[TypeEntry] = []
+        if type_info is not None:
+            for element in type_info.findall("Type"):
+                name = element.get("name")
+                guid_text = element.get("guid")
+                if not name or not guid_text:
+                    raise WireFormatError("<Type> missing name/guid")
+                entries.append(
+                    TypeEntry(name, guid_text, element.get("assembly", "default"),
+                              element.get("path"))
+                )
+        payload_el = root.find("Payload")
+        if payload_el is None:
+            raise WireFormatError("envelope missing <Payload>")
+        encoding = payload_el.get("encoding", "binary")
+        if encoding not in ("binary", "soap"):
+            raise WireFormatError("unknown payload encoding %r" % encoding)
+        try:
+            payload = base64.b64decode(payload_el.text or "", validate=True)
+        except (ValueError, TypeError):
+            raise WireFormatError("payload is not valid base64")
+        return ObjectEnvelope(entries, encoding, payload)
+
+    def unwrap(self, envelope: ObjectEnvelope) -> Any:
+        """Envelope → object graph.
+
+        Raises :class:`~repro.serialization.errors.UnknownTypeError` when a
+        payload type is not locally known — the optimistic protocol's cue.
+        """
+        return self._payload_serializer(envelope.encoding).deserialize(envelope.payload)
+
+    def decode(self, data: bytes) -> Any:
+        """Wire bytes → object graph in one step."""
+        return self.unwrap(self.parse(data))

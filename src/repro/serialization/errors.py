@@ -1,0 +1,33 @@
+"""Serialization error hierarchy."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SerializationError(Exception):
+    """Base class for serializer failures."""
+
+
+class UnsupportedValueError(SerializationError, TypeError):
+    """A value outside the serializable universe was encountered."""
+
+
+class WireFormatError(SerializationError, ValueError):
+    """Malformed bytes / XML on the decode path."""
+
+
+class UnknownTypeError(SerializationError):
+    """Deserialization hit a type the local runtime does not know.
+
+    This is the trigger of the optimistic protocol: the transport layer
+    catches it, fetches the description (and, after a successful conformance
+    check, the assembly) and retries.
+    """
+
+    def __init__(self, type_name: str, guid_text: Optional[str] = None):
+        super().__init__(
+            "unknown type %r%s" % (type_name, " (guid %s)" % guid_text if guid_text else "")
+        )
+        self.type_name = type_name
+        self.guid_text = guid_text

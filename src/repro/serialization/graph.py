@@ -1,0 +1,112 @@
+"""Object-graph utilities shared by the serializers.
+
+The serializable universe is: ``None``, bool, int, float, str, lists,
+string-keyed dicts, and :class:`~repro.runtime.objects.CtsInstance` — closed
+under nesting, with shared references and cycles permitted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Set
+
+from ..cts.types import TypeInfo
+from ..runtime.objects import CtsInstance
+from .errors import UnsupportedValueError
+
+
+def check_serializable(value: Any) -> None:
+    """Raise :class:`UnsupportedValueError` for out-of-universe values."""
+    seen: Set[int] = set()
+
+    def walk(node: Any) -> None:
+        if node is None or isinstance(node, (bool, int, float, str)):
+            return
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, list):
+            for item in node:
+                walk(item)
+            return
+        if isinstance(node, dict):
+            for key, item in node.items():
+                if not isinstance(key, str):
+                    raise UnsupportedValueError(
+                        "dict keys must be strings, got %r" % (key,)
+                    )
+                walk(item)
+            return
+        if isinstance(node, CtsInstance):
+            for item in node.fields.values():
+                walk(item)
+            return
+        raise UnsupportedValueError(
+            "value of type %s is not serializable" % type(node).__name__
+        )
+
+    walk(value)
+
+
+def collect_types(value: Any) -> List[TypeInfo]:
+    """All distinct CTS types reachable in an object graph, in first-seen
+    order.  The envelope uses this to list type information + download
+    paths (Figure 3)."""
+    seen_objects: Set[int] = set()
+    seen_types: Set[str] = set()
+    types: List[TypeInfo] = []
+
+    def walk(node: Any) -> None:
+        if node is None or isinstance(node, (bool, int, float, str)):
+            return
+        if id(node) in seen_objects:
+            return
+        seen_objects.add(id(node))
+        if isinstance(node, list):
+            for item in node:
+                walk(item)
+        elif isinstance(node, dict):
+            for item in node.values():
+                walk(item)
+        elif isinstance(node, CtsInstance):
+            info = node.type_info
+            if info.full_name not in seen_types:
+                seen_types.add(info.full_name)
+                types.append(info)
+            for item in node.fields.values():
+                walk(item)
+        else:
+            raise UnsupportedValueError(
+                "value of type %s is not serializable" % type(node).__name__
+            )
+
+    walk(value)
+    return types
+
+
+def graph_size(value: Any) -> Dict[str, int]:
+    """Counts of nodes by category — handy in tests and benchmarks."""
+    counts = {"objects": 0, "primitives": 0, "containers": 0}
+    seen: Set[int] = set()
+
+    def walk(node: Any) -> None:
+        if node is None or isinstance(node, (bool, int, float, str)):
+            counts["primitives"] += 1
+            return
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, list):
+            counts["containers"] += 1
+            for item in node:
+                walk(item)
+        elif isinstance(node, dict):
+            counts["containers"] += 1
+            for item in node.values():
+                walk(item)
+        elif isinstance(node, CtsInstance):
+            counts["objects"] += 1
+            for item in node.fields.values():
+                walk(item)
+
+    walk(value)
+    return counts

@@ -1,0 +1,20 @@
+"""Transport protocols: the paper's optimistic scheme and an eager baseline."""
+
+from .eager import EagerPeer, KIND_OBJECT_EAGER
+from .protocol import (
+    InteropPeer,
+    KIND_OBJECT,
+    ProtocolError,
+    ReceivedObject,
+    TransportStats,
+)
+
+__all__ = [
+    "EagerPeer",
+    "InteropPeer",
+    "KIND_OBJECT",
+    "KIND_OBJECT_EAGER",
+    "ProtocolError",
+    "ReceivedObject",
+    "TransportStats",
+]

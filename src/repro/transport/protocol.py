@@ -1,0 +1,338 @@
+"""The optimistic transport protocol (paper Section 3, Figure 1).
+
+    Peer A                                   Peer B
+    ------ 1. object (envelope only) ------->
+    <----- 2. ask type information ---------
+    ------ 3. type description ------------->   rules check
+    <----- 4. types conform, ask the code --
+    ------ 5. assembly (code) -------------->   object usable
+
+The protocol is optimistic because steps 2-5 happen only when needed: a
+known type skips everything, a cached description skips 2-3, and a failed
+conformance check *saves* the code transfer entirely.
+
+:class:`InteropPeer` is the full middleware endpoint: runtime + registry,
+description cache and resolver, conformance checker, envelope codec, and
+the request handlers that let every peer also serve descriptions and
+assemblies for the types it hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..cts.assembly import Assembly
+from ..cts.identity import Guid
+from ..cts.types import TypeInfo
+from ..core.context import ConformanceOptions
+from ..core.result import ConformanceResult
+from ..core.rules import ConformanceChecker
+from ..describe.cache import DescriptionCache
+from ..describe.description import TypeDescription
+from ..describe.resolver import DescriptionResolver
+from ..describe.xml_codec import deserialize_description, serialize_description_bytes
+from ..net.codeserver import KIND_GET_ASSEMBLY, KIND_GET_DESCRIPTION
+from ..net.network import MessageDropped, NetworkError, SimulatedNetwork
+from ..net.peer import Peer, error_response
+from ..remoting.dynamic import wrap_with_result
+from ..runtime.loader import Runtime
+from ..serialization.binary import BinarySerializer
+from ..serialization.envelope import EnvelopeCodec, ObjectEnvelope
+from ..serialization.errors import UnknownTypeError
+
+KIND_OBJECT = "object"
+
+#: Safety bound on the materialisation loop (one fetch per unknown type).
+_MAX_CODE_FETCHES = 64
+
+
+class ProtocolError(Exception):
+    pass
+
+
+class TransportStats:
+    """Per-peer protocol counters (reported by the Figure-1 benchmarks)."""
+
+    __slots__ = (
+        "objects_sent",
+        "objects_received",
+        "objects_rejected",
+        "descriptions_fetched",
+        "assemblies_fetched",
+        "unknown_type_retries",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return "TransportStats(%s)" % ", ".join(
+            "%s=%d" % item for item in self.as_dict().items()
+        )
+
+
+class ReceivedObject:
+    """What lands in a receiver's inbox after the protocol completes."""
+
+    __slots__ = ("sender", "type_name", "value", "view", "interest", "result")
+
+    def __init__(
+        self,
+        sender: str,
+        type_name: str,
+        value: Any,
+        view: Any,
+        interest: Optional[TypeInfo],
+        result: Optional[ConformanceResult],
+    ):
+        self.sender = sender
+        self.type_name = type_name
+        self.value = value          # raw deserialized object (None if rejected)
+        self.view = view            # object as the interest type (proxied if needed)
+        self.interest = interest    # the matching declared interest, if any
+        self.result = result        # conformance result against that interest
+
+    @property
+    def accepted(self) -> bool:
+        return self.view is not None
+
+    def __repr__(self) -> str:
+        state = "accepted" if self.accepted else "rejected"
+        return "ReceivedObject(%s from %s, %s)" % (self.type_name, self.sender, state)
+
+
+class InteropPeer(Peer):
+    """A middleware endpoint implementing the optimistic protocol."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        network: SimulatedNetwork,
+        encoding: str = "binary",
+        options: Optional[ConformanceOptions] = None,
+        code_source: Optional[str] = None,
+        max_retries: int = 0,
+    ):
+        super().__init__(peer_id, network)
+        self.max_retries = max_retries
+        self.runtime = Runtime()
+        self.cache = DescriptionCache()
+        self.resolver = DescriptionResolver(self.runtime.registry, self.cache)
+        self.checker = ConformanceChecker(self.resolver, options)
+        self.codec = EnvelopeCodec(self.runtime, encoding)
+        self.interests: List[TypeInfo] = []
+        self.inbox: List[ReceivedObject] = []
+        self.stats = TransportStats()
+        self.code_source = code_source  # fallback repository peer id
+        self._hosted: Dict[str, Assembly] = {}
+        self._receive_callbacks: List[Callable[[ReceivedObject], None]] = []
+        self._wire_codec = BinarySerializer()
+        self.on(KIND_OBJECT, self._handle_object)
+        self.on(KIND_GET_DESCRIPTION, self._serve_description)
+        self.on(KIND_GET_ASSEMBLY, self._serve_assembly)
+
+    # ------------------------------------------------------------------
+    # local knowledge
+    # ------------------------------------------------------------------
+
+    def host_assembly(self, assembly: Assembly) -> None:
+        """Load an assembly locally and serve it to other peers."""
+        self.runtime.load_assembly(assembly)
+        self._hosted[assembly.download_path] = assembly
+        self._hosted[assembly.name] = assembly
+
+    def declare_interest(self, info: TypeInfo) -> None:
+        """Register a type of interest — received objects whose types
+        conform to it are delivered as that type."""
+        self.runtime.registry.register(info)
+        self.interests.append(info)
+
+    def on_receive(self, callback: Callable[[ReceivedObject], None]) -> None:
+        self._receive_callbacks.append(callback)
+
+    def new_instance(self, type_name: str, args: Optional[List[Any]] = None):
+        return self.runtime.new_instance(type_name, args)
+
+    # ------------------------------------------------------------------
+    # sending (step 1)
+    # ------------------------------------------------------------------
+
+    def send(self, dst: str, value: Any) -> None:
+        """Optimistic send: the envelope carries only type names + download
+        paths + the serialized object; no description, no code."""
+        payload = self.codec.encode(value)
+        self.stats.objects_sent += 1
+        self.post(dst, KIND_OBJECT, payload, retries=self.max_retries)
+
+    # ------------------------------------------------------------------
+    # receiving (steps 2-5)
+    # ------------------------------------------------------------------
+
+    def _handle_object(self, payload: bytes, src: str) -> bytes:
+        envelope = self.codec.parse(payload)
+        received = self.receive_envelope(envelope, src)
+        self.inbox.append(received)
+        for callback in self._receive_callbacks:
+            callback(received)
+        return b"OK"
+
+    def receive_envelope(self, envelope: ObjectEnvelope, src: str) -> ReceivedObject:
+        self.stats.objects_received += 1
+        root = envelope.root_entry()
+
+        provider_info = self._known_type(root.name, root.guid_text)
+        description: Optional[TypeDescription] = None
+        if provider_info is None:
+            # Step 2-3: ask for the type information (description only).
+            description = self._obtain_description(src, root.name, root.download_path)
+            if description is None:
+                raise ProtocolError(
+                    "peer %s cannot describe type %s" % (src, root.name)
+                )
+            provider_info = description.to_type_info()
+
+        # Rules check against declared interests, on the *description* —
+        # before any code is transferred.
+        interest: Optional[TypeInfo] = None
+        result: Optional[ConformanceResult] = None
+        if self.interests:
+            with self._fetching_from(src):
+                for candidate in self.interests:
+                    verdict = self.checker.conforms(provider_info, candidate)
+                    if verdict.ok:
+                        interest = candidate
+                        result = verdict
+                        break
+            if interest is None:
+                # Optimistic win: non-conformant objects never cost a code
+                # download.
+                self.stats.objects_rejected += 1
+                return ReceivedObject(src, root.name, None, None, None, result)
+
+        # Step 4-5: types conform (or no interest filter) — fetch the code
+        # and deserialize.
+        value = self._materialize(envelope, src)
+
+        view: Any = value
+        if interest is not None and result is not None:
+            view = wrap_with_result(value, interest, result, self.checker)
+        return ReceivedObject(src, root.name, value, view, interest, result)
+
+    # -- step 2-3 helpers ---------------------------------------------------
+
+    def _known_type(self, name: str, guid_text: str) -> Optional[TypeInfo]:
+        info = self.runtime.registry.get_by_guid(Guid.parse(guid_text))
+        if info is not None:
+            return info
+        info = self.runtime.registry.get(name)
+        if info is not None and str(info.guid) == guid_text:
+            return info
+        return None
+
+    def _obtain_description(
+        self, src: str, type_name: str, download_path: Optional[str]
+    ) -> Optional[TypeDescription]:
+        if self.cache.contains_name(type_name):
+            return self.cache.get_by_name(type_name)
+        description = self.fetch_description(src, type_name)
+        if description is None and self.code_source is not None and self.code_source != src:
+            description = self.fetch_description(self.code_source, type_name)
+        if description is not None:
+            self.cache.put(description)
+        return description
+
+    def fetch_description(self, source: str, type_name: str) -> Optional[TypeDescription]:
+        try:
+            data = self.request(source, KIND_GET_DESCRIPTION,
+                                type_name.encode("utf-8"), retries=self.max_retries)
+        except MessageDropped:
+            raise  # loss is not "unknown type"; let the caller retry/report
+        except NetworkError:
+            return None
+        self.stats.descriptions_fetched += 1
+        return deserialize_description(data)
+
+    def _fetching_from(self, src: str):
+        """Context manager: route the resolver's description fetches to the
+        sending peer (nested member types of rule recursion, Section 5.2)."""
+        peer = self
+
+        class _Scope:
+            def __enter__(self_inner):
+                self_inner.saved = peer.resolver.fetch
+                peer.resolver.fetch = (
+                    lambda name, path: peer._obtain_description(src, name, path)
+                )
+
+            def __exit__(self_inner, *exc):
+                peer.resolver.fetch = self_inner.saved
+                return False
+
+        return _Scope()
+
+    # -- step 4-5 helpers ---------------------------------------------------
+
+    def fetch_assembly(self, source: str, path_or_type: str) -> Optional[Assembly]:
+        try:
+            data = self.request(source, KIND_GET_ASSEMBLY,
+                                path_or_type.encode("utf-8"), retries=self.max_retries)
+        except MessageDropped:
+            raise
+        except NetworkError:
+            return None
+        self.stats.assemblies_fetched += 1
+        return Assembly.from_wire(self._wire_codec.deserialize(data))
+
+    def _materialize(self, envelope: ObjectEnvelope, src: str) -> Any:
+        """Deserialize, downloading assemblies for unknown types on demand."""
+        paths = {entry.name: entry.download_path for entry in envelope.type_entries}
+        for _ in range(_MAX_CODE_FETCHES):
+            try:
+                return self.codec.unwrap(envelope)
+            except UnknownTypeError as missing:
+                self.stats.unknown_type_retries += 1
+                target = paths.get(missing.type_name) or missing.type_name
+                assembly = self.fetch_assembly(src, target)
+                if assembly is None and self.code_source is not None:
+                    assembly = self.fetch_assembly(self.code_source, target)
+                if assembly is None:
+                    raise ProtocolError(
+                        "cannot obtain code for type %s (asked %s)"
+                        % (missing.type_name, src)
+                    )
+                # shadow=True: a different *version* of an already-known
+                # name coexists under its own identity.
+                self.runtime.load_assembly(assembly, shadow=True)
+                # Peers propagate code: once downloaded, an assembly is
+                # re-served to other peers (needed e.g. by pub/sub brokers).
+                self._hosted[assembly.download_path] = assembly
+                self._hosted[assembly.name] = assembly
+        raise ProtocolError("too many unknown-type retries; giving up")
+
+    # ------------------------------------------------------------------
+    # serving (the sender side of steps 2-5)
+    # ------------------------------------------------------------------
+
+    def _serve_description(self, payload: bytes, src: str) -> bytes:
+        type_name = payload.decode("utf-8")
+        info = self.runtime.registry.get(type_name)
+        if info is None:
+            return error_response("no description for %s" % type_name)
+        return serialize_description_bytes(TypeDescription.from_type_info(info))
+
+    def _serve_assembly(self, payload: bytes, src: str) -> bytes:
+        key = payload.decode("utf-8")
+        assembly = self._hosted.get(key)
+        if assembly is None:
+            # The key may be a type name: find the hosting assembly.
+            for hosted in self._hosted.values():
+                if hosted.find_type(key) is not None:
+                    assembly = hosted
+                    break
+        if assembly is None:
+            return error_response("no assembly for %s" % key)
+        return self._wire_codec.serialize(assembly.to_wire())

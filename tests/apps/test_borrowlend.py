@@ -1,0 +1,124 @@
+"""Tests for the borrow/lend abstraction."""
+
+import pytest
+
+from repro.apps.borrowlend import BorrowError, BorrowLendPeer
+from repro.cts.assembly import Assembly
+from repro.fixtures import account_csharp, person_assembly_pair, person_java
+from repro.net.network import SimulatedNetwork
+from repro.remoting.dynamic import DynamicProxy
+
+
+@pytest.fixture
+def world():
+    network = SimulatedNetwork()
+    lender = BorrowLendPeer("lender", network)
+    borrower = BorrowLendPeer("borrower", network)
+    asm_a, _ = person_assembly_pair()
+    lender.host_assembly(asm_a)
+    return network, lender, borrower
+
+
+class TestLending:
+    def test_lend_lists_offer(self, world):
+        _, lender, _ = world
+        resource = lender.new_instance("demo.a.Person", ["R"])
+        offer = lender.lend("r1", resource)
+        assert offer.available
+        assert lender.offers() == [offer]
+
+    def test_lend_requires_cts_type(self, world):
+        _, lender, _ = world
+        with pytest.raises(BorrowError):
+            lender.lend("bad", 42)
+
+    def test_withdraw(self, world):
+        _, lender, _ = world
+        lender.lend("r1", lender.new_instance("demo.a.Person", ["R"]))
+        lender.withdraw("r1")
+        assert lender.offers() == []
+
+
+class TestBorrowing:
+    def test_borrow_by_implicit_conformance(self, world):
+        _, lender, borrower = world
+        lender.lend("p", lender.new_instance("demo.a.Person", ["Lent"]))
+        lease = borrower.borrow("lender", person_java())
+        assert isinstance(lease.view, DynamicProxy)
+        assert lease.view.getPersonName() == "Lent"
+
+    def test_borrowed_resource_unavailable(self, world):
+        _, lender, borrower = world
+        offer = lender.lend("p", lender.new_instance("demo.a.Person", ["L"]))
+        borrower.borrow("lender", person_java())
+        assert not offer.available
+        assert offer.lent_to == "borrower"
+
+    def test_second_borrow_fails_until_returned(self, world):
+        network, lender, borrower = world
+        lender.lend("p", lender.new_instance("demo.a.Person", ["L"]))
+        lease = borrower.borrow("lender", person_java())
+        other = BorrowLendPeer("other", network)
+        with pytest.raises(BorrowError):
+            other.borrow("lender", person_java())
+        lease.give_back()
+        assert other.borrow("lender", person_java()).view.getPersonName() == "L"
+
+    def test_no_conformant_resource(self, world):
+        _, lender, borrower = world
+        lender.host_assembly(Assembly("bank", [account_csharp()]))
+        lender.lend("acct", lender.new_instance("demo.bank.Account", ["o", 7]))
+        with pytest.raises(BorrowError):
+            borrower.borrow("lender", person_java())
+
+    def test_mutations_visible_to_lender(self, world):
+        _, lender, borrower = world
+        resource = lender.new_instance("demo.a.Person", ["Before"])
+        lender.lend("p", resource)
+        lease = borrower.borrow("lender", person_java())
+        lease.view.setPersonName("After")
+        assert resource.GetName() == "After"
+
+
+class TestLeases:
+    def test_unlimited_lease_never_expires(self, world):
+        _, lender, borrower = world
+        lender.lend("p", lender.new_instance("demo.a.Person", ["L"]))
+        lease = borrower.borrow("lender", person_java())
+        assert not lease.expired
+        assert lease.expires_at_s is None
+
+    def test_timed_lease_expiry(self, world):
+        network, lender, borrower = world
+        lender.lend("p", lender.new_instance("demo.a.Person", ["T"]),
+                    max_duration_s=0.5)
+        lease = borrower.borrow("lender", person_java())
+        assert not lease.expired
+        network.clock_s += 1.0  # simulated time passes
+        assert lease.expired
+
+    def test_reclaim_expired(self, world):
+        network, lender, borrower = world
+        offer = lender.lend("p", lender.new_instance("demo.a.Person", ["T"]),
+                            max_duration_s=0.5)
+        borrower.borrow("lender", person_java())
+        assert not offer.available
+        network.clock_s += 1.0
+        assert lender.reclaim_expired() == ["p"]
+        assert offer.available
+
+    def test_reclaim_ignores_live_leases(self, world):
+        network, lender, borrower = world
+        offer = lender.lend("p", lender.new_instance("demo.a.Person", ["T"]),
+                            max_duration_s=100.0)
+        borrower.borrow("lender", person_java())
+        assert lender.reclaim_expired() == []
+        assert not offer.available
+
+    def test_double_return_is_error(self, world):
+        _, lender, borrower = world
+        lender.lend("p", lender.new_instance("demo.a.Person", ["L"]))
+        lease = borrower.borrow("lender", person_java())
+        lease.give_back()
+        with pytest.raises(Exception):
+            lease.give_back()

@@ -1,0 +1,152 @@
+"""Tests for type-based publish/subscribe."""
+
+import pytest
+
+from repro.apps.tps import LocalBroker, TpsBroker, TpsPeer
+from repro.core import ConformanceChecker, ConformanceOptions
+from repro.cts.assembly import Assembly
+from repro.fixtures import (
+    account_csharp,
+    person_assembly_pair,
+    person_csharp,
+    person_java,
+    person_vb,
+)
+from repro.net.network import SimulatedNetwork
+from repro.runtime.loader import Runtime
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    asm_a, _ = person_assembly_pair()
+    rt.load_assembly(asm_a)
+    rt.load_assembly(Assembly("bank", [account_csharp()]))
+    return rt
+
+
+class TestLocalBroker:
+    def test_conformant_event_delivered_via_proxy(self, runtime):
+        broker = LocalBroker()
+        got = []
+        broker.subscribe(person_java(), got.append)
+        event = runtime.new_instance("demo.a.Person", ["News"])
+        assert broker.publish(event) == 1
+        assert got[0].getPersonName() == "News"
+
+    def test_nonconformant_event_filtered(self, runtime):
+        broker = LocalBroker()
+        got = []
+        broker.subscribe(person_java(), got.append)
+        account = runtime.new_instance("demo.bank.Account", ["o", 5])
+        assert broker.publish(account) == 0
+        assert got == []
+
+    def test_multiple_subscriptions_fan_out(self, runtime):
+        broker = LocalBroker()
+        a, b = [], []
+        broker.subscribe(person_java(), a.append)
+        broker.subscribe(person_vb(), b.append)
+        broker.publish(runtime.new_instance("demo.a.Person", ["fan"]))
+        assert len(a) == 1 and len(b) == 1
+
+    def test_unsubscribe(self, runtime):
+        broker = LocalBroker()
+        got = []
+        sub = broker.subscribe(person_java(), got.append)
+        broker.unsubscribe(sub)
+        broker.publish(runtime.new_instance("demo.a.Person", ["gone"]))
+        assert got == []
+
+    def test_counters(self, runtime):
+        broker = LocalBroker()
+        sub = broker.subscribe(person_java(), lambda e: None)
+        broker.publish(runtime.new_instance("demo.a.Person", ["1"]))
+        broker.publish(runtime.new_instance("demo.bank.Account", ["o", 1]))
+        assert broker.published == 2
+        assert broker.delivered == 1
+        assert sub.delivered == 1
+
+    def test_event_must_have_type(self):
+        broker = LocalBroker()
+        with pytest.raises(TypeError):
+            broker.publish(object())
+
+    def test_exact_type_subscription_no_proxy(self, runtime):
+        broker = LocalBroker()
+        got = []
+        provider = runtime.registry.require("demo.a.Person")
+        broker.subscribe(provider, got.append)
+        event = runtime.new_instance("demo.a.Person", ["same"])
+        broker.publish(event)
+        assert got[0] is event  # no wrapper needed
+
+
+class TestDistributedTps:
+    @pytest.fixture
+    def world(self):
+        network = SimulatedNetwork()
+        broker = TpsBroker("broker", network)
+        publisher = TpsPeer("publisher", network)
+        subscriber = TpsPeer("subscriber", network)
+        asm_a, _ = person_assembly_pair()
+        publisher.host_assembly(asm_a)
+        return network, broker, publisher, subscriber
+
+    def test_remote_subscribe_and_publish(self, world):
+        network, broker, publisher, subscriber = world
+        events = []
+        subscriber.subscribe_remote("broker", person_java(), events.append)
+        publisher.publish("broker", publisher.new_instance("demo.a.Person", ["Wire"]))
+        assert len(events) == 1
+        assert events[0].getPersonName() == "Wire"
+        assert broker.events_routed == 1
+
+    def test_nonconformant_not_routed(self, world):
+        network, broker, publisher, subscriber = world
+        publisher.host_assembly(Assembly("bank", [account_csharp()]))
+        events = []
+        subscriber.subscribe_remote("broker", person_java(), events.append)
+        publisher.publish("broker", publisher.new_instance("demo.bank.Account", ["o", 2]))
+        assert events == []
+        assert broker.events_routed == 0
+
+    def test_multiple_subscribers(self, world):
+        network, broker, publisher, subscriber = world
+        sub2 = TpsPeer("subscriber2", network)
+        e1, e2 = [], []
+        subscriber.subscribe_remote("broker", person_java(), e1.append)
+        sub2.subscribe_remote("broker", person_vb(), e2.append)
+        publisher.publish("broker", publisher.new_instance("demo.a.Person", ["both"]))
+        assert len(e1) == 1 and len(e2) == 1
+        assert e1[0].getPersonName() == "both"
+        assert e2[0].GetName() == "both"
+
+    def test_unsubscribe_remote(self, world):
+        network, broker, publisher, subscriber = world
+        events = []
+        sid = subscriber.subscribe_remote("broker", person_java(), events.append)
+        subscriber.unsubscribe_remote("broker", sid)
+        publisher.publish("broker", publisher.new_instance("demo.a.Person", ["x"]))
+        assert events == []
+
+    def test_publisher_not_echoed(self, world):
+        """A peer that both publishes and subscribes does not receive its
+        own events back."""
+        network, broker, publisher, subscriber = world
+        events = []
+        publisher.subscribe_remote("broker", person_java(), events.append)
+        publisher.publish("broker", publisher.new_instance("demo.a.Person", ["self"]))
+        assert events == []
+
+    def test_code_flows_through_broker(self, world):
+        """Subscriber never talks to the publisher: descriptions and code
+        come from the broker, which re-serves what it downloaded."""
+        network, broker, publisher, subscriber = world
+        events = []
+        subscriber.subscribe_remote("broker", person_java(), events.append)
+        publisher.publish("broker", publisher.new_instance("demo.a.Person", ["relay"]))
+        assert events[0].getPersonName() == "relay"
+        # All subscriber traffic went to the broker.
+        partners = {dst for (src, dst, kind, size) in network.log if src == "subscriber"}
+        assert partners <= {"broker"}

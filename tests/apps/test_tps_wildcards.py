@@ -1,0 +1,79 @@
+"""TPS with wildcard interests — the paper's rule (i) generalisation
+("In order to be more general, wildcards could be allowed") applied to
+publish/subscribe topic types."""
+
+import pytest
+
+from repro.apps.tps import LocalBroker
+from repro.core import ConformanceChecker, ConformanceOptions, NamePolicy
+from repro.cts.builder import TypeBuilder
+from repro.runtime.loader import Runtime
+
+
+def event_type(name, namespace="events"):
+    return (
+        TypeBuilder("%s.%s" % (namespace, name), assembly_name="events")
+        .field("payload", "string", visibility="private")
+        .getter("GetPayload", "payload", "string")
+        .ctor([("p", "string")], body=lambda self, p: self.set_field("payload", p))
+        .build()
+    )
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    for name in ("StockEvent", "SportsEvent", "WeatherAlert"):
+        rt.load_type(event_type(name))
+    return rt
+
+
+@pytest.fixture
+def wildcard_broker():
+    options = ConformanceOptions(
+        name_policy=NamePolicy(allow_wildcards=True)
+    )
+    return LocalBroker(ConformanceChecker(options=options))
+
+
+class TestWildcardSubscriptions:
+    def test_star_event_matches_event_suffixed_types(self, runtime, wildcard_broker):
+        pattern = event_type("*Event", namespace="patterns")
+        got = []
+        wildcard_broker.subscribe(pattern, got.append)
+
+        wildcard_broker.publish(runtime.new_instance("events.StockEvent", ["AAPL"]))
+        wildcard_broker.publish(runtime.new_instance("events.SportsEvent", ["score"]))
+        wildcard_broker.publish(runtime.new_instance("events.WeatherAlert", ["storm"]))
+
+        assert len(got) == 2  # both *Event types, not the Alert
+        assert {view.GetPayload() for view in got} == {"AAPL", "score"}
+
+    def test_pattern_still_checks_structure(self, runtime, wildcard_broker):
+        """Wildcards relax the name, not the safety: a structurally alien
+        *Event type is still filtered."""
+        alien = (
+            TypeBuilder("events.RogueEvent", assembly_name="events")
+            .method("Detonate", [], "void", body=lambda self: None)
+            .build()
+        )
+        runtime.load_type(alien)
+        pattern = event_type("*Event", namespace="patterns")
+        got = []
+        wildcard_broker.subscribe(pattern, got.append)
+        wildcard_broker.publish(runtime.new_instance("events.RogueEvent"))
+        assert got == []
+
+    def test_question_mark_pattern(self, runtime):
+        options = ConformanceOptions(name_policy=NamePolicy(allow_wildcards=True))
+        checker = ConformanceChecker(options=options)
+        pattern = event_type("?????Event", namespace="patterns")
+        assert checker.conforms(event_type("StockEvent"), pattern).ok      # 5 chars
+        assert not checker.conforms(event_type("SportsEvent"), pattern).ok  # 6 chars
+
+    def test_plain_broker_rejects_patterns(self, runtime):
+        broker = LocalBroker()  # pragmatic policy, no wildcards
+        got = []
+        broker.subscribe(event_type("*Event", namespace="patterns"), got.append)
+        broker.publish(runtime.new_instance("events.StockEvent", ["x"]))
+        assert got == []

@@ -1,0 +1,93 @@
+"""Tests for the related-work baseline matchers."""
+
+import pytest
+
+from repro.core import ExactMatcher, TaggedStructuralMatcher, Verdict
+from repro.cts.builder import TypeBuilder, interface_builder
+from repro.cts.registry import TypeRegistry
+from repro.fixtures import person_csharp, person_java, person_vb
+
+
+class TestExactMatcher:
+    def test_identity(self):
+        person = person_csharp()
+        assert ExactMatcher().conforms(person, person).verdict is Verdict.EQUAL
+
+    def test_object_root(self):
+        from repro.cts.types import OBJECT
+
+        assert ExactMatcher().conforms(person_csharp(), OBJECT).ok
+
+    def test_declared_subtype(self):
+        registry = TypeRegistry()
+        base = TypeBuilder("x.Base").build()
+        sub = TypeBuilder("x.Sub").extends(base).build()
+        registry.register_all([base, sub])
+        matcher = ExactMatcher(registry)
+        assert matcher.conforms(sub, base).verdict is Verdict.EXPLICIT
+
+    def test_transitive_through_interfaces(self):
+        registry = TypeRegistry()
+        iface = interface_builder("x.I").build()
+        mid = TypeBuilder("x.Mid").implements(iface).build()
+        sub = TypeBuilder("x.Sub").extends(mid).build()
+        registry.register_all([iface, mid, sub])
+        matcher = ExactMatcher(registry)
+        assert matcher.conforms(sub, iface).ok
+
+    def test_rejects_structural_twins(self):
+        """The key limitation: two Person types that the paper's checker
+        unifies are NOT interoperable under exact matching."""
+        assert not ExactMatcher().conforms(person_vb(), person_csharp()).ok
+
+
+class TestTaggedStructuralMatcher:
+    def test_untagged_types_never_match(self):
+        matcher = TaggedStructuralMatcher()
+        assert not matcher.conforms(person_vb(), person_csharp()).ok
+
+    def test_tagged_identical_signatures_match(self):
+        a = person_vb()       # GetName/SetName
+        b = person_csharp()   # GetName/SetName — same signatures
+        matcher = TaggedStructuralMatcher()
+        matcher.tag(a.full_name, b.full_name)
+        assert matcher.conforms(a, b).ok
+
+    def test_tagged_but_renamed_methods_fail(self):
+        """Läufer-style rules require identical names: the paper's renamed
+        accessors (getPersonName) defeat it even when tagged."""
+        a = person_csharp()
+        b = person_java()
+        matcher = TaggedStructuralMatcher()
+        matcher.tag(a.full_name, b.full_name)
+        assert not matcher.conforms(a, b).ok
+
+    def test_one_sided_tag_insufficient(self):
+        a = person_vb()
+        b = person_csharp()
+        matcher = TaggedStructuralMatcher()
+        matcher.tag(a.full_name)
+        assert not matcher.conforms(a, b).ok
+
+    def test_explicit_subtyping_still_works_untagged(self):
+        registry = TypeRegistry()
+        base = TypeBuilder("x.Base").build()
+        sub = TypeBuilder("x.Sub").extends(base).build()
+        registry.register_all([base, sub])
+        matcher = TaggedStructuralMatcher(resolver=registry)
+        assert matcher.conforms(sub, base).ok
+
+    def test_case_sensitive_unlike_paper(self):
+        a = (
+            TypeBuilder("x.T", assembly_name="a1")
+            .method("getname", [], "string")
+            .build()
+        )
+        b = (
+            TypeBuilder("x.T", assembly_name="a2")
+            .method("GetName", [], "string")
+            .build()
+        )
+        matcher = TaggedStructuralMatcher()
+        matcher.tag("x.T")
+        assert not matcher.conforms(a, b).ok

@@ -1,0 +1,207 @@
+"""Tests for implicit behavioral conformance (the paper's §4.1 fragment)."""
+
+import pytest
+
+from repro.core import (
+    BehavioralChecker,
+    BehavioralOptions,
+    ConformanceChecker,
+    ConformanceOptions,
+    IncomparableError,
+)
+from repro.fixtures import person_csharp, person_java, person_vb
+from repro.langs.csharp import compile_source
+from repro.runtime.loader import Runtime
+
+
+def counter_source(increment_expr):
+    return """
+    class Counter {
+        private int count;
+        public Counter() { this.count = 0; }
+        public int Get() { return this.count; }
+        public void Bump(int by) { this.count = this.count + %s; }
+    }
+    """ % increment_expr
+
+
+@pytest.fixture
+def runtime():
+    return Runtime()
+
+
+def checker_for(runtime, **kwargs):
+    return BehavioralChecker(
+        runtime,
+        structural=ConformanceChecker(options=ConformanceOptions.pragmatic()),
+        options=BehavioralOptions(**kwargs),
+    )
+
+
+class TestAgreement:
+    def test_identical_behaviour_conforms(self, runtime):
+        a = compile_source(counter_source("by"), namespace="a")[0]
+        b = compile_source(counter_source("by"), namespace="b")[0]
+        runtime.load_type(a)
+        runtime.load_type(b)
+        result = checker_for(runtime).check(a, b)
+        assert result.ok
+        assert result.calls_made > 0
+        assert "Get" in result.compared_methods
+
+    def test_different_internals_same_behaviour(self, runtime):
+        """Behavioural equivalence tolerates different implementations."""
+        loop_impl = """
+        class Summer {
+            public int SumTo(int n) {
+                int total = 0;
+                int i = 1;
+                while (i <= n) { total = total + i; i = i + 1; }
+                if (n < 0) { return 0; }
+                return total;
+            }
+        }
+        """
+        formula_impl = """
+        class Summer {
+            public int SumTo(int n) {
+                if (n < 0) { return 0; }
+                return n * (n + 1) / 2;
+            }
+        }
+        """
+        a = compile_source(loop_impl, namespace="a")[0]
+        b = compile_source(formula_impl, namespace="b")[0]
+        runtime.load_type(a)
+        runtime.load_type(b)
+        result = checker_for(runtime, int_bound=100).check(a, b)
+        assert result.ok
+
+    def test_paper_person_pair_strong_conformance(self, runtime):
+        """The two programmers' Person types behave identically — "strong"
+        implicit conformance per §4.1."""
+        a = person_csharp()
+        b = person_java()
+        runtime.load_type(a)
+        runtime.load_type(b)
+        assert checker_for(runtime).strong_conforms(a, b)
+
+
+class TestDivergence:
+    def test_off_by_one_detected(self, runtime):
+        a = compile_source(counter_source("by"), namespace="a")[0]
+        bad = compile_source(counter_source("by + 1"), namespace="b")[0]
+        runtime.load_type(a)
+        runtime.load_type(bad)
+        result = checker_for(runtime).check(a, bad)
+        assert not result.ok
+        assert result.divergences
+        divergence = result.divergences[0]
+        assert divergence.method_name in ("Get", "Bump")
+
+    def test_stateful_divergence_found_through_getter(self, runtime):
+        """The bug is invisible in return values of the setter (void); only
+        the call-sequence harness catches it via the getter."""
+        good = compile_source(
+            """
+            class Cell {
+                private int v;
+                public void Put(int x) { this.v = x; }
+                public int Take() { return this.v; }
+            }
+            """,
+            namespace="a",
+        )[0]
+        evil = compile_source(
+            """
+            class Cell {
+                private int v;
+                public void Put(int x) { this.v = x * 2; }
+                public int Take() { return this.v; }
+            }
+            """,
+            namespace="b",
+        )[0]
+        runtime.load_type(good)
+        runtime.load_type(evil)
+        result = checker_for(runtime, rounds=20).check(good, evil)
+        assert not result.ok
+
+    def test_exception_behaviour_compared(self, runtime):
+        total = """
+        class Div {
+            public int Ratio(int a, int b) { if (b == 0) { return 0; } return a / b; }
+        }
+        """
+        partial = """
+        class Div {
+            public int Ratio(int a, int b) { return a / b; }
+        }
+        """
+        a = compile_source(total, namespace="a")[0]
+        b = compile_source(partial, namespace="b")[0]
+        runtime.load_type(a)
+        runtime.load_type(b)
+        result = checker_for(runtime, rounds=40, int_bound=3).check(a, b)
+        # With |b| <= 3, zero divisors occur; one side raises, the other not.
+        assert not result.ok
+
+
+class TestScope:
+    def test_non_primitive_methods_skipped(self, runtime):
+        from repro.fixtures import employee_csharp, employee_java
+
+        addr_a, emp_a = employee_csharp()
+        addr_b, emp_b = employee_java()
+        for info in (addr_a, emp_a, addr_b, emp_b):
+            runtime.load_type(info)
+        checker = BehavioralChecker(
+            runtime,
+            structural=ConformanceChecker(
+                resolver=runtime.registry, options=ConformanceOptions.pragmatic()
+            ),
+        )
+        result = checker.check(emp_a, emp_b)
+        # GetAddress returns a non-primitive: skipped, as the paper warns.
+        assert "getAddress" in result.skipped_methods
+        assert "getName" in result.compared_methods
+        assert result.ok
+
+    def test_structurally_nonconformant_incomparable(self, runtime):
+        from repro.fixtures import account_csharp
+
+        a = account_csharp()
+        b = person_csharp()
+        runtime.load_type(a)
+        runtime.load_type(b)
+        with pytest.raises(IncomparableError):
+            checker_for(runtime).check(a, b)
+
+    def test_strong_conforms_false_when_incomparable(self, runtime):
+        from repro.fixtures import account_csharp
+
+        a = account_csharp()
+        b = person_csharp()
+        runtime.load_type(a)
+        runtime.load_type(b)
+        assert not checker_for(runtime).strong_conforms(a, b)
+
+    def test_deterministic_given_seed(self, runtime):
+        a = compile_source(counter_source("by"), namespace="a")[0]
+        bad = compile_source(counter_source("by + 1"), namespace="b")[0]
+        runtime.load_type(a)
+        runtime.load_type(bad)
+        r1 = checker_for(runtime, seed=42).check(a, bad)
+        r2 = checker_for(runtime, seed=42).check(a, bad)
+        assert len(r1.divergences) == len(r2.divergences)
+        assert r1.divergences[0].args == r2.divergences[0].args
+
+    def test_explain_mentions_divergence(self, runtime):
+        a = compile_source(counter_source("by"), namespace="a")[0]
+        bad = compile_source(counter_source("by + 1"), namespace="b")[0]
+        runtime.load_type(a)
+        runtime.load_type(bad)
+        result = checker_for(runtime).check(a, bad)
+        text = result.explain()
+        assert "does NOT conform" in text
+        assert "Divergence" in text

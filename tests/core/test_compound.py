@@ -1,0 +1,121 @@
+"""Tests for compound types (related work §2.2 reproduced on our checker)."""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions
+from repro.core.compound import (
+    CompoundType,
+    compound_view,
+    conforms_to_compound,
+)
+from repro.cts.builder import TypeBuilder, interface_builder
+from repro.runtime.loader import Runtime
+
+
+def named_type():
+    return (
+        interface_builder("ifaces.Named")
+        .method("GetName", [], "string")
+        .build()
+    )
+
+
+def priced_type():
+    return (
+        interface_builder("ifaces.Priced")
+        .method("GetPrice", [], "int")
+        .build()
+    )
+
+
+def product_type():
+    return (
+        TypeBuilder("shop.Product", assembly_name="shop")
+        .field("name", "string", visibility="private")
+        .field("price", "int", visibility="private")
+        .getter("GetName", "name", "string")
+        .getter("GetPrice", "price", "int")
+        .ctor([("n", "string"), ("p", "int")],
+              body=lambda self, n, p: (self.set_field("name", n),
+                                       self.set_field("price", p)) and None)
+        .build()
+    )
+
+
+@pytest.fixture
+def checker():
+    return ConformanceChecker(options=ConformanceOptions(check_name=False))
+
+
+class TestCompoundType:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            CompoundType([])
+
+    def test_display_name(self):
+        compound = CompoundType([named_type(), priced_type()])
+        assert compound.display_name == "[ifaces.Named, ifaces.Priced]"
+        assert len(compound) == 2
+
+
+class TestConformsToCompound:
+    def test_satisfies_all_components(self, checker):
+        compound = CompoundType([named_type(), priced_type()])
+        result = conforms_to_compound(product_type(), compound, checker)
+        assert result.ok
+        assert result.failing_components() == []
+
+    def test_partial_satisfaction_fails(self, checker):
+        nameless = (
+            TypeBuilder("shop.Tag", assembly_name="shop")
+            .method("GetPrice", [], "int", body=lambda self: 0)
+            .build()
+        )
+        compound = CompoundType([named_type(), priced_type()])
+        result = conforms_to_compound(nameless, compound, checker)
+        assert not result.ok
+        assert result.failing_components() == ["ifaces.Named"]
+
+    def test_explain_lists_components(self, checker):
+        compound = CompoundType([named_type(), priced_type()])
+        text = conforms_to_compound(product_type(), compound, checker).explain()
+        assert "ifaces.Named" in text
+        assert "ifaces.Priced" in text
+
+    def test_mapping_for_component(self, checker):
+        compound = CompoundType([named_type()])
+        result = conforms_to_compound(product_type(), compound, checker)
+        mapping = result.mapping_for(named_type())
+        assert mapping is not None
+
+    def test_single_component_equals_plain_check(self, checker):
+        compound = CompoundType([named_type()])
+        compound_ok = conforms_to_compound(product_type(), compound, checker).ok
+        plain_ok = checker.conforms(product_type(), named_type()).ok
+        assert compound_ok == plain_ok
+
+
+class TestCompoundViews:
+    def test_views_per_facet(self, checker):
+        runtime = Runtime()
+        product = product_type()
+        runtime.load_type(product)
+        instance = runtime.instantiate(product, ["Widget", 42])
+        views = compound_view(
+            instance, CompoundType([named_type(), priced_type()]), checker
+        )
+        assert views["ifaces.Named"].GetName() == "Widget"
+        assert views["ifaces.Priced"].GetPrice() == 42
+
+    def test_unsatisfied_compound_raises(self, checker):
+        runtime = Runtime()
+        product = product_type()
+        runtime.load_type(product)
+        instance = runtime.instantiate(product, ["W", 1])
+        loud = interface_builder("ifaces.Loud").method("Shout", [], "void").build()
+        with pytest.raises(ValueError):
+            compound_view(instance, CompoundType([named_type(), loud]), checker)
+
+    def test_untyped_object_rejected(self, checker):
+        with pytest.raises(TypeError):
+            compound_view(object(), CompoundType([named_type()]), checker)

@@ -1,0 +1,126 @@
+"""Unit tests for witness mappings."""
+
+import pytest
+
+from repro.core.mapping import CtorMatch, FieldMatch, MethodMatch, TypeMapping
+from repro.cts.members import (
+    ConstructorInfo,
+    FieldInfo,
+    MethodInfo,
+    ParameterInfo,
+    TypeRef,
+)
+from repro.cts.types import INT, STRING, VOID
+
+
+def method(name, param_types=(), return_type=VOID):
+    params = [
+        ParameterInfo("p%d" % i, TypeRef.to(t)) for i, t in enumerate(param_types)
+    ]
+    return MethodInfo(name, params, TypeRef.to(return_type))
+
+
+class TestMethodMatch:
+    def test_identity_permutation(self):
+        match = MethodMatch(method("a", (INT, STRING)), method("b", (INT, STRING)), (0, 1))
+        assert match.is_identity_permutation
+        assert match.reorder([1, "x"]) == [1, "x"]
+
+    def test_swap_permutation(self):
+        match = MethodMatch(method("a", (STRING, INT)), method("b", (INT, STRING)), (1, 0))
+        assert not match.is_identity_permutation
+        assert match.reorder(["x", 1]) == [1, "x"]
+
+    def test_reorder_arity_mismatch(self):
+        match = MethodMatch(method("a", (INT,)), method("b", (INT,)), (0,))
+        with pytest.raises(ValueError):
+            match.reorder([1, 2])
+
+    def test_repr(self):
+        match = MethodMatch(method("expectedName"), method("providerName"), ())
+        assert "expectedName" in repr(match)
+        assert "providerName" in repr(match)
+
+
+class TestCtorMatch:
+    def test_reorder(self):
+        expected = ConstructorInfo([ParameterInfo("a", TypeRef.to(INT)),
+                                    ParameterInfo("b", TypeRef.to(STRING))])
+        provider = ConstructorInfo([ParameterInfo("x", TypeRef.to(STRING)),
+                                    ParameterInfo("y", TypeRef.to(INT))])
+        match = CtorMatch(expected, provider, (1, 0))
+        assert match.reorder([5, "s"]) == ["s", 5]
+
+    def test_reorder_mismatch(self):
+        match = CtorMatch(ConstructorInfo([]), ConstructorInfo([]), ())
+        with pytest.raises(ValueError):
+            match.reorder([1])
+
+
+class TestTypeMapping:
+    def _mapping(self):
+        mapping = TypeMapping("p.T", "e.T")
+        mapping.add_method(MethodMatch(method("Get"), method("Fetch"), ()))
+        mapping.add_method(
+            MethodMatch(method("Put", (INT,)), method("Store", (INT,)), (0,))
+        )
+        mapping.add_field(
+            FieldMatch(
+                FieldInfo("value", TypeRef.to(INT)),
+                FieldInfo("val", TypeRef.to(INT)),
+            )
+        )
+        mapping.add_ctor(CtorMatch(ConstructorInfo([]), ConstructorInfo([]), ()))
+        return mapping
+
+    def test_method_lookup_case_insensitive(self):
+        mapping = self._mapping()
+        assert mapping.method("GET", 0).provider.name == "Fetch"
+        assert mapping.method("get", 0).provider.name == "Fetch"
+
+    def test_method_lookup_wrong_arity(self):
+        assert self._mapping().method("Get", 2) is None
+
+    def test_method_by_name_unique(self):
+        mapping = self._mapping()
+        assert mapping.method_by_name("Put").provider.name == "Store"
+
+    def test_method_by_name_ambiguous_returns_none(self):
+        mapping = TypeMapping("p", "e")
+        mapping.add_method(MethodMatch(method("M"), method("A"), ()))
+        mapping.add_method(MethodMatch(method("M", (INT,)), method("B", (INT,)), (0,)))
+        assert mapping.method_by_name("M") is None
+
+    def test_field_lookup(self):
+        assert self._mapping().field("VALUE").provider.name == "val"
+        assert self._mapping().field("other") is None
+
+    def test_ctor_lookup(self):
+        assert self._mapping().ctor(0) is not None
+        assert self._mapping().ctor(3) is None
+
+    def test_is_identity_false_for_renames(self):
+        assert not self._mapping().is_identity()
+
+    def test_is_identity_true(self):
+        mapping = TypeMapping("p.T", "e.T")
+        mapping.add_method(MethodMatch(method("Same"), method("Same"), ()))
+        assert mapping.is_identity()
+
+    def test_is_identity_false_for_permutation(self):
+        mapping = TypeMapping("p.T", "e.T")
+        mapping.add_method(
+            MethodMatch(method("M", (INT, STRING)), method("M", (STRING, INT)), (1, 0))
+        )
+        assert not mapping.is_identity()
+
+    def test_identity_for(self):
+        mapping = TypeMapping.identity_for("x.T")
+        assert mapping.is_identity()
+        assert mapping.provider_name == "x.T"
+
+    def test_accessors_return_lists(self):
+        mapping = self._mapping()
+        assert len(mapping.methods) == 2
+        assert len(mapping.fields) == 1
+        assert len(mapping.ctors) == 1

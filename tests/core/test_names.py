@@ -1,0 +1,132 @@
+"""Tests for Levenshtein distance, wildcards, token splitting and NamePolicy."""
+
+import pytest
+
+from repro.core.names import (
+    NamePolicy,
+    PAPER_POLICY,
+    PRAGMATIC_POLICY,
+    identifier_tokens,
+    levenshtein,
+    wildcard_match,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("same", "same", 0),
+            ("abc", "abd", 1),
+            ("setname", "setpersonname", 6),
+        ],
+    )
+    def test_known_distances(self, a, b, d):
+        assert levenshtein(a, b) == d
+
+    def test_symmetric(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+    def test_upper_bound_early_exit(self):
+        # Distance exceeds the bound: the result just needs to exceed it.
+        assert levenshtein("aaaaaaaa", "bbbbbbbb", upper_bound=2) > 2
+
+    def test_upper_bound_exact_when_within(self):
+        assert levenshtein("kitten", "sitting", upper_bound=5) == 3
+
+    def test_length_difference_short_circuit(self):
+        assert levenshtein("a", "aaaaaa", upper_bound=2) > 2
+
+
+class TestWildcardMatch:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("*", "anything", True),
+            ("get*", "getname", True),
+            ("get*", "setname", False),
+            ("*name", "personname", True),
+            ("get?ame", "getname", True),
+            ("get?ame", "getnname", False),  # ? matches exactly one char
+            ("get*ame", "getnnname", True),
+            ("a*b*c", "aXbYc", True),
+            ("a*b*c", "ac", False),
+            ("", "", True),
+            ("*", "", True),
+            ("?", "", False),
+        ],
+    )
+    def test_patterns(self, pattern, text, expected):
+        assert wildcard_match(pattern, text) is expected
+
+
+class TestIdentifierTokens:
+    @pytest.mark.parametrize(
+        "name,tokens",
+        [
+            ("setName", ("set", "name")),
+            ("setPersonName", ("set", "person", "name")),
+            ("GetName", ("get", "name")),
+            ("name", ("name",)),
+            ("HTTPServer", ("http", "server")),
+            ("snake_case_name", ("snake", "case", "name")),
+            ("value2text", ("value", "2", "text")),
+            ("", ()),
+        ],
+    )
+    def test_splitting(self, name, tokens):
+        assert identifier_tokens(name) == tokens
+
+
+class TestNamePolicy:
+    def test_paper_policy_exact_case_insensitive(self):
+        assert PAPER_POLICY.conforms("GetName", "getname")
+        assert not PAPER_POLICY.conforms("GetName", "GetNames")
+
+    def test_case_sensitive_variant(self):
+        policy = NamePolicy(case_sensitive=True)
+        assert policy.conforms("GetName", "GetName")
+        assert not policy.conforms("GetName", "getname")
+
+    def test_distance_relaxation(self):
+        policy = NamePolicy(max_distance=2)
+        assert policy.conforms("colour", "color")
+        assert not policy.conforms("completely", "different")
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            NamePolicy(max_distance=-1)
+
+    def test_wildcards_disabled_by_default(self):
+        assert not NamePolicy().conforms("get*", "getname")
+
+    def test_wildcards_enabled(self):
+        policy = NamePolicy(allow_wildcards=True)
+        assert policy.conforms("getname", "get*")
+        assert policy.conforms("get*", "getname")
+        assert not policy.conforms("setname", "get*")
+
+    def test_token_subset_pragmatic(self):
+        assert PRAGMATIC_POLICY.conforms("setName", "setPersonName")
+        assert PRAGMATIC_POLICY.conforms("setPersonName", "setName")
+        assert PRAGMATIC_POLICY.conforms("GetName", "getPersonName")
+
+    def test_token_subset_requires_verb_agreement(self):
+        assert not PRAGMATIC_POLICY.conforms("getName", "setPersonName")
+
+    def test_token_subset_multiset_semantics(self):
+        # 'nameName' has two 'name' tokens; a single-'name' identifier is a
+        # subset, but not vice versa against distinct tokens.
+        assert PRAGMATIC_POLICY.conforms("nameName", "namePersonName")
+        assert not PRAGMATIC_POLICY.conforms("personPerson", "personName")
+
+    def test_token_subset_exact_still_works(self):
+        assert PRAGMATIC_POLICY.conforms("GetName", "getname")
+
+    def test_distance_method(self):
+        assert NamePolicy(max_distance=3).distance("abc", "abd") == 1

@@ -1,0 +1,135 @@
+"""Tests for ConformanceOptions ablations — the "weaker rule" the paper
+warns about, and the per-aspect switches."""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions, Verdict
+from repro.cts.builder import TypeBuilder
+from repro.fixtures import account_csharp, person_csharp, person_java, person_vb
+
+
+class TestNameOnlyWeakRule:
+    """"One could think of having a weaker rule taking into account only the
+    name of the types ... However, not taking into account the whole set of
+    aspects breaks the type safety" (Section 4.2)."""
+
+    def test_name_only_accepts_structural_impostor(self):
+        # Same simple name 'Person', completely different structure.
+        impostor = (
+            TypeBuilder("evil.Person", assembly_name="evil")
+            .method("Detonate", [], "void")
+            .build()
+        )
+        weak = ConformanceChecker(options=ConformanceOptions.name_only())
+        assert weak.conforms(impostor, person_csharp()).ok  # unsafe!
+
+    def test_full_rule_rejects_impostor(self):
+        impostor = (
+            TypeBuilder("evil.Person", assembly_name="evil")
+            .method("Detonate", [], "void")
+            .build()
+        )
+        full = ConformanceChecker()
+        assert not full.conforms(impostor, person_csharp()).ok
+
+    def test_weak_acceptance_leads_to_runtime_error(self):
+        """The exact failure mode the paper predicts: 'might lead to receive
+        an error while trying to call a specific method onto the object'."""
+        from repro.remoting.dynamic import wrap
+        from repro.runtime.loader import Runtime
+
+        impostor = (
+            TypeBuilder("evil.Person", assembly_name="evil")
+            .method("Detonate", [], "void", body=lambda self: None)
+            .build()
+        )
+        weak = ConformanceChecker(options=ConformanceOptions.name_only())
+        runtime = Runtime()
+        runtime.load_type(impostor)
+        instance = runtime.instantiate(impostor)
+        view = wrap(instance, person_csharp(), weak)
+        with pytest.raises(AttributeError):
+            view.GetName()
+
+
+class TestAspectSwitches:
+    def test_disable_constructors(self):
+        provider = (
+            TypeBuilder("x.T", assembly_name="a1").method("Go", [], "void").build()
+        )
+        expected = (
+            TypeBuilder("x.T", assembly_name="a2")
+            .method("Go", [], "void")
+            .ctor([("n", "string")])
+            .build()
+        )
+        strict = ConformanceChecker()
+        assert not strict.conforms(provider, expected).ok
+        lax = ConformanceChecker(
+            options=ConformanceOptions(check_constructors=False)
+        )
+        assert lax.conforms(provider, expected).ok
+
+    def test_disable_fields(self):
+        provider = TypeBuilder("x.T", assembly_name="a1").build()
+        expected = TypeBuilder("x.T", assembly_name="a2").field("f", "int").build()
+        assert not ConformanceChecker().conforms(provider, expected).ok
+        lax = ConformanceChecker(options=ConformanceOptions(check_fields=False))
+        assert lax.conforms(provider, expected).ok
+
+    def test_disable_name(self):
+        provider = person_csharp()
+        renamed = (
+            TypeBuilder("x.Human", assembly_name="a2")
+            .field("name", "string", visibility="private")
+            .method("GetName", [], "string")
+            .method("SetName", [("n", "string")], "void")
+            .ctor([("n", "string")])
+            .build()
+        )
+        assert not ConformanceChecker().conforms(provider, renamed).ok
+        lax = ConformanceChecker(options=ConformanceOptions(check_name=False))
+        assert lax.conforms(provider, renamed).ok
+
+    def test_disable_methods(self):
+        provider = TypeBuilder("x.T", assembly_name="a1").build()
+        expected = TypeBuilder("x.T", assembly_name="a2").method("M", [], "void").build()
+        lax = ConformanceChecker(options=ConformanceOptions(check_methods=False))
+        assert lax.conforms(provider, expected).ok
+
+
+class TestPresets:
+    def test_paper_defaults_strict_names(self):
+        checker = ConformanceChecker(options=ConformanceOptions.paper_defaults())
+        assert not checker.conforms(person_csharp(), person_java()).ok
+
+    def test_pragmatic_unifies_the_motivating_example(self):
+        checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        result = checker.conforms(person_csharp(), person_java())
+        assert result.ok
+        assert result.verdict is Verdict.IMPLICIT_STRUCTURAL
+
+    def test_pragmatic_still_rejects_different_modules(self):
+        checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        assert not checker.conforms(account_csharp(), person_java()).ok
+
+    def test_vb_and_csharp_conform_under_paper_rules(self):
+        """Same member names, different language: the paper's strict rules
+        suffice — no relaxation needed."""
+        checker = ConformanceChecker()
+        result = checker.conforms(person_vb(), person_csharp())
+        assert result.ok
+
+    def test_repr_mentions_disabled_aspects(self):
+        options = ConformanceOptions(check_fields=False, allow_numeric_widening=True)
+        text = repr(options)
+        assert "-fields" in text
+        assert "+widening" in text
+
+
+class TestOneShotHelper:
+    def test_module_level_conforms(self):
+        from repro.core import conforms
+
+        assert conforms(person_vb(), person_csharp()).ok
+        assert not conforms(account_csharp(), person_csharp()).ok

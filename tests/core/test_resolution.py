@@ -1,0 +1,119 @@
+"""Tests for ambiguity resolution policies (the paper's "up to the
+programmer" rule)."""
+
+import pytest
+
+from repro.core import (
+    AmbiguityError,
+    CallbackPolicy,
+    ConformanceChecker,
+    ConformanceOptions,
+    FirstMatch,
+    NamePolicy,
+    PreferExactName,
+    RequireUnique,
+)
+from repro.cts.builder import TypeBuilder
+
+
+def ambiguous_pair():
+    """Provider has two methods that both name-conform (LD<=1) to the single
+    expected method 'Go'."""
+    provider = (
+        TypeBuilder("x.T", assembly_name="a1")
+        .method("Go", [], "void")
+        .method("Gon", [], "void")
+        .build()
+    )
+    expected = TypeBuilder("x.T", assembly_name="a2").method("Gon", [], "void").build()
+    return provider, expected
+
+
+def relaxed_options(policy):
+    return ConformanceOptions(name_policy=NamePolicy(max_distance=1), resolution=policy)
+
+
+class TestFirstMatch:
+    def test_takes_declaration_order(self):
+        provider, expected = ambiguous_pair()
+        checker = ConformanceChecker(options=relaxed_options(FirstMatch()))
+        result = checker.conforms(provider, expected)
+        assert result.ok
+        assert result.mapping.method("Gon", 0).provider.name == "Go"
+
+
+class TestPreferExactName:
+    def test_prefers_exact(self):
+        provider, expected = ambiguous_pair()
+        checker = ConformanceChecker(options=relaxed_options(PreferExactName()))
+        result = checker.conforms(provider, expected)
+        assert result.mapping.method("Gon", 0).provider.name == "Gon"
+
+    def test_prefers_exact_case_over_insensitive(self):
+        provider = (
+            TypeBuilder("x.T", assembly_name="a1")
+            .method("go", [], "void")
+            .method("Go", [], "void")
+            .build()
+        )
+        expected = TypeBuilder("x.T", assembly_name="a2").method("Go", [], "void").build()
+        checker = ConformanceChecker(
+            options=ConformanceOptions(resolution=PreferExactName())
+        )
+        result = checker.conforms(provider, expected)
+        assert result.mapping.method("Go", 0).provider.name == "Go"
+
+    def test_default_policy_is_prefer_exact(self):
+        provider, expected = ambiguous_pair()
+        checker = ConformanceChecker(
+            options=ConformanceOptions(name_policy=NamePolicy(max_distance=1))
+        )
+        result = checker.conforms(provider, expected)
+        assert result.mapping.method("Gon", 0).provider.name == "Gon"
+
+
+class TestRequireUnique:
+    def test_raises_on_ambiguity(self):
+        provider, expected = ambiguous_pair()
+        checker = ConformanceChecker(options=relaxed_options(RequireUnique()))
+        with pytest.raises(AmbiguityError):
+            checker.conforms(provider, expected)
+
+    def test_ok_when_unique(self):
+        provider = TypeBuilder("x.T", assembly_name="a1").method("Go", [], "void").build()
+        expected = TypeBuilder("x.T", assembly_name="a2").method("Go", [], "void").build()
+        checker = ConformanceChecker(
+            options=ConformanceOptions(resolution=RequireUnique())
+        )
+        assert checker.conforms(provider, expected).ok
+
+
+class TestCallbackPolicy:
+    def test_programmer_decides(self):
+        provider, expected = ambiguous_pair()
+        seen = {}
+
+        def chooser(expected_name, candidates):
+            seen["expected"] = expected_name
+            seen["candidates"] = candidates
+            return len(candidates) - 1  # pick last
+
+        checker = ConformanceChecker(options=relaxed_options(CallbackPolicy(chooser)))
+        result = checker.conforms(provider, expected)
+        assert result.ok
+        assert seen["expected"] == "Gon"
+        assert set(seen["candidates"]) == {"Go", "Gon"}
+        assert result.mapping.method("Gon", 0).provider.name == "Gon"
+
+    def test_callback_can_veto(self):
+        provider, expected = ambiguous_pair()
+        checker = ConformanceChecker(
+            options=relaxed_options(CallbackPolicy(lambda n, c: None))
+        )
+        assert not checker.conforms(provider, expected).ok
+
+    def test_ambiguity_counted_in_stats(self):
+        provider, expected = ambiguous_pair()
+        checker = ConformanceChecker(options=relaxed_options(FirstMatch()))
+        checker.conforms(provider, expected)
+        assert checker.stats.ambiguities >= 1

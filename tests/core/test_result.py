@@ -1,0 +1,86 @@
+"""Unit tests for conformance results and verdicts."""
+
+import pytest
+
+from repro.core.mapping import TypeMapping
+from repro.core.result import Aspect, ConformanceResult, Verdict
+
+
+class TestVerdict:
+    def test_values_are_stable_wire_names(self):
+        assert Verdict.EQUAL.value == "equal"
+        assert Verdict.IMPLICIT_STRUCTURAL.value == "implicit"
+        assert Verdict.FAILED.value == "failed"
+
+    def test_all_aspects_enumerated(self):
+        assert {a.value for a in Aspect} == {
+            "name", "fields", "supertypes", "methods", "constructors",
+        }
+
+
+class TestConformanceResult:
+    def test_success_truthy(self):
+        result = ConformanceResult.success("a.T", "b.T", Verdict.EQUAL)
+        assert result
+        assert result.ok
+
+    def test_failure_falsy(self):
+        result = ConformanceResult.failure("a.T", "b.T", ["broken"])
+        assert not result
+        assert not result.ok
+        assert result.mapping is None
+
+    def test_success_gets_identity_mapping(self):
+        result = ConformanceResult.success("a.T", "b.T", Verdict.EQUIVALENT)
+        assert result.mapping is not None
+        assert result.mapping.is_identity()
+
+    def test_identity_verdicts_never_need_proxy(self):
+        for verdict in (Verdict.EQUAL, Verdict.EQUIVALENT, Verdict.EXPLICIT):
+            result = ConformanceResult.success("a.T", "b.T", verdict)
+            assert not result.needs_proxy
+
+    def test_implicit_with_renames_needs_proxy(self):
+        from repro.core.mapping import MethodMatch
+        from repro.cts.members import MethodInfo, TypeRef
+        from repro.cts.types import VOID
+
+        mapping = TypeMapping("a.T", "b.T")
+        mapping.add_method(
+            MethodMatch(
+                MethodInfo("expectedName", [], TypeRef.to(VOID)),
+                MethodInfo("providerName", [], TypeRef.to(VOID)),
+                (),
+            )
+        )
+        result = ConformanceResult.success(
+            "a.T", "b.T", Verdict.IMPLICIT_STRUCTURAL, mapping=mapping
+        )
+        assert result.needs_proxy
+
+    def test_explain_success(self):
+        result = ConformanceResult.success(
+            "a.T", "b.T", Verdict.IMPLICIT_STRUCTURAL,
+            aspects={Aspect.NAME: True, Aspect.METHODS: True},
+        )
+        text = result.explain()
+        assert "a.T conforms to b.T" in text
+        assert "name" in text
+        assert "methods" in text
+
+    def test_explain_failure_lists_reasons(self):
+        result = ConformanceResult.failure(
+            "a.T", "b.T", ["no method Foo", "no field bar"],
+            aspects={Aspect.METHODS: False},
+            warnings=["compared by name"],
+        )
+        text = result.explain()
+        assert "does NOT conform" in text
+        assert "no method Foo" in text
+        assert "warning: compared by name" in text
+        assert "FAILED" in text
+
+    def test_repr(self):
+        result = ConformanceResult.success("a.T", "b.T", Verdict.EQUAL)
+        assert "a.T" in repr(result)
+        assert "equal" in repr(result)

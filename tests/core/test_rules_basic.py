@@ -1,0 +1,261 @@
+"""Tests for the conformance verdict lattice: equality, equivalence,
+explicit subtyping, and the aspect checks of rule (vi)."""
+
+import pytest
+
+from repro.core import (
+    ConformanceChecker,
+    ConformanceOptions,
+    NamePolicy,
+    Verdict,
+)
+from repro.core.result import Aspect
+from repro.cts.builder import TypeBuilder, interface_builder
+from repro.cts.registry import TypeRegistry
+from repro.cts.types import INT, OBJECT, STRING
+
+
+def make_person(full_name="x.Person", getter="GetName", setter="SetName",
+                field="name", assembly="asm"):
+    return (
+        TypeBuilder(full_name, assembly_name=assembly)
+        .field(field, "string", visibility="private")
+        .method(getter, [], "string")
+        .method(setter, [("n", "string")], "void")
+        .ctor([("n", "string")])
+        .build()
+    )
+
+
+@pytest.fixture
+def checker():
+    return ConformanceChecker()
+
+
+class TestIdentityVerdicts:
+    def test_equal_same_type(self, checker):
+        person = make_person()
+        result = checker.conforms(person, person)
+        assert result.verdict is Verdict.EQUAL
+
+    def test_equal_same_declaration_recompiled(self, checker):
+        # Same assembly + same structure -> same GUID -> EQUAL.
+        assert checker.conforms(make_person(), make_person()).verdict is Verdict.EQUAL
+
+    def test_equivalent_different_assembly(self, checker):
+        # Same structure compiled into different assemblies: different GUIDs
+        # but structurally identical -> EQUIVALENT.
+        a = make_person(assembly="asm1")
+        b = make_person(assembly="asm2")
+        assert a.guid != b.guid
+        assert checker.conforms(a, b).verdict is Verdict.EQUIVALENT
+
+    def test_everything_conforms_to_object(self, checker):
+        result = checker.conforms(make_person(), OBJECT)
+        assert result.ok
+        assert result.verdict is Verdict.EXPLICIT
+
+    def test_primitive_identity(self, checker):
+        assert checker.conforms(INT, INT).verdict is Verdict.EQUAL
+
+    def test_primitive_mismatch(self, checker):
+        assert not checker.conforms(INT, STRING).ok
+
+    def test_numeric_widening_off_by_default(self, checker):
+        from repro.cts.types import LONG
+
+        assert not checker.conforms(INT, LONG).ok
+
+    def test_numeric_widening_opt_in(self):
+        from repro.cts.types import DOUBLE, LONG
+
+        checker = ConformanceChecker(
+            options=ConformanceOptions(allow_numeric_widening=True)
+        )
+        assert checker.conforms(INT, LONG).ok
+        assert checker.conforms(INT, DOUBLE).ok
+        assert not checker.conforms(DOUBLE, INT).ok  # narrowing never
+
+
+class TestExplicitConformance:
+    def test_declared_subtype_conforms(self):
+        registry = TypeRegistry()
+        base = TypeBuilder("x.Base").method("m", [], "void").build()
+        sub = TypeBuilder("x.Sub").extends(base).build()
+        registry.register(base)
+        registry.register(sub)
+        checker = ConformanceChecker(resolver=registry)
+        result = checker.conforms(sub, base)
+        assert result.verdict is Verdict.EXPLICIT
+
+    def test_transitive_subtyping(self):
+        registry = TypeRegistry()
+        a = TypeBuilder("x.A").build()
+        b = TypeBuilder("x.B").extends(a).build()
+        c = TypeBuilder("x.C").extends(b).build()
+        registry.register_all([a, b, c])
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(c, a).verdict is Verdict.EXPLICIT
+
+    def test_interface_implementation(self):
+        registry = TypeRegistry()
+        iface = interface_builder("x.INamed").method("GetName", [], "string").build()
+        impl = (
+            TypeBuilder("x.Impl")
+            .implements(iface)
+            .method("GetName", [], "string")
+            .build()
+        )
+        registry.register_all([iface, impl])
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(impl, iface).verdict is Verdict.EXPLICIT
+
+    def test_unrelated_types_not_explicit(self, checker):
+        a = TypeBuilder("x.A").build()
+        b = TypeBuilder("x.B").method("m", [], "void").build()
+        assert not checker.conforms(a, b).ok
+
+
+class TestNameAspect:
+    def test_name_mismatch_fails(self, checker):
+        a = make_person("x.Person")
+        b = make_person("x.Human")
+        result = checker.conforms(a, b)
+        assert not result.ok
+        assert result.aspects[Aspect.NAME] is False
+
+    def test_name_case_insensitive(self, checker):
+        a = make_person("x.PERSON", assembly="a1")
+        b = make_person("x.person", assembly="a2")
+        assert checker.conforms(a, b).ok
+
+    def test_namespace_ignored_for_name_aspect(self, checker):
+        a = make_person("pkg1.Person", assembly="a1")
+        b = make_person("pkg2.Person", assembly="a2")
+        assert checker.conforms(a, b).ok
+
+
+class TestFieldAspect:
+    def test_missing_public_field_fails(self, checker):
+        a = TypeBuilder("x.T", assembly_name="a1").method("Get", [], "int").build()
+        b = (
+            TypeBuilder("x.T", assembly_name="a2")
+            .field("value", "int")
+            .method("Get", [], "int")
+            .build()
+        )
+        result = checker.conforms(a, b)
+        assert not result.ok
+        assert result.aspects[Aspect.FIELDS] is False
+
+    def test_private_fields_not_required(self, checker):
+        # Expected type's private fields are implementation detail.
+        a = TypeBuilder("x.T", assembly_name="a1").method("Get", [], "int").build()
+        b = (
+            TypeBuilder("x.T", assembly_name="a2")
+            .field("value", "int", visibility="private")
+            .method("Get", [], "int")
+            .build()
+        )
+        assert checker.conforms(a, b).ok
+
+    def test_field_type_mismatch_fails(self, checker):
+        a = TypeBuilder("x.T", assembly_name="a1").field("v", "string").build()
+        b = TypeBuilder("x.T", assembly_name="a2").field("v", "int").build()
+        assert not checker.conforms(a, b).ok
+
+    def test_extra_provider_fields_allowed(self, checker):
+        a = (
+            TypeBuilder("x.T", assembly_name="a1")
+            .field("v", "int")
+            .field("extra", "string")
+            .build()
+        )
+        b = TypeBuilder("x.T", assembly_name="a2").field("v", "int").build()
+        assert checker.conforms(a, b).ok
+
+
+class TestSupertypeAspect:
+    def test_expected_object_superclass_always_ok(self, checker):
+        a = make_person(assembly="a1")
+        b = make_person(assembly="a2")
+        assert checker.conforms(a, b).ok
+
+    def test_expected_named_superclass_requires_conformant_super(self):
+        registry = TypeRegistry()
+        base1 = TypeBuilder("p.Base", assembly_name="a1").method("m", [], "void").build()
+        base2 = TypeBuilder("q.Base", assembly_name="a2").method("m", [], "void").build()
+        sub1 = TypeBuilder("p.Sub", assembly_name="a1").extends(base1).build()
+        sub2 = TypeBuilder("q.Sub", assembly_name="a2").extends(base2).build()
+        registry.register_all([base1, base2, sub1, sub2])
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(sub1, sub2).ok
+
+    def test_provider_missing_superclass_fails(self):
+        registry = TypeRegistry()
+        base = TypeBuilder("q.Base", assembly_name="a2").field("f", "int").build()
+        expected = TypeBuilder("q.Sub", assembly_name="a2").extends(base).build()
+        provider = TypeBuilder("p.Sub", assembly_name="a1").build()  # extends Object
+        registry.register_all([base, expected, provider])
+        checker = ConformanceChecker(resolver=registry)
+        result = checker.conforms(provider, expected)
+        assert not result.ok
+        assert result.aspects[Aspect.SUPERTYPES] is False
+
+    def test_expected_interfaces_must_be_covered(self):
+        registry = TypeRegistry()
+        iface1 = interface_builder("p.IThing", "a1").method("Go", [], "void").build()
+        iface2 = interface_builder("q.IThing", "a2").method("Go", [], "void").build()
+        provider = TypeBuilder("p.T", assembly_name="a1").implements(iface1).build()
+        expected = TypeBuilder("q.T", assembly_name="a2").implements(iface2).build()
+        registry.register_all([iface1, iface2, provider, expected])
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(provider, expected).ok
+
+    def test_uncovered_interface_fails(self):
+        registry = TypeRegistry()
+        iface = interface_builder("q.IThing", "a2").method("Go", [], "void").build()
+        provider = TypeBuilder("p.T", assembly_name="a1").build()
+        expected = TypeBuilder("q.T", assembly_name="a2").implements(iface).build()
+        registry.register_all([iface, provider, expected])
+        checker = ConformanceChecker(resolver=registry)
+        assert not checker.conforms(provider, expected).ok
+
+
+class TestConstructorAspect:
+    def test_missing_ctor_fails(self, checker):
+        a = TypeBuilder("x.T", assembly_name="a1").build()
+        b = TypeBuilder("x.T", assembly_name="a2").ctor([("n", "string")]).build()
+        result = checker.conforms(a, b)
+        assert not result.ok
+        assert result.aspects[Aspect.CONSTRUCTORS] is False
+
+    def test_matching_ctor_arity_and_types(self, checker):
+        a = TypeBuilder("x.T", assembly_name="a1").ctor([("m", "string")]).build()
+        b = TypeBuilder("x.T", assembly_name="a2").ctor([("n", "string")]).build()
+        assert checker.conforms(a, b).ok
+
+    def test_ctor_arg_permutation(self, checker):
+        a = TypeBuilder("x.T", assembly_name="a1").ctor([("i", "int"), ("s", "string")]).build()
+        b = TypeBuilder("x.T", assembly_name="a2").ctor([("s", "string"), ("i", "int")]).build()
+        result = checker.conforms(a, b)
+        assert result.ok
+        ctor_match = result.mapping.ctor(2)
+        assert ctor_match is not None
+        assert ctor_match.permutation == (1, 0)
+
+
+class TestUnresolvedReferences:
+    def test_unresolved_member_types_compared_by_name(self, checker):
+        # Neither x.Widget nor y.Widget resolve anywhere; the pragmatic
+        # fallback compares simple names and records a warning.
+        a = TypeBuilder("x.T", assembly_name="a1").field("w", "other.Widget").build()
+        b = TypeBuilder("x.T", assembly_name="a2").field("w", "second.Widget").build()
+        result = checker.conforms(a, b)
+        assert result.ok
+        assert any("compared by name" in w for w in result.warnings)
+
+    def test_unresolved_name_mismatch_fails(self, checker):
+        a = TypeBuilder("x.T", assembly_name="a1").field("w", "other.Widget").build()
+        b = TypeBuilder("x.T", assembly_name="a2").field("w", "second.Gadget").build()
+        assert not checker.conforms(a, b).ok

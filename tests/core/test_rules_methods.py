@@ -1,0 +1,223 @@
+"""Tests for rule (iv): method conformance — names, variance, permutations,
+modifiers — and the witness mappings it produces."""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions, NamePolicy, Verdict
+from repro.cts.builder import TypeBuilder
+from repro.cts.members import Modifiers
+from repro.cts.registry import TypeRegistry
+
+
+@pytest.fixture
+def checker():
+    return ConformanceChecker()
+
+
+def ty(name, assembly):
+    return TypeBuilder(name, assembly_name=assembly)
+
+
+class TestMethodMatching:
+    def test_every_expected_method_needed(self, checker):
+        provider = ty("x.T", "a1").method("A", [], "void").build()
+        expected = (
+            ty("x.T", "a2").method("A", [], "void").method("B", [], "void").build()
+        )
+        assert not checker.conforms(provider, expected).ok
+
+    def test_extra_provider_methods_fine(self, checker):
+        provider = (
+            ty("x.T", "a1").method("A", [], "void").method("Extra", [], "int").build()
+        )
+        expected = ty("x.T", "a2").method("A", [], "void").build()
+        assert checker.conforms(provider, expected).ok
+
+    def test_private_methods_invisible(self, checker):
+        provider = ty("x.T", "a1").method("A", [], "void", visibility="private").build()
+        expected = ty("x.T", "a2").method("A", [], "void").build()
+        assert not checker.conforms(provider, expected).ok
+
+    def test_arity_must_match(self, checker):
+        provider = ty("x.T", "a1").method("A", [("x", "int")], "void").build()
+        expected = ty("x.T", "a2").method("A", [], "void").build()
+        assert not checker.conforms(provider, expected).ok
+
+    def test_case_insensitive_method_names(self, checker):
+        provider = ty("x.T", "a1").method("getname", [], "string").build()
+        expected = ty("x.T", "a2").method("GetName", [], "string").build()
+        result = checker.conforms(provider, expected)
+        assert result.ok
+        match = result.mapping.method("GetName", 0)
+        assert match.provider.name == "getname"
+
+
+class TestReturnCovariance:
+    def test_same_return_ok(self, checker):
+        provider = ty("x.T", "a1").method("Get", [], "int").build()
+        expected = ty("x.T", "a2").method("Get", [], "int").build()
+        assert checker.conforms(provider, expected).ok
+
+    def test_different_primitive_return_fails(self, checker):
+        provider = ty("x.T", "a1").method("Get", [], "int").build()
+        expected = ty("x.T", "a2").method("Get", [], "string").build()
+        assert not checker.conforms(provider, expected).ok
+
+    def test_covariant_object_return(self):
+        # Provider returns a subtype of what's expected: allowed (the caller
+        # consumes the return value).
+        registry = TypeRegistry()
+        base = ty("p.Animal", "a0").method("Noise", [], "string").build()
+        sub = ty("p.Dog", "a0").extends(base).method("Noise", [], "string").build()
+        provider = ty("x.Shelter", "a1").method("Adopt", [], sub).build()
+        expected = ty("x.Shelter", "a2").method("Adopt", [], base).build()
+        registry.register_all([base, sub])
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(provider, expected).ok
+
+    def test_contravariant_return_fails(self):
+        registry = TypeRegistry()
+        base = ty("p.Animal", "a0").method("Noise", [], "string").build()
+        sub = ty("p.Dog", "a0").extends(base).method("Noise", [], "string").build()
+        provider = ty("x.Shelter", "a1").method("Adopt", [], base).build()
+        expected = ty("x.Shelter", "a2").method("Adopt", [], sub).build()
+        registry.register_all([base, sub])
+        checker = ConformanceChecker(resolver=registry)
+        assert not checker.conforms(provider, expected).ok
+
+
+class TestArgumentContravariance:
+    def test_provider_accepting_supertype_ok(self):
+        registry = TypeRegistry()
+        base = ty("p.Animal", "a0").method("Noise", [], "string").build()
+        sub = ty("p.Dog", "a0").extends(base).method("Noise", [], "string").build()
+        # Provider accepts any Animal; expected signature passes a Dog.
+        provider = ty("x.Walker", "a1").method("Walk", [("a", base)], "void").build()
+        expected = ty("x.Walker", "a2").method("Walk", [("d", sub)], "void").build()
+        registry.register_all([base, sub])
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(provider, expected).ok
+
+    def test_provider_demanding_subtype_fails(self):
+        registry = TypeRegistry()
+        base = ty("p.Animal", "a0").method("Noise", [], "string").build()
+        sub = ty("p.Dog", "a0").extends(base).method("Noise", [], "string").build()
+        provider = ty("x.Walker", "a1").method("Walk", [("d", sub)], "void").build()
+        expected = ty("x.Walker", "a2").method("Walk", [("a", base)], "void").build()
+        registry.register_all([base, sub])
+        checker = ConformanceChecker(resolver=registry)
+        assert not checker.conforms(provider, expected).ok
+
+
+class TestPermutations:
+    def test_two_arg_swap(self, checker):
+        provider = ty("x.T", "a1").method("Mix", [("i", "int"), ("s", "string")], "void").build()
+        expected = ty("x.T", "a2").method("Mix", [("s", "string"), ("i", "int")], "void").build()
+        result = checker.conforms(provider, expected)
+        assert result.ok
+        match = result.mapping.method("Mix", 2)
+        # provider slot 0 (int) takes expected arg 1 (int)
+        assert match.permutation == (1, 0)
+        assert match.reorder(["text", 42]) == [42, "text"]
+
+    def test_identity_permutation_preferred(self, checker):
+        provider = (
+            ty("x.T", "a1")
+            .method("M", [("a", "int"), ("b", "int")], "void")
+            .method("Extra", [], "void")
+            .build()
+        )
+        expected = ty("x.T", "a2").method("M", [("c", "int"), ("d", "int")], "void").build()
+        match = checker.conforms(provider, expected).mapping.method("M", 2)
+        assert match.permutation == (0, 1)
+        assert match.is_identity_permutation
+
+    def test_three_way_rotation(self, checker):
+        provider = ty("x.T", "a1").method(
+            "M", [("a", "int"), ("b", "string"), ("c", "bool")], "void"
+        ).build()
+        expected = ty("x.T", "a2").method(
+            "M", [("x", "bool"), ("y", "int"), ("z", "string")], "void"
+        ).build()
+        result = checker.conforms(provider, expected)
+        assert result.ok
+        match = result.mapping.method("M", 3)
+        # provider (int, string, bool) drawing from expected (bool, int, string)
+        assert match.permutation == (1, 2, 0)
+
+    def test_no_valid_permutation(self, checker):
+        provider = ty("x.T", "a1").method("M", [("a", "int"), ("b", "int")], "void").build()
+        expected = ty("x.T", "a2").method("M", [("x", "string"), ("y", "int")], "void").build()
+        assert not checker.conforms(provider, expected).ok
+
+    def test_permutations_disabled(self):
+        checker = ConformanceChecker(
+            options=ConformanceOptions(allow_permutations=False)
+        )
+        provider = ty("x.T", "a1").method("M", [("i", "int"), ("s", "string")], "void").build()
+        expected = ty("x.T", "a2").method("M", [("s", "string"), ("i", "int")], "void").build()
+        assert not checker.conforms(provider, expected).ok
+
+    def test_arity_above_cap_only_identity(self):
+        checker = ConformanceChecker(
+            options=ConformanceOptions(max_permutation_arity=2)
+        )
+        types = ["int", "string", "bool"]
+        provider = ty("x.T", "a1").method("M", [("p%d" % i, t) for i, t in enumerate(types)], "void").build()
+        rotated = types[1:] + types[:1]
+        expected = ty("x.T", "a2").method("M", [("q%d" % i, t) for i, t in enumerate(rotated)], "void").build()
+        assert not checker.conforms(provider, expected).ok
+
+
+class TestModifierCompatibility:
+    def test_static_mismatch_fails(self, checker):
+        provider = ty("x.T", "a1").method("M", [], "void", static=True).build()
+        expected = ty("x.T", "a2").method("M", [], "void").build()
+        assert not checker.conforms(provider, expected).ok
+
+    def test_static_match_ok(self, checker):
+        provider = ty("x.T", "a1").method("M", [], "void", static=True).build()
+        expected = ty("x.T", "a2").method("M", [], "void", static=True).build()
+        assert checker.conforms(provider, expected).ok
+
+    def test_abstract_flag_ignored_by_default(self, checker):
+        # A concrete provider satisfies an abstract expected method.
+        provider = ty("x.T", "a1").method("M", [], "void").build()
+        expected = ty("x.T", "a2").method("M", [], "void", abstract=True).build()
+        assert checker.conforms(provider, expected).ok
+
+    def test_strict_modifiers_option(self):
+        checker = ConformanceChecker(options=ConformanceOptions(strict_modifiers=True))
+        provider = ty("x.T", "a1").method("M", [], "void").build()
+        expected = ty("x.T", "a2").method("M", [], "void", abstract=True).build()
+        assert not checker.conforms(provider, expected).ok
+
+
+class TestMappingContents:
+    def test_mapping_covers_all_expected_members(self):
+        checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        from repro.fixtures import person_csharp, person_java
+
+        result = checker.conforms(person_csharp(), person_java())
+        mapping = result.mapping
+        assert mapping.method("getPersonName", 0).provider.name == "GetName"
+        assert mapping.method("setPersonName", 1).provider.name == "SetName"
+        assert mapping.ctor(1) is not None
+
+    def test_identity_mapping_detection(self, checker):
+        a = ty("x.T", "a1").method("Go", [], "void").ctor([]).build()
+        b = ty("x.T", "a2").method("Go", [], "void").ctor([]).build()
+        result = checker.conforms(a, b)
+        if result.verdict is Verdict.IMPLICIT_STRUCTURAL:
+            assert result.mapping.is_identity()
+        assert not result.needs_proxy
+
+    def test_renamed_method_needs_proxy(self):
+        checker = ConformanceChecker(
+            options=ConformanceOptions(name_policy=NamePolicy(max_distance=3))
+        )
+        a = ty("x.T", "a1").method("Go", [], "void").build()
+        b = ty("x.T", "a2").method("Gone", [], "void").build()
+        result = checker.conforms(a, b)
+        assert result.ok
+        assert result.needs_proxy

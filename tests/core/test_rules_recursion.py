@@ -1,0 +1,152 @@
+"""Tests for recursive/cyclic type structures (coinductive checking) and
+memoization soundness."""
+
+import pytest
+
+from repro.core import ConformanceChecker, Verdict
+from repro.cts.builder import TypeBuilder
+from repro.cts.registry import TypeRegistry
+
+
+def linked_node(namespace, assembly):
+    """A self-referential Node type: field next of type Node."""
+    return (
+        TypeBuilder("%s.Node" % namespace, assembly_name=assembly)
+        .field("value", "int")
+        .field("next", "%s.Node" % namespace)
+        .method("GetNext", [], "%s.Node" % namespace)
+        .build()
+    )
+
+
+class TestRecursiveTypes:
+    def test_self_referential_types_conform(self):
+        registry = TypeRegistry()
+        a = linked_node("p", "a1")
+        b = linked_node("q", "a2")
+        registry.register_all([a, b])
+        checker = ConformanceChecker(resolver=registry)
+        result = checker.conforms(a, b)
+        assert result.ok
+        assert result.verdict is Verdict.IMPLICIT_STRUCTURAL
+
+    def test_mutually_recursive_types(self):
+        registry = TypeRegistry()
+
+        def pair(ns, asm):
+            ping = (
+                TypeBuilder("%s.Ping" % ns, assembly_name=asm)
+                .field("other", "%s.Pong" % ns)
+                .build()
+            )
+            pong = (
+                TypeBuilder("%s.Pong" % ns, assembly_name=asm)
+                .field("other", "%s.Ping" % ns)
+                .build()
+            )
+            return ping, pong
+
+        ping1, pong1 = pair("p", "a1")
+        ping2, pong2 = pair("q", "a2")
+        registry.register_all([ping1, pong1, ping2, pong2])
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(ping1, ping2).ok
+        assert checker.conforms(pong1, pong2).ok
+
+    def test_recursive_structure_mismatch_fails(self):
+        registry = TypeRegistry()
+        good = linked_node("p", "a1")
+        # Node whose 'next' is an int: structurally different.
+        bad = (
+            TypeBuilder("q.Node", assembly_name="a2")
+            .field("value", "int")
+            .field("next", "int")
+            .method("GetNext", [], "q.Node")
+            .build()
+        )
+        registry.register_all([good, bad])
+        checker = ConformanceChecker(resolver=registry)
+        assert not checker.conforms(bad, good).ok
+
+    def test_deep_nesting_terminates(self):
+        registry = TypeRegistry()
+        depth = 30
+
+        def chain(ns, asm):
+            types = []
+            for i in range(depth):
+                builder = TypeBuilder("%s.L%d" % (ns, i), assembly_name=asm)
+                if i + 1 < depth:
+                    builder.field("inner", "%s.L%d" % (ns, i + 1))
+                types.append(builder.build())
+            return types
+
+        left = chain("p", "a1")
+        right = chain("p2", "a2")
+        # Rename right chain to match left names (simple names must conform).
+        registry.register_all(left)
+        registry.register_all(right)
+        checker = ConformanceChecker(resolver=registry)
+        # Same simple names L0..Ln on both sides -> conforms all the way down.
+        assert checker.conforms(left[0], right[0]).ok
+
+
+class TestMemoization:
+    def test_cache_hit_on_repeat(self):
+        registry = TypeRegistry()
+        a = linked_node("p", "a1")
+        b = linked_node("q", "a2")
+        registry.register_all([a, b])
+        checker = ConformanceChecker(resolver=registry)
+        checker.conforms(a, b)
+        size_after_first = checker.cache_size
+        before_hits = checker.stats.cache_hits
+        checker.conforms(a, b)
+        assert checker.stats.cache_hits > before_hits
+        assert checker.cache_size == size_after_first
+
+    def test_clear_cache(self):
+        registry = TypeRegistry()
+        a = linked_node("p", "a1")
+        b = linked_node("q", "a2")
+        registry.register_all([a, b])
+        checker = ConformanceChecker(resolver=registry)
+        checker.conforms(a, b)
+        assert checker.cache_size > 0
+        checker.clear_cache()
+        assert checker.cache_size == 0
+
+    def test_cached_results_stable(self):
+        registry = TypeRegistry()
+        a = linked_node("p", "a1")
+        b = linked_node("q", "a2")
+        registry.register_all([a, b])
+        checker = ConformanceChecker(resolver=registry)
+        first = checker.conforms(a, b).ok
+        second = checker.conforms(a, b).ok
+        assert first == second
+
+    def test_negative_results_cached(self):
+        a = TypeBuilder("x.T", assembly_name="a1").method("A", [], "void").build()
+        b = TypeBuilder("x.T", assembly_name="a2").method("B", [], "void").build()
+        checker = ConformanceChecker()
+        assert not checker.conforms(a, b).ok
+        hits = checker.stats.cache_hits
+        assert not checker.conforms(a, b).ok
+        assert checker.stats.cache_hits > hits
+
+    def test_assumption_hits_counted(self):
+        registry = TypeRegistry()
+        a = linked_node("p", "a1")
+        b = linked_node("q", "a2")
+        registry.register_all([a, b])
+        checker = ConformanceChecker(resolver=registry)
+        checker.conforms(a, b)
+        assert checker.stats.assumption_hits >= 1
+
+    def test_stats_as_dict(self):
+        checker = ConformanceChecker()
+        data = checker.stats.as_dict()
+        assert set(data) == {
+            "checks", "cache_hits", "assumption_hits", "resolutions", "ambiguities",
+        }

@@ -1,0 +1,165 @@
+"""Tests for array types in the CTS and the conformance rules."""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions, Verdict
+from repro.cts.builder import TypeBuilder
+from repro.cts.registry import TypeRegistry
+from repro.cts.types import INT, OBJECT, STRING, TypeKind, array_of, lookup_builtin
+from repro.fixtures import person_csharp, person_java
+
+
+class TestArrayTypes:
+    def test_array_of_builtin(self):
+        arr = array_of(INT)
+        assert arr.full_name == "System.Int32[]"
+        assert arr.kind is TypeKind.ARRAY
+        assert arr.is_array
+        assert arr.element.resolved is INT
+
+    def test_array_types_memoised(self):
+        assert array_of(INT) is array_of(INT)
+        assert array_of(INT) is not array_of(STRING)
+
+    def test_lookup_builtin_array_spellings(self):
+        assert lookup_builtin("int[]") is array_of(INT)
+        assert lookup_builtin("System.String[]") is array_of(STRING)
+        assert lookup_builtin("nosuch[]") is None
+
+    def test_nested_arrays(self):
+        matrix = lookup_builtin("int[][]")
+        assert matrix is array_of(array_of(INT))
+        assert matrix.full_name == "System.Int32[][]"
+
+    def test_registry_synthesizes_user_arrays(self):
+        registry = TypeRegistry()
+        person = person_csharp()
+        registry.register(person)
+        arr = registry.get("demo.a.Person[]")
+        assert arr is not None
+        assert arr.is_array
+        assert arr.element.resolved is person
+
+    def test_fingerprint_distinguishes_elements(self):
+        assert array_of(INT).guid != array_of(STRING).guid
+
+
+class TestArrayConformance:
+    def test_same_element_conforms(self):
+        checker = ConformanceChecker()
+        assert checker.conforms(array_of(INT), array_of(INT)).ok
+
+    def test_different_primitive_elements_fail(self):
+        checker = ConformanceChecker()
+        assert not checker.conforms(array_of(INT), array_of(STRING)).ok
+
+    def test_array_vs_non_array_fails(self):
+        checker = ConformanceChecker()
+        assert not checker.conforms(array_of(INT), INT).ok
+        assert not checker.conforms(INT, array_of(INT)).ok
+
+    def test_arrays_conform_to_object(self):
+        checker = ConformanceChecker()
+        assert checker.conforms(array_of(INT), OBJECT).ok
+
+    def test_covariant_user_elements(self):
+        """Person[] (provider dialect) conforms to Person[] (expected
+        dialect) when the elements conform implicitly."""
+        registry = TypeRegistry()
+        a, b = person_csharp(), person_java()
+        registry.register_all([a, b])
+        checker = ConformanceChecker(
+            resolver=registry, options=ConformanceOptions.pragmatic()
+        )
+        result = checker.conforms(array_of(a), array_of(b))
+        assert result.ok
+        assert result.verdict is Verdict.IMPLICIT_STRUCTURAL
+
+    def test_nonconformant_user_elements(self):
+        from repro.fixtures import account_csharp
+
+        registry = TypeRegistry()
+        a, acct = person_csharp(), account_csharp()
+        registry.register_all([a, acct])
+        checker = ConformanceChecker(
+            resolver=registry, options=ConformanceOptions.pragmatic()
+        )
+        assert not checker.conforms(array_of(acct), array_of(a)).ok
+
+
+class TestArrayMembers:
+    def test_method_with_array_signature(self):
+        """Types whose methods traffic in arrays conform member-wise."""
+        registry = TypeRegistry()
+        provider = (
+            TypeBuilder("x.Stats", assembly_name="a1")
+            .method("Sum", [("xs", "int[]")], "int")
+            .method("Names", [], "string[]")
+            .build()
+        )
+        expected = (
+            TypeBuilder("x.Stats", assembly_name="a2")
+            .method("Sum", [("values", "int[]")], "int")
+            .method("Names", [], "string[]")
+            .build()
+        )
+        checker = ConformanceChecker(resolver=registry)
+        assert checker.conforms(provider, expected).ok
+
+    def test_array_element_mismatch_in_member(self):
+        provider = (
+            TypeBuilder("x.Stats", assembly_name="a1")
+            .method("Sum", [("xs", "int[]")], "int")
+            .build()
+        )
+        expected = (
+            TypeBuilder("x.Stats", assembly_name="a2")
+            .method("Sum", [("xs", "string[]")], "int")
+            .build()
+        )
+        assert not ConformanceChecker().conforms(provider, expected).ok
+
+    def test_csharp_frontend_parses_arrays(self):
+        from repro.langs.csharp import compile_source
+
+        info = compile_source(
+            """
+            class Holder {
+                public int[] values;
+                public string[] Tags(int[] keys) { return null; }
+            }
+            """,
+            namespace="t",
+        )[0]
+        assert info.find_field("values").type_ref.full_name == "System.Int32[]"
+        method = info.find_method("Tags")
+        assert method.return_type.full_name == "System.String[]"
+        assert method.parameter_type_names() == ["System.Int32[]"]
+
+    def test_frontend_user_type_arrays_qualified(self):
+        from repro.langs.csharp import compile_source
+
+        info = compile_source(
+            "class Group { public Person[] members; }",
+            namespace="t",
+        )[0]
+        assert info.find_field("members").type_ref.full_name == "t.Person[]"
+
+    def test_array_methods_execute(self):
+        """Arrays are Python lists at runtime; IL code can receive and
+        return them."""
+        from repro.langs.csharp import compile_source
+        from repro.runtime.loader import Runtime
+
+        info = compile_source(
+            """
+            class Stats {
+                public int First(int[] xs) { return xs.pop(0); }
+            }
+            """,
+            namespace="t",
+        )[0]
+        runtime = Runtime()
+        runtime.load_type(info)
+        stats = runtime.instantiate(info)
+        assert stats.invoke("First", [7, 8, 9]) == 7

@@ -1,0 +1,114 @@
+"""Tests for assemblies and the full-type wire form."""
+
+import pytest
+
+from repro.cts.assembly import (
+    Assembly,
+    NotSerializableError,
+    ref_from_wire,
+    ref_to_wire,
+    type_from_wire,
+    type_to_wire,
+)
+from repro.cts.builder import TypeBuilder
+from repro.cts.members import TypeRef
+from repro.cts.types import STRING
+from repro.fixtures import person_csharp, person_assembly_pair
+
+
+class TestRefWire:
+    def test_round_trip(self):
+        ref = TypeRef.to(STRING)
+        restored = ref_from_wire(ref_to_wire(ref))
+        assert restored.full_name == "System.String"
+        assert restored.guid == STRING.guid
+
+    def test_none_passthrough(self):
+        assert ref_to_wire(None) is None
+        assert ref_from_wire(None) is None
+
+    def test_unresolved_ref_keeps_path(self):
+        ref = TypeRef("a.B", download_path="repo://x")
+        restored = ref_from_wire(ref_to_wire(ref))
+        assert restored.download_path == "repo://x"
+        assert restored.guid is None
+
+
+class TestTypeWire:
+    def test_round_trip_preserves_identity(self):
+        person = person_csharp()
+        restored = type_from_wire(type_to_wire(person))
+        assert restored.guid == person.guid
+        assert restored.full_name == person.full_name
+
+    def test_round_trip_preserves_members(self):
+        person = person_csharp()
+        restored = type_from_wire(type_to_wire(person))
+        assert [m.name for m in restored.methods] == [m.name for m in person.methods]
+        assert [f.name for f in restored.fields] == [f.name for f in person.fields]
+        assert len(restored.constructors) == len(person.constructors)
+
+    def test_round_trip_preserves_il_bodies(self):
+        person = person_csharp()
+        restored = type_from_wire(type_to_wire(person))
+        original_body = person.find_method("GetName").body
+        restored_body = restored.find_method("GetName").body
+        assert restored_body == original_body
+
+    def test_without_bodies(self):
+        person = person_csharp()
+        restored = type_from_wire(type_to_wire(person, include_bodies=False))
+        assert restored.find_method("GetName").body is None
+
+    def test_native_bodies_refuse_to_serialize(self):
+        native = (
+            TypeBuilder("x.N")
+            .method("f", [], "int", body=lambda self: 42)
+            .build()
+        )
+        with pytest.raises(NotSerializableError):
+            type_to_wire(native)
+
+    def test_native_bodies_ok_when_bodies_excluded(self):
+        native = (
+            TypeBuilder("x.N")
+            .method("f", [], "int", body=lambda self: 42)
+            .build()
+        )
+        wire = type_to_wire(native, include_bodies=False)
+        assert wire["methods"][0]["body"] is None
+
+
+class TestAssembly:
+    def test_download_path_default(self):
+        assembly = Assembly("demo", [], version="2.1.0")
+        assert assembly.download_path == "repo://demo/2.1.0"
+
+    def test_types_adopt_assembly_metadata(self):
+        person = person_csharp()
+        assembly = Assembly("pkg", [person])
+        assert person.assembly_name == "pkg"
+        assert person.download_path == assembly.download_path
+
+    def test_find_type(self):
+        assembly, _ = person_assembly_pair()
+        assert assembly.find_type("demo.a.Person") is not None
+        assert assembly.find_type("no.Such") is None
+
+    def test_wire_round_trip(self):
+        assembly, _ = person_assembly_pair()
+        restored = Assembly.from_wire(assembly.to_wire())
+        assert restored.name == assembly.name
+        assert restored.version == assembly.version
+        assert restored.type_names() == assembly.type_names()
+        assert restored.types[0].guid == assembly.types[0].guid
+
+    def test_wire_round_trip_executes(self):
+        from repro.runtime.loader import Runtime
+
+        assembly, _ = person_assembly_pair()
+        restored = Assembly.from_wire(assembly.to_wire())
+        runtime = Runtime()
+        runtime.load_assembly(restored)
+        instance = runtime.new_instance("demo.a.Person", ["Alan"])
+        assert instance.invoke("GetName") == "Alan"

@@ -1,0 +1,86 @@
+"""Tests for the fluent type builder."""
+
+import pytest
+
+from repro.cts.builder import TypeBuilder, interface_builder
+from repro.cts.members import Modifiers, Visibility
+from repro.cts.types import OBJECT, TypeKind
+from repro.runtime.loader import Runtime
+
+
+class TestHeritage:
+    def test_default_superclass_is_object(self):
+        info = TypeBuilder("x.T").build()
+        assert info.superclass.full_name == OBJECT.full_name
+
+    def test_extends(self):
+        info = TypeBuilder("x.T").extends("x.Base").build()
+        assert info.superclass.full_name == "x.Base"
+
+    def test_implements(self):
+        info = TypeBuilder("x.T").implements("x.IA", "x.IB").build()
+        assert [i.full_name for i in info.interfaces] == ["x.IA", "x.IB"]
+
+    def test_interface_builder_has_no_superclass(self):
+        iface = interface_builder("x.I").build()
+        assert iface.kind is TypeKind.INTERFACE
+        assert iface.superclass is None
+
+
+class TestMembers:
+    def test_field_options(self):
+        info = (
+            TypeBuilder("x.T")
+            .field("a", "int")
+            .field("b", "string", visibility="private", static=True)
+            .build()
+        )
+        b = info.find_field("b")
+        assert b.visibility is Visibility.PRIVATE
+        assert b.modifiers & Modifiers.STATIC
+
+    def test_method_params_as_tuples(self):
+        info = TypeBuilder("x.T").method("m", [("a", "int"), ("b", "string")], "void").build()
+        method = info.find_method("m")
+        assert [p.name for p in method.parameters] == ["a", "b"]
+        assert method.parameter_type_names() == ["System.Int32", "System.String"]
+
+    def test_method_params_as_bare_types(self):
+        info = TypeBuilder("x.T").method("m", ["int"], "void").build()
+        assert info.find_method("m").parameters[0].name == "arg0"
+
+    def test_method_flags(self):
+        info = TypeBuilder("x.T").method("m", [], "void", static=True, abstract=True).build()
+        mods = info.find_method("m").modifiers
+        assert mods & Modifiers.STATIC
+        assert mods & Modifiers.ABSTRACT
+
+    def test_user_type_refs_stay_unresolved(self):
+        info = TypeBuilder("x.T").field("f", "other.U").build()
+        assert not info.find_field("f").type_ref.is_resolved
+
+
+class TestExecutableBodies:
+    def test_getter_setter_shorthands(self):
+        info = (
+            TypeBuilder("x.P")
+            .field("name", "string", visibility="private")
+            .getter("GetName", "name", "string")
+            .setter("SetName", "name", "string")
+            .ctor([("n", "string")], body=lambda self, n: self.set_field("name", n))
+            .build()
+        )
+        runtime = Runtime()
+        runtime.load_type(info)
+        obj = runtime.instantiate(info, ["Rob"])
+        assert obj.invoke("GetName") == "Rob"
+        obj.invoke("SetName", "Jim")
+        assert obj.invoke("GetName") == "Jim"
+
+    def test_native_lambda_body(self):
+        info = TypeBuilder("x.M").method("Add", [("a", "int"), ("b", "int")], "int",
+                                         body=lambda self, a, b: a + b).build()
+        runtime = Runtime()
+        runtime.load_type(info)
+        obj = runtime.instantiate(info)
+        assert obj.invoke("Add", 2, 3) == 5

@@ -1,0 +1,68 @@
+"""Tests for GUID type identities."""
+
+import pytest
+
+from repro.cts.identity import Guid, type_guid
+
+
+class TestGuid:
+    def test_requires_16_bytes(self):
+        with pytest.raises(ValueError):
+            Guid(b"short")
+
+    def test_requires_bytes_not_str(self):
+        with pytest.raises(ValueError):
+            Guid("x" * 16)
+
+    def test_from_name_deterministic(self):
+        assert Guid.from_name("abc") == Guid.from_name("abc")
+
+    def test_from_name_distinct(self):
+        assert Guid.from_name("abc") != Guid.from_name("abd")
+
+    def test_str_format(self):
+        text = str(Guid.from_name("abc"))
+        parts = text.split("-")
+        assert [len(p) for p in parts] == [8, 4, 4, 4, 12]
+
+    def test_parse_round_trip(self):
+        guid = Guid.from_name("something")
+        assert Guid.parse(str(guid)) == guid
+
+    def test_parse_accepts_no_dashes(self):
+        guid = Guid.from_name("x")
+        assert Guid.parse(str(guid).replace("-", "")) == guid
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Guid.parse("not-a-guid")
+
+    def test_hashable_and_usable_as_key(self):
+        d = {Guid.from_name("a"): 1}
+        assert d[Guid.from_name("a")] == 1
+
+    def test_ordering(self):
+        a, b = sorted([Guid(b"\xff" * 16), Guid(b"\x00" * 16)])
+        assert a.bytes == b"\x00" * 16
+        assert b.bytes == b"\xff" * 16
+
+    def test_equality_against_other_types(self):
+        assert Guid.from_name("a") != "a"
+
+    def test_repr_contains_hex(self):
+        guid = Guid.from_name("a")
+        assert str(guid) in repr(guid)
+
+
+class TestTypeGuid:
+    def test_binds_assembly(self):
+        assert type_guid("asm1", "T") != type_guid("asm2", "T")
+
+    def test_binds_name(self):
+        assert type_guid("asm", "T1") != type_guid("asm", "T2")
+
+    def test_binds_fingerprint(self):
+        assert type_guid("asm", "T", "fp1") != type_guid("asm", "T", "fp2")
+
+    def test_deterministic(self):
+        assert type_guid("asm", "T", "fp") == type_guid("asm", "T", "fp")

@@ -1,0 +1,104 @@
+"""Tests for the CTS member model."""
+
+import pytest
+
+from repro.cts.members import (
+    ConstructorInfo,
+    FieldInfo,
+    MethodInfo,
+    Modifiers,
+    ParameterInfo,
+    TypeRef,
+    Visibility,
+)
+from repro.cts.types import INT, OBJECT, STRING, TypeInfo, VOID
+
+
+class TestModifiers:
+    def test_tokens_round_trip(self):
+        mods = Modifiers.STATIC | Modifiers.ABSTRACT
+        assert Modifiers.from_tokens(mods.tokens()) == mods
+
+    def test_none_has_no_tokens(self):
+        assert Modifiers.NONE.tokens() == []
+
+    def test_from_tokens_case_insensitive(self):
+        assert Modifiers.from_tokens(["Static"]) == Modifiers.STATIC
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(KeyError):
+            Modifiers.from_tokens(["wibble"])
+
+
+class TestTypeRef:
+    def test_unresolved_by_default(self):
+        ref = TypeRef("x.Y")
+        assert not ref.is_resolved
+        assert ref.resolved is None
+
+    def test_to_builds_resolved_ref(self):
+        ref = TypeRef.to(STRING)
+        assert ref.is_resolved
+        assert ref.resolved is STRING
+        assert ref.guid == STRING.guid
+
+    def test_resolve_with_fills_guid(self):
+        ref = TypeRef("System.String")
+        ref.resolve_with(STRING)
+        assert ref.guid == STRING.guid
+        assert ref.is_resolved
+
+    def test_equality_by_guid_when_present(self):
+        assert TypeRef.to(STRING) == TypeRef.to(STRING)
+        assert TypeRef.to(STRING) != TypeRef.to(INT)
+
+    def test_equality_by_name_when_unresolved(self):
+        assert TypeRef("a.B") == TypeRef("a.B")
+        assert TypeRef("a.B") != TypeRef("a.C")
+
+    def test_repr_shows_state(self):
+        assert "unresolved" in repr(TypeRef("a.B"))
+        assert "resolved" in repr(TypeRef.to(STRING))
+
+
+class TestFieldInfo:
+    def test_signature(self):
+        field = FieldInfo("name", TypeRef.to(STRING), Visibility.PRIVATE)
+        assert "private" in field.signature()
+        assert "System.String" in field.signature()
+        assert "name" in field.signature()
+
+    def test_default_visibility_public(self):
+        assert FieldInfo("x", TypeRef.to(INT)).visibility is Visibility.PUBLIC
+
+
+class TestMethodInfo:
+    def _method(self):
+        return MethodInfo(
+            "SetName",
+            [ParameterInfo("n", TypeRef.to(STRING))],
+            TypeRef.to(VOID),
+        )
+
+    def test_arity(self):
+        assert self._method().arity == 1
+
+    def test_parameter_type_names(self):
+        assert self._method().parameter_type_names() == ["System.String"]
+
+    def test_signature_mentions_everything(self):
+        signature = self._method().signature()
+        assert "SetName" in signature
+        assert "System.Void" in signature
+        assert "System.String n" in signature
+
+    def test_signature_includes_modifiers(self):
+        method = MethodInfo("F", [], TypeRef.to(VOID), modifiers=Modifiers.STATIC)
+        assert "static" in method.signature()
+
+
+class TestConstructorInfo:
+    def test_arity_and_signature(self):
+        ctor = ConstructorInfo([ParameterInfo("n", TypeRef.to(STRING))])
+        assert ctor.arity == 1
+        assert ".ctor" in ctor.signature()

@@ -1,0 +1,106 @@
+"""Tests for bridging native Python classes into the CTS."""
+
+import pytest
+
+from repro.cts.python_bridge import BridgedInstance, bridge_class
+from repro.cts.types import INT, STRING, VOID
+from repro.core import ConformanceChecker, ConformanceOptions
+from repro.remoting.dynamic import wrap
+
+
+class PyPerson:
+    """A plain Python class playing the Person role."""
+
+    _name: str
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def GetName(self) -> str:
+        return self._name
+
+    def SetName(self, n: str) -> None:
+        self._name = n
+
+
+class TestBridgeClass:
+    def test_type_name(self):
+        info = bridge_class(PyPerson)
+        assert info.full_name == "python.PyPerson"
+
+    def test_custom_name(self):
+        info = bridge_class(PyPerson, full_name="demo.Person")
+        assert info.full_name == "demo.Person"
+
+    def test_methods_discovered(self):
+        info = bridge_class(PyPerson)
+        names = {m.name for m in info.methods}
+        assert {"GetName", "SetName"} <= names
+
+    def test_private_methods_skipped(self):
+        class WithPrivate:
+            def visible(self) -> int:
+                return 1
+
+            def _hidden(self) -> int:
+                return 2
+
+        info = bridge_class(WithPrivate)
+        names = {m.name for m in info.methods}
+        assert "visible" in names
+        assert "_hidden" not in names
+
+    def test_return_types_from_annotations(self):
+        info = bridge_class(PyPerson)
+        assert info.find_method("GetName").return_type.full_name == STRING.full_name
+        assert info.find_method("SetName").return_type.full_name == VOID.full_name
+
+    def test_parameter_types_from_annotations(self):
+        info = bridge_class(PyPerson)
+        setter = info.find_method("SetName")
+        assert setter.parameter_type_names() == [STRING.full_name]
+
+    def test_underscore_fields_become_private(self):
+        info = bridge_class(PyPerson)
+        field = info.find_field("name")
+        assert field is not None
+        assert field.visibility.value == "private"
+
+    def test_constructor_from_init(self):
+        info = bridge_class(PyPerson)
+        assert len(info.constructors) == 1
+        assert info.constructors[0].parameter_type_names() == [STRING.full_name]
+
+
+class TestBridgedInstance:
+    def test_invoke(self):
+        wrapped = BridgedInstance(PyPerson("Guy"))
+        assert wrapped.invoke("GetName") == "Guy"
+
+    def test_repro_protocol(self):
+        wrapped = BridgedInstance(PyPerson("Guy"))
+        assert wrapped._repro_invoke("GetName", []) == "Guy"
+        assert wrapped._repro_type().full_name == "python.PyPerson"
+
+    def test_field_access_via_underscore(self):
+        wrapped = BridgedInstance(PyPerson("Guy"))
+        assert wrapped.get_field("name") == "Guy"
+        wrapped.set_field("name", "Gal")
+        assert wrapped.invoke("GetName") == "Gal"
+
+
+class TestBridgeInteroperability:
+    def test_python_object_conforms_to_cts_person(self):
+        """A live Python object can stand in for a compiled CTS type."""
+        from repro.fixtures import person_java
+
+        checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        bridged_type = bridge_class(PyPerson, full_name="python.Person")
+        expected = person_java()
+        result = checker.conforms(bridged_type, expected)
+        assert result.ok
+
+        view = wrap(BridgedInstance(PyPerson("Monty"), bridged_type), expected, checker)
+        assert view.getPersonName() == "Monty"
+        view.setPersonName("Python")
+        assert view.getPersonName() == "Python"

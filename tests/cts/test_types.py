@@ -1,0 +1,161 @@
+"""Tests for TypeInfo and the builtin type universe."""
+
+import pytest
+
+from repro.cts.builder import TypeBuilder
+from repro.cts.members import FieldInfo, TypeRef, Visibility
+from repro.cts.types import (
+    BOOL,
+    DOUBLE,
+    INT,
+    OBJECT,
+    STRING,
+    TypeInfo,
+    TypeKind,
+    VOID,
+    builtin_ref,
+    lookup_builtin,
+    python_value_type,
+)
+
+
+class TestNaming:
+    def test_namespace_and_simple_name(self):
+        info = TypeInfo("demo.pkg.Person")
+        assert info.namespace == "demo.pkg"
+        assert info.simple_name == "Person"
+
+    def test_no_namespace(self):
+        info = TypeInfo("Person")
+        assert info.namespace == ""
+        assert info.simple_name == "Person"
+
+
+class TestStructure:
+    def _person(self):
+        return (
+            TypeBuilder("demo.Person")
+            .field("name", "string", visibility="private")
+            .field("age", "int")
+            .method("GetName", [], "string")
+            .method("GetName2", [], "string", visibility="private")
+            .ctor([("n", "string")])
+            .build()
+        )
+
+    def test_public_filters(self):
+        person = self._person()
+        assert [f.name for f in person.public_fields()] == ["age"]
+        assert [m.name for m in person.public_methods()] == ["GetName"]
+        assert len(person.public_constructors()) == 1
+
+    def test_find_field(self):
+        person = self._person()
+        assert person.find_field("name").visibility is Visibility.PRIVATE
+        assert person.find_field("missing") is None
+
+    def test_find_method_by_arity(self):
+        person = self._person()
+        assert person.find_method("GetName", 0) is not None
+        assert person.find_method("GetName", 2) is None
+
+    def test_find_constructor(self):
+        person = self._person()
+        assert person.find_constructor(1) is not None
+        assert person.find_constructor(3) is None
+
+    def test_referenced_type_names_deduplicated(self):
+        person = self._person()
+        names = person.referenced_type_names()
+        assert names.count("System.String") == 1
+        assert "System.Int32" in names
+        assert "System.Object" in names  # superclass
+
+
+class TestFingerprint:
+    def test_same_structure_same_fingerprint(self):
+        a = TypeBuilder("x.T").field("f", "int").build()
+        b = TypeBuilder("x.T").field("f", "int").build()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_case_sensitive_names(self):
+        # Case differences are NOT equivalence: they require a translating
+        # mapping, so the fingerprints (and identities) must differ.
+        a = TypeBuilder("x.T").method("GetName", [], "string").build()
+        b = TypeBuilder("x.T").method("getname", [], "string").build()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_modifier_aware(self):
+        a = TypeBuilder("x.T").method("M", [], "void", static=True).build()
+        b = TypeBuilder("x.T").method("M", [], "void").build()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_member_change_changes_fingerprint(self):
+        a = TypeBuilder("x.T").field("f", "int").build()
+        b = TypeBuilder("x.T").field("f", "string").build()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_guid_derives_from_fingerprint(self):
+        a = TypeBuilder("x.T").field("f", "int").build()
+        b = TypeBuilder("x.T").field("f", "string").build()
+        assert a.guid != b.guid
+
+
+class TestEquality:
+    def test_types_equal_by_guid(self):
+        a = TypeBuilder("x.T").build()
+        b = TypeBuilder("x.T").build()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_structurally_different_not_equal(self):
+        a = TypeBuilder("x.T").build()
+        b = TypeBuilder("x.T").field("f", "int").build()
+        assert a != b
+
+
+class TestBuiltins:
+    def test_primitives_are_primitive(self):
+        assert INT.is_primitive
+        assert STRING.is_primitive
+        assert not OBJECT.is_primitive
+
+    def test_lookup_by_full_name(self):
+        assert lookup_builtin("System.Int32") is INT
+
+    def test_lookup_by_alias(self):
+        assert lookup_builtin("int") is INT
+        assert lookup_builtin("Integer") is INT
+        assert lookup_builtin("string") is STRING
+        assert lookup_builtin("boolean") is BOOL
+        assert lookup_builtin("object") is OBJECT
+
+    def test_lookup_unknown_none(self):
+        assert lookup_builtin("wibble") is None
+
+    def test_builtin_ref_resolved(self):
+        assert builtin_ref("void").resolved is VOID
+
+    def test_builtin_ref_unknown_raises(self):
+        with pytest.raises(KeyError):
+            builtin_ref("wibble")
+
+
+class TestPythonValueType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, BOOL),
+            (0, INT),
+            (1.5, DOUBLE),
+            ("x", STRING),
+            (None, OBJECT),
+            ([], OBJECT),
+        ],
+    )
+    def test_mapping(self, value, expected):
+        assert python_value_type(value) is expected
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; ensure BOOL wins.
+        assert python_value_type(False) is BOOL

@@ -1,0 +1,92 @@
+"""Tests for TypeDescription (paper Section 5)."""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions
+from repro.cts.builder import TypeBuilder
+from repro.cts.assembly import Assembly
+from repro.describe.description import TypeDescription, describe
+from repro.fixtures import employee_csharp, person_csharp, person_java
+
+
+class TestConstruction:
+    def test_from_type_info(self, person_cs):
+        description = TypeDescription.from_type_info(person_cs)
+        assert description.type_name() == person_cs.full_name
+        assert description.guid() == person_cs.guid
+
+    def test_describe_alias(self, person_cs):
+        assert describe(person_cs).guid() == person_cs.guid
+
+    def test_bodies_stripped(self, person_cs):
+        description = describe(person_cs)
+        skeleton = description.to_type_info()
+        assert skeleton.find_method("GetName").body is None
+        assert skeleton.constructors[0].body is None
+
+    def test_member_counts(self, person_cs):
+        counts = describe(person_cs).member_counts()
+        assert counts == {
+            "fields": 1, "methods": 2, "constructors": 1, "interfaces": 0,
+        }
+
+    def test_metadata_preserved(self, person_cs):
+        Assembly("person-a", [person_cs])  # stamps download path
+        description = describe(person_cs)
+        assert description.assembly_name == "person-a"
+        assert description.download_path == "repo://person-a/1.0.0"
+        assert description.language == "csharp"
+
+
+class TestNonRecursive:
+    def test_referenced_types_listed_not_embedded(self):
+        address, employee = employee_csharp()
+        Assembly("hr-a", [address, employee])
+        description = describe(employee)
+        refs = description.referenced_types()
+        # Address appears as a reference with a download path...
+        assert "demo.a.Address" in refs
+        assert refs["demo.a.Address"] == "repo://hr-a/1.0.0"
+        # ...but its own members are nowhere in the description.
+        assert "street" not in str(description.wire)
+
+    def test_primitive_references_included(self, person_cs):
+        refs = describe(person_cs).referenced_types()
+        assert "System.String" in refs
+
+
+class TestITypeDescription:
+    def test_equals_by_identity(self, person_cs):
+        assert describe(person_cs).equals(describe(person_cs))
+
+    def test_not_equals_different_types(self, person_cs, person_java):
+        assert not describe(person_cs).equals(describe(person_java))
+
+    def test_conforms_without_implementation(self, person_cs, person_java):
+        """The point of descriptions: conformance checkable with no code."""
+        checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        provider = describe(person_cs)
+        expected = describe(person_java)
+        assert provider.conforms(expected, checker)
+
+    def test_conforms_rejects(self, person_cs, account):
+        checker = ConformanceChecker(options=ConformanceOptions.pragmatic())
+        assert not describe(account).conforms(describe(person_cs), checker)
+
+    def test_conforms_requires_description(self, person_cs):
+        checker = ConformanceChecker()
+        with pytest.raises(TypeError):
+            describe(person_cs).conforms(object(), checker)
+
+
+class TestSkeletonIdentity:
+    def test_skeleton_preserves_guid(self, person_cs):
+        skeleton = describe(person_cs).to_type_info()
+        assert skeleton.guid == person_cs.guid
+
+    def test_skeleton_cached(self, person_cs):
+        description = describe(person_cs)
+        assert description.to_type_info() is description.to_type_info()
+
+    def test_descriptions_hashable(self, person_cs):
+        assert len({describe(person_cs), describe(person_cs)}) == 1

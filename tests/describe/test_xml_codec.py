@@ -1,0 +1,114 @@
+"""Tests for the XML type-description codec."""
+
+import pytest
+
+from repro.describe.description import describe
+from repro.describe.xml_codec import (
+    XmlCodecError,
+    deserialize_description,
+    serialize_description,
+    serialize_description_bytes,
+)
+from repro.cts.builder import TypeBuilder, interface_builder
+from repro.fixtures import person_csharp, person_vb
+
+
+class TestRoundTrip:
+    def test_person_round_trip(self):
+        description = describe(person_csharp())
+        restored = deserialize_description(serialize_description(description))
+        assert restored == description
+
+    def test_bytes_round_trip(self):
+        description = describe(person_csharp())
+        restored = deserialize_description(serialize_description_bytes(description))
+        assert restored == description
+
+    def test_round_trip_preserves_identity(self):
+        description = describe(person_vb())
+        restored = deserialize_description(serialize_description(description))
+        assert restored.guid() == description.guid()
+
+    def test_round_trip_interface(self):
+        iface = (
+            interface_builder("x.INamed")
+            .method("GetName", [], "string")
+            .build()
+        )
+        restored = deserialize_description(serialize_description(describe(iface)))
+        skeleton = restored.to_type_info()
+        assert skeleton.is_interface
+        assert skeleton.find_method("GetName") is not None
+
+    def test_round_trip_modifiers_and_visibility(self):
+        info = (
+            TypeBuilder("x.T")
+            .field("hidden", "int", visibility="private", static=True)
+            .method("M", [("a", "int")], "void", static=True)
+            .build()
+        )
+        restored = deserialize_description(serialize_description(describe(info)))
+        skeleton = restored.to_type_info()
+        assert skeleton.find_field("hidden").visibility.value == "private"
+        assert "static" in skeleton.find_field("hidden").modifiers.tokens()
+        assert "static" in skeleton.find_method("M").modifiers.tokens()
+
+    def test_round_trip_supertypes(self):
+        info = (
+            TypeBuilder("x.T")
+            .extends("x.Base")
+            .implements("x.IA", "x.IB")
+            .build()
+        )
+        skeleton = deserialize_description(
+            serialize_description(describe(info))
+        ).to_type_info()
+        assert skeleton.superclass.full_name == "x.Base"
+        assert [i.full_name for i in skeleton.interfaces] == ["x.IA", "x.IB"]
+
+    def test_round_trip_parameter_names(self):
+        info = TypeBuilder("x.T").method("M", [("alpha", "int"), ("beta", "string")], "void").build()
+        skeleton = deserialize_description(
+            serialize_description(describe(info))
+        ).to_type_info()
+        assert [p.name for p in skeleton.find_method("M").parameters] == ["alpha", "beta"]
+
+
+class TestFormat:
+    def test_xml_is_human_readable(self):
+        text = serialize_description(describe(person_csharp()))
+        assert text.startswith("<TypeDescription")
+        assert 'name="demo.a.Person"' in text
+        assert "<Method" in text
+        assert "<Field" in text
+        assert "<Constructor" in text
+
+    def test_guid_attribute_present(self):
+        person = person_csharp()
+        text = serialize_description(describe(person))
+        assert str(person.guid) in text
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(XmlCodecError):
+            deserialize_description("<oops")
+
+    def test_wrong_root(self):
+        with pytest.raises(XmlCodecError):
+            deserialize_description("<Other/>")
+
+    def test_missing_name(self):
+        with pytest.raises(XmlCodecError):
+            deserialize_description('<TypeDescription guid="abc"/>')
+
+    def test_missing_guid(self):
+        with pytest.raises(XmlCodecError):
+            deserialize_description('<TypeDescription name="x.T"/>')
+
+    def test_unknown_child_element(self):
+        person = person_csharp()
+        text = serialize_description(describe(person))
+        bad = text.replace("</TypeDescription>", "<Wibble/></TypeDescription>")
+        with pytest.raises(XmlCodecError):
+            deserialize_description(bad)

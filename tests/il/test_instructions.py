@@ -1,0 +1,85 @@
+"""Tests for IL instructions, bodies and the emitter."""
+
+import pytest
+
+from repro.il.instructions import BodyBuilder, Instr, MethodBody, Op
+
+
+class TestInstr:
+    def test_equality(self):
+        assert Instr(Op.PUSH_CONST, 1) == Instr(Op.PUSH_CONST, 1)
+        assert Instr(Op.PUSH_CONST, 1) != Instr(Op.PUSH_CONST, 2)
+        assert Instr(Op.POP) != Instr(Op.DUP)
+
+    def test_wire_round_trip_simple(self):
+        instr = Instr(Op.PUSH_CONST, "hello")
+        assert Instr.from_tuple(instr.to_tuple()) == instr
+
+    def test_wire_round_trip_tuple_arg(self):
+        instr = Instr(Op.CALL_METHOD, ("GetName", 0))
+        restored = Instr.from_tuple(instr.to_tuple())
+        assert restored.arg == ("GetName", 0)
+        assert isinstance(restored.arg, tuple)
+
+    def test_wire_form_is_list(self):
+        # Tuples are not serializable; the wire form must be plain lists.
+        wire = Instr(Op.NEW, ("x.T", 2)).to_tuple()
+        assert isinstance(wire, list)
+        assert isinstance(wire[1], list)
+
+
+class TestMethodBody:
+    def test_wire_round_trip(self):
+        body = MethodBody(
+            [Instr(Op.LOAD_ARG, 0), Instr(Op.RETURN)],
+            n_locals=2,
+            local_names=["a", "b"],
+        )
+        restored = MethodBody.from_wire(body.to_wire())
+        assert restored == body
+        assert restored.local_names == ["a", "b"]
+
+    def test_disassemble_mentions_opcodes(self):
+        body = MethodBody([Instr(Op.PUSH_CONST, 42), Instr(Op.RETURN)])
+        text = body.disassemble()
+        assert "push_const" in text
+        assert "42" in text
+        assert "return" in text
+
+    def test_len(self):
+        assert len(MethodBody([Instr(Op.RETURN_VOID)])) == 1
+
+
+class TestBodyBuilder:
+    def test_implicit_return_void(self):
+        builder = BodyBuilder()
+        builder.emit(Op.PUSH_CONST, 1)
+        builder.emit(Op.POP)
+        body = builder.build()
+        assert body.instructions[-1].op is Op.RETURN_VOID
+
+    def test_no_double_return(self):
+        builder = BodyBuilder()
+        builder.emit(Op.PUSH_CONST, 1)
+        builder.emit(Op.RETURN)
+        body = builder.build()
+        assert [i.op for i in body.instructions] == [Op.PUSH_CONST, Op.RETURN]
+
+    def test_local_slots_stable(self):
+        builder = BodyBuilder()
+        assert builder.local_slot("x") == 0
+        assert builder.local_slot("y") == 1
+        assert builder.local_slot("x") == 0
+        assert builder.build().n_locals == 2
+
+    def test_patch_jump(self):
+        builder = BodyBuilder()
+        pc = builder.emit(Op.JUMP, -1)
+        builder.patch(pc, 7)
+        assert builder.build().instructions[pc].arg == 7
+
+    def test_patch_non_jump_raises(self):
+        builder = BodyBuilder()
+        pc = builder.emit(Op.POP)
+        with pytest.raises(ValueError):
+            builder.patch(pc, 0)

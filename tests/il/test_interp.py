@@ -1,0 +1,260 @@
+"""Tests for the IL interpreter."""
+
+import pytest
+
+from repro.il.instructions import Instr, MethodBody, Op
+from repro.il.interp import (
+    ExecutionEnvironment,
+    IlLimitExceeded,
+    IlRuntimeError,
+    Interpreter,
+)
+
+
+class DictEnvironment(ExecutionEnvironment):
+    """Minimal environment: objects are dicts, methods are callables kept
+    in a side table."""
+
+    def __init__(self):
+        self.methods = {}
+        self.created = []
+
+    def get_field(self, receiver, name):
+        return receiver[name]
+
+    def set_field(self, receiver, name, value):
+        receiver[name] = value
+
+    def call_method(self, receiver, name, args):
+        return self.methods[name](receiver, *args)
+
+    def new_instance(self, type_name, args):
+        obj = {"__type__": type_name, "__args__": list(args)}
+        self.created.append(obj)
+        return obj
+
+
+@pytest.fixture
+def env():
+    return DictEnvironment()
+
+
+@pytest.fixture
+def interp(env):
+    return Interpreter(env)
+
+
+def run(interp, instrs, self_obj=None, args=(), n_locals=0):
+    return interp.execute(MethodBody(instrs, n_locals=n_locals), self_obj, list(args))
+
+
+class TestBasics:
+    def test_return_const(self, interp):
+        assert run(interp, [Instr(Op.PUSH_CONST, 42), Instr(Op.RETURN)]) == 42
+
+    def test_return_void(self, interp):
+        assert run(interp, [Instr(Op.RETURN_VOID)]) is None
+
+    def test_fall_off_end_returns_none(self, interp):
+        assert run(interp, [Instr(Op.PUSH_CONST, 1), Instr(Op.POP)]) is None
+
+    def test_load_arg(self, interp):
+        assert run(interp, [Instr(Op.LOAD_ARG, 1), Instr(Op.RETURN)], args=[10, 20]) == 20
+
+    def test_load_arg_out_of_range(self, interp):
+        with pytest.raises(IlRuntimeError):
+            run(interp, [Instr(Op.LOAD_ARG, 5), Instr(Op.RETURN)], args=[1])
+
+    def test_locals(self, interp):
+        instrs = [
+            Instr(Op.PUSH_CONST, 7),
+            Instr(Op.STORE_LOCAL, 0),
+            Instr(Op.LOAD_LOCAL, 0),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs, n_locals=1) == 7
+
+    def test_load_self(self, interp):
+        marker = {"me": True}
+        assert run(interp, [Instr(Op.LOAD_SELF), Instr(Op.RETURN)], self_obj=marker) is marker
+
+    def test_dup(self, interp):
+        instrs = [
+            Instr(Op.PUSH_CONST, 3),
+            Instr(Op.DUP),
+            Instr(Op.BIN_OP, "+"),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs) == 6
+
+
+class TestFieldsAndCalls:
+    def test_get_set_field(self, interp):
+        obj = {"x": 1}
+        instrs = [
+            Instr(Op.LOAD_SELF),
+            Instr(Op.PUSH_CONST, 5),
+            Instr(Op.SET_FIELD, "x"),
+            Instr(Op.LOAD_SELF),
+            Instr(Op.GET_FIELD, "x"),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs, self_obj=obj) == 5
+        assert obj["x"] == 5
+
+    def test_call_method(self, interp, env):
+        env.methods["add"] = lambda receiver, a, b: a + b
+        instrs = [
+            Instr(Op.LOAD_SELF),
+            Instr(Op.PUSH_CONST, 2),
+            Instr(Op.PUSH_CONST, 3),
+            Instr(Op.CALL_METHOD, ("add", 2)),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs, self_obj={}) == 5
+
+    def test_new(self, interp, env):
+        instrs = [
+            Instr(Op.PUSH_CONST, "a"),
+            Instr(Op.NEW, ("x.T", 1)),
+            Instr(Op.RETURN),
+        ]
+        obj = run(interp, instrs)
+        assert obj["__type__"] == "x.T"
+        assert obj["__args__"] == ["a"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,lhs,rhs,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 3, 12),
+            ("/", 7, 2, 3),       # integer division truncates toward zero
+            ("/", -7, 2, -3),     # like C#/Java, not Python floor
+            ("/", 7.0, 2, 3.5),
+            ("%", 7, 3, 1),
+            ("%", -7, 3, -1),     # sign of dividend, like C#/Java
+            ("==", 1, 1, True),
+            ("!=", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 3, False),
+            ("&&", True, False, False),
+            ("||", False, True, True),
+            ("&", 1, 2, "12"),    # VB string concatenation
+            ("+", "a", 1, "a1"),  # string + stringifies
+            ("+", 1, "a", "1a"),
+        ],
+    )
+    def test_binary(self, interp, op, lhs, rhs, expected):
+        instrs = [
+            Instr(Op.PUSH_CONST, lhs),
+            Instr(Op.PUSH_CONST, rhs),
+            Instr(Op.BIN_OP, op),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs) == expected
+
+    def test_string_concat_null(self, interp):
+        instrs = [
+            Instr(Op.PUSH_CONST, "x="),
+            Instr(Op.PUSH_CONST, None),
+            Instr(Op.BIN_OP, "+"),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs) == "x=null"
+
+    def test_string_concat_bool(self, interp):
+        instrs = [
+            Instr(Op.PUSH_CONST, ""),
+            Instr(Op.PUSH_CONST, True),
+            Instr(Op.BIN_OP, "+"),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs) == "true"
+
+    @pytest.mark.parametrize("op,operand,expected", [("-", 5, -5), ("!", True, False)])
+    def test_unary(self, interp, op, operand, expected):
+        instrs = [
+            Instr(Op.PUSH_CONST, operand),
+            Instr(Op.UN_OP, op),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs) == expected
+
+    def test_division_by_zero(self, interp):
+        with pytest.raises(IlRuntimeError):
+            run(interp, [
+                Instr(Op.PUSH_CONST, 1),
+                Instr(Op.PUSH_CONST, 0),
+                Instr(Op.BIN_OP, "/"),
+                Instr(Op.RETURN),
+            ])
+
+    def test_modulo_by_zero(self, interp):
+        with pytest.raises(IlRuntimeError):
+            run(interp, [
+                Instr(Op.PUSH_CONST, 1),
+                Instr(Op.PUSH_CONST, 0),
+                Instr(Op.BIN_OP, "%"),
+                Instr(Op.RETURN),
+            ])
+
+    def test_unknown_binary_op(self, interp):
+        with pytest.raises(IlRuntimeError):
+            run(interp, [
+                Instr(Op.PUSH_CONST, 1),
+                Instr(Op.PUSH_CONST, 1),
+                Instr(Op.BIN_OP, "**"),
+                Instr(Op.RETURN),
+            ])
+
+
+class TestControlFlow:
+    def test_jump_skips(self, interp):
+        instrs = [
+            Instr(Op.JUMP, 2),
+            Instr(Op.PUSH_CONST, "skipped"),
+            Instr(Op.PUSH_CONST, "reached"),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs) == "reached"
+
+    def test_jump_if_false(self, interp):
+        instrs = [
+            Instr(Op.PUSH_CONST, False),
+            Instr(Op.JUMP_IF_FALSE, 4),
+            Instr(Op.PUSH_CONST, "then"),
+            Instr(Op.RETURN),
+            Instr(Op.PUSH_CONST, "else"),
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs) == "else"
+
+    def test_loop_counts(self, interp):
+        # i = 0; while i < 10: i = i + 1; return i
+        instrs = [
+            Instr(Op.PUSH_CONST, 0),
+            Instr(Op.STORE_LOCAL, 0),
+            Instr(Op.LOAD_LOCAL, 0),      # pc 2: loop head
+            Instr(Op.PUSH_CONST, 10),
+            Instr(Op.BIN_OP, "<"),
+            Instr(Op.JUMP_IF_FALSE, 11),
+            Instr(Op.LOAD_LOCAL, 0),
+            Instr(Op.PUSH_CONST, 1),
+            Instr(Op.BIN_OP, "+"),
+            Instr(Op.STORE_LOCAL, 0),
+            Instr(Op.JUMP, 2),
+            Instr(Op.LOAD_LOCAL, 0),      # pc 11
+            Instr(Op.RETURN),
+        ]
+        assert run(interp, instrs, n_locals=1) == 10
+
+    def test_runaway_loop_limited(self, env):
+        interp = Interpreter(env, max_steps=1000)
+        instrs = [Instr(Op.JUMP, 0)]
+        with pytest.raises(IlLimitExceeded):
+            run(interp, instrs)

@@ -1,0 +1,220 @@
+"""Paper walkthrough: one executable check per claim, section by section.
+
+These tests read as an index from the paper's text into the codebase —
+each docstring quotes or paraphrases the claim being demonstrated.
+"""
+
+import pytest
+
+from repro.core import (
+    ConformanceChecker,
+    ConformanceOptions,
+    ExactMatcher,
+    TaggedStructuralMatcher,
+    Verdict,
+)
+from repro.cts.assembly import Assembly
+from repro.fixtures import person_csharp, person_java, person_vb
+from repro.net.network import SimulatedNetwork
+from repro.remoting.dynamic import wrap
+from repro.remoting.remote import RemotingPeer
+from repro.runtime.loader import Runtime
+from repro.transport.protocol import InteropPeer
+
+
+def pragmatic():
+    return ConformanceChecker(options=ConformanceOptions.pragmatic())
+
+
+class TestSection1Introduction:
+    def test_types_by_different_programmers_treated_as_one(self):
+        """'types that are supposed to represent the same software module
+        are indeed treated as one single type' — across languages."""
+        checker = pragmatic()
+        assert checker.conforms(person_csharp(), person_java()).ok
+        assert checker.conforms(person_vb(), person_csharp()).ok
+
+    def test_exchange_is_pass_by_value(self):
+        """'not only passed-by-reference, but especially also
+        passed-by-value'."""
+        network = SimulatedNetwork()
+        a = InteropPeer("a", network, options=ConformanceOptions.pragmatic())
+        b = InteropPeer("b", network, options=ConformanceOptions.pragmatic())
+        a.host_assembly(Assembly("p", [person_csharp()]))
+        b.declare_interest(person_java())
+        original = a.new_instance("demo.a.Person", ["value"])
+        a.send("b", original)
+        b.inbox[0].view.setPersonName("mutated-remotely")
+        assert original.GetName() == "value"  # a copy travelled, not a ref
+
+
+class TestSection2RelatedWork:
+    def test_2_1_laufer_needs_tags_and_exact_names(self):
+        """'only types that are tagged as being structural conformant can
+        pretend to do so' — and renamed accessors defeat it regardless."""
+        matcher = TaggedStructuralMatcher()
+        a, b = person_csharp(), person_java()
+        assert not matcher.conforms(a, b).ok        # untagged
+        matcher.tag(a.full_name, b.full_name)
+        assert not matcher.conforms(a, b).ok        # tagged but renamed
+
+    def test_corba_rmi_style_exact_matching_fails(self):
+        """Plain middleware matching (identity/declared subtyping) cannot
+        unify independently written twins."""
+        assert not ExactMatcher().conforms(person_vb(), person_csharp()).ok
+
+    def test_2_2_compound_types(self):
+        """Büchi/Weck compound types, reproduced over our checker."""
+        from repro.core import CompoundType, conforms_to_compound
+        from repro.cts.builder import interface_builder
+
+        named = interface_builder("i.Named").method("GetName", [], "string").build()
+        settable = interface_builder("i.Settable").method(
+            "SetName", [("n", "string")], "void").build()
+        checker = ConformanceChecker(options=ConformanceOptions(check_name=False))
+        result = conforms_to_compound(person_csharp(), CompoundType([named, settable]), checker)
+        assert result.ok
+
+
+class TestSection3Overview:
+    def test_protocol_is_optimistic(self):
+        """'the code of the object as well as its type representation are
+        not always sent with the object itself, but only when needed'."""
+        network = SimulatedNetwork()
+        a = InteropPeer("a", network, options=ConformanceOptions.pragmatic())
+        b = InteropPeer("b", network, options=ConformanceOptions.pragmatic())
+        a.host_assembly(Assembly("p", [person_csharp()]))
+        b.declare_interest(person_java())
+        for i in range(3):
+            a.send("b", a.new_instance("demo.a.Person", ["n%d" % i]))
+        # Description and code travelled exactly once, not three times.
+        kinds = network.stats.by_kind_messages
+        assert kinds["object"] == 3
+        assert kinds["get_description"] == 1
+        assert kinds["get_assembly"] == 1
+
+
+class TestSection4Conformance:
+    def test_equality_equivalence_explicit_implicit_hierarchy(self):
+        """Definition ladder: equality (identity), equivalence (structure),
+        explicit (subtyping), implicit structural (the contribution)."""
+        checker = pragmatic()
+        person = person_csharp()
+        assert checker.conforms(person, person).verdict is Verdict.EQUAL
+        twin = person_csharp(namespace="demo.a", assembly_name="rebuilt")
+        assert checker.conforms(person, twin).verdict is Verdict.EQUIVALENT
+        assert checker.conforms(
+            person_csharp(), person_java()
+        ).verdict is Verdict.IMPLICIT_STRUCTURAL
+
+    def test_weak_name_only_rule_breaks_type_safety(self):
+        """'not taking into account the whole set of aspects breaks the
+        type safety'."""
+        from repro.cts.builder import TypeBuilder
+
+        impostor = TypeBuilder("evil.Person", assembly_name="evil").build()
+        weak = ConformanceChecker(options=ConformanceOptions.name_only())
+        full = ConformanceChecker()
+        assert weak.conforms(impostor, person_csharp()).ok
+        assert not full.conforms(impostor, person_csharp()).ok
+
+
+class TestSection5Representation:
+    def test_conformance_checked_without_implementation(self):
+        """'make the comparison between two types possible ... without
+        having to transfer the implementation'."""
+        from repro.describe.description import describe
+        from repro.describe.xml_codec import (
+            deserialize_description,
+            serialize_description,
+        )
+
+        provider = deserialize_description(
+            serialize_description(describe(person_csharp()))
+        )
+        expected = deserialize_description(
+            serialize_description(describe(person_java()))
+        )
+        assert provider.to_type_info().find_method("GetName").body is None
+        assert provider.conforms(expected, pragmatic())
+
+
+class TestSection6Serialization:
+    def test_hybrid_message_structure(self):
+        """Figure 3: XML message = type information + serialized object."""
+        from repro.serialization.envelope import EnvelopeCodec
+
+        runtime = Runtime()
+        runtime.load_type(person_csharp())
+        codec = EnvelopeCodec(runtime)
+        data = codec.encode(runtime.new_instance("demo.a.Person", ["Fig3"]))
+        assert data.startswith(b"<XmlMessage>")
+        assert b"TypeInformation" in data
+        assert b"Payload" in data
+
+    def test_pass_by_reference_through_dynamic_proxy(self):
+        """'the interposing of a dynamic proxy as a wrapper is necessary
+        since T_q and T_l are not explicitly compatible'."""
+        network = SimulatedNetwork()
+        server = RemotingPeer("s", network, options=ConformanceOptions.pragmatic())
+        client = RemotingPeer("c", network, options=ConformanceOptions.pragmatic())
+        server.host_assembly(Assembly("p", [person_csharp()]))
+        obj = server.new_instance("demo.a.Person", ["ref"])
+        server.export(obj, name="o")
+        view = client.lookup_as("s", "o", person_java())
+        view.setPersonName("via-proxy-chain")
+        assert obj.GetName() == "via-proxy-chain"
+
+
+class TestSection7Performance:
+    def test_proxy_overhead_negligible_vs_conformance(self):
+        """'this amount of time still remains negligible with respect to
+        the time taken for checking type conformance'."""
+        import time
+
+        runtime = Runtime()
+        provider = person_csharp()
+        runtime.load_type(provider)
+        checker = pragmatic()
+        view = wrap(runtime.instantiate(provider, ["x"]), person_java(), checker)
+
+        n = 200
+        start = time.perf_counter()
+        for _ in range(n):
+            view.invoke("getPersonName")
+        proxy_time = time.perf_counter() - start
+
+        options = ConformanceOptions.pragmatic()
+        start = time.perf_counter()
+        for _ in range(n):
+            ConformanceChecker(options=options).conforms(provider, person_java())
+        check_time = time.perf_counter() - start
+        assert proxy_time < check_time
+
+
+class TestSection8Applications:
+    def test_tps_without_a_priori_agreement(self):
+        """'subscribers and publishers must agree a priori on the types ...
+        enhancing TPS with type interoperability would alleviate this'."""
+        from repro.apps.tps import LocalBroker
+
+        runtime = Runtime()
+        runtime.load_type(person_csharp())
+        broker = LocalBroker()
+        got = []
+        broker.subscribe(person_java(), got.append)  # subscriber's own type
+        broker.publish(runtime.new_instance("demo.a.Person", ["no-agreement"]))
+        assert got[0].getPersonName() == "no-agreement"
+
+    def test_borrow_lend_with_conformance_criterion(self):
+        """'a possible criterion is type conformance, for a type T_q with
+        which the lent resource's type T_l must conform'."""
+        from repro.apps.borrowlend import BorrowLendPeer
+
+        network = SimulatedNetwork()
+        lender = BorrowLendPeer("lender", network)
+        borrower = BorrowLendPeer("borrower", network)
+        lender.host_assembly(Assembly("p", [person_csharp()]))
+        lender.lend("r", lender.new_instance("demo.a.Person", ["lent"]))
+        lease = borrower.borrow("lender", person_java())
+        assert lease.view.getPersonName() == "lent"

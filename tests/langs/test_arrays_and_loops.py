@@ -1,0 +1,247 @@
+"""Tests for array literals, indexing and for-loops in the C-family
+frontends (and the IL ops behind them)."""
+
+import pytest
+
+from repro.il.instructions import Instr, MethodBody, Op
+from repro.il.interp import IlRuntimeError, Interpreter
+from repro.langs.cfamily import ParseError
+from repro.langs.csharp import compile_source
+from repro.langs.java import compile_source as compile_java
+from repro.runtime.loader import Runtime
+
+
+def compile_and_load(source, namespace="t"):
+    runtime = Runtime()
+    types = compile_source(source, namespace=namespace)
+    for info in types:
+        runtime.load_type(info)
+    return runtime, types
+
+
+class TestArrayLiterals:
+    def test_literal_and_index(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int Second() {
+                    int[] xs = new int[] { 10, 20, 30 };
+                    return xs[1];
+                }
+            }
+            """
+        )
+        assert runtime.instantiate(types[0]).invoke("Second") == 20
+
+    def test_empty_literal(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int Count() {
+                    int[] xs = new int[] { };
+                    return xs.Length;
+                }
+            }
+            """
+        )
+        assert runtime.instantiate(types[0]).invoke("Count") == 0
+
+    def test_length_property(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int Len(string[] names) { return names.Length; }
+            }
+            """
+        )
+        assert runtime.instantiate(types[0]).invoke("Len", ["a", "b", "c"]) == 3
+
+    def test_index_assignment(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int Set(int[] xs) {
+                    xs[0] = 99;
+                    return xs[0];
+                }
+            }
+            """
+        )
+        values = [1, 2]
+        assert runtime.instantiate(types[0]).invoke("Set", values) == 99
+        assert values == [99, 2]
+
+    def test_out_of_range_raises(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int Get(int[] xs) { return xs[5]; }
+            }
+            """
+        )
+        with pytest.raises(IlRuntimeError):
+            runtime.instantiate(types[0]).invoke("Get", [1])
+
+    def test_string_indexing(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public string Ch(string s, int i) { return s[i]; }
+            }
+            """
+        )
+        assert runtime.instantiate(types[0]).invoke("Ch", "hello", 1) == "e"
+
+
+class TestForLoops:
+    def test_classic_for(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int SumTo(int n) {
+                    int total = 0;
+                    for (int i = 1; i <= n; i = i + 1) {
+                        total = total + i;
+                    }
+                    return total;
+                }
+            }
+            """
+        )
+        assert runtime.instantiate(types[0]).invoke("SumTo", 10) == 55
+
+    def test_for_over_array(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int Sum(int[] xs) {
+                    int total = 0;
+                    for (int i = 0; i < xs.Length; i = i + 1) {
+                        total = total + xs[i];
+                    }
+                    return total;
+                }
+            }
+            """
+        )
+        assert runtime.instantiate(types[0]).invoke("Sum", [3, 4, 5]) == 12
+
+    def test_for_without_init(self):
+        runtime, types = compile_and_load(
+            """
+            class A {
+                public int Count(int n) {
+                    int i = 0;
+                    for (; i < n; i = i + 1) { }
+                    return i;
+                }
+            }
+            """
+        )
+        assert runtime.instantiate(types[0]).invoke("Count", 4) == 4
+
+    def test_java_dialect_too(self):
+        runtime = Runtime()
+        types = compile_java(
+            """
+            class A {
+                public int Max(int[] xs) {
+                    int best = xs[0];
+                    for (int i = 1; i < xs.length(); i = i + 1) {
+                        if (xs[i] > best) { best = xs[i]; }
+                    }
+                    return best;
+                }
+                public int length() { return 0; }
+            }
+            """,
+            namespace="j",
+        )
+        # Use .Length via field form instead; Java 'length()' clash avoided.
+        types = compile_java(
+            """
+            class A {
+                public int Max(int[] xs) {
+                    int best = xs[0];
+                    for (int i = 1; i < xs.Length; i = i + 1) {
+                        if (xs[i] > best) { best = xs[i]; }
+                    }
+                    return best;
+                }
+            }
+            """,
+            namespace="j",
+        )
+        for info in types:
+            runtime.load_type(info)
+        assert runtime.instantiate(types[0]).invoke("Max", [3, 9, 2]) == 9
+
+    def test_bad_for_initialiser(self):
+        with pytest.raises(ParseError):
+            compile_source(
+                "class A { public void F() { for (1 + 2; true; ) { } } }",
+                namespace="t",
+            )
+
+
+class TestIlOpsDirectly:
+    def _run(self, instrs, args=()):
+        class _Env:
+            def get_field(self, r, n):
+                raise AssertionError
+
+            set_field = call_method = new_instance = get_field
+
+        return Interpreter(_Env()).execute(MethodBody(instrs), None, list(args))
+
+    def test_new_list(self):
+        result = self._run([
+            Instr(Op.PUSH_CONST, 1),
+            Instr(Op.PUSH_CONST, 2),
+            Instr(Op.NEW_LIST, 2),
+            Instr(Op.RETURN),
+        ])
+        assert result == [1, 2]
+
+    def test_list_len(self):
+        result = self._run([
+            Instr(Op.PUSH_CONST, "abcd"),
+            Instr(Op.LIST_LEN),
+            Instr(Op.RETURN),
+        ])
+        assert result == 4
+
+    def test_list_len_on_int_fails(self):
+        with pytest.raises(IlRuntimeError):
+            self._run([
+                Instr(Op.PUSH_CONST, 5),
+                Instr(Op.LIST_LEN),
+                Instr(Op.RETURN),
+            ])
+
+    def test_index_on_dict(self):
+        result = self._run([
+            Instr(Op.LOAD_ARG, 0),
+            Instr(Op.PUSH_CONST, "k"),
+            Instr(Op.INDEX_GET),
+            Instr(Op.RETURN),
+        ], args=[{"k": 7}])
+        assert result == 7
+
+    def test_index_non_collection(self):
+        with pytest.raises(IlRuntimeError):
+            self._run([
+                Instr(Op.PUSH_CONST, 5),
+                Instr(Op.PUSH_CONST, 0),
+                Instr(Op.INDEX_GET),
+                Instr(Op.RETURN),
+            ])
+
+    def test_bool_index_rejected(self):
+        with pytest.raises(IlRuntimeError):
+            self._run([
+                Instr(Op.LOAD_ARG, 0),
+                Instr(Op.PUSH_CONST, True),
+                Instr(Op.INDEX_GET),
+                Instr(Op.RETURN),
+            ], args=[[1, 2]])

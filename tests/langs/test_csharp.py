@@ -1,0 +1,221 @@
+"""Tests for the C#-like frontend."""
+
+import pytest
+
+from repro.cts.members import Modifiers, Visibility
+from repro.cts.types import TypeKind
+from repro.langs.cfamily import ParseError
+from repro.langs.csharp import compile_source, parse
+from repro.runtime.loader import Runtime
+
+
+def compile_one(source, namespace="t"):
+    types = compile_source(source, namespace=namespace)
+    assert len(types) == 1
+    return types[0]
+
+
+def new_runtime(*types):
+    runtime = Runtime()
+    for info in types:
+        runtime.load_type(info)
+    return runtime
+
+
+class TestDeclarations:
+    def test_empty_class(self):
+        info = compile_one("class Empty { }")
+        assert info.full_name == "t.Empty"
+        assert info.kind is TypeKind.CLASS
+        assert info.superclass.full_name == "System.Object"
+
+    def test_heritage_clause(self):
+        source = "class Sub : Base, IThing { }"
+        info = compile_one(source)
+        assert info.superclass.full_name == "t.Base"
+        assert [i.full_name for i in info.interfaces] == ["t.IThing"]
+
+    def test_interface_only_heritage(self):
+        info = compile_one("class Sub : IThing, IOther { }")
+        assert info.superclass.full_name == "System.Object"
+        assert len(info.interfaces) == 2
+
+    def test_interface_declaration(self):
+        info = compile_one("interface INamed { string GetName(); }")
+        assert info.kind is TypeKind.INTERFACE
+        assert info.find_method("GetName").body is None
+
+    def test_field_visibility(self):
+        info = compile_one("class C { private string name; public int age; }")
+        assert info.find_field("name").visibility is Visibility.PRIVATE
+        assert info.find_field("age").visibility is Visibility.PUBLIC
+
+    def test_static_modifier(self):
+        info = compile_one("class C { public static int Count() { return 1; } }")
+        assert info.find_method("Count").modifiers & Modifiers.STATIC
+
+    def test_qualified_type_names(self):
+        info = compile_one("class C { public other.pkg.Thing f; }")
+        assert info.find_field("f").type_ref.full_name == "other.pkg.Thing"
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse("class { }")
+
+    def test_parse_error_unclosed_body(self):
+        with pytest.raises(ParseError):
+            parse("class C {")
+
+
+class TestExecution:
+    def test_accessors(self):
+        info = compile_one(
+            """
+            class Person {
+                private string name;
+                public Person(string n) { this.name = n; }
+                public string GetName() { return this.name; }
+                public void SetName(string n) { this.name = n; }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        person = runtime.instantiate(info, ["Anders"])
+        assert person.invoke("GetName") == "Anders"
+        person.invoke("SetName", "Hejlsberg")
+        assert person.invoke("GetName") == "Hejlsberg"
+
+    def test_implicit_field_access_without_this(self):
+        info = compile_one(
+            """
+            class Counter {
+                private int count;
+                public void Inc() { count = count + 1; }
+                public int Get() { return count; }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        counter = runtime.instantiate(info)
+        counter.invoke("Inc")
+        counter.invoke("Inc")
+        assert counter.invoke("Get") == 2
+
+    def test_arithmetic_and_precedence(self):
+        info = compile_one(
+            """
+            class Math2 {
+                public int Calc(int a, int b) { return a + b * 2 - 1; }
+                public bool Both(bool x, bool y) { return x && y || a(x); }
+                public bool a(bool v) { return !v; }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        math2 = runtime.instantiate(info)
+        assert math2.invoke("Calc", 3, 4) == 10
+        assert math2.invoke("Both", True, True) is True
+        assert math2.invoke("Both", False, True) is True  # a(False) == True
+        assert math2.invoke("Both", True, False) is False
+
+    def test_if_else_chain(self):
+        info = compile_one(
+            """
+            class Grader {
+                public string Grade(int score) {
+                    if (score >= 90) { return "A"; }
+                    else if (score >= 80) { return "B"; }
+                    else { return "C"; }
+                }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        grader = runtime.instantiate(info)
+        assert grader.invoke("Grade", 95) == "A"
+        assert grader.invoke("Grade", 85) == "B"
+        assert grader.invoke("Grade", 50) == "C"
+
+    def test_while_loop(self):
+        info = compile_one(
+            """
+            class Summer {
+                public int SumTo(int n) {
+                    int total = 0;
+                    int i = 1;
+                    while (i <= n) {
+                        total = total + i;
+                        i = i + 1;
+                    }
+                    return total;
+                }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        summer = runtime.instantiate(info)
+        assert summer.invoke("SumTo", 10) == 55
+
+    def test_local_var_declarations(self):
+        info = compile_one(
+            """
+            class Locals {
+                public int F() {
+                    int a = 5;
+                    var b = 6;
+                    string s;
+                    s = "x";
+                    return a + b;
+                }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        assert runtime.instantiate(info).invoke("F") == 11
+
+    def test_new_and_cross_class_calls(self):
+        types = compile_source(
+            """
+            class Pair {
+                private int a;
+                private int b;
+                public Pair(int x, int y) { this.a = x; this.b = y; }
+                public int Sum() { return this.a + this.b; }
+            }
+            class Factory {
+                public int Make() {
+                    Pair p = new Pair(3, 4);
+                    return p.Sum();
+                }
+            }
+            """,
+            namespace="t",
+        )
+        runtime = new_runtime(*types)
+        factory = runtime.instantiate(types[1])
+        assert factory.invoke("Make") == 7
+
+    def test_string_concatenation(self):
+        info = compile_one(
+            """
+            class Greeter {
+                public string Greet(string who) { return "Hello, " + who + "!"; }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        assert runtime.instantiate(info).invoke("Greet", "World") == "Hello, World!"
+
+    def test_method_calling_own_method(self):
+        info = compile_one(
+            """
+            class Fib {
+                public int Compute(int n) {
+                    if (n < 2) { return n; }
+                    return Compute(n - 1) + Compute(n - 2);
+                }
+            }
+            """
+        )
+        runtime = new_runtime(info)
+        assert runtime.instantiate(info).invoke("Compute", 10) == 55

@@ -1,0 +1,83 @@
+"""Tests for the Java-like frontend."""
+
+import pytest
+
+from repro.cts.types import TypeKind
+from repro.langs.java import compile_source, parse
+from repro.runtime.loader import Runtime
+
+
+def compile_one(source, namespace="j"):
+    types = compile_source(source, namespace=namespace)
+    assert len(types) == 1
+    return types[0]
+
+
+class TestHeritage:
+    def test_extends(self):
+        info = compile_one("class Sub extends Base { }")
+        assert info.superclass.full_name == "j.Base"
+
+    def test_implements(self):
+        info = compile_one("class Sub implements A, B { }")
+        assert [i.full_name for i in info.interfaces] == ["j.A", "j.B"]
+
+    def test_extends_and_implements(self):
+        info = compile_one("class Sub extends Base implements A { }")
+        assert info.superclass.full_name == "j.Base"
+        assert [i.full_name for i in info.interfaces] == ["j.A"]
+
+    def test_plain_class_defaults_to_object(self):
+        info = compile_one("class Plain { }")
+        assert info.superclass.full_name == "System.Object"
+
+
+class TestJavaTypeSpellings:
+    def test_java_primitive_names(self):
+        info = compile_one(
+            """
+            class Types {
+                public boolean flag;
+                public int count;
+                public String label;
+            }
+            """
+        )
+        assert info.find_field("flag").type_ref.full_name == "System.Boolean"
+        assert info.find_field("count").type_ref.full_name == "System.Int32"
+        # 'String' resolves via the case-insensitive alias table
+        assert info.find_field("label").type_ref.full_name == "System.String"
+
+
+class TestExecution:
+    def test_person_accessors(self):
+        info = compile_one(
+            """
+            class Person {
+                private String name;
+                public Person(String n) { this.name = n; }
+                public String getPersonName() { return this.name; }
+                public void setPersonName(String n) { this.name = n; }
+            }
+            """
+        )
+        runtime = Runtime()
+        runtime.load_type(info)
+        person = runtime.instantiate(info, ["James"])
+        assert person.invoke("getPersonName") == "James"
+        person.invoke("setPersonName", "Gosling")
+        assert person.invoke("getPersonName") == "Gosling"
+
+    def test_same_source_same_il_as_csharp(self):
+        """The two C-family frontends compile identical logic to identical IL."""
+        from repro.langs.csharp import compile_source as compile_cs
+
+        body_src = "{ return a + b * 2; }"
+        cs = compile_cs("class M { public int f(int a, int b) %s }" % body_src, namespace="x")[0]
+        jv = compile_one("class M { public int f(int a, int b) %s }" % body_src, namespace="x")
+        assert cs.find_method("f").body == jv.find_method("f").body
+
+    def test_interface(self):
+        info = compile_one("interface Named { String getName(); }")
+        assert info.kind is TypeKind.INTERFACE
+        assert info.find_method("getName").body is None

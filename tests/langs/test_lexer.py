@@ -1,0 +1,92 @@
+"""Tests for the C-family tokenizer."""
+
+import pytest
+
+from repro.langs.lexer import LexError, Token, TokenStream, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_identifiers_and_punct(self):
+        assert kinds("foo . bar ;") == [
+            ("ident", "foo"), ("punct", "."), ("ident", "bar"), ("punct", ";"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("12 3.5") == [("int", "12"), ("float", "3.5")]
+
+    def test_int_followed_by_dot_method(self):
+        # "12.foo" must not lex as a float
+        assert kinds("12.foo")[:2] == [("int", "12"), ("punct", ".")]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r'"a\nb\"c"')
+        assert tokens[0].value == 'a\nb"c'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_line_comments(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comments(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_two_char_operators(self):
+        assert kinds("a == b != c <= d >= e && f || g")[1::2] == [
+            ("punct", "=="), ("punct", "!="), ("punct", "<="),
+            ("punct", ">="), ("punct", "&&"), ("punct", "||"),
+        ]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+
+class TestTokenStream:
+    def test_peek_does_not_advance(self):
+        ts = TokenStream(tokenize("a b"))
+        assert ts.peek().value == "a"
+        assert ts.peek().value == "a"
+
+    def test_next_advances(self):
+        ts = TokenStream(tokenize("a b"))
+        assert ts.next().value == "a"
+        assert ts.next().value == "b"
+        assert ts.exhausted
+
+    def test_next_at_eof_stays(self):
+        ts = TokenStream(tokenize(""))
+        assert ts.next().kind == Token.EOF
+        assert ts.next().kind == Token.EOF
+
+    def test_accept(self):
+        ts = TokenStream(tokenize("( foo"))
+        assert ts.accept_punct("(")
+        assert not ts.accept_punct(")")
+        assert ts.accept_ident("foo")
+
+    def test_expect_raises_with_line(self):
+        ts = TokenStream(tokenize("foo"))
+        with pytest.raises(LexError):
+            ts.expect_punct(";")
+
+    def test_peek_offset(self):
+        ts = TokenStream(tokenize("a b c"))
+        assert ts.peek(2).value == "c"

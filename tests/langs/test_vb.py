@@ -1,0 +1,238 @@
+"""Tests for the VB-like frontend."""
+
+import pytest
+
+from repro.cts.members import Modifiers, Visibility
+from repro.cts.types import TypeKind
+from repro.langs.vb import VbParseError, compile_source, parse
+from repro.runtime.loader import Runtime
+
+
+def compile_one(source, namespace="v"):
+    types = compile_source(source, namespace=namespace)
+    assert len(types) == 1
+    return types[0]
+
+
+def new_runtime(*types):
+    runtime = Runtime()
+    for info in types:
+        runtime.load_type(info)
+    return runtime
+
+
+class TestDeclarations:
+    def test_class_with_inherits_and_implements(self):
+        info = compile_one(
+            """
+            Class Sub1
+                Inherits Base
+                Implements IThing, IOther
+            End Class
+            """
+        )
+        assert info.superclass.full_name == "v.Base"
+        assert [i.full_name for i in info.interfaces] == ["v.IThing", "v.IOther"]
+
+    def test_field_declaration(self):
+        info = compile_one(
+            """
+            Class C
+                Private name As String
+                Public age As Integer
+            End Class
+            """
+        )
+        assert info.find_field("name").visibility is Visibility.PRIVATE
+        assert info.find_field("age").type_ref.full_name == "System.Int32"
+
+    def test_shared_maps_to_static(self):
+        info = compile_one(
+            """
+            Class C
+                Public Shared Function One() As Integer
+                    Return 1
+                End Function
+            End Class
+            """
+        )
+        assert info.find_method("One").modifiers & Modifiers.STATIC
+
+    def test_interface(self):
+        info = compile_one(
+            """
+            Interface INamed
+                Function GetName() As String
+                Sub SetName(n As String)
+            End Interface
+            """
+        )
+        assert info.kind is TypeKind.INTERFACE
+        assert info.find_method("GetName").body is None
+        assert info.find_method("SetName").body is None
+
+    def test_comments_ignored(self):
+        info = compile_one(
+            """
+            Class C  ' a class
+                ' just a comment line
+                Public x As Integer
+            End Class
+            """
+        )
+        assert info.find_field("x") is not None
+
+    def test_missing_end_class(self):
+        with pytest.raises(VbParseError):
+            parse("Class C\nPublic x As Integer\n")
+
+
+class TestExecution:
+    def test_person(self):
+        info = compile_one(
+            """
+            Class Person
+                Private name As String
+                Public Sub New(n As String)
+                    Me.name = n
+                End Sub
+                Public Function GetName() As String
+                    Return Me.name
+                End Function
+                Public Sub SetName(n As String)
+                    Me.name = n
+                End Sub
+            End Class
+            """
+        )
+        runtime = new_runtime(info)
+        person = runtime.instantiate(info, ["Alain"])
+        assert person.invoke("GetName") == "Alain"
+        person.invoke("SetName", "Basic")
+        assert person.invoke("GetName") == "Basic"
+
+    def test_if_elseif_else(self):
+        info = compile_one(
+            """
+            Class Grader
+                Public Function Grade(score As Integer) As String
+                    If score >= 90 Then
+                        Return "A"
+                    ElseIf score >= 80 Then
+                        Return "B"
+                    Else
+                        Return "C"
+                    End If
+                End Function
+            End Class
+            """
+        )
+        runtime = new_runtime(info)
+        grader = runtime.instantiate(info)
+        assert grader.invoke("Grade", 95) == "A"
+        assert grader.invoke("Grade", 85) == "B"
+        assert grader.invoke("Grade", 10) == "C"
+
+    def test_while_loop_and_dim(self):
+        info = compile_one(
+            """
+            Class Summer
+                Public Function SumTo(n As Integer) As Integer
+                    Dim total As Integer = 0
+                    Dim i As Integer = 1
+                    While i <= n
+                        total = total + i
+                        i = i + 1
+                    End While
+                    Return total
+                End Function
+            End Class
+            """
+        )
+        runtime = new_runtime(info)
+        assert runtime.instantiate(info).invoke("SumTo", 10) == 55
+
+    def test_vb_operators(self):
+        info = compile_one(
+            """
+            Class Ops
+                Public Function Test(a As Integer, b As Integer) As Boolean
+                    Return a = b Or Not a < b And b <> 0
+                End Function
+                Public Function Concat(x As String, n As Integer) As String
+                    Return x & n
+                End Function
+                Public Function Remainder(a As Integer, b As Integer) As Integer
+                    Return a Mod b
+                End Function
+            End Class
+            """
+        )
+        runtime = new_runtime(info)
+        ops = runtime.instantiate(info)
+        assert ops.invoke("Test", 2, 2) is True
+        assert ops.invoke("Test", 3, 2) is True   # Not 3<2 And 2<>0
+        assert ops.invoke("Test", 1, 2) is False
+        assert ops.invoke("Concat", "n=", 5) == "n=5"
+        assert ops.invoke("Remainder", 7, 3) == 1
+
+    def test_nothing_and_booleans(self):
+        info = compile_one(
+            """
+            Class Lits
+                Public Function GetNothing() As Object
+                    Return Nothing
+                End Function
+                Public Function Truth() As Boolean
+                    Return True
+                End Function
+            End Class
+            """
+        )
+        runtime = new_runtime(info)
+        lits = runtime.instantiate(info)
+        assert lits.invoke("GetNothing") is None
+        assert lits.invoke("Truth") is True
+
+    def test_new_object(self):
+        types = compile_source(
+            """
+            Class Point
+                Public x As Integer
+                Public Sub New(a As Integer)
+                    Me.x = a
+                End Sub
+            End Class
+            Class Factory
+                Public Function Make() As Integer
+                    Dim p As Point = New Point(9)
+                    Return p.x
+                End Function
+            End Class
+            """,
+            namespace="v",
+        )
+        runtime = new_runtime(*types)
+        factory = runtime.instantiate(types[1])
+        assert factory.invoke("Make") == 9
+
+
+class TestCrossLanguage:
+    def test_vb_and_csharp_compile_to_same_il(self):
+        from repro.langs.csharp import compile_source as compile_cs
+
+        vb = compile_one(
+            """
+            Class M
+                Public Function AddOne(a As Integer) As Integer
+                    Return a + 1
+                End Function
+            End Class
+            """,
+            namespace="x",
+        )
+        cs = compile_cs(
+            "class M { public int AddOne(int a) { return a + 1; } }",
+            namespace="x",
+        )[0]
+        assert vb.find_method("AddOne").body == cs.find_method("AddOne").body

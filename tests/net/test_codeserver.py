@@ -1,0 +1,89 @@
+"""Tests for the code repository peer."""
+
+import pytest
+
+from repro.describe.xml_codec import deserialize_description
+from repro.fixtures import person_assembly_pair
+from repro.net.codeserver import (
+    CodeRepository,
+    KIND_GET_ASSEMBLY,
+    KIND_GET_DESCRIPTION,
+)
+from repro.net.network import NetworkError, SimulatedNetwork
+from repro.net.peer import Peer
+
+
+@pytest.fixture
+def setup():
+    network = SimulatedNetwork()
+    repo = CodeRepository("repo", network)
+    client = Peer("client", network)
+    asm_a, asm_b = person_assembly_pair()
+    repo.publish(asm_a)
+    return network, repo, client, asm_a
+
+
+class TestPublish:
+    def test_published_types_listed(self, setup):
+        _, repo, _, _ = setup
+        assert repo.published_types() == ["demo.a.Person"]
+
+    def test_path_for_type(self, setup):
+        _, repo, _, asm = setup
+        assert repo.path_for_type("demo.a.Person") == asm.download_path
+        assert repo.path_for_type("no.Such") is None
+
+
+class TestServeDescription:
+    def test_description_round_trip(self, setup):
+        _, _, client, asm = setup
+        data = client.request("repo", KIND_GET_DESCRIPTION, b"demo.a.Person")
+        description = deserialize_description(data)
+        assert description.type_name() == "demo.a.Person"
+        assert description.guid() == asm.types[0].guid
+
+    def test_description_has_no_code(self, setup):
+        _, _, client, _ = setup
+        data = client.request("repo", KIND_GET_DESCRIPTION, b"demo.a.Person")
+        skeleton = deserialize_description(data).to_type_info()
+        assert skeleton.find_method("GetName").body is None
+
+    def test_unknown_type_error(self, setup):
+        _, _, client, _ = setup
+        with pytest.raises(NetworkError):
+            client.request("repo", KIND_GET_DESCRIPTION, b"no.Such")
+
+
+class TestServeAssembly:
+    def test_assembly_by_path(self, setup):
+        _, _, client, asm = setup
+        data = client.request("repo", KIND_GET_ASSEMBLY, asm.download_path.encode())
+        restored = CodeRepository.decode_assembly(data)
+        assert restored.name == asm.name
+        assert restored.find_type("demo.a.Person") is not None
+
+    def test_assembly_by_type_name(self, setup):
+        _, _, client, asm = setup
+        data = client.request("repo", KIND_GET_ASSEMBLY, b"demo.a.Person")
+        assert CodeRepository.decode_assembly(data).name == asm.name
+
+    def test_assembly_carries_runnable_code(self, setup):
+        from repro.runtime.loader import Runtime
+
+        _, _, client, asm = setup
+        data = client.request("repo", KIND_GET_ASSEMBLY, asm.download_path.encode())
+        runtime = Runtime()
+        runtime.load_assembly(CodeRepository.decode_assembly(data))
+        person = runtime.new_instance("demo.a.Person", ["Fetched"])
+        assert person.invoke("GetName") == "Fetched"
+
+    def test_unknown_path_error(self, setup):
+        _, _, client, _ = setup
+        with pytest.raises(NetworkError):
+            client.request("repo", KIND_GET_ASSEMBLY, b"repo://nope/0")
+
+    def test_bytes_accounted(self, setup):
+        network, _, client, asm = setup
+        network.reset_accounting()
+        client.request("repo", KIND_GET_ASSEMBLY, asm.download_path.encode())
+        assert network.stats.bytes_sent > 500  # code is the heavy payload

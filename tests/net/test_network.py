@@ -1,0 +1,148 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.net.network import (
+    MessageDropped,
+    NetworkError,
+    NetworkStats,
+    SimulatedNetwork,
+    UnknownPeerError,
+)
+
+
+def echo_handler(kind, payload, src):
+    return b"echo:" + payload
+
+
+class TestRegistration:
+    def test_register_and_list(self):
+        net = SimulatedNetwork()
+        net.register("a", echo_handler)
+        net.register("b", echo_handler)
+        assert net.peers() == ["a", "b"]
+
+    def test_duplicate_id_rejected(self):
+        net = SimulatedNetwork()
+        net.register("a", echo_handler)
+        with pytest.raises(NetworkError):
+            net.register("a", echo_handler)
+
+    def test_unregister(self):
+        net = SimulatedNetwork()
+        net.register("a", echo_handler)
+        net.unregister("a")
+        assert net.peers() == []
+
+
+class TestDelivery:
+    def test_request_response(self):
+        net = SimulatedNetwork()
+        net.register("b", echo_handler)
+        assert net.request("a", "b", "k", b"hi") == b"echo:hi"
+
+    def test_request_unknown_peer(self):
+        net = SimulatedNetwork()
+        with pytest.raises(UnknownPeerError):
+            net.request("a", "nobody", "k", b"")
+
+    def test_post_one_way(self):
+        received = []
+        net = SimulatedNetwork()
+        net.register("b", lambda kind, payload, src: received.append((kind, payload, src)) or b"")
+        net.post("a", "b", "evt", b"data")
+        assert received == [("evt", b"data", "a")]
+
+    def test_non_bytes_response_rejected(self):
+        net = SimulatedNetwork()
+        net.register("b", lambda kind, payload, src: "not-bytes")
+        with pytest.raises(NetworkError):
+            net.request("a", "b", "k", b"")
+
+
+class TestAccounting:
+    def test_bytes_counted_both_ways(self):
+        net = SimulatedNetwork()
+        net.register("b", lambda k, p, s: b"yyyy")  # 4-byte reply
+        net.request("a", "b", "k", b"xxx")  # 3-byte request
+        assert net.stats.bytes_sent == 7
+        assert net.stats.messages == 1
+        assert net.stats.round_trips == 1
+
+    def test_post_counts_one_way(self):
+        net = SimulatedNetwork()
+        net.register("b", echo_handler)
+        net.post("a", "b", "k", b"12345")
+        assert net.stats.bytes_sent == 5
+        assert net.stats.round_trips == 0
+
+    def test_per_kind_breakdown(self):
+        net = SimulatedNetwork()
+        net.register("b", echo_handler)
+        net.post("a", "b", "alpha", b"12")
+        net.post("a", "b", "alpha", b"34")
+        net.post("a", "b", "beta", b"5")
+        assert net.stats.by_kind_messages == {"alpha": 2, "beta": 1}
+        assert net.stats.by_kind_bytes == {"alpha": 4, "beta": 1}
+
+    def test_clock_advances_with_latency_and_size(self):
+        net = SimulatedNetwork(latency_s=0.01, bandwidth_bps=1000.0)
+        net.register("b", lambda k, p, s: b"")
+        net.request("a", "b", "k", b"x" * 100)
+        # 2 hops * 10ms + 100 bytes / 1000 Bps = 0.02 + 0.1
+        assert net.clock_s == pytest.approx(0.12)
+
+    def test_message_log(self):
+        net = SimulatedNetwork()
+        net.register("b", echo_handler)
+        net.post("a", "b", "k", b"123")
+        assert net.log == [("a", "b", "k", 3)]
+
+    def test_reset_accounting(self):
+        net = SimulatedNetwork()
+        net.register("b", echo_handler)
+        net.post("a", "b", "k", b"123")
+        net.reset_accounting()
+        assert net.stats.messages == 0
+        assert net.log == []
+        assert net.clock_s == 0.0
+
+    def test_stats_snapshot(self):
+        stats = NetworkStats()
+        stats.record("k", 10, True)
+        assert stats.snapshot() == {"messages": 1, "bytes": 10, "round_trips": 1}
+
+
+class TestLossModel:
+    def test_default_reliable(self):
+        net = SimulatedNetwork()
+        net.register("b", echo_handler)
+        for _ in range(100):
+            net.post("a", "b", "k", b"x")
+        assert net.stats.messages == 100
+
+    def test_lossy_drops_deterministically(self):
+        net1 = SimulatedNetwork(drop_rate=0.5, seed=7)
+        net2 = SimulatedNetwork(drop_rate=0.5, seed=7)
+        for net in (net1, net2):
+            net.register("b", echo_handler)
+        outcomes1 = []
+        outcomes2 = []
+        for net, outcomes in ((net1, outcomes1), (net2, outcomes2)):
+            for _ in range(50):
+                try:
+                    net.post("a", "b", "k", b"x")
+                    outcomes.append(True)
+                except MessageDropped:
+                    outcomes.append(False)
+        assert outcomes1 == outcomes2
+        assert not all(outcomes1)
+        assert any(outcomes1)
+
+    def test_invalid_drop_rate(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(drop_rate=1.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(bandwidth_bps=0)

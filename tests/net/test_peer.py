@@ -1,0 +1,53 @@
+"""Tests for peers and request dispatch."""
+
+import pytest
+
+from repro.net.network import NetworkError, SimulatedNetwork
+from repro.net.peer import Peer, error_response
+
+
+@pytest.fixture
+def network():
+    return SimulatedNetwork()
+
+
+class TestDispatch:
+    def test_kind_routing(self, network):
+        server = Peer("server", network)
+        client = Peer("client", network)
+        server.on("upper", lambda payload, src: payload.upper())
+        server.on("lower", lambda payload, src: payload.lower())
+        assert client.request("server", "upper", b"MiXeD") == b"MIXED"
+        assert client.request("server", "lower", b"MiXeD") == b"mixed"
+
+    def test_unknown_kind_is_error(self, network):
+        Peer("server", network)
+        client = Peer("client", network)
+        with pytest.raises(NetworkError):
+            client.request("server", "nope", b"")
+
+    def test_handler_sees_source(self, network):
+        server = Peer("server", network)
+        client = Peer("client", network)
+        server.on("who", lambda payload, src: src.encode())
+        assert client.request("server", "who") == b"client"
+
+    def test_error_response_helper(self, network):
+        server = Peer("server", network)
+        client = Peer("client", network)
+        server.on("fail", lambda payload, src: error_response("boom"))
+        with pytest.raises(NetworkError, match="boom"):
+            client.request("server", "fail")
+
+    def test_post_does_not_raise_on_error_response(self, network):
+        server = Peer("server", network)
+        client = Peer("client", network)
+        server.on("fail", lambda payload, src: error_response("boom"))
+        client.post("server", "fail")  # fire-and-forget swallows the error
+
+    def test_close_unregisters(self, network):
+        server = Peer("server", network)
+        client = Peer("client", network)
+        server.close()
+        with pytest.raises(NetworkError):
+            client.request("server", "x", b"")

@@ -1,0 +1,66 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+from repro.core import ConformanceOptions
+from repro.fixtures import person_assembly_pair, person_java
+from repro.net.network import SimulatedNetwork
+from repro.net.trace import chart_for, kind_summary, sequence_chart
+from repro.transport.protocol import InteropPeer
+
+
+class TestSequenceChart:
+    def test_empty_log(self):
+        assert sequence_chart([]) == "(no traffic)"
+
+    def test_arrow_direction(self):
+        log = [("a", "b", "ping", 10), ("b", "a", "pong", 20)]
+        chart = sequence_chart(log)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a")
+        assert "b" in lines[0]
+        assert ">" in lines[1]   # a -> b rightward
+        assert "<" in lines[2]   # b -> a leftward
+
+    def test_sizes_shown(self):
+        chart = sequence_chart([("a", "b", "msg", 1234)])
+        assert "1234 B" in chart
+
+    def test_long_kind_truncated(self):
+        chart = sequence_chart([("a", "b", "a-very-long-message-kind", 1)])
+        assert ".." in chart
+
+    def test_explicit_peer_order(self):
+        log = [("x", "y", "m", 1)]
+        chart = sequence_chart(log, peers=["y", "x"])
+        assert chart.splitlines()[0].startswith("y")
+
+    def test_unknown_peers_skipped(self):
+        chart = sequence_chart([("a", "b", "m", 1)], peers=["a"])
+        assert chart.splitlines() == ["a"]
+
+
+class TestProtocolTrace:
+    def test_figure_one_sequence(self):
+        """The trace of a first-object exchange reads exactly like the
+        paper's Figure 1."""
+        network = SimulatedNetwork()
+        alice = InteropPeer("alice", network, options=ConformanceOptions.pragmatic())
+        bob = InteropPeer("bob", network, options=ConformanceOptions.pragmatic())
+        asm_a, _ = person_assembly_pair()
+        alice.host_assembly(asm_a)
+        bob.declare_interest(person_java())
+        alice.send("bob", alice.new_instance("demo.a.Person", ["Trace"]))
+
+        kinds = [kind for (_, __, kind, ___) in network.log]
+        assert kinds == ["object", "get_description", "get_assembly"]
+
+        chart = chart_for(network)
+        assert "object" in chart
+        assert "get_description" in chart
+        assert "get_assembly" in chart
+
+    def test_kind_summary(self):
+        log = [("a", "b", "x", 10), ("a", "b", "x", 5), ("b", "a", "y", 3)]
+        summary = kind_summary(log)
+        assert summary == {"x": (2, 15), "y": (1, 3)}

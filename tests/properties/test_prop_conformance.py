@@ -1,0 +1,148 @@
+"""Property-based tests for the conformance rules."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConformanceChecker, ConformanceOptions
+from repro.cts.builder import TypeBuilder
+from repro.cts.members import MethodInfo
+from repro.cts.types import TypeInfo
+
+identifiers = st.text(alphabet=string.ascii_letters, min_size=1, max_size=10)
+value_types = st.sampled_from(["int", "string", "bool", "double"])
+
+
+@st.composite
+def simple_types(draw, name=None, assembly=None):
+    builder = TypeBuilder(
+        "gen." + (name or draw(identifiers)),
+        assembly_name=assembly or draw(identifiers),
+    )
+    for index in range(draw(st.integers(0, 3))):
+        builder.field("f%d" % index, draw(value_types))
+    for index in range(draw(st.integers(0, 4))):
+        params = [("p%d" % j, draw(value_types))
+                  for j in range(draw(st.integers(0, 3)))]
+        builder.method("m%d" % index, params, draw(value_types | st.just("void")))
+    for arity in range(draw(st.integers(0, 2))):
+        builder.ctor([("c%d" % j, draw(value_types)) for j in range(arity)])
+    return builder.build()
+
+
+def fresh_checker():
+    return ConformanceChecker()
+
+
+class TestReflexivity:
+    @settings(max_examples=100)
+    @given(simple_types())
+    def test_every_type_conforms_to_itself(self, info):
+        assert fresh_checker().conforms(info, info).ok
+
+
+class TestEquivalenceImpliesConformance:
+    @settings(max_examples=50)
+    @given(st.data())
+    def test_same_structure_different_assembly(self, data):
+        name = data.draw(identifiers)
+        left = data.draw(simple_types(name=name, assembly="asm1"))
+        # Rebuild the identical structure under a different assembly name.
+        from repro.cts.assembly import type_from_wire, type_to_wire
+
+        wire = type_to_wire(left, include_bodies=False)
+        wire["assembly"] = "asm2"
+        right = type_from_wire(wire)
+        assert fresh_checker().conforms(left, right).ok
+
+
+class TestMonotonicity:
+    @settings(max_examples=50)
+    @given(simple_types())
+    def test_removing_expected_members_preserves_conformance(self, info):
+        """If T conforms to T', T also conforms to any T'' obtained from T'
+        by dropping members (fewer obligations)."""
+        checker = fresh_checker()
+        assert checker.conforms(info, info).ok
+        from repro.cts.members import TypeRef
+        reduced = TypeInfo(
+            info.full_name,
+            kind=info.kind,
+            superclass=info.superclass,
+            interfaces=list(info.interfaces),
+            fields=info.fields[:-1] if info.fields else [],
+            methods=info.methods[:-1] if info.methods else [],
+            constructors=info.constructors[:-1] if info.constructors else [],
+            assembly_name="reduced",
+        )
+        assert checker.conforms(info, reduced).ok
+
+    @settings(max_examples=50)
+    @given(simple_types())
+    def test_adding_expected_method_breaks_conformance(self, info):
+        from repro.cts.members import ParameterInfo
+        from repro.cts.types import VOID
+        from repro.cts.members import TypeRef
+
+        extended = TypeInfo(
+            info.full_name,
+            kind=info.kind,
+            superclass=info.superclass,
+            interfaces=list(info.interfaces),
+            fields=list(info.fields),
+            methods=list(info.methods)
+            + [MethodInfo("definitelyNotThere", [], TypeRef.to(VOID))],
+            constructors=list(info.constructors),
+            assembly_name="extended",
+        )
+        assert not fresh_checker().conforms(info, extended).ok
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=50)
+    @given(st.permutations(["int", "string", "bool", "double"]))
+    def test_expected_parameter_order_irrelevant(self, order):
+        """With distinct parameter types, any reordering of the expected
+        signature still conforms (rule iv permutations)."""
+        provider = (
+            TypeBuilder("x.T", assembly_name="a1")
+            .method("m", [("p%d" % i, t) for i, t in
+                          enumerate(["int", "string", "bool", "double"])], "void")
+            .build()
+        )
+        expected = (
+            TypeBuilder("x.T", assembly_name="a2")
+            .method("m", [("q%d" % i, t) for i, t in enumerate(order)], "void")
+            .build()
+        )
+        result = fresh_checker().conforms(provider, expected)
+        assert result.ok
+        match = result.mapping.method("m", 4)
+        if match is not None:  # equivalence short-circuits for identity order
+            # The permutation must be consistent: provider slot j gets an
+            # expected argument of the provider's parameter type.
+            provider_types = provider.methods[0].parameter_type_names()
+            expected_types = expected.methods[0].parameter_type_names()
+            for j, i in enumerate(match.permutation):
+                assert provider_types[j] == expected_types[i]
+
+
+class TestCacheConsistency:
+    @settings(max_examples=30)
+    @given(simple_types(), simple_types())
+    def test_repeat_checks_stable(self, a, b):
+        checker = fresh_checker()
+        first = checker.conforms(a, b)
+        second = checker.conforms(a, b)
+        assert first.ok == second.ok
+        assert first.verdict == second.verdict or first.ok == second.ok
+
+    @settings(max_examples=30)
+    @given(simple_types(), simple_types())
+    def test_fresh_and_cached_checkers_agree(self, a, b):
+        warm = fresh_checker()
+        warm.conforms(a, b)
+        cached = warm.conforms(a, b).ok
+        fresh = fresh_checker().conforms(a, b).ok
+        assert cached == fresh

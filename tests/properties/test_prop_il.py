@@ -1,0 +1,137 @@
+"""Property-based tests: compiled IL arithmetic agrees with ground truth."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.langs.csharp import compile_source
+from repro.runtime.loader import Runtime
+
+
+def run_expression(expression, a, b):
+    """Compile `return <expression>;` in a C#-like method and execute it."""
+    source = """
+    class Calc {
+        public int F(int a, int b) { return %s; }
+    }
+    """ % expression
+    info = compile_source(source, namespace="prop")[0]
+    runtime = Runtime()
+    runtime.load_type(info)
+    return runtime.instantiate(info).invoke("F", a, b)
+
+
+small_ints = st.integers(min_value=-1000, max_value=1000)
+nonzero_ints = small_ints.filter(lambda n: n != 0)
+
+
+class TestArithmeticAgreement:
+    @settings(max_examples=60)
+    @given(small_ints, small_ints)
+    def test_addition(self, a, b):
+        assert run_expression("a + b", a, b) == a + b
+
+    @settings(max_examples=60)
+    @given(small_ints, small_ints)
+    def test_nested_expression(self, a, b):
+        assert run_expression("(a + b) * 2 - a", a, b) == (a + b) * 2 - a
+
+    @settings(max_examples=60)
+    @given(small_ints, nonzero_ints)
+    def test_division_truncates_toward_zero(self, a, b):
+        # C-family semantics, not Python floor division.
+        expected = abs(a) // abs(b)
+        if (a >= 0) != (b >= 0):
+            expected = -expected
+        assert run_expression("a / b", a, b) == expected
+
+    @settings(max_examples=60)
+    @given(small_ints, nonzero_ints)
+    def test_modulo_sign_of_dividend(self, a, b):
+        expected = abs(a) % abs(b)
+        if a < 0:
+            expected = -expected
+        assert run_expression("a % b", a, b) == expected
+
+    @settings(max_examples=60)
+    @given(small_ints, small_ints)
+    def test_comparisons(self, a, b):
+        source = """
+        class Cmp {
+            public bool Lt(int a, int b) { return a < b; }
+            public bool Le(int a, int b) { return a <= b; }
+            public bool Eq(int a, int b) { return a == b; }
+        }
+        """
+        info = compile_source(source, namespace="prop")[0]
+        runtime = Runtime()
+        runtime.load_type(info)
+        obj = runtime.instantiate(info)
+        assert obj.invoke("Lt", a, b) == (a < b)
+        assert obj.invoke("Le", a, b) == (a <= b)
+        assert obj.invoke("Eq", a, b) == (a == b)
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=40))
+    def test_loop_sums_match_closed_form(self, n):
+        source = """
+        class S {
+            public int SumTo(int n) {
+                int total = 0;
+                int i = 1;
+                while (i <= n) { total = total + i; i = i + 1; }
+                return total;
+            }
+        }
+        """
+        info = compile_source(source, namespace="prop")[0]
+        runtime = Runtime()
+        runtime.load_type(info)
+        assert runtime.instantiate(info).invoke("SumTo", n) == n * (n + 1) // 2
+
+
+class TestCrossLanguageAgreement:
+    @settings(max_examples=40)
+    @given(small_ints, small_ints)
+    def test_csharp_java_vb_same_results(self, a, b):
+        from repro.langs.java import compile_source as compile_java
+        from repro.langs.vb import compile_source as compile_vb
+
+        cs = compile_source(
+            "class M { public int F(int a, int b) { return a * 2 + b; } }",
+            namespace="x1")[0]
+        jv = compile_java(
+            "class M { public int F(int a, int b) { return a * 2 + b; } }",
+            namespace="x2")[0]
+        vb = compile_vb(
+            """
+            Class M
+                Public Function F(a As Integer, b As Integer) As Integer
+                    Return a * 2 + b
+                End Function
+            End Class
+            """,
+            namespace="x3")[0]
+        runtime = Runtime()
+        results = []
+        for info in (cs, jv, vb):
+            runtime.load_type(info)
+            results.append(runtime.instantiate(info).invoke("F", a, b))
+        assert results[0] == results[1] == results[2] == a * 2 + b
+
+
+class TestStringProperties:
+    @settings(max_examples=40)
+    @given(st.text(alphabet=string.ascii_letters, max_size=15),
+           st.text(alphabet=string.ascii_letters, max_size=15))
+    def test_concatenation(self, x, y):
+        source = """
+        class C {
+            public string Join(string x, string y) { return x + "-" + y; }
+        }
+        """
+        info = compile_source(source, namespace="prop")[0]
+        runtime = Runtime()
+        runtime.load_type(info)
+        assert runtime.instantiate(info).invoke("Join", x, y) == x + "-" + y

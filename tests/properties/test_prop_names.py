@@ -1,0 +1,126 @@
+"""Property-based tests for name conformance machinery."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.names import (
+    NamePolicy,
+    identifier_tokens,
+    levenshtein,
+    wildcard_match,
+)
+
+words = st.text(alphabet=string.ascii_letters + string.digits + "_", max_size=24)
+short_words = st.text(alphabet=string.ascii_lowercase, max_size=10)
+
+
+class TestLevenshteinMetric:
+    @given(words)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words, words)
+    def test_zero_iff_equal(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+    @given(words, words)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(words, words)
+    def test_at_least_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @settings(max_examples=30)
+    @given(short_words, short_words, short_words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words, words, st.integers(min_value=0, max_value=5))
+    def test_bounded_variant_consistent(self, a, b, bound):
+        exact = levenshtein(a, b)
+        bounded = levenshtein(a, b, upper_bound=bound)
+        if exact <= bound:
+            assert bounded == exact
+        else:
+            assert bounded > bound
+
+    @given(words, st.text(alphabet=string.ascii_letters, min_size=1, max_size=3))
+    def test_append_costs_at_most_length(self, a, suffix):
+        assert levenshtein(a, a + suffix) == len(suffix)
+
+
+class TestWildcardProperties:
+    @given(words)
+    def test_star_matches_everything(self, text):
+        assert wildcard_match("*", text)
+
+    @given(short_words)
+    def test_literal_pattern_matches_itself(self, text):
+        assert wildcard_match(text, text)
+
+    @given(short_words, short_words)
+    def test_prefix_star(self, prefix, rest):
+        assert wildcard_match(prefix + "*", prefix + rest)
+
+    @given(short_words, short_words)
+    def test_star_suffix(self, head, suffix):
+        assert wildcard_match("*" + suffix, head + suffix)
+
+    @given(short_words)
+    def test_question_requires_exact_length(self, text):
+        pattern = "?" * len(text)
+        assert wildcard_match(pattern, text)
+        assert not wildcard_match(pattern + "?", text)
+
+
+class TestTokenProperties:
+    @given(words)
+    def test_tokens_lowercase(self, name):
+        for token in identifier_tokens(name):
+            assert token == token.lower()
+
+    @given(words)
+    def test_tokens_reassemble_content(self, name):
+        rebuilt = "".join(identifier_tokens(name))
+        assert rebuilt == name.replace("_", "").lower()
+
+    @given(words)
+    def test_no_empty_tokens(self, name):
+        assert all(identifier_tokens(name))
+
+
+class TestPolicyProperties:
+    @given(words)
+    def test_reflexive_any_policy(self, name):
+        for policy in (
+            NamePolicy(),
+            NamePolicy(max_distance=2),
+            NamePolicy(allow_token_subset=True),
+            NamePolicy(case_sensitive=True),
+        ):
+            assert policy.conforms(name, name)
+
+    @given(words, words)
+    def test_strict_policy_symmetric(self, a, b):
+        policy = NamePolicy()
+        assert policy.conforms(a, b) == policy.conforms(b, a)
+
+    @given(words, words)
+    def test_relaxation_monotone(self, a, b):
+        """Anything the strict policy accepts, relaxed policies accept."""
+        strict = NamePolicy()
+        if strict.conforms(a, b):
+            assert NamePolicy(max_distance=3).conforms(a, b)
+            assert NamePolicy(allow_token_subset=True).conforms(a, b)
+
+    @given(words, words)
+    def test_case_sensitive_implies_insensitive(self, a, b):
+        if NamePolicy(case_sensitive=True).conforms(a, b):
+            assert NamePolicy().conforms(a, b)

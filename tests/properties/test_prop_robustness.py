@@ -1,0 +1,100 @@
+"""Robustness properties: malformed inputs fail with the *declared* error
+types, never with arbitrary internal exceptions."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.describe.xml_codec import XmlCodecError, deserialize_description
+from repro.langs.cfamily import ParseError
+from repro.langs.csharp import parse as parse_csharp
+from repro.langs.vb import VbParseError, parse as parse_vb
+from repro.serialization.binary import BinarySerializer
+from repro.serialization.envelope import EnvelopeCodec
+from repro.serialization.errors import SerializationError, WireFormatError
+
+
+class TestBinaryDecoderRobustness:
+    @settings(max_examples=200)
+    @given(st.binary(max_size=64))
+    def test_random_bytes_never_crash(self, data):
+        codec = BinarySerializer()
+        try:
+            codec.deserialize(data)
+        except SerializationError:
+            pass  # the declared failure mode
+
+    @settings(max_examples=100)
+    @given(st.binary(max_size=48), st.integers(0, 47))
+    def test_corrupted_valid_payloads(self, payload, position):
+        codec = BinarySerializer()
+        data = codec.serialize(["seed", 123, payload.decode("latin-1")])
+        if position >= len(data):
+            return
+        corrupted = bytes(
+            b ^ 0xFF if i == position else b for i, b in enumerate(data)
+        )
+        try:
+            codec.deserialize(corrupted)
+        except SerializationError:
+            pass  # acceptable; silent wrong answers are acceptable too
+        # (corruption of a length prefix may reshape values, but must never
+        # raise anything other than a SerializationError)
+
+
+class TestEnvelopeRobustness:
+    @settings(max_examples=100)
+    @given(st.binary(max_size=64))
+    def test_random_bytes(self, data):
+        codec = EnvelopeCodec()
+        try:
+            codec.parse(data)
+        except WireFormatError:
+            pass
+
+    @settings(max_examples=100)
+    @given(st.text(alphabet=string.printable, max_size=80))
+    def test_random_text(self, text):
+        codec = EnvelopeCodec()
+        try:
+            codec.parse(text.encode("utf-8"))
+        except WireFormatError:
+            pass
+
+
+class TestDescriptionXmlRobustness:
+    @settings(max_examples=100)
+    @given(st.text(alphabet=string.printable, max_size=80))
+    def test_random_text(self, text):
+        try:
+            deserialize_description(text)
+        except XmlCodecError:
+            pass
+
+
+class TestParserRobustness:
+    @settings(max_examples=150)
+    @given(st.text(alphabet=string.printable, max_size=60))
+    def test_csharp_parser_never_crashes(self, source):
+        try:
+            parse_csharp(source)
+        except ParseError:
+            pass
+
+    @settings(max_examples=150)
+    @given(st.text(alphabet=string.printable, max_size=60))
+    def test_vb_parser_never_crashes(self, source):
+        try:
+            parse_vb(source)
+        except VbParseError:
+            pass
+
+    @settings(max_examples=50)
+    @given(st.text(alphabet="(){};.=" + string.ascii_letters + " \n", max_size=80))
+    def test_punctuation_soup(self, source):
+        try:
+            parse_csharp("class C { " + source)
+        except ParseError:
+            pass

@@ -1,0 +1,143 @@
+"""Property-based round-trip tests for every codec."""
+
+import math
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cts.builder import TypeBuilder
+from repro.describe.description import describe
+from repro.describe.xml_codec import deserialize_description, serialize_description
+from repro.fixtures import person_assembly_pair
+from repro.runtime.loader import Runtime
+from repro.serialization.binary import BinarySerializer
+from repro.serialization.envelope import EnvelopeCodec
+from repro.serialization.soap import SoapSerializer
+
+# XML 1.0 cannot carry control characters; restrict to printable text for
+# the SOAP/XML codecs, full unicode for binary.
+xml_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=40
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**60), max_value=2**60)
+    | finite_floats
+    | xml_text,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(xml_text, children, max_size=4),
+    max_leaves=20,
+)
+
+binary_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**62), max_value=2**62)
+    | finite_floats
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestBinaryRoundTrip:
+    @settings(max_examples=150)
+    @given(binary_values)
+    def test_round_trip(self, value):
+        codec = BinarySerializer()
+        assert codec.deserialize(codec.serialize(value)) == value
+
+    @given(st.integers())
+    def test_arbitrary_integers(self, n):
+        codec = BinarySerializer()
+        assert codec.deserialize(codec.serialize(n)) == n
+
+
+class TestSoapRoundTrip:
+    @settings(max_examples=75)
+    @given(json_like)
+    def test_round_trip(self, value):
+        codec = SoapSerializer()
+        assert codec.deserialize(codec.serialize(value)) == value
+
+
+class TestEnvelopeRoundTrip:
+    @settings(max_examples=50)
+    @given(json_like)
+    def test_round_trip_binary_payload(self, value):
+        codec = EnvelopeCodec()
+        assert codec.decode(codec.encode(value)) == value
+
+
+class TestObjectGraphRoundTrip:
+    @settings(max_examples=50)
+    @given(st.lists(xml_text, min_size=1, max_size=5))
+    def test_person_graphs(self, names):
+        runtime = Runtime()
+        asm_a, _ = person_assembly_pair()
+        runtime.load_assembly(asm_a)
+        codec = BinarySerializer(runtime)
+        people = [runtime.new_instance("demo.a.Person", [n]) for n in names]
+        restored = codec.deserialize(codec.serialize(people))
+        assert [p.GetName() for p in restored] == names
+
+
+# -- generated type descriptions --------------------------------------------
+
+identifiers = st.text(alphabet=string.ascii_letters, min_size=1, max_size=12)
+type_names = st.sampled_from(["int", "string", "bool", "double", "void", "x.Custom"])
+
+
+@st.composite
+def random_types(draw):
+    builder = TypeBuilder("gen." + draw(identifiers))
+    for _ in range(draw(st.integers(0, 4))):
+        builder.field(
+            draw(identifiers),
+            draw(type_names.filter(lambda t: t != "void")),
+            visibility=draw(st.sampled_from(["public", "private"])),
+        )
+    for _ in range(draw(st.integers(0, 4))):
+        params = [
+            (draw(identifiers), draw(type_names.filter(lambda t: t != "void")))
+            for _ in range(draw(st.integers(0, 3)))
+        ]
+        builder.method(
+            draw(identifiers),
+            params,
+            draw(type_names),
+            static=draw(st.booleans()),
+        )
+    for _ in range(draw(st.integers(0, 2))):
+        params = [
+            (draw(identifiers), draw(type_names.filter(lambda t: t != "void")))
+            for _ in range(draw(st.integers(0, 3)))
+        ]
+        builder.ctor(params)
+    return builder.build()
+
+
+class TestDescriptionRoundTrip:
+    @settings(max_examples=75)
+    @given(random_types())
+    def test_xml_round_trip(self, info):
+        description = describe(info)
+        restored = deserialize_description(serialize_description(description))
+        assert restored == description
+        assert restored.guid() == info.guid
+
+    @settings(max_examples=50)
+    @given(random_types())
+    def test_skeleton_fingerprint_preserved(self, info):
+        """The description's skeletal TypeInfo is structurally identical to
+        the original (bodies aside), hence same fingerprint and identity."""
+        skeleton = describe(info).to_type_info()
+        assert skeleton.fingerprint() == info.fingerprint()

@@ -1,0 +1,80 @@
+"""Property-based tests over the full transport pipeline."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConformanceOptions
+from repro.fixtures import person_assembly_pair, person_java
+from repro.net.network import SimulatedNetwork
+from repro.transport.protocol import InteropPeer
+
+names = st.lists(
+    st.text(alphabet=string.ascii_letters + " ", min_size=0, max_size=20),
+    min_size=1,
+    max_size=6,
+)
+
+
+def fresh_world():
+    network = SimulatedNetwork()
+    sender = InteropPeer("sender", network, options=ConformanceOptions.pragmatic())
+    receiver = InteropPeer("receiver", network, options=ConformanceOptions.pragmatic())
+    asm_a, _ = person_assembly_pair()
+    sender.host_assembly(asm_a)
+    receiver.declare_interest(person_java())
+    return network, sender, receiver
+
+
+class TestPipelineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(names)
+    def test_values_arrive_intact_and_ordered(self, payloads):
+        network, sender, receiver = fresh_world()
+        for payload in payloads:
+            sender.send("receiver", sender.new_instance("demo.a.Person", [payload]))
+        assert [r.view.getPersonName() for r in receiver.inbox] == payloads
+
+    @settings(max_examples=15, deadline=None)
+    @given(names)
+    def test_exactly_one_code_download_per_type(self, payloads):
+        network, sender, receiver = fresh_world()
+        for payload in payloads:
+            sender.send("receiver", sender.new_instance("demo.a.Person", [payload]))
+        assert receiver.stats.assemblies_fetched == 1
+        assert receiver.stats.descriptions_fetched == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(names, st.integers(min_value=0, max_value=2**31))
+    def test_lossy_network_with_retries_preserves_stream(self, payloads, seed):
+        network = SimulatedNetwork(drop_rate=0.25, seed=seed)
+        sender = InteropPeer("sender", network,
+                             options=ConformanceOptions.pragmatic(),
+                             max_retries=60)
+        receiver = InteropPeer("receiver", network,
+                               options=ConformanceOptions.pragmatic(),
+                               max_retries=60)
+        asm_a, _ = person_assembly_pair()
+        sender.host_assembly(asm_a)
+        receiver.declare_interest(person_java())
+        for payload in payloads:
+            sender.send("receiver", sender.new_instance("demo.a.Person", [payload]))
+        assert [r.view.getPersonName() for r in receiver.inbox] == payloads
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=8))
+    def test_byte_cost_is_affine_in_object_count(self, n):
+        """total_bytes(n) == setup_cost + n * marginal_cost, exactly —
+        the protocol's accounting is deterministic."""
+        def run(k):
+            network, sender, receiver = fresh_world()
+            for i in range(k):
+                sender.send("receiver",
+                            sender.new_instance("demo.a.Person", ["fixed"]))
+            return network.stats.bytes_sent
+
+        one, two = run(1), run(2)
+        marginal = two - one
+        assert run(n) == one + (n - 1) * marginal

@@ -1,0 +1,213 @@
+"""Tests for dynamic proxies: renaming, permutation, deep wrapping."""
+
+import pytest
+
+from repro.core import ConformanceChecker, ConformanceOptions, NamePolicy
+from repro.cts.builder import TypeBuilder
+from repro.cts.registry import TypeRegistry
+from repro.fixtures import person_csharp, person_java
+from repro.remoting.dynamic import (
+    DynamicProxy,
+    NotConformantError,
+    ProxyError,
+    unwrap,
+    wrap,
+    wrap_with_result,
+)
+from repro.runtime.loader import Runtime
+
+
+@pytest.fixture
+def checker():
+    return ConformanceChecker(options=ConformanceOptions.pragmatic())
+
+
+@pytest.fixture
+def runtime():
+    return Runtime()
+
+
+@pytest.fixture
+def person_view(checker, runtime):
+    provider_type = person_csharp()
+    runtime.load_type(provider_type)
+    person = runtime.instantiate(provider_type, ["Ada"])
+    return person, wrap(person, person_java(), checker)
+
+
+class TestMethodTranslation:
+    def test_renamed_getter(self, person_view):
+        _, view = person_view
+        assert view.getPersonName() == "Ada"
+
+    def test_renamed_setter_mutates_target(self, person_view):
+        person, view = person_view
+        view.setPersonName("Grace")
+        assert person.GetName() == "Grace"
+
+    def test_invoke_api(self, person_view):
+        _, view = person_view
+        assert view.invoke("getPersonName") == "Ada"
+
+    def test_unknown_method(self, person_view):
+        _, view = person_view
+        with pytest.raises(AttributeError):
+            view.fly()
+
+    def test_repro_type_reports_expected(self, person_view, checker):
+        _, view = person_view
+        assert view._repro_type().full_name == "demo.b.Person"
+
+    def test_repr(self, person_view):
+        _, view = person_view
+        assert "demo.a.Person" in repr(view)
+        assert "demo.b.Person" in repr(view)
+
+
+class TestArgumentPermutation:
+    def test_permuted_call(self, checker, runtime):
+        provider_type = (
+            TypeBuilder("x.Fmt", assembly_name="a1")
+            .method(
+                "Format", [("count", "int"), ("label", "string")], "string",
+                body=lambda self, count, label: "%s=%d" % (label, count),
+            )
+            .build()
+        )
+        expected_type = (
+            TypeBuilder("x.Fmt", assembly_name="a2")
+            .method("Format", [("label", "string"), ("count", "int")], "string")
+            .build()
+        )
+        runtime.load_type(provider_type)
+        obj = runtime.instantiate(provider_type)
+        view = wrap(obj, expected_type, checker)
+        # Caller uses the EXPECTED order (label first).
+        assert view.Format("n", 3) == "n=3"
+
+
+class TestWrapBehaviour:
+    def test_no_proxy_for_identical_type(self, checker, runtime):
+        provider_type = person_csharp()
+        runtime.load_type(provider_type)
+        person = runtime.instantiate(provider_type, ["Same"])
+        view = wrap(person, provider_type, checker)
+        assert view is person  # zero-overhead fast path
+
+    def test_not_conformant_raises(self, checker, runtime):
+        from repro.fixtures import account_csharp
+
+        account_type = account_csharp()
+        runtime.load_type(account_type)
+        account = runtime.instantiate(account_type, ["o", 1])
+        with pytest.raises(NotConformantError):
+            wrap(account, person_java(), checker)
+
+    def test_wrap_requires_typed_value(self, checker):
+        with pytest.raises(ProxyError):
+            wrap(42, person_java(), checker)
+
+    def test_wrap_with_failed_result_raises(self, checker, runtime):
+        from repro.core.result import ConformanceResult
+
+        failed = ConformanceResult.failure("a", "b", ["nope"])
+        with pytest.raises(NotConformantError):
+            wrap_with_result(object(), person_java(), failed)
+
+    def test_unwrap_strips_layers(self, person_view):
+        person, view = person_view
+        assert unwrap(view) is person
+        assert unwrap(person) is person
+        assert unwrap("plain") == "plain"
+
+
+class TestArgumentUnwrapping:
+    def test_proxied_argument_unwrapped_before_call(self, checker, runtime):
+        """When a proxied value is passed back into a provider method, the
+        provider receives the naked object."""
+        provider_person = person_csharp()
+        runtime.load_type(provider_person)
+        alice = runtime.instantiate(provider_person, ["Alice"])
+        alice_view = wrap(alice, person_java(), checker)
+
+        received = []
+        # Provider method name differs from the expected one so a real
+        # translating proxy is interposed (identity mappings skip the proxy).
+        taker_type = (
+            TypeBuilder("x.Taker", assembly_name="a1")
+            .method("TakePerson", [("p", provider_person)], "void",
+                    body=lambda self, p: received.append(p))
+            .build()
+        )
+        expected_taker = (
+            TypeBuilder("x.Taker", assembly_name="a2")
+            .method("Take", [("p", person_java())], "void")
+            .build()
+        )
+        runtime.load_type(taker_type)
+        taker = runtime.instantiate(taker_type)
+        taker_view = wrap(taker, expected_taker, checker)
+        taker_view.Take(alice_view)
+        assert received[0] is alice
+
+    def test_pass_through_for_provider_surface(self, checker, runtime):
+        """Provider-side code holding a proxied object can still call the
+        provider's own method names: the proxy passes them through."""
+        provider_person = person_csharp()
+        runtime.load_type(provider_person)
+        alice = runtime.instantiate(provider_person, ["Alice"])
+        alice_view = wrap(alice, person_java(), checker)
+        # Expected-surface name works through the mapping...
+        assert alice_view.getPersonName() == "Alice"
+        # ...and the provider's own name passes through.
+        assert alice_view.GetName() == "Alice"
+
+
+class TestDeepWrapping:
+    def test_return_value_wrapped_to_expected_type(self, checker):
+        """Paper: "This mismatch increases with the depth of the matching"
+        — nested conformant returns get their own wrapper."""
+        from repro.fixtures import employee_csharp, employee_java
+
+        registry = TypeRegistry()
+        addr_a, emp_a = employee_csharp()
+        addr_b, emp_b = employee_java()
+        registry.register_all([addr_a, emp_a, addr_b, emp_b])
+        checker = ConformanceChecker(
+            resolver=registry, options=ConformanceOptions.pragmatic()
+        )
+        runtime = Runtime(registry)
+        address = runtime.instantiate(addr_a, ["5 Main St", "Lausanne"])
+        employee = runtime.instantiate(emp_a, ["Eva", address])
+
+        view = wrap(employee, emp_b, checker)
+        nested = view.getAddress()
+        assert isinstance(nested, DynamicProxy)
+        assert nested.getStreet() == "5 Main St"
+        assert nested.getCity() == "Lausanne"
+
+    def test_primitive_returns_not_wrapped(self, person_view):
+        _, view = person_view
+        assert isinstance(view.getPersonName(), str)
+
+
+class TestFieldAccessThroughProxy:
+    def test_public_field_mapping(self, checker, runtime):
+        provider_type = (
+            TypeBuilder("x.Box", assembly_name="a1").field("Value", "int").build()
+        )
+        expected_type = (
+            TypeBuilder("x.Box", assembly_name="a2").field("value", "int").build()
+        )
+        runtime.load_type(provider_type)
+        box = runtime.instantiate(provider_type)
+        box.set_field("Value", 5)
+        view = wrap(box, expected_type, checker)
+        assert view.value == 5
+        view.value = 9
+        assert box.get_field("Value") == 9
+
+    def test_unmapped_field_write_raises(self, person_view):
+        _, view = person_view
+        with pytest.raises(AttributeError):
+            view.nonexistent = 1

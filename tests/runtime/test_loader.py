@@ -1,0 +1,161 @@
+"""Tests for the runtime loader: assemblies, inheritance, dispatch."""
+
+import pytest
+
+from repro.cts.assembly import Assembly
+from repro.cts.builder import TypeBuilder
+from repro.fixtures import person_assembly_pair
+from repro.langs.csharp import compile_source
+from repro.runtime.loader import (
+    AbstractMethodError,
+    ConstructorNotFoundError,
+    Runtime,
+    default_field_value,
+)
+from repro.runtime.objects import UnknownMethodError
+from repro.cts.members import TypeRef
+from repro.cts.types import BOOL, DOUBLE, INT, STRING
+
+
+class TestLoading:
+    def test_load_assembly_registers_types(self):
+        runtime = Runtime()
+        asm_a, _ = person_assembly_pair()
+        runtime.load_assembly(asm_a)
+        assert runtime.registry.get("demo.a.Person") is not None
+        assert runtime.has_assembly("person-a")
+        assert runtime.loaded_assemblies() == ["person-a"]
+
+    def test_load_type_direct(self):
+        runtime = Runtime()
+        info = TypeBuilder("x.T").build()
+        runtime.load_type(info)
+        assert runtime.registry.get("x.T") is info
+
+
+class TestDefaults:
+    @pytest.mark.parametrize(
+        "type_info,expected",
+        [(INT, 0), (DOUBLE, 0.0), (BOOL, False), (STRING, None)],
+    )
+    def test_default_field_value(self, type_info, expected):
+        assert default_field_value(TypeRef.to(type_info)) == expected
+
+    def test_fields_initialized_with_defaults(self):
+        types = compile_source(
+            "class C { public int n; public bool b; public string s; }",
+            namespace="t",
+        )
+        runtime = Runtime()
+        runtime.load_type(types[0])
+        obj = runtime.instantiate(types[0])
+        assert obj.n == 0
+        assert obj.b is False
+        assert obj.s is None
+
+
+class TestInstantiation:
+    def test_implicit_default_ctor(self):
+        runtime = Runtime()
+        info = TypeBuilder("x.T").field("f", "int").build()
+        runtime.load_type(info)
+        assert runtime.instantiate(info).f == 0
+
+    def test_missing_ctor_arity(self):
+        runtime = Runtime()
+        info = TypeBuilder("x.T").build()
+        runtime.load_type(info)
+        with pytest.raises(ConstructorNotFoundError):
+            runtime.instantiate(info, [1, 2])
+
+    def test_raw_instance_skips_ctor(self):
+        runtime = Runtime()
+        asm_a, _ = person_assembly_pair()
+        runtime.load_assembly(asm_a)
+        info = runtime.registry.require("demo.a.Person")
+        raw = runtime.raw_instance(info, {"name": "preset"})
+        assert raw.GetName() == "preset"
+
+    def test_new_instance_by_name(self):
+        runtime = Runtime()
+        asm_a, _ = person_assembly_pair()
+        runtime.load_assembly(asm_a)
+        assert runtime.new_instance("demo.a.Person", ["N"]).GetName() == "N"
+
+
+class TestInheritance:
+    def _family(self):
+        return compile_source(
+            """
+            class Animal {
+                public string kind;
+                public Animal() { this.kind = "animal"; }
+                public string Describe() { return "a " + this.kind; }
+                public string Kind() { return this.kind; }
+            }
+            class Dog : Animal {
+                public Dog() { this.kind = "dog"; }
+                public string Bark() { return "woof"; }
+            }
+            """,
+            namespace="zoo",
+        )
+
+    def test_inherited_method_dispatch(self):
+        runtime = Runtime()
+        for info in self._family():
+            runtime.load_type(info)
+        dog = runtime.new_instance("zoo.Dog")
+        assert dog.invoke("Bark") == "woof"
+        assert dog.invoke("Describe") == "a dog"  # inherited, sees subclass field
+
+    def test_inherited_fields_present(self):
+        runtime = Runtime()
+        for info in self._family():
+            runtime.load_type(info)
+        dog = runtime.new_instance("zoo.Dog")
+        assert "kind" in dog.fields
+
+    def test_override_wins(self):
+        types = compile_source(
+            """
+            class Base {
+                public string Who() { return "base"; }
+            }
+            class Derived : Base {
+                public string Who() { return "derived"; }
+            }
+            """,
+            namespace="o",
+        )
+        runtime = Runtime()
+        for info in types:
+            runtime.load_type(info)
+        derived = runtime.new_instance("o.Derived")
+        assert derived.invoke("Who") == "derived"
+
+
+class TestInvocationErrors:
+    def test_unknown_method(self):
+        runtime = Runtime()
+        asm_a, _ = person_assembly_pair()
+        runtime.load_assembly(asm_a)
+        person = runtime.new_instance("demo.a.Person", ["x"])
+        with pytest.raises(UnknownMethodError):
+            runtime.invoke(person, "Nope")
+
+    def test_abstract_method(self):
+        runtime = Runtime()
+        info = TypeBuilder("x.A").method("M", [], "void").build()  # no body
+        runtime.load_type(info)
+        obj = runtime.instantiate(info)
+        with pytest.raises(AbstractMethodError):
+            obj.invoke("M")
+
+    def test_bad_body_kind(self):
+        runtime = Runtime()
+        info = TypeBuilder("x.A").method("M", [], "void", body="not runnable").build()
+        runtime.load_type(info)
+        obj = runtime.instantiate(info)
+        with pytest.raises(TypeError):
+            obj.invoke("M")

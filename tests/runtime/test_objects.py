@@ -1,0 +1,94 @@
+"""Tests for CtsInstance and the invoke protocol."""
+
+import pytest
+
+from repro.fixtures import person_assembly_pair
+from repro.runtime.loader import Runtime
+from repro.runtime.objects import (
+    CtsInstance,
+    UnknownFieldError,
+    UnknownMethodError,
+    is_invokable,
+)
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    asm_a, _ = person_assembly_pair()
+    rt.load_assembly(asm_a)
+    return rt
+
+
+@pytest.fixture
+def person(runtime):
+    return runtime.new_instance("demo.a.Person", ["Ada"])
+
+
+class TestFieldProtocol:
+    def test_get_field(self, person):
+        assert person.get_field("name") == "Ada"
+
+    def test_set_field(self, person):
+        person.set_field("name", "Grace")
+        assert person.get_field("name") == "Grace"
+
+    def test_unknown_field_get(self, person):
+        with pytest.raises(UnknownFieldError):
+            person.get_field("missing")
+
+    def test_unknown_field_set(self, person):
+        with pytest.raises(UnknownFieldError):
+            person.set_field("missing", 1)
+
+
+class TestInvokeProtocol:
+    def test_invoke(self, person):
+        assert person.invoke("GetName") == "Ada"
+
+    def test_repro_invoke(self, person):
+        assert person._repro_invoke("GetName", []) == "Ada"
+
+    def test_repro_type(self, person):
+        assert person._repro_type().full_name == "demo.a.Person"
+
+    def test_is_invokable(self, person):
+        assert is_invokable(person)
+        assert not is_invokable(object())
+        assert not is_invokable(42)
+
+
+class TestPythonicSugar:
+    def test_attribute_read_field(self, person):
+        assert person.name == "Ada"
+
+    def test_attribute_write_field(self, person):
+        person.name = "Edsger"
+        assert person.get_field("name") == "Edsger"
+
+    def test_attribute_method_binding(self, person):
+        getter = person.GetName
+        assert getter() == "Ada"
+        person.SetName("Barbara")
+        assert person.GetName() == "Barbara"
+
+    def test_unknown_attribute(self, person):
+        with pytest.raises(AttributeError):
+            person.nothing_here
+
+    def test_underscore_attributes_not_intercepted(self, person):
+        with pytest.raises(AttributeError):
+            person._not_a_protocol_method
+
+
+class TestEqualityAndRepr:
+    def test_equality_by_type_and_fields(self, runtime):
+        a = runtime.new_instance("demo.a.Person", ["X"])
+        b = runtime.new_instance("demo.a.Person", ["X"])
+        c = runtime.new_instance("demo.a.Person", ["Y"])
+        assert a == b
+        assert a != c
+
+    def test_repr_shows_fields(self, person):
+        assert "demo.a.Person" in repr(person)
+        assert "Ada" in repr(person)

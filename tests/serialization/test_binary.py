@@ -1,0 +1,148 @@
+"""Tests for the binary object serializer."""
+
+import math
+
+import pytest
+
+from repro.fixtures import person_assembly_pair
+from repro.runtime.loader import Runtime
+from repro.serialization.binary import BinarySerializer
+from repro.serialization.errors import (
+    UnknownTypeError,
+    UnsupportedValueError,
+    WireFormatError,
+)
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    asm_a, _ = person_assembly_pair()
+    rt.load_assembly(asm_a)
+    return rt
+
+
+@pytest.fixture
+def codec(runtime):
+    return BinarySerializer(runtime)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 127, 128, -128, 2**40, -(2**40),
+         0.0, 1.5, -2.25, "", "hello", "ünïcødé", "x" * 10_000, b"", b"raw\x00bytes"],
+    )
+    def test_round_trip(self, codec, value):
+        assert codec.deserialize(codec.serialize(value)) == value
+
+    def test_bool_stays_bool(self, codec):
+        assert codec.deserialize(codec.serialize(True)) is True
+
+    def test_float_nan(self, codec):
+        assert math.isnan(codec.deserialize(codec.serialize(float("nan"))))
+
+    def test_float_inf(self, codec):
+        assert codec.deserialize(codec.serialize(float("inf"))) == float("inf")
+
+
+class TestContainers:
+    def test_list_round_trip(self, codec):
+        value = [1, "two", 3.0, None, [True, False]]
+        assert codec.deserialize(codec.serialize(value)) == value
+
+    def test_dict_round_trip(self, codec):
+        value = {"a": 1, "b": [2, 3], "c": {"d": None}}
+        assert codec.deserialize(codec.serialize(value)) == value
+
+    def test_dict_non_string_keys_rejected(self, codec):
+        with pytest.raises(UnsupportedValueError):
+            codec.serialize({1: "x"})
+
+    def test_unsupported_type_rejected(self, codec):
+        with pytest.raises(UnsupportedValueError):
+            codec.serialize(object())
+
+    def test_set_rejected(self, codec):
+        with pytest.raises(UnsupportedValueError):
+            codec.serialize({1, 2})
+
+
+class TestObjects:
+    def test_instance_round_trip(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["Alice"])
+        restored = codec.deserialize(codec.serialize(person))
+        assert restored.type_info.guid == person.type_info.guid
+        assert restored.get_field("name") == "Alice"
+        assert restored.invoke("GetName") == "Alice"
+
+    def test_private_fields_serialized(self, codec, runtime):
+        # 'name' is private; the paper's serializers carry private state.
+        person = runtime.new_instance("demo.a.Person", ["Secret"])
+        restored = codec.deserialize(codec.serialize(person))
+        assert restored.fields["name"] == "Secret"
+
+    def test_shared_reference_preserved(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["Shared"])
+        restored = codec.deserialize(codec.serialize([person, person]))
+        assert restored[0] is restored[1]
+
+    def test_distinct_objects_stay_distinct(self, codec, runtime):
+        a = runtime.new_instance("demo.a.Person", ["A"])
+        b = runtime.new_instance("demo.a.Person", ["A"])
+        restored = codec.deserialize(codec.serialize([a, b]))
+        assert restored[0] is not restored[1]
+
+    def test_cycle_via_container_field(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["Loop"])
+        person.fields["name"] = person  # self-cycle through a field
+        restored = codec.deserialize(codec.serialize(person))
+        assert restored.fields["name"] is restored
+
+    def test_unknown_type_raises(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["X"])
+        data = codec.serialize(person)
+        empty = BinarySerializer(Runtime())
+        with pytest.raises(UnknownTypeError) as err:
+            empty.deserialize(data)
+        assert err.value.type_name == "demo.a.Person"
+
+    def test_object_without_runtime_raises(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["X"])
+        data = codec.serialize(person)
+        with pytest.raises(WireFormatError):
+            BinarySerializer().deserialize(data)
+
+
+class TestWireRobustness:
+    def test_bad_magic(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"NOPE" + b"\x00")
+
+    def test_truncated_payload(self, codec):
+        data = codec.serialize("hello world")
+        with pytest.raises(WireFormatError):
+            codec.deserialize(data[:-3])
+
+    def test_trailing_garbage(self, codec):
+        data = codec.serialize(42)
+        with pytest.raises(WireFormatError):
+            codec.deserialize(data + b"\x00")
+
+    def test_unknown_tag(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"RBS1\xff")
+
+    def test_dangling_backreference(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"RBS1\x09\x05")
+
+    def test_compactness_vs_soap(self, runtime):
+        """Binary payloads should be much smaller than SOAP for the same
+        object — the reason the hybrid scheme offers both."""
+        from repro.serialization.soap import SoapSerializer
+
+        person = runtime.new_instance("demo.a.Person", ["Compact"])
+        binary_size = len(BinarySerializer(runtime).serialize(person))
+        soap_size = len(SoapSerializer(runtime).serialize(person))
+        assert binary_size * 2 < soap_size

@@ -1,0 +1,105 @@
+"""Tests for the hybrid envelope (Figure 3)."""
+
+import pytest
+
+from repro.cts.assembly import Assembly
+from repro.fixtures import employee_csharp, person_assembly_pair
+from repro.runtime.loader import Runtime
+from repro.serialization.envelope import EnvelopeCodec, ObjectEnvelope
+from repro.serialization.errors import UnknownTypeError, WireFormatError
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    asm_a, _ = person_assembly_pair()
+    rt.load_assembly(asm_a)
+    return rt
+
+
+class TestWrap:
+    def test_type_entries_cover_graph(self, runtime):
+        hr = Assembly("hr-a", employee_csharp())
+        runtime.load_assembly(hr)
+        address = runtime.new_instance("demo.a.Address", ["5 Main St", "Lausanne"])
+        employee = runtime.new_instance("demo.a.Employee", ["Eva", address])
+        codec = EnvelopeCodec(runtime)
+        envelope = codec.wrap(employee)
+        assert envelope.type_names() == ["demo.a.Employee", "demo.a.Address"]
+
+    def test_root_entry_first(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        person = runtime.new_instance("demo.a.Person", ["Root"])
+        assert codec.wrap(person).root_entry().name == "demo.a.Person"
+
+    def test_entries_carry_download_paths(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        person = runtime.new_instance("demo.a.Person", ["P"])
+        entry = codec.wrap(person).root_entry()
+        assert entry.download_path == "repo://person-a/1.0.0"
+        assert entry.assembly == "person-a"
+
+    def test_empty_envelope_root_raises(self):
+        envelope = ObjectEnvelope([], "binary", b"")
+        with pytest.raises(WireFormatError):
+            envelope.root_entry()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("encoding", ["binary", "soap"])
+    def test_object_round_trip(self, runtime, encoding):
+        codec = EnvelopeCodec(runtime, encoding=encoding)
+        person = runtime.new_instance("demo.a.Person", ["Ann"])
+        restored = codec.decode(codec.encode(person))
+        assert restored.invoke("GetName") == "Ann"
+
+    @pytest.mark.parametrize("encoding", ["binary", "soap"])
+    def test_plain_values_allowed(self, runtime, encoding):
+        codec = EnvelopeCodec(runtime, encoding=encoding)
+        assert codec.decode(codec.encode([1, "two", None])) == [1, "two", None]
+
+    def test_parse_preserves_payload_encoding(self, runtime):
+        soap_codec = EnvelopeCodec(runtime, encoding="soap")
+        person = runtime.new_instance("demo.a.Person", ["Enc"])
+        data = soap_codec.encode(person)
+        # A binary-default codec can still decode: encoding travels in-band.
+        binary_codec = EnvelopeCodec(runtime, encoding="binary")
+        assert binary_codec.decode(data).invoke("GetName") == "Enc"
+
+    def test_unwrap_unknown_type_raises(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        person = runtime.new_instance("demo.a.Person", ["X"])
+        data = codec.encode(person)
+        receiver = EnvelopeCodec(Runtime())
+        envelope = receiver.parse(data)  # parsing works without the type...
+        assert envelope.root_entry().name == "demo.a.Person"
+        with pytest.raises(UnknownTypeError):  # ...materialising does not
+            receiver.unwrap(envelope)
+
+
+class TestErrors:
+    def test_invalid_encoding_config(self):
+        with pytest.raises(ValueError):
+            EnvelopeCodec(encoding="json")
+
+    def test_parse_garbage(self, runtime):
+        with pytest.raises(WireFormatError):
+            EnvelopeCodec(runtime).parse(b"not xml")
+
+    def test_parse_wrong_root(self, runtime):
+        with pytest.raises(WireFormatError):
+            EnvelopeCodec(runtime).parse(b"<Wrong/>")
+
+    def test_parse_missing_payload(self, runtime):
+        with pytest.raises(WireFormatError):
+            EnvelopeCodec(runtime).parse(b"<XmlMessage><TypeInformation/></XmlMessage>")
+
+    def test_parse_bad_encoding_attr(self, runtime):
+        data = b'<XmlMessage><Payload encoding="weird">aGk=</Payload></XmlMessage>'
+        with pytest.raises(WireFormatError):
+            EnvelopeCodec(runtime).parse(data)
+
+    def test_parse_bad_base64(self, runtime):
+        data = b'<XmlMessage><Payload encoding="binary">@@@</Payload></XmlMessage>'
+        with pytest.raises(WireFormatError):
+            EnvelopeCodec(runtime).parse(data)

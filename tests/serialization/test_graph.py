@@ -1,0 +1,71 @@
+"""Tests for object-graph utilities."""
+
+import pytest
+
+from repro.fixtures import employee_csharp, person_assembly_pair
+from repro.cts.assembly import Assembly
+from repro.runtime.loader import Runtime
+from repro.serialization.errors import UnsupportedValueError
+from repro.serialization.graph import check_serializable, collect_types, graph_size
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    asm_a, _ = person_assembly_pair()
+    rt.load_assembly(asm_a)
+    rt.load_assembly(Assembly("hr-a", employee_csharp()))
+    return rt
+
+
+class TestCheckSerializable:
+    def test_ok_values(self, runtime):
+        person = runtime.new_instance("demo.a.Person", ["ok"])
+        check_serializable([1, "x", {"k": person}, None, 2.5])
+
+    def test_cyclic_ok(self, runtime):
+        person = runtime.new_instance("demo.a.Person", ["c"])
+        person.fields["name"] = person
+        check_serializable(person)
+
+    def test_bad_value(self):
+        with pytest.raises(UnsupportedValueError):
+            check_serializable([1, object()])
+
+    def test_bad_dict_key(self):
+        with pytest.raises(UnsupportedValueError):
+            check_serializable({2: "x"})
+
+
+class TestCollectTypes:
+    def test_single_object(self, runtime):
+        person = runtime.new_instance("demo.a.Person", ["p"])
+        assert [t.full_name for t in collect_types(person)] == ["demo.a.Person"]
+
+    def test_nested_types_in_order(self, runtime):
+        address = runtime.new_instance("demo.a.Address", ["s", "c"])
+        employee = runtime.new_instance("demo.a.Employee", ["e", address])
+        names = [t.full_name for t in collect_types(employee)]
+        assert names == ["demo.a.Employee", "demo.a.Address"]
+
+    def test_deduplicates(self, runtime):
+        a = runtime.new_instance("demo.a.Person", ["a"])
+        b = runtime.new_instance("demo.a.Person", ["b"])
+        assert len(collect_types([a, b])) == 1
+
+    def test_primitives_only(self):
+        assert collect_types([1, "x", None]) == []
+
+    def test_cycles_terminate(self, runtime):
+        person = runtime.new_instance("demo.a.Person", ["x"])
+        person.fields["name"] = [person, person]
+        assert len(collect_types(person)) == 1
+
+
+class TestGraphSize:
+    def test_counts(self, runtime):
+        person = runtime.new_instance("demo.a.Person", ["p"])
+        counts = graph_size({"people": [person], "n": 3})
+        assert counts["objects"] == 1
+        assert counts["containers"] == 2  # dict + list
+        assert counts["primitives"] >= 2  # "p" and 3

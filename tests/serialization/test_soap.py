@@ -1,0 +1,128 @@
+"""Tests for the SOAP-like XML object serializer."""
+
+import pytest
+
+from repro.fixtures import person_assembly_pair
+from repro.runtime.loader import Runtime
+from repro.serialization.errors import (
+    UnknownTypeError,
+    UnsupportedValueError,
+    WireFormatError,
+)
+from repro.serialization.soap import SoapSerializer
+
+
+@pytest.fixture
+def runtime():
+    rt = Runtime()
+    asm_a, _ = person_assembly_pair()
+    rt.load_assembly(asm_a)
+    return rt
+
+
+@pytest.fixture
+def codec(runtime):
+    return SoapSerializer(runtime)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -5, 12345, 0.5, -1.25, "", "hello", "<tag> & stuff"],
+    )
+    def test_round_trip(self, codec, value):
+        assert codec.deserialize(codec.serialize(value)) == value
+
+    def test_bool_type_preserved(self, codec):
+        assert codec.deserialize(codec.serialize(True)) is True
+
+    def test_float_precision(self, codec):
+        value = 0.1 + 0.2
+        assert codec.deserialize(codec.serialize(value)) == value
+
+
+class TestContainers:
+    def test_list(self, codec):
+        value = [1, "two", None, [True]]
+        assert codec.deserialize(codec.serialize(value)) == value
+
+    def test_dict(self, codec):
+        value = {"k": [1, 2], "nested": {"x": "y"}}
+        assert codec.deserialize(codec.serialize(value)) == value
+
+    def test_unsupported(self, codec):
+        with pytest.raises(UnsupportedValueError):
+            codec.serialize(object())
+
+
+class TestObjects:
+    def test_round_trip(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["Simone"])
+        restored = codec.deserialize(codec.serialize(person))
+        assert restored.invoke("GetName") == "Simone"
+
+    def test_shared_reference(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["S"])
+        restored = codec.deserialize(codec.serialize({"x": person, "y": person}))
+        assert restored["x"] is restored["y"]
+
+    def test_cyclic_field(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["Loop"])
+        person.fields["name"] = person
+        restored = codec.deserialize(codec.serialize(person))
+        assert restored.fields["name"] is restored
+
+    def test_unknown_type(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["X"])
+        data = codec.serialize(person)
+        with pytest.raises(UnknownTypeError):
+            SoapSerializer(Runtime()).deserialize(data)
+
+    def test_xml_shape(self, codec, runtime):
+        person = runtime.new_instance("demo.a.Person", ["Look"])
+        text = codec.serialize(person).decode("utf-8")
+        assert "<Envelope>" in text
+        assert "<Body>" in text
+        assert 'type="demo.a.Person"' in text
+        assert '<Field name="name">' in text
+        assert "<string>Look</string>" in text
+
+    def test_output_indented(self, codec, runtime):
+        # Human-readable (pretty-printed) like real SOAP toolkits.
+        person = runtime.new_instance("demo.a.Person", ["Pretty"])
+        text = codec.serialize(person).decode("utf-8")
+        assert "\n  " in text
+
+
+class TestMalformed:
+    def test_invalid_xml(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"<oops")
+
+    def test_wrong_root(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"<NotEnvelope/>")
+
+    def test_empty_body(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"<Envelope><Body/></Envelope>")
+
+    def test_bad_int(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"<Envelope><Body><int>xyz</int></Body></Envelope>")
+
+    def test_unknown_element(self, codec):
+        with pytest.raises(WireFormatError):
+            codec.deserialize(b"<Envelope><Body><wibble/></Body></Envelope>")
+
+    def test_dangling_href(self, codec):
+        data = (
+            b'<Envelope><Body><Object type="demo.a.Person" id="id-1">'
+            b'<Field name="name"><ref href="#id-9"/></Field>'
+            b"</Object></Body></Envelope>"
+        )
+        runtime = Runtime()
+        asm_a, _ = person_assembly_pair()
+        runtime.load_assembly(asm_a)
+        with pytest.raises(WireFormatError):
+            SoapSerializer(runtime).deserialize(data)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import CliError, compile_file, main
+from repro.fixtures import PERSON_CSHARP_SOURCE, PERSON_JAVA_SOURCE, PERSON_VB_SOURCE
+
+
+@pytest.fixture
+def sources(tmp_path):
+    cs = tmp_path / "person_a.cs"
+    cs.write_text(PERSON_CSHARP_SOURCE)
+    java = tmp_path / "person_b.java"
+    java.write_text(PERSON_JAVA_SOURCE)
+    vb = tmp_path / "person_c.vb"
+    vb.write_text(PERSON_VB_SOURCE)
+    return {"cs": str(cs), "java": str(java), "vb": str(vb)}
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCompileFile:
+    def test_each_language(self, sources):
+        for path in sources.values():
+            types = compile_file(path)
+            assert types[0].simple_name == "Person"
+
+    def test_namespace_defaults_to_filename(self, sources):
+        types = compile_file(sources["cs"])
+        assert types[0].full_name == "person_a.Person"
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "x.py"
+        path.write_text("")
+        with pytest.raises(CliError):
+            compile_file(str(path))
+
+
+class TestDescribe:
+    def test_prints_xml(self, sources):
+        code, output = run(["describe", sources["cs"]])
+        assert code == 0
+        assert "<TypeDescription" in output
+        assert 'name="person_a.Person"' in output
+        assert "<Method" in output
+
+    def test_missing_file(self):
+        code, output = run(["describe", "/no/such/file.cs"])
+        assert code == 2
+        assert "error:" in output
+
+
+class TestCheck:
+    def test_pragmatic_pass(self, sources):
+        code, output = run(["check", sources["cs"], sources["java"]])
+        assert code == 0
+        assert "conforms to" in output
+
+    def test_strict_fails_renamed(self, sources):
+        code, output = run(["check", sources["cs"], sources["java"], "--strict"])
+        assert code == 1
+        assert "does NOT conform" in output
+
+    def test_strict_passes_identical_names(self, sources):
+        code, output = run(["check", sources["vb"], sources["cs"], "--strict"])
+        assert code == 0
+
+    def test_behavioral_flag(self, sources):
+        code, output = run(["check", sources["cs"], sources["java"], "--behavioral"])
+        assert code == 0
+        assert "behaviorally" in output
+
+    def test_behavioral_divergence_detected(self, tmp_path, sources):
+        rigged = tmp_path / "rigged.cs"
+        rigged.write_text(
+            """
+            class Person {
+                private string name;
+                public Person(string n) { this.name = n; }
+                public string GetName() { return this.name + "!"; }
+                public void SetName(string n) { this.name = n; }
+            }
+            """
+        )
+        code, output = run(["check", str(rigged), sources["cs"], "--behavioral"])
+        assert code == 1
+        assert "Divergence" in output
+
+
+class TestDemo:
+    def test_demo_runs(self):
+        code, output = run(["demo"])
+        assert code == 0
+        assert "Grace" in output

@@ -1,0 +1,69 @@
+"""Sanity tests over the shared paper fixtures."""
+
+import pytest
+
+from repro import fixtures
+from repro.runtime.loader import Runtime
+
+
+class TestPersonFixtures:
+    def test_three_languages_compile(self):
+        for factory in (fixtures.person_csharp, fixtures.person_java,
+                        fixtures.person_vb):
+            info = factory()
+            assert info.simple_name == "Person"
+            assert len(info.public_methods()) == 2
+            assert len(info.public_constructors()) == 1
+
+    def test_distinct_namespaces_and_identities(self):
+        types = [fixtures.person_csharp(), fixtures.person_java(),
+                 fixtures.person_vb()]
+        assert len({t.full_name for t in types}) == 3
+        assert len({t.guid for t in types}) == 3
+
+    def test_factories_are_deterministic(self):
+        assert fixtures.person_csharp().guid == fixtures.person_csharp().guid
+
+    def test_all_person_flavours_run(self):
+        runtime = Runtime()
+        for factory, getter in (
+            (fixtures.person_csharp, "GetName"),
+            (fixtures.person_java, "getPersonName"),
+            (fixtures.person_vb, "GetName"),
+        ):
+            info = factory()
+            runtime.load_type(info)
+            instance = runtime.instantiate(info, ["Check"])
+            assert instance.invoke(getter) == "Check"
+
+
+class TestOtherFixtures:
+    def test_account_is_not_a_person(self):
+        account = fixtures.account_csharp()
+        assert account.simple_name == "Account"
+        assert account.find_method("Deposit") is not None
+
+    def test_account_behaviour(self):
+        runtime = Runtime()
+        account_type = fixtures.account_csharp()
+        runtime.load_type(account_type)
+        account = runtime.instantiate(account_type, ["owner", 100])
+        account.invoke("Deposit", 50)
+        assert account.invoke("GetBalance") == 150
+
+    def test_employee_pairs_nested(self):
+        for factory in (fixtures.employee_csharp, fixtures.employee_java):
+            address, employee = factory()
+            assert address.simple_name == "Address"
+            assert employee.simple_name == "Employee"
+            refs = employee.referenced_type_names()
+            assert address.full_name in refs
+
+    def test_assembly_pairs_link_and_host(self):
+        asm_a, asm_b = fixtures.person_assembly_pair()
+        assert asm_a.name == "person-a"
+        assert asm_b.name == "person-b"
+        hr_a, hr_b = fixtures.employee_assembly_pair()
+        # The link step resolved the Employee->Address sibling ref.
+        employee = hr_a.find_type("demo.a.Employee")
+        assert employee.find_field("address").type_ref.is_resolved

@@ -1,0 +1,71 @@
+"""Tests for the eager baseline and the optimistic-vs-eager comparison."""
+
+import pytest
+
+from repro.core import ConformanceOptions
+from repro.cts.assembly import Assembly
+from repro.fixtures import account_csharp, person_assembly_pair, person_java
+from repro.net.network import SimulatedNetwork
+from repro.transport.eager import EagerPeer
+from repro.transport.protocol import InteropPeer
+
+
+def make_pair(cls):
+    network = SimulatedNetwork()
+    sender = cls("sender", network, options=ConformanceOptions.pragmatic())
+    receiver = cls("receiver", network, options=ConformanceOptions.pragmatic())
+    asm_a, _ = person_assembly_pair()
+    sender.host_assembly(asm_a)
+    receiver.declare_interest(person_java())
+    return network, sender, receiver
+
+
+class TestEagerDelivery:
+    def test_object_arrives_with_zero_round_trips(self):
+        network, sender, receiver = make_pair(EagerPeer)
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["Eager"]))
+        assert receiver.inbox[0].view.getPersonName() == "Eager"
+        assert network.stats.round_trips == 0
+        assert receiver.stats.descriptions_fetched == 0
+        assert receiver.stats.assemblies_fetched == 0
+
+    def test_repeat_sends_still_carry_everything(self):
+        network, sender, receiver = make_pair(EagerPeer)
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["1"]))
+        first_bytes = network.stats.bytes_sent
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["2"]))
+        second_bytes = network.stats.bytes_sent - first_bytes
+        # Same heavy payload every time (no amortisation).
+        assert second_bytes > first_bytes * 0.8
+
+    def test_conformance_still_enforced(self):
+        network, sender, receiver = make_pair(EagerPeer)
+        sender.host_assembly(Assembly("bank", [account_csharp()]))
+        sender.send("receiver", sender.new_instance("demo.bank.Account", ["o", 1]))
+        assert not receiver.inbox[0].accepted
+
+
+class TestOptimisticVsEager:
+    @pytest.mark.parametrize("n_objects", [1, 5, 20])
+    def test_optimistic_wins_after_first_object(self, n_objects):
+        net_opt, s_opt, r_opt = make_pair(InteropPeer)
+        net_eag, s_eag, r_eag = make_pair(EagerPeer)
+        for i in range(n_objects):
+            s_opt.send("receiver", s_opt.new_instance("demo.a.Person", ["p%d" % i]))
+            s_eag.send("receiver", s_eag.new_instance("demo.a.Person", ["p%d" % i]))
+        if n_objects == 1:
+            # A single send: eager may be competitive (no round trips).
+            assert net_opt.stats.round_trips == 2
+        else:
+            assert net_opt.stats.bytes_sent < net_eag.stats.bytes_sent
+
+    def test_rejection_is_cheaper_optimistically(self):
+        """For a non-conformant object, optimistic transfers only envelope +
+        description; eager has already shipped the code."""
+        net_opt, s_opt, r_opt = make_pair(InteropPeer)
+        net_eag, s_eag, r_eag = make_pair(EagerPeer)
+        for sender in (s_opt, s_eag):
+            sender.host_assembly(Assembly("bank", [account_csharp()]))
+        s_opt.send("receiver", s_opt.new_instance("demo.bank.Account", ["o", 1]))
+        s_eag.send("receiver", s_eag.new_instance("demo.bank.Account", ["o", 1]))
+        assert net_opt.stats.bytes_sent < net_eag.stats.bytes_sent

@@ -1,0 +1,74 @@
+"""Failure injection: the protocol on a lossy network."""
+
+import pytest
+
+from repro.core import ConformanceOptions
+from repro.fixtures import person_assembly_pair, person_java
+from repro.net.network import MessageDropped, SimulatedNetwork
+from repro.transport.protocol import InteropPeer
+
+
+def lossy_world(drop_rate, seed, max_retries):
+    network = SimulatedNetwork(drop_rate=drop_rate, seed=seed)
+    sender = InteropPeer("sender", network,
+                         options=ConformanceOptions.pragmatic(),
+                         max_retries=max_retries)
+    receiver = InteropPeer("receiver", network,
+                           options=ConformanceOptions.pragmatic(),
+                           max_retries=max_retries)
+    asm_a, _ = person_assembly_pair()
+    sender.host_assembly(asm_a)
+    receiver.declare_interest(person_java())
+    return network, sender, receiver
+
+
+class TestWithoutRetries:
+    def test_drops_surface_as_errors(self):
+        network, sender, receiver = lossy_world(0.6, seed=3, max_retries=0)
+        failures = 0
+        for i in range(20):
+            try:
+                sender.send("receiver", sender.new_instance("demo.a.Person", ["p%d" % i]))
+            except MessageDropped:
+                failures += 1
+        assert failures > 0  # losses are visible, not silent
+
+    def test_reliable_network_unaffected(self):
+        network, sender, receiver = lossy_world(0.0, seed=0, max_retries=0)
+        for i in range(5):
+            sender.send("receiver", sender.new_instance("demo.a.Person", ["p%d" % i]))
+        assert len(receiver.inbox) == 5
+
+
+class TestWithRetries:
+    def test_moderate_loss_fully_recovered(self):
+        network, sender, receiver = lossy_world(0.3, seed=11, max_retries=25)
+        for i in range(20):
+            sender.send("receiver", sender.new_instance("demo.a.Person", ["p%d" % i]))
+        delivered = [r.view.getPersonName() for r in receiver.inbox]
+        assert delivered == ["p%d" % i for i in range(20)]
+
+    def test_retries_never_duplicate_delivery(self):
+        network, sender, receiver = lossy_world(0.3, seed=11, max_retries=25)
+        for i in range(10):
+            sender.send("receiver", sender.new_instance("demo.a.Person", ["p%d" % i]))
+        # Drops happen before the handler runs, so each object is delivered
+        # exactly once despite resends.
+        assert len(receiver.inbox) == 10
+
+    def test_retries_cost_extra_messages(self):
+        lossless, s0, r0 = lossy_world(0.0, seed=0, max_retries=25)
+        for i in range(10):
+            s0.send("receiver", s0.new_instance("demo.a.Person", ["p%d" % i]))
+
+        lossy, s1, r1 = lossy_world(0.3, seed=11, max_retries=25)
+        for i in range(10):
+            s1.send("receiver", s1.new_instance("demo.a.Person", ["p%d" % i]))
+
+        assert lossy.stats.messages >= lossless.stats.messages
+
+    def test_exhausted_retries_raise(self):
+        network, sender, receiver = lossy_world(0.95, seed=5, max_retries=1)
+        with pytest.raises(MessageDropped):
+            for i in range(30):
+                sender.send("receiver", sender.new_instance("demo.a.Person", ["x"]))

@@ -1,0 +1,190 @@
+"""Tests for the optimistic transport protocol (Figure 1)."""
+
+import pytest
+
+from repro.core import ConformanceOptions
+from repro.cts.assembly import Assembly
+from repro.fixtures import (
+    account_csharp,
+    employee_assembly_pair,
+    person_assembly_pair,
+    person_java,
+)
+from repro.net.network import SimulatedNetwork
+from repro.transport.protocol import InteropPeer, ProtocolError
+
+
+@pytest.fixture
+def world():
+    network = SimulatedNetwork()
+    sender = InteropPeer("sender", network, options=ConformanceOptions.pragmatic())
+    receiver = InteropPeer("receiver", network, options=ConformanceOptions.pragmatic())
+    asm_a, _ = person_assembly_pair()
+    sender.host_assembly(asm_a)
+    return network, sender, receiver
+
+
+class TestHappyPath:
+    def test_first_object_triggers_description_and_code(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["One"]))
+        assert receiver.stats.descriptions_fetched == 1
+        assert receiver.stats.assemblies_fetched == 1
+        received = receiver.inbox[0]
+        assert received.accepted
+        assert received.view.getPersonName() == "One"
+
+    def test_repeat_sends_are_free(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        for name in ["A", "B", "C"]:
+            sender.send("receiver", sender.new_instance("demo.a.Person", [name]))
+        assert receiver.stats.descriptions_fetched == 1
+        assert receiver.stats.assemblies_fetched == 1
+        assert [r.view.getPersonName() for r in receiver.inbox] == ["A", "B", "C"]
+
+    def test_network_kind_breakdown(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["X"]))
+        kinds = network.stats.by_kind_messages
+        assert kinds["object"] == 1
+        assert kinds["get_description"] == 1
+        assert kinds["get_assembly"] == 1
+
+    def test_no_interest_delivers_raw(self, world):
+        _, sender, receiver = world
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["Raw"]))
+        received = receiver.inbox[0]
+        assert received.accepted
+        assert received.interest is None
+        assert received.view.GetName() == "Raw"  # provider surface, no proxy
+
+    def test_known_type_skips_everything(self, world):
+        _, sender, receiver = world
+        asm_a, _ = person_assembly_pair()
+        receiver.host_assembly(asm_a)  # receiver already has the code
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["K"]))
+        assert receiver.stats.descriptions_fetched == 0
+        assert receiver.stats.assemblies_fetched == 0
+        assert receiver.inbox[0].view.GetName() == "K"
+
+    def test_on_receive_callback(self, world):
+        _, sender, receiver = world
+        seen = []
+        receiver.on_receive(lambda r: seen.append(r.type_name))
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["cb"]))
+        assert seen == ["demo.a.Person"]
+
+
+class TestRejection:
+    def test_nonconformant_rejected_without_code_download(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.host_assembly(Assembly("bank", [account_csharp()]))
+        sender.send("receiver", sender.new_instance("demo.bank.Account", ["o", 9]))
+        received = receiver.inbox[0]
+        assert not received.accepted
+        assert received.value is None
+        assert receiver.stats.objects_rejected == 1
+        # The optimistic win: description fetched, code NOT fetched.
+        assert receiver.stats.descriptions_fetched == 1
+        assert receiver.stats.assemblies_fetched == 0
+
+    def test_rejection_saves_bytes(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.host_assembly(Assembly("bank", [account_csharp()]))
+
+        network.reset_accounting()
+        sender.send("receiver", sender.new_instance("demo.bank.Account", ["o", 9]))
+        rejected_bytes = network.stats.bytes_sent
+
+        network.reset_accounting()
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["ok"]))
+        accepted_bytes = network.stats.bytes_sent
+        assert rejected_bytes < accepted_bytes
+
+
+class TestMultiTypeGraphs:
+    def test_nested_object_downloads_one_assembly(self):
+        network = SimulatedNetwork()
+        sender = InteropPeer("sender", network, options=ConformanceOptions.pragmatic())
+        receiver = InteropPeer("receiver", network, options=ConformanceOptions.pragmatic())
+        hr_a, hr_b = employee_assembly_pair()
+        sender.host_assembly(hr_a)
+        receiver.declare_interest(hr_b.find_type("demo.b.Employee"))
+
+        address = sender.new_instance("demo.a.Address", ["1 Rue", "Geneva"])
+        employee = sender.new_instance("demo.a.Employee", ["Zoe", address])
+        sender.send("receiver", employee)
+
+        received = receiver.inbox[0]
+        assert received.accepted
+        # One assembly covers both Employee and Address.
+        assert receiver.stats.assemblies_fetched == 1
+        assert received.view.getName() == "Zoe"
+        assert received.view.getAddress().getCity() == "Geneva"
+
+
+class TestCodeSourceFallback:
+    def test_repository_fallback(self):
+        """Sender that cannot serve code; receiver falls back to the
+        configured code repository peer."""
+        from repro.net.codeserver import CodeRepository
+
+        network = SimulatedNetwork()
+        repo = CodeRepository("repo", network)
+        asm_a, _ = person_assembly_pair()
+        repo.publish(asm_a)
+
+        # Sender loads types into its runtime but does NOT host the assembly.
+        sender = InteropPeer("sender", network, options=ConformanceOptions.pragmatic())
+        sender.runtime.load_assembly(asm_a)
+
+        receiver = InteropPeer(
+            "receiver", network,
+            options=ConformanceOptions.pragmatic(),
+            code_source="repo",
+        )
+        receiver.declare_interest(person_java())
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["ViaRepo"]))
+        assert receiver.inbox[0].view.getPersonName() == "ViaRepo"
+
+    def test_missing_code_everywhere_raises(self):
+        network = SimulatedNetwork()
+        sender = InteropPeer("sender", network)
+        receiver = InteropPeer("receiver", network)
+        asm_a, _ = person_assembly_pair()
+        sender.runtime.load_assembly(asm_a)  # not hosted, no repo configured
+        with pytest.raises(ProtocolError):
+            sender.send("receiver", sender.new_instance("demo.a.Person", ["x"]))
+
+
+class TestCodePropagation:
+    def test_peer_reserves_downloaded_assemblies(self, world):
+        """After downloading code, a peer can serve it onward (needed by
+        brokers)."""
+        network, sender, receiver = world
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["Hop1"]))
+
+        third = InteropPeer("third", network, options=ConformanceOptions.pragmatic())
+        third.declare_interest(person_java())
+        # receiver (not the original sender) forwards the object onward.
+        receiver.send("third", receiver.inbox[0].value)
+        assert third.inbox[0].view.getPersonName() == "Hop1"
+
+
+class TestSoapEncoding:
+    def test_protocol_over_soap_payloads(self):
+        network = SimulatedNetwork()
+        sender = InteropPeer("sender", network, encoding="soap",
+                             options=ConformanceOptions.pragmatic())
+        receiver = InteropPeer("receiver", network, encoding="soap",
+                               options=ConformanceOptions.pragmatic())
+        asm_a, _ = person_assembly_pair()
+        sender.host_assembly(asm_a)
+        receiver.declare_interest(person_java())
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["Soapy"]))
+        assert receiver.inbox[0].view.getPersonName() == "Soapy"
