@@ -8,11 +8,15 @@ from .broker import (
     TpsBroker,
     TpsPeer,
 )
+from .routing import RouteEntry, RoutingIndex, RoutingStats
 
 __all__ = [
     "KIND_TPS_SUBSCRIBE",
     "KIND_TPS_UNSUBSCRIBE",
     "LocalBroker",
+    "RouteEntry",
+    "RoutingIndex",
+    "RoutingStats",
     "Subscription",
     "TpsBroker",
     "TpsPeer",

@@ -17,21 +17,27 @@ Two broker flavours:
   to it over the optimistic protocol; subscriber peers register their
   expected type (as an XML description) and receive matching events
   re-published to them, code travelling on demand all the way.
+
+Both route through a shared :class:`~repro.apps.tps.routing.RoutingIndex`:
+subscriptions are grouped by expected-type identity and each
+(provider, expected) pair pays conformance + proxy construction once, so
+the per-event hot path is a handful of dict lookups regardless of how
+many subscribers share a type.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, List, Optional
 
 from ...core.context import ConformanceOptions
 from ...core.rules import ConformanceChecker
+from ...cts.registry import TypeRegistry
 from ...cts.types import TypeInfo
 from ...describe.description import TypeDescription
 from ...describe.xml_codec import deserialize_description, serialize_description_bytes
 from ...net.network import SimulatedNetwork
-from ...remoting.dynamic import wrap_with_result
-from ...serialization.binary import BinarySerializer
 from ...transport.protocol import InteropPeer, ReceivedObject
+from .routing import RoutingIndex
 
 KIND_TPS_SUBSCRIBE = "tps_subscribe"
 KIND_TPS_UNSUBSCRIBE = "tps_unsubscribe"
@@ -62,11 +68,12 @@ class Subscription:
 class LocalBroker:
     """In-process type-based publish/subscribe."""
 
-    def __init__(self, checker: Optional[ConformanceChecker] = None):
+    def __init__(self, checker: Optional[ConformanceChecker] = None,
+                 registry: Optional[TypeRegistry] = None):
         self.checker = checker if checker is not None else ConformanceChecker(
             options=ConformanceOptions.pragmatic()
         )
-        self._subscriptions: List[Subscription] = []
+        self.index = RoutingIndex(self.checker, registry)
         self._next_id = 1
         self.published = 0
         self.delivered = 0
@@ -74,17 +81,14 @@ class LocalBroker:
     def subscribe(self, expected: TypeInfo, handler: Handler) -> Subscription:
         subscription = Subscription(expected, handler, self._next_id)
         self._next_id += 1
-        self._subscriptions.append(subscription)
+        self.index.add(subscription)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
-        self._subscriptions = [
-            s for s in self._subscriptions
-            if s.subscription_id != subscription.subscription_id
-        ]
+        self.index.remove(subscription.subscription_id)
 
     def subscriptions(self) -> List[Subscription]:
-        return list(self._subscriptions)
+        return self.index.subscriptions()
 
     def publish(self, event: Any) -> int:
         """Route one event; returns the number of deliveries."""
@@ -94,15 +98,14 @@ class LocalBroker:
         event_type = type_getter()
         self.published += 1
         deliveries = 0
-        for subscription in self._subscriptions:
-            result = self.checker.conforms(event_type, subscription.expected)
-            if not result.ok:
-                continue
-            view = wrap_with_result(event, subscription.expected, result, self.checker)
-            subscription.handler(view)
-            subscription.delivered += 1
-            deliveries += 1
-            self.delivered += 1
+        for entry, subscriptions in self.index.route(event_type):
+            # One view per (event, expected type), shared by the group.
+            view = entry.view(event, self.checker)
+            for subscription in subscriptions:
+                subscription.handler(view)
+                subscription.delivered += 1
+                deliveries += 1
+                self.delivered += 1
         return deliveries
 
 
@@ -119,10 +122,9 @@ class TpsBroker(InteropPeer):
     def __init__(self, peer_id: str, network: SimulatedNetwork, **kwargs):
         kwargs.setdefault("options", ConformanceOptions.pragmatic())
         super().__init__(peer_id, network, **kwargs)
-        self._remote_subscriptions: List[Subscription] = []
+        self.index = RoutingIndex(self.checker, self.runtime.registry)
         self._next_id = 1
         self.events_routed = 0
-        self._wire = BinarySerializer()
         self.on(KIND_TPS_SUBSCRIBE, self._handle_subscribe)
         self.on(KIND_TPS_UNSUBSCRIBE, self._handle_unsubscribe)
         self.on_receive(self._route)
@@ -130,26 +132,22 @@ class TpsBroker(InteropPeer):
     # -- subscription management ------------------------------------------
 
     def _handle_subscribe(self, payload: bytes, src: str) -> bytes:
-        request = self._wire.deserialize(payload)
+        request = self._wire_codec.deserialize(payload)
         description = deserialize_description(request["description"])
         expected = description.to_type_info()
         self.runtime.registry.register(expected)
         subscription = Subscription(expected, None, self._next_id, peer_id=src)
         self._next_id += 1
-        self._remote_subscriptions.append(subscription)
-        return self._wire.serialize({"id": subscription.subscription_id})
+        self.index.add(subscription)
+        return self._wire_codec.serialize({"id": subscription.subscription_id})
 
     def _handle_unsubscribe(self, payload: bytes, src: str) -> bytes:
-        request = self._wire.deserialize(payload)
-        sid = request["id"]
-        self._remote_subscriptions = [
-            s for s in self._remote_subscriptions
-            if not (s.subscription_id == sid and s.peer_id == src)
-        ]
-        return self._wire.serialize({"ok": True})
+        request = self._wire_codec.deserialize(payload)
+        self.index.remove(request["id"], peer_id=src)
+        return self._wire_codec.serialize({"ok": True})
 
     def remote_subscriptions(self) -> List[Subscription]:
-        return list(self._remote_subscriptions)
+        return self.index.subscriptions()
 
     # -- routing ------------------------------------------------------------
 
@@ -157,22 +155,24 @@ class TpsBroker(InteropPeer):
         if received.value is None:
             return
         event_type = received.value.type_info
-        for subscription in self._remote_subscriptions:
-            result = self.checker.conforms(event_type, subscription.expected)
-            if not result.ok:
-                continue
-            if subscription.peer_id == received.sender:
-                continue  # do not echo events back to their publisher
-            self.send(subscription.peer_id, received.value)
-            subscription.delivered += 1
-            self.events_routed += 1
+        payload: Optional[bytes] = None
+        for entry, subscriptions in self.index.route(event_type):
+            for subscription in subscriptions:
+                if subscription.peer_id == received.sender:
+                    continue  # do not echo events back to their publisher
+                if payload is None:
+                    # Encode once per event, not once per subscriber.
+                    payload = self.codec.encode(received.value)
+                self.send_payload(subscription.peer_id, payload)
+                subscription.delivered += 1
+                self.events_routed += 1
 
 
 class TpsSubscriberMixin:
     """Client-side helpers for talking to a :class:`TpsBroker`.
 
     Mix into (or use via) :class:`TpsPeer`; requires the
-    :class:`InteropPeer` surface.
+    :class:`InteropPeer` surface (notably its shared ``_wire_codec``).
     """
 
     def subscribe_remote(self, broker_id: str, expected: TypeInfo,
@@ -184,11 +184,11 @@ class TpsSubscriberMixin:
         response = self.request(
             broker_id,
             KIND_TPS_SUBSCRIBE,
-            BinarySerializer().serialize(
+            self._wire_codec.serialize(
                 {"description": serialize_description_bytes(description)}
             ),
         )
-        subscription_id = BinarySerializer().deserialize(response)["id"]
+        subscription_id = self._wire_codec.deserialize(response)["id"]
 
         def deliver(received: ReceivedObject) -> None:
             if received.accepted and received.interest is expected:
@@ -201,7 +201,7 @@ class TpsSubscriberMixin:
         self.request(
             broker_id,
             KIND_TPS_UNSUBSCRIBE,
-            BinarySerializer().serialize({"id": subscription_id}),
+            self._wire_codec.serialize({"id": subscription_id}),
         )
 
     def publish(self, broker_id: str, event: Any) -> None:

@@ -71,7 +71,14 @@ class ConformanceChecker:
         return self.conforms(provider, expected)
 
     def equivalent(self, left: TypeInfo, right: TypeInfo) -> bool:
-        """Structural equivalence (definition 3): identical structure."""
+        """Structural equivalence (definition 3): identical structure.
+
+        This is the routing fast path: same identity short-circuits, and
+        fingerprints are memoised per type, so the comparison degenerates
+        to a string equality — no rule engine, no resolver traffic.
+        """
+        if left is right or left.guid == right.guid:
+            return True
         return left.fingerprint() == right.fingerprint()
 
     def clear_cache(self) -> None:

@@ -34,6 +34,10 @@ class TypeRegistry:
     def __init__(self, include_builtins: bool = True):
         self._by_name: Dict[str, TypeInfo] = {}
         self._by_guid: Dict[Guid, TypeInfo] = {}
+        #: Monotonic mutation counter.  Caches keyed on registry contents
+        #: (e.g. the TPS routing index's verdict cache) compare this to
+        #: decide whether their entries may have gone stale.
+        self.version = 0
         if include_builtins:
             for info in BUILTINS.values():
                 self._register(info)
@@ -43,6 +47,7 @@ class TypeRegistry:
     def _register(self, info: TypeInfo) -> None:
         self._by_name[info.full_name] = info
         self._by_guid[info.guid] = info
+        self.version += 1
 
     def register(self, info: TypeInfo, replace: bool = False,
                  shadow: bool = False) -> TypeInfo:
@@ -60,6 +65,7 @@ class TypeRegistry:
                 return existing
             if shadow:
                 self._by_guid[info.guid] = info
+                self.version += 1
                 return info
             raise DuplicateTypeError(
                 "type %r already registered with a different identity"

@@ -66,6 +66,7 @@ class TypeInfo:
         self.language = language
         self.download_path = download_path
         self.element = element  # set for TypeKind.ARRAY only
+        self._fingerprint: Optional[str] = None
         self.guid = guid if guid is not None else type_guid(
             assembly_name, full_name, self.fingerprint()
         )
@@ -161,7 +162,17 @@ class TypeInfo:
         (definition 3) only when they are interchangeable without any
         translation — case-insensitive or renamed matches go through the
         full structural rules instead, producing a witness mapping.
+
+        Memoised: the structure is final once the identity is derived, so
+        the summary is computed at most once per type.
         """
+        cached = self._fingerprint
+        if cached is None:
+            cached = self._compute_fingerprint()
+            self._fingerprint = cached
+        return cached
+
+    def _compute_fingerprint(self) -> str:
         parts: List[str] = [self.kind.value, self.full_name]
         if self.element is not None:
             parts.append("element:%s" % self.element.full_name)

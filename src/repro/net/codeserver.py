@@ -24,6 +24,10 @@ from .peer import Peer, error_response
 KIND_GET_DESCRIPTION = "get_description"
 KIND_GET_ASSEMBLY = "get_assembly"
 
+#: Shared codec for plain-data (no object graph) wire forms; stateless
+#: across calls, so one instance serves every decode_assembly.
+_PLAIN_WIRE = BinarySerializer()
+
 
 class CodeRepository(Peer):
     """A :class:`Peer` hosting published assemblies."""
@@ -33,7 +37,7 @@ class CodeRepository(Peer):
         self._assemblies_by_path: Dict[str, Assembly] = {}
         self._descriptions_by_name: Dict[str, TypeDescription] = {}
         self._paths_by_type: Dict[str, str] = {}
-        self._codec = BinarySerializer()  # assembly wire form is plain data
+        self._codec = _PLAIN_WIRE  # assembly wire form is plain data
         self.on(KIND_GET_DESCRIPTION, self._serve_description)
         self.on(KIND_GET_ASSEMBLY, self._serve_assembly)
 
@@ -78,4 +82,4 @@ class CodeRepository(Peer):
 
     @staticmethod
     def decode_assembly(data: bytes) -> Assembly:
-        return Assembly.from_wire(BinarySerializer().deserialize(data))
+        return Assembly.from_wire(_PLAIN_WIRE.deserialize(data))

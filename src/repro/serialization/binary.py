@@ -1,11 +1,11 @@
-"""Compact binary object serializer.
+"""Compact binary object serializer (wire formats v1 and v2).
 
 One of the two payload formats of the hybrid scheme (Section 6.2: "The SOAP
 or binary serializations are used to serialize efficiently the whole object
 (including the private fields)").  The format is tag-prefixed with varint
 lengths, and supports shared references and cycles via back-references.
 
-Layout (one value)::
+v1 layout (magic ``RBS1``, one value)::
 
     NULL | TRUE | FALSE
     INT     zigzag varint
@@ -16,14 +16,31 @@ Layout (one value)::
     OBJ     16-byte type GUID + STR type name + varint field count
             + (STR name, value) pairs
     REF     varint back-reference index (objects only, in OBJ-emission order)
+
+v2 layout (magic ``RBS2``) is the same tag stream with two interning
+tables, built identically by encoder and decoder as the payload streams:
+
+- **strings** — every string position (STR values, dict keys, field names,
+  type names) is a varint ``code``: low bit 0 means a literal of byte
+  length ``code >> 1`` follows (and joins the table), low bit 1 means a
+  back-reference to string ``code >> 1``.
+- **types** — an OBJ starts with a varint ``code``: ``0`` means a literal
+  type follows (16-byte GUID + interned name, and the type joins the
+  table), low bit 1 means a back-reference to type ``code >> 1``.
+
+Repeated type names, field names and dict keys are therefore transmitted
+once; a homogeneous object list pays its 16-byte GUID and its field-name
+strings exactly once.  Decoding accepts both magics, so v1 payloads
+produced by older peers keep deserializing.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cts.identity import Guid
+from ..cts.types import TypeInfo
 from ..runtime.loader import Runtime
 from ..runtime.objects import CtsInstance
 from .errors import UnknownTypeError, UnsupportedValueError, WireFormatError
@@ -40,7 +57,9 @@ _T_OBJ = 0x08
 _T_REF = 0x09
 _T_BYTES = 0x0A
 
-_MAGIC = b"RBS1"  # "Repro Binary Serialization v1"
+_MAGIC_V1 = b"RBS1"  # "Repro Binary Serialization v1"
+_MAGIC_V2 = b"RBS2"  # v2: interned strings and types
+_MAGIC = _MAGIC_V1  # historical alias (seed name)
 
 
 def _write_varint(out: bytearray, value: int) -> None:
@@ -102,28 +121,73 @@ class _Reader:
             raise WireFormatError("invalid UTF-8 in string: %s" % exc)
 
 
+class _InternTables:
+    """Per-payload v2 interning state (encode side uses dicts, decode lists)."""
+
+    __slots__ = ("strings", "types")
+
+    def __init__(self):
+        self.strings: Dict[str, int] = {}
+        self.types: Dict[Guid, int] = {}
+
+
+class _DecodeTables:
+    __slots__ = ("strings", "types")
+
+    def __init__(self):
+        self.strings: List[str] = []
+        self.types: List[TypeInfo] = []
+
+
 class BinarySerializer:
     """Serializes object graphs to bytes and back.
+
+    Emits wire format ``version`` (2 by default; pass ``version=1`` to
+    produce payloads older peers can read) and decodes both versions by
+    magic.  The output buffer is reused across :meth:`serialize` calls, so
+    a long-lived serializer — one per peer — allocates no fresh buffer per
+    send.
 
     Deserialization needs a :class:`~repro.runtime.loader.Runtime` to
     materialise instances; hitting a type the runtime does not know raises
     :class:`UnknownTypeError` — the signal the optimistic transport protocol
-    reacts to.
+    reacts to.  Fields present on the wire but absent from the local type
+    (schema drift) are kept on the instance and recorded in
+    :attr:`last_schema_drift` as ``(type name, field name)`` pairs.
     """
 
     format_name = "binary"
 
-    def __init__(self, runtime: Optional[Runtime] = None):
+    def __init__(self, runtime: Optional[Runtime] = None, version: int = 2):
+        if version not in (1, 2):
+            raise ValueError("unsupported wire version %r" % (version,))
         self.runtime = runtime
+        self.version = version
+        self.last_schema_drift: List[Tuple[str, str]] = []
+        self._buf: Optional[bytearray] = bytearray()
 
     # -- encode ------------------------------------------------------------
 
     def serialize(self, value: Any) -> bytes:
-        out = bytearray(_MAGIC)
-        self._encode(out, value, {})
-        return bytes(out)
+        buf = self._buf
+        if buf is None:
+            buf = bytearray()  # reentrant call: fall back to a one-off buffer
+        else:
+            self._buf = None  # claim the shared buffer
+            del buf[:]
+        try:
+            if self.version == 1:
+                buf += _MAGIC_V1
+                self._encode(buf, value, {}, None)
+            else:
+                buf += _MAGIC_V2
+                self._encode(buf, value, {}, _InternTables())
+            return bytes(buf)
+        finally:
+            self._buf = buf
 
-    def _encode(self, out: bytearray, value: Any, seen: Dict[int, int]) -> None:
+    def _encode(self, out: bytearray, value: Any, seen: Dict[int, int],
+                tables: Optional[_InternTables]) -> None:
         if value is None:
             out.append(_T_NULL)
         elif value is True:
@@ -138,7 +202,7 @@ class BinarySerializer:
             out.extend(struct.pack(">d", value))
         elif isinstance(value, str):
             out.append(_T_STR)
-            self._encode_str(out, value)
+            self._encode_str(out, value, tables)
         elif isinstance(value, (bytes, bytearray)):
             out.append(_T_BYTES)
             _write_varint(out, len(value))
@@ -147,15 +211,15 @@ class BinarySerializer:
             out.append(_T_LIST)
             _write_varint(out, len(value))
             for item in value:
-                self._encode(out, item, seen)
+                self._encode(out, item, seen, tables)
         elif isinstance(value, dict):
             out.append(_T_DICT)
             _write_varint(out, len(value))
             for key, item in value.items():
                 if not isinstance(key, str):
                     raise UnsupportedValueError("dict keys must be strings")
-                self._encode_str(out, key)
-                self._encode(out, item, seen)
+                self._encode_str(out, key, tables)
+                self._encode(out, item, seen, tables)
         elif isinstance(value, CtsInstance):
             marker = id(value)
             if marker in seen:
@@ -164,20 +228,42 @@ class BinarySerializer:
                 return
             seen[marker] = len(seen)
             out.append(_T_OBJ)
-            out.extend(value.type_info.guid.bytes)
-            self._encode_str(out, value.type_info.full_name)
+            info = value.type_info
+            if tables is None:
+                out.extend(info.guid.bytes)
+                self._encode_str(out, info.full_name, None)
+            else:
+                type_id = tables.types.get(info.guid)
+                if type_id is not None:
+                    _write_varint(out, (type_id << 1) | 1)
+                else:
+                    tables.types[info.guid] = len(tables.types)
+                    out.append(0x00)  # literal-type marker
+                    out.extend(info.guid.bytes)
+                    self._encode_str(out, info.full_name, tables)
             fields = value.fields
             _write_varint(out, len(fields))
             for name, item in fields.items():
-                self._encode_str(out, name)
-                self._encode(out, item, seen)
+                self._encode_str(out, name, tables)
+                self._encode(out, item, seen, tables)
         else:
             raise UnsupportedValueError(
                 "cannot binary-serialize value of type %s" % type(value).__name__
             )
 
     @staticmethod
-    def _encode_str(out: bytearray, text: str) -> None:
+    def _encode_str(out: bytearray, text: str,
+                    tables: Optional[_InternTables]) -> None:
+        if tables is not None:
+            index = tables.strings.get(text)
+            if index is not None:
+                _write_varint(out, (index << 1) | 1)
+                return
+            tables.strings[text] = len(tables.strings)
+            data = text.encode("utf-8")
+            _write_varint(out, len(data) << 1)
+            out.extend(data)
+            return
         data = text.encode("utf-8")
         _write_varint(out, len(data))
         out.extend(data)
@@ -185,17 +271,23 @@ class BinarySerializer:
     # -- decode ------------------------------------------------------------
 
     def deserialize(self, data: bytes) -> Any:
-        if not data.startswith(_MAGIC):
+        if data.startswith(_MAGIC_V2):
+            tables: Optional[_DecodeTables] = _DecodeTables()
+        elif data.startswith(_MAGIC_V1):
+            tables = None
+        else:
             raise WireFormatError("bad magic: not a binary payload")
+        self.last_schema_drift = []
         reader = _Reader(data)
-        reader.pos = len(_MAGIC)
+        reader.pos = len(_MAGIC_V1)
         objects: List[CtsInstance] = []
-        value = self._decode(reader, objects)
+        value = self._decode(reader, objects, tables)
         if reader.pos != len(data):
             raise WireFormatError("trailing bytes after payload")
         return value
 
-    def _decode(self, reader: _Reader, objects: List[CtsInstance]) -> Any:
+    def _decode(self, reader: _Reader, objects: List[CtsInstance],
+                tables: Optional[_DecodeTables]) -> Any:
         tag = reader.read_byte()
         if tag == _T_NULL:
             return None
@@ -208,21 +300,21 @@ class BinarySerializer:
         if tag == _T_FLOAT:
             return struct.unpack(">d", reader.read(8))[0]
         if tag == _T_STR:
-            return reader.read_str()
+            return self._read_str(reader, tables)
         if tag == _T_BYTES:
             return reader.read(reader.read_varint())
         if tag == _T_LIST:
             count = reader.read_varint()
-            return [self._decode(reader, objects) for _ in range(count)]
+            return [self._decode(reader, objects, tables) for _ in range(count)]
         if tag == _T_DICT:
             count = reader.read_varint()
             out: Dict[str, Any] = {}
             for _ in range(count):
-                key = reader.read_str()
-                out[key] = self._decode(reader, objects)
+                key = self._read_str(reader, tables)
+                out[key] = self._decode(reader, objects, tables)
             return out
         if tag == _T_OBJ:
-            return self._decode_object(reader, objects)
+            return self._decode_object(reader, objects, tables)
         if tag == _T_REF:
             index = reader.read_varint()
             if index >= len(objects):
@@ -230,13 +322,64 @@ class BinarySerializer:
             return objects[index]
         raise WireFormatError("unknown tag 0x%02x" % tag)
 
-    def _decode_object(self, reader: _Reader, objects: List[CtsInstance]) -> CtsInstance:
+    @staticmethod
+    def _read_str(reader: _Reader, tables: Optional[_DecodeTables]) -> str:
+        if tables is None:
+            return reader.read_str()
+        code = reader.read_varint()
+        if code & 1:
+            index = code >> 1
+            if index >= len(tables.strings):
+                raise WireFormatError("dangling string reference %d" % index)
+            return tables.strings[index]
+        try:
+            text = reader.read(code >> 1).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError("invalid UTF-8 in string: %s" % exc)
+        tables.strings.append(text)
+        return text
+
+    def _decode_object(self, reader: _Reader, objects: List[CtsInstance],
+                       tables: Optional[_DecodeTables]) -> CtsInstance:
         if self.runtime is None:
             raise WireFormatError(
                 "payload contains objects but no runtime was provided"
             )
-        guid = Guid(reader.read(16))
-        type_name = reader.read_str()
+        if tables is None:
+            guid = Guid(reader.read(16))
+            type_name = reader.read_str()
+            info = self._lookup_type(guid, type_name)
+        else:
+            code = reader.read_varint()
+            if code & 1:
+                index = code >> 1
+                if index >= len(tables.types):
+                    raise WireFormatError("dangling type reference %d" % index)
+                info = tables.types[index]
+            elif code == 0:
+                guid = Guid(reader.read(16))
+                type_name = self._read_str(reader, tables)
+                info = self._lookup_type(guid, type_name)
+                tables.types.append(info)
+            else:
+                raise WireFormatError("malformed type literal marker %d" % code)
+        # Allocate first so cyclic back-references resolve.
+        instance = self.runtime.raw_instance(info, {})
+        objects.append(instance)
+        fields = instance.fields
+        count = reader.read_varint()
+        for _ in range(count):
+            name = self._read_str(reader, tables)
+            value = self._decode(reader, objects, tables)
+            if name not in fields:
+                # Field present on the wire but absent locally: keep it
+                # (conformance mapping may still address it) and record the
+                # drift so callers can observe it.
+                self.last_schema_drift.append((info.full_name, name))
+            fields[name] = value
+        return instance
+
+    def _lookup_type(self, guid: Guid, type_name: str) -> TypeInfo:
         info = self.runtime.registry.get_by_guid(guid)
         if info is None:
             # Name fallback only when identities agree — a same-named type
@@ -246,17 +389,4 @@ class BinarySerializer:
                 info = candidate
         if info is None:
             raise UnknownTypeError(type_name, str(guid))
-        # Allocate first so cyclic back-references resolve.
-        instance = self.runtime.raw_instance(info, {})
-        objects.append(instance)
-        count = reader.read_varint()
-        for _ in range(count):
-            name = reader.read_str()
-            value = self._decode(reader, objects)
-            if name in instance.fields:
-                instance.fields[name] = value
-            else:
-                # Field present on the wire but absent locally (schema drift):
-                # keep it anyway; conformance mapping may still address it.
-                instance.fields[name] = value
-        return instance
+        return info

@@ -130,6 +130,9 @@ class InteropPeer(Peer):
         self.code_source = code_source  # fallback repository peer id
         self._hosted: Dict[str, Assembly] = {}
         self._receive_callbacks: List[Callable[[ReceivedObject], None]] = []
+        #: Shared wire serializer for assembly transfer and control
+        #: messages (e.g. TPS subscribe/unsubscribe).  Long-lived and
+        #: buffer-reusing: no request path allocates a fresh serializer.
         self._wire_codec = BinarySerializer()
         self.on(KIND_OBJECT, self._handle_object)
         self.on(KIND_GET_DESCRIPTION, self._serve_description)
@@ -164,7 +167,12 @@ class InteropPeer(Peer):
     def send(self, dst: str, value: Any) -> None:
         """Optimistic send: the envelope carries only type names + download
         paths + the serialized object; no description, no code."""
-        payload = self.codec.encode(value)
+        self.send_payload(dst, self.codec.encode(value))
+
+    def send_payload(self, dst: str, payload: bytes) -> None:
+        """Send an already-encoded envelope — the fan-out fast path: a
+        broker forwarding one event to many subscribers encodes once and
+        posts the same payload to each."""
         self.stats.objects_sent += 1
         self.post(dst, KIND_OBJECT, payload, retries=self.max_retries)
 
