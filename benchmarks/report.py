@@ -82,10 +82,16 @@ def print_report(by_experiment, out=sys.stdout) -> None:
             extras.get("round_trips", "-"),
             row["mean_ms"],
         ))
+        by_kind = extras.get("by_kind_messages") or {}
+        kind_bytes = extras.get("by_kind_bytes") or {}
+        for kind in sorted(by_kind):
+            out.write("      %-20s %6d msgs %10s bytes\n" % (
+                kind, by_kind[kind], format(kind_bytes.get(kind, 0), ","),
+            ))
 
     out.write("\nScaling / ablations:\n")
     for experiment in sorted(by_experiment):
-        if experiment.startswith(("scaling-", "ablation-", "fig3-")):
+        if experiment.startswith(("scaling-", "ablation-", "fig3-", "mesh-")):
             row = by_experiment[experiment]
             extra = ""
             if row["extras"]:

@@ -1,0 +1,187 @@
+"""Mesh scaling — sharded, batched delivery vs the seed single broker.
+
+The ROADMAP's north star is event dissemination that scales past one
+broker.  The seed :class:`TpsBroker` posts one synchronous message per
+matching subscription per event; the :class:`BrokerMesh` shards the
+broker, forwards between shards only on subscription-summary match, and
+drains per-destination batches (one ``RBS2B`` frame per peer per round).
+
+Acceptance criteria measured here, at 1000 subscriptions spread over 4
+shards (250 subscriber peers x 4 subscriptions each):
+
+- batched mesh delivery sends **>=5x fewer network messages** and
+  **>=2x fewer bytes** than the seed one-post-per-subscriber path for
+  the same delivered-event count;
+- a publish matching no remote subscriber forwards to **zero** shards.
+"""
+
+import pytest
+
+from repro.apps.tps import BrokerMesh, TpsBroker, TpsPeer
+from repro.cts.assembly import Assembly
+from repro.fixtures import (
+    account_csharp,
+    person_assembly_pair,
+    person_csharp,
+    person_java,
+    person_vb,
+)
+from repro.net.network import SimulatedNetwork
+
+N_PEERS = 250
+SUBS_PER_PEER = 4
+N_SHARDS = 4
+N_EVENTS = 8
+
+#: Cycled expected-type factories: rename match, case-policy match,
+#: identical-structure match (same mix as the routing benchmark).
+EXPECTED_FACTORIES = (person_java, person_vb, person_csharp)
+
+
+def subscribe_all(subscribe, events):
+    """1000 subscriptions: every peer subscribes SUBS_PER_PEER times."""
+    for index in range(N_PEERS):
+        peer_events = events.setdefault("sub%03d" % index, [])
+        for s in range(SUBS_PER_PEER):
+            subscribe(index, EXPECTED_FACTORIES[(index + s) % 3](),
+                      peer_events.append)
+
+
+def build_seed_world():
+    """The seed path: one broker, one synchronous post per subscription."""
+    network = SimulatedNetwork()
+    broker = TpsBroker("broker", network)
+    publisher = TpsPeer("publisher", network)
+    asm_a, _ = person_assembly_pair()
+    publisher.host_assembly(asm_a)
+    events = {}
+    peers = [TpsPeer("sub%03d" % i, network) for i in range(N_PEERS)]
+
+    def subscribe(index, expected, handler):
+        peers[index].subscribe_remote("broker", expected, handler)
+
+    subscribe_all(subscribe, events)
+    return network, broker, publisher, events
+
+
+def build_mesh_world():
+    network = SimulatedNetwork()
+    mesh = BrokerMesh(network, shard_count=N_SHARDS)
+    publisher = TpsPeer("publisher", network)
+    asm_a, _ = person_assembly_pair()
+    publisher.host_assembly(asm_a)
+    events = {}
+    peers = [TpsPeer("sub%03d" % i, network) for i in range(N_PEERS)]
+
+    def subscribe(index, expected, handler):
+        peer = peers[index]
+        peer.subscribe_remote(mesh.shard_for(peer.peer_id), expected, handler)
+
+    subscribe_all(subscribe, events)
+    return network, mesh, publisher, events
+
+
+def publish_seed(network, broker, publisher, n_events):
+    for index in range(n_events):
+        publisher.publish("broker",
+                          publisher.new_instance("demo.a.Person", ["e%d" % index]))
+
+
+def publish_mesh(network, mesh, publisher, n_events):
+    home = mesh.shard_for("publisher")
+    for index in range(n_events):
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["e%d" % index]))
+    mesh.run_until_idle()
+
+
+class TestAcceptance:
+    def test_mesh_5x_fewer_messages_2x_fewer_bytes(self):
+        """Headline criterion: same delivered-event count, >=5x fewer
+        messages, >=2x fewer bytes (delivery traffic only — both worlds
+        warm up one event first so code/description fetches are paid)."""
+        seed_net, broker, seed_pub, _ = build_seed_world()
+        publish_seed(seed_net, broker, seed_pub, 1)  # warm the code paths
+        seed_net.reset_accounting()
+        publish_seed(seed_net, broker, seed_pub, N_EVENTS)
+        seed_msgs = seed_net.stats.messages
+        seed_bytes = seed_net.stats.bytes_sent
+        seed_delivered = broker.events_routed - N_PEERS * SUBS_PER_PEER
+
+        mesh_net, mesh, mesh_pub, _ = build_mesh_world()
+        publish_mesh(mesh_net, mesh, mesh_pub, 1)
+        mesh_net.reset_accounting()
+        routed_before = mesh.events_routed()
+        publish_mesh(mesh_net, mesh, mesh_pub, N_EVENTS)
+        mesh_msgs = mesh_net.stats.messages
+        mesh_bytes = mesh_net.stats.bytes_sent
+        mesh_delivered = mesh.events_routed() - routed_before
+
+        assert seed_delivered == mesh_delivered == N_EVENTS * N_PEERS * SUBS_PER_PEER
+        assert mesh_msgs * 5 <= seed_msgs, (
+            "mesh sent %d messages vs seed %d (< 5x reduction)"
+            % (mesh_msgs, seed_msgs)
+        )
+        assert mesh_bytes * 2 <= seed_bytes, (
+            "mesh sent %d bytes vs seed %d (< 2x reduction)"
+            % (mesh_bytes, seed_bytes)
+        )
+
+    def test_subscribers_spread_over_four_shards(self):
+        network, mesh, publisher, _ = build_mesh_world()
+        hosting = {shard.peer_id for shard in mesh.shards
+                   if len(shard.remote_subscriptions())}
+        assert len(hosting) == N_SHARDS
+        assert sum(len(shard.remote_subscriptions()) for shard in mesh.shards) \
+            == N_PEERS * SUBS_PER_PEER
+
+    def test_no_match_publish_forwards_to_zero_shards(self):
+        network, mesh, publisher, events = build_mesh_world()
+        publisher.host_assembly(Assembly("bank", [account_csharp()]))
+        network.reset_accounting()
+        home = mesh.shard_for("publisher")
+        publisher.publish_async(
+            home, publisher.new_instance("demo.bank.Account", ["o", 1]))
+        mesh.run_until_idle()
+        assert network.stats.by_kind_messages.get("mesh_forward", 0) == 0
+        assert network.stats.by_kind_messages.get("object_batch", 0) == 0
+        assert sum(len(v) for v in events.values()) == 0
+
+
+class TestMeshThroughput:
+    def test_warm_mesh_publish_drain(self, benchmark):
+        """Steady-state cost of one publish + full mesh drain at 1000
+        subscriptions over 4 shards."""
+        network, mesh, publisher, events = build_mesh_world()
+        home = mesh.shard_for("publisher")
+        publish_mesh(network, mesh, publisher, 1)  # warm
+
+        def round_trip():
+            publisher.publish_async(
+                home, publisher.new_instance("demo.a.Person", ["w"]))
+            return mesh.run_until_idle()
+
+        benchmark.pedantic(round_trip, rounds=3, iterations=1, warmup_rounds=1)
+        network_stats = network.stats.snapshot()
+        benchmark.extra_info["experiment"] = "mesh-scaling-warm-1k-4shards"
+        benchmark.extra_info["subscriptions"] = N_PEERS * SUBS_PER_PEER
+        benchmark.extra_info["shards"] = N_SHARDS
+        benchmark.extra_info["by_kind_messages"] = network_stats["by_kind_messages"]
+        benchmark.extra_info["events_routed"] = mesh.events_routed()
+
+    def test_batch_economy_reported(self, benchmark):
+        """Message/byte economy of the batched path, recorded for
+        EXPERIMENTS.md (the assertion itself lives in TestAcceptance)."""
+        def run():
+            network, mesh, publisher, _ = build_mesh_world()
+            publish_mesh(network, mesh, publisher, 1)
+            network.reset_accounting()
+            publish_mesh(network, mesh, publisher, N_EVENTS)
+            return network
+
+        network = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["experiment"] = "mesh-scaling-batched-n%d" % N_EVENTS
+        benchmark.extra_info["messages"] = network.stats.messages
+        benchmark.extra_info["bytes"] = network.stats.bytes_sent
+        benchmark.extra_info["by_kind_messages"] = dict(
+            network.stats.by_kind_messages)

@@ -43,9 +43,12 @@ class TestProtocolCost:
             return network
 
         network = benchmark(run)
+        snapshot = network.stats.snapshot()
         benchmark.extra_info["experiment"] = "fig1-optimistic-n%d" % n_objects
         benchmark.extra_info["bytes"] = network.stats.bytes_sent
         benchmark.extra_info["round_trips"] = network.stats.round_trips
+        benchmark.extra_info["by_kind_messages"] = snapshot["by_kind_messages"]
+        benchmark.extra_info["by_kind_bytes"] = snapshot["by_kind_bytes"]
 
     @pytest.mark.parametrize("n_objects", [1, 10, 50])
     def test_eager_send_stream(self, benchmark, n_objects):
@@ -55,9 +58,12 @@ class TestProtocolCost:
             return network
 
         network = benchmark(run)
+        snapshot = network.stats.snapshot()
         benchmark.extra_info["experiment"] = "fig1-eager-n%d" % n_objects
         benchmark.extra_info["bytes"] = network.stats.bytes_sent
         benchmark.extra_info["round_trips"] = network.stats.round_trips
+        benchmark.extra_info["by_kind_messages"] = snapshot["by_kind_messages"]
+        benchmark.extra_info["by_kind_bytes"] = snapshot["by_kind_bytes"]
 
 
 class TestProtocolShape:

@@ -8,16 +8,28 @@ from .broker import (
     TpsBroker,
     TpsPeer,
 )
+from .mesh import (
+    BrokerMesh,
+    KIND_MESH_FORWARD,
+    KIND_MESH_SUMMARY,
+    MeshShard,
+    rendezvous_shard,
+)
 from .routing import RouteEntry, RoutingIndex, RoutingStats
 
 __all__ = [
+    "BrokerMesh",
+    "KIND_MESH_FORWARD",
+    "KIND_MESH_SUMMARY",
     "KIND_TPS_SUBSCRIBE",
     "KIND_TPS_UNSUBSCRIBE",
     "LocalBroker",
+    "MeshShard",
     "RouteEntry",
     "RoutingIndex",
     "RoutingStats",
     "Subscription",
     "TpsBroker",
     "TpsPeer",
+    "rendezvous_shard",
 ]

@@ -23,6 +23,10 @@ subscriptions are grouped by expected-type identity and each
 (provider, expected) pair pays conformance + proxy construction once, so
 the per-event hot path is a handful of dict lookups regardless of how
 many subscribers share a type.
+
+:class:`TpsBroker` delivers one synchronous post per matching
+subscription — the honest single-broker baseline.  For sharded, batched,
+queue-driven delivery see :mod:`repro.apps.tps.mesh`.
 """
 
 from __future__ import annotations
@@ -90,6 +94,19 @@ class LocalBroker:
     def subscriptions(self) -> List[Subscription]:
         return self.index.subscriptions()
 
+    def stats(self) -> dict:
+        """Observability snapshot: per-subscription delivery counts plus
+        the routing cache's hit/miss breakdown."""
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "subscriptions": {
+                subscription.subscription_id: subscription.delivered
+                for subscription in self.index.subscriptions()
+            },
+            "routing": self.index.stats.as_dict(),
+        }
+
     def publish(self, event: Any) -> int:
         """Route one event; returns the number of deliveries."""
         type_getter = getattr(event, "_repro_type", None)
@@ -139,15 +156,45 @@ class TpsBroker(InteropPeer):
         subscription = Subscription(expected, None, self._next_id, peer_id=src)
         self._next_id += 1
         self.index.add(subscription)
+        self._on_subscribed(subscription, request)
         return self._wire_codec.serialize({"id": subscription.subscription_id})
 
     def _handle_unsubscribe(self, payload: bytes, src: str) -> bytes:
         request = self._wire_codec.deserialize(payload)
-        self.index.remove(request["id"], peer_id=src)
+        subscription = self.index.get(request["id"])
+        if self.index.remove(request["id"], peer_id=src) and subscription is not None:
+            self._on_unsubscribed(subscription)
         return self._wire_codec.serialize({"ok": True})
+
+    def _on_subscribed(self, subscription: Subscription, request: dict) -> None:
+        """Hook for subclasses (the mesh shard gossips summaries here);
+        ``request`` is the decoded subscribe message, description included."""
+
+    def _on_unsubscribed(self, subscription: Subscription) -> None:
+        """Hook for subclasses, called after a successful removal."""
 
     def remote_subscriptions(self) -> List[Subscription]:
         return self.index.subscriptions()
+
+    def stats(self) -> dict:
+        """Observability snapshot: routed-event and per-subscription
+        delivery counts, routing cache hit/miss, plus whatever counters a
+        subclass contributes via :meth:`_extra_stats` (the mesh shard adds
+        its batch/forward counters)."""
+        snapshot = {
+            "events_routed": self.events_routed,
+            "subscriptions": {
+                subscription.subscription_id: subscription.delivered
+                for subscription in self.index.subscriptions()
+            },
+            "routing": self.index.stats.as_dict(),
+            "transport": self.transport_stats.as_dict(),
+        }
+        snapshot.update(self._extra_stats())
+        return snapshot
+
+    def _extra_stats(self) -> dict:
+        return {}
 
     # -- routing ------------------------------------------------------------
 
@@ -187,6 +234,7 @@ class TpsSubscriberMixin:
             self._wire_codec.serialize(
                 {"description": serialize_description_bytes(description)}
             ),
+            retries=self.max_retries,
         )
         subscription_id = self._wire_codec.deserialize(response)["id"]
 
@@ -202,10 +250,17 @@ class TpsSubscriberMixin:
             broker_id,
             KIND_TPS_UNSUBSCRIBE,
             self._wire_codec.serialize({"id": subscription_id}),
+            retries=self.max_retries,
         )
 
     def publish(self, broker_id: str, event: Any) -> None:
         self.send(broker_id, event)
+
+    def publish_async(self, broker_id: str, event: Any) -> None:
+        """Queue-driven publish: the event is enqueued on the network and
+        the broker routes it when the scheduler drains — the broker's (and
+        every subscriber's) code never runs inside this call stack."""
+        self.send_async(broker_id, event)
 
 
 class TpsPeer(TpsSubscriberMixin, InteropPeer):

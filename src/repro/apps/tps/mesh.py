@@ -1,0 +1,335 @@
+"""Sharded broker mesh with batched, queue-driven event delivery.
+
+The paper's TPS vision (Section 8) needs event dissemination that scales
+past one broker.  The seed :class:`~repro.apps.tps.broker.TpsBroker` is a
+single peer pushing one synchronous network post per subscriber per event
+— every publish costs O(subscribers) messages and re-sends the full
+envelope each time.  The mesh refactors that data plane:
+
+- **Sharding** — N broker shards on one fabric; each publisher and
+  subscriber has a *home shard* chosen by rendezvous (highest-random-
+  weight) hashing, so placement is deterministic, uniform, and stable
+  when shards are added or removed.
+- **Summary gossip** — shards exchange compact subscription summaries
+  (the expected type's description, refcounted by GUID).  A publish is
+  forwarded only to shards hosting at least one *conforming* subscriber:
+  each shard keeps a second :class:`~repro.apps.tps.routing.RoutingIndex`
+  over the summaries, so the forward decision reuses the same cached
+  conformance verdicts as local routing.  An event nobody else wants
+  crosses zero shard boundaries.
+- **Batched, queue-driven delivery** — routing an event *buffers* it per
+  destination; nothing is sent inside the publisher's call stack.
+  Draining the mesh encodes, per destination, ONE batch envelope (a
+  shared-intern-table ``RBS2B`` frame) and enqueues ONE network message,
+  however many events and matching subscriptions it covers.  Identical
+  batches bound for different peers are encoded once and reuse the same
+  bytes.
+
+Control-plane traffic (subscribe/unsubscribe, summary gossip, the
+description/code fetches of Figure 1) stays on the synchronous request
+path, exactly as in the paper; only the one-way event fan-out is queued.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...describe.xml_codec import deserialize_description
+from ...net.network import (
+    MessageDropped,
+    NetworkError,
+    SimulatedNetwork,
+    UnknownPeerError,
+)
+from ...transport.protocol import ReceivedObject
+from .broker import Subscription, TpsBroker
+from .routing import RoutingIndex
+
+KIND_MESH_FORWARD = "mesh_forward"
+KIND_MESH_SUMMARY = "mesh_summary"
+
+
+def rendezvous_shard(key: str, shard_ids: Sequence[str]) -> str:
+    """Highest-random-weight (rendezvous) hash: deterministic across
+    processes (no ``PYTHONHASHSEED`` dependence), uniform, and minimally
+    disruptive — removing a shard only moves the keys it owned."""
+    if not shard_ids:
+        raise ValueError("no shards to hash onto")
+    best: Optional[str] = None
+    best_score = -1
+    for shard in shard_ids:
+        digest = hashlib.blake2b(
+            ("%s|%s" % (shard, key)).encode("utf-8"), digest_size=8
+        ).digest()
+        score = int.from_bytes(digest, "big")
+        if score > best_score or (score == best_score and
+                                  (best is None or shard < best)):
+            best, best_score = shard, score
+    assert best is not None
+    return best
+
+
+class MeshShard(TpsBroker):
+    """One broker shard: routes locally, forwards by summary, sends in
+    batches.
+
+    Publishes (``object`` messages from publishers) are routed into
+    per-destination buffers instead of being posted inline; forwarded
+    events arriving from sibling shards (``mesh_forward``) are routed the
+    same way but never re-forwarded, so an event crosses at most one
+    shard boundary and gossip loops are impossible.
+    """
+
+    def __init__(self, peer_id: str, network: SimulatedNetwork, **kwargs):
+        super().__init__(peer_id, network, **kwargs)
+        self._siblings: List[str] = []
+        #: Summaries of sibling shards' subscriptions: one refcounted
+        #: entry per (shard, expected-type GUID), indexed for routing.
+        self.summary_index = RoutingIndex(self.checker, self.runtime.registry)
+        self._summaries: Dict[Tuple[str, str], List[Any]] = {}  # key -> [sub, refs]
+        self._next_summary_id = 1
+        #: Buffered deliveries: destination peer -> events, in arrival order.
+        self._outgoing: Dict[str, List[Any]] = {}
+        #: Buffered forwards: (sibling shard, origin publisher) -> events.
+        self._forward_out: Dict[Tuple[str, str], List[Any]] = {}
+        self.batch_events = 0
+        self.forwards_sent = 0
+        self.forward_events = 0
+        self.forwards_received = 0
+        self.gossip_failures = 0
+        self.on(KIND_MESH_FORWARD, self._handle_forward)
+        self.on(KIND_MESH_SUMMARY, self._handle_summary)
+
+    def set_siblings(self, shard_ids: Sequence[str]) -> None:
+        self._siblings = [sid for sid in shard_ids if sid != self.peer_id]
+
+    # -- subscription management + gossip ---------------------------------
+
+    def _on_subscribed(self, subscription: Subscription, request: dict) -> None:
+        self._gossip({
+            "op": "add",
+            "guid": str(subscription.expected.guid),
+            "description": request["description"],
+        })
+
+    def _on_unsubscribed(self, subscription: Subscription) -> None:
+        self._gossip({
+            "op": "remove",
+            "guid": str(subscription.expected.guid),
+        })
+
+    def _gossip(self, message: Dict[str, Any]) -> None:
+        """Tell every sibling shard about a subscription change.  Gossip
+        rides the synchronous control plane; a loss only widens (add) or
+        narrows (remove) that sibling's forwarding filter, so failures are
+        counted, not fatal."""
+        if not self._siblings:
+            return
+        payload = self._wire_codec.serialize(message)
+        for shard_id in self._siblings:
+            try:
+                self.request(shard_id, KIND_MESH_SUMMARY, payload,
+                             retries=self.max_retries)
+            except (MessageDropped, NetworkError):
+                self.gossip_failures += 1
+
+    def _handle_summary(self, payload: bytes, src: str) -> bytes:
+        message = self._wire_codec.deserialize(payload)
+        key = (src, message["guid"])
+        entry = self._summaries.get(key)
+        if message["op"] == "add":
+            if entry is not None:
+                entry[1] += 1
+            else:
+                expected = deserialize_description(
+                    message["description"]).to_type_info()
+                self.runtime.registry.register(expected)
+                summary = Subscription(expected, None, self._next_summary_id,
+                                       peer_id=src)
+                self._next_summary_id += 1
+                self.summary_index.add(summary)
+                self._summaries[key] = [summary, 1]
+        elif entry is not None:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self.summary_index.remove(entry[0].subscription_id, peer_id=src)
+                del self._summaries[key]
+        return self._wire_codec.serialize({"ok": True})
+
+    def summaries(self) -> List[Subscription]:
+        """The sibling-subscription summaries this shard currently holds."""
+        return self.summary_index.subscriptions()
+
+    # -- routing (buffered) ------------------------------------------------
+
+    def _route(self, received: ReceivedObject) -> None:
+        if received.value is None:
+            return
+        self._buffer_event(received.value, received.sender, forward=True)
+
+    def _buffer_event(self, value: Any, origin: str, forward: bool) -> None:
+        event_type = value.type_info
+        for entry, subscriptions in self.index.route(event_type):
+            for subscription in subscriptions:
+                if subscription.peer_id == origin:
+                    continue  # do not echo events back to their publisher
+                self._outgoing.setdefault(subscription.peer_id, []).append(value)
+                subscription.delivered += 1
+                self.events_routed += 1
+        if not forward:
+            return
+        targets = set()
+        for entry, summaries in self.summary_index.route(event_type):
+            for summary in summaries:
+                targets.add(summary.peer_id)
+        for shard_id in sorted(targets):
+            self._forward_out.setdefault((shard_id, origin), []).append(value)
+
+    def _handle_forward(self, payload: bytes, src: str) -> bytes:
+        envelope = self.codec.parse(payload)
+        values = self._materialize_batch(envelope, src)
+        origin = envelope.origin or src
+        self.forwards_received += 1
+        for value in values:
+            self._buffer_event(value, origin, forward=False)
+        return b"OK"
+
+    # -- draining ----------------------------------------------------------
+
+    def pending_deliveries(self) -> int:
+        return (sum(len(events) for events in self._outgoing.values())
+                + sum(len(events) for events in self._forward_out.values()))
+
+    def flush_delivery(self) -> int:
+        """Encode and enqueue one batch message per buffered destination.
+
+        Returns the number of network messages enqueued.  Identical event
+        lists bound for different peers share one encoding (and therefore
+        the same payload bytes).  The messages travel when the network
+        scheduler drains — delivery stays out of every publisher's stack.
+        """
+        encoded: Dict[Tuple[Optional[str], Tuple[int, ...]], bytes] = {}
+
+        def encode(values: List[Any], origin: Optional[str]) -> bytes:
+            key = (origin, tuple(id(value) for value in values))
+            payload = encoded.get(key)
+            if payload is None:
+                payload = self.codec.encode_batch(values, origin=origin)
+                encoded[key] = payload
+            return payload
+
+        sent = 0
+        for dst, values in self._outgoing.items():
+            try:
+                self.send_payload_batch(dst, encode(values, None), len(values))
+            except UnknownPeerError:
+                self.network.stats.record_drop()  # subscriber left the fabric
+                continue
+            self.batch_events += len(values)
+            sent += 1
+        self._outgoing.clear()
+        for (shard_id, origin), values in self._forward_out.items():
+            try:
+                self.post_async(shard_id, KIND_MESH_FORWARD,
+                                encode(values, origin))
+            except UnknownPeerError:
+                self.network.stats.record_drop()
+                continue
+            self.forwards_sent += 1
+            self.forward_events += len(values)
+            sent += 1
+        self._forward_out.clear()
+        return sent
+
+    # -- observability -----------------------------------------------------
+
+    def _extra_stats(self) -> dict:
+        return {
+            "batches_sent": self.transport_stats.batches_sent,
+            "batch_events": self.batch_events,
+            "forwards_sent": self.forwards_sent,
+            "forward_events": self.forward_events,
+            "forwards_received": self.forwards_received,
+            "gossip_failures": self.gossip_failures,
+            "summary_types": len(self._summaries),
+            "pending_deliveries": self.pending_deliveries(),
+        }
+
+
+class BrokerMesh:
+    """N broker shards cooperating as one logical TPS broker.
+
+    Peers pick their home shard with :meth:`shard_for` (rendezvous hash
+    of their peer id), subscribe there, and publish there; the mesh
+    forwards between shards only when a conforming subscriber lives
+    remotely.  Call :meth:`run_until_idle` to drain queued publishes,
+    forwards and deliveries to quiescence.
+    """
+
+    def __init__(self, network: SimulatedNetwork, shard_count: int = 4,
+                 name: str = "mesh", **broker_kwargs):
+        if shard_count < 1:
+            raise ValueError("a mesh needs at least one shard")
+        self.network = network
+        self.shards: List[MeshShard] = [
+            MeshShard("%s-shard%d" % (name, index), network, **broker_kwargs)
+            for index in range(shard_count)
+        ]
+        shard_ids = [shard.peer_id for shard in self.shards]
+        for shard in self.shards:
+            shard.set_siblings(shard_ids)
+        self._by_id = {shard.peer_id: shard for shard in self.shards}
+
+    @property
+    def shard_ids(self) -> List[str]:
+        return [shard.peer_id for shard in self.shards]
+
+    def shard_for(self, peer_id: str) -> str:
+        """The home shard id for a peer (deterministic rendezvous hash)."""
+        return rendezvous_shard(peer_id, self.shard_ids)
+
+    def home(self, peer_id: str) -> MeshShard:
+        return self._by_id[self.shard_for(peer_id)]
+
+    # -- draining ----------------------------------------------------------
+
+    def flush(self) -> int:
+        """One mesh round: drain queued network messages, then buffered
+        shard deliveries.  Returns messages processed + enqueued."""
+        progressed = self.network.flush()
+        for shard in self.shards:
+            progressed += shard.flush_delivery()
+        return progressed
+
+    def run_until_idle(self, max_rounds: int = 10_000) -> int:
+        """Pump rounds until no queued message and no buffered event
+        remain; returns the total activity count."""
+        total = 0
+        for _ in range(max_rounds):
+            progressed = self.flush()
+            total += progressed
+            if not progressed and not self.network.pending():
+                return total
+        raise NetworkError("mesh did not go idle in %d rounds" % max_rounds)
+
+    # -- observability -----------------------------------------------------
+
+    def events_routed(self) -> int:
+        return sum(shard.events_routed for shard in self.shards)
+
+    def stats(self) -> dict:
+        """Aggregate + per-shard observability snapshot."""
+        per_shard = {shard.peer_id: shard.stats() for shard in self.shards}
+        return {
+            "shards": per_shard,
+            "events_routed": self.events_routed(),
+            "forwards_sent": sum(s.forwards_sent for s in self.shards),
+            "forward_events": sum(s.forward_events for s in self.shards),
+            "batch_events": sum(s.batch_events for s in self.shards),
+            "gossip_failures": sum(s.gossip_failures for s in self.shards),
+        }
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()

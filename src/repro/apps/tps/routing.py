@@ -145,6 +145,10 @@ class RoutingIndex:
         """All live subscriptions in subscribe order."""
         return list(self._by_id.values())
 
+    def get(self, subscription_id: int) -> Optional[Any]:
+        """The live subscription with this id, if any."""
+        return self._by_id.get(subscription_id)
+
     def __len__(self) -> int:
         return len(self._by_id)
 

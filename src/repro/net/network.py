@@ -6,17 +6,32 @@ with the object itself, but only when needed".  To evaluate that claim
 reproducibly we need a network that *counts*: every message's bytes, every
 round trip, and a simulated clock driven by a latency + bandwidth model.
 
-The model is intentionally simple and synchronous (request/response), which
-matches the protocol of Figure 1; the apps layer adds one-way posts for
-publish/subscribe fan-out.
+Two delivery disciplines coexist:
+
+- :meth:`SimulatedNetwork.request` — the synchronous round trip of the
+  Figure-1 control plane (descriptions, code, subscribe/unsubscribe).
+- :meth:`SimulatedNetwork.post` / :meth:`SimulatedNetwork.post_async` —
+  one-way traffic for publish/subscribe fan-out.  ``post`` delivers
+  inline (the seed behaviour, kept for simple two-peer scenarios) but
+  isolates handler failures from the sender; ``post_async`` enqueues on a
+  per-link FIFO and delivers on :meth:`flush` / :meth:`run_until_idle`,
+  so fan-out handlers never execute inside the publisher's call stack.
+
+The scheduler is deterministic: links drain round-robin in creation
+order, each link strictly FIFO, and the loss model draws from the seeded
+RNG in delivery order.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 Handler = Callable[[str, bytes, str], bytes]
+
+#: Per-link queue entry: (kind, payload).
+_Queued = Tuple[str, bytes]
 
 
 class NetworkError(Exception):
@@ -38,6 +53,8 @@ class NetworkStats:
         self.messages = 0
         self.bytes_sent = 0
         self.round_trips = 0
+        self.dropped = 0
+        self.handler_errors = 0
         self.by_kind_messages: Dict[str, int] = {}
         self.by_kind_bytes: Dict[str, int] = {}
 
@@ -49,28 +66,41 @@ class NetworkStats:
         self.by_kind_messages[kind] = self.by_kind_messages.get(kind, 0) + 1
         self.by_kind_bytes[kind] = self.by_kind_bytes.get(kind, 0) + size
 
-    def snapshot(self) -> Dict[str, int]:
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def record_handler_error(self) -> None:
+        self.handler_errors += 1
+
+    def snapshot(self) -> Dict[str, object]:
         return {
             "messages": self.messages,
             "bytes": self.bytes_sent,
             "round_trips": self.round_trips,
+            "dropped": self.dropped,
+            "handler_errors": self.handler_errors,
+            "by_kind_messages": dict(self.by_kind_messages),
+            "by_kind_bytes": dict(self.by_kind_bytes),
         }
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes_sent = 0
         self.round_trips = 0
+        self.dropped = 0
+        self.handler_errors = 0
         self.by_kind_messages.clear()
         self.by_kind_bytes.clear()
 
     def __repr__(self) -> str:
-        return "NetworkStats(msgs=%d, bytes=%d, rtts=%d)" % (
+        return "NetworkStats(msgs=%d, bytes=%d, rtts=%d, drops=%d, herrs=%d)" % (
             self.messages, self.bytes_sent, self.round_trips,
+            self.dropped, self.handler_errors,
         )
 
 
 class SimulatedNetwork:
-    """Synchronous message fabric between named peers.
+    """Message fabric between named peers.
 
     Parameters
     ----------
@@ -99,10 +129,14 @@ class SimulatedNetwork:
         self.drop_rate = drop_rate
         self._rng = random.Random(seed)
         self._handlers: Dict[str, Handler] = {}
+        #: Per-link FIFO queues, keyed by (src, dst) in link-creation order.
+        self._queues: Dict[Tuple[str, str], Deque[_Queued]] = {}
         self.clock_s = 0.0
         self.stats = NetworkStats()
         self.log: List[Tuple[str, str, str, int]] = []  # (src, dst, kind, size)
         self.log_enabled = True
+        #: Last 100 isolated one-way handler failures, for debugging.
+        self.handler_error_log: Deque[Tuple[str, str, str]] = deque(maxlen=100)
 
     # -- membership ------------------------------------------------------------
 
@@ -127,7 +161,12 @@ class SimulatedNetwork:
 
     def _maybe_drop(self) -> None:
         if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.stats.record_drop()
             raise MessageDropped("message dropped by loss model")
+
+    def _record_handler_error(self, dst: str, kind: str, exc: Exception) -> None:
+        self.stats.record_handler_error()
+        self.handler_error_log.append((dst, kind, repr(exc)))
 
     def request(self, src: str, dst: str, kind: str, payload: bytes) -> bytes:
         """Synchronous round trip; returns the destination's response bytes."""
@@ -146,7 +185,13 @@ class SimulatedNetwork:
         return response
 
     def post(self, src: str, dst: str, kind: str, payload: bytes) -> None:
-        """One-way delivery; the response (if any) is discarded."""
+        """One-way inline delivery; the response (if any) is discarded.
+
+        A drop still raises :class:`MessageDropped` at the sender (that is
+        what makes resends meaningful), but a *handler* failure is the
+        receiver's problem: it is counted in :attr:`NetworkStats` and does
+        not propagate into the sender's call stack.
+        """
         handler = self._handlers.get(dst)
         if handler is None:
             raise UnknownPeerError("no peer %r" % dst)
@@ -154,11 +199,86 @@ class SimulatedNetwork:
         if self.log_enabled:
             self.log.append((src, dst, kind, len(payload)))
         self._charge(kind, len(payload), round_trip=False)
-        handler(kind, payload, src)
+        try:
+            handler(kind, payload, src)
+        except Exception as exc:
+            self._record_handler_error(dst, kind, exc)
+
+    # -- queued one-way delivery ------------------------------------------------
+
+    def post_async(self, src: str, dst: str, kind: str, payload: bytes) -> None:
+        """Enqueue a one-way message on the (src, dst) link FIFO.
+
+        Nothing executes until :meth:`flush` — publishers never run
+        subscriber handlers inline.  Loss, accounting and delivery all
+        happen at drain time, in deterministic order.
+        """
+        if dst not in self._handlers:
+            raise UnknownPeerError("no peer %r" % dst)
+        queue = self._queues.get((src, dst))
+        if queue is None:
+            queue = self._queues[(src, dst)] = deque()
+        queue.append((kind, payload))
+
+    def pending(self) -> int:
+        """Number of queued (not yet delivered) async messages."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def flush(self) -> int:
+        """One drain pass: deliver every message queued at call time.
+
+        Links are serviced round-robin in creation order, one message per
+        link per turn; each link is strictly FIFO.  Messages enqueued *by
+        handlers during the pass* stay queued for the next pass (use
+        :meth:`run_until_idle` to drain transitively).  Returns the number
+        of messages processed (delivered + dropped).
+        """
+        budgets = {
+            link: len(queue) for link, queue in self._queues.items() if queue
+        }
+        processed = 0
+        while budgets:
+            for link in list(budgets):
+                src, dst = link
+                kind, payload = self._queues[link].popleft()
+                processed += 1
+                budgets[link] -= 1
+                if not budgets[link]:
+                    del budgets[link]
+                self._deliver_queued(src, dst, kind, payload)
+        return processed
+
+    def run_until_idle(self, max_rounds: int = 10_000) -> int:
+        """Flush repeatedly until no async messages remain queued."""
+        total = 0
+        for _ in range(max_rounds):
+            if not self.pending():
+                return total
+            total += self.flush()
+        raise NetworkError("network did not go idle in %d rounds" % max_rounds)
+
+    def _deliver_queued(self, src: str, dst: str, kind: str, payload: bytes) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            # Peer left between enqueue and drain: account as a drop.
+            self.stats.record_drop()
+            return
+        try:
+            self._maybe_drop()
+        except MessageDropped:
+            return  # already counted; async senders observe drops via stats
+        if self.log_enabled:
+            self.log.append((src, dst, kind, len(payload)))
+        self._charge(kind, len(payload), round_trip=False)
+        try:
+            handler(kind, payload, src)
+        except Exception as exc:
+            self._record_handler_error(dst, kind, exc)
 
     # -- introspection ------------------------------------------------------------
 
     def reset_accounting(self) -> None:
         self.stats.reset()
         self.log.clear()
+        self.handler_error_log.clear()
         self.clock_s = 0.0

@@ -67,6 +67,11 @@ class Peer:
                 if attempt + 1 == attempts:
                     raise
 
+    def post_async(self, dst: str, kind: str, payload: bytes = b"") -> None:
+        """Enqueue a one-way message; it is delivered when the network's
+        scheduler drains (``flush``/``run_until_idle``), never inline."""
+        self.network.post_async(self.peer_id, dst, kind, payload)
+
     def close(self) -> None:
         self.network.unregister(self.peer_id)
 

@@ -32,6 +32,19 @@ Repeated type names, field names and dict keys are therefore transmitted
 once; a homogeneous object list pays its 16-byte GUID and its field-name
 strings exactly once.  Decoding accepts both magics, so v1 payloads
 produced by older peers keep deserializing.
+
+The **batch frame** (magic ``RBS2B``) extends v2 for fan-out: many values
+in one frame sharing a *single* intern table and back-reference space::
+
+    RBS2B  varint count  value*
+
+N events to one peer therefore cost one header and one string/type table
+— and a value repeated inside a batch (one event matching several
+subscriptions at the same peer) collapses to a ``REF`` of a few bytes.
+Batch frames are produced by :meth:`BinarySerializer.serialize_batch` and
+read by :meth:`BinarySerializer.deserialize_batch`; a plain v2 (or v1)
+single-value frame remains decodable unchanged, and is accepted by
+``deserialize_batch`` as a one-element batch.
 """
 
 from __future__ import annotations
@@ -59,6 +72,7 @@ _T_BYTES = 0x0A
 
 _MAGIC_V1 = b"RBS1"  # "Repro Binary Serialization v1"
 _MAGIC_V2 = b"RBS2"  # v2: interned strings and types
+_MAGIC_BATCH = b"RBS2B"  # v2 batch frame: many values, one intern table
 _MAGIC = _MAGIC_V1  # historical alias (seed name)
 
 
@@ -186,6 +200,34 @@ class BinarySerializer:
         finally:
             self._buf = buf
 
+    def serialize_batch(self, values: List[Any]) -> bytes:
+        """Encode many values into one ``RBS2B`` frame.
+
+        All values share one string/type intern table and one object
+        back-reference space, so a batch of same-type events pays the type
+        GUID and field names once, and a value appearing twice costs a
+        ``REF``.  Batch frames are inherently v2: a ``version=1``
+        serializer refuses to emit them.
+        """
+        if self.version != 2:
+            raise ValueError("batch frames (RBS2B) require wire version 2")
+        buf = self._buf
+        if buf is None:
+            buf = bytearray()  # reentrant call: fall back to a one-off buffer
+        else:
+            self._buf = None  # claim the shared buffer
+            del buf[:]
+        try:
+            buf += _MAGIC_BATCH
+            _write_varint(buf, len(values))
+            seen: Dict[int, int] = {}
+            tables = _InternTables()
+            for value in values:
+                self._encode(buf, value, seen, tables)
+            return bytes(buf)
+        finally:
+            self._buf = buf
+
     def _encode(self, out: bytearray, value: Any, seen: Dict[int, int],
                 tables: Optional[_InternTables]) -> None:
         if value is None:
@@ -271,6 +313,12 @@ class BinarySerializer:
     # -- decode ------------------------------------------------------------
 
     def deserialize(self, data: bytes) -> Any:
+        if data.startswith(_MAGIC_BATCH):
+            # "RBS2B" shares the "RBS2" prefix: check the longer magic
+            # first and point the caller at the batch API.
+            raise WireFormatError(
+                "payload is a batch frame (RBS2B): use deserialize_batch"
+            )
         if data.startswith(_MAGIC_V2):
             tables: Optional[_DecodeTables] = _DecodeTables()
         elif data.startswith(_MAGIC_V1):
@@ -285,6 +333,26 @@ class BinarySerializer:
         if reader.pos != len(data):
             raise WireFormatError("trailing bytes after payload")
         return value
+
+    def deserialize_batch(self, data: bytes) -> List[Any]:
+        """Decode an ``RBS2B`` frame into its list of values.
+
+        A plain single-value frame (``RBS2`` or ``RBS1``) is accepted too
+        and returned as a one-element list, so receivers can treat every
+        delivery uniformly.
+        """
+        if not data.startswith(_MAGIC_BATCH):
+            return [self.deserialize(data)]
+        self.last_schema_drift = []
+        reader = _Reader(data)
+        reader.pos = len(_MAGIC_BATCH)
+        count = reader.read_varint()
+        tables = _DecodeTables()
+        objects: List[CtsInstance] = []
+        values = [self._decode(reader, objects, tables) for _ in range(count)]
+        if reader.pos != len(data):
+            raise WireFormatError("trailing bytes after batch payload")
+        return values
 
     def _decode(self, reader: _Reader, objects: List[CtsInstance],
                 tables: Optional[_DecodeTables]) -> Any:

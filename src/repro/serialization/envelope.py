@@ -8,6 +8,14 @@ the SOAP or binary serialized object."
 The envelope is the unit the optimistic transport protocol actually puts on
 the wire.  Note what it does *not* contain: no type descriptions and no
 code — those travel only on demand.
+
+Batch envelopes extend the same message for queue-driven fan-out: one
+``<XmlMessage>`` whose type-information section is the *union* of every
+batched value's types and whose payload is a single ``RBS2B`` frame (all
+values share one intern table).  The ``<Payload>`` element carries
+``batch`` (value count), ``roots`` (per-value index into the type
+section) and optionally ``origin`` (the peer the events were first
+published by, for broker meshes that must not echo events back).
 """
 
 from __future__ import annotations
@@ -44,12 +52,30 @@ class TypeEntry:
 
 
 class ObjectEnvelope:
-    """A parsed (or to-be-sent) hybrid message."""
+    """A parsed (or to-be-sent) hybrid message.
 
-    def __init__(self, type_entries: List[TypeEntry], encoding: str, payload: bytes):
+    ``batch_roots`` is ``None`` for a classic single-object envelope; for
+    a batch it lists, per batched value, the index of that value's root
+    type in :attr:`type_entries`.  ``origin`` optionally names the peer
+    the content was first published by (meshes forward on its behalf).
+    """
+
+    def __init__(self, type_entries: List[TypeEntry], encoding: str, payload: bytes,
+                 batch_roots: Optional[List[int]] = None,
+                 origin: Optional[str] = None):
         self.type_entries = type_entries
         self.encoding = encoding  # "binary" | "soap"
         self.payload = payload
+        self.batch_roots = batch_roots
+        self.origin = origin
+
+    @property
+    def is_batch(self) -> bool:
+        return self.batch_roots is not None
+
+    @property
+    def batch_count(self) -> int:
+        return len(self.batch_roots) if self.batch_roots is not None else 1
 
     def type_names(self) -> List[str]:
         return [entry.name for entry in self.type_entries]
@@ -59,9 +85,21 @@ class ObjectEnvelope:
             raise WireFormatError("envelope has no type information")
         return self.type_entries[0]
 
+    def batch_root_entry(self, index: int) -> TypeEntry:
+        """The root type entry of the ``index``-th batched value."""
+        if self.batch_roots is None:
+            if index != 0:
+                raise WireFormatError("not a batch envelope")
+            return self.root_entry()
+        try:
+            return self.type_entries[self.batch_roots[index]]
+        except IndexError:
+            raise WireFormatError("batch root %d out of range" % index)
+
     def __repr__(self) -> str:
-        return "ObjectEnvelope(%s, %d types, %d payload bytes)" % (
-            self.encoding, len(self.type_entries), len(self.payload),
+        extra = ", batch=%d" % self.batch_count if self.is_batch else ""
+        return "ObjectEnvelope(%s, %d types, %d payload bytes%s)" % (
+            self.encoding, len(self.type_entries), len(self.payload), extra,
         )
 
 
@@ -94,6 +132,42 @@ class EnvelopeCodec:
         """Object graph → wire bytes of the full XML message."""
         return self.envelope_to_bytes(self.wrap(value))
 
+    def wrap_batch(self, values: List[Any],
+                   origin: Optional[str] = None) -> ObjectEnvelope:
+        """Many object graphs → one batch envelope.
+
+        The type section is the union of every value's reachable types
+        (first-seen order, deduplicated by identity) and the payload is a
+        single ``RBS2B`` frame — one header and one intern table for the
+        whole batch.  Batches always use the binary payload encoding.
+        """
+        if not values:
+            raise ValueError("cannot build an empty batch envelope")
+        entries: List[TypeEntry] = []
+        index_of = {}
+        roots: List[int] = []
+        for value in values:
+            types = collect_types(value)
+            if not types:
+                raise WireFormatError(
+                    "batched value %r has no root CTS type" % (value,)
+                )
+            for position, info in enumerate(types):
+                key = (info.full_name, str(info.guid))
+                if key not in index_of:
+                    index_of[key] = len(entries)
+                    entries.append(TypeEntry.for_type(info))
+                if position == 0:
+                    roots.append(index_of[key])
+        payload = self._binary.serialize_batch(values)
+        return ObjectEnvelope(entries, "binary", payload,
+                              batch_roots=roots, origin=origin)
+
+    def encode_batch(self, values: List[Any],
+                     origin: Optional[str] = None) -> bytes:
+        """Many object graphs → wire bytes of one batch XML message."""
+        return self.envelope_to_bytes(self.wrap_batch(values, origin=origin))
+
     def envelope_to_bytes(self, envelope: ObjectEnvelope) -> bytes:
         root = ET.Element("XmlMessage")
         type_info = ET.SubElement(root, "TypeInformation")
@@ -106,7 +180,15 @@ class EnvelopeCodec:
             if entry.download_path:
                 attrs["path"] = entry.download_path
             ET.SubElement(type_info, "Type", attrs)
-        payload = ET.SubElement(root, "Payload", {"encoding": envelope.encoding})
+        payload_attrs = {"encoding": envelope.encoding}
+        if envelope.is_batch:
+            payload_attrs["batch"] = str(envelope.batch_count)
+            payload_attrs["roots"] = " ".join(
+                str(index) for index in envelope.batch_roots
+            )
+        if envelope.origin is not None:
+            payload_attrs["origin"] = envelope.origin
+        payload = ET.SubElement(root, "Payload", payload_attrs)
         payload.text = base64.b64encode(envelope.payload).decode("ascii")
         return ET.tostring(root, encoding="utf-8")
 
@@ -142,7 +224,26 @@ class EnvelopeCodec:
             payload = base64.b64decode(payload_el.text or "", validate=True)
         except (ValueError, TypeError):
             raise WireFormatError("payload is not valid base64")
-        return ObjectEnvelope(entries, encoding, payload)
+        batch_roots: Optional[List[int]] = None
+        batch_attr = payload_el.get("batch")
+        if batch_attr is not None:
+            try:
+                count = int(batch_attr)
+                batch_roots = [int(part) for part in
+                               (payload_el.get("roots") or "").split()]
+            except ValueError:
+                raise WireFormatError("malformed batch attributes")
+            if count != len(batch_roots):
+                raise WireFormatError(
+                    "batch count %d does not match %d roots"
+                    % (count, len(batch_roots))
+                )
+            for index in batch_roots:
+                if not 0 <= index < len(entries):
+                    raise WireFormatError("batch root %d out of range" % index)
+        return ObjectEnvelope(entries, encoding, payload,
+                              batch_roots=batch_roots,
+                              origin=payload_el.get("origin"))
 
     def unwrap(self, envelope: ObjectEnvelope) -> Any:
         """Envelope → object graph.
@@ -150,7 +251,25 @@ class EnvelopeCodec:
         Raises :class:`~repro.serialization.errors.UnknownTypeError` when a
         payload type is not locally known — the optimistic protocol's cue.
         """
+        if envelope.is_batch:
+            raise WireFormatError("batch envelope: use unwrap_batch")
         return self._payload_serializer(envelope.encoding).deserialize(envelope.payload)
+
+    def unwrap_batch(self, envelope: ObjectEnvelope) -> List[Any]:
+        """Batch envelope → list of object graphs (single → one-element).
+
+        Raises :class:`~repro.serialization.errors.UnknownTypeError` when a
+        payload type is not locally known, exactly like :meth:`unwrap`.
+        """
+        if not envelope.is_batch:
+            return [self.unwrap(envelope)]
+        values = self._binary.deserialize_batch(envelope.payload)
+        if len(values) != envelope.batch_count:
+            raise WireFormatError(
+                "batch payload holds %d values, envelope declares %d"
+                % (len(values), envelope.batch_count)
+            )
+        return values
 
     def decode(self, data: bytes) -> Any:
         """Wire bytes → object graph in one step."""

@@ -4,6 +4,7 @@ from .eager import EagerPeer, KIND_OBJECT_EAGER
 from .protocol import (
     InteropPeer,
     KIND_OBJECT,
+    KIND_OBJECT_BATCH,
     ProtocolError,
     ReceivedObject,
     TransportStats,
@@ -13,6 +14,7 @@ __all__ = [
     "EagerPeer",
     "InteropPeer",
     "KIND_OBJECT",
+    "KIND_OBJECT_BATCH",
     "KIND_OBJECT_EAGER",
     "ProtocolError",
     "ReceivedObject",

@@ -55,7 +55,7 @@ class EagerPeer(InteropPeer):
                 "assemblies": assemblies,
             }
         )
-        self.stats.objects_sent += 1
+        self.transport_stats.objects_sent += 1
         self.post(dst, KIND_OBJECT_EAGER, bundle)
 
     def _find_hosting_assembly(self, type_name: str) -> Optional[Assembly]:

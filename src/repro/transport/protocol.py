@@ -41,6 +41,7 @@ from ..serialization.envelope import EnvelopeCodec, ObjectEnvelope
 from ..serialization.errors import UnknownTypeError
 
 KIND_OBJECT = "object"
+KIND_OBJECT_BATCH = "object_batch"
 
 #: Safety bound on the materialisation loop (one fetch per unknown type).
 _MAX_CODE_FETCHES = 64
@@ -60,6 +61,8 @@ class TransportStats:
         "descriptions_fetched",
         "assemblies_fetched",
         "unknown_type_retries",
+        "batches_sent",
+        "batches_received",
     )
 
     def __init__(self):
@@ -126,7 +129,7 @@ class InteropPeer(Peer):
         self.codec = EnvelopeCodec(self.runtime, encoding)
         self.interests: List[TypeInfo] = []
         self.inbox: List[ReceivedObject] = []
-        self.stats = TransportStats()
+        self.transport_stats = TransportStats()
         self.code_source = code_source  # fallback repository peer id
         self._hosted: Dict[str, Assembly] = {}
         self._receive_callbacks: List[Callable[[ReceivedObject], None]] = []
@@ -135,8 +138,20 @@ class InteropPeer(Peer):
         #: buffer-reusing: no request path allocates a fresh serializer.
         self._wire_codec = BinarySerializer()
         self.on(KIND_OBJECT, self._handle_object)
+        self.on(KIND_OBJECT_BATCH, self._handle_object_batch)
         self.on(KIND_GET_DESCRIPTION, self._serve_description)
         self.on(KIND_GET_ASSEMBLY, self._serve_assembly)
+
+    @property
+    def stats(self) -> TransportStats:
+        """The protocol counters (alias of :attr:`transport_stats`).
+
+        A property rather than the attribute itself so subclasses with a
+        richer observability surface (e.g. the TPS brokers' ``stats()``
+        snapshot method) can override the name without losing the
+        underlying counters.
+        """
+        return self.transport_stats
 
     # ------------------------------------------------------------------
     # local knowledge
@@ -173,8 +188,30 @@ class InteropPeer(Peer):
         """Send an already-encoded envelope — the fan-out fast path: a
         broker forwarding one event to many subscribers encodes once and
         posts the same payload to each."""
-        self.stats.objects_sent += 1
+        self.transport_stats.objects_sent += 1
         self.post(dst, KIND_OBJECT, payload, retries=self.max_retries)
+
+    def send_async(self, dst: str, value: Any) -> None:
+        """Optimistic send via the network's queue: nothing executes in
+        this call stack; the receiver runs when the scheduler drains."""
+        self.transport_stats.objects_sent += 1
+        self.post_async(dst, KIND_OBJECT, self.codec.encode(value))
+
+    def send_batch(self, dst: str, values: List[Any]) -> None:
+        """Send many values to one peer as a single batch message."""
+        self.send_payload_batch(dst, self.codec.encode_batch(values), len(values))
+
+    def send_payload_batch(self, dst: str, payload: bytes, count: int) -> None:
+        """Enqueue an already-encoded batch envelope — the mesh fan-out
+        fast path: a broker with queued events for a peer encodes the
+        batch once and sends ONE network message, however many
+        subscriptions it covers.  Delivery is queue-driven: the message
+        travels when the network scheduler drains."""
+        self.post_async(dst, KIND_OBJECT_BATCH, payload)
+        # Count only after the enqueue succeeded (post_async raises for an
+        # unknown peer): sent counters stay reconcilable with the network's.
+        self.transport_stats.objects_sent += count
+        self.transport_stats.batches_sent += 1
 
     # ------------------------------------------------------------------
     # receiving (steps 2-5)
@@ -183,13 +220,34 @@ class InteropPeer(Peer):
     def _handle_object(self, payload: bytes, src: str) -> bytes:
         envelope = self.codec.parse(payload)
         received = self.receive_envelope(envelope, src)
+        self._deliver(received)
+        return b"OK"
+
+    def _handle_object_batch(self, payload: bytes, src: str) -> bytes:
+        """Receive one batch message: materialize the shared frame once,
+        then admit each value through the usual interest check.
+
+        Batches trade one optimistic nicety for fan-out economy: the frame
+        is decoded (and missing code fetched) *before* per-value
+        conformance runs, because the values share one intern table.  The
+        senders that batch (brokers) only batch events that already passed
+        a conformance check, so in practice no code is fetched for
+        doomed values.
+        """
+        envelope = self.codec.parse(payload)
+        self.transport_stats.batches_received += 1
+        values = self._materialize_batch(envelope, src)
+        for value in values:
+            self._deliver(self._admit_value(value, src))
+        return b"OK"
+
+    def _deliver(self, received: ReceivedObject) -> None:
         self.inbox.append(received)
         for callback in self._receive_callbacks:
             callback(received)
-        return b"OK"
 
     def receive_envelope(self, envelope: ObjectEnvelope, src: str) -> ReceivedObject:
-        self.stats.objects_received += 1
+        self.transport_stats.objects_received += 1
         root = envelope.root_entry()
 
         provider_info = self._known_type(root.name, root.guid_text)
@@ -218,7 +276,7 @@ class InteropPeer(Peer):
             if interest is None:
                 # Optimistic win: non-conformant objects never cost a code
                 # download.
-                self.stats.objects_rejected += 1
+                self.transport_stats.objects_rejected += 1
                 return ReceivedObject(src, root.name, None, None, None, result)
 
         # Step 4-5: types conform (or no interest filter) — fetch the code
@@ -229,6 +287,34 @@ class InteropPeer(Peer):
         if interest is not None and result is not None:
             view = wrap_with_result(value, interest, result, self.checker)
         return ReceivedObject(src, root.name, value, view, interest, result)
+
+    def _admit_value(self, value: Any, src: str) -> ReceivedObject:
+        """Interest check + view construction for an already-materialized
+        value (the per-item tail of :meth:`receive_envelope`, used by the
+        batch path where the whole frame decodes up front)."""
+        self.transport_stats.objects_received += 1
+        provider_info = value.type_info
+        interest: Optional[TypeInfo] = None
+        result: Optional[ConformanceResult] = None
+        if self.interests:
+            with self._fetching_from(src):
+                for candidate in self.interests:
+                    verdict = self.checker.conforms(provider_info, candidate)
+                    if verdict.ok:
+                        interest = candidate
+                        result = verdict
+                        break
+            if interest is None:
+                self.transport_stats.objects_rejected += 1
+                return ReceivedObject(
+                    src, provider_info.full_name, None, None, None, result
+                )
+        view: Any = value
+        if interest is not None and result is not None:
+            view = wrap_with_result(value, interest, result, self.checker)
+        return ReceivedObject(
+            src, provider_info.full_name, value, view, interest, result
+        )
 
     # -- step 2-3 helpers ---------------------------------------------------
 
@@ -261,7 +347,7 @@ class InteropPeer(Peer):
             raise  # loss is not "unknown type"; let the caller retry/report
         except NetworkError:
             return None
-        self.stats.descriptions_fetched += 1
+        self.transport_stats.descriptions_fetched += 1
         return deserialize_description(data)
 
     def _fetching_from(self, src: str):
@@ -292,17 +378,26 @@ class InteropPeer(Peer):
             raise
         except NetworkError:
             return None
-        self.stats.assemblies_fetched += 1
+        self.transport_stats.assemblies_fetched += 1
         return Assembly.from_wire(self._wire_codec.deserialize(data))
 
     def _materialize(self, envelope: ObjectEnvelope, src: str) -> Any:
         """Deserialize, downloading assemblies for unknown types on demand."""
+        return self._materialize_with(envelope, src, self.codec.unwrap)
+
+    def _materialize_batch(self, envelope: ObjectEnvelope, src: str) -> List[Any]:
+        """Batch variant: one fetch loop covers every value in the frame
+        (a single unknown type is downloaded once for the whole batch)."""
+        return self._materialize_with(envelope, src, self.codec.unwrap_batch)
+
+    def _materialize_with(self, envelope: ObjectEnvelope, src: str,
+                          unwrap: Callable[[ObjectEnvelope], Any]) -> Any:
         paths = {entry.name: entry.download_path for entry in envelope.type_entries}
         for _ in range(_MAX_CODE_FETCHES):
             try:
-                return self.codec.unwrap(envelope)
+                return unwrap(envelope)
             except UnknownTypeError as missing:
-                self.stats.unknown_type_retries += 1
+                self.transport_stats.unknown_type_retries += 1
                 target = paths.get(missing.type_name) or missing.type_name
                 assembly = self.fetch_assembly(src, target)
                 if assembly is None and self.code_source is not None:

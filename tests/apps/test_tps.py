@@ -150,3 +150,58 @@ class TestDistributedTps:
         # All subscriber traffic went to the broker.
         partners = {dst for (src, dst, kind, size) in network.log if src == "subscriber"}
         assert partners <= {"broker"}
+
+
+class TestBrokerObservability:
+    """Satellite: stats() snapshots on both broker flavours."""
+
+    @pytest.fixture
+    def world(self):
+        network = SimulatedNetwork()
+        broker = TpsBroker("broker", network)
+        publisher = TpsPeer("publisher", network)
+        subscriber = TpsPeer("subscriber", network)
+        asm_a, _ = person_assembly_pair()
+        publisher.host_assembly(asm_a)
+        return network, broker, publisher, subscriber
+
+    def test_local_broker_stats(self, runtime):
+        broker = LocalBroker()
+        keep = broker.subscribe(person_java(), lambda e: None)
+        gone = broker.subscribe(person_vb(), lambda e: None)
+        broker.publish(runtime.new_instance("demo.a.Person", ["1"]))
+        broker.publish(runtime.new_instance("demo.a.Person", ["2"]))
+        broker.unsubscribe(gone)
+        broker.publish(runtime.new_instance("demo.a.Person", ["3"]))
+
+        snapshot = broker.stats()
+        assert snapshot["published"] == 3
+        assert snapshot["delivered"] == 5
+        assert snapshot["subscriptions"] == {keep.subscription_id: 3}
+        routing = snapshot["routing"]
+        # Warm publishes hit the verdict cache; the first one missed.
+        assert routing["hits"] >= 2
+        assert routing["misses"] >= 2
+        assert routing["full_checks"] >= 1
+
+    def test_tps_broker_stats(self, world):
+        network, broker, publisher, subscriber = world
+        subscriber.subscribe_remote("broker", person_java(), lambda e: None)
+        publisher.publish("broker", publisher.new_instance("demo.a.Person", ["s"]))
+
+        snapshot = broker.stats()
+        assert snapshot["events_routed"] == 1
+        assert list(snapshot["subscriptions"].values()) == [1]
+        assert snapshot["routing"]["misses"] >= 1
+        assert snapshot["transport"]["objects_received"] == 1
+        assert snapshot["transport"]["objects_sent"] == 1
+        # The plain broker neither batches nor forwards; the mesh shard
+        # contributes those counters via _extra_stats.
+        assert "forwards_sent" not in snapshot
+
+    def test_transport_counters_still_reachable(self, world):
+        """The stats() method must not hide the TransportStats counters
+        other code reads via the .stats alias on plain peers."""
+        network, broker, publisher, subscriber = world
+        assert publisher.stats is publisher.transport_stats
+        assert broker.transport_stats.objects_sent == 0

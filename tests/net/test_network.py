@@ -110,7 +110,165 @@ class TestAccounting:
     def test_stats_snapshot(self):
         stats = NetworkStats()
         stats.record("k", 10, True)
-        assert stats.snapshot() == {"messages": 1, "bytes": 10, "round_trips": 1}
+        assert stats.snapshot() == {
+            "messages": 1,
+            "bytes": 10,
+            "round_trips": 1,
+            "dropped": 0,
+            "handler_errors": 0,
+            "by_kind_messages": {"k": 1},
+            "by_kind_bytes": {"k": 10},
+        }
+
+    def test_snapshot_includes_drop_and_error_counters(self):
+        stats = NetworkStats()
+        stats.record_drop()
+        stats.record_handler_error()
+        snap = stats.snapshot()
+        assert snap["dropped"] == 1
+        assert snap["handler_errors"] == 1
+        stats.reset()
+        assert stats.snapshot()["dropped"] == 0
+
+
+class TestHandlerIsolation:
+    def test_post_isolates_handler_errors(self):
+        """Satellite bugfix: a subscriber handler blowing up must not crash
+        the publisher; the failure is counted instead."""
+        net = SimulatedNetwork()
+        net.register("b", lambda k, p, s: (_ for _ in ()).throw(RuntimeError("boom")))
+        net.post("a", "b", "evt", b"x")  # must not raise
+        assert net.stats.handler_errors == 1
+        assert net.handler_error_log[0][0] == "b"
+        assert "boom" in net.handler_error_log[0][2]
+
+    def test_post_still_raises_on_drop(self):
+        """Drops stay visible to the sender (retries rely on that); only
+        handler failures are isolated."""
+        net = SimulatedNetwork(drop_rate=0.99, seed=1)
+        net.register("b", echo_handler)
+        with pytest.raises(MessageDropped):
+            for _ in range(50):
+                net.post("a", "b", "k", b"x")
+        assert net.stats.dropped >= 1
+
+    def test_request_propagates_handler_errors(self):
+        """The synchronous control plane is unchanged: the caller needs
+        the failure."""
+        net = SimulatedNetwork()
+
+        def explode(kind, payload, src):
+            raise RuntimeError("server bug")
+
+        net.register("b", explode)
+        with pytest.raises(RuntimeError):
+            net.request("a", "b", "k", b"")
+
+
+class TestAsyncScheduler:
+    def test_post_async_defers_delivery(self):
+        received = []
+        net = SimulatedNetwork()
+        net.register("b", lambda k, p, s: received.append((k, p, s)) or b"")
+        net.post_async("a", "b", "evt", b"1")
+        assert received == []
+        assert net.pending() == 1
+        assert net.flush() == 1
+        assert received == [("evt", b"1", "a")]
+        assert net.pending() == 0
+
+    def test_per_link_fifo_order(self):
+        received = []
+        net = SimulatedNetwork()
+        net.register("b", lambda k, p, s: received.append(p) or b"")
+        for i in range(5):
+            net.post_async("a", "b", "evt", b"%d" % i)
+        net.flush()
+        assert received == [b"0", b"1", b"2", b"3", b"4"]
+
+    def test_links_drain_round_robin_in_creation_order(self):
+        received = []
+        net = SimulatedNetwork()
+        net.register("x", lambda k, p, s: received.append((s, p)) or b"")
+        net.post_async("a", "x", "evt", b"a1")
+        net.post_async("b", "x", "evt", b"b1")
+        net.post_async("a", "x", "evt", b"a2")
+        net.post_async("b", "x", "evt", b"b2")
+        net.flush()
+        assert received == [("a", b"a1"), ("b", b"b1"), ("a", b"a2"), ("b", b"b2")]
+
+    def test_flush_does_not_chase_new_enqueues(self):
+        """Messages enqueued by handlers during a pass wait for the next
+        pass — one flush is one deterministic round."""
+        net = SimulatedNetwork()
+
+        def relay(kind, payload, src):
+            if payload == b"first":
+                net.post_async("b", "b", "evt", b"second")
+            return b""
+
+        net.register("b", relay)
+        net.post_async("a", "b", "evt", b"first")
+        assert net.flush() == 1
+        assert net.pending() == 1
+        assert net.flush() == 1
+        assert net.pending() == 0
+
+    def test_run_until_idle_drains_transitively(self):
+        seen = []
+        net = SimulatedNetwork()
+
+        def relay(kind, payload, src):
+            seen.append(payload)
+            hops = int(payload)
+            if hops:
+                net.post_async("b", "b", "evt", b"%d" % (hops - 1))
+            return b""
+
+        net.register("b", relay)
+        net.post_async("a", "b", "evt", b"3")
+        assert net.run_until_idle() == 4
+        assert seen == [b"3", b"2", b"1", b"0"]
+
+    def test_async_charges_at_delivery(self):
+        net = SimulatedNetwork(latency_s=0.01, bandwidth_bps=1000.0)
+        net.register("b", lambda k, p, s: b"")
+        net.post_async("a", "b", "k", b"x" * 100)
+        assert net.clock_s == 0.0
+        assert net.stats.messages == 0
+        net.flush()
+        assert net.clock_s == pytest.approx(0.11)  # 1 hop + 100/1000
+        assert net.stats.messages == 1
+
+    def test_async_unknown_peer_fails_at_enqueue(self):
+        net = SimulatedNetwork()
+        with pytest.raises(UnknownPeerError):
+            net.post_async("a", "nobody", "k", b"")
+
+    def test_async_drop_counted_not_raised(self):
+        net = SimulatedNetwork(drop_rate=0.5, seed=7)
+        net.register("b", echo_handler)
+        for _ in range(50):
+            net.post_async("a", "b", "k", b"x")
+        net.flush()  # no exception reaches the caller
+        assert net.stats.dropped > 0
+        assert net.stats.messages + net.stats.dropped == 50
+
+    def test_async_handler_errors_isolated(self):
+        net = SimulatedNetwork()
+        net.register("b", lambda k, p, s: 1 // 0)
+        net.post_async("a", "b", "k", b"x")
+        net.flush()
+        assert net.stats.handler_errors == 1
+
+    def test_unregister_between_enqueue_and_drain_counts_as_drop(self):
+        net = SimulatedNetwork()
+        net.register("b", echo_handler)
+        net.post_async("a", "b", "k", b"x")
+        net.unregister("b")
+        net.flush()
+        assert net.stats.dropped == 1
+        assert net.stats.messages == 0
 
 
 class TestLossModel:

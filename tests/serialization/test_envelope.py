@@ -103,3 +103,77 @@ class TestErrors:
         data = b'<XmlMessage><Payload encoding="binary">@@@</Payload></XmlMessage>'
         with pytest.raises(WireFormatError):
             EnvelopeCodec(runtime).parse(data)
+
+
+class TestBatchEnvelopes:
+    def test_batch_round_trip(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        events = [runtime.new_instance("demo.a.Person", ["b%d" % i])
+                  for i in range(5)]
+        envelope = codec.parse(codec.encode_batch(events))
+        assert envelope.is_batch and envelope.batch_count == 5
+        restored = codec.unwrap_batch(envelope)
+        assert [p.GetName() for p in restored] == ["b%d" % i for i in range(5)]
+
+    def test_union_type_section_and_roots(self, runtime):
+        hr = Assembly("hr-a", employee_csharp())
+        runtime.load_assembly(hr)
+        codec = EnvelopeCodec(runtime)
+        person = runtime.new_instance("demo.a.Person", ["P"])
+        address = runtime.new_instance("demo.a.Address", ["5 Main St", "X"])
+        employee = runtime.new_instance("demo.a.Employee", ["E", address])
+        envelope = codec.wrap_batch([person, employee, person])
+        # Union, first-seen order, deduplicated.
+        assert envelope.type_names() == [
+            "demo.a.Person", "demo.a.Employee", "demo.a.Address",
+        ]
+        assert envelope.batch_roots == [0, 1, 0]
+        assert envelope.batch_root_entry(1).name == "demo.a.Employee"
+
+    def test_origin_travels(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        event = runtime.new_instance("demo.a.Person", ["O"])
+        envelope = codec.parse(codec.encode_batch([event], origin="publisher-7"))
+        assert envelope.origin == "publisher-7"
+
+    def test_single_envelope_unchanged(self, runtime):
+        """Non-batch messages carry no batch attributes and keep parsing
+        exactly as before."""
+        codec = EnvelopeCodec(runtime)
+        data = codec.encode(runtime.new_instance("demo.a.Person", ["S"]))
+        assert b"batch=" not in data
+        envelope = codec.parse(data)
+        assert not envelope.is_batch
+        assert envelope.origin is None
+        assert codec.unwrap(envelope).GetName() == "S"
+        # unwrap_batch treats it as a one-element batch.
+        assert [v.GetName() for v in codec.unwrap_batch(envelope)] == ["S"]
+
+    def test_unwrap_refuses_batch(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        envelope = codec.parse(
+            codec.encode_batch([runtime.new_instance("demo.a.Person", ["X"])])
+        )
+        with pytest.raises(WireFormatError, match="batch"):
+            codec.unwrap(envelope)
+
+    def test_empty_batch_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            EnvelopeCodec(runtime).wrap_batch([])
+
+    def test_malformed_batch_attrs_rejected(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        data = codec.encode_batch([runtime.new_instance("demo.a.Person", ["M"])])
+        broken = data.replace(b'batch="1"', b'batch="2"')
+        with pytest.raises(WireFormatError, match="does not match"):
+            codec.parse(broken)
+        garbage = data.replace(b'batch="1"', b'batch="zz"')
+        with pytest.raises(WireFormatError, match="malformed"):
+            codec.parse(garbage)
+
+    def test_root_index_out_of_range_rejected(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        data = codec.encode_batch([runtime.new_instance("demo.a.Person", ["R"])])
+        broken = data.replace(b'roots="0"', b'roots="3"')
+        with pytest.raises(WireFormatError, match="out of range"):
+            codec.parse(broken)

@@ -152,14 +152,33 @@ class TestCodeSourceFallback:
         sender.send("receiver", sender.new_instance("demo.a.Person", ["ViaRepo"]))
         assert receiver.inbox[0].view.getPersonName() == "ViaRepo"
 
-    def test_missing_code_everywhere_raises(self):
+    def test_missing_code_everywhere_fails_on_receiver_only(self):
+        """The receiver cannot materialise the object — that failure is the
+        receiver's (counted by the network), not an exception inside the
+        sender's call stack."""
         network = SimulatedNetwork()
         sender = InteropPeer("sender", network)
         receiver = InteropPeer("receiver", network)
         asm_a, _ = person_assembly_pair()
         sender.runtime.load_assembly(asm_a)  # not hosted, no repo configured
+        sender.send("receiver", sender.new_instance("demo.a.Person", ["x"]))
+        assert receiver.inbox == []  # nothing delivered
+        assert network.stats.handler_errors == 1
+        assert "ProtocolError" in network.handler_error_log[0][2]
+
+    def test_receive_envelope_raises_without_code(self):
+        """Called directly (not through the one-way fabric), the protocol
+        error is still visible to the embedding code."""
+        network = SimulatedNetwork()
+        sender = InteropPeer("sender", network)
+        receiver = InteropPeer("receiver", network)
+        asm_a, _ = person_assembly_pair()
+        sender.runtime.load_assembly(asm_a)
+        envelope = receiver.codec.parse(
+            sender.codec.encode(sender.new_instance("demo.a.Person", ["x"]))
+        )
         with pytest.raises(ProtocolError):
-            sender.send("receiver", sender.new_instance("demo.a.Person", ["x"]))
+            receiver.receive_envelope(envelope, "sender")
 
 
 class TestCodePropagation:
@@ -188,3 +207,89 @@ class TestSoapEncoding:
         receiver.declare_interest(person_java())
         sender.send("receiver", sender.new_instance("demo.a.Person", ["Soapy"]))
         assert receiver.inbox[0].view.getPersonName() == "Soapy"
+
+
+class TestBatchDelivery:
+    """send_batch / send_payload_batch: k values, one network message."""
+
+    def test_batch_is_one_message(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        events = [sender.new_instance("demo.a.Person", ["b%d" % i])
+                  for i in range(10)]
+        sender.send_batch("receiver", events)
+        assert receiver.inbox == []  # queue-driven: nothing ran inline
+        network.run_until_idle()
+        assert [r.view.getPersonName() for r in receiver.inbox] == \
+            ["b%d" % i for i in range(10)]
+        assert network.stats.by_kind_messages["object_batch"] == 1
+        assert sender.stats.batches_sent == 1
+        assert sender.stats.objects_sent == 10
+        assert receiver.stats.batches_received == 1
+        assert receiver.stats.objects_received == 10
+
+    def test_batch_cheaper_than_k_sends(self, world):
+        """The batch costs fewer bytes than the same events sent one by
+        one (shared envelope header + shared intern table)."""
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        events = [sender.new_instance("demo.a.Person", ["c%d" % i])
+                  for i in range(10)]
+        for event in events:
+            sender.send("receiver", event)
+        single_bytes = network.stats.by_kind_bytes["object"]
+        network.reset_accounting()
+        sender.send_batch("receiver", events)
+        network.run_until_idle()
+        batch_bytes = network.stats.by_kind_bytes["object_batch"]
+        assert batch_bytes < single_bytes / 2
+
+    def test_batch_fetches_code_once(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.send_batch("receiver", [
+            sender.new_instance("demo.a.Person", ["x%d" % i]) for i in range(5)
+        ])
+        network.run_until_idle()
+        assert receiver.stats.assemblies_fetched == 1
+        assert all(r.accepted for r in receiver.inbox)
+
+    def test_mixed_batch_rejects_per_value(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.host_assembly(Assembly("bank", [account_csharp()]))
+        sender.send_batch("receiver", [
+            sender.new_instance("demo.bank.Account", ["o", 1]),
+            sender.new_instance("demo.a.Person", ["keep"]),
+        ])
+        network.run_until_idle()
+        assert receiver.stats.objects_rejected == 1
+        accepted = [r for r in receiver.inbox if r.accepted]
+        assert len(accepted) == 1
+        assert accepted[0].view.getPersonName() == "keep"
+
+    def test_payload_batch_reuse_across_destinations(self, world):
+        """A broker encodes the batch once and posts the same bytes to
+        every destination peer."""
+        network, sender, receiver = world
+        second = InteropPeer("second", network,
+                             options=ConformanceOptions.pragmatic())
+        receiver.declare_interest(person_java())
+        second.declare_interest(person_java())
+        events = [sender.new_instance("demo.a.Person", ["d%d" % i])
+                  for i in range(3)]
+        payload = sender.codec.encode_batch(events)
+        sender.send_payload_batch("receiver", payload, len(events))
+        sender.send_payload_batch("second", payload, len(events))
+        network.run_until_idle()
+        assert len(receiver.inbox) == 3 and len(second.inbox) == 3
+        assert sender.stats.objects_sent == 6
+        assert sender.stats.batches_sent == 2
+
+    def test_send_async_defers_receive(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.send_async("receiver", sender.new_instance("demo.a.Person", ["a"]))
+        assert receiver.inbox == []
+        network.run_until_idle()
+        assert receiver.inbox[0].view.getPersonName() == "a"
