@@ -100,6 +100,21 @@ def print_report(by_experiment, out=sys.stdout) -> None:
                 )
             out.write("  %-28s %12.6f ms%s\n" % (experiment, row["mean_ms"], extra))
 
+    durability = [experiment for experiment in sorted(by_experiment)
+                  if experiment.startswith("durability-")]
+    if durability:
+        out.write("\nDurability (EventLog append/replay):\n")
+        for experiment in durability:
+            row = by_experiment[experiment]
+            records = row["extras"].get("records") \
+                or row["extras"].get("backlog_events")
+            rate = ""
+            if records and row["mean_ms"]:
+                rate = "  (%s records/s)" % format(
+                    int(records / (row["mean_ms"] / 1000.0)), ",")
+            out.write("  %-28s %12.6f ms%s\n"
+                      % (experiment, row["mean_ms"], rate))
+
 
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]

@@ -92,7 +92,7 @@ class TestProtocolShape:
         network, sender, receiver = build_world(InteropPeer)
         sender.host_assembly(Assembly("bank", [account_csharp()]))
         sender.send("receiver", sender.new_instance("demo.bank.Account", ["o", 1]))
-        assert receiver.stats.assemblies_fetched == 0
+        assert receiver.transport_stats.assemblies_fetched == 0
         assert network.stats.by_kind_messages.get("get_assembly", 0) == 0
 
     def test_round_trip_counts(self):

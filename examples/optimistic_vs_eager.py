@@ -55,8 +55,8 @@ def main():
         print("  %-10s  bytes=%6d  code downloads=%d  rejected=%d" % (
             label,
             network.stats.bytes_sent,
-            receiver.stats.assemblies_fetched,
-            receiver.stats.objects_rejected,
+            receiver.transport_stats.assemblies_fetched,
+            receiver.transport_stats.objects_rejected,
         ))
     print()
     print("The optimistic protocol pays 2 round trips once per new type and"

@@ -2,7 +2,9 @@
 
 from .broker import (
     KIND_TPS_SUBSCRIBE,
+    KIND_TPS_SUBSCRIBE_DURABLE,
     KIND_TPS_UNSUBSCRIBE,
+    DurableSubscription,
     LocalBroker,
     Subscription,
     TpsBroker,
@@ -12,6 +14,7 @@ from .mesh import (
     BrokerMesh,
     KIND_MESH_FORWARD,
     KIND_MESH_SUMMARY,
+    KIND_MESH_SYNC,
     MeshShard,
     rendezvous_shard,
 )
@@ -19,9 +22,12 @@ from .routing import RouteEntry, RoutingIndex, RoutingStats
 
 __all__ = [
     "BrokerMesh",
+    "DurableSubscription",
     "KIND_MESH_FORWARD",
     "KIND_MESH_SUMMARY",
+    "KIND_MESH_SYNC",
     "KIND_TPS_SUBSCRIBE",
+    "KIND_TPS_SUBSCRIBE_DURABLE",
     "KIND_TPS_UNSUBSCRIBE",
     "LocalBroker",
     "MeshShard",

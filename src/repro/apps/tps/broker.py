@@ -31,7 +31,9 @@ queue-driven delivery see :mod:`repro.apps.tps.mesh`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+import itertools
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ...core.context import ConformanceOptions
 from ...core.rules import ConformanceChecker
@@ -39,12 +41,36 @@ from ...cts.registry import TypeRegistry
 from ...cts.types import TypeInfo
 from ...describe.description import TypeDescription
 from ...describe.xml_codec import deserialize_description, serialize_description_bytes
-from ...net.network import SimulatedNetwork
-from ...transport.protocol import InteropPeer, ReceivedObject
-from .routing import RoutingIndex
+from ...net.network import NetworkError, SimulatedNetwork, UnknownPeerError
+from ...persistence import CursorStore, EventLog
+from ...transport.protocol import (
+    KIND_DELIVERY_ACK,
+    InteropPeer,
+    ProtocolError,
+    ReceivedObject,
+)
+from .routing import RouteEntry, RoutingIndex
 
 KIND_TPS_SUBSCRIBE = "tps_subscribe"
 KIND_TPS_UNSUBSCRIBE = "tps_unsubscribe"
+KIND_TPS_SUBSCRIBE_DURABLE = "tps_subscribe_durable"
+
+#: Bound on outstanding (issued, unacknowledged) delivery tokens.  On a
+#: lossy fabric a dropped batch or ack would otherwise pin its token
+#: forever; evicting the oldest merely re-labels its records "unacked",
+#: which at-least-once redelivery already covers.
+_MAX_PENDING_ACKS = 4096
+
+#: How many log records may pool into one replay batch message.  Bounds
+#: both the per-message decode burst at the subscriber and the redelivery
+#: window a lost ack reopens.
+_REPLAY_BATCH_RECORDS = 64
+
+#: Distinguishes broker incarnations within one process, so an ack token
+#: issued before a restart can never match a token the restarted broker
+#: issues (same peer id + same sequence number would otherwise collide
+#: and acknowledge an undelivered batch).
+_BROKER_EPOCH = itertools.count(1)
 
 Handler = Callable[[Any], None]
 
@@ -66,6 +92,33 @@ class Subscription:
         who = self.peer_id or "local"
         return "Subscription(#%d %s -> %s)" % (
             self.subscription_id, self.expected.full_name, who,
+        )
+
+
+class DurableSubscription(Subscription):
+    """A subscription backed by a named replay cursor.
+
+    The broker replays the retained backlog below the cursor's log end at
+    subscribe time, then keeps delivering live events; every delivery to a
+    remote durable subscriber carries an ack token, and the cursor only
+    advances when the subscriber echoes it back (at-least-once).  Local
+    (in-process handler) durable subscriptions advance their cursor as
+    soon as the handler returns.
+    """
+
+    __slots__ = ("cursor_name",)
+
+    def __init__(self, expected: TypeInfo, handler: Optional[Handler],
+                 subscription_id: int, peer_id: Optional[str] = None,
+                 cursor_name: str = ""):
+        super().__init__(expected, handler, subscription_id, peer_id=peer_id)
+        self.cursor_name = cursor_name
+
+    def __repr__(self) -> str:
+        who = self.peer_id or "local"
+        return "DurableSubscription(#%d %s -> %s, cursor=%r)" % (
+            self.subscription_id, self.expected.full_name, who,
+            self.cursor_name,
         )
 
 
@@ -136,14 +189,58 @@ class TpsBroker(InteropPeer):
     which re-serves what it downloaded.
     """
 
-    def __init__(self, peer_id: str, network: SimulatedNetwork, **kwargs):
+    def __init__(self, peer_id: str, network: SimulatedNetwork,
+                 log_dir: Optional[str] = None,
+                 log_kwargs: Optional[dict] = None,
+                 cursor_sync_every: int = 1, **kwargs):
         kwargs.setdefault("options", ConformanceOptions.pragmatic())
         super().__init__(peer_id, network, **kwargs)
         self.index = RoutingIndex(self.checker, self.runtime.registry)
         self._next_id = 1
         self.events_routed = 0
+        #: Durability: with a ``log_dir``, every admitted event batch is
+        #: appended to the event log *before* fan-out, and durable
+        #: subscriptions replay from named cursors.
+        #: ``log_kwargs`` passes rotation/retention knobs straight to
+        #: :class:`~repro.persistence.EventLog` (``segment_max_bytes``,
+        #: ``max_segments``, ``max_bytes``); ``cursor_sync_every``
+        #: throttles cursor persistence on the ack hot path (see
+        #: :class:`~repro.persistence.CursorStore`), with the deferred
+        #: tail flushed by :meth:`close`.
+        self.event_log: Optional[EventLog] = None
+        self.cursors: Optional[CursorStore] = None
+        if log_dir is not None:
+            self.event_log = EventLog(os.path.join(log_dir, "events"),
+                                      **(log_kwargs or {}))
+            self.cursors = CursorStore(os.path.join(log_dir, "cursors.json"),
+                                       sync_every=cursor_sync_every)
+        self.events_replayed = 0
+        self.replay_failures = 0
+        self.delivery_failures = 0
+        self._pending_acks: dict = {}  # token -> (peer_id, ((cursor, start, end), ...))
+        #: Per-cursor sliding window of outstanding deliveries, in issue
+        #: order: entries are ``[end, acked, token, start]``.  A cursor
+        #: only advances through the *contiguous acked prefix* of its
+        #: window — an ack for a later batch never skips an earlier one
+        #: still in flight (whose batch may have been dropped by a lossy
+        #: fabric).
+        self._pending_by_cursor: dict = {}
+        #: Lowest log offset that is known-undelivered for a cursor — a
+        #: crashed local handler, or a discarded (evicted/undeliverable)
+        #: in-flight range.  No advance ever passes it, so the records
+        #: are redelivered by the next replay instead of being
+        #: cumulatively acked away.
+        self._cursor_blocks: dict = {}
+        self._ack_seq = 0
+        self._ack_epoch = next(_BROKER_EPOCH)
+        #: Records a durable subscriber missed because retention dropped
+        #: them below its cursor before they were delivered (see ROADMAP:
+        #: slowest-cursor-gated retention is a follow-on).
+        self.retention_lost_records = 0
         self.on(KIND_TPS_SUBSCRIBE, self._handle_subscribe)
         self.on(KIND_TPS_UNSUBSCRIBE, self._handle_unsubscribe)
+        self.on(KIND_TPS_SUBSCRIBE_DURABLE, self._handle_subscribe_durable)
+        self.on(KIND_DELIVERY_ACK, self._handle_delivery_ack)
         self.on_receive(self._route)
 
     # -- subscription management ------------------------------------------
@@ -163,6 +260,13 @@ class TpsBroker(InteropPeer):
         request = self._wire_codec.deserialize(payload)
         subscription = self.index.get(request["id"])
         if self.index.remove(request["id"], peer_id=src) and subscription is not None:
+            if isinstance(subscription, DurableSubscription) \
+                    and self.cursors is not None:
+                # An explicit unsubscribe retires the cursor: a broker
+                # restart must not resurrect a cancelled subscription,
+                # and in-flight acks for it become no-ops.
+                self.cursors.remove(subscription.cursor_name)
+                self._forget_cursor_tokens(subscription.cursor_name)
             self._on_unsubscribed(subscription)
         return self._wire_codec.serialize({"ok": True})
 
@@ -175,6 +279,392 @@ class TpsBroker(InteropPeer):
 
     def remote_subscriptions(self) -> List[Subscription]:
         return self.index.subscriptions()
+
+    # -- durable subscriptions ----------------------------------------------
+
+    def _handle_subscribe_durable(self, payload: bytes, src: str) -> bytes:
+        request = self._wire_codec.deserialize(payload)
+        expected = deserialize_description(request["description"]).to_type_info()
+        description_xml = request["description"]
+        if isinstance(description_xml, bytes):
+            description_xml = description_xml.decode("utf-8")
+        subscription = self.subscribe_durable(
+            expected, None, request["cursor"], peer_id=src,
+            description_xml=description_xml,
+        )
+        return self._wire_codec.serialize({
+            "id": subscription.subscription_id,
+            "cursor_offset": self.cursors.get(subscription.cursor_name),
+        })
+
+    def subscribe_durable(self, expected: TypeInfo,
+                          handler: Optional[Handler] = None,
+                          cursor: str = "",
+                          peer_id: Optional[str] = None,
+                          description_xml: Optional[str] = None
+                          ) -> DurableSubscription:
+        """Register a cursor-backed subscription and replay its backlog.
+
+        ``cursor`` names the durable position: re-subscribing under the
+        same name resumes after the last acknowledged record instead of
+        replaying from the log's beginning.  The retained backlog below
+        the log's *current* end is replayed through the routing index's
+        conformance check (so replay admits exactly what live publish
+        would), then the subscription keeps receiving live events; events
+        appended after this call are live by construction, which is what
+        makes the replay/live boundary duplicate-free.
+
+        Remote subscriptions (``peer_id`` set, ``handler`` ``None``) are
+        persisted with their type description, so a restarted broker can
+        rebuild them (:meth:`recover_durable_subscriptions`); local
+        handler subscriptions persist only their cursor offset.
+        """
+        if self.event_log is None or self.cursors is None:
+            raise NetworkError("broker %s has no event log; pass log_dir= "
+                               "to enable durable subscriptions" % self.peer_id)
+        if not cursor:
+            raise ValueError("a durable subscription needs a cursor name")
+        for existing in self.index.subscriptions():
+            if isinstance(existing, DurableSubscription) \
+                    and existing.cursor_name == cursor:
+                # A reconnect under the same cursor name replaces the old
+                # incarnation — two live subscriptions sharing a cursor
+                # would double-deliver every event.  Only the owner may
+                # replace it: a cursor is not transferable between peers.
+                if existing.peer_id != peer_id:
+                    raise NetworkError(
+                        "cursor %r belongs to %s" % (
+                            cursor, existing.peer_id or "a local handler"))
+                if self.index.remove(existing.subscription_id):
+                    self._on_unsubscribed(existing)
+                # The old incarnation's in-flight deliveries are moot: the
+                # replay below redelivers everything unacked, so its ack
+                # window, undelivered-range block, AND outstanding tokens
+                # must all go — a stale token left for cap-eviction would
+                # re-install a block nothing ever clears.
+                self._forget_cursor_tokens(cursor)
+        stored = self.cursors.entry(cursor)
+        if stored is not None and stored.get("peer_id") != peer_id:
+            # Same ownership rule against the persisted state: a cursor is
+            # not transferable — not between peers, and not between a
+            # detached local handler (peer_id None, awaiting re-attach)
+            # and a remote peer in either direction.
+            raise NetworkError("cursor %r belongs to %s"
+                               % (cursor,
+                                  stored.get("peer_id") or "a local handler"))
+        self.runtime.registry.register(expected)
+        subscription = DurableSubscription(expected, handler, self._next_id,
+                                           peer_id=peer_id, cursor_name=cursor)
+        self._next_id += 1
+        self.index.add(subscription)
+        if description_xml is None and peer_id is not None:
+            description_xml = serialize_description_bytes(
+                TypeDescription.from_type_info(expected)).decode("utf-8")
+        fresh_cursor = cursor not in self.cursors
+        self.cursors.register(cursor, peer_id=peer_id,
+                              description=description_xml)
+        self._on_subscribed(subscription, {
+            "description": serialize_description_bytes(
+                TypeDescription.from_type_info(expected)),
+        })
+        self._replay_subscription(subscription, fresh=fresh_cursor)
+        return subscription
+
+    def recover_durable_subscriptions(self) -> List[DurableSubscription]:
+        """Rebuild remote durable subscriptions from the cursor store.
+
+        Called after a broker restart: each persisted cursor with a peer
+        id and a type description becomes a live subscription again, and
+        its unacknowledged backlog is replayed (at-least-once — a record
+        that was delivered but never acked goes out a second time).
+        Local handler cursors are left untouched; the owning process
+        re-attaches by calling :meth:`subscribe_durable` under the same
+        cursor name.
+        """
+        if self.event_log is None or self.cursors is None:
+            return []
+        restored = []
+        for name in self.cursors.names():
+            entry = self.cursors.entry(name)
+            peer_id = entry.get("peer_id")
+            description = entry.get("description")
+            if not peer_id or not description:
+                continue
+            expected = deserialize_description(description).to_type_info()
+            restored.append(self.subscribe_durable(
+                expected, None, name, peer_id=peer_id,
+                description_xml=description))
+        return restored
+
+    # -- replay -------------------------------------------------------------
+
+    def _replay_subscription(self, subscription: DurableSubscription,
+                             fresh: bool = False) -> int:
+        """Replay retained records in ``[cursor, log end)`` to one
+        subscription; returns the number of events sent/delivered.
+
+        A failure (handler crash, unmaterializable record) aborts the
+        pass: replaying on would let a later record's cumulative cursor
+        advance mark the failed one acked."""
+        upto = self.event_log.next_offset
+        cursor_offset = self.cursors.get(subscription.cursor_name)
+        start = max(cursor_offset, self.event_log.first_offset)
+        if start > cursor_offset and not fresh:
+            # Retention dropped records this (pre-existing) subscriber
+            # never received — surface the gap instead of silently
+            # clamping past it.  A brand-new cursor starting on an aged
+            # log missed nothing; it simply begins at the retained head.
+            self.retention_lost_records += start - cursor_offset
+        if subscription.handler is not None:
+            replayed = 0
+            for record in self.event_log.replay(start, upto):
+                sent = self._replay_record_local(subscription, record)
+                if sent is None:
+                    break
+                replayed += sent
+            return replayed
+        return self._replay_remote(subscription, start, upto)
+
+    def _advance_if_unblocked(self, subscription: DurableSubscription,
+                              offset: int) -> None:
+        """Advance a cursor past a record nothing was sent for.
+
+        Safe only while no issued-but-unacknowledged token exists for the
+        cursor: acks are cumulative, so jumping ahead of an in-flight
+        delivery would mark it acked before the subscriber confirmed it.
+        When tokens are outstanding, the next ack covers the skipped
+        record anyway."""
+        if not self._pending_by_cursor.get(subscription.cursor_name):
+            self._advance_capped(subscription.cursor_name, offset)
+
+    def _materialize_record(self, subscription: DurableSubscription,
+                            record) -> Optional[List[Any]]:
+        """Decode one log record's values, fetching code from the record's
+        origin on demand; ``None`` (after counting the failure) when the
+        origin — and every code source — cannot serve it right now."""
+        envelope = self.codec.parse(record.payload)
+        try:
+            return self._materialize_batch(envelope, record.origin or
+                                           (subscription.peer_id or self.peer_id))
+        except (ProtocolError, NetworkError):
+            self.replay_failures += 1
+            return None
+
+    def _conforming(self, subscription: DurableSubscription,
+                    values: List[Any]) -> List[Tuple[Any, RouteEntry]]:
+        matched = []
+        for value in values:
+            entry = self.index.lookup(value.type_info, subscription.expected)
+            if entry is not None:
+                matched.append((value, entry))
+        return matched
+
+    def _replay_record_local(self, subscription: DurableSubscription,
+                             record) -> Optional[int]:
+        """Replay one record to an in-process handler (self-acking)."""
+        if record.origin and record.origin == subscription.peer_id:
+            # Never echo a publisher's own events back — and do not leave
+            # the cursor pinned below them either.
+            self._advance_local(subscription, record.offset + 1)
+            return 0
+        values = self._materialize_record(subscription, record)
+        if values is None:
+            return None  # halt: a later ack must not skip this record
+        conforming = self._conforming(subscription, values)
+        if not conforming:
+            # Nothing to wait for: a local no-op record is acked now.
+            self._advance_local(subscription, record.offset + 1)
+            return 0
+        for value, entry in conforming:
+            if not self._deliver_local(subscription, entry, value,
+                                       log_offset=record.offset):
+                return None  # unacked: this pass stops at the failure
+            subscription.delivered += 1
+            self.events_replayed += 1
+        block = self._cursor_blocks.get(subscription.cursor_name)
+        if block is not None and record.offset >= block:
+            # The once-failed event was redelivered successfully: the
+            # cursor may move again.
+            del self._cursor_blocks[subscription.cursor_name]
+        self._advance_local(subscription, record.offset + 1)
+        return len(conforming)
+
+    def _replay_remote(self, subscription: DurableSubscription,
+                       start: int, upto: int) -> int:
+        """Replay a remote subscription's backlog as coalesced batches.
+
+        Consecutive same-origin records pool into one batch message (up
+        to ``_REPLAY_BATCH_RECORDS`` records) under ONE cumulative ack
+        token — an N-record backlog costs ~N/K messages, not 2N.  Records
+        with nothing to send (non-conforming, self-origin) extend the
+        open batch's ack range, so its acknowledgement consumes them too.
+        """
+        replayed = 0
+        batch: List[Any] = []
+        batch_origin: Optional[str] = None
+        batch_records = 0
+        batch_start = start
+        batch_end = start
+
+        def flush() -> bool:
+            nonlocal batch, batch_origin, batch_records, replayed
+            if not batch:
+                return True
+            token = self._issue_ack_token(
+                subscription.peer_id,
+                ((subscription.cursor_name, batch_start, batch_end),))
+            payload = self.codec.encode_batch(batch, origin=batch_origin,
+                                              ack=token)
+            count = len(batch)
+            batch, batch_origin, batch_records = [], None, 0
+            try:
+                self.send_payload_batch(subscription.peer_id, payload, count)
+            except UnknownPeerError:
+                self._discard_pending(token)
+                self.network.stats.record_drop()  # subscriber left
+                return False
+            subscription.delivered += count
+            self.events_replayed += count
+            replayed += count
+            return True
+
+        for record in self.event_log.replay(start, upto):
+            if record.origin and record.origin == subscription.peer_id:
+                # Own events are never echoed; fold them into the open
+                # batch's ack range, or advance directly when idle.
+                if batch:
+                    batch_end = record.offset + 1
+                else:
+                    self._advance_if_unblocked(subscription,
+                                               record.offset + 1)
+                continue
+            values = self._materialize_record(subscription, record)
+            if values is None:
+                # Deliver what already accumulated (its ack stops below
+                # the failed record), then halt the pass.
+                flush()
+                return replayed
+            conforming = self._conforming(subscription, values)
+            if not conforming:
+                if batch:
+                    batch_end = record.offset + 1
+                else:
+                    # Nothing sent and nothing in flight from this pass:
+                    # a tail of non-conforming records is consumed, not
+                    # re-scanned forever.
+                    self._advance_if_unblocked(subscription,
+                                               record.offset + 1)
+                continue
+            origin = record.origin or None
+            if batch and (origin != batch_origin
+                          or batch_records >= _REPLAY_BATCH_RECORDS):
+                if not flush():
+                    return replayed
+            if not batch:
+                batch_start = record.offset
+            batch.extend(value for value, _ in conforming)
+            batch_origin = origin
+            batch_records += 1
+            batch_end = record.offset + 1
+        flush()
+        return replayed
+
+    # -- acknowledgements ---------------------------------------------------
+
+    def _issue_ack_token(self, peer_id: Optional[str],
+                         entries: Sequence[Tuple[str, int, int]]) -> str:
+        """Register one outgoing delivery; ``entries`` are
+        ``(cursor, start, end)`` record-offset ranges the delivery covers."""
+        if len(self._pending_acks) >= _MAX_PENDING_ACKS:
+            # Lossy fabrics can orphan tokens (batch or ack dropped);
+            # evict the oldest so the table stays bounded.  Discarding
+            # blocks its cursors at the range start, so the records stay
+            # unacked and are redelivered on the next replay.
+            self._discard_pending(next(iter(self._pending_acks)))
+        self._ack_seq += 1
+        token = "%s/%d/ack-%d" % (self.peer_id, self._ack_epoch,
+                                  self._ack_seq)
+        self._pending_acks[token] = (peer_id, tuple(entries))
+        for cursor_name, start, end in entries:
+            self._pending_by_cursor.setdefault(cursor_name, []).append(
+                [end, False, token, start])
+        return token
+
+    def _forget_cursor_tokens(self, cursor_name: str) -> None:
+        """Retire a cursor's in-flight delivery state (window, block, and
+        its ranges inside outstanding tokens) when the subscription is
+        replaced or unsubscribed — the ranges are either replayed fresh or
+        deliberately abandoned, so a stale token must not resurface later
+        (via cap eviction) as a block nothing clears."""
+        window = self._pending_by_cursor.pop(cursor_name, None)
+        self._cursor_blocks.pop(cursor_name, None)
+        for entry in window or ():
+            token = entry[2]
+            pending = self._pending_acks.get(token)
+            if pending is None:
+                continue
+            remaining = tuple(item for item in pending[1]
+                              if item[0] != cursor_name)
+            if remaining:
+                self._pending_acks[token] = (pending[0], remaining)
+            else:
+                del self._pending_acks[token]
+
+    def _discard_pending(self, token: str):
+        """Forget an outstanding token (evicted or undeliverable);
+        returns the entry so callers can act on it.
+
+        The token's records were (possibly) never delivered, so each
+        covered cursor is blocked at the range's start: later cumulative
+        acks cannot skip the hole, and the next replay (which clears the
+        block) redelivers it."""
+        pending = self._pending_acks.pop(token, None)
+        if pending is not None:
+            for cursor_name, start, _ in pending[1]:
+                window = self._pending_by_cursor.get(cursor_name)
+                if window:
+                    remaining = [entry for entry in window
+                                 if entry[2] != token]
+                    if remaining:
+                        self._pending_by_cursor[cursor_name] = remaining
+                    else:
+                        del self._pending_by_cursor[cursor_name]
+                self._cursor_blocks[cursor_name] = min(
+                    self._cursor_blocks.get(cursor_name, start), start)
+        return pending
+
+    def _handle_delivery_ack(self, payload: bytes, src: str) -> bytes:
+        """Mark one delivery acknowledged and advance its cursors through
+        the contiguous acked prefix of their windows.
+
+        An ack for a later batch while an earlier one is still in flight
+        (possibly dropped by the loss model) must NOT advance past the
+        earlier batch's records — they would never be redelivered.
+        Unknown tokens — e.g. an ack that raced a broker restart — are
+        ignored; their records simply get replayed (at-least-once)."""
+        token = payload.decode("utf-8")
+        pending = self._pending_acks.get(token)
+        if pending is None or pending[0] != src:
+            return b"OK"
+        del self._pending_acks[token]
+        for cursor_name, _, _ in pending[1]:
+            window = self._pending_by_cursor.get(cursor_name)
+            if window is None:
+                continue
+            for entry in window:
+                if entry[2] == token:
+                    entry[1] = True
+            acked_to: Optional[int] = None
+            while window and window[0][1]:
+                acked_to = window.pop(0)[0]
+            if not window:
+                del self._pending_by_cursor[cursor_name]
+            if acked_to is not None:
+                self._advance_capped(cursor_name, acked_to)
+        return b"OK"
+
+    def pending_ack_count(self) -> int:
+        return len(self._pending_acks)
 
     def stats(self) -> dict:
         """Observability snapshot: routed-event and per-subscription
@@ -190,29 +680,131 @@ class TpsBroker(InteropPeer):
             "routing": self.index.stats.as_dict(),
             "transport": self.transport_stats.as_dict(),
         }
+        if self.event_log is not None:
+            snapshot["log"] = self.event_log.stats()
+            snapshot["cursors"] = self.cursors.as_dict()
+            snapshot["events_replayed"] = self.events_replayed
+            snapshot["replay_failures"] = self.replay_failures
+            snapshot["delivery_failures"] = self.delivery_failures
+            snapshot["retention_lost_records"] = self.retention_lost_records
+            snapshot["pending_acks"] = self.pending_ack_count()
         snapshot.update(self._extra_stats())
         return snapshot
 
     def _extra_stats(self) -> dict:
         return {}
 
+    def close(self) -> None:
+        super().close()
+        if self.event_log is not None:
+            self.event_log.close()
+        if self.cursors is not None:
+            self.cursors.flush()
+
     # -- routing ------------------------------------------------------------
+
+    def _append_to_log(self, values: List[Any], origin: str) -> Optional[int]:
+        """Durably log one admitted batch before any fan-out; returns the
+        record's offset (``None`` when the broker has no log)."""
+        if self.event_log is None:
+            return None
+        return self.event_log.append(
+            self.codec.encode_batch(values, origin=origin), origin=origin)
 
     def _route(self, received: ReceivedObject) -> None:
         if received.value is None:
             return
-        event_type = received.value.type_info
+        value = received.value
+        event_type = value.type_info
         payload: Optional[bytes] = None
+        #: One batch envelope serves both the log append and every durable
+        #: live delivery — the RBS2B frame is serialized once; only the
+        #: XML shell is re-rendered per ack token.
+        durable_envelope = None
+        log_offset: Optional[int] = None
+        if self.event_log is not None:
+            durable_envelope = self.codec.wrap_batch([value],
+                                                     origin=received.sender)
+            log_offset = self.event_log.append(
+                self.codec.envelope_to_bytes(durable_envelope),
+                origin=received.sender)
         for entry, subscriptions in self.index.route(event_type):
             for subscription in subscriptions:
                 if subscription.peer_id == received.sender:
                     continue  # do not echo events back to their publisher
-                if payload is None:
-                    # Encode once per event, not once per subscriber.
-                    payload = self.codec.encode(received.value)
-                self.send_payload(subscription.peer_id, payload)
+                if subscription.handler is not None:
+                    if not self._deliver_local(subscription, entry, value,
+                                               log_offset=log_offset):
+                        continue  # failed handlers must not abort fan-out
+                    if log_offset is not None and isinstance(
+                            subscription, DurableSubscription):
+                        self._advance_local(subscription, log_offset + 1)
+                elif log_offset is not None and isinstance(
+                        subscription, DurableSubscription):
+                    # Durable live delivery: one single-event batch whose
+                    # ack token advances the subscriber's cursor.  The
+                    # binary frame is serialized once and reused; only the
+                    # per-subscriber ack attribute differs.
+                    token = self._issue_ack_token(
+                        subscription.peer_id,
+                        ((subscription.cursor_name, log_offset,
+                          log_offset + 1),))
+                    durable_envelope.ack = token
+                    try:
+                        self.send_payload_batch(
+                            subscription.peer_id,
+                            self.codec.envelope_to_bytes(durable_envelope),
+                            1)
+                    except UnknownPeerError:
+                        # The durable subscriber is offline: its record
+                        # stays unacked (replayed when it returns) and the
+                        # rest of the fan-out proceeds.
+                        self._discard_pending(token)
+                        self.network.stats.record_drop()
+                        continue
+                else:
+                    if payload is None:
+                        # Encode once per event, not once per subscriber.
+                        payload = self.codec.encode(value)
+                    self.send_payload(subscription.peer_id, payload)
                 subscription.delivered += 1
                 self.events_routed += 1
+
+    def _deliver_local(self, subscription: Subscription, entry: RouteEntry,
+                       value: Any, log_offset: Optional[int] = None) -> bool:
+        """Run one in-process handler, isolating its failures from the
+        rest of the fan-out (and, for durable subscriptions, from the
+        cursor: an event a handler crashed on is not acknowledged —
+        ``log_offset`` pins the cursor below it until a replay succeeds)."""
+        try:
+            subscription.handler(entry.view(value, self.checker))
+            return True
+        except Exception:
+            self.delivery_failures += 1
+            if log_offset is not None and isinstance(
+                    subscription, DurableSubscription):
+                name = subscription.cursor_name
+                self._cursor_blocks[name] = min(
+                    self._cursor_blocks.get(name, log_offset), log_offset)
+            return False
+
+    def _advance_capped(self, cursor_name: str, target: int) -> None:
+        """The single gate every cursor advance goes through: capped
+        below any known-undelivered offset (``_cursor_blocks``), and a
+        no-op for retired cursors — an ack racing an unsubscribe must not
+        resurrect a removed cursor as a zombie entry."""
+        if self.cursors is None or cursor_name not in self.cursors:
+            return
+        block = self._cursor_blocks.get(cursor_name)
+        if block is not None:
+            target = min(target, block)
+        self.cursors.advance(cursor_name, target)
+
+    def _advance_local(self, subscription: DurableSubscription,
+                       target: int) -> None:
+        """Advance a local durable cursor (capped: acks are cumulative —
+        advancing past a failed event would mark it processed)."""
+        self._advance_capped(subscription.cursor_name, target)
 
 
 class TpsSubscriberMixin:
@@ -222,28 +814,88 @@ class TpsSubscriberMixin:
     :class:`InteropPeer` surface (notably its shared ``_wire_codec``).
     """
 
-    def subscribe_remote(self, broker_id: str, expected: TypeInfo,
-                         handler: Handler) -> int:
-        """Declare interest at a broker; matching events arrive as proxied
-        views of ``expected`` and are passed to ``handler``."""
+    def _subscribe_at(self, broker_id: str, kind: str, expected: TypeInfo,
+                      handler: Handler,
+                      extra: Optional[dict] = None,
+                      replace_key=None) -> int:
+        """Shared subscribe machinery: declare the interest, send the
+        description (plus any ``extra`` request fields) under ``kind``,
+        and install the interest-gated delivery callback.  Both the plain
+        and the durable subscribe paths route through here, so delivery
+        gating can never silently diverge between them.
+
+        ``replace_key`` deduplicates the delivery callback: a reconnect
+        under the same key (the durable path uses ``(broker, cursor)``)
+        swaps the old closure out instead of stacking a second one that
+        would run the application handler twice per event.
+        """
         self.declare_interest(expected)
         description = TypeDescription.from_type_info(expected)
+        request = {"description": serialize_description_bytes(description)}
+        if extra:
+            request.update(extra)
         response = self.request(
-            broker_id,
-            KIND_TPS_SUBSCRIBE,
-            self._wire_codec.serialize(
-                {"description": serialize_description_bytes(description)}
-            ),
+            broker_id, kind,
+            self._wire_codec.serialize(request),
             retries=self.max_retries,
         )
         subscription_id = self._wire_codec.deserialize(response)["id"]
 
+        # The admission check credits the FIRST declared interest an event
+        # conforms to, so a reconnect's gate must keep accepting the
+        # interest objects its earlier incarnations declared.
+        gate = [expected]
+        registry = None
+        if replace_key is not None:
+            registry = self.__dict__.setdefault("_deliver_callbacks", {})
+            old = registry.get(replace_key)
+            if old is not None:
+                old_deliver, old_gate = old
+                if old_deliver in self._receive_callbacks:
+                    self._receive_callbacks.remove(old_deliver)
+                gate.extend(old_gate)
+
         def deliver(received: ReceivedObject) -> None:
-            if received.accepted and received.interest is expected:
+            if received.accepted and any(received.interest is candidate
+                                         for candidate in gate):
                 handler(received.view)
 
+        if registry is not None:
+            registry[replace_key] = (deliver, gate)
         self.on_receive(deliver)
         return subscription_id
+
+    def subscribe_remote(self, broker_id: str, expected: TypeInfo,
+                         handler: Handler) -> int:
+        """Declare interest at a broker; matching events arrive as proxied
+        views of ``expected`` and are passed to ``handler``."""
+        return self._subscribe_at(broker_id, KIND_TPS_SUBSCRIBE, expected,
+                                  handler)
+
+    def subscribe_durable_remote(self, broker_id: str, expected: TypeInfo,
+                                 handler: Handler, cursor: str) -> int:
+        """Durably subscribe at a broker under a named replay cursor.
+
+        The broker replays the retained backlog (events appended before
+        this call, above the cursor's acked position) as batch messages,
+        then keeps delivering live events; each delivery carries an ack
+        token the transport echoes automatically, advancing the cursor.
+        Replay and live traffic both travel the queued one-way path —
+        drain the network (``run_until_idle``) to receive them.
+
+        An ack means the *peer* admitted the batch (decoded it and ran its
+        interest checks), not that this ``handler`` fired: like
+        :meth:`subscribe_remote`, the handler is gated on the event
+        matching ``expected`` among the peer's declared interests, and
+        first-conforming-wins.  A peer that declares several overlapping
+        interests should therefore durable-subscribe with the one it
+        wants credited to the cursor, or use a dedicated subscriber peer
+        per cursor (what every in-repo user does).
+        """
+        return self._subscribe_at(broker_id, KIND_TPS_SUBSCRIBE_DURABLE,
+                                  expected, handler,
+                                  extra={"cursor": cursor},
+                                  replace_key=(broker_id, cursor))
 
     def unsubscribe_remote(self, broker_id: str, subscription_id: int) -> None:
         self.request(

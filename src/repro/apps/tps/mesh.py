@@ -33,9 +33,11 @@ path, exactly as in the paper; only the one-way event fan-out is queued.
 from __future__ import annotations
 
 import hashlib
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ...describe.xml_codec import deserialize_description
+from ...describe.description import TypeDescription
+from ...describe.xml_codec import deserialize_description, serialize_description_bytes
 from ...net.network import (
     MessageDropped,
     NetworkError,
@@ -43,11 +45,12 @@ from ...net.network import (
     UnknownPeerError,
 )
 from ...transport.protocol import ReceivedObject
-from .broker import Subscription, TpsBroker
+from .broker import DurableSubscription, Subscription, TpsBroker
 from .routing import RoutingIndex
 
 KIND_MESH_FORWARD = "mesh_forward"
 KIND_MESH_SUMMARY = "mesh_summary"
+KIND_MESH_SYNC = "mesh_sync"
 
 
 def rendezvous_shard(key: str, shard_ids: Sequence[str]) -> str:
@@ -91,6 +94,9 @@ class MeshShard(TpsBroker):
         self._next_summary_id = 1
         #: Buffered deliveries: destination peer -> events, in arrival order.
         self._outgoing: Dict[str, List[Any]] = {}
+        #: Durable-cursor high-water marks covered by the buffered events,
+        #: per destination: peer -> {cursor name -> acked-when offset}.
+        self._outgoing_acks: Dict[str, Dict[str, int]] = {}
         #: Buffered forwards: (sibling shard, origin publisher) -> events.
         self._forward_out: Dict[Tuple[str, str], List[Any]] = {}
         self.batch_events = 0
@@ -100,6 +106,7 @@ class MeshShard(TpsBroker):
         self.gossip_failures = 0
         self.on(KIND_MESH_FORWARD, self._handle_forward)
         self.on(KIND_MESH_SUMMARY, self._handle_summary)
+        self.on(KIND_MESH_SYNC, self._handle_sync)
 
     def set_siblings(self, shard_ids: Sequence[str]) -> None:
         self._siblings = [sid for sid in shard_ids if sid != self.peer_id]
@@ -136,20 +143,21 @@ class MeshShard(TpsBroker):
 
     def _handle_summary(self, payload: bytes, src: str) -> bytes:
         message = self._wire_codec.deserialize(payload)
+        if message["op"] == "reset":
+            # A restarted sibling is about to re-announce its world: drop
+            # whatever we believed about it (stale refcounts included).
+            for key in [key for key in self._summaries if key[0] == src]:
+                summary, _ = self._summaries.pop(key)
+                self.summary_index.remove(summary.subscription_id, peer_id=src)
+            return self._wire_codec.serialize({"ok": True})
         key = (src, message["guid"])
         entry = self._summaries.get(key)
         if message["op"] == "add":
             if entry is not None:
                 entry[1] += 1
             else:
-                expected = deserialize_description(
-                    message["description"]).to_type_info()
-                self.runtime.registry.register(expected)
-                summary = Subscription(expected, None, self._next_summary_id,
-                                       peer_id=src)
-                self._next_summary_id += 1
-                self.summary_index.add(summary)
-                self._summaries[key] = [summary, 1]
+                self._add_summary(src, message["guid"],
+                                  message["description"], 1)
         elif entry is not None:
             entry[1] -= 1
             if entry[1] <= 0:
@@ -157,24 +165,141 @@ class MeshShard(TpsBroker):
                 del self._summaries[key]
         return self._wire_codec.serialize({"ok": True})
 
+    def _add_summary(self, src: str, guid: str, description,
+                     count: int) -> None:
+        """Index one refcounted (shard, expected-type) summary entry —
+        the single construction site for both gossip adds and restart
+        resyncs."""
+        expected = deserialize_description(description).to_type_info()
+        self.runtime.registry.register(expected)
+        summary = Subscription(expected, None, self._next_summary_id,
+                               peer_id=src)
+        self._next_summary_id += 1
+        self.summary_index.add(summary)
+        self._summaries[(src, guid)] = [summary, count]
+
     def summaries(self) -> List[Subscription]:
         """The sibling-subscription summaries this shard currently holds."""
         return self.summary_index.subscriptions()
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _handle_sync(self, payload: bytes, src: str) -> bytes:
+        """Serve this shard's local-subscription summary to a restarted
+        sibling: one refcounted entry per expected-type identity."""
+        groups: Dict[str, Dict[str, Any]] = {}
+        for subscription in self.index.subscriptions():
+            guid = str(subscription.expected.guid)
+            group = groups.get(guid)
+            if group is None:
+                group = groups[guid] = {
+                    "guid": guid,
+                    "description": serialize_description_bytes(
+                        TypeDescription.from_type_info(subscription.expected)),
+                    "count": 0,
+                }
+            group["count"] += 1
+        return self._wire_codec.serialize({"summaries": list(groups.values())})
+
+    def _sync_summaries(self) -> int:
+        """Rebuild the forwarding filter after a restart by asking every
+        sibling for its current local-subscription summary."""
+        synced = 0
+        for shard_id in self._siblings:
+            try:
+                response = self.request(shard_id, KIND_MESH_SYNC, b"",
+                                        retries=self.max_retries)
+            except (MessageDropped, NetworkError):
+                self.gossip_failures += 1
+                continue
+            for item in self._wire_codec.deserialize(response)["summaries"]:
+                key = (shard_id, item["guid"])
+                if key in self._summaries:
+                    self._summaries[key][1] = item["count"]
+                    continue
+                self._add_summary(shard_id, item["guid"],
+                                  item["description"], item["count"])
+                synced += 1
+        return synced
+
+    def recover(self) -> List[DurableSubscription]:
+        """Bring a freshly restarted shard back into the mesh.
+
+        Rebuilds the sibling-summary forwarding filter, tells siblings to
+        drop their stale view of this shard, re-registers every persisted
+        remote durable subscription (which re-gossips its summary), and
+        replays each one's unacknowledged backlog from the shard's own
+        event log.  Replay batches ride the queued one-way path — drain
+        the mesh to deliver them.
+        """
+        self._sync_summaries()
+        self._gossip({"op": "reset"})
+        return self.recover_durable_subscriptions()
 
     # -- routing (buffered) ------------------------------------------------
 
     def _route(self, received: ReceivedObject) -> None:
         if received.value is None:
             return
-        self._buffer_event(received.value, received.sender, forward=True)
+        # Durability: the shard that homes an event logs it BEFORE any
+        # buffering or forwarding — once append returns, a *process* crash
+        # can no longer lose the event for durable subscribers (appends
+        # reach the OS, not fsync; see the EventLog docstring).
+        log_offset = self._append_to_log([received.value], received.sender)
+        local_acks: Dict[str, bool] = {}
+        self._buffer_event(received.value, received.sender, forward=True,
+                           log_offset=log_offset, local_acks=local_acks)
+        self._settle_local_acks(local_acks, log_offset)
 
-    def _buffer_event(self, value: Any, origin: str, forward: bool) -> None:
+    def _settle_local_acks(self, local_acks: Dict[str, bool],
+                           log_offset: Optional[int]) -> None:
+        """Advance local durable cursors once per *record*, and only when
+        every one of the record's values was handled — a handler that
+        crashed on value 2 after accepting value 1 must leave the whole
+        record unacked so replay redelivers it (at-least-once)."""
+        if log_offset is None:
+            return
+        for cursor_name, all_ok in local_acks.items():
+            if all_ok:
+                self._advance_capped(cursor_name, log_offset + 1)
+
+    def _buffer_event(self, value: Any, origin: str, forward: bool,
+                      log_offset: Optional[int] = None,
+                      local_acks: Optional[Dict[str, bool]] = None) -> None:
         event_type = value.type_info
         for entry, subscriptions in self.index.route(event_type):
             for subscription in subscriptions:
                 if subscription.peer_id == origin:
                     continue  # do not echo events back to their publisher
-                self._outgoing.setdefault(subscription.peer_id, []).append(value)
+                if subscription.handler is not None:
+                    # Local in-process durable consumer: deliver inline and
+                    # self-ack (there is no network boundary to survive).
+                    # Failures are isolated — one broken handler must not
+                    # abort the fan-out or the cross-shard forwards below.
+                    delivered_ok = self._deliver_local(subscription, entry,
+                                                       value,
+                                                       log_offset=log_offset)
+                    if log_offset is not None and local_acks is not None \
+                            and isinstance(subscription, DurableSubscription):
+                        name = subscription.cursor_name
+                        local_acks[name] = (local_acks.get(name, True)
+                                            and delivered_ok)
+                    if not delivered_ok:
+                        continue
+                else:
+                    self._outgoing.setdefault(
+                        subscription.peer_id, []).append(value)
+                    if log_offset is not None and isinstance(
+                            subscription, DurableSubscription):
+                        acks = self._outgoing_acks.setdefault(
+                            subscription.peer_id, {})
+                        window = acks.get(subscription.cursor_name)
+                        if window is None:
+                            acks[subscription.cursor_name] = [
+                                log_offset, log_offset + 1]
+                        else:
+                            window[0] = min(window[0], log_offset)
+                            window[1] = max(window[1], log_offset + 1)
                 subscription.delivered += 1
                 self.events_routed += 1
         if not forward:
@@ -188,11 +313,22 @@ class MeshShard(TpsBroker):
 
     def _handle_forward(self, payload: bytes, src: str) -> bytes:
         envelope = self.codec.parse(payload)
-        values = self._materialize_batch(envelope, src)
         origin = envelope.origin or src
         self.forwards_received += 1
+        # Forwarded-in events are logged too — BEFORE materializing: this
+        # shard's log is the full local-delivery history, and a transient
+        # code-fetch failure below must not lose the record (the sender
+        # will not resend; replay retries materialization later).
+        log_offset: Optional[int] = None
+        if self.event_log is not None:
+            log_offset = self.event_log.append(payload, origin=origin)
+        values = self._materialize_batch(envelope, src)
+        local_acks: Dict[str, bool] = {}
         for value in values:
-            self._buffer_event(value, origin, forward=False)
+            self._buffer_event(value, origin, forward=False,
+                               log_offset=log_offset,
+                               local_acks=local_acks)
+        self._settle_local_acks(local_acks, log_offset)
         return b"OK"
 
     # -- draining ----------------------------------------------------------
@@ -209,26 +345,51 @@ class MeshShard(TpsBroker):
         the same payload bytes).  The messages travel when the network
         scheduler drains — delivery stays out of every publisher's stack.
         """
+        #: Wrapped (binary-serialized) envelopes by content; the XML shell
+        #: is rendered per destination only when an ack token personalises
+        #: it — identical ack-free batches still share final bytes.
+        wrapped: Dict[Tuple[Optional[str], Tuple[int, ...]], Any] = {}
         encoded: Dict[Tuple[Optional[str], Tuple[int, ...]], bytes] = {}
 
-        def encode(values: List[Any], origin: Optional[str]) -> bytes:
+        def encode(values: List[Any], origin: Optional[str],
+                   ack: Optional[str] = None) -> bytes:
             key = (origin, tuple(id(value) for value in values))
+            envelope = wrapped.get(key)
+            if envelope is None:
+                envelope = wrapped[key] = self.codec.wrap_batch(
+                    values, origin=origin)
+            if ack is not None:
+                envelope.ack = ack
+                payload = self.codec.envelope_to_bytes(envelope)
+                envelope.ack = None
+                return payload
             payload = encoded.get(key)
             if payload is None:
-                payload = self.codec.encode_batch(values, origin=origin)
-                encoded[key] = payload
+                payload = encoded[key] = self.codec.envelope_to_bytes(envelope)
             return payload
 
         sent = 0
         for dst, values in self._outgoing.items():
+            acks = self._outgoing_acks.get(dst)
+            token: Optional[str] = None
+            if acks:
+                # The batch covers durable subscriptions: its ack advances
+                # their cursors through the logged offset ranges.
+                token = self._issue_ack_token(dst, tuple(
+                    (name, window[0], window[1])
+                    for name, window in sorted(acks.items())))
             try:
-                self.send_payload_batch(dst, encode(values, None), len(values))
+                self.send_payload_batch(dst, encode(values, None, token),
+                                        len(values))
             except UnknownPeerError:
+                if token is not None:
+                    self._discard_pending(token)
                 self.network.stats.record_drop()  # subscriber left the fabric
                 continue
             self.batch_events += len(values)
             sent += 1
         self._outgoing.clear()
+        self._outgoing_acks.clear()
         for (shard_id, origin), values in self._forward_out.items():
             try:
                 self.post_async(shard_id, KIND_MESH_FORWARD,
@@ -268,18 +429,30 @@ class BrokerMesh:
     """
 
     def __init__(self, network: SimulatedNetwork, shard_count: int = 4,
-                 name: str = "mesh", **broker_kwargs):
+                 name: str = "mesh", log_root: Optional[str] = None,
+                 **broker_kwargs):
         if shard_count < 1:
             raise ValueError("a mesh needs at least one shard")
         self.network = network
+        #: With a ``log_root``, every shard gets a durable event log under
+        #: ``log_root/<shard id>`` — the precondition for durable
+        #: subscriptions and :meth:`restart_shard` crash recovery.
+        self.log_root = log_root
+        self._broker_kwargs = dict(broker_kwargs)
         self.shards: List[MeshShard] = [
-            MeshShard("%s-shard%d" % (name, index), network, **broker_kwargs)
+            self._spawn_shard("%s-shard%d" % (name, index))
             for index in range(shard_count)
         ]
         shard_ids = [shard.peer_id for shard in self.shards]
         for shard in self.shards:
             shard.set_siblings(shard_ids)
         self._by_id = {shard.peer_id: shard for shard in self.shards}
+
+    def _spawn_shard(self, shard_id: str) -> MeshShard:
+        kwargs = dict(self._broker_kwargs)
+        if self.log_root is not None:
+            kwargs["log_dir"] = os.path.join(self.log_root, shard_id)
+        return MeshShard(shard_id, self.network, **kwargs)
 
     @property
     def shard_ids(self) -> List[str]:
@@ -291,6 +464,43 @@ class BrokerMesh:
 
     def home(self, peer_id: str) -> MeshShard:
         return self._by_id[self.shard_for(peer_id)]
+
+    def shard(self, shard_id: str) -> MeshShard:
+        return self._by_id[shard_id]
+
+    # -- crash recovery ----------------------------------------------------
+
+    def restart_shard(self, shard_id: str) -> MeshShard:
+        """Crash-restart one shard: tear it down, rebuild it from its
+        durable state, and reconnect it to the mesh.
+
+        The replacement shard reopens the same event log (running the
+        torn-tail recovery scan), reloads its remote durable
+        subscriptions from the cursor store, resynchronises sibling
+        summaries, and replays each durable subscription's
+        unacknowledged backlog — acked-past events are never resent,
+        unacked ones go out again (at-least-once).  Non-durable
+        subscriptions die with the old shard, exactly like a real broker
+        crash.  The old incarnation's buffered deliveries die with it;
+        messages already queued on the fabric under the shard's peer id
+        are delivered to the NEW incarnation at drain time (a stale
+        forward is logged and delivered — a possible duplicate the
+        at-least-once contract allows; a stale ack misses the empty
+        pending table and is ignored).
+
+        Drain the mesh afterwards to deliver the replayed backlog.
+        """
+        old = self._by_id.get(shard_id)
+        if old is None:
+            raise ValueError("no shard %r in this mesh" % shard_id)
+        position = self.shards.index(old)
+        old.close()  # unregisters from the fabric, closes the log
+        shard = self._spawn_shard(shard_id)
+        shard.set_siblings(self.shard_ids)
+        self.shards[position] = shard
+        self._by_id[shard_id] = shard
+        shard.recover()
+        return shard
 
     # -- draining ----------------------------------------------------------
 
@@ -304,14 +514,26 @@ class BrokerMesh:
 
     def run_until_idle(self, max_rounds: int = 10_000) -> int:
         """Pump rounds until no queued message and no buffered event
-        remain; returns the total activity count."""
+        remain; returns the total activity count.
+
+        Exhausting ``max_rounds`` with work still pending records a
+        ``stalled`` count in the fabric's :class:`NetworkStats` and
+        raises — a stuck mesh must be loud, not silently half-drained.
+        """
         total = 0
         for _ in range(max_rounds):
             progressed = self.flush()
             total += progressed
             if not progressed and not self.network.pending():
                 return total
-        raise NetworkError("mesh did not go idle in %d rounds" % max_rounds)
+        if not self.network.pending() and not any(
+                shard.pending_deliveries() for shard in self.shards):
+            return total  # the final round drained the mesh: not a stall
+        self.network.stats.record_stall()
+        raise NetworkError("mesh did not go idle in %d rounds "
+                           "(%d messages queued, %d deliveries buffered)"
+                           % (max_rounds, self.network.pending(),
+                              sum(s.pending_deliveries() for s in self.shards)))
 
     # -- observability -----------------------------------------------------
 
@@ -328,6 +550,8 @@ class BrokerMesh:
             "forward_events": sum(s.forward_events for s in self.shards),
             "batch_events": sum(s.batch_events for s in self.shards),
             "gossip_failures": sum(s.gossip_failures for s in self.shards),
+            "events_replayed": sum(s.events_replayed for s in self.shards),
+            "replay_failures": sum(s.replay_failures for s in self.shards),
         }
 
     def close(self) -> None:

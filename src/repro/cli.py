@@ -5,11 +5,15 @@ Usage::
     python -m repro describe FILE [--namespace NS]
     python -m repro check PROVIDER_FILE EXPECTED_FILE [--strict] [--behavioral]
     python -m repro demo
+    python -m repro log inspect DIR
 
 ``describe`` prints the XML type description(s) of a source file;
 ``check`` compiles a provider and an expected type from two source files
 and reports the conformance verdict (exit status 0 = conformant);
-``demo`` runs the paper's Section 3.1 scenario end to end.
+``demo`` runs the paper's Section 3.1 scenario end to end;
+``log inspect`` dumps segment/offset statistics of a durable event log
+directory (a broker ``log_dir``, or the ``events`` directory inside one)
+without modifying it.
 
 Source language is inferred from the extension: ``.cs`` (C#-like),
 ``.java`` (Java-like), ``.vb`` (VB-like).
@@ -119,6 +123,55 @@ def cmd_demo(args, out) -> int:
     return 0
 
 
+def cmd_log(args, out) -> int:
+    import os
+
+    from .persistence import CursorStore
+    from .persistence.log import inspect_log
+
+    directory = args.directory
+    if not os.path.isdir(directory):
+        raise CliError("no such directory: %s" % directory)
+    # A broker's log_dir holds events/ + cursors.json; accept either level.
+    events_dir = directory
+    if os.path.isdir(os.path.join(directory, "events")):
+        events_dir = os.path.join(directory, "events")
+    info = inspect_log(events_dir)
+
+    out.write("event log %s\n" % events_dir)
+    out.write("  records       %d\n" % info["records"])
+    out.write("  offsets       [%d, %d)\n"
+              % (info["first_offset"], info["next_offset"]))
+    out.write("  segments      %d (%s bytes valid)\n"
+              % (info["segment_count"], format(info["bytes"], ",")))
+    if info["torn_segments"]:
+        out.write("  TORN TAIL     %d segment(s) end mid-record "
+                  "(recovery will truncate)\n" % info["torn_segments"])
+    for segment in info["segments"]:
+        marker = "  torn" if segment["torn"] else ""
+        first = ("%d" % segment["first_offset"]
+                 if segment["first_offset"] is not None else "-")
+        out.write("    %-24s %6d records  from offset %-8s %10s bytes%s\n"
+                  % (segment["file"], segment["records"], first,
+                     format(segment["valid_bytes"], ","), marker))
+
+    cursors_path = os.path.join(directory, "cursors.json")
+    if os.path.exists(cursors_path):
+        store = CursorStore(cursors_path)  # read-only until mutated
+        out.write("  cursors       %d\n" % len(store))
+        for name in store.names():
+            entry = store.entry(name)
+            behind = info["next_offset"] - store.get(name)
+            if behind < 0:
+                state = "AHEAD of log end by %d (tail lost?)" % -behind
+            else:
+                state = "%d behind" % behind
+            out.write("    %-24s acked below %-8d (%s)  peer=%s\n"
+                      % (name, store.get(name), state,
+                         entry.get("peer_id") or "local"))
+    return 1 if info["torn_segments"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the Section 3.1 demo")
     demo.set_defaults(func=cmd_demo)
+
+    log = sub.add_parser("log", help="inspect a durable event log")
+    log.add_argument("action", choices=["inspect"],
+                     help="inspect: print segment/offset/cursor statistics")
+    log.add_argument("directory", help="broker log_dir (or its events/ dir)")
+    log.set_defaults(func=cmd_log)
 
     return parser
 

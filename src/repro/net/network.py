@@ -55,6 +55,7 @@ class NetworkStats:
         self.round_trips = 0
         self.dropped = 0
         self.handler_errors = 0
+        self.stalled = 0
         self.by_kind_messages: Dict[str, int] = {}
         self.by_kind_bytes: Dict[str, int] = {}
 
@@ -72,6 +73,13 @@ class NetworkStats:
     def record_handler_error(self) -> None:
         self.handler_errors += 1
 
+    def record_stall(self) -> None:
+        """A drain loop exhausted its round budget with work still queued —
+        the signature of a stuck mesh (e.g. two peers ping-ponging
+        messages forever).  Counted so dashboards can alert on it even
+        when the accompanying :class:`NetworkError` is swallowed."""
+        self.stalled += 1
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "messages": self.messages,
@@ -79,6 +87,7 @@ class NetworkStats:
             "round_trips": self.round_trips,
             "dropped": self.dropped,
             "handler_errors": self.handler_errors,
+            "stalled": self.stalled,
             "by_kind_messages": dict(self.by_kind_messages),
             "by_kind_bytes": dict(self.by_kind_bytes),
         }
@@ -89,6 +98,7 @@ class NetworkStats:
         self.round_trips = 0
         self.dropped = 0
         self.handler_errors = 0
+        self.stalled = 0
         self.by_kind_messages.clear()
         self.by_kind_bytes.clear()
 
@@ -249,13 +259,23 @@ class SimulatedNetwork:
         return processed
 
     def run_until_idle(self, max_rounds: int = 10_000) -> int:
-        """Flush repeatedly until no async messages remain queued."""
+        """Flush repeatedly until no async messages remain queued.
+
+        Exhausting ``max_rounds`` with messages still queued records a
+        ``stalled`` count in :attr:`stats` and raises — a silently
+        half-drained network is indistinguishable from a healthy one.
+        """
         total = 0
         for _ in range(max_rounds):
             if not self.pending():
                 return total
             total += self.flush()
-        raise NetworkError("network did not go idle in %d rounds" % max_rounds)
+        if not self.pending():
+            return total
+        self.stats.record_stall()
+        raise NetworkError("network did not go idle in %d rounds "
+                           "(%d messages still queued)"
+                           % (max_rounds, self.pending()))
 
     def _deliver_queued(self, src: str, dst: str, kind: str, payload: bytes) -> None:
         handler = self._handlers.get(dst)

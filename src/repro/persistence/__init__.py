@@ -1,0 +1,19 @@
+"""Durable persistence: segmented event log + replay cursors.
+
+The subsystem that turns the broker mesh from a connected-subscribers-only
+fabric into one that survives churn: brokers append admitted event batches
+to an :class:`EventLog` before fan-out, durable subscriptions record their
+replay position in a :class:`CursorStore`, and a restarted (or late)
+subscriber replays the retained backlog before switching to live events.
+"""
+
+from .cursors import CursorStore
+from .log import EventLog, LogCorruptionError, LogRecord, inspect_log
+
+__all__ = [
+    "CursorStore",
+    "EventLog",
+    "LogCorruptionError",
+    "LogRecord",
+    "inspect_log",
+]

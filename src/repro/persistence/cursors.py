@@ -1,0 +1,132 @@
+"""Durable replay cursors for named subscriptions.
+
+A cursor records, per durable subscription, the log offset below which
+every record has been **acknowledged** by the subscriber.  Advancing is
+monotonic (acks are cumulative: acknowledging offset ``n`` acknowledges
+everything below it) and every mutation is persisted atomically — the
+store is the piece of state that makes broker restarts lose nothing that
+was acked and redeliver everything that was not.
+
+Besides the offset, a cursor entry keeps what a restarted broker needs to
+rebuild the subscription itself: the subscriber's peer id and the XML
+type description of its expected type.  Local (in-process handler)
+subscriptions persist only their offset — a handler cannot be serialized,
+so the process re-attaches it by durable-subscribing again under the same
+cursor name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+
+class CursorStore:
+    """Named replay cursors, persisted as one JSON file.
+
+    Writes go through a temporary file and :func:`os.replace`, so a crash
+    mid-persist leaves either the old state or the new — never a torn
+    file.
+    """
+
+    def __init__(self, path: str, sync_every: int = 1):
+        """``sync_every`` throttles persistence on the ack hot path: the
+        file is rewritten every N-th advance (registrations and removals
+        always persist).  Values > 1 trade crash-freshness for I/O — a
+        crash loses at most the last N-1 acks, which at-least-once
+        semantics already tolerate (those records are simply redelivered).
+        Call :meth:`flush` at clean shutdown to persist the remainder."""
+        if sync_every < 1:
+            raise ValueError("sync_every must be at least 1")
+        self.path = path
+        self.sync_every = sync_every
+        self._unsynced = 0
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.advances = 0
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                self._entries = json.load(handle)
+
+    # -- reading -----------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def get(self, name: str) -> int:
+        """The acked-below offset of ``name`` (0 for an unknown cursor)."""
+        entry = self._entries.get(name)
+        return int(entry["offset"]) if entry else 0
+
+    def entry(self, name: str) -> Optional[Dict[str, object]]:
+        entry = self._entries.get(name)
+        return dict(entry) if entry is not None else None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writing -----------------------------------------------------------
+
+    def register(self, name: str, peer_id: Optional[str] = None,
+                 description: Optional[str] = None) -> int:
+        """Create (or refresh the metadata of) a cursor; keeps its offset.
+
+        Returns the cursor's current offset — a re-registration under an
+        existing name resumes where the previous incarnation acked.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = self._entries[name] = {"offset": 0}
+        entry["peer_id"] = peer_id
+        entry["description"] = description
+        self._persist()
+        return int(entry["offset"])
+
+    def advance(self, name: str, offset: int) -> bool:
+        """Monotonically raise ``name`` to ``offset``; returns whether it moved."""
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = self._entries[name] = {
+                "offset": 0, "peer_id": None, "description": None,
+            }
+        if offset <= int(entry["offset"]):
+            return False
+        entry["offset"] = int(offset)
+        self.advances += 1
+        self._unsynced += 1
+        if self._unsynced >= self.sync_every:
+            self._persist()
+        return True
+
+    def flush(self) -> None:
+        """Persist any advances deferred by ``sync_every``."""
+        if self._unsynced:
+            self._persist()
+
+    def remove(self, name: str) -> bool:
+        if name not in self._entries:
+            return False
+        del self._entries[name]
+        self._persist()
+        return True
+
+    def _persist(self) -> None:
+        temporary = self.path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(self._entries, handle, indent=0, sort_keys=True)
+        os.replace(temporary, self.path)
+        self._unsynced = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Cursor name -> offset snapshot (the observability surface)."""
+        return {name: int(entry["offset"])
+                for name, entry in sorted(self._entries.items())}
+
+    def __repr__(self) -> str:
+        return "CursorStore(%r, %s)" % (self.path, self.as_dict())

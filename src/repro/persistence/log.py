@@ -1,0 +1,455 @@
+"""Segmented, append-only durable event log.
+
+The TPS brokers of the paper deliver events only to subscribers connected
+at publish time; a late joiner or a restarted broker silently misses every
+prior event.  The :class:`EventLog` is the persistence layer that removes
+that limitation: brokers append every admitted event batch *before*
+fan-out, and replay the retained backlog to durable subscribers through
+the ordinary conformance-checked routing path.
+
+On-disk format — one directory of segment files, each a sequence of
+records.  A record is an ``RBS2B`` batch envelope (the PR-2 wire unit,
+reused verbatim as the storage unit) prefixed by a fixed header::
+
+    magic    4 bytes   b"ELR1"
+    length   u32 BE    payload byte count
+    crc32    u32 BE    CRC-32 over offset + origin + payload
+    offset   u64 BE    monotonic record offset (contiguous across segments)
+    orig_len u16 BE    origin byte count
+    origin   orig_len  UTF-8 peer id the batch was first published by
+    payload  length    the batch envelope bytes
+
+Segments are named by the base offset of their first record and rotate at
+``segment_max_bytes``.  Retention (``max_segments`` / ``max_bytes``) drops
+whole segments from the front — never the active one — so offsets stay
+contiguous from :attr:`EventLog.first_offset` to :attr:`EventLog.next_offset`.
+
+Opening a log runs a **recovery scan**: every record's magic, length, CRC
+and offset continuity are verified; the first torn or corrupt record
+truncates its segment there (and drops any later segments, which could
+only hold unreachable offsets).  A crash mid-append therefore costs at
+most the record being written — everything before it replays intact.
+
+Durability model: appends ``flush()`` to the operating system but do not
+``fsync`` — a *process* crash loses nothing, while an OS/power failure
+may lose page-cache-resident tail records (the recovery scan then
+truncates cleanly and at-least-once replay resumes from the persisted
+cursors).  Batched fsync is a ROADMAP follow-on.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_RECORD_MAGIC = b"ELR1"
+_HEADER = struct.Struct(">4sIIQH")  # magic, length, crc32, offset, origin length
+_SEGMENT_SUFFIX = ".seg"
+_SEGMENT_NAME = "%020d" + _SEGMENT_SUFFIX
+
+
+class LogCorruptionError(Exception):
+    """A segment failed validation in a way recovery refuses to repair."""
+
+
+class LogRecord:
+    """One appended batch: its monotonic offset, origin peer and payload."""
+
+    __slots__ = ("offset", "origin", "payload")
+
+    def __init__(self, offset: int, origin: str, payload: bytes):
+        self.offset = offset
+        self.origin = origin
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return "LogRecord(#%d from %r, %d bytes)" % (
+            self.offset, self.origin, len(self.payload),
+        )
+
+
+class _Segment:
+    """Bookkeeping for one on-disk segment file."""
+
+    __slots__ = ("path", "base_offset", "size", "offsets")
+
+    def __init__(self, path: str, base_offset: int):
+        self.path = path
+        self.base_offset = base_offset
+        self.size = 0
+        #: record offset -> byte position of its header in the file.
+        self.offsets: Dict[int, int] = {}
+
+    @property
+    def record_count(self) -> int:
+        return len(self.offsets)
+
+
+def _encode_record(offset: int, origin: str, payload: bytes) -> bytes:
+    origin_bytes = origin.encode("utf-8")
+    crc = zlib.crc32(struct.pack(">Q", offset))
+    crc = zlib.crc32(origin_bytes, crc)
+    crc = zlib.crc32(payload, crc)
+    header = _HEADER.pack(_RECORD_MAGIC, len(payload), crc & 0xFFFFFFFF,
+                          offset, len(origin_bytes))
+    return header + origin_bytes + payload
+
+
+def _read_record_at(data: bytes, position: int) -> Optional[Tuple[LogRecord, int]]:
+    """Decode the record at ``position``; ``None`` marks a torn/corrupt tail.
+
+    Returns ``(record, end_position)`` when the record is intact.  Any
+    defect — short header, bad magic, short body, CRC mismatch — is a tear
+    by definition: this decoder is only ever pointed at positions a
+    previous successful append wrote to.
+    """
+    end_header = position + _HEADER.size
+    if end_header > len(data):
+        return None
+    magic, length, crc, offset, origin_len = _HEADER.unpack_from(data, position)
+    if magic != _RECORD_MAGIC:
+        return None
+    end = end_header + origin_len + length
+    if end > len(data):
+        return None
+    origin_bytes = data[end_header:end_header + origin_len]
+    payload = data[end_header + origin_len:end]
+    expected = zlib.crc32(struct.pack(">Q", offset))
+    expected = zlib.crc32(origin_bytes, expected)
+    expected = zlib.crc32(payload, expected) & 0xFFFFFFFF
+    if crc != expected:
+        return None
+    try:
+        origin = origin_bytes.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    return LogRecord(offset, origin, payload), end
+
+
+def _scan_segment(path: str, expected_offset: Optional[int]) -> Tuple[
+        List[Tuple[int, int]], int, bool]:
+    """Validate one segment file without modifying it.
+
+    Returns ``(records, valid_end, torn)`` where ``records`` is a list of
+    ``(offset, position)`` pairs for every intact record, ``valid_end`` is
+    the byte position after the last intact record, and ``torn`` reports
+    whether trailing bytes failed validation.  ``expected_offset`` (when
+    not ``None``) additionally enforces offset continuity — a record with
+    the wrong offset counts as a tear.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: List[Tuple[int, int]] = []
+    position = 0
+    while position < len(data):
+        decoded = _read_record_at(data, position)
+        if decoded is None:
+            return records, position, True
+        record, end = decoded
+        if expected_offset is not None and record.offset != expected_offset:
+            return records, position, True
+        expected_offset = record.offset + 1
+        records.append((record.offset, position))
+        position = end
+    return records, position, False
+
+
+def inspect_log(directory: str) -> Dict[str, object]:
+    """Non-mutating scan of a log directory (the ``log inspect`` CLI).
+
+    Unlike opening an :class:`EventLog`, nothing is truncated or deleted —
+    torn tails are reported, not repaired.
+    """
+    segments = []
+    total_records = 0
+    total_bytes = 0
+    first_offset: Optional[int] = None
+    next_offset: Optional[int] = None
+    torn_segments = 0
+    if os.path.isdir(directory):
+        names = sorted(name for name in os.listdir(directory)
+                       if name.endswith(_SEGMENT_SUFFIX))
+    else:
+        names = []
+    expected: Optional[int] = None
+    for name in names:
+        path = os.path.join(directory, name)
+        records, valid_end, torn = _scan_segment(path, expected)
+        file_size = os.path.getsize(path)
+        segments.append({
+            "file": name,
+            "records": len(records),
+            "first_offset": records[0][0] if records else None,
+            "valid_bytes": valid_end,
+            "file_bytes": file_size,
+            "torn": torn,
+        })
+        total_records += len(records)
+        total_bytes += valid_end
+        if records:
+            if first_offset is None:
+                first_offset = records[0][0]
+            next_offset = records[-1][0] + 1
+            expected = next_offset
+        if torn:
+            torn_segments += 1
+            break  # later segments are unreachable past a tear
+    return {
+        "directory": directory,
+        "segments": segments,
+        "segment_count": len(segments),
+        "records": total_records,
+        "bytes": total_bytes,
+        "first_offset": first_offset if first_offset is not None else 0,
+        "next_offset": next_offset if next_offset is not None else 0,
+        "torn_segments": torn_segments,
+    }
+
+
+class EventLog:
+    """Durable, segmented, append-only record log with offset replay.
+
+    Parameters
+    ----------
+    directory:
+        Where segment files live; created if missing.  Opening runs the
+        recovery scan (torn tails are truncated in place).
+    segment_max_bytes:
+        Rotation threshold: a record that would push the active segment
+        past this size starts a new segment (a single oversized record
+        still gets written — segments hold at least one record).
+    max_segments / max_bytes:
+        Retention policies, enforced after each append by dropping whole
+        segments from the front (the active segment is never dropped).
+    """
+
+    def __init__(self, directory: str, segment_max_bytes: int = 1 << 20,
+                 max_segments: Optional[int] = None,
+                 max_bytes: Optional[int] = None):
+        if segment_max_bytes <= 0:
+            raise ValueError("segment_max_bytes must be positive")
+        if max_segments is not None and max_segments < 1:
+            raise ValueError("max_segments must keep at least one segment")
+        self.directory = directory
+        self.segment_max_bytes = segment_max_bytes
+        self.max_segments = max_segments
+        self.max_bytes = max_bytes
+        self.appended = 0
+        self.torn_tail_truncations = 0
+        self.dropped_segments = 0
+        self.retention_dropped_records = 0
+        self._segments: List[_Segment] = []
+        self._index: Dict[int, _Segment] = {}  # offset -> owning segment
+        self.next_offset = 0
+        self._active_handle = None
+        os.makedirs(directory, exist_ok=True)
+        self._recover()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self) -> None:
+        names = sorted(name for name in os.listdir(self.directory)
+                       if name.endswith(_SEGMENT_SUFFIX))
+        expected: Optional[int] = None
+        for position, name in enumerate(names):
+            path = os.path.join(self.directory, name)
+            try:
+                base_from_name = int(name[: -len(_SEGMENT_SUFFIX)])
+            except ValueError:
+                base_from_name = None  # foreign file matching the suffix
+            records, valid_end, torn = _scan_segment(path, expected)
+            segment = _Segment(path, records[0][0] if records else
+                               (expected if expected is not None else 0))
+            for offset, record_position in records:
+                segment.offsets[offset] = record_position
+                self._index[offset] = segment
+            segment.size = valid_end
+            if torn:
+                self.torn_tail_truncations += 1
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_end)
+            if records or not torn:
+                self._segments.append(segment)
+            else:
+                # Nothing salvageable in this segment at all.
+                os.remove(path)
+            if records:
+                expected = records[-1][0] + 1
+            elif expected is None and base_from_name is not None:
+                # No record survived anywhere yet, but the file name
+                # encodes the base offset this segment started at: keep
+                # the counter monotonic so persisted cursors (which may
+                # hold high offsets) never outrun a reborn log.
+                expected = base_from_name
+            if torn:
+                # Records past a tear could only repeat or skip offsets;
+                # drop the unreachable remainder of the log.
+                for stale in names[position + 1:]:
+                    os.remove(os.path.join(self.directory, stale))
+                    self.dropped_segments += 1
+                break
+        if expected is not None:
+            self.next_offset = expected
+        elif self._segments:
+            self.next_offset = self._segments[-1].base_offset
+        # Empty segment files are not tracked: the next append recreates
+        # (and truncates) the file named by next_offset as needed.
+        self._segments = [segment for segment in self._segments
+                          if segment.record_count]
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def first_offset(self) -> int:
+        for segment in self._segments:
+            if segment.record_count:
+                return min(segment.offsets)
+        return self.next_offset
+
+    @property
+    def record_count(self) -> int:
+        return len(self._index)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(segment.size for segment in self._segments)
+
+    def append(self, payload: bytes, origin: str = "") -> int:
+        """Durably append one record; returns its monotonic offset."""
+        offset = self.next_offset
+        record = _encode_record(offset, origin, payload)
+        segment = self._writable_segment(len(record))
+        handle = self._handle_for_append(segment)
+        position = segment.size
+        handle.write(record)
+        handle.flush()
+        segment.offsets[offset] = position
+        segment.size += len(record)
+        self._index[offset] = segment
+        self.next_offset = offset + 1
+        self.appended += 1
+        self._apply_retention()
+        return offset
+
+    def _writable_segment(self, record_size: int) -> _Segment:
+        if self._segments:
+            active = self._segments[-1]
+            if active.size + record_size <= self.segment_max_bytes \
+                    or not active.record_count:
+                return active
+        return self._start_segment()
+
+    def _start_segment(self) -> _Segment:
+        if self._active_handle is not None:
+            self._active_handle.close()
+            self._active_handle = None
+        path = os.path.join(self.directory, _SEGMENT_NAME % self.next_offset)
+        segment = _Segment(path, self.next_offset)
+        with open(path, "wb"):
+            pass  # the segment exists even before its first record lands
+        self._segments.append(segment)
+        return segment
+
+    def _handle_for_append(self, segment: _Segment):
+        if self._active_handle is None or self._active_handle.name != segment.path:
+            if self._active_handle is not None:
+                self._active_handle.close()
+            self._active_handle = open(segment.path, "ab")
+        return self._active_handle
+
+    def _apply_retention(self) -> None:
+        while len(self._segments) > 1:
+            over_segments = (self.max_segments is not None
+                             and len(self._segments) > self.max_segments)
+            over_bytes = (self.max_bytes is not None
+                          and self.size_bytes > self.max_bytes)
+            if not (over_segments or over_bytes):
+                return
+            victim = self._segments.pop(0)
+            for offset in victim.offsets:
+                del self._index[offset]
+            self.retention_dropped_records += victim.record_count
+            self.dropped_segments += 1
+            os.remove(victim.path)
+
+    # -- reading -----------------------------------------------------------
+
+    def read(self, offset: int) -> LogRecord:
+        """The record at ``offset`` (KeyError when dropped or never written)."""
+        segment = self._index.get(offset)
+        if segment is None:
+            raise KeyError("offset %d is not in the log "
+                           "(retained range is [%d, %d))"
+                           % (offset, self.first_offset, self.next_offset))
+        with open(segment.path, "rb") as handle:
+            data = handle.read()
+        decoded = _read_record_at(data, segment.offsets[offset])
+        if decoded is None:  # pragma: no cover - indexed records are intact
+            raise LogCorruptionError("indexed record %d failed to decode" % offset)
+        return decoded[0]
+
+    def replay(self, start: int = 0, end: Optional[int] = None) -> Iterator[LogRecord]:
+        """Yield retained records with ``start <= offset < end`` in order.
+
+        ``start`` below :attr:`first_offset` silently begins at the oldest
+        retained record (retention may have dropped the gap); ``end``
+        defaults to the log's end *at call time*, so records appended
+        during iteration are not replayed.
+        """
+        stop = self.next_offset if end is None else min(end, self.next_offset)
+        position = max(start, self.first_offset)
+        for segment in list(self._segments):
+            if not segment.record_count:
+                continue
+            last = max(segment.offsets)
+            if last < position:
+                continue
+            if min(segment.offsets) >= stop:
+                break
+            try:
+                with open(segment.path, "rb") as handle:
+                    data = handle.read()
+            except FileNotFoundError:
+                # Retention deleted this segment mid-iteration (an append
+                # during replay can trigger it): its records are gone —
+                # resume at the oldest still-retained offset.
+                position = max(position, self.first_offset)
+                continue
+            while position in segment.offsets and position < stop:
+                decoded = _read_record_at(data, segment.offsets[position])
+                if decoded is None:  # pragma: no cover - indexed = intact
+                    raise LogCorruptionError(
+                        "indexed record %d failed to decode" % position)
+                yield decoded[0]
+                position += 1
+            if position >= stop:
+                break
+
+    # -- lifecycle / observability ----------------------------------------
+
+    def close(self) -> None:
+        if self._active_handle is not None:
+            self._active_handle.close()
+            self._active_handle = None
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "directory": self.directory,
+            "segments": len(self._segments),
+            "records": self.record_count,
+            "bytes": self.size_bytes,
+            "first_offset": self.first_offset,
+            "next_offset": self.next_offset,
+            "appended": self.appended,
+            "torn_tail_truncations": self.torn_tail_truncations,
+            "dropped_segments": self.dropped_segments,
+            "retention_dropped_records": self.retention_dropped_records,
+        }
+
+    def __repr__(self) -> str:
+        return "EventLog(%r, %d records in [%d, %d))" % (
+            self.directory, self.record_count,
+            self.first_offset, self.next_offset,
+        )

@@ -58,16 +58,21 @@ class ObjectEnvelope:
     a batch it lists, per batched value, the index of that value's root
     type in :attr:`type_entries`.  ``origin`` optionally names the peer
     the content was first published by (meshes forward on its behalf).
+    ``ack`` optionally carries an opaque acknowledgement token: a receiver
+    that processes the message echoes the token back to the sender, which
+    uses it to advance durable replay cursors.
     """
 
     def __init__(self, type_entries: List[TypeEntry], encoding: str, payload: bytes,
                  batch_roots: Optional[List[int]] = None,
-                 origin: Optional[str] = None):
+                 origin: Optional[str] = None,
+                 ack: Optional[str] = None):
         self.type_entries = type_entries
         self.encoding = encoding  # "binary" | "soap"
         self.payload = payload
         self.batch_roots = batch_roots
         self.origin = origin
+        self.ack = ack
 
     @property
     def is_batch(self) -> bool:
@@ -133,7 +138,8 @@ class EnvelopeCodec:
         return self.envelope_to_bytes(self.wrap(value))
 
     def wrap_batch(self, values: List[Any],
-                   origin: Optional[str] = None) -> ObjectEnvelope:
+                   origin: Optional[str] = None,
+                   ack: Optional[str] = None) -> ObjectEnvelope:
         """Many object graphs → one batch envelope.
 
         The type section is the union of every value's reachable types
@@ -161,12 +167,14 @@ class EnvelopeCodec:
                     roots.append(index_of[key])
         payload = self._binary.serialize_batch(values)
         return ObjectEnvelope(entries, "binary", payload,
-                              batch_roots=roots, origin=origin)
+                              batch_roots=roots, origin=origin, ack=ack)
 
     def encode_batch(self, values: List[Any],
-                     origin: Optional[str] = None) -> bytes:
+                     origin: Optional[str] = None,
+                     ack: Optional[str] = None) -> bytes:
         """Many object graphs → wire bytes of one batch XML message."""
-        return self.envelope_to_bytes(self.wrap_batch(values, origin=origin))
+        return self.envelope_to_bytes(
+            self.wrap_batch(values, origin=origin, ack=ack))
 
     def envelope_to_bytes(self, envelope: ObjectEnvelope) -> bytes:
         root = ET.Element("XmlMessage")
@@ -188,6 +196,8 @@ class EnvelopeCodec:
             )
         if envelope.origin is not None:
             payload_attrs["origin"] = envelope.origin
+        if envelope.ack is not None:
+            payload_attrs["ack"] = envelope.ack
         payload = ET.SubElement(root, "Payload", payload_attrs)
         payload.text = base64.b64encode(envelope.payload).decode("ascii")
         return ET.tostring(root, encoding="utf-8")
@@ -243,7 +253,8 @@ class EnvelopeCodec:
                     raise WireFormatError("batch root %d out of range" % index)
         return ObjectEnvelope(entries, encoding, payload,
                               batch_roots=batch_roots,
-                              origin=payload_el.get("origin"))
+                              origin=payload_el.get("origin"),
+                              ack=payload_el.get("ack"))
 
     def unwrap(self, envelope: ObjectEnvelope) -> Any:
         """Envelope → object graph.

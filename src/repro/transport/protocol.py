@@ -19,6 +19,7 @@ assemblies for the types it hosts.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional
 
 from ..cts.assembly import Assembly
@@ -32,7 +33,12 @@ from ..describe.description import TypeDescription
 from ..describe.resolver import DescriptionResolver
 from ..describe.xml_codec import deserialize_description, serialize_description_bytes
 from ..net.codeserver import KIND_GET_ASSEMBLY, KIND_GET_DESCRIPTION
-from ..net.network import MessageDropped, NetworkError, SimulatedNetwork
+from ..net.network import (
+    MessageDropped,
+    NetworkError,
+    SimulatedNetwork,
+    UnknownPeerError,
+)
 from ..net.peer import Peer, error_response
 from ..remoting.dynamic import wrap_with_result
 from ..runtime.loader import Runtime
@@ -42,6 +48,10 @@ from ..serialization.errors import UnknownTypeError
 
 KIND_OBJECT = "object"
 KIND_OBJECT_BATCH = "object_batch"
+#: One-way acknowledgement for a delivery that carried an ``ack`` token:
+#: the receiver echoes the token to the sender, which advances whatever
+#: durable replay cursors the token covers.
+KIND_DELIVERY_ACK = "delivery_ack"
 
 #: Safety bound on the materialisation loop (one fetch per unknown type).
 _MAX_CODE_FETCHES = 64
@@ -144,13 +154,16 @@ class InteropPeer(Peer):
 
     @property
     def stats(self) -> TransportStats:
-        """The protocol counters (alias of :attr:`transport_stats`).
+        """Deprecated alias of :attr:`transport_stats`.
 
-        A property rather than the attribute itself so subclasses with a
-        richer observability surface (e.g. the TPS brokers' ``stats()``
-        snapshot method) can override the name without losing the
-        underlying counters.
+        Kept one release for callers written against the pre-mesh peer
+        surface; subclasses with a richer observability story (the TPS
+        brokers' ``stats()`` snapshot method) already override the name.
         """
+        warnings.warn(
+            "InteropPeer.stats is deprecated; use InteropPeer.transport_stats",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.transport_stats
 
     # ------------------------------------------------------------------
@@ -239,6 +252,15 @@ class InteropPeer(Peer):
         values = self._materialize_batch(envelope, src)
         for value in values:
             self._deliver(self._admit_value(value, src))
+        if envelope.ack is not None:
+            # The batch carried a durable-delivery token: acknowledge it on
+            # the queued one-way path, so cursor advancement flows through
+            # the same deterministic scheduler as the delivery itself.
+            try:
+                self.post_async(src, KIND_DELIVERY_ACK,
+                                envelope.ack.encode("utf-8"))
+            except UnknownPeerError:
+                self.network.stats.record_drop()  # sender left the fabric
         return b"OK"
 
     def _deliver(self, received: ReceivedObject) -> None:

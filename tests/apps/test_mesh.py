@@ -311,3 +311,341 @@ class TestLossyFabric:
         for got in events.values():
             names = [event.getPersonName() for event in got]
             assert len(names) == len(set(names))
+
+
+class TestGossipRefcountsWithBufferedEvents:
+    """Satellite: unsubscribing while events for the subscriber are still
+    buffered in shard delivery queues must neither crash delivery nor
+    leak summary refcounts."""
+
+    def test_unsubscribe_while_events_buffered(self):
+        network = SimulatedNetwork()
+        mesh = BrokerMesh(network, shard_count=2)
+        publisher = TpsPeer("publisher", network)
+        asm_a, _ = person_assembly_pair()
+        publisher.host_assembly(asm_a)
+        home = mesh.shard_for("publisher")
+        other = next(sid for sid in mesh.shard_ids if sid != home)
+
+        got = []
+        subscriber = TpsPeer("buff-sub", network)
+        sid = subscriber.subscribe_remote(other, person_java(), got.append)
+
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["q0"]))
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["q1"]))
+        network.flush()  # publishes reach the home shard (buffered there)
+        for shard in mesh.shards:
+            shard.flush_delivery()  # forwards enqueued toward `other`
+        network.flush()  # forwards land: events now buffered for buff-sub
+        assert mesh.shard(other).pending_deliveries() > 0
+
+        subscriber.unsubscribe_remote(other, sid)
+        # The last conforming subscriber left: every refcount must be zero
+        # even though its events are still sitting in delivery buffers.
+        assert all(shard.summaries() == [] for shard in mesh.shards)
+        assert all(not shard._summaries for shard in mesh.shards)
+
+        mesh.run_until_idle()  # buffered deliveries drain without crashing
+        assert network.stats.handler_errors == 0
+        assert all(shard.pending_deliveries() == 0 for shard in mesh.shards)
+
+    def test_refcounts_zero_after_interleaved_unsubscribes(self):
+        """Two subscribers sharing a type, unsubscribing at different
+        points of the buffered pipeline: counts go 2 -> 1 -> 0."""
+        network = SimulatedNetwork()
+        mesh = BrokerMesh(network, shard_count=2)
+        publisher = TpsPeer("publisher", network)
+        asm_a, _ = person_assembly_pair()
+        publisher.host_assembly(asm_a)
+        home = mesh.shard_for("publisher")
+        other = next(sid for sid in mesh.shard_ids if sid != home)
+        expected = person_java()
+
+        got_a, got_b = [], []
+        sub_a = TpsPeer("ref-a", network)
+        sub_b = TpsPeer("ref-b", network)
+        id_a = sub_a.subscribe_remote(other, expected, got_a.append)
+        id_b = sub_b.subscribe_remote(other, expected, got_b.append)
+        assert mesh.shard(home)._summaries[(other, str(expected.guid))][1] == 2
+
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["mid"]))
+        network.flush()
+        sub_a.unsubscribe_remote(other, id_a)
+        assert mesh.shard(home)._summaries[(other, str(expected.guid))][1] == 1
+        mesh.run_until_idle()
+        sub_b.unsubscribe_remote(other, id_b)
+        assert (other, str(expected.guid)) not in mesh.shard(home)._summaries
+        assert network.stats.handler_errors == 0
+        assert len(got_b) == 1
+
+
+def make_durable_world(tmp_path, shard_count=3, n_subscribers=4,
+                       drop_rate=0.0, seed=0, **broker_kwargs):
+    network = SimulatedNetwork(drop_rate=drop_rate, seed=seed)
+    mesh = BrokerMesh(network, shard_count=shard_count,
+                      log_root=str(tmp_path / "mesh-logs"), **broker_kwargs)
+    publisher = TpsPeer("publisher", network, **broker_kwargs)
+    asm_a, _ = person_assembly_pair()
+    publisher.host_assembly(asm_a)
+    return network, mesh, publisher
+
+
+class TestDurableMesh:
+    """The persistence tentpole, mesh-side: cursor replay + crash recovery."""
+
+    def test_late_durable_subscriber_gets_backlog_then_live(self, tmp_path):
+        """Acceptance: a subscriber attached after N published events
+        receives exactly the conforming backlog in publish order, then
+        live events, with no duplicates across the ack boundary."""
+        network, mesh, publisher = make_durable_world(tmp_path)
+        home = mesh.shard_for("publisher")
+        n_backlog = 6
+        for index in range(n_backlog):
+            publisher.publish_async(
+                home, publisher.new_instance("demo.a.Person", ["e%d" % index]))
+        mesh.run_until_idle()
+
+        got = []
+        late = TpsPeer("late-sub", network)
+        late.subscribe_durable_remote(home, person_java(), got.append,
+                                      cursor="late-c")
+        assert got == []  # replay is queue-driven, not inline
+        mesh.run_until_idle()
+        assert [e.getPersonName() for e in got] == \
+            ["e%d" % i for i in range(n_backlog)]
+
+        for index in range(n_backlog, n_backlog + 3):
+            publisher.publish_async(
+                home, publisher.new_instance("demo.a.Person", ["e%d" % index]))
+        mesh.run_until_idle()
+        names = [e.getPersonName() for e in got]
+        assert names == ["e%d" % i for i in range(n_backlog + 3)]
+        assert len(names) == len(set(names))  # no duplicates anywhere
+        shard = mesh.shard(home)
+        assert shard.cursors.get("late-c") == shard.event_log.next_offset
+        assert shard.pending_ack_count() == 0
+
+    def test_backlog_includes_events_forwarded_from_other_shards(self, tmp_path):
+        """A shard logs forwarded-in events too, so a late durable
+        subscriber homed there replays events whichever shard admitted
+        them first."""
+        network, mesh, publisher = make_durable_world(tmp_path, shard_count=2)
+        home = mesh.shard_for("publisher")
+        other = next(sid for sid in mesh.shard_ids if sid != home)
+
+        # A live subscriber at `other` makes home forward (and other log).
+        live = []
+        anchor = TpsPeer("anchor-sub", network)
+        anchor.subscribe_remote(other, person_java(), live.append)
+        for index in range(4):
+            publisher.publish_async(
+                home, publisher.new_instance("demo.a.Person", ["f%d" % index]))
+        mesh.run_until_idle()
+        assert len(live) == 4
+
+        got = []
+        late = TpsPeer("late-other", network)
+        late.subscribe_durable_remote(other, person_java(), got.append,
+                                      cursor="late-other-c")
+        mesh.run_until_idle()
+        assert [e.getPersonName() for e in got] == ["f%d" % i for i in range(4)]
+
+    def test_restart_shard_loses_nothing_acked(self, tmp_path):
+        """Acceptance: restarting a shard with a non-empty log loses zero
+        acked-past events and the durable subscription keeps working."""
+        network, mesh, publisher = make_durable_world(tmp_path)
+        home = mesh.shard_for("publisher")
+        got = []
+        durable = TpsPeer("d-sub", network)
+        durable.subscribe_durable_remote(home, person_java(), got.append,
+                                         cursor="d-c")
+        for index in range(5):
+            publisher.publish_async(
+                home, publisher.new_instance("demo.a.Person", ["a%d" % index]))
+        mesh.run_until_idle()
+        assert len(got) == 5
+
+        restarted = mesh.restart_shard(home)
+        assert restarted is mesh.shard(home)
+        mesh.run_until_idle()
+        # Everything was acked: the restart replays nothing.
+        assert [e.getPersonName() for e in got] == \
+            ["a%d" % i for i in range(5)]
+
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["a5"]))
+        mesh.run_until_idle()
+        assert [e.getPersonName() for e in got][-1] == "a5"
+
+    def test_restart_shard_redelivers_unacked(self, tmp_path):
+        """Acceptance: unacked events are redelivered after a crash
+        (at-least-once); acked ones are never duplicated."""
+        network, mesh, publisher = make_durable_world(tmp_path, shard_count=2)
+        home = mesh.shard_for("publisher")
+        got = []
+        durable = TpsPeer("d-sub", network)
+        durable.subscribe_durable_remote(home, person_java(), got.append,
+                                         cursor="d-c")
+        for index in range(3):
+            publisher.publish_async(
+                home, publisher.new_instance("demo.a.Person", ["k%d" % index]))
+        mesh.run_until_idle()  # k0-k2 delivered AND acked
+
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["k3"]))
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["k4"]))
+        mesh.flush()  # events logged + buffered on the shard
+        mesh.flush()  # delivered to the subscriber; acks still queued
+        mesh.restart_shard(home)  # crash before the acks are processed
+        mesh.run_until_idle()
+
+        names = [e.getPersonName() for e in got]
+        for acked in ("k0", "k1", "k2"):
+            assert names.count(acked) == 1
+        for unacked in ("k3", "k4"):
+            assert names.count(unacked) >= 1  # at-least-once
+        assert set(names) == {"k%d" % i for i in range(5)}
+
+    def test_restart_shard_rebuilds_forwarding_summaries(self, tmp_path):
+        """A restarted shard re-learns sibling subscriptions (and siblings
+        re-learn its durable ones), so cross-shard publish still works."""
+        network, mesh, publisher = make_durable_world(tmp_path, shard_count=3)
+        home = mesh.shard_for("publisher")
+        other = next(sid for sid in mesh.shard_ids if sid != home)
+        remote_got = []
+        remote = TpsPeer("remote-sub", network)
+        remote.subscribe_remote(other, person_java(), remote_got.append)
+
+        mesh.restart_shard(home)
+        mesh.run_until_idle()
+        assert len(mesh.shard(home).summaries()) >= 1  # resynced from sibling
+
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["after"]))
+        mesh.run_until_idle()
+        assert [e.getPersonName() for e in remote_got] == ["after"]
+
+    def test_restart_shard_lossy_fabric_eventually_delivers(self, tmp_path):
+        """Acceptance: recovery holds on a lossy fabric — unacked events
+        survive crashes and repeated replay converges on full delivery."""
+        network, mesh, publisher = make_durable_world(
+            tmp_path, shard_count=2, drop_rate=0.15, seed=23, max_retries=20)
+        home = mesh.shard_for("publisher")
+        got = []
+        durable = TpsPeer("d-sub", network, max_retries=20)
+        durable.subscribe_durable_remote(home, person_java(), got.append,
+                                         cursor="d-c")
+        wanted = {"l%d" % i for i in range(6)}
+        # Publish on the retrying synchronous path: durability begins at
+        # the shard's append, so getting INTO the log must not race drops.
+        for index in range(6):
+            publisher.publish(
+                home, publisher.new_instance("demo.a.Person", ["l%d" % index]))
+        assert mesh.shard(home).event_log.record_count == 6
+        mesh.flush()  # deliveries and acks now race the loss model
+        mesh.restart_shard(home)
+        mesh.run_until_idle()
+
+        # Replay is at-least-once per restart: a dropped replay batch is
+        # simply unacked, so another restart replays it again.
+        for _ in range(10):
+            if {e.getPersonName() for e in got} == wanted:
+                break
+            mesh.restart_shard(home)
+            mesh.run_until_idle()
+        assert {e.getPersonName() for e in got} == wanted
+        assert network.stats.dropped > 0  # the fabric really was lossy
+
+    def test_mesh_without_log_root_rejects_durable_subscribe(self, tmp_path):
+        network = SimulatedNetwork()
+        mesh = BrokerMesh(network, shard_count=2)  # no log_root
+        peer = TpsPeer("p", network)
+        from repro.net.network import NetworkError
+        with pytest.raises(NetworkError):
+            peer.subscribe_durable_remote(mesh.shard_ids[0], person_java(),
+                                          lambda v: None, cursor="c")
+
+    def test_stats_surface_durability_counters(self, tmp_path):
+        network, mesh, publisher = make_durable_world(tmp_path)
+        home = mesh.shard_for("publisher")
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["s0"]))
+        mesh.run_until_idle()
+        got = []
+        late = TpsPeer("late", network)
+        late.subscribe_durable_remote(home, person_java(), got.append,
+                                      cursor="late-c")
+        mesh.run_until_idle()
+        snapshot = mesh.stats()
+        assert snapshot["events_replayed"] == 1
+        shard_stats = snapshot["shards"][home]
+        assert shard_stats["log"]["records"] >= 1
+        assert shard_stats["cursors"]["late-c"] == \
+            mesh.shard(home).event_log.next_offset
+        assert shard_stats["pending_acks"] == 0
+
+
+class TestRunUntilIdleBoundary:
+    def test_final_round_draining_is_not_a_stall(self):
+        """A mesh that goes idle exactly on its last allowed round must
+        return normally, not report a phantom stall."""
+        network, mesh, publisher, subscribers, events = make_world(
+            shard_count=2, n_subscribers=2)
+        home = mesh.shard_for("publisher")
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["edge"]))
+        # Count how many rounds a full drain takes, then rerun with
+        # exactly that budget.
+        rounds = 0
+        while mesh.flush() or network.pending():
+            rounds += 1
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["edge2"]))
+        total = mesh.run_until_idle(max_rounds=rounds)
+        assert total > 0
+        assert network.stats.stalled == 0
+
+
+class TestMultiValueRecordLocalDurable:
+    def test_partial_handler_failure_leaves_record_unacked(self, tmp_path):
+        """Two events forwarded as ONE record: a local durable handler at
+        the receiving shard that crashes on the second value must leave
+        the WHOLE record unacked, so replay redelivers both values."""
+        network, mesh, publisher = make_durable_world(tmp_path, shard_count=2)
+        home = mesh.shard_for("publisher")
+        other = next(sid for sid in mesh.shard_ids if sid != home)
+
+        got = []
+
+        def flaky(view):
+            got.append(view.getPersonName())
+            if view.getPersonName() == "v1" and got.count("v1") == 1:
+                raise RuntimeError("crash on second value, first time")
+
+        mesh.shard(other).subscribe_durable(person_java(), flaky,
+                                            cursor="flaky-c")
+        # Publish both events before any drain: they cross the shard
+        # boundary as ONE mesh_forward batch -> ONE log record at `other`.
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["v0"]))
+        publisher.publish_async(
+            home, publisher.new_instance("demo.a.Person", ["v1"]))
+        mesh.run_until_idle()
+        shard = mesh.shard(other)
+        assert got == ["v0", "v1"]  # v1's handler crashed after being called
+        assert shard.event_log.record_count == 1  # really one record
+        # The record is NOT acked past: v1 is redeliverable.
+        assert shard.cursors.get("flaky-c") < shard.event_log.next_offset
+
+        # Re-attach under the same cursor: the record replays whole, the
+        # handler succeeds this time, and the cursor catches up.
+        redelivered = []
+        shard.subscribe_durable(person_java(), redelivered.append,
+                                cursor="flaky-c")
+        mesh.run_until_idle()
+        assert [v.getPersonName() for v in redelivered] == ["v0", "v1"]
+        assert shard.cursors.get("flaky-c") == shard.event_log.next_offset

@@ -200,8 +200,9 @@ class TestBrokerObservability:
         assert "forwards_sent" not in snapshot
 
     def test_transport_counters_still_reachable(self, world):
-        """The stats() method must not hide the TransportStats counters
-        other code reads via the .stats alias on plain peers."""
+        """The stats() method must not hide the TransportStats counters;
+        the legacy .stats alias still resolves but warns."""
         network, broker, publisher, subscriber = world
-        assert publisher.stats is publisher.transport_stats
+        with pytest.warns(DeprecationWarning, match="transport_stats"):
+            assert publisher.stats is publisher.transport_stats
         assert broker.transport_stats.objects_sent == 0

@@ -91,7 +91,7 @@ class TestVersionedExchange:
 
         publisher.send("subscriber", publisher.new_instance("app.Person", ["Old"]))
         assert not subscriber.inbox[0].accepted
-        assert subscriber.stats.assemblies_fetched == 0  # no code wasted
+        assert subscriber.transport_stats.assemblies_fetched == 0  # no code wasted
 
     def test_both_versions_coexist_on_one_peer(self):
         """Same full name, different identities: the receiver holds both
@@ -114,7 +114,7 @@ class TestVersionedExchange:
         first, second = (r.value.type_info for r in subscriber.inbox)
         assert first.guid == v1_type().guid
         assert second.guid == v2_type().guid
-        assert subscriber.stats.assemblies_fetched == 2
+        assert subscriber.transport_stats.assemblies_fetched == 2
 
     def test_new_type_introduced_at_runtime(self):
         """The headline dynamic scenario: a type that did not exist when

@@ -116,6 +116,7 @@ class TestAccounting:
             "round_trips": 1,
             "dropped": 0,
             "handler_errors": 0,
+            "stalled": 0,
             "by_kind_messages": {"k": 1},
             "by_kind_bytes": {"k": 10},
         }
@@ -269,6 +270,23 @@ class TestAsyncScheduler:
         net.flush()
         assert net.stats.dropped == 1
         assert net.stats.messages == 0
+
+    def test_exhausted_rounds_raise_and_record_stall(self):
+        """A handler that re-enqueues forever must not drain silently:
+        run_until_idle raises AND the stall is visible in the stats."""
+        net = SimulatedNetwork()
+
+        def relay(kind, payload, src):
+            net.post_async("b", "b", "evt", payload)
+            return b""
+
+        net.register("b", relay)
+        net.post_async("a", "b", "evt", b"x")
+        with pytest.raises(NetworkError):
+            net.run_until_idle(max_rounds=5)
+        assert net.stats.stalled == 1
+        assert net.stats.snapshot()["stalled"] == 1
+        assert net.pending() > 0  # the queue really was non-empty
 
 
 class TestLossModel:

@@ -1,0 +1,94 @@
+"""Tests for the durable cursor store."""
+
+import json
+import os
+
+from repro.persistence import CursorStore
+
+
+class TestCursorStore:
+    def test_unknown_cursor_is_zero(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        assert store.get("nobody") == 0
+        assert store.entry("nobody") is None
+
+    def test_advance_is_monotonic(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        assert store.advance("c", 5)
+        assert not store.advance("c", 3)  # going backwards is a no-op
+        assert not store.advance("c", 5)
+        assert store.advance("c", 9)
+        assert store.get("c") == 9
+
+    def test_register_keeps_offset(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        store.advance("c", 7)
+        resumed = store.register("c", peer_id="sub-1", description="<xml/>")
+        assert resumed == 7
+        assert store.entry("c")["peer_id"] == "sub-1"
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path)
+        store.register("a", peer_id="p1", description="<d/>")
+        store.advance("a", 12)
+        store.advance("b", 3)
+
+        reopened = CursorStore(path)
+        assert reopened.get("a") == 12
+        assert reopened.get("b") == 3
+        assert reopened.entry("a")["peer_id"] == "p1"
+        assert reopened.entry("a")["description"] == "<d/>"
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path)
+        store.advance("a", 1)
+        assert os.listdir(str(tmp_path)) == ["cursors.json"]
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["a"]["offset"] == 1
+
+    def test_remove(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        store.advance("a", 1)
+        assert store.remove("a")
+        assert not store.remove("a")
+        assert store.get("a") == 0
+
+    def test_as_dict_snapshot(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        store.advance("b", 2)
+        store.advance("a", 1)
+        assert store.as_dict() == {"a": 1, "b": 2}
+        assert store.names() == ["a", "b"]
+
+
+class TestDeferredSync:
+    def test_sync_every_defers_persistence(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path, sync_every=3)
+        store.advance("c", 1)
+        store.advance("c", 2)
+        # Nothing persisted yet: a fresh reader sees the registration-era
+        # state (the file may not even exist).
+        assert CursorStore(path).get("c") == 0
+        store.advance("c", 3)  # third advance crosses the threshold
+        assert CursorStore(path).get("c") == 3
+
+    def test_flush_persists_remainder(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path, sync_every=100)
+        store.advance("c", 7)
+        store.flush()
+        assert CursorStore(path).get("c") == 7
+
+    def test_register_always_persists(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path, sync_every=100)
+        store.register("c", peer_id="p", description="<d/>")
+        assert CursorStore(path).entry("c")["peer_id"] == "p"
+
+    def test_sync_every_validates(self, tmp_path):
+        import pytest
+        with pytest.raises(ValueError):
+            CursorStore(str(tmp_path / "c.json"), sync_every=0)

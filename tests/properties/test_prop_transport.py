@@ -43,8 +43,8 @@ class TestPipelineProperties:
         network, sender, receiver = fresh_world()
         for payload in payloads:
             sender.send("receiver", sender.new_instance("demo.a.Person", [payload]))
-        assert receiver.stats.assemblies_fetched == 1
-        assert receiver.stats.descriptions_fetched == 1
+        assert receiver.transport_stats.assemblies_fetched == 1
+        assert receiver.transport_stats.descriptions_fetched == 1
 
     @settings(max_examples=15, deadline=None)
     @given(names, st.integers(min_value=0, max_value=2**31))

@@ -136,6 +136,17 @@ class TestBatchEnvelopes:
         envelope = codec.parse(codec.encode_batch([event], origin="publisher-7"))
         assert envelope.origin == "publisher-7"
 
+    def test_ack_token_travels(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        event = runtime.new_instance("demo.a.Person", ["A"])
+        envelope = codec.parse(
+            codec.encode_batch([event], origin="pub", ack="shard-1/ack-9"))
+        assert envelope.ack == "shard-1/ack-9"
+        assert envelope.origin == "pub"
+        # Absent by default — live non-durable batches carry no token.
+        plain = codec.parse(codec.encode_batch([event]))
+        assert plain.ack is None
+
     def test_single_envelope_unchanged(self, runtime):
         """Non-batch messages carry no batch attributes and keep parsing
         exactly as before."""

@@ -98,3 +98,58 @@ class TestDemo:
         code, output = run(["demo"])
         assert code == 0
         assert "Grace" in output
+
+
+class TestLogInspect:
+    @pytest.fixture
+    def log_dir(self, tmp_path):
+        from repro.apps.tps import TpsBroker, TpsPeer
+        from repro.fixtures import person_assembly_pair, person_java
+        from repro.net.network import SimulatedNetwork
+
+        directory = tmp_path / "broker"
+        network = SimulatedNetwork()
+        broker = TpsBroker("broker", network, log_dir=str(directory))
+        publisher = TpsPeer("pub", network)
+        asm_a, _ = person_assembly_pair()
+        publisher.host_assembly(asm_a)
+        got = []
+        broker.subscribe_durable(person_java(), got.append, cursor="local-c")
+        for index in range(3):
+            publisher.publish("broker",
+                              publisher.new_instance("demo.a.Person",
+                                                     ["n%d" % index]))
+        broker.close()
+        return str(directory)
+
+    def test_inspect_broker_log_dir(self, log_dir):
+        code, output = run(["log", "inspect", log_dir])
+        assert code == 0
+        assert "records       3" in output
+        assert "[0, 3)" in output
+        assert "local-c" in output
+        assert "(0 behind)" in output
+
+    def test_inspect_events_dir_directly(self, log_dir):
+        import os
+        code, output = run(["log", "inspect", os.path.join(log_dir, "events")])
+        assert code == 0
+        assert "records       3" in output
+
+    def test_inspect_reports_torn_tail_nonzero_exit(self, log_dir):
+        import os
+        events = os.path.join(log_dir, "events")
+        segment = sorted(name for name in os.listdir(events)
+                         if name.endswith(".seg"))[-1]
+        path = os.path.join(events, segment)
+        with open(path, "r+b") as handle:
+            handle.seek(0, 2)
+            handle.truncate(handle.tell() - 5)
+        code, output = run(["log", "inspect", log_dir])
+        assert code == 1
+        assert "TORN TAIL" in output
+
+    def test_inspect_missing_directory(self):
+        code, output = run(["log", "inspect", "/no/such/log"])
+        assert code == 2
+        assert "error:" in output

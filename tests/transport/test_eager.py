@@ -26,8 +26,8 @@ class TestEagerDelivery:
         sender.send("receiver", sender.new_instance("demo.a.Person", ["Eager"]))
         assert receiver.inbox[0].view.getPersonName() == "Eager"
         assert network.stats.round_trips == 0
-        assert receiver.stats.descriptions_fetched == 0
-        assert receiver.stats.assemblies_fetched == 0
+        assert receiver.transport_stats.descriptions_fetched == 0
+        assert receiver.transport_stats.assemblies_fetched == 0
 
     def test_repeat_sends_still_carry_everything(self):
         network, sender, receiver = make_pair(EagerPeer)

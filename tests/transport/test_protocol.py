@@ -29,8 +29,8 @@ class TestHappyPath:
         network, sender, receiver = world
         receiver.declare_interest(person_java())
         sender.send("receiver", sender.new_instance("demo.a.Person", ["One"]))
-        assert receiver.stats.descriptions_fetched == 1
-        assert receiver.stats.assemblies_fetched == 1
+        assert receiver.transport_stats.descriptions_fetched == 1
+        assert receiver.transport_stats.assemblies_fetched == 1
         received = receiver.inbox[0]
         assert received.accepted
         assert received.view.getPersonName() == "One"
@@ -40,8 +40,8 @@ class TestHappyPath:
         receiver.declare_interest(person_java())
         for name in ["A", "B", "C"]:
             sender.send("receiver", sender.new_instance("demo.a.Person", [name]))
-        assert receiver.stats.descriptions_fetched == 1
-        assert receiver.stats.assemblies_fetched == 1
+        assert receiver.transport_stats.descriptions_fetched == 1
+        assert receiver.transport_stats.assemblies_fetched == 1
         assert [r.view.getPersonName() for r in receiver.inbox] == ["A", "B", "C"]
 
     def test_network_kind_breakdown(self, world):
@@ -66,8 +66,8 @@ class TestHappyPath:
         asm_a, _ = person_assembly_pair()
         receiver.host_assembly(asm_a)  # receiver already has the code
         sender.send("receiver", sender.new_instance("demo.a.Person", ["K"]))
-        assert receiver.stats.descriptions_fetched == 0
-        assert receiver.stats.assemblies_fetched == 0
+        assert receiver.transport_stats.descriptions_fetched == 0
+        assert receiver.transport_stats.assemblies_fetched == 0
         assert receiver.inbox[0].view.GetName() == "K"
 
     def test_on_receive_callback(self, world):
@@ -87,10 +87,10 @@ class TestRejection:
         received = receiver.inbox[0]
         assert not received.accepted
         assert received.value is None
-        assert receiver.stats.objects_rejected == 1
+        assert receiver.transport_stats.objects_rejected == 1
         # The optimistic win: description fetched, code NOT fetched.
-        assert receiver.stats.descriptions_fetched == 1
-        assert receiver.stats.assemblies_fetched == 0
+        assert receiver.transport_stats.descriptions_fetched == 1
+        assert receiver.transport_stats.assemblies_fetched == 0
 
     def test_rejection_saves_bytes(self, world):
         network, sender, receiver = world
@@ -123,7 +123,7 @@ class TestMultiTypeGraphs:
         received = receiver.inbox[0]
         assert received.accepted
         # One assembly covers both Employee and Address.
-        assert receiver.stats.assemblies_fetched == 1
+        assert receiver.transport_stats.assemblies_fetched == 1
         assert received.view.getName() == "Zoe"
         assert received.view.getAddress().getCity() == "Geneva"
 
@@ -223,10 +223,10 @@ class TestBatchDelivery:
         assert [r.view.getPersonName() for r in receiver.inbox] == \
             ["b%d" % i for i in range(10)]
         assert network.stats.by_kind_messages["object_batch"] == 1
-        assert sender.stats.batches_sent == 1
-        assert sender.stats.objects_sent == 10
-        assert receiver.stats.batches_received == 1
-        assert receiver.stats.objects_received == 10
+        assert sender.transport_stats.batches_sent == 1
+        assert sender.transport_stats.objects_sent == 10
+        assert receiver.transport_stats.batches_received == 1
+        assert receiver.transport_stats.objects_received == 10
 
     def test_batch_cheaper_than_k_sends(self, world):
         """The batch costs fewer bytes than the same events sent one by
@@ -251,7 +251,7 @@ class TestBatchDelivery:
             sender.new_instance("demo.a.Person", ["x%d" % i]) for i in range(5)
         ])
         network.run_until_idle()
-        assert receiver.stats.assemblies_fetched == 1
+        assert receiver.transport_stats.assemblies_fetched == 1
         assert all(r.accepted for r in receiver.inbox)
 
     def test_mixed_batch_rejects_per_value(self, world):
@@ -263,7 +263,7 @@ class TestBatchDelivery:
             sender.new_instance("demo.a.Person", ["keep"]),
         ])
         network.run_until_idle()
-        assert receiver.stats.objects_rejected == 1
+        assert receiver.transport_stats.objects_rejected == 1
         accepted = [r for r in receiver.inbox if r.accepted]
         assert len(accepted) == 1
         assert accepted[0].view.getPersonName() == "keep"
@@ -283,8 +283,8 @@ class TestBatchDelivery:
         sender.send_payload_batch("second", payload, len(events))
         network.run_until_idle()
         assert len(receiver.inbox) == 3 and len(second.inbox) == 3
-        assert sender.stats.objects_sent == 6
-        assert sender.stats.batches_sent == 2
+        assert sender.transport_stats.objects_sent == 6
+        assert sender.transport_stats.batches_sent == 2
 
     def test_send_async_defers_receive(self, world):
         network, sender, receiver = world
@@ -293,3 +293,37 @@ class TestBatchDelivery:
         assert receiver.inbox == []
         network.run_until_idle()
         assert receiver.inbox[0].view.getPersonName() == "a"
+
+
+class TestDeprecatedStatsAlias:
+    def test_stats_alias_warns_and_still_works(self, world):
+        network, sender, receiver = world
+        with pytest.warns(DeprecationWarning, match="transport_stats"):
+            alias = receiver.stats
+        assert alias is receiver.transport_stats
+
+
+class TestDeliveryAck:
+    """Batches carrying an ack token are acknowledged automatically."""
+
+    def test_ack_token_echoed_to_sender(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        events = [sender.new_instance("demo.a.Person", ["a%d" % i])
+                  for i in range(3)]
+        payload = sender.codec.encode_batch(events, ack="token-42")
+        sender.send_payload_batch("receiver", payload, len(events))
+
+        acks = []
+        sender.on("delivery_ack", lambda p, src: acks.append((p, src)) or b"OK")
+        network.run_until_idle()
+        assert acks == [(b"token-42", "receiver")]
+        assert network.stats.by_kind_messages["delivery_ack"] == 1
+
+    def test_no_token_no_ack(self, world):
+        network, sender, receiver = world
+        receiver.declare_interest(person_java())
+        sender.send_batch("receiver", [
+            sender.new_instance("demo.a.Person", ["plain"])])
+        network.run_until_idle()
+        assert "delivery_ack" not in network.stats.by_kind_messages
