@@ -1,0 +1,145 @@
+"""Unified pipeline — acked-publish cost and compaction payoff.
+
+Two acceptance gates for the PR-4 pipeline work, both asserted in quick
+mode so CI catches regressions without calibration:
+
+- **publisher-acked durability** — ``publish_durable`` (one extra
+  ``publish_ack`` message per publish, acked only after the durable
+  append) must keep acked-publish throughput within 2x of unacked
+  ``publish_async`` against the same logged broker;
+- **key-aware compaction** — an overwrite-heavy workload (few entities,
+  many updates) must shrink at least 3x on disk, with latest-state
+  replay equivalence asserted.
+"""
+
+import time
+
+from repro.apps.tps import TpsBroker, TpsPeer
+from repro.fixtures import person_assembly_pair, person_java
+from repro.net.network import SimulatedNetwork
+from repro.serialization.envelope import envelope_record_keys
+
+#: Events per publishing mode; the ratio gate is what matters, so the
+#: scale only needs to amortize per-call overhead.
+N_PUBLISHES = 600
+ACKED_MAX_SLOWDOWN = 2.0
+
+#: Overwrite-heavy compaction workload: updates cycling over few entities.
+N_UPDATES = 400
+N_ENTITIES = 8
+COMPACTION_MIN_REDUCTION = 3.0
+
+
+def make_world(tmp_path, name, **log_kwargs):
+    network = SimulatedNetwork()
+    broker = TpsBroker("broker", network, log_dir=str(tmp_path / name),
+                       log_kwargs=log_kwargs)
+    publisher = TpsPeer("pub", network)
+    asm_a, _ = person_assembly_pair()
+    publisher.host_assembly(asm_a)
+    got = []
+    subscriber = TpsPeer("sub", network)
+    subscriber.subscribe_remote("broker", person_java(), got.append)
+    return network, broker, publisher, got
+
+
+class TestAcceptancePublisherAck:
+    def test_acked_publish_within_2x_of_unacked(self, tmp_path):
+        """Same broker shape, same events, same drain discipline — the
+        only difference is the ack round: token on the envelope, append
+        before ack, one ``publish_ack`` message back per publish."""
+        network, broker, publisher, got = make_world(tmp_path, "async")
+        events = [publisher.new_instance("demo.a.Person", ["e%d" % index])
+                  for index in range(N_PUBLISHES)]
+        start = time.perf_counter()
+        for event in events:
+            publisher.publish_async("broker", event)
+        network.run_until_idle()
+        unacked_s = time.perf_counter() - start
+        assert len(got) == N_PUBLISHES
+        broker.close()
+
+        network, broker, publisher, got = make_world(tmp_path, "acked")
+        events = [publisher.new_instance("demo.a.Person", ["e%d" % index])
+                  for index in range(N_PUBLISHES)]
+        start = time.perf_counter()
+        for event in events:
+            publisher.publish_durable("broker", event)
+        network.run_until_idle()
+        acked_s = time.perf_counter() - start
+        assert len(got) == N_PUBLISHES
+        assert publisher.unacked_publishes() == []  # every ack came back
+        assert publisher.transport_stats.publishes_acked == N_PUBLISHES
+        assert broker.event_log.record_count == N_PUBLISHES
+        broker.close()
+
+        slowdown = acked_s / unacked_s
+        assert slowdown < ACKED_MAX_SLOWDOWN, (
+            "acked publish is %.2fx the unacked path (budget %.1fx): "
+            "acked %.3fs vs unacked %.3fs for %d events"
+            % (slowdown, ACKED_MAX_SLOWDOWN, acked_s, unacked_s,
+               N_PUBLISHES)
+        )
+
+
+class TestAcceptanceCompaction:
+    def test_overwrite_heavy_log_shrinks_3x_with_replay_equivalence(
+            self, tmp_path):
+        """N_UPDATES publishes over N_ENTITIES keys: compaction keeps the
+        latest record per (type fingerprint, entity key), the on-disk log
+        shrinks >= 3x, and a latest-state fold over replay is unchanged."""
+        network, broker, publisher, got = make_world(
+            tmp_path, "compact", segment_max_bytes=4096)
+        for index in range(N_UPDATES):
+            publisher.publish_async(
+                "broker",
+                publisher.new_instance(
+                    "demo.a.Person",
+                    ["entity-%d" % (index % N_ENTITIES)]))
+        network.run_until_idle()
+        assert len(got) == N_UPDATES
+
+        def latest_state(log):
+            state = {}
+            for record in log.replay():
+                for key in envelope_record_keys(record.payload) or ():
+                    state[key] = record.offset
+            return state
+
+        before_bytes = broker.event_log.size_bytes
+        before_state = latest_state(broker.event_log)
+        assert len(before_state) == N_ENTITIES
+        summary = broker.compact_log()
+        after_bytes = broker.event_log.size_bytes
+        assert latest_state(broker.event_log) == before_state  # equivalence
+        reduction = before_bytes / after_bytes
+        assert reduction >= COMPACTION_MIN_REDUCTION, (
+            "compaction reduced %d -> %d bytes (%.1fx, budget %.1fx)"
+            % (before_bytes, after_bytes, reduction,
+               COMPACTION_MIN_REDUCTION)
+        )
+        assert summary["dropped_records"] > 0
+        broker.close()
+
+
+class TestPublishThroughput:
+    def test_publish_durable_throughput(self, benchmark, tmp_path):
+        state = {"index": 0}
+
+        def setup():
+            world = make_world(tmp_path, "bench-%d" % state["index"])
+            state["index"] += 1
+            return world, {}
+
+        def run(network, broker, publisher, got):
+            for index in range(N_PUBLISHES):
+                publisher.publish_durable(
+                    "broker",
+                    publisher.new_instance("demo.a.Person", ["p%d" % index]))
+            network.run_until_idle()
+            broker.close()
+            return len(got)
+
+        benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+        benchmark.extra_info["experiment"] = "pipeline-publish-durable"
+        benchmark.extra_info["events"] = N_PUBLISHES

@@ -18,22 +18,22 @@ Two broker flavours:
   expected type (as an XML description) and receive matching events
   re-published to them, code travelling on demand all the way.
 
-Both route through a shared :class:`~repro.apps.tps.routing.RoutingIndex`:
-subscriptions are grouped by expected-type identity and each
-(provider, expected) pair pays conformance + proxy construction once, so
-the per-event hot path is a handful of dict lookups regardless of how
-many subscribers share a type.
-
-:class:`TpsBroker` delivers one synchronous post per matching
-subscription — the honest single-broker baseline.  For sharded, batched,
-queue-driven delivery see :mod:`repro.apps.tps.mesh`.
+Both are thin adapters over one shared
+:class:`~repro.apps.tps.pipeline.DeliveryPipeline`: the brokers own the
+subscription control plane (subscribe/unsubscribe, durable-cursor
+registration, crash recovery) and delegate every admitted event to the
+pipeline's admission → conformance → durable-append → dispatch → ack
+stages.  :class:`TpsBroker` dispatches one post per matching subscription
+(the honest single-broker baseline); for sharded, batched, queue-driven
+delivery see :mod:`repro.apps.tps.mesh`, which swaps in the buffered
+dispatch stage of the very same pipeline.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...core.context import ConformanceOptions
 from ...core.rules import ConformanceChecker
@@ -45,32 +45,31 @@ from ...net.network import NetworkError, SimulatedNetwork, UnknownPeerError
 from ...persistence import CursorStore, EventLog
 from ...transport.protocol import (
     KIND_DELIVERY_ACK,
+    KIND_PUBLISH_ACK,
     InteropPeer,
-    ProtocolError,
     ReceivedObject,
 )
-from .routing import RouteEntry, RoutingIndex
+from .pipeline import (
+    AdmissionStage,
+    DeliveryPipeline,
+    DirectDelivery,
+    DurabilityStage,
+    LocalDelivery,
+    PipelineStats,
+    RoutingStage,
+)
+from .routing import RoutingIndex
 
 KIND_TPS_SUBSCRIBE = "tps_subscribe"
 KIND_TPS_UNSUBSCRIBE = "tps_unsubscribe"
 KIND_TPS_SUBSCRIBE_DURABLE = "tps_subscribe_durable"
 
-#: Bound on outstanding (issued, unacknowledged) delivery tokens.  On a
-#: lossy fabric a dropped batch or ack would otherwise pin its token
-#: forever; evicting the oldest merely re-labels its records "unacked",
-#: which at-least-once redelivery already covers.
+#: Bound on outstanding (issued, unacknowledged) delivery tokens; read at
+#: issue time so tests (and operators) can lower it on a live broker.
 _MAX_PENDING_ACKS = 4096
 
-#: How many log records may pool into one replay batch message.  Bounds
-#: both the per-message decode burst at the subscriber and the redelivery
-#: window a lost ack reopens.
-_REPLAY_BATCH_RECORDS = 64
-
-#: Distinguishes broker incarnations within one process, so an ack token
-#: issued before a restart can never match a token the restarted broker
-#: issues (same peer id + same sequence number would otherwise collide
-#: and acknowledge an undelivered batch).
-_BROKER_EPOCH = itertools.count(1)
+#: Publisher-side sequence for durable-publish tokens.
+_PUBLISH_SEQ = itertools.count(1)
 
 Handler = Callable[[Any], None]
 
@@ -123,7 +122,7 @@ class DurableSubscription(Subscription):
 
 
 class LocalBroker:
-    """In-process type-based publish/subscribe."""
+    """In-process type-based publish/subscribe (a local-dispatch pipeline)."""
 
     def __init__(self, checker: Optional[ConformanceChecker] = None,
                  registry: Optional[TypeRegistry] = None):
@@ -131,9 +130,16 @@ class LocalBroker:
             options=ConformanceOptions.pragmatic()
         )
         self.index = RoutingIndex(self.checker, registry)
+        self.pipeline = DeliveryPipeline(
+            routing=RoutingStage(self.index),
+            delivery=LocalDelivery(),
+        )
         self._next_id = 1
         self.published = 0
-        self.delivered = 0
+
+    @property
+    def delivered(self) -> int:
+        return self.pipeline.stats.events_routed
 
     def subscribe(self, expected: TypeInfo, handler: Handler) -> Subscription:
         subscription = Subscription(expected, handler, self._next_id)
@@ -165,18 +171,9 @@ class LocalBroker:
         type_getter = getattr(event, "_repro_type", None)
         if type_getter is None:
             raise TypeError("event %r does not expose a CTS type" % (event,))
-        event_type = type_getter()
+        type_getter()  # events must carry a resolvable CTS type
         self.published += 1
-        deliveries = 0
-        for entry, subscriptions in self.index.route(event_type):
-            # One view per (event, expected type), shared by the group.
-            view = entry.view(event, self.checker)
-            for subscription in subscriptions:
-                subscription.handler(view)
-                subscription.delivered += 1
-                deliveries += 1
-                self.delivered += 1
-        return deliveries
+        return self.pipeline.process([event], origin=None).deliveries
 
 
 class TpsBroker(InteropPeer):
@@ -192,56 +189,109 @@ class TpsBroker(InteropPeer):
     def __init__(self, peer_id: str, network: SimulatedNetwork,
                  log_dir: Optional[str] = None,
                  log_kwargs: Optional[dict] = None,
-                 cursor_sync_every: int = 1, **kwargs):
+                 cursor_sync_every: int = 1,
+                 retain_unacked: bool = False, **kwargs):
         kwargs.setdefault("options", ConformanceOptions.pragmatic())
         super().__init__(peer_id, network, **kwargs)
         self.index = RoutingIndex(self.checker, self.runtime.registry)
         self._next_id = 1
-        self.events_routed = 0
         #: Durability: with a ``log_dir``, every admitted event batch is
         #: appended to the event log *before* fan-out, and durable
         #: subscriptions replay from named cursors.
-        #: ``log_kwargs`` passes rotation/retention knobs straight to
-        #: :class:`~repro.persistence.EventLog` (``segment_max_bytes``,
-        #: ``max_segments``, ``max_bytes``); ``cursor_sync_every``
-        #: throttles cursor persistence on the ack hot path (see
-        #: :class:`~repro.persistence.CursorStore`), with the deferred
-        #: tail flushed by :meth:`close`.
-        self.event_log: Optional[EventLog] = None
-        self.cursors: Optional[CursorStore] = None
+        #: ``log_kwargs`` passes rotation/retention/fsync knobs straight
+        #: to :class:`~repro.persistence.EventLog` (``segment_max_bytes``,
+        #: ``max_segments``, ``max_bytes``, ``fsync_every_n``,
+        #: ``fsync_interval_ms``, ``compact_on_retention``);
+        #: ``cursor_sync_every`` throttles cursor persistence on the ack
+        #: hot path (see :class:`~repro.persistence.CursorStore`), with
+        #: the deferred tail flushed by :meth:`close`.
+        #: ``retain_unacked`` gates retention on the slowest cursor: a
+        #: segment holding records a durable subscriber has not acked is
+        #: pinned instead of dropped (see :meth:`prune_cursors` for how
+        #: abandoned cursors stop pinning).
+        event_log: Optional[EventLog] = None
+        cursors: Optional[CursorStore] = None
         if log_dir is not None:
-            self.event_log = EventLog(os.path.join(log_dir, "events"),
-                                      **(log_kwargs or {}))
-            self.cursors = CursorStore(os.path.join(log_dir, "cursors.json"),
-                                       sync_every=cursor_sync_every)
-        self.events_replayed = 0
-        self.replay_failures = 0
-        self.delivery_failures = 0
-        self._pending_acks: dict = {}  # token -> (peer_id, ((cursor, start, end), ...))
-        #: Per-cursor sliding window of outstanding deliveries, in issue
-        #: order: entries are ``[end, acked, token, start]``.  A cursor
-        #: only advances through the *contiguous acked prefix* of its
-        #: window — an ack for a later batch never skips an earlier one
-        #: still in flight (whose batch may have been dropped by a lossy
-        #: fabric).
-        self._pending_by_cursor: dict = {}
-        #: Lowest log offset that is known-undelivered for a cursor — a
-        #: crashed local handler, or a discarded (evicted/undeliverable)
-        #: in-flight range.  No advance ever passes it, so the records
-        #: are redelivered by the next replay instead of being
-        #: cumulatively acked away.
-        self._cursor_blocks: dict = {}
-        self._ack_seq = 0
-        self._ack_epoch = next(_BROKER_EPOCH)
-        #: Records a durable subscriber missed because retention dropped
-        #: them below its cursor before they were delivered (see ROADMAP:
-        #: slowest-cursor-gated retention is a follow-on).
-        self.retention_lost_records = 0
+            event_log = EventLog(os.path.join(log_dir, "events"),
+                                 **(log_kwargs or {}))
+            cursors = CursorStore(os.path.join(log_dir, "cursors.json"),
+                                  sync_every=cursor_sync_every)
+        stats = PipelineStats()
+        self.durability = DurabilityStage(
+            self, event_log, cursors, stats=stats,
+            ack_cap=lambda: _MAX_PENDING_ACKS,
+            retain_unacked=retain_unacked)
+        self.pipeline = self._build_pipeline(stats)
         self.on(KIND_TPS_SUBSCRIBE, self._handle_subscribe)
         self.on(KIND_TPS_UNSUBSCRIBE, self._handle_unsubscribe)
         self.on(KIND_TPS_SUBSCRIBE_DURABLE, self._handle_subscribe_durable)
         self.on(KIND_DELIVERY_ACK, self._handle_delivery_ack)
         self.on_receive(self._route)
+
+    def _build_pipeline(self, stats: PipelineStats) -> DeliveryPipeline:
+        """The stage composition hook: the mesh shard overrides this to
+        swap direct dispatch for buffered dispatch + forwarding."""
+        return DeliveryPipeline(
+            routing=RoutingStage(self.index),
+            delivery=DirectDelivery(self, self.durability),
+            durability=self.durability,
+            admission=AdmissionStage(self, stats),
+            stats=stats,
+            host=self,
+        )
+
+    # -- pipeline state, re-exported for observability ---------------------
+
+    @property
+    def event_log(self) -> Optional[EventLog]:
+        return self.durability.event_log
+
+    @property
+    def cursors(self) -> Optional[CursorStore]:
+        return self.durability.cursors
+
+    @property
+    def events_routed(self) -> int:
+        return self.pipeline.stats.events_routed
+
+    @property
+    def events_replayed(self) -> int:
+        return self.pipeline.stats.events_replayed
+
+    @property
+    def replay_failures(self) -> int:
+        return self.pipeline.stats.replay_failures
+
+    @property
+    def delivery_failures(self) -> int:
+        return self.pipeline.stats.delivery_failures
+
+    @property
+    def retention_lost_records(self) -> int:
+        return self.pipeline.stats.retention_lost_records
+
+    @property
+    def _pending_by_cursor(self) -> dict:
+        return self.durability.tracker.windows
+
+    @property
+    def _cursor_blocks(self) -> dict:
+        return self.durability.tracker.blocks
+
+    def pending_ack_count(self) -> int:
+        return self.durability.tracker.pending_count()
+
+    def _issue_ack_token(self, peer_id: Optional[str],
+                         entries: Sequence[Tuple[str, int, int]]) -> str:
+        return self.durability.tracker.issue(peer_id, entries)
+
+    def _forget_cursor_tokens(self, cursor_name: str) -> None:
+        self.durability.forget_cursor(cursor_name)
+
+    def _append_to_log(self, values: List[Any], origin: str) -> Optional[int]:
+        """Durably log one admitted batch before any fan-out; returns the
+        record's offset (``None`` when the broker has no log)."""
+        return self.durability.append_values(values, origin)
 
     # -- subscription management ------------------------------------------
 
@@ -265,8 +315,7 @@ class TpsBroker(InteropPeer):
                 # An explicit unsubscribe retires the cursor: a broker
                 # restart must not resurrect a cancelled subscription,
                 # and in-flight acks for it become no-ops.
-                self.cursors.remove(subscription.cursor_name)
-                self._forget_cursor_tokens(subscription.cursor_name)
+                self.durability.remove_cursor(subscription.cursor_name)
             self._on_unsubscribed(subscription)
         return self._wire_codec.serialize({"ok": True})
 
@@ -301,8 +350,8 @@ class TpsBroker(InteropPeer):
                           handler: Optional[Handler] = None,
                           cursor: str = "",
                           peer_id: Optional[str] = None,
-                          description_xml: Optional[str] = None
-                          ) -> DurableSubscription:
+                          description_xml: Optional[str] = None,
+                          _recovering: bool = False) -> DurableSubscription:
         """Register a cursor-backed subscription and replay its backlog.
 
         ``cursor`` names the durable position: re-subscribing under the
@@ -361,13 +410,17 @@ class TpsBroker(InteropPeer):
             description_xml = serialize_description_bytes(
                 TypeDescription.from_type_info(expected)).decode("utf-8")
         fresh_cursor = cursor not in self.cursors
-        self.cursors.register(cursor, peer_id=peer_id,
-                              description=description_xml)
+        # Recovery's mechanical re-registration must not refresh the
+        # cursor's idleness stamp — only the subscriber itself coming
+        # back (or acking) counts against prune_cursors.
+        self.durability.register_cursor(cursor, peer_id=peer_id,
+                                        description=description_xml,
+                                        touch=not _recovering)
         self._on_subscribed(subscription, {
             "description": serialize_description_bytes(
                 TypeDescription.from_type_info(expected)),
         })
-        self._replay_subscription(subscription, fresh=fresh_cursor)
+        self.pipeline.replay(subscription, fresh=fresh_cursor)
         return subscription
 
     def recover_durable_subscriptions(self) -> List[DurableSubscription]:
@@ -393,278 +446,31 @@ class TpsBroker(InteropPeer):
             expected = deserialize_description(description).to_type_info()
             restored.append(self.subscribe_durable(
                 expected, None, name, peer_id=peer_id,
-                description_xml=description))
+                description_xml=description, _recovering=True))
         return restored
 
-    # -- replay -------------------------------------------------------------
+    # -- cursor GC / compaction ---------------------------------------------
 
-    def _replay_subscription(self, subscription: DurableSubscription,
-                             fresh: bool = False) -> int:
-        """Replay retained records in ``[cursor, log end)`` to one
-        subscription; returns the number of events sent/delivered.
+    def prune_cursors(self, max_idle_incarnations: int = 3) -> List[str]:
+        """Expire cursors whose subscribers never returned (no
+        registration or ack for ``max_idle_incarnations`` broker
+        incarnations).  A pruned cursor stops pinning the retention floor
+        and releases its in-flight ack state; a subscriber that does come
+        back later simply starts a fresh cursor at the retained head."""
+        return self.durability.prune_cursors(max_idle_incarnations)
 
-        A failure (handler crash, unmaterializable record) aborts the
-        pass: replaying on would let a later record's cumulative cursor
-        advance mark the failed one acked."""
-        upto = self.event_log.next_offset
-        cursor_offset = self.cursors.get(subscription.cursor_name)
-        start = max(cursor_offset, self.event_log.first_offset)
-        if start > cursor_offset and not fresh:
-            # Retention dropped records this (pre-existing) subscriber
-            # never received — surface the gap instead of silently
-            # clamping past it.  A brand-new cursor starting on an aged
-            # log missed nothing; it simply begins at the retained head.
-            self.retention_lost_records += start - cursor_offset
-        if subscription.handler is not None:
-            replayed = 0
-            for record in self.event_log.replay(start, upto):
-                sent = self._replay_record_local(subscription, record)
-                if sent is None:
-                    break
-                replayed += sent
-            return replayed
-        return self._replay_remote(subscription, start, upto)
-
-    def _advance_if_unblocked(self, subscription: DurableSubscription,
-                              offset: int) -> None:
-        """Advance a cursor past a record nothing was sent for.
-
-        Safe only while no issued-but-unacknowledged token exists for the
-        cursor: acks are cumulative, so jumping ahead of an in-flight
-        delivery would mark it acked before the subscriber confirmed it.
-        When tokens are outstanding, the next ack covers the skipped
-        record anyway."""
-        if not self._pending_by_cursor.get(subscription.cursor_name):
-            self._advance_capped(subscription.cursor_name, offset)
-
-    def _materialize_record(self, subscription: DurableSubscription,
-                            record) -> Optional[List[Any]]:
-        """Decode one log record's values, fetching code from the record's
-        origin on demand; ``None`` (after counting the failure) when the
-        origin — and every code source — cannot serve it right now."""
-        envelope = self.codec.parse(record.payload)
-        try:
-            return self._materialize_batch(envelope, record.origin or
-                                           (subscription.peer_id or self.peer_id))
-        except (ProtocolError, NetworkError):
-            self.replay_failures += 1
-            return None
-
-    def _conforming(self, subscription: DurableSubscription,
-                    values: List[Any]) -> List[Tuple[Any, RouteEntry]]:
-        matched = []
-        for value in values:
-            entry = self.index.lookup(value.type_info, subscription.expected)
-            if entry is not None:
-                matched.append((value, entry))
-        return matched
-
-    def _replay_record_local(self, subscription: DurableSubscription,
-                             record) -> Optional[int]:
-        """Replay one record to an in-process handler (self-acking)."""
-        if record.origin and record.origin == subscription.peer_id:
-            # Never echo a publisher's own events back — and do not leave
-            # the cursor pinned below them either.
-            self._advance_local(subscription, record.offset + 1)
-            return 0
-        values = self._materialize_record(subscription, record)
-        if values is None:
-            return None  # halt: a later ack must not skip this record
-        conforming = self._conforming(subscription, values)
-        if not conforming:
-            # Nothing to wait for: a local no-op record is acked now.
-            self._advance_local(subscription, record.offset + 1)
-            return 0
-        for value, entry in conforming:
-            if not self._deliver_local(subscription, entry, value,
-                                       log_offset=record.offset):
-                return None  # unacked: this pass stops at the failure
-            subscription.delivered += 1
-            self.events_replayed += 1
-        block = self._cursor_blocks.get(subscription.cursor_name)
-        if block is not None and record.offset >= block:
-            # The once-failed event was redelivered successfully: the
-            # cursor may move again.
-            del self._cursor_blocks[subscription.cursor_name]
-        self._advance_local(subscription, record.offset + 1)
-        return len(conforming)
-
-    def _replay_remote(self, subscription: DurableSubscription,
-                       start: int, upto: int) -> int:
-        """Replay a remote subscription's backlog as coalesced batches.
-
-        Consecutive same-origin records pool into one batch message (up
-        to ``_REPLAY_BATCH_RECORDS`` records) under ONE cumulative ack
-        token — an N-record backlog costs ~N/K messages, not 2N.  Records
-        with nothing to send (non-conforming, self-origin) extend the
-        open batch's ack range, so its acknowledgement consumes them too.
-        """
-        replayed = 0
-        batch: List[Any] = []
-        batch_origin: Optional[str] = None
-        batch_records = 0
-        batch_start = start
-        batch_end = start
-
-        def flush() -> bool:
-            nonlocal batch, batch_origin, batch_records, replayed
-            if not batch:
-                return True
-            token = self._issue_ack_token(
-                subscription.peer_id,
-                ((subscription.cursor_name, batch_start, batch_end),))
-            payload = self.codec.encode_batch(batch, origin=batch_origin,
-                                              ack=token)
-            count = len(batch)
-            batch, batch_origin, batch_records = [], None, 0
-            try:
-                self.send_payload_batch(subscription.peer_id, payload, count)
-            except UnknownPeerError:
-                self._discard_pending(token)
-                self.network.stats.record_drop()  # subscriber left
-                return False
-            subscription.delivered += count
-            self.events_replayed += count
-            replayed += count
-            return True
-
-        for record in self.event_log.replay(start, upto):
-            if record.origin and record.origin == subscription.peer_id:
-                # Own events are never echoed; fold them into the open
-                # batch's ack range, or advance directly when idle.
-                if batch:
-                    batch_end = record.offset + 1
-                else:
-                    self._advance_if_unblocked(subscription,
-                                               record.offset + 1)
-                continue
-            values = self._materialize_record(subscription, record)
-            if values is None:
-                # Deliver what already accumulated (its ack stops below
-                # the failed record), then halt the pass.
-                flush()
-                return replayed
-            conforming = self._conforming(subscription, values)
-            if not conforming:
-                if batch:
-                    batch_end = record.offset + 1
-                else:
-                    # Nothing sent and nothing in flight from this pass:
-                    # a tail of non-conforming records is consumed, not
-                    # re-scanned forever.
-                    self._advance_if_unblocked(subscription,
-                                               record.offset + 1)
-                continue
-            origin = record.origin or None
-            if batch and (origin != batch_origin
-                          or batch_records >= _REPLAY_BATCH_RECORDS):
-                if not flush():
-                    return replayed
-            if not batch:
-                batch_start = record.offset
-            batch.extend(value for value, _ in conforming)
-            batch_origin = origin
-            batch_records += 1
-            batch_end = record.offset + 1
-        flush()
-        return replayed
+    def compact_log(self, key_of=None) -> Dict[str, object]:
+        """Run a key-aware compaction pass over the broker's event log,
+        bounded by the slowest cursor — records a durable subscriber has
+        not acknowledged are never rewritten away.  Returns the
+        compaction summary (see :meth:`repro.persistence.EventLog.compact`)."""
+        return self.durability.compact(key_of=key_of)
 
     # -- acknowledgements ---------------------------------------------------
 
-    def _issue_ack_token(self, peer_id: Optional[str],
-                         entries: Sequence[Tuple[str, int, int]]) -> str:
-        """Register one outgoing delivery; ``entries`` are
-        ``(cursor, start, end)`` record-offset ranges the delivery covers."""
-        if len(self._pending_acks) >= _MAX_PENDING_ACKS:
-            # Lossy fabrics can orphan tokens (batch or ack dropped);
-            # evict the oldest so the table stays bounded.  Discarding
-            # blocks its cursors at the range start, so the records stay
-            # unacked and are redelivered on the next replay.
-            self._discard_pending(next(iter(self._pending_acks)))
-        self._ack_seq += 1
-        token = "%s/%d/ack-%d" % (self.peer_id, self._ack_epoch,
-                                  self._ack_seq)
-        self._pending_acks[token] = (peer_id, tuple(entries))
-        for cursor_name, start, end in entries:
-            self._pending_by_cursor.setdefault(cursor_name, []).append(
-                [end, False, token, start])
-        return token
-
-    def _forget_cursor_tokens(self, cursor_name: str) -> None:
-        """Retire a cursor's in-flight delivery state (window, block, and
-        its ranges inside outstanding tokens) when the subscription is
-        replaced or unsubscribed — the ranges are either replayed fresh or
-        deliberately abandoned, so a stale token must not resurface later
-        (via cap eviction) as a block nothing clears."""
-        window = self._pending_by_cursor.pop(cursor_name, None)
-        self._cursor_blocks.pop(cursor_name, None)
-        for entry in window or ():
-            token = entry[2]
-            pending = self._pending_acks.get(token)
-            if pending is None:
-                continue
-            remaining = tuple(item for item in pending[1]
-                              if item[0] != cursor_name)
-            if remaining:
-                self._pending_acks[token] = (pending[0], remaining)
-            else:
-                del self._pending_acks[token]
-
-    def _discard_pending(self, token: str):
-        """Forget an outstanding token (evicted or undeliverable);
-        returns the entry so callers can act on it.
-
-        The token's records were (possibly) never delivered, so each
-        covered cursor is blocked at the range's start: later cumulative
-        acks cannot skip the hole, and the next replay (which clears the
-        block) redelivers it."""
-        pending = self._pending_acks.pop(token, None)
-        if pending is not None:
-            for cursor_name, start, _ in pending[1]:
-                window = self._pending_by_cursor.get(cursor_name)
-                if window:
-                    remaining = [entry for entry in window
-                                 if entry[2] != token]
-                    if remaining:
-                        self._pending_by_cursor[cursor_name] = remaining
-                    else:
-                        del self._pending_by_cursor[cursor_name]
-                self._cursor_blocks[cursor_name] = min(
-                    self._cursor_blocks.get(cursor_name, start), start)
-        return pending
-
     def _handle_delivery_ack(self, payload: bytes, src: str) -> bytes:
-        """Mark one delivery acknowledged and advance its cursors through
-        the contiguous acked prefix of their windows.
-
-        An ack for a later batch while an earlier one is still in flight
-        (possibly dropped by the loss model) must NOT advance past the
-        earlier batch's records — they would never be redelivered.
-        Unknown tokens — e.g. an ack that raced a broker restart — are
-        ignored; their records simply get replayed (at-least-once)."""
-        token = payload.decode("utf-8")
-        pending = self._pending_acks.get(token)
-        if pending is None or pending[0] != src:
-            return b"OK"
-        del self._pending_acks[token]
-        for cursor_name, _, _ in pending[1]:
-            window = self._pending_by_cursor.get(cursor_name)
-            if window is None:
-                continue
-            for entry in window:
-                if entry[2] == token:
-                    entry[1] = True
-            acked_to: Optional[int] = None
-            while window and window[0][1]:
-                acked_to = window.pop(0)[0]
-            if not window:
-                del self._pending_by_cursor[cursor_name]
-            if acked_to is not None:
-                self._advance_capped(cursor_name, acked_to)
+        self.durability.tracker.acknowledge(payload.decode("utf-8"), src)
         return b"OK"
-
-    def pending_ack_count(self) -> int:
-        return len(self._pending_acks)
 
     def stats(self) -> dict:
         """Observability snapshot: routed-event and per-subscription
@@ -696,115 +502,49 @@ class TpsBroker(InteropPeer):
 
     def close(self) -> None:
         super().close()
-        if self.event_log is not None:
-            self.event_log.close()
-        if self.cursors is not None:
-            self.cursors.flush()
+        self.durability.close()
 
     # -- routing ------------------------------------------------------------
-
-    def _append_to_log(self, values: List[Any], origin: str) -> Optional[int]:
-        """Durably log one admitted batch before any fan-out; returns the
-        record's offset (``None`` when the broker has no log)."""
-        if self.event_log is None:
-            return None
-        return self.event_log.append(
-            self.codec.encode_batch(values, origin=origin), origin=origin)
 
     def _route(self, received: ReceivedObject) -> None:
         if received.value is None:
             return
         value = received.value
-        event_type = value.type_info
         payload: Optional[bytes] = None
-        #: One batch envelope serves both the log append and every durable
-        #: live delivery — the RBS2B frame is serialized once; only the
-        #: XML shell is re-rendered per ack token.
-        durable_envelope = None
-        log_offset: Optional[int] = None
+        envelope = None
         if self.event_log is not None:
-            durable_envelope = self.codec.wrap_batch([value],
-                                                     origin=received.sender)
-            log_offset = self.event_log.append(
-                self.codec.envelope_to_bytes(durable_envelope),
-                origin=received.sender)
-        for entry, subscriptions in self.index.route(event_type):
-            for subscription in subscriptions:
-                if subscription.peer_id == received.sender:
-                    continue  # do not echo events back to their publisher
-                if subscription.handler is not None:
-                    if not self._deliver_local(subscription, entry, value,
-                                               log_offset=log_offset):
-                        continue  # failed handlers must not abort fan-out
-                    if log_offset is not None and isinstance(
-                            subscription, DurableSubscription):
-                        self._advance_local(subscription, log_offset + 1)
-                elif log_offset is not None and isinstance(
-                        subscription, DurableSubscription):
-                    # Durable live delivery: one single-event batch whose
-                    # ack token advances the subscriber's cursor.  The
-                    # binary frame is serialized once and reused; only the
-                    # per-subscriber ack attribute differs.
-                    token = self._issue_ack_token(
-                        subscription.peer_id,
-                        ((subscription.cursor_name, log_offset,
-                          log_offset + 1),))
-                    durable_envelope.ack = token
-                    try:
-                        self.send_payload_batch(
-                            subscription.peer_id,
-                            self.codec.envelope_to_bytes(durable_envelope),
-                            1)
-                    except UnknownPeerError:
-                        # The durable subscriber is offline: its record
-                        # stays unacked (replayed when it returns) and the
-                        # rest of the fan-out proceeds.
-                        self._discard_pending(token)
-                        self.network.stats.record_drop()
-                        continue
-                else:
-                    if payload is None:
-                        # Encode once per event, not once per subscriber.
-                        payload = self.codec.encode(value)
-                    self.send_payload(subscription.peer_id, payload)
-                subscription.delivered += 1
-                self.events_routed += 1
+            #: One batch envelope serves both the log append and every
+            #: durable live delivery — the RBS2B frame is serialized once;
+            #: only the XML shell is re-rendered per ack token.
+            envelope = self.codec.wrap_batch([value], origin=received.sender)
+            payload = self.codec.envelope_to_bytes(envelope)
+        self.pipeline.process([value], received.sender,
+                              payload=payload, envelope=envelope,
+                              forward=True)
 
-    def _deliver_local(self, subscription: Subscription, entry: RouteEntry,
-                       value: Any, log_offset: Optional[int] = None) -> bool:
-        """Run one in-process handler, isolating its failures from the
-        rest of the fan-out (and, for durable subscriptions, from the
-        cursor: an event a handler crashed on is not acknowledged —
-        ``log_offset`` pins the cursor below it until a replay succeeds)."""
+    def _handle_object_batch(self, payload: bytes, src: str) -> bytes:
+        """Broker-side batch admission: a batch carrying a ``publish_ack``
+        token is a *durable publish* — the whole batch is appended as ONE
+        log record and fanned out through the pipeline, and the token is
+        acknowledged back to the publisher only after the append returned
+        (extending at-least-once to the publisher).  Plain batches fall
+        through to the ordinary per-value delivery path."""
+        envelope = self.codec.parse(payload)
+        if envelope.publish_ack is None:
+            return super()._handle_object_batch(payload, src)
+        token = envelope.publish_ack
+        envelope.publish_ack = None  # never propagates to subscribers
+        self.transport_stats.batches_received += 1
+        values = self.pipeline.admission.materialize(envelope, src)
+        self.pipeline.process(values, src, payload=payload,
+                              envelope=envelope, forward=True)
         try:
-            subscription.handler(entry.view(value, self.checker))
-            return True
-        except Exception:
-            self.delivery_failures += 1
-            if log_offset is not None and isinstance(
-                    subscription, DurableSubscription):
-                name = subscription.cursor_name
-                self._cursor_blocks[name] = min(
-                    self._cursor_blocks.get(name, log_offset), log_offset)
-            return False
-
-    def _advance_capped(self, cursor_name: str, target: int) -> None:
-        """The single gate every cursor advance goes through: capped
-        below any known-undelivered offset (``_cursor_blocks``), and a
-        no-op for retired cursors — an ack racing an unsubscribe must not
-        resurrect a removed cursor as a zombie entry."""
-        if self.cursors is None or cursor_name not in self.cursors:
-            return
-        block = self._cursor_blocks.get(cursor_name)
-        if block is not None:
-            target = min(target, block)
-        self.cursors.advance(cursor_name, target)
-
-    def _advance_local(self, subscription: DurableSubscription,
-                       target: int) -> None:
-        """Advance a local durable cursor (capped: acks are cumulative —
-        advancing past a failed event would mark it processed)."""
-        self._advance_capped(subscription.cursor_name, target)
+            self.post_async(src, KIND_PUBLISH_ACK, token.encode("utf-8"))
+            self.transport_stats.publish_acks_sent += 1
+            self.pipeline.stats.publish_acks_sent += 1
+        except UnknownPeerError:
+            self.network.stats.record_drop()  # publisher left the fabric
+        return b"OK"
 
 
 class TpsSubscriberMixin:
@@ -913,6 +653,69 @@ class TpsSubscriberMixin:
         the broker routes it when the scheduler drains — the broker's (and
         every subscriber's) code never runs inside this call stack."""
         self.send_async(broker_id, event)
+
+    # -- publisher-side durability ------------------------------------------
+
+    def publish_durable(self, broker_id: str, events: Any) -> str:
+        """Acked publish: the broker acknowledges the token only after the
+        batch is appended to its durable log, extending the at-least-once
+        guarantee back to the publisher.
+
+        ``events`` may be one event or a list (a list travels — and is
+        logged — as ONE batch record).  Returns the publish token; the
+        publish is in flight until the broker's ``publish_ack`` comes back
+        (drain the network), after which :meth:`unacked_publishes` no
+        longer lists it.  Anything still unacked — the publish or its ack
+        lost on a lossy fabric, or the broker crashed before appending —
+        can be resent verbatim with :meth:`republish_unacked`; the broker
+        logs the duplicate, which at-least-once delivery already covers.
+
+        Against a broker *without* an event log the ack degrades to an
+        admission ack — the batch was decoded and routed, but nothing is
+        durable and ``republish_unacked`` cannot recover a broker crash.
+        Give brokers a ``log_dir`` for the full guarantee.
+        """
+        values = list(events) if isinstance(events, (list, tuple)) \
+            else [events]
+        self._wire_publish_acks()
+        token = "%s/pub-%d" % (self.peer_id, next(_PUBLISH_SEQ))
+        payload = self.codec.encode_batch(values, publish_ack=token)
+        self._pending_publishes[token] = (broker_id, payload, len(values))
+        self.send_payload_batch(broker_id, payload, len(values))
+        return token
+
+    def _wire_publish_acks(self) -> None:
+        if "_pending_publishes" not in self.__dict__:
+            self._pending_publishes: Dict[str, Tuple[str, bytes, int]] = {}
+            self.on(KIND_PUBLISH_ACK, self._handle_publish_ack)
+
+    def _handle_publish_ack(self, payload: bytes, src: str) -> bytes:
+        token = payload.decode("utf-8")
+        if self._pending_publishes.pop(token, None) is not None:
+            self.transport_stats.publishes_acked += 1
+        return b"OK"
+
+    def unacked_publishes(self) -> List[str]:
+        """Tokens of durable publishes not yet acknowledged by a broker."""
+        return list(self.__dict__.get("_pending_publishes", ()))
+
+    def republish_unacked(self) -> int:
+        """Resend every unacknowledged durable publish verbatim; returns
+        the number of batches resent.  Safe under at-least-once: a batch
+        whose ack (rather than the batch itself) was lost is logged and
+        delivered a second time, exactly as the contract allows."""
+        pending = self.__dict__.get("_pending_publishes")
+        if not pending:
+            return 0
+        resent = 0
+        for broker_id, payload, count in list(pending.values()):
+            try:
+                self.send_payload_batch(broker_id, payload, count)
+            except UnknownPeerError:
+                self.network.stats.record_drop()  # broker gone right now
+                continue
+            resent += 1
+        return resent
 
 
 class TpsPeer(TpsSubscriberMixin, InteropPeer):

@@ -25,6 +25,10 @@ envelope each time.  The mesh refactors that data plane:
   batches bound for different peers are encoded once and reuse the same
   bytes.
 
+A shard is the same :class:`~repro.apps.tps.pipeline.DeliveryPipeline`
+as the single broker with exactly two stage swaps: dispatch is
+:class:`~repro.apps.tps.pipeline.BufferedDelivery` instead of direct
+posts, and a summary-gated forwarder hook buffers cross-shard copies.
 Control-plane traffic (subscribe/unsubscribe, summary gossip, the
 description/code fetches of Figure 1) stays on the synchronous request
 path, exactly as in the paper; only the one-way event fan-out is queued.
@@ -42,10 +46,15 @@ from ...net.network import (
     MessageDropped,
     NetworkError,
     SimulatedNetwork,
-    UnknownPeerError,
 )
-from ...transport.protocol import ReceivedObject
 from .broker import DurableSubscription, Subscription, TpsBroker
+from .pipeline import (
+    AdmissionStage,
+    BufferedDelivery,
+    DeliveryPipeline,
+    PipelineStats,
+    RoutingStage,
+)
 from .routing import RoutingIndex
 
 KIND_MESH_FORWARD = "mesh_forward"
@@ -92,21 +101,41 @@ class MeshShard(TpsBroker):
         self.summary_index = RoutingIndex(self.checker, self.runtime.registry)
         self._summaries: Dict[Tuple[str, str], List[Any]] = {}  # key -> [sub, refs]
         self._next_summary_id = 1
-        #: Buffered deliveries: destination peer -> events, in arrival order.
-        self._outgoing: Dict[str, List[Any]] = {}
-        #: Durable-cursor high-water marks covered by the buffered events,
-        #: per destination: peer -> {cursor name -> acked-when offset}.
-        self._outgoing_acks: Dict[str, Dict[str, int]] = {}
-        #: Buffered forwards: (sibling shard, origin publisher) -> events.
-        self._forward_out: Dict[Tuple[str, str], List[Any]] = {}
-        self.batch_events = 0
-        self.forwards_sent = 0
-        self.forward_events = 0
         self.forwards_received = 0
         self.gossip_failures = 0
         self.on(KIND_MESH_FORWARD, self._handle_forward)
         self.on(KIND_MESH_SUMMARY, self._handle_summary)
         self.on(KIND_MESH_SYNC, self._handle_sync)
+
+    def _build_pipeline(self, stats: PipelineStats) -> DeliveryPipeline:
+        """Same stages as the single broker, with buffered dispatch and
+        the summary-gated cross-shard forwarder plugged in."""
+        return DeliveryPipeline(
+            routing=RoutingStage(self.index),
+            delivery=BufferedDelivery(self, self.durability,
+                                      forward_kind=KIND_MESH_FORWARD),
+            durability=self.durability,
+            admission=AdmissionStage(self, stats),
+            stats=stats,
+            forwarder=self._buffer_forwards,
+            host=self,
+        )
+
+    @property
+    def delivery(self) -> BufferedDelivery:
+        return self.pipeline.delivery
+
+    @property
+    def batch_events(self) -> int:
+        return self.delivery.batch_events
+
+    @property
+    def forwards_sent(self) -> int:
+        return self.delivery.forwards_sent
+
+    @property
+    def forward_events(self) -> int:
+        return self.delivery.forward_events
 
     def set_siblings(self, shard_ids: Sequence[str]) -> None:
         self._siblings = [sid for sid in shard_ids if sid != self.peer_id]
@@ -236,80 +265,19 @@ class MeshShard(TpsBroker):
         self._gossip({"op": "reset"})
         return self.recover_durable_subscriptions()
 
-    # -- routing (buffered) ------------------------------------------------
+    # -- routing (buffered by the pipeline's dispatch stage) ---------------
 
-    def _route(self, received: ReceivedObject) -> None:
-        if received.value is None:
-            return
-        # Durability: the shard that homes an event logs it BEFORE any
-        # buffering or forwarding — once append returns, a *process* crash
-        # can no longer lose the event for durable subscribers (appends
-        # reach the OS, not fsync; see the EventLog docstring).
-        log_offset = self._append_to_log([received.value], received.sender)
-        local_acks: Dict[str, bool] = {}
-        self._buffer_event(received.value, received.sender, forward=True,
-                           log_offset=log_offset, local_acks=local_acks)
-        self._settle_local_acks(local_acks, log_offset)
-
-    def _settle_local_acks(self, local_acks: Dict[str, bool],
-                           log_offset: Optional[int]) -> None:
-        """Advance local durable cursors once per *record*, and only when
-        every one of the record's values was handled — a handler that
-        crashed on value 2 after accepting value 1 must leave the whole
-        record unacked so replay redelivers it (at-least-once)."""
-        if log_offset is None:
-            return
-        for cursor_name, all_ok in local_acks.items():
-            if all_ok:
-                self._advance_capped(cursor_name, log_offset + 1)
-
-    def _buffer_event(self, value: Any, origin: str, forward: bool,
-                      log_offset: Optional[int] = None,
-                      local_acks: Optional[Dict[str, bool]] = None) -> None:
-        event_type = value.type_info
-        for entry, subscriptions in self.index.route(event_type):
-            for subscription in subscriptions:
-                if subscription.peer_id == origin:
-                    continue  # do not echo events back to their publisher
-                if subscription.handler is not None:
-                    # Local in-process durable consumer: deliver inline and
-                    # self-ack (there is no network boundary to survive).
-                    # Failures are isolated — one broken handler must not
-                    # abort the fan-out or the cross-shard forwards below.
-                    delivered_ok = self._deliver_local(subscription, entry,
-                                                       value,
-                                                       log_offset=log_offset)
-                    if log_offset is not None and local_acks is not None \
-                            and isinstance(subscription, DurableSubscription):
-                        name = subscription.cursor_name
-                        local_acks[name] = (local_acks.get(name, True)
-                                            and delivered_ok)
-                    if not delivered_ok:
-                        continue
-                else:
-                    self._outgoing.setdefault(
-                        subscription.peer_id, []).append(value)
-                    if log_offset is not None and isinstance(
-                            subscription, DurableSubscription):
-                        acks = self._outgoing_acks.setdefault(
-                            subscription.peer_id, {})
-                        window = acks.get(subscription.cursor_name)
-                        if window is None:
-                            acks[subscription.cursor_name] = [
-                                log_offset, log_offset + 1]
-                        else:
-                            window[0] = min(window[0], log_offset)
-                            window[1] = max(window[1], log_offset + 1)
-                subscription.delivered += 1
-                self.events_routed += 1
-        if not forward:
-            return
+    def _buffer_forwards(self, value: Any, origin: Optional[str]) -> None:
+        """The pipeline's forwarder hook: buffer one copy of the event per
+        sibling shard hosting at least one conforming subscriber (routed
+        over the gossip summaries, so the decision reuses cached
+        conformance verdicts)."""
         targets = set()
-        for entry, summaries in self.summary_index.route(event_type):
+        for entry, summaries in self.summary_index.route(value.type_info):
             for summary in summaries:
                 targets.add(summary.peer_id)
         for shard_id in sorted(targets):
-            self._forward_out.setdefault((shard_id, origin), []).append(value)
+            self.delivery.buffer_forward(shard_id, origin or "", value)
 
     def _handle_forward(self, payload: bytes, src: str) -> bytes:
         envelope = self.codec.parse(payload)
@@ -319,89 +287,22 @@ class MeshShard(TpsBroker):
         # shard's log is the full local-delivery history, and a transient
         # code-fetch failure below must not lose the record (the sender
         # will not resend; replay retries materialization later).
-        log_offset: Optional[int] = None
-        if self.event_log is not None:
-            log_offset = self.event_log.append(payload, origin=origin)
-        values = self._materialize_batch(envelope, src)
-        local_acks: Dict[str, bool] = {}
-        for value in values:
-            self._buffer_event(value, origin, forward=False,
-                               log_offset=log_offset,
-                               local_acks=local_acks)
-        self._settle_local_acks(local_acks, log_offset)
+        log_offset = self.durability.append_payload(payload, origin)
+        values = self.pipeline.admission.materialize(envelope, src)
+        # Never re-forwarded: an event crosses at most one shard boundary.
+        self.pipeline.process(values, origin, log_offset=log_offset,
+                              pre_logged=True, forward=False)
         return b"OK"
 
     # -- draining ----------------------------------------------------------
 
     def pending_deliveries(self) -> int:
-        return (sum(len(events) for events in self._outgoing.values())
-                + sum(len(events) for events in self._forward_out.values()))
+        return self.delivery.pending()
 
     def flush_delivery(self) -> int:
-        """Encode and enqueue one batch message per buffered destination.
-
-        Returns the number of network messages enqueued.  Identical event
-        lists bound for different peers share one encoding (and therefore
-        the same payload bytes).  The messages travel when the network
-        scheduler drains — delivery stays out of every publisher's stack.
-        """
-        #: Wrapped (binary-serialized) envelopes by content; the XML shell
-        #: is rendered per destination only when an ack token personalises
-        #: it — identical ack-free batches still share final bytes.
-        wrapped: Dict[Tuple[Optional[str], Tuple[int, ...]], Any] = {}
-        encoded: Dict[Tuple[Optional[str], Tuple[int, ...]], bytes] = {}
-
-        def encode(values: List[Any], origin: Optional[str],
-                   ack: Optional[str] = None) -> bytes:
-            key = (origin, tuple(id(value) for value in values))
-            envelope = wrapped.get(key)
-            if envelope is None:
-                envelope = wrapped[key] = self.codec.wrap_batch(
-                    values, origin=origin)
-            if ack is not None:
-                envelope.ack = ack
-                payload = self.codec.envelope_to_bytes(envelope)
-                envelope.ack = None
-                return payload
-            payload = encoded.get(key)
-            if payload is None:
-                payload = encoded[key] = self.codec.envelope_to_bytes(envelope)
-            return payload
-
-        sent = 0
-        for dst, values in self._outgoing.items():
-            acks = self._outgoing_acks.get(dst)
-            token: Optional[str] = None
-            if acks:
-                # The batch covers durable subscriptions: its ack advances
-                # their cursors through the logged offset ranges.
-                token = self._issue_ack_token(dst, tuple(
-                    (name, window[0], window[1])
-                    for name, window in sorted(acks.items())))
-            try:
-                self.send_payload_batch(dst, encode(values, None, token),
-                                        len(values))
-            except UnknownPeerError:
-                if token is not None:
-                    self._discard_pending(token)
-                self.network.stats.record_drop()  # subscriber left the fabric
-                continue
-            self.batch_events += len(values)
-            sent += 1
-        self._outgoing.clear()
-        self._outgoing_acks.clear()
-        for (shard_id, origin), values in self._forward_out.items():
-            try:
-                self.post_async(shard_id, KIND_MESH_FORWARD,
-                                encode(values, origin))
-            except UnknownPeerError:
-                self.network.stats.record_drop()
-                continue
-            self.forwards_sent += 1
-            self.forward_events += len(values)
-            sent += 1
-        self._forward_out.clear()
-        return sent
+        """Encode and enqueue one batch message per buffered destination
+        (see :meth:`repro.apps.tps.pipeline.BufferedDelivery.flush`)."""
+        return self.delivery.flush()
 
     # -- observability -----------------------------------------------------
 

@@ -1,0 +1,986 @@
+"""The unified delivery pipeline shared by every TPS broker flavour.
+
+Before this module existed, :class:`~repro.apps.tps.broker.LocalBroker`,
+:class:`~repro.apps.tps.broker.TpsBroker` and
+:class:`~repro.apps.tps.mesh.MeshShard` each re-implemented the same
+sequence inline: admit/decode the incoming envelope, run the
+:class:`~repro.apps.tps.routing.RoutingIndex` conformance check, append
+the admitted batch to the durable log, fan out to matching subscriptions
+(inline, per-message, or buffered per destination), and track delivery
+acknowledgements against replay cursors.  The pipeline extracts that
+sequence into explicit, individually testable stages:
+
+- :class:`AdmissionStage` — envelope parse + on-demand code-fetching
+  materialization (the optimistic protocol's steps 2-5 for batches);
+- :class:`RoutingStage` — conformance-checked fan-out targets via a
+  shared :class:`RoutingIndex`;
+- :class:`DurabilityStage` — durable append (with per-value compaction
+  keys), capped cursor advancement, retention-floor maintenance, and the
+  :class:`AckTracker` sliding windows of in-flight deliveries;
+- :class:`DirectDelivery` / :class:`BufferedDelivery` — the two dispatch
+  disciplines: one network post per matching subscription (the honest
+  single-broker baseline) versus per-destination batch buffers drained
+  into one message per destination (the mesh data plane);
+- :class:`DeliveryPipeline` — the composition: one ``process()`` call is
+  one admitted record travelling every stage, and one ``replay()`` call
+  is one durable subscription's backlog travelling the same conformance
+  and ack machinery as live traffic.
+
+The brokers are thin adapters over one pipeline each: they own the
+subscription control plane (subscribe/unsubscribe, gossip, recovery) and
+delegate every event to the pipeline, so a durability or batching
+improvement lands once and applies to all three.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...net.network import NetworkError, UnknownPeerError
+from ...persistence import CursorStore, EventLog
+from ...transport.protocol import ProtocolError
+from .routing import RouteEntry, RoutingIndex
+
+#: Default bound on outstanding (issued, unacknowledged) delivery tokens.
+#: On a lossy fabric a dropped batch or ack would otherwise pin its token
+#: forever; evicting the oldest merely re-labels its records "unacked",
+#: which at-least-once redelivery already covers.
+DEFAULT_MAX_PENDING_ACKS = 4096
+
+#: How many log records may pool into one replay batch message.  Bounds
+#: both the per-message decode burst at the subscriber and the redelivery
+#: window a lost ack reopens.
+REPLAY_BATCH_RECORDS = 64
+
+#: Distinguishes pipeline incarnations within one process, so an ack
+#: token issued before a restart can never match a token the restarted
+#: broker issues (same peer id + same sequence number would otherwise
+#: collide and acknowledge an undelivered batch).
+_EPOCH = itertools.count(1)
+
+
+def cursor_name_of(subscription: Any) -> Optional[str]:
+    """The replay-cursor name of a durable subscription (``None`` for a
+    plain one).  Duck-typed so the pipeline needs no import of the broker
+    module's ``DurableSubscription``."""
+    return getattr(subscription, "cursor_name", None) or None
+
+
+class PipelineStats:
+    """Counters shared by every stage of one pipeline."""
+
+    __slots__ = (
+        "events_routed",
+        "events_replayed",
+        "replay_failures",
+        "delivery_failures",
+        "retention_lost_records",
+        "records_processed",
+        "publish_acks_sent",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return "PipelineStats(%s)" % ", ".join(
+            "%s=%d" % item for item in self.as_dict().items()
+        )
+
+
+class Processed:
+    """What one ``process()`` call did: the record's log offset (``None``
+    without a log) and the number of successful deliveries/enqueues."""
+
+    __slots__ = ("log_offset", "deliveries")
+
+    def __init__(self, log_offset: Optional[int], deliveries: int):
+        self.log_offset = log_offset
+        self.deliveries = deliveries
+
+    def __repr__(self) -> str:
+        return "Processed(offset=%r, deliveries=%d)" % (
+            self.log_offset, self.deliveries,
+        )
+
+
+# ---------------------------------------------------------------------------
+# admission / decode
+# ---------------------------------------------------------------------------
+
+
+class AdmissionStage:
+    """Decode incoming envelopes into CTS values, fetching code on demand.
+
+    Wraps the host peer's optimistic-protocol machinery (envelope codec +
+    assembly downloads) behind the two operations the pipeline needs:
+    parsing a wire payload and materializing a stored log record.
+    """
+
+    def __init__(self, host: Any, stats: Optional[PipelineStats] = None):
+        self.host = host
+        self.stats = stats if stats is not None else PipelineStats()
+
+    def parse(self, payload: bytes):
+        return self.host.codec.parse(payload)
+
+    def materialize(self, envelope: Any, src: str) -> List[Any]:
+        """Envelope -> values; raises when code cannot be obtained."""
+        return self.host._materialize_batch(envelope, src)
+
+    def materialize_record(self, record: Any,
+                           fallback_src: str) -> Optional[List[Any]]:
+        """Decode one log record's values, fetching code from the record's
+        origin on demand; ``None`` (after counting the failure) when the
+        origin — and every code source — cannot serve it right now."""
+        envelope = self.parse(record.payload)
+        try:
+            return self.materialize(envelope, record.origin or fallback_src)
+        except (ProtocolError, NetworkError):
+            self.stats.replay_failures += 1
+            return None
+
+
+# ---------------------------------------------------------------------------
+# conformance / routing
+# ---------------------------------------------------------------------------
+
+
+class RoutingStage:
+    """Conformance-checked fan-out targets over a shared RoutingIndex."""
+
+    def __init__(self, index: RoutingIndex):
+        self.index = index
+
+    @property
+    def checker(self):
+        return self.index.checker
+
+    def targets(self, event_type):
+        """Yield ``(entry, subscriptions)`` per matching expected type."""
+        return self.index.route(event_type)
+
+    def conforming(self, values: Sequence[Any],
+                   expected) -> List[Tuple[Any, RouteEntry]]:
+        """The subset of ``values`` that conforms to one expected type
+        (the replay-side admission check — exactly what live publish
+        would admit), paired with the cached route entries."""
+        matched = []
+        for value in values:
+            entry = self.index.lookup(value.type_info, expected)
+            if entry is not None:
+                matched.append((value, entry))
+        return matched
+
+
+# ---------------------------------------------------------------------------
+# ack tracking
+# ---------------------------------------------------------------------------
+
+
+class AckTracker:
+    """Delivery + ack tracking: per-cursor sliding windows of in-flight
+    deliveries, cumulative-prefix advancement, and undelivered blocks.
+
+    ``advance`` is injected (normally :meth:`DurabilityStage.advance`), so
+    the tracker is unit-testable against a plain dict of cursors.  The
+    window discipline: entries are ``[end, acked, token, start]`` in issue
+    order, and a cursor only moves through the *contiguous acked prefix* —
+    an ack for a later batch never skips an earlier one still in flight
+    (whose batch may have been dropped by a lossy fabric).
+    """
+
+    def __init__(self, owner_id: str,
+                 advance: Callable[[str, int], None],
+                 cap: Optional[Callable[[], int]] = None):
+        self.owner_id = owner_id
+        self._advance = advance
+        self._cap = cap if cap is not None else (lambda: DEFAULT_MAX_PENDING_ACKS)
+        self.pending: Dict[str, Tuple[Optional[str], tuple]] = {}
+        #: cursor name -> in-flight window entries, in issue order.
+        self.windows: Dict[str, List[List[Any]]] = {}
+        #: Lowest log offset that is known-undelivered for a cursor — a
+        #: crashed local handler, or a discarded (evicted/undeliverable)
+        #: in-flight range.  No advance ever passes it, so the records
+        #: are redelivered by the next replay instead of being
+        #: cumulatively acked away.
+        self.blocks: Dict[str, int] = {}
+        self._seq = 0
+        self._epoch = next(_EPOCH)
+
+    # -- issuing ----------------------------------------------------------
+
+    def issue(self, peer_id: Optional[str],
+              entries: Sequence[Tuple[str, int, int]]) -> str:
+        """Register one outgoing delivery; ``entries`` are
+        ``(cursor, start, end)`` record-offset ranges the delivery covers."""
+        if len(self.pending) >= self._cap():
+            # Lossy fabrics can orphan tokens (batch or ack dropped);
+            # evict the oldest so the table stays bounded.  Discarding
+            # blocks its cursors at the range start, so the records stay
+            # unacked and are redelivered on the next replay.
+            self.discard(next(iter(self.pending)))
+        self._seq += 1
+        token = "%s/%d/ack-%d" % (self.owner_id, self._epoch, self._seq)
+        self.pending[token] = (peer_id, tuple(entries))
+        for cursor_name, start, end in entries:
+            self.windows.setdefault(cursor_name, []).append(
+                [end, False, token, start])
+        return token
+
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+    # -- retirement -------------------------------------------------------
+
+    def discard(self, token: str):
+        """Forget an outstanding token (evicted or undeliverable);
+        returns the entry so callers can act on it.
+
+        The token's records were (possibly) never delivered, so each
+        covered cursor is blocked at the range's start: later cumulative
+        acks cannot skip the hole, and the next replay (which clears the
+        block) redelivers it."""
+        entry = self.pending.pop(token, None)
+        if entry is not None:
+            for cursor_name, start, _ in entry[1]:
+                window = self.windows.get(cursor_name)
+                if window:
+                    remaining = [item for item in window if item[2] != token]
+                    if remaining:
+                        self.windows[cursor_name] = remaining
+                    else:
+                        del self.windows[cursor_name]
+                self.blocks[cursor_name] = min(
+                    self.blocks.get(cursor_name, start), start)
+        return entry
+
+    def forget_cursor(self, cursor_name: str) -> None:
+        """Retire a cursor's in-flight delivery state (window, block, and
+        its ranges inside outstanding tokens) when the subscription is
+        replaced or unsubscribed — the ranges are either replayed fresh or
+        deliberately abandoned, so a stale token must not resurface later
+        (via cap eviction) as a block nothing clears."""
+        window = self.windows.pop(cursor_name, None)
+        self.blocks.pop(cursor_name, None)
+        for item in window or ():
+            token = item[2]
+            entry = self.pending.get(token)
+            if entry is None:
+                continue
+            remaining = tuple(part for part in entry[1]
+                              if part[0] != cursor_name)
+            if remaining:
+                self.pending[token] = (entry[0], remaining)
+            else:
+                del self.pending[token]
+
+    def block(self, cursor_name: str, offset: int) -> None:
+        """Pin a cursor below a known-undelivered offset."""
+        self.blocks[cursor_name] = min(
+            self.blocks.get(cursor_name, offset), offset)
+
+    def clear_block_through(self, cursor_name: str, offset: int) -> None:
+        """Lift a block once the once-failed record at/below ``offset``
+        was redelivered successfully."""
+        blocked = self.blocks.get(cursor_name)
+        if blocked is not None and offset >= blocked:
+            del self.blocks[cursor_name]
+
+    def has_inflight(self, cursor_name: str) -> bool:
+        return bool(self.windows.get(cursor_name))
+
+    # -- acknowledgement --------------------------------------------------
+
+    def acknowledge(self, token: str, src: str) -> bool:
+        """Mark one delivery acknowledged and advance its cursors through
+        the contiguous acked prefix of their windows.
+
+        An ack for a later batch while an earlier one is still in flight
+        (possibly dropped by the loss model) must NOT advance past the
+        earlier batch's records — they would never be redelivered.
+        Unknown tokens — e.g. an ack that raced a broker restart — are
+        ignored; their records simply get replayed (at-least-once)."""
+        entry = self.pending.get(token)
+        if entry is None or entry[0] != src:
+            return False
+        del self.pending[token]
+        for cursor_name, _, _ in entry[1]:
+            window = self.windows.get(cursor_name)
+            if window is None:
+                continue
+            for item in window:
+                if item[2] == token:
+                    item[1] = True
+            acked_to: Optional[int] = None
+            while window and window[0][1]:
+                acked_to = window.pop(0)[0]
+            if not window:
+                del self.windows[cursor_name]
+            if acked_to is not None:
+                self._advance(cursor_name, acked_to)
+        return True
+
+
+# ---------------------------------------------------------------------------
+# durable append
+# ---------------------------------------------------------------------------
+
+
+class DurabilityStage:
+    """Durable append + capped cursor advancement + retention floor.
+
+    Owns the :class:`EventLog`, the :class:`CursorStore` and the
+    :class:`AckTracker`; every cursor advance in the system goes through
+    :meth:`advance`, which caps the target below any known-undelivered
+    offset and ignores retired cursors.  With ``retain_unacked`` the
+    stage keeps the log's retention floor at the slowest cursor, so
+    retention never drops a segment a durable subscriber has not acked
+    (pruned cursors stop pinning the floor — see :meth:`prune_cursors`).
+    """
+
+    def __init__(self, host: Any,
+                 event_log: Optional[EventLog] = None,
+                 cursors: Optional[CursorStore] = None,
+                 stats: Optional[PipelineStats] = None,
+                 ack_cap: Optional[Callable[[], int]] = None,
+                 retain_unacked: bool = False):
+        self.host = host
+        self.event_log = event_log
+        self.cursors = cursors
+        self.stats = stats if stats is not None else PipelineStats()
+        self.retain_unacked = retain_unacked
+        self.tracker = AckTracker(getattr(host, "peer_id", "pipeline"),
+                                  advance=self.advance, cap=ack_cap)
+        self._update_retention_floor()
+
+    @property
+    def enabled(self) -> bool:
+        return self.event_log is not None and self.cursors is not None
+
+    # -- appending --------------------------------------------------------
+
+    def append_payload(self, payload: bytes, origin: str) -> Optional[int]:
+        """Durably log one already-encoded batch envelope before any
+        fan-out; returns the record's offset (``None`` without a log)."""
+        if self.event_log is None:
+            return None
+        return self.event_log.append(payload, origin=origin)
+
+    def append_values(self, values: List[Any], origin: str) -> Optional[int]:
+        if self.event_log is None:
+            return None
+        return self.event_log.append(
+            self.host.codec.encode_batch(values, origin=origin),
+            origin=origin)
+
+    # -- cursor advancement ------------------------------------------------
+
+    def advance(self, cursor_name: str, target: int) -> None:
+        """The single gate every cursor advance goes through: capped
+        below any known-undelivered offset, and a no-op for retired
+        cursors — an ack racing an unsubscribe must not resurrect a
+        removed cursor as a zombie entry."""
+        if self.cursors is None or cursor_name not in self.cursors:
+            return
+        block = self.tracker.blocks.get(cursor_name)
+        if block is not None:
+            target = min(target, block)
+        before = self.cursors.get(cursor_name)
+        if self.cursors.advance(cursor_name, target):
+            # The floor is the min over all cursors: it can only move
+            # when the cursor that advanced WAS the floor — skip the
+            # recompute for every other ack on the hot path.
+            if self.retain_unacked and self.event_log is not None \
+                    and (self.event_log.retention_floor is None
+                         or before <= self.event_log.retention_floor):
+                self._update_retention_floor()
+
+    def advance_if_idle(self, cursor_name: str, target: int) -> None:
+        """Advance a cursor past a record nothing was sent for.
+
+        Safe only while no issued-but-unacknowledged token exists for the
+        cursor: acks are cumulative, so jumping ahead of an in-flight
+        delivery would mark it acked before the subscriber confirmed it.
+        When tokens are outstanding, the next ack covers the skipped
+        record anyway."""
+        if not self.tracker.has_inflight(cursor_name):
+            self.advance(cursor_name, target)
+
+    def settle_local(self, local_acks: Dict[str, bool],
+                     log_offset: Optional[int]) -> None:
+        """Advance local durable cursors once per *record*, and only when
+        every one of the record's values was handled — a handler that
+        crashed on value 2 after accepting value 1 must leave the whole
+        record unacked so replay redelivers it (at-least-once)."""
+        if log_offset is None:
+            return
+        for cursor_name, all_ok in local_acks.items():
+            if all_ok:
+                self.advance(cursor_name, log_offset + 1)
+
+    def register_cursor(self, cursor_name: str,
+                        peer_id: Optional[str] = None,
+                        description: Optional[str] = None,
+                        touch: bool = True) -> int:
+        """Create/refresh a cursor through the stage, so a brand-new slow
+        cursor starts pinning the retention floor immediately.
+        ``touch=False`` is the recovery path: mechanical re-registration
+        must not reset the idleness stamp :meth:`prune_cursors` reads."""
+        offset = self.cursors.register(cursor_name, peer_id=peer_id,
+                                       description=description, touch=touch)
+        self._update_retention_floor()
+        return offset
+
+    def forget_cursor(self, cursor_name: str) -> None:
+        self.tracker.forget_cursor(cursor_name)
+
+    def remove_cursor(self, cursor_name: str) -> None:
+        """Retire a cursor entirely (explicit unsubscribe): persisted
+        entry, in-flight windows and retention pin all go."""
+        if self.cursors is not None:
+            self.cursors.remove(cursor_name)
+        self.tracker.forget_cursor(cursor_name)
+        self._update_retention_floor()
+
+    # -- retention / GC / compaction --------------------------------------
+
+    def _update_retention_floor(self) -> None:
+        if not self.retain_unacked or self.event_log is None \
+                or self.cursors is None:
+            return
+        self.event_log.set_retention_floor(self.cursors.min_offset())
+
+    def prune_cursors(self, max_idle_incarnations: int) -> List[str]:
+        """Expire cursors of subscribers that never returned; pruned
+        cursors stop gating retention's slowest-cursor floor."""
+        if self.cursors is None:
+            return []
+        pruned = self.cursors.prune(max_idle_incarnations)
+        for name in pruned:
+            self.tracker.forget_cursor(name)
+        if pruned:
+            self._update_retention_floor()
+        return pruned
+
+    def slowest_cursor(self) -> Optional[int]:
+        if self.cursors is None:
+            return None
+        return self.cursors.min_offset()
+
+    def compact(self, key_of=None) -> Dict[str, object]:
+        """Key-aware compaction bounded by the slowest cursor: records a
+        durable subscriber has not acknowledged are never rewritten away,
+        however stale their keys."""
+        if self.event_log is None:
+            return {}
+        return self.event_log.compact(retain_from=self.slowest_cursor(),
+                                      key_of=key_of)
+
+    def close(self) -> None:
+        if self.event_log is not None:
+            self.event_log.close()
+        if self.cursors is not None:
+            self.cursors.flush()
+
+
+# ---------------------------------------------------------------------------
+# delivery disciplines
+# ---------------------------------------------------------------------------
+
+
+class DirectDelivery:
+    """One network message per matching remote subscription — the honest
+    single-broker baseline.  Non-durable subscribers share one encoded
+    single-object envelope per value; durable subscribers receive the
+    whole record's batch envelope once, personalised with an ack token
+    (the binary frame is serialized once, only the XML shell differs)."""
+
+    #: Direct dispatch isolates local handler failures from the fan-out.
+    isolate_failures = True
+
+    def __init__(self, host: Any, durability: Optional[DurabilityStage]):
+        self.host = host
+        self.durability = durability
+
+    def begin(self, values: List[Any], origin: Optional[str],
+              log_offset: Optional[int], envelope: Any) -> dict:
+        return {
+            "values": values,
+            "envelope": envelope,
+            "payloads": {},       # id(value) -> encoded single envelope
+            "durable_sent": set(),  # subscription ids already sent the record
+        }
+
+    def remote(self, ctx: dict, subscription: Any, value: Any,
+               log_offset: Optional[int]) -> bool:
+        cursor = cursor_name_of(subscription)
+        if log_offset is not None and cursor is not None \
+                and ctx["envelope"] is not None:
+            # Durable live delivery: the record's batch envelope under one
+            # cumulative ack token that advances the subscriber's cursor.
+            if subscription.subscription_id in ctx["durable_sent"]:
+                return False  # the record already travelled to this peer
+            tracker = self.durability.tracker
+            token = tracker.issue(subscription.peer_id,
+                                  ((cursor, log_offset, log_offset + 1),))
+            envelope = ctx["envelope"]
+            envelope.ack = token
+            try:
+                self.host.send_payload_batch(
+                    subscription.peer_id,
+                    self.host.codec.envelope_to_bytes(envelope),
+                    len(ctx["values"]))
+            except UnknownPeerError:
+                # The durable subscriber is offline: its record stays
+                # unacked (replayed when it returns) and the rest of the
+                # fan-out proceeds.
+                tracker.discard(token)
+                self.host.network.stats.record_drop()
+                return False
+            finally:
+                envelope.ack = None
+            ctx["durable_sent"].add(subscription.subscription_id)
+        else:
+            payload = ctx["payloads"].get(id(value))
+            if payload is None:
+                # Encode once per event, not once per subscriber.
+                payload = ctx["payloads"][id(value)] = \
+                    self.host.codec.encode(value)
+            self.host.send_payload(subscription.peer_id, payload)
+        return True
+
+    def finish(self, ctx: dict) -> None:
+        pass
+
+    def pending(self) -> int:
+        return 0
+
+    def flush(self) -> int:
+        return 0
+
+
+class BufferedDelivery:
+    """Per-destination batch buffers drained into ONE message each — the
+    mesh data plane.  Routing an event only appends it to a buffer;
+    :meth:`flush` encodes, per destination, one batch envelope (a shared
+    intern-table ``RBS2B`` frame) and enqueues one network message,
+    however many events and matching subscriptions it covers.  Identical
+    batches bound for different destinations share the encoded bytes."""
+
+    isolate_failures = True
+
+    def __init__(self, host: Any, durability: Optional[DurabilityStage],
+                 forward_kind: Optional[str] = None):
+        self.host = host
+        self.durability = durability
+        self.forward_kind = forward_kind
+        #: Buffered deliveries: destination peer -> events, in arrival order.
+        self._outgoing: Dict[str, List[Any]] = {}
+        #: Durable-cursor high-water marks covered by the buffered events,
+        #: per destination: peer -> {cursor name -> [start, end] offsets}.
+        self._outgoing_acks: Dict[str, Dict[str, List[int]]] = {}
+        #: Buffered forwards: (sibling shard, origin publisher) -> events.
+        self._forward_out: Dict[Tuple[str, str], List[Any]] = {}
+        self.batch_events = 0
+        self.forwards_sent = 0
+        self.forward_events = 0
+
+    def begin(self, values: List[Any], origin: Optional[str],
+              log_offset: Optional[int], envelope: Any) -> dict:
+        return {}
+
+    def remote(self, ctx: dict, subscription: Any, value: Any,
+               log_offset: Optional[int]) -> bool:
+        self._outgoing.setdefault(subscription.peer_id, []).append(value)
+        cursor = cursor_name_of(subscription)
+        if log_offset is not None and cursor is not None:
+            acks = self._outgoing_acks.setdefault(subscription.peer_id, {})
+            window = acks.get(cursor)
+            if window is None:
+                acks[cursor] = [log_offset, log_offset + 1]
+            else:
+                window[0] = min(window[0], log_offset)
+                window[1] = max(window[1], log_offset + 1)
+        return True
+
+    def finish(self, ctx: dict) -> None:
+        pass
+
+    def buffer_forward(self, shard_id: str, origin: str, value: Any) -> None:
+        self._forward_out.setdefault((shard_id, origin), []).append(value)
+
+    def pending(self) -> int:
+        return (sum(len(events) for events in self._outgoing.values())
+                + sum(len(events) for events in self._forward_out.values()))
+
+    def flush(self) -> int:
+        """Encode and enqueue one batch message per buffered destination.
+
+        Returns the number of network messages enqueued.  Identical event
+        lists bound for different peers share one encoding (and therefore
+        the same payload bytes).  The messages travel when the network
+        scheduler drains — delivery stays out of every publisher's stack.
+        """
+        #: Wrapped (binary-serialized) envelopes by content; the XML shell
+        #: is rendered per destination only when an ack token personalises
+        #: it — identical ack-free batches still share final bytes.
+        wrapped: Dict[Tuple[Optional[str], Tuple[int, ...]], Any] = {}
+        encoded: Dict[Tuple[Optional[str], Tuple[int, ...]], bytes] = {}
+        codec = self.host.codec
+
+        def encode(values: List[Any], origin: Optional[str],
+                   ack: Optional[str] = None) -> bytes:
+            key = (origin, tuple(id(value) for value in values))
+            envelope = wrapped.get(key)
+            if envelope is None:
+                envelope = wrapped[key] = codec.wrap_batch(values,
+                                                           origin=origin)
+            if ack is not None:
+                envelope.ack = ack
+                payload = codec.envelope_to_bytes(envelope)
+                envelope.ack = None
+                return payload
+            payload = encoded.get(key)
+            if payload is None:
+                payload = encoded[key] = codec.envelope_to_bytes(envelope)
+            return payload
+
+        sent = 0
+        tracker = self.durability.tracker if self.durability else None
+        for dst, values in self._outgoing.items():
+            acks = self._outgoing_acks.get(dst)
+            token: Optional[str] = None
+            if acks and tracker is not None:
+                # The batch covers durable subscriptions: its ack advances
+                # their cursors through the logged offset ranges.
+                token = tracker.issue(dst, tuple(
+                    (name, window[0], window[1])
+                    for name, window in sorted(acks.items())))
+            try:
+                self.host.send_payload_batch(dst, encode(values, None, token),
+                                             len(values))
+            except UnknownPeerError:
+                if token is not None:
+                    tracker.discard(token)
+                self.host.network.stats.record_drop()  # destination left
+                continue
+            self.batch_events += len(values)
+            sent += 1
+        self._outgoing.clear()
+        self._outgoing_acks.clear()
+        for (shard_id, origin), values in self._forward_out.items():
+            try:
+                self.host.post_async(shard_id, self.forward_kind,
+                                     encode(values, origin))
+            except UnknownPeerError:
+                self.host.network.stats.record_drop()
+                continue
+            self.forwards_sent += 1
+            self.forward_events += len(values)
+            sent += 1
+        self._forward_out.clear()
+        return sent
+
+
+class LocalDelivery:
+    """In-process delivery only (the :class:`LocalBroker` adapter): no
+    network, no durability, and handler exceptions propagate to the
+    publisher exactly as a direct function call would."""
+
+    isolate_failures = False
+
+    def begin(self, values, origin, log_offset, envelope) -> dict:
+        return {}
+
+    def remote(self, ctx, subscription, value, log_offset) -> bool:
+        raise NetworkError("local pipeline cannot deliver to remote "
+                           "subscription %r" % (subscription,))
+
+    def finish(self, ctx) -> None:
+        pass
+
+    def pending(self) -> int:
+        return 0
+
+    def flush(self) -> int:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+
+
+class DeliveryPipeline:
+    """Admission -> conformance -> durable append -> dispatch -> ack.
+
+    One instance per broker; ``process()`` is the single code path every
+    admitted record travels, live or forwarded, and ``replay()`` drives a
+    durable subscription's backlog through the same conformance check and
+    ack machinery as live traffic.
+    """
+
+    def __init__(self, routing: RoutingStage,
+                 delivery: Any,
+                 durability: Optional[DurabilityStage] = None,
+                 admission: Optional[AdmissionStage] = None,
+                 stats: Optional[PipelineStats] = None,
+                 forwarder: Optional[Callable[[Any, str], None]] = None,
+                 host: Any = None):
+        self.routing = routing
+        self.delivery = delivery
+        self.durability = durability
+        self.admission = admission
+        self.stats = stats if stats is not None else PipelineStats()
+        self.forwarder = forwarder
+        self.host = host
+
+    # -- live path --------------------------------------------------------
+
+    def process(self, values: List[Any], origin: Optional[str],
+                payload: Optional[bytes] = None,
+                envelope: Any = None,
+                log_offset: Optional[int] = None,
+                pre_logged: bool = False,
+                forward: bool = False) -> Processed:
+        """Run one admitted record through every stage.
+
+        ``payload`` (the encoded batch envelope) is appended to the log
+        when durability is enabled — unless ``pre_logged`` marks it
+        already appended (the forward path logs *before* materialization,
+        so a transient code-fetch failure cannot lose the record) with
+        ``log_offset`` carrying the record's offset.  ``envelope`` is the
+        wrapped form reused by direct durable deliveries.  ``forward``
+        routes each value through the pipeline's forwarder hook (the mesh
+        shard's summary-gated cross-shard buffering).
+        """
+        if not pre_logged and self.durability is not None:
+            if payload is not None:
+                log_offset = self.durability.append_payload(
+                    payload, origin or "")
+            else:
+                log_offset = self.durability.append_values(
+                    values, origin or "")
+        self.stats.records_processed += 1
+        local_acks: Dict[str, bool] = {}
+        ctx = self.delivery.begin(values, origin, log_offset, envelope)
+        deliveries = 0
+        for value in values:
+            deliveries += self._fan_out(ctx, value, origin, log_offset,
+                                        local_acks)
+            if forward and self.forwarder is not None:
+                self.forwarder(value, origin)
+        self.delivery.finish(ctx)
+        if self.durability is not None:
+            self.durability.settle_local(local_acks, log_offset)
+        return Processed(log_offset, deliveries)
+
+    def _fan_out(self, ctx: dict, value: Any, origin: Optional[str],
+                 log_offset: Optional[int],
+                 local_acks: Dict[str, bool]) -> int:
+        """Route one value to every conforming subscription (the single
+        fan-out loop all three brokers share)."""
+        deliveries = 0
+        views: Dict[int, Any] = {}  # id(entry) -> shared translated view
+        for entry, subscriptions in self.routing.targets(value.type_info):
+            for subscription in subscriptions:
+                if origin is not None and subscription.peer_id == origin:
+                    continue  # do not echo events back to their publisher
+                if subscription.handler is not None:
+                    ok = self._deliver_local(subscription, entry, value,
+                                             log_offset, views)
+                    cursor = cursor_name_of(subscription)
+                    if log_offset is not None and cursor is not None:
+                        local_acks[cursor] = (local_acks.get(cursor, True)
+                                              and ok)
+                    if not ok:
+                        continue  # failures must not abort the fan-out
+                else:
+                    if not self.delivery.remote(ctx, subscription, value,
+                                                log_offset):
+                        continue
+                subscription.delivered += 1
+                self.stats.events_routed += 1
+                deliveries += 1
+        return deliveries
+
+    def _shared_view(self, entry: RouteEntry, value: Any,
+                     views: Optional[Dict[int, Any]]) -> Any:
+        """The translated view, built once per (entry, value) and shared
+        by the whole group — proxies are stateless translators."""
+        view = views.get(id(entry)) if views is not None else None
+        if view is None:
+            view = entry.view(value, self.routing.checker)
+            if views is not None:
+                views[id(entry)] = view
+        return view
+
+    def _deliver_local(self, subscription: Any, entry: RouteEntry,
+                       value: Any, log_offset: Optional[int],
+                       views: Optional[Dict[int, Any]] = None) -> bool:
+        """Run one in-process handler.  With ``isolate_failures`` the
+        handler's exceptions are counted and contained — and, for durable
+        subscriptions, the cursor is pinned below the failed record until
+        a replay succeeds."""
+        if not self.delivery.isolate_failures:
+            subscription.handler(self._shared_view(entry, value, views))
+            return True
+        try:
+            subscription.handler(self._shared_view(entry, value, views))
+            return True
+        except Exception:
+            self.stats.delivery_failures += 1
+            cursor = cursor_name_of(subscription)
+            if log_offset is not None and cursor is not None \
+                    and self.durability is not None:
+                self.durability.tracker.block(cursor, log_offset)
+            return False
+
+    # -- replay path ------------------------------------------------------
+
+    def replay(self, subscription: Any, fresh: bool = False) -> int:
+        """Replay retained records in ``[cursor, log end)`` to one durable
+        subscription; returns the number of events sent/delivered.
+
+        A failure (handler crash, unmaterializable record) aborts the
+        pass: replaying on would let a later record's cumulative cursor
+        advance mark the failed one acked."""
+        durability = self.durability
+        log = durability.event_log
+        upto = log.next_offset
+        cursor_offset = durability.cursors.get(subscription.cursor_name)
+        start = max(cursor_offset, log.first_offset)
+        if start > cursor_offset and not fresh:
+            # Retention dropped records this (pre-existing) subscriber
+            # never received — surface the gap instead of silently
+            # clamping past it.  A brand-new cursor starting on an aged
+            # log missed nothing; it simply begins at the retained head.
+            self.stats.retention_lost_records += start - cursor_offset
+        if subscription.handler is not None:
+            replayed = 0
+            for record in log.replay(start, upto):
+                sent = self._replay_record_local(subscription, record)
+                if sent is None:
+                    break
+                replayed += sent
+            return replayed
+        return self._replay_remote(subscription, start, upto)
+
+    def _replay_record_local(self, subscription: Any,
+                             record: Any) -> Optional[int]:
+        """Replay one record to an in-process handler (self-acking)."""
+        durability = self.durability
+        if record.origin and record.origin == subscription.peer_id:
+            # Never echo a publisher's own events back — and do not leave
+            # the cursor pinned below them either.
+            durability.advance(subscription.cursor_name, record.offset + 1)
+            return 0
+        values = self.admission.materialize_record(
+            record, subscription.peer_id or self.host.peer_id)
+        if values is None:
+            return None  # halt: a later ack must not skip this record
+        conforming = self.routing.conforming(values, subscription.expected)
+        if not conforming:
+            # Nothing to wait for: a local no-op record is acked now.
+            durability.advance(subscription.cursor_name, record.offset + 1)
+            return 0
+        for value, entry in conforming:
+            if not self._deliver_local(subscription, entry, value,
+                                       record.offset, {}):
+                return None  # unacked: this pass stops at the failure
+            subscription.delivered += 1
+            self.stats.events_replayed += 1
+        durability.tracker.clear_block_through(subscription.cursor_name,
+                                               record.offset)
+        durability.advance(subscription.cursor_name, record.offset + 1)
+        return len(conforming)
+
+    def _replay_remote(self, subscription: Any, start: int,
+                       upto: int) -> int:
+        """Replay a remote subscription's backlog as coalesced batches.
+
+        Consecutive same-origin records pool into one batch message (up
+        to :data:`REPLAY_BATCH_RECORDS` records) under ONE cumulative ack
+        token — an N-record backlog costs ~N/K messages, not 2N.  Records
+        with nothing to send (non-conforming, self-origin) extend the
+        open batch's ack range, so its acknowledgement consumes them too.
+        """
+        durability = self.durability
+        host = self.host
+        replayed = 0
+        batch: List[Any] = []
+        batch_origin: Optional[str] = None
+        batch_records = 0
+        batch_start = start
+        batch_end = start
+
+        def flush() -> bool:
+            nonlocal batch, batch_origin, batch_records, replayed
+            if not batch:
+                return True
+            token = durability.tracker.issue(
+                subscription.peer_id,
+                ((subscription.cursor_name, batch_start, batch_end),))
+            payload = host.codec.encode_batch(batch, origin=batch_origin,
+                                              ack=token)
+            count = len(batch)
+            batch, batch_origin, batch_records = [], None, 0
+            try:
+                host.send_payload_batch(subscription.peer_id, payload, count)
+            except UnknownPeerError:
+                durability.tracker.discard(token)
+                host.network.stats.record_drop()  # subscriber left
+                return False
+            subscription.delivered += count
+            self.stats.events_replayed += count
+            replayed += count
+            return True
+
+        for record in durability.event_log.replay(start, upto):
+            if record.origin and record.origin == subscription.peer_id:
+                # Own events are never echoed; fold them into the open
+                # batch's ack range, or advance directly when idle.
+                if batch:
+                    batch_end = record.offset + 1
+                else:
+                    durability.advance_if_idle(subscription.cursor_name,
+                                               record.offset + 1)
+                continue
+            values = self.admission.materialize_record(
+                record, subscription.peer_id or host.peer_id)
+            if values is None:
+                # Deliver what already accumulated (its ack stops below
+                # the failed record), then halt the pass.
+                flush()
+                return replayed
+            conforming = self.routing.conforming(values,
+                                                 subscription.expected)
+            if not conforming:
+                if batch:
+                    batch_end = record.offset + 1
+                else:
+                    # Nothing sent and nothing in flight from this pass:
+                    # a tail of non-conforming records is consumed, not
+                    # re-scanned forever.
+                    durability.advance_if_idle(subscription.cursor_name,
+                                               record.offset + 1)
+                continue
+            origin = record.origin or None
+            if batch and (origin != batch_origin
+                          or batch_records >= REPLAY_BATCH_RECORDS):
+                if not flush():
+                    return replayed
+            if not batch:
+                batch_start = record.offset
+            batch.extend(value for value, _ in conforming)
+            batch_origin = origin
+            batch_records += 1
+            batch_end = record.offset + 1
+        flush()
+        return replayed

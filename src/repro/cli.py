@@ -6,6 +6,7 @@ Usage::
     python -m repro check PROVIDER_FILE EXPECTED_FILE [--strict] [--behavioral]
     python -m repro demo
     python -m repro log inspect DIR
+    python -m repro log compact DIR
 
 ``describe`` prints the XML type description(s) of a source file;
 ``check`` compiles a provider and an expected type from two source files
@@ -13,7 +14,10 @@ and reports the conformance verdict (exit status 0 = conformant);
 ``demo`` runs the paper's Section 3.1 scenario end to end;
 ``log inspect`` dumps segment/offset statistics of a durable event log
 directory (a broker ``log_dir``, or the ``events`` directory inside one)
-without modifying it.
+without modifying it; ``log compact`` rewrites its closed segments
+keeping only the latest record per (type fingerprint, entity key) —
+bounded by the slowest cursor in ``cursors.json``, so nothing a durable
+subscriber has yet to acknowledge is lost.
 
 Source language is inferred from the extension: ``.cs`` (C#-like),
 ``.java`` (Java-like), ``.vb`` (VB-like).
@@ -134,8 +138,13 @@ def cmd_log(args, out) -> int:
         raise CliError("no such directory: %s" % directory)
     # A broker's log_dir holds events/ + cursors.json; accept either level.
     events_dir = directory
+    cursors_dir = directory
     if os.path.isdir(os.path.join(directory, "events")):
         events_dir = os.path.join(directory, "events")
+    else:
+        cursors_dir = os.path.dirname(directory.rstrip("/")) or directory
+    if args.action == "compact":
+        return _compact_log(events_dir, cursors_dir, out)
     info = inspect_log(events_dir)
 
     out.write("event log %s\n" % events_dir)
@@ -155,7 +164,7 @@ def cmd_log(args, out) -> int:
                   % (segment["file"], segment["records"], first,
                      format(segment["valid_bytes"], ","), marker))
 
-    cursors_path = os.path.join(directory, "cursors.json")
+    cursors_path = os.path.join(cursors_dir, "cursors.json")
     if os.path.exists(cursors_path):
         store = CursorStore(cursors_path)  # read-only until mutated
         out.write("  cursors       %d\n" % len(store))
@@ -170,6 +179,41 @@ def cmd_log(args, out) -> int:
                       % (name, store.get(name), state,
                          entry.get("peer_id") or "local"))
     return 1 if info["torn_segments"] else 0
+
+
+def _compact_log(events_dir, cursors_dir, out) -> int:
+    """The ``log compact`` action: key-aware compaction of a log on disk,
+    bounded by the slowest cursor so unacknowledged records survive."""
+    import os
+
+    from .persistence import CursorStore, EventLog
+
+    retain_from = None
+    cursors_path = os.path.join(cursors_dir, "cursors.json")
+    if os.path.exists(cursors_path):
+        store = CursorStore(cursors_path)
+        offsets = store.as_dict().values()
+        if offsets:
+            retain_from = min(offsets)
+    log = EventLog(events_dir)  # recovery scan included
+    before_records, before_bytes = log.record_count, log.size_bytes
+    summary = log.compact(retain_from=retain_from)
+    log.close()
+    out.write("compacted %s\n" % events_dir)
+    out.write("  records       %d -> %d (%d dropped)\n"
+              % (before_records, summary["records"],
+                 summary["dropped_records"]))
+    out.write("  bytes         %s -> %s (%s reclaimed)\n"
+              % (format(before_bytes, ","), format(summary["bytes"], ","),
+                 format(summary["reclaimed_bytes"], ",")))
+    out.write("  bound         below offset %d%s\n"
+              % (summary["bound"],
+                 "" if retain_from is None
+                 else " (slowest cursor %d)" % retain_from))
+    if summary["removed_segments"]:
+        out.write("  segments      %d emptied and removed\n"
+                  % summary["removed_segments"])
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,9 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the Section 3.1 demo")
     demo.set_defaults(func=cmd_demo)
 
-    log = sub.add_parser("log", help="inspect a durable event log")
-    log.add_argument("action", choices=["inspect"],
-                     help="inspect: print segment/offset/cursor statistics")
+    log = sub.add_parser("log", help="inspect or compact a durable event log")
+    log.add_argument("action", choices=["inspect", "compact"],
+                     help="inspect: print segment/offset/cursor statistics; "
+                          "compact: rewrite closed segments keeping the "
+                          "latest record per entity key (cursor-bounded)")
     log.add_argument("directory", help="broker log_dir (or its events/ dir)")
     log.set_defaults(func=cmd_log)
 

@@ -13,6 +13,13 @@ type description of its expected type.  Local (in-process handler)
 subscriptions persist only their offset — a handler cannot be serialized,
 so the process re-attaches it by durable-subscribing again under the same
 cursor name.
+
+The store also counts **incarnations** — one per reopened store that
+mutates — and stamps every cursor with the incarnation that last touched
+it (registration or ack).  :meth:`CursorStore.prune` uses the stamps to
+expire cursors of subscribers that never returned, so an abandoned
+cursor cannot pin the retention floor (the "slowest cursor" gate)
+forever.
 """
 
 from __future__ import annotations
@@ -20,6 +27,10 @@ from __future__ import annotations
 import json
 import os
 from typing import Dict, List, Optional
+
+#: Reserved entry holding store-level metadata (the incarnation counter)
+#: inside the flat name -> entry JSON; never a legal cursor name.
+_META_KEY = "__meta__"
 
 
 class CursorStore:
@@ -47,9 +58,17 @@ class CursorStore:
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
+        stored_incarnation = 0
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as handle:
                 self._entries = json.load(handle)
+            meta = self._entries.pop(_META_KEY, None)
+            if isinstance(meta, dict):
+                stored_incarnation = int(meta.get("incarnation", 0))
+        #: This opening's incarnation number.  Bumped in memory only — a
+        #: read-only open (``repro log inspect``) must not rewrite the
+        #: file; the bump lands on disk with the next mutation.
+        self.incarnation = stored_incarnation + 1
 
     # -- reading -----------------------------------------------------------
 
@@ -65,6 +84,12 @@ class CursorStore:
         entry = self._entries.get(name)
         return dict(entry) if entry is not None else None
 
+    def min_offset(self) -> Optional[int]:
+        """The slowest cursor's offset (``None`` with no cursors) — the
+        retention-floor input, computed without snapshot/sort overhead."""
+        return min((int(entry["offset"])
+                    for entry in self._entries.values()), default=None)
+
     def __contains__(self, name: str) -> bool:
         return name in self._entries
 
@@ -74,17 +99,26 @@ class CursorStore:
     # -- writing -----------------------------------------------------------
 
     def register(self, name: str, peer_id: Optional[str] = None,
-                 description: Optional[str] = None) -> int:
+                 description: Optional[str] = None,
+                 touch: bool = True) -> int:
         """Create (or refresh the metadata of) a cursor; keeps its offset.
 
         Returns the cursor's current offset — a re-registration under an
         existing name resumes where the previous incarnation acked.
+        ``touch=False`` preserves the idleness stamp: a broker *recovery*
+        re-registers every persisted cursor mechanically, which must not
+        count as the subscriber coming back (or :meth:`prune` could never
+        expire an abandoned cursor on a broker that restarts).
         """
+        if name == _META_KEY:
+            raise ValueError("%r is a reserved cursor name" % name)
         entry = self._entries.get(name)
         if entry is None:
             entry = self._entries[name] = {"offset": 0}
         entry["peer_id"] = peer_id
         entry["description"] = description
+        if touch:
+            entry["last_active"] = self.incarnation
         self._persist()
         return int(entry["offset"])
 
@@ -95,6 +129,7 @@ class CursorStore:
             entry = self._entries[name] = {
                 "offset": 0, "peer_id": None, "description": None,
             }
+        entry["last_active"] = self.incarnation
         if offset <= int(entry["offset"]):
             return False
         entry["offset"] = int(offset)
@@ -116,10 +151,34 @@ class CursorStore:
         self._persist()
         return True
 
+    def prune(self, max_idle_incarnations: int) -> List[str]:
+        """Expire cursors whose subscribers never returned.
+
+        A cursor is idle when no registration or ack touched it for
+        ``max_idle_incarnations`` store incarnations (reopen + mutation
+        cycles — broker restarts, in practice).  Returns the pruned
+        names, sorted.  Cursors from files written before incarnation
+        stamping count as never-touched: prunable.
+        """
+        if max_idle_incarnations < 1:
+            raise ValueError("max_idle_incarnations must be at least 1")
+        doomed = sorted(
+            name for name, entry in self._entries.items()
+            if self.incarnation - int(entry.get("last_active", 0))
+            >= max_idle_incarnations
+        )
+        for name in doomed:
+            del self._entries[name]
+        if doomed:
+            self._persist()
+        return doomed
+
     def _persist(self) -> None:
+        on_disk = dict(self._entries)
+        on_disk[_META_KEY] = {"incarnation": self.incarnation}
         temporary = self.path + ".tmp"
         with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(self._entries, handle, indent=0, sort_keys=True)
+            json.dump(on_disk, handle, indent=0, sort_keys=True)
         os.replace(temporary, self.path)
         self._unsynced = 0
 

@@ -21,33 +21,60 @@ reused verbatim as the storage unit) prefixed by a fixed header::
 
 Segments are named by the base offset of their first record and rotate at
 ``segment_max_bytes``.  Retention (``max_segments`` / ``max_bytes``) drops
-whole segments from the front — never the active one — so offsets stay
-contiguous from :attr:`EventLog.first_offset` to :attr:`EventLog.next_offset`.
+whole segments from the front — never the active one, and never past the
+**retention floor** (:meth:`EventLog.set_retention_floor`): with a floor
+set, a segment holding records at/above it — records a durable subscriber
+has not acknowledged — is pinned instead of dropped.
+
+**Key-aware compaction** (:meth:`EventLog.compact`) rewrites old segments
+keeping only the latest record per compaction key (the per-value
+``(type fingerprint, entity key)`` pairs the batch envelopes carry), so a
+long-retention log holds latest-state instead of raw history.  Offsets
+are never renumbered: compaction leaves *holes*, and both the recovery
+scan and :meth:`EventLog.replay` require offsets to be strictly
+increasing rather than contiguous.
 
 Opening a log runs a **recovery scan**: every record's magic, length, CRC
-and offset continuity are verified; the first torn or corrupt record
+and offset monotonicity are verified; the first torn or corrupt record
 truncates its segment there (and drops any later segments, which could
 only hold unreachable offsets).  A crash mid-append therefore costs at
 most the record being written — everything before it replays intact.
 
-Durability model: appends ``flush()`` to the operating system but do not
-``fsync`` — a *process* crash loses nothing, while an OS/power failure
-may lose page-cache-resident tail records (the recovery scan then
-truncates cleanly and at-least-once replay resumes from the persisted
-cursors).  Batched fsync is a ROADMAP follow-on.
+Durability model: appends ``flush()`` to the operating system — a
+*process* crash loses nothing.  Group-commit fsync (``fsync_every_n`` /
+``fsync_interval_ms``) extends the guarantee to OS/power failure without
+per-record fsync cost: the file is fsynced once every N appends or T
+milliseconds, whichever comes first, and always at rotation and
+:meth:`EventLog.close`.  Without it, a power failure may lose
+page-cache-resident tail records (the recovery scan then truncates
+cleanly and at-least-once replay resumes from the persisted cursors).
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 _RECORD_MAGIC = b"ELR1"
 _HEADER = struct.Struct(">4sIIQH")  # magic, length, crc32, offset, origin length
 _SEGMENT_SUFFIX = ".seg"
 _SEGMENT_NAME = "%020d" + _SEGMENT_SUFFIX
+
+#: Appends between retention-triggered compaction passes (a full-log key
+#: scan must not run on every pinned append).
+_RETENTION_COMPACT_INTERVAL = 256
+
+
+def _default_key_of(record: "LogRecord") -> Optional[List[Optional[str]]]:
+    """Per-value compaction keys of one stored record: read straight off
+    the batch envelope's ``keys`` attribute (no payload decode, no type
+    knowledge — an offline ``repro log compact`` works on logs the tool
+    cannot materialize).  ``None`` marks the record unkeyed: retained."""
+    from ..serialization.envelope import envelope_record_keys
+    return envelope_record_keys(record.payload)
 
 
 class LogCorruptionError(Exception):
@@ -136,8 +163,9 @@ def _scan_segment(path: str, expected_offset: Optional[int]) -> Tuple[
     ``(offset, position)`` pairs for every intact record, ``valid_end`` is
     the byte position after the last intact record, and ``torn`` reports
     whether trailing bytes failed validation.  ``expected_offset`` (when
-    not ``None``) additionally enforces offset continuity — a record with
-    the wrong offset counts as a tear.
+    not ``None``) additionally enforces offset monotonicity — a record
+    whose offset goes backwards counts as a tear.  (Gaps are legal:
+    key-aware compaction leaves holes where superseded records were.)
     """
     with open(path, "rb") as handle:
         data = handle.read()
@@ -148,7 +176,7 @@ def _scan_segment(path: str, expected_offset: Optional[int]) -> Tuple[
         if decoded is None:
             return records, position, True
         record, end = decoded
-        if expected_offset is not None and record.offset != expected_offset:
+        if expected_offset is not None and record.offset < expected_offset:
             return records, position, True
         expected_offset = record.offset + 1
         records.append((record.offset, position))
@@ -222,24 +250,57 @@ class EventLog:
         still gets written — segments hold at least one record).
     max_segments / max_bytes:
         Retention policies, enforced after each append by dropping whole
-        segments from the front (the active segment is never dropped).
+        segments from the front (the active segment is never dropped,
+        and neither is a segment pinned by the retention floor).
+    fsync_every_n / fsync_interval_ms:
+        Group-commit fsync: the active segment is fsynced once every N
+        appends or T milliseconds (whichever comes first), and always at
+        rotation and :meth:`close` — power-loss durability without
+        per-record fsync cost.  Both ``None`` (the default) keeps the
+        flush-only (process-crash durable) model.
+    compact_on_retention:
+        When retention is over budget but the victim segment is pinned by
+        the retention floor, run a key-aware :meth:`compact` pass (bounded
+        by the floor) to reclaim space instead — rate-limited to at most
+        one pass per :data:`_RETENTION_COMPACT_INTERVAL` appends.
     """
 
     def __init__(self, directory: str, segment_max_bytes: int = 1 << 20,
                  max_segments: Optional[int] = None,
-                 max_bytes: Optional[int] = None):
+                 max_bytes: Optional[int] = None,
+                 fsync_every_n: Optional[int] = None,
+                 fsync_interval_ms: Optional[float] = None,
+                 compact_on_retention: bool = False):
         if segment_max_bytes <= 0:
             raise ValueError("segment_max_bytes must be positive")
         if max_segments is not None and max_segments < 1:
             raise ValueError("max_segments must keep at least one segment")
+        if fsync_every_n is not None and fsync_every_n < 1:
+            raise ValueError("fsync_every_n must be at least 1")
+        if fsync_interval_ms is not None and fsync_interval_ms < 0:
+            raise ValueError("fsync_interval_ms must be non-negative")
         self.directory = directory
         self.segment_max_bytes = segment_max_bytes
         self.max_segments = max_segments
         self.max_bytes = max_bytes
+        self.fsync_every_n = fsync_every_n
+        self.fsync_interval_ms = fsync_interval_ms
+        self.compact_on_retention = compact_on_retention
         self.appended = 0
         self.torn_tail_truncations = 0
         self.dropped_segments = 0
         self.retention_dropped_records = 0
+        #: Records at/above this offset are pinned: retention will not
+        #: drop (and compaction will not rewrite) them.  ``None`` = no pin.
+        self.retention_floor: Optional[int] = None
+        self.retention_pinned = 0
+        self.fsyncs = 0
+        self.compactions = 0
+        self.compacted_records = 0
+        self.compacted_bytes = 0
+        self._unsynced_appends = 0
+        self._last_fsync_s = time.monotonic()
+        self._compact_gate = 0  # appends at the last retention-compact pass
         self._segments: List[_Segment] = []
         self._index: Dict[int, _Segment] = {}  # offset -> owning segment
         self.next_offset = 0
@@ -330,8 +391,34 @@ class EventLog:
         self._index[offset] = segment
         self.next_offset = offset + 1
         self.appended += 1
+        self._maybe_fsync(handle)
         self._apply_retention()
         return offset
+
+    def _maybe_fsync(self, handle) -> None:
+        """Group commit: fsync once every N appends / T ms, not per record."""
+        if self.fsync_every_n is None and self.fsync_interval_ms is None:
+            return
+        self._unsynced_appends += 1
+        due = (self.fsync_every_n is not None
+               and self._unsynced_appends >= self.fsync_every_n)
+        if not due and self.fsync_interval_ms is not None:
+            due = (time.monotonic() - self._last_fsync_s) * 1000.0 \
+                >= self.fsync_interval_ms
+        if due:
+            self._fsync_handle(handle)
+
+    def _fsync_handle(self, handle) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.fsyncs += 1
+        self._unsynced_appends = 0
+        self._last_fsync_s = time.monotonic()
+
+    def sync(self) -> None:
+        """Force-fsync any unsynced tail appends (clean-shutdown barrier)."""
+        if self._active_handle is not None and self._unsynced_appends:
+            self._fsync_handle(self._active_handle)
 
     def _writable_segment(self, record_size: int) -> _Segment:
         if self._segments:
@@ -343,6 +430,10 @@ class EventLog:
 
     def _start_segment(self) -> _Segment:
         if self._active_handle is not None:
+            if self._unsynced_appends:
+                # Rotation is a group-commit barrier: a closed segment
+                # never holds unsynced appends.
+                self._fsync_handle(self._active_handle)
             self._active_handle.close()
             self._active_handle = None
         path = os.path.join(self.directory, _SEGMENT_NAME % self.next_offset)
@@ -359,6 +450,12 @@ class EventLog:
             self._active_handle = open(segment.path, "ab")
         return self._active_handle
 
+    def set_retention_floor(self, offset: Optional[int]) -> None:
+        """Pin records at/above ``offset`` (the slowest durable cursor):
+        retention will not drop a segment holding any of them, and
+        compaction will not rewrite them.  ``None`` removes the pin."""
+        self.retention_floor = offset
+
     def _apply_retention(self) -> None:
         while len(self._segments) > 1:
             over_segments = (self.max_segments is not None
@@ -367,12 +464,149 @@ class EventLog:
                           and self.size_bytes > self.max_bytes)
             if not (over_segments or over_bytes):
                 return
-            victim = self._segments.pop(0)
+            victim = self._segments[0]
+            if self.retention_floor is not None and victim.offsets \
+                    and max(victim.offsets) >= self.retention_floor:
+                # The slowest durable cursor still needs this segment:
+                # pinned, not dropped.  Key-aware compaction (if enabled)
+                # reclaims what it can below the floor instead.
+                self.retention_pinned += 1
+                if self.compact_on_retention and \
+                        self.appended - self._compact_gate \
+                        >= _RETENTION_COMPACT_INTERVAL:
+                    self._compact_gate = self.appended
+                    self.compact(retain_from=self.retention_floor)
+                return
+            self._segments.pop(0)
             for offset in victim.offsets:
                 del self._index[offset]
             self.retention_dropped_records += victim.record_count
             self.dropped_segments += 1
             os.remove(victim.path)
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, retain_from: Optional[int] = None,
+                key_of: Optional[Callable[[LogRecord],
+                                          Optional[List[Optional[str]]]]] = None
+                ) -> Dict[str, object]:
+        """Key-aware compaction: rewrite old segments keeping only the
+        latest record per compaction key, so a long-retention log holds
+        latest-state instead of raw history.
+
+        A record **survives** when any of these holds:
+
+        - its offset is at/above ``retain_from`` (callers pass the slowest
+          unacknowledged cursor — compaction never rewrites away a record
+          a durable subscriber has yet to ack) or the retention floor;
+        - it lives in the active (last) segment, which stays append-only;
+        - ``key_of`` reports it unkeyed (``None``, or any per-value key
+          ``None``) — what compaction cannot identify it must retain;
+        - one of its keys is not superseded by a later record.
+
+        Keys default to the ``keys`` attribute the batch envelopes carry
+        (per-value ``(type fingerprint, entity key)`` digests — see
+        :func:`repro.serialization.envelope.entity_key`); a multi-value
+        record survives if *any* of its values is still the latest, since
+        records are the log's rewrite granularity.  Offsets are never
+        renumbered — compaction leaves holes — so replay positions and
+        persisted cursors stay valid verbatim.  Each rewritten segment
+        goes through a temporary file and ``os.replace``: a crash
+        mid-compaction leaves either the old segment or the new, never a
+        torn one.  Idempotent: a second pass over an already-compacted
+        log drops nothing.
+        """
+        if key_of is None:
+            key_of = _default_key_of
+        bound = self.next_offset
+        if self._segments:
+            active = self._segments[-1]
+            if active.offsets:
+                bound = min(bound, min(active.offsets))
+            else:
+                bound = min(bound, active.base_offset)
+        if retain_from is not None:
+            bound = min(bound, retain_from)
+        if self.retention_floor is not None:
+            bound = min(bound, self.retention_floor)
+
+        # Pass 1 — latest-state map over the WHOLE log (a record above the
+        # bound still supersedes older records below it).
+        latest: Dict[str, int] = {}
+        keys_by_offset: Dict[int, Optional[List[Optional[str]]]] = {}
+        for record in self.replay():
+            keys = key_of(record)
+            if record.offset < bound:
+                keys_by_offset[record.offset] = keys
+            for key in keys or ():
+                if key is not None:
+                    latest[key] = record.offset
+
+        def survives(offset: int) -> bool:
+            keys = keys_by_offset.get(offset)
+            if keys is None:
+                return True
+            return any(key is None or latest[key] == offset for key in keys)
+
+        # Pass 2 — rewrite each closed segment that lost records.
+        dropped_records = 0
+        reclaimed = 0
+        removed_segments: List[_Segment] = []
+        for segment in self._segments[:-1] if len(self._segments) > 1 else []:
+            doomed = {offset for offset in segment.offsets
+                      if offset < bound and not survives(offset)}
+            if not doomed:
+                continue
+            with open(segment.path, "rb") as handle:
+                data = handle.read()
+            keep: List[Tuple[int, bytes]] = []
+            for offset in sorted(segment.offsets):
+                decoded = _read_record_at(data, segment.offsets[offset])
+                if decoded is None:  # pragma: no cover - indexed = intact
+                    raise LogCorruptionError(
+                        "indexed record %d failed to decode" % offset)
+                record, end = decoded
+                if offset not in doomed:
+                    keep.append((offset, data[segment.offsets[offset]:end]))
+            temporary = segment.path + ".compact"
+            with open(temporary, "wb") as handle:
+                position = 0
+                new_offsets: Dict[int, int] = {}
+                for offset, blob in keep:
+                    handle.write(blob)
+                    new_offsets[offset] = position
+                    position += len(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self._active_handle is not None \
+                    and self._active_handle.name == segment.path:
+                self._active_handle.close()  # pragma: no cover - defensive
+                self._active_handle = None
+            os.replace(temporary, segment.path)
+            reclaimed += segment.size - position
+            dropped_records += len(doomed)
+            for offset in doomed:
+                del segment.offsets[offset]
+                del self._index[offset]
+            for offset, new_position in new_offsets.items():
+                segment.offsets[offset] = new_position
+            segment.size = position
+            if not segment.record_count:
+                os.remove(segment.path)
+                removed_segments.append(segment)
+        for segment in removed_segments:
+            self._segments.remove(segment)
+        self.compactions += 1
+        self.compacted_records += dropped_records
+        self.compacted_bytes += reclaimed
+        return {
+            "bound": bound,
+            "dropped_records": dropped_records,
+            "reclaimed_bytes": reclaimed,
+            "removed_segments": len(removed_segments),
+            "records": self.record_count,
+            "bytes": self.size_bytes,
+        }
 
     # -- reading -----------------------------------------------------------
 
@@ -394,20 +628,28 @@ class EventLog:
         """Yield retained records with ``start <= offset < end`` in order.
 
         ``start`` below :attr:`first_offset` silently begins at the oldest
-        retained record (retention may have dropped the gap); ``end``
-        defaults to the log's end *at call time*, so records appended
-        during iteration are not replayed.
+        retained record (retention may have dropped the gap — and
+        compaction may have left holes anywhere); ``end`` defaults to the
+        log's end *at call time*, so records appended during iteration
+        are not replayed.
         """
         stop = self.next_offset if end is None else min(end, self.next_offset)
         position = max(start, self.first_offset)
         for segment in list(self._segments):
             if not segment.record_count:
                 continue
-            last = max(segment.offsets)
-            if last < position:
+            if max(segment.offsets) < position:
                 continue
             if min(segment.offsets) >= stop:
                 break
+            # Snapshot before reading: a compaction pass during iteration
+            # must not shift the positions under our feet.
+            offsets = sorted(offset for offset in segment.offsets
+                             if position <= offset < stop)
+            positions = {offset: segment.offsets[offset]
+                         for offset in offsets}
+            if not offsets:
+                continue
             try:
                 with open(segment.path, "rb") as handle:
                     data = handle.read()
@@ -417,13 +659,24 @@ class EventLog:
                 # resume at the oldest still-retained offset.
                 position = max(position, self.first_offset)
                 continue
-            while position in segment.offsets and position < stop:
-                decoded = _read_record_at(data, segment.offsets[position])
-                if decoded is None:  # pragma: no cover - indexed = intact
-                    raise LogCorruptionError(
-                        "indexed record %d failed to decode" % position)
+            for offset in offsets:
+                decoded = _read_record_at(data, positions[offset])
+                if decoded is None or decoded[0].offset != offset:
+                    # The segment was rewritten (a compaction pass ran
+                    # inside a consumer's handler mid-iteration): refresh
+                    # the snapshot; a record compacted away is skipped.
+                    current = segment.offsets.get(offset)
+                    if current is None:
+                        position = offset + 1
+                        continue
+                    with open(segment.path, "rb") as handle:
+                        data = handle.read()
+                    decoded = _read_record_at(data, current)
+                    if decoded is None:  # pragma: no cover - indexed = intact
+                        raise LogCorruptionError(
+                            "indexed record %d failed to decode" % offset)
                 yield decoded[0]
-                position += 1
+                position = offset + 1
             if position >= stop:
                 break
 
@@ -431,6 +684,8 @@ class EventLog:
 
     def close(self) -> None:
         if self._active_handle is not None:
+            if self._unsynced_appends:
+                self._fsync_handle(self._active_handle)
             self._active_handle.close()
             self._active_handle = None
 
@@ -446,6 +701,11 @@ class EventLog:
             "torn_tail_truncations": self.torn_tail_truncations,
             "dropped_segments": self.dropped_segments,
             "retention_dropped_records": self.retention_dropped_records,
+            "retention_pinned": self.retention_pinned,
+            "fsyncs": self.fsyncs,
+            "compactions": self.compactions,
+            "compacted_records": self.compacted_records,
+            "compacted_bytes": self.compacted_bytes,
         }
 
     def __repr__(self) -> str:

@@ -21,14 +21,121 @@ published by, for broker meshes that must not echo events back).
 from __future__ import annotations
 
 import base64
+import hashlib
 import xml.etree.ElementTree as ET
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Sequence
+from urllib.parse import quote, unquote
 
 from ..cts.types import TypeInfo
 from .binary import BinarySerializer
 from .errors import WireFormatError
 from .graph import collect_types
 from .soap import SoapSerializer
+
+#: Field names that designate a value's entity identity, in preference
+#: order; a type declaring none of them keys on its first declared field.
+_KEY_FIELD_NAMES = ("key", "id", "name", "owner")
+
+
+def _type_digest(info: TypeInfo) -> str:
+    """A short stable digest of the type's structural fingerprint.
+
+    Keyed on the *fingerprint* (not the GUID): two structurally identical
+    types — the same logical entity type authored twice — compact against
+    each other, exactly as they conform to each other.  Memoised on the
+    TypeInfo, which is immutable once its identity is derived.
+    """
+    digest = getattr(info, "_entity_key_digest", None)
+    if digest is None:
+        digest = hashlib.blake2b(info.fingerprint().encode("utf-8"),
+                                 digest_size=8).hexdigest()
+        info._entity_key_digest = digest
+    return digest
+
+
+def entity_key(value: Any) -> Optional[str]:
+    """The compaction key of one value: ``<type digest>:<key field value>``.
+
+    ``None`` — the value is not keyed and compaction must retain it —
+    when the value is not a CTS instance, has no fields, or its key field
+    holds a non-scalar.  The key field is the first of
+    ``key``/``id``/``name``/``owner`` (case-insensitive) the type
+    declares, falling back to the first declared field: latest-state
+    semantics need *a* deterministic identity, not a perfect one, and a
+    workload with richer identity passes explicit keys to
+    :meth:`EnvelopeCodec.wrap_batch`.
+    """
+    info = getattr(value, "type_info", None)
+    fields = getattr(value, "fields", None)
+    if info is None or not fields:
+        return None
+    field_name = None
+    lowered = {name.lower(): name for name in reversed(list(fields))}
+    for candidate in _KEY_FIELD_NAMES:
+        if candidate in lowered:
+            field_name = lowered[candidate]
+            break
+    if field_name is None:
+        field_name = next(iter(fields))
+    field_value = fields.get(field_name)
+    if field_value is not None and not isinstance(field_value,
+                                                  (str, int, float, bool)):
+        return None
+    return "%s:%s=%r" % (_type_digest(info), field_name, field_value)
+
+
+def _encode_keys(keys: Sequence[Optional[str]]) -> str:
+    """Per-value keys -> one XML attribute (``-`` marks an unkeyed value;
+    present keys are percent-encoded behind a ``_`` sigil so any key —
+    spaces, empty string — survives the space-joined encoding)."""
+    return " ".join("-" if key is None else "_" + quote(key, safe="")
+                    for key in keys)
+
+
+def _decode_keys(text: str, count: int) -> Optional[List[Optional[str]]]:
+    tokens = text.split(" ") if text else []
+    if len(tokens) != count:
+        raise WireFormatError(
+            "keys attribute holds %d entries, envelope declares %d values"
+            % (len(tokens), count))
+    keys: List[Optional[str]] = []
+    for token in tokens:
+        if token == "-":
+            keys.append(None)
+        elif token.startswith("_"):
+            keys.append(unquote(token[1:]))
+        else:
+            raise WireFormatError("malformed keys token %r" % token)
+    return keys
+
+
+def envelope_record_keys(data: bytes) -> Optional[List[Optional[str]]]:
+    """The per-value compaction keys of one encoded envelope, or ``None``
+    when the message carries no ``keys`` attribute (records written
+    before key extraction existed, or batches of unkeyed values).
+
+    Reads only the ``<Payload>`` attributes — no payload decode, no
+    runtime, no type knowledge — so offline tools (``repro log compact``)
+    can key-compact a log they cannot materialize.  Unparseable data is
+    reported as unkeyed rather than raised: compaction must retain what
+    it cannot read.
+    """
+    try:
+        root = ET.fromstring(data)
+    except ET.ParseError:
+        return None
+    payload_el = root.find("Payload")
+    if payload_el is None:
+        return None
+    keys_attr = payload_el.get("keys")
+    if keys_attr is None:
+        return None
+    batch_attr = payload_el.get("batch")
+    try:
+        count = int(batch_attr) if batch_attr is not None else 1
+        return _decode_keys(keys_attr, count)
+    except (ValueError, WireFormatError):
+        return None
 
 
 class TypeEntry:
@@ -60,19 +167,28 @@ class ObjectEnvelope:
     the content was first published by (meshes forward on its behalf).
     ``ack`` optionally carries an opaque acknowledgement token: a receiver
     that processes the message echoes the token back to the sender, which
-    uses it to advance durable replay cursors.
+    uses it to advance durable replay cursors.  ``publish_ack`` is the
+    publisher-side counterpart: a broker that durably appends the batch
+    echoes the token back to the publisher.  ``keys`` optionally carries,
+    per batched value, its compaction key (see :func:`entity_key`) —
+    stored with the record so key-aware log compaction can decide
+    latest-state without materializing (or even knowing) the types.
     """
 
     def __init__(self, type_entries: List[TypeEntry], encoding: str, payload: bytes,
                  batch_roots: Optional[List[int]] = None,
                  origin: Optional[str] = None,
-                 ack: Optional[str] = None):
+                 ack: Optional[str] = None,
+                 publish_ack: Optional[str] = None,
+                 keys: Optional[List[Optional[str]]] = None):
         self.type_entries = type_entries
         self.encoding = encoding  # "binary" | "soap"
         self.payload = payload
         self.batch_roots = batch_roots
         self.origin = origin
         self.ack = ack
+        self.publish_ack = publish_ack
+        self.keys = keys
 
     @property
     def is_batch(self) -> bool:
@@ -139,13 +255,18 @@ class EnvelopeCodec:
 
     def wrap_batch(self, values: List[Any],
                    origin: Optional[str] = None,
-                   ack: Optional[str] = None) -> ObjectEnvelope:
+                   ack: Optional[str] = None,
+                   publish_ack: Optional[str] = None,
+                   keys: Optional[List[Optional[str]]] = None) -> ObjectEnvelope:
         """Many object graphs → one batch envelope.
 
         The type section is the union of every value's reachable types
         (first-seen order, deduplicated by identity) and the payload is a
         single ``RBS2B`` frame — one header and one intern table for the
         whole batch.  Batches always use the binary payload encoding.
+        Per-value compaction keys are extracted automatically (see
+        :func:`entity_key`) unless the caller passes explicit ``keys``;
+        an all-``None`` key list is omitted from the wire entirely.
         """
         if not values:
             raise ValueError("cannot build an empty batch envelope")
@@ -165,16 +286,27 @@ class EnvelopeCodec:
                     entries.append(TypeEntry.for_type(info))
                 if position == 0:
                     roots.append(index_of[key])
+        if keys is None:
+            keys = [entity_key(value) for value in values]
+        elif len(keys) != len(values):
+            raise ValueError("got %d keys for %d values"
+                             % (len(keys), len(values)))
+        if all(key is None for key in keys):
+            keys = None
         payload = self._binary.serialize_batch(values)
         return ObjectEnvelope(entries, "binary", payload,
-                              batch_roots=roots, origin=origin, ack=ack)
+                              batch_roots=roots, origin=origin, ack=ack,
+                              publish_ack=publish_ack, keys=keys)
 
     def encode_batch(self, values: List[Any],
                      origin: Optional[str] = None,
-                     ack: Optional[str] = None) -> bytes:
+                     ack: Optional[str] = None,
+                     publish_ack: Optional[str] = None,
+                     keys: Optional[List[Optional[str]]] = None) -> bytes:
         """Many object graphs → wire bytes of one batch XML message."""
         return self.envelope_to_bytes(
-            self.wrap_batch(values, origin=origin, ack=ack))
+            self.wrap_batch(values, origin=origin, ack=ack,
+                            publish_ack=publish_ack, keys=keys))
 
     def envelope_to_bytes(self, envelope: ObjectEnvelope) -> bytes:
         root = ET.Element("XmlMessage")
@@ -198,6 +330,10 @@ class EnvelopeCodec:
             payload_attrs["origin"] = envelope.origin
         if envelope.ack is not None:
             payload_attrs["ack"] = envelope.ack
+        if envelope.publish_ack is not None:
+            payload_attrs["publish_ack"] = envelope.publish_ack
+        if envelope.keys is not None:
+            payload_attrs["keys"] = _encode_keys(envelope.keys)
         payload = ET.SubElement(root, "Payload", payload_attrs)
         payload.text = base64.b64encode(envelope.payload).decode("ascii")
         return ET.tostring(root, encoding="utf-8")
@@ -251,10 +387,18 @@ class EnvelopeCodec:
             for index in batch_roots:
                 if not 0 <= index < len(entries):
                     raise WireFormatError("batch root %d out of range" % index)
+        keys: Optional[List[Optional[str]]] = None
+        keys_attr = payload_el.get("keys")
+        if keys_attr is not None:
+            keys = _decode_keys(
+                keys_attr,
+                len(batch_roots) if batch_roots is not None else 1)
         return ObjectEnvelope(entries, encoding, payload,
                               batch_roots=batch_roots,
                               origin=payload_el.get("origin"),
-                              ack=payload_el.get("ack"))
+                              ack=payload_el.get("ack"),
+                              publish_ack=payload_el.get("publish_ack"),
+                              keys=keys)
 
     def unwrap(self, envelope: ObjectEnvelope) -> Any:
         """Envelope → object graph.

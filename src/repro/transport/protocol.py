@@ -19,7 +19,6 @@ assemblies for the types it hosts.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, Dict, List, Optional
 
 from ..cts.assembly import Assembly
@@ -52,6 +51,11 @@ KIND_OBJECT_BATCH = "object_batch"
 #: the receiver echoes the token to the sender, which advances whatever
 #: durable replay cursors the token covers.
 KIND_DELIVERY_ACK = "delivery_ack"
+#: One-way acknowledgement for a *publish* that carried a ``publish_ack``
+#: token: a broker echoes the token to the publisher only after the batch
+#: was appended to its durable log, extending at-least-once back to the
+#: publisher (see ``TpsSubscriberMixin.publish_durable``).
+KIND_PUBLISH_ACK = "publish_ack"
 
 #: Safety bound on the materialisation loop (one fetch per unknown type).
 _MAX_CODE_FETCHES = 64
@@ -73,6 +77,8 @@ class TransportStats:
         "unknown_type_retries",
         "batches_sent",
         "batches_received",
+        "publish_acks_sent",
+        "publishes_acked",
     )
 
     def __init__(self):
@@ -151,20 +157,6 @@ class InteropPeer(Peer):
         self.on(KIND_OBJECT_BATCH, self._handle_object_batch)
         self.on(KIND_GET_DESCRIPTION, self._serve_description)
         self.on(KIND_GET_ASSEMBLY, self._serve_assembly)
-
-    @property
-    def stats(self) -> TransportStats:
-        """Deprecated alias of :attr:`transport_stats`.
-
-        Kept one release for callers written against the pre-mesh peer
-        surface; subclasses with a richer observability story (the TPS
-        brokers' ``stats()`` snapshot method) already override the name.
-        """
-        warnings.warn(
-            "InteropPeer.stats is deprecated; use InteropPeer.transport_stats",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.transport_stats
 
     # ------------------------------------------------------------------
     # local knowledge

@@ -201,8 +201,8 @@ class TestBrokerObservability:
 
     def test_transport_counters_still_reachable(self, world):
         """The stats() method must not hide the TransportStats counters;
-        the legacy .stats alias still resolves but warns."""
+        the deprecated .stats alias finished its cycle and is gone."""
         network, broker, publisher, subscriber = world
-        with pytest.warns(DeprecationWarning, match="transport_stats"):
-            assert publisher.stats is publisher.transport_stats
+        assert not hasattr(publisher, "stats")
+        assert publisher.transport_stats.objects_sent == 0
         assert broker.transport_stats.objects_sent == 0

@@ -92,3 +92,73 @@ class TestDeferredSync:
         import pytest
         with pytest.raises(ValueError):
             CursorStore(str(tmp_path / "c.json"), sync_every=0)
+
+
+class TestCursorGC:
+    """Incarnation stamping + prune: cursors of subscribers that never
+    returned expire, so they cannot pin retention's slowest-cursor gate."""
+
+    def test_incarnation_bumps_per_reopen(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path)
+        assert store.incarnation == 1
+        store.advance("c", 1)  # a mutation persists the bump
+        assert CursorStore(path).incarnation == 2
+
+    def test_readonly_open_does_not_rewrite(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        CursorStore(path).advance("c", 1)
+        before = open(path, "rb").read()
+        CursorStore(path)  # inspect-style open: no mutation
+        assert open(path, "rb").read() == before
+
+    def test_prune_expires_idle_cursors_only(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path)
+        store.register("idle", peer_id="ghost")
+        store.register("active", peer_id="alive")
+        for _ in range(3):  # three incarnations in which only one returns
+            store = CursorStore(path)
+            store.register("active", peer_id="alive")
+        assert store.prune(max_idle_incarnations=3) == ["idle"]
+        assert "active" in store
+        assert "idle" not in store
+        # Persisted: the pruned cursor stays gone after a reopen.
+        assert "idle" not in CursorStore(path)
+
+    def test_prune_touched_by_ack_is_kept(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path)
+        store.register("acked", peer_id="p")
+        store.register("silent", peer_id="q")
+        store = CursorStore(path)
+        store.advance("acked", 5)  # an ack counts as activity
+        store = CursorStore(path)
+        store.advance("acked", 6)
+        assert store.prune(max_idle_incarnations=2) == ["silent"]
+        assert store.get("acked") == 6
+
+    def test_prune_validates_threshold(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        import pytest
+        with pytest.raises(ValueError):
+            store.prune(0)
+
+    def test_meta_key_is_reserved(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        import pytest
+        with pytest.raises(ValueError):
+            store.register("__meta__")
+
+    def test_legacy_flat_file_loads(self, tmp_path):
+        """A pre-incarnation cursors.json (no __meta__ entry) loads, and
+        its unstamped cursors count as never-touched: prunable."""
+        import json
+        path = str(tmp_path / "cursors.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"old": {"offset": 7, "peer_id": "p",
+                               "description": None}}, handle)
+        store = CursorStore(path)
+        assert store.get("old") == 7
+        assert store.incarnation == 1
+        assert store.prune(max_idle_incarnations=1) == ["old"]

@@ -296,11 +296,12 @@ class TestBatchDelivery:
 
 
 class TestDeprecatedStatsAlias:
-    def test_stats_alias_warns_and_still_works(self, world):
+    def test_stats_alias_removed_after_deprecation_cycle(self, world):
+        """The PR-3 DeprecationWarning shipped for one release; the alias
+        is now gone — transport_stats is the only counters surface."""
         network, sender, receiver = world
-        with pytest.warns(DeprecationWarning, match="transport_stats"):
-            alias = receiver.stats
-        assert alias is receiver.transport_stats
+        assert not hasattr(receiver, "stats")
+        assert receiver.transport_stats.objects_received == 0
 
 
 class TestDeliveryAck:
