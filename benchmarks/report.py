@@ -5,15 +5,20 @@ Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/report.py bench.json
+    python benchmarks/report.py bench.json --emit BENCH_<sha>.json
 
 Prints one row per experiment id, with the paper's number (where the paper
 reports one) next to the measured mean, plus the byte/round-trip extras the
-protocol benches record.
+protocol benches record.  ``--emit PATH`` additionally writes a compact
+machine-readable results file (one entry per experiment: mean in ms plus
+the recorded extras) — CI uploads one per commit so the perf trajectory
+is diffable across the history without re-running anything.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 from paper_reference import PAPER  # noqa: E402
@@ -116,12 +121,47 @@ def print_report(by_experiment, out=sys.stdout) -> None:
                       % (experiment, row["mean_ms"], rate))
 
 
+def emit_machine(by_experiment, path: str, source: str) -> None:
+    """Write the per-commit machine-readable results file."""
+    document = {
+        "schema": "repro-bench/1",
+        "source": source,
+        "sha": os.environ.get("GITHUB_SHA"),
+        "ref": os.environ.get("GITHUB_REF"),
+        "experiments": {
+            experiment: {
+                "mean_ms": row["mean_ms"],
+                "paper_ms": row["paper_ms"],
+                "extras": row["extras"],
+            }
+            for experiment, row in sorted(by_experiment.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def main(argv=None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    emit_path = None
+    if "--emit" in argv:
+        position = argv.index("--emit")
+        try:
+            emit_path = argv[position + 1]
+        except IndexError:
+            sys.stderr.write("--emit needs a path\n")
+            return 2
+        del argv[position:position + 2]
     if len(argv) != 1:
         sys.stderr.write(__doc__ + "\n")
         return 2
-    print_report(load(argv[0]))
+    by_experiment = load(argv[0])
+    print_report(by_experiment)
+    if emit_path is not None:
+        emit_machine(by_experiment, emit_path, source=argv[0])
+        sys.stderr.write("wrote %s (%d experiments)\n"
+                         % (emit_path, len(by_experiment)))
     return 0
 
 

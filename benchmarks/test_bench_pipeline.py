@@ -1,7 +1,8 @@
-"""Unified pipeline — acked-publish cost and compaction payoff.
+"""Unified pipeline — acked-publish cost, compaction payoff, replication
+overhead.
 
-Two acceptance gates for the PR-4 pipeline work, both asserted in quick
-mode so CI catches regressions without calibration:
+Three acceptance gates for the pipeline work, all asserted in quick mode
+so CI catches regressions without calibration:
 
 - **publisher-acked durability** — ``publish_durable`` (one extra
   ``publish_ack`` message per publish, acked only after the durable
@@ -9,12 +10,16 @@ mode so CI catches regressions without calibration:
   ``publish_async`` against the same logged broker;
 - **key-aware compaction** — an overwrite-heavy workload (few entities,
   many updates) must shrink at least 3x on disk, with latest-state
-  replay equivalence asserted.
+  replay equivalence asserted;
+- **cross-shard replication** — a ``replication_factor=2`` mesh (every
+  record streamed to two follower shards, watermark-acked) must keep
+  replicated publish throughput within 2.5x of an unreplicated mesh of
+  the same shape.
 """
 
 import time
 
-from repro.apps.tps import TpsBroker, TpsPeer
+from repro.apps.tps import BrokerMesh, TpsBroker, TpsPeer
 from repro.fixtures import person_assembly_pair, person_java
 from repro.net.network import SimulatedNetwork
 from repro.serialization.envelope import envelope_record_keys
@@ -120,6 +125,62 @@ class TestAcceptanceCompaction:
         )
         assert summary["dropped_records"] > 0
         broker.close()
+
+
+#: Replication overhead workload: publishes against a 3-shard mesh with a
+#: live cross-shard subscriber, drained in small batches so replication
+#: batches actually flow per drain rather than amortizing into one.
+N_REPLICATED_PUBLISHES = 200
+REPLICATION_DRAIN_EVERY = 5
+REPLICATION_MAX_OVERHEAD = 2.5
+
+
+class TestAcceptanceReplicationOverhead:
+    def test_replicated_publish_within_budget(self, tmp_path):
+        """Same mesh shape, same events, same drain cadence — the only
+        difference is ``replication_factor=2`` streaming every appended
+        record to two followers (plus their watermark acks)."""
+
+        def run(factor, name):
+            network = SimulatedNetwork()
+            mesh = BrokerMesh(network, shard_count=3,
+                              log_root=str(tmp_path / name),
+                              replication_factor=factor)
+            publisher = TpsPeer("pub", network)
+            asm_a, _ = person_assembly_pair()
+            publisher.host_assembly(asm_a)
+            got = []
+            subscriber = TpsPeer("sub", network)
+            subscriber.subscribe_remote(mesh.shard_for("sub"), person_java(),
+                                        got.append)
+            home = mesh.shard_ids[0]
+            events = [publisher.new_instance("demo.a.Person", ["e%d" % index])
+                      for index in range(N_REPLICATED_PUBLISHES)]
+            start = time.perf_counter()
+            for index, event in enumerate(events):
+                publisher.publish_async(home, event)
+                if (index + 1) % REPLICATION_DRAIN_EVERY == 0:
+                    mesh.run_until_idle()
+            mesh.run_until_idle()
+            elapsed = time.perf_counter() - start
+            assert len(got) == N_REPLICATED_PUBLISHES
+            if factor:
+                origin = mesh.shard(home)
+                for follower_id in origin.followers:
+                    assert mesh.shard(follower_id).replicas.high_water(
+                        home) == origin.event_log.next_offset
+            mesh.close()
+            return elapsed
+
+        unreplicated_s = run(0, "plain")
+        replicated_s = run(2, "replicated")
+        overhead = replicated_s / unreplicated_s
+        assert overhead < REPLICATION_MAX_OVERHEAD, (
+            "replicated publish is %.2fx the unreplicated mesh (budget "
+            "%.1fx): %.3fs vs %.3fs for %d events"
+            % (overhead, REPLICATION_MAX_OVERHEAD, replicated_s,
+               unreplicated_s, N_REPLICATED_PUBLISHES)
+        )
 
 
 class TestPublishThroughput:

@@ -16,6 +16,8 @@ from .mesh import (
     KIND_MESH_SUMMARY,
     KIND_MESH_SYNC,
     MeshShard,
+    ReplicaSet,
+    rendezvous_rank,
     rendezvous_shard,
 )
 from .routing import RouteEntry, RoutingIndex, RoutingStats
@@ -31,11 +33,13 @@ __all__ = [
     "KIND_TPS_UNSUBSCRIBE",
     "LocalBroker",
     "MeshShard",
+    "ReplicaSet",
     "RouteEntry",
     "RoutingIndex",
     "RoutingStats",
     "Subscription",
     "TpsBroker",
     "TpsPeer",
+    "rendezvous_rank",
     "rendezvous_shard",
 ]

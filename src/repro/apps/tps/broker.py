@@ -211,6 +211,7 @@ class TpsBroker(InteropPeer):
         #: abandoned cursors stop pinning).
         event_log: Optional[EventLog] = None
         cursors: Optional[CursorStore] = None
+        self.log_dir = log_dir
         if log_dir is not None:
             event_log = EventLog(os.path.join(log_dir, "events"),
                                  **(log_kwargs or {}))
@@ -257,6 +258,10 @@ class TpsBroker(InteropPeer):
     @property
     def events_replayed(self) -> int:
         return self.pipeline.stats.events_replayed
+
+    @property
+    def events_fetched(self) -> int:
+        return self.pipeline.stats.events_fetched
 
     @property
     def replay_failures(self) -> int:
@@ -373,6 +378,14 @@ class TpsBroker(InteropPeer):
                                "to enable durable subscriptions" % self.peer_id)
         if not cursor:
             raise ValueError("a durable subscription needs a cursor name")
+        if "@" in cursor:
+            # "base@sibling" names the per-sibling fetch cursors a mesh
+            # shard derives from a durable cursor; a user cursor shaped
+            # like one could be silently adopted into another cursor's
+            # family (skipped by recovery, retired with the other's
+            # unsubscribe).
+            raise ValueError("'@' is reserved for derived fetch cursors; "
+                             "pick a cursor name without it")
         for existing in self.index.subscriptions():
             if isinstance(existing, DurableSubscription) \
                     and existing.cursor_name == cursor:
@@ -421,7 +434,16 @@ class TpsBroker(InteropPeer):
                 TypeDescription.from_type_info(expected)),
         })
         self.pipeline.replay(subscription, fresh=fresh_cursor)
+        self._replay_mesh(subscription, recovering=_recovering)
         return subscription
+
+    def _replay_mesh(self, subscription: DurableSubscription,
+                     recovering: bool = False) -> int:
+        """Hook for subclasses: complete a durable subscription's backlog
+        with records homed on *other* brokers.  The single broker has no
+        siblings — the mesh shard overrides this with replica-log replay
+        plus on-demand backlog fetch."""
+        return 0
 
     def recover_durable_subscriptions(self) -> List[DurableSubscription]:
         """Rebuild remote durable subscriptions from the cursor store.
@@ -441,8 +463,8 @@ class TpsBroker(InteropPeer):
             entry = self.cursors.entry(name)
             peer_id = entry.get("peer_id")
             description = entry.get("description")
-            if not peer_id or not description:
-                continue
+            if not peer_id or not description or entry.get("origin"):
+                continue  # fetch cursors ride their base subscription
             expected = deserialize_description(description).to_type_info()
             restored.append(self.subscribe_durable(
                 expected, None, name, peer_id=peer_id,

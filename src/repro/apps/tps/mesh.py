@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from urllib.parse import quote, unquote
 
 from ...describe.description import TypeDescription
 from ...describe.xml_codec import deserialize_description, serialize_description_bytes
@@ -46,6 +47,16 @@ from ...net.network import (
     MessageDropped,
     NetworkError,
     SimulatedNetwork,
+    UnknownPeerError,
+)
+from ...persistence import EventLog
+from ...persistence.log import LogRecord
+from ...serialization.envelope import decode_home, envelope_home
+from ...transport.protocol import (
+    KIND_BACKLOG_FETCH,
+    KIND_REPLICA_PULL,
+    KIND_REPLICATE,
+    KIND_REPLICATE_ACK,
 )
 from .broker import DurableSubscription, Subscription, TpsBroker
 from .pipeline import (
@@ -53,7 +64,9 @@ from .pipeline import (
     BufferedDelivery,
     DeliveryPipeline,
     PipelineStats,
+    ReplicationStage,
     RoutingStage,
+    foreign_cursor_name,
 )
 from .routing import RoutingIndex
 
@@ -62,24 +75,82 @@ KIND_MESH_SUMMARY = "mesh_summary"
 KIND_MESH_SYNC = "mesh_sync"
 
 
-def rendezvous_shard(key: str, shard_ids: Sequence[str]) -> str:
-    """Highest-random-weight (rendezvous) hash: deterministic across
-    processes (no ``PYTHONHASHSEED`` dependence), uniform, and minimally
-    disruptive — removing a shard only moves the keys it owned."""
-    if not shard_ids:
-        raise ValueError("no shards to hash onto")
-    best: Optional[str] = None
-    best_score = -1
-    for shard in shard_ids:
+def rendezvous_rank(key: str, shard_ids: Sequence[str]) -> List[str]:
+    """Every shard ranked by highest-random-weight score for ``key`` —
+    position 0 is the rendezvous winner, positions 1..N the natural
+    follower preference list (deterministic, uniform, and minimally
+    disruptive when shards come and go)."""
+    def score(shard: str) -> int:
         digest = hashlib.blake2b(
             ("%s|%s" % (shard, key)).encode("utf-8"), digest_size=8
         ).digest()
-        score = int.from_bytes(digest, "big")
-        if score > best_score or (score == best_score and
-                                  (best is None or shard < best)):
-            best, best_score = shard, score
-    assert best is not None
-    return best
+        return int.from_bytes(digest, "big")
+
+    return sorted(shard_ids, key=lambda shard: (-score(shard), shard))
+
+
+def rendezvous_shard(key: str, shard_ids: Sequence[str]) -> str:
+    """The rendezvous-hash home shard for ``key`` (see
+    :func:`rendezvous_rank`)."""
+    if not shard_ids:
+        raise ValueError("no shards to hash onto")
+    return rendezvous_rank(key, shard_ids)[0]
+
+
+class ReplicaSet:
+    """The per-origin replica logs one shard keeps for its siblings.
+
+    Each origin shard that replicates here gets its own
+    :class:`~repro.persistence.EventLog` under ``root/<origin>/``,
+    holding that origin's records *at the origin's offsets* — the
+    directory's ``next_offset`` doubles as the per-origin high-water mark
+    that makes re-sent replication batches idempotent.  Logs are opened
+    lazily (first batch received, or first replay over a directory a
+    previous incarnation left behind).
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self._logs: Dict[str, EventLog] = {}
+
+    def _directory(self, origin: str) -> str:
+        return os.path.join(self.root, quote(origin, safe=""))
+
+    def log_for(self, origin: str, create: bool = True) -> Optional[EventLog]:
+        log = self._logs.get(origin)
+        if log is None:
+            if not create and not os.path.isdir(self._directory(origin)):
+                return None
+            log = self._logs[origin] = EventLog(self._directory(origin))
+        return log
+
+    def origins(self) -> List[str]:
+        found = set(self._logs)
+        if os.path.isdir(self.root):
+            found.update(unquote(name) for name in os.listdir(self.root))
+        return sorted(found)
+
+    def high_water(self, origin: str) -> int:
+        log = self.log_for(origin, create=False)
+        return log.next_offset if log is not None else 0
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        snapshot = {}
+        for origin in self.origins():
+            log = self.log_for(origin, create=False)
+            if log is not None:
+                snapshot[origin] = {
+                    "records": log.record_count,
+                    "first_offset": log.first_offset,
+                    "next_offset": log.next_offset,
+                    "bytes": log.size_bytes,
+                }
+        return snapshot
+
+    def close(self) -> None:
+        for log in self._logs.values():
+            log.close()
+        self._logs.clear()
 
 
 class MeshShard(TpsBroker):
@@ -93,7 +164,18 @@ class MeshShard(TpsBroker):
     shard boundary and gossip loops are impossible.
     """
 
-    def __init__(self, peer_id: str, network: SimulatedNetwork, **kwargs):
+    def __init__(self, peer_id: str, network: SimulatedNetwork,
+                 replication_factor: int = 0, **kwargs):
+        if replication_factor < 0:
+            raise ValueError("replication_factor must be non-negative")
+        #: Set before ``super().__init__`` — the pipeline build hook runs
+        #: inside it and wires the replication stage from these.
+        self._replication_factor = replication_factor
+        log_dir = kwargs.get("log_dir")
+        self.replicas: Optional[ReplicaSet] = (
+            ReplicaSet(os.path.join(log_dir, "replicas"))
+            if log_dir is not None else None)
+        self.replication: Optional[ReplicationStage] = None
         super().__init__(peer_id, network, **kwargs)
         self._siblings: List[str] = []
         #: Summaries of sibling shards' subscriptions: one refcounted
@@ -103,13 +185,35 @@ class MeshShard(TpsBroker):
         self._next_summary_id = 1
         self.forwards_received = 0
         self.gossip_failures = 0
+        #: Cached home ids of forwarded-in records (see
+        #: :meth:`_home_ids_in_log`), maintained incrementally as
+        #: forwards arrive; the stamp invalidates it whenever retention
+        #: or compaction removed records.
+        self._home_ids: Optional[set] = None
+        self._home_ids_stamp: Optional[Tuple[int, int, int]] = None
+        self.replica_records = 0
+        self.replica_rejects = 0
+        self.fetches_served = 0
+        self.fetch_records_served = 0
+        self.fetch_failures = 0
+        self.healed_records = 0
         self.on(KIND_MESH_FORWARD, self._handle_forward)
         self.on(KIND_MESH_SUMMARY, self._handle_summary)
         self.on(KIND_MESH_SYNC, self._handle_sync)
+        self.on(KIND_REPLICATE, self._handle_replicate)
+        self.on(KIND_REPLICATE_ACK, self._handle_replicate_ack)
+        self.on(KIND_BACKLOG_FETCH, self._handle_backlog_fetch)
+        self.on(KIND_REPLICA_PULL, self._handle_replica_pull)
 
     def _build_pipeline(self, stats: PipelineStats) -> DeliveryPipeline:
-        """Same stages as the single broker, with buffered dispatch and
-        the summary-gated cross-shard forwarder plugged in."""
+        """Same stages as the single broker, with buffered dispatch, the
+        summary-gated cross-shard forwarder, and (with a log and a
+        positive ``replication_factor``) the replication stage hooked
+        after the durable append."""
+        if self.durability.event_log is not None \
+                and self._replication_factor > 0:
+            self.replication = ReplicationStage(
+                self, self.durability.event_log, stats=stats)
         return DeliveryPipeline(
             routing=RoutingStage(self.index),
             delivery=BufferedDelivery(self, self.durability,
@@ -119,6 +223,7 @@ class MeshShard(TpsBroker):
             stats=stats,
             forwarder=self._buffer_forwards,
             host=self,
+            replication=self.replication,
         )
 
     @property
@@ -139,6 +244,18 @@ class MeshShard(TpsBroker):
 
     def set_siblings(self, shard_ids: Sequence[str]) -> None:
         self._siblings = [sid for sid in shard_ids if sid != self.peer_id]
+        if self.replication is not None:
+            # Followers: the shard's rendezvous preference list over its
+            # siblings — deterministic, so a restarted incarnation (and
+            # every other shard) recomputes the same placement.
+            self.replication.set_followers(rendezvous_rank(
+                self.peer_id, self._siblings)[:self._replication_factor])
+
+    @property
+    def followers(self) -> List[str]:
+        """The sibling shards this shard replicates its records to."""
+        return list(self.replication.followers) \
+            if self.replication is not None else []
 
     # -- subscription management + gossip ---------------------------------
 
@@ -255,29 +372,62 @@ class MeshShard(TpsBroker):
         """Bring a freshly restarted shard back into the mesh.
 
         Rebuilds the sibling-summary forwarding filter, tells siblings to
-        drop their stale view of this shard, re-registers every persisted
-        remote durable subscription (which re-gossips its summary), and
-        replays each one's unacknowledged backlog from the shard's own
-        event log.  Replay batches ride the queued one-way path — drain
-        the mesh to deliver them.
+        drop their stale view of this shard, heals the shard's own log
+        from its followers' replicated copies (the catch-up phase — a
+        wiped or truncated log directory gets its record set back before
+        anything replays from it), re-registers every persisted remote
+        durable subscription (which re-gossips its summary), and replays
+        each one's unacknowledged backlog.  Replay batches ride the
+        queued one-way path — drain the mesh to deliver them.
         """
         self._sync_summaries()
         self._gossip({"op": "reset"})
+        self._catch_up_from_followers()
         return self.recover_durable_subscriptions()
+
+    def _catch_up_from_followers(self) -> int:
+        """Pull the replicated copy of this shard's own records back from
+        its followers and re-append whatever the local log is missing
+        (idempotent at-offset appends).  Sequential pulls share one
+        advancing ``from``: each follower only serves what the previous
+        ones could not."""
+        if self.event_log is None or self.replication is None:
+            return 0
+        healed = 0
+        for follower in self.replication.followers:
+            try:
+                response = self.request(
+                    follower, KIND_REPLICA_PULL,
+                    self._wire_codec.serialize(
+                        {"from": self.event_log.next_offset}),
+                    retries=self.max_retries)
+            except (MessageDropped, NetworkError):
+                self.fetch_failures += 1
+                continue
+            for item in self._wire_codec.deserialize(response)["records"]:
+                if self.event_log.append_at(item["offset"], item["payload"],
+                                            item["origin"]) is not None:
+                    healed += 1
+        self.healed_records += healed
+        return healed
 
     # -- routing (buffered by the pipeline's dispatch stage) ---------------
 
-    def _buffer_forwards(self, value: Any, origin: Optional[str]) -> None:
+    def _buffer_forwards(self, value: Any, origin: Optional[str],
+                         log_offset: Optional[int] = None) -> None:
         """The pipeline's forwarder hook: buffer one copy of the event per
         sibling shard hosting at least one conforming subscriber (routed
         over the gossip summaries, so the decision reuses cached
-        conformance verdicts)."""
+        conformance verdicts).  ``log_offset`` — the record this value was
+        appended in here — travels as the forward's ``home`` id, keeping
+        the receiving shard's copy attributable to this shard's log."""
         targets = set()
         for entry, summaries in self.summary_index.route(value.type_info):
             for summary in summaries:
                 targets.add(summary.peer_id)
         for shard_id in sorted(targets):
-            self.delivery.buffer_forward(shard_id, origin or "", value)
+            self.delivery.buffer_forward(shard_id, origin or "", value,
+                                         log_offset)
 
     def _handle_forward(self, payload: bytes, src: str) -> bytes:
         envelope = self.codec.parse(payload)
@@ -288,26 +438,229 @@ class MeshShard(TpsBroker):
         # code-fetch failure below must not lose the record (the sender
         # will not resend; replay retries materialization later).
         log_offset = self.durability.append_payload(payload, origin)
+        if self._home_ids is not None and envelope.home is not None:
+            # Keep the home-id cache exact without a rescan; a retention
+            # drop this append may have triggered changes the removal
+            # stamp, which forces the rebuild on the next read.
+            decoded = decode_home(envelope.home)
+            if decoded is not None:
+                self._home_ids.update((decoded[0], offset)
+                                      for offset in decoded[1]
+                                      if offset is not None)
         values = self.pipeline.admission.materialize(envelope, src)
         # Never re-forwarded: an event crosses at most one shard boundary.
         self.pipeline.process(values, origin, log_offset=log_offset,
                               pre_logged=True, forward=False)
         return b"OK"
 
+    # -- cross-shard replication (follower side) ---------------------------
+
+    def _handle_replicate(self, payload: bytes, src: str) -> bytes:
+        """Apply one replication batch from origin shard ``src`` into its
+        replica log, or reject it whole when it would leave a loss hole
+        (its ``from`` claim starts above our high-water: an earlier batch
+        was dropped).  Either way the origin learns our high-water via a
+        one-way ``replicate_ack`` — the trigger for its gap resend."""
+        if self.replicas is None:
+            return b"OK"
+        message = self._wire_codec.deserialize(payload)
+        replica = self.replicas.log_for(src)
+        if message["from"] > replica.next_offset:
+            self.replica_rejects += 1
+        else:
+            for item in message["records"]:
+                if replica.append_at(item["offset"], item["payload"],
+                                     item["origin"]) is not None:
+                    self.replica_records += 1
+        try:
+            self.post_async(src, KIND_REPLICATE_ACK, self._wire_codec.serialize(
+                {"watermark": replica.next_offset}))
+        except UnknownPeerError:  # origin mid-restart
+            self.network.stats.record_drop()
+        return b"OK"
+
+    def _handle_replicate_ack(self, payload: bytes, src: str) -> bytes:
+        if self.replication is not None:
+            message = self._wire_codec.deserialize(payload)
+            self.replication.acknowledge(src, message["watermark"])
+        return b"OK"
+
+    # -- backlog fetch (serving side) --------------------------------------
+
+    def _handle_backlog_fetch(self, payload: bytes, src: str) -> bytes:
+        """Serve this shard's own records, conformance-filtered through
+        the RoutingStage against the requester's expected type, so only
+        matching records cross the wire.  Forwarded-in copies are never
+        served (their home shard is authoritative).  ``upto`` reports how
+        far the scan got — the requester consumes through it so filtered
+        records are not re-fetched forever."""
+        request = self._wire_codec.deserialize(payload)
+        if self.event_log is None:
+            return self._wire_codec.serialize({"upto": 0, "records": []})
+        expected = deserialize_description(
+            request["description"]).to_type_info()
+        self.runtime.registry.register(expected)
+        self.fetches_served += 1
+        upto = self.event_log.next_offset
+        #: Retention may have dropped records the requester never fetched
+        #: — report how far the retained log actually starts, so the
+        #: requester can surface the gap instead of silently skipping it.
+        first = self.event_log.first_offset
+        records = []
+        for record in self.event_log.replay(request["from"], upto):
+            if envelope_home(record.payload) is not None:
+                continue  # some other shard's record, forwarded here
+            values = self.pipeline.admission.materialize_record(
+                record, record.origin or src)
+            if values is None:
+                # Unservable right now (code unavailable): stop the scan
+                # short of it so the requester retries later instead of
+                # consuming past a record it never saw.
+                upto = record.offset
+                break
+            if self.pipeline.routing.conforming(values, expected):
+                records.append({"offset": record.offset,
+                                "origin": record.origin,
+                                "payload": record.payload})
+        self.fetch_records_served += len(records)
+        return self._wire_codec.serialize({"upto": upto, "first": first,
+                                           "records": records})
+
+    def _handle_replica_pull(self, payload: bytes, src: str) -> bytes:
+        """Serve the replicated copy of ``src``'s own records back to it —
+        the recovery catch-up path of a shard whose log was lost."""
+        request = self._wire_codec.deserialize(payload)
+        replica = self.replicas.log_for(src, create=False) \
+            if self.replicas is not None else None
+        if replica is None:
+            return self._wire_codec.serialize({"upto": 0, "records": []})
+        upto = replica.next_offset
+        records = [
+            {"offset": record.offset, "origin": record.origin,
+             "payload": record.payload}
+            for record in replica.replay(request["from"], upto)
+        ]
+        return self._wire_codec.serialize({"upto": upto, "records": records})
+
+    # -- mesh-wide durable replay (requesting side) ------------------------
+
+    def _log_removal_stamp(self) -> Tuple[int, int, int]:
+        """Changes whenever records LEFT the local log (retention drop or
+        compaction) — the only events that can invalidate the home-id
+        cache beyond the incremental adds ``_handle_forward`` makes."""
+        log = self.event_log
+        return (log.dropped_segments, log.retention_dropped_records,
+                log.compactions)
+
+    def _home_ids_in_log(self) -> set:
+        """The ``(home shard, home offset)`` ids of every forwarded-in
+        record retained in the local log — records the local replay path
+        already covers, which replica replay and backlog fetch must not
+        deliver a second time.
+
+        Built by scanning the log once, then maintained incrementally
+        (each forwarded-in append adds its ids); a retention drop or
+        compaction pass rebuilds, so an id whose record is gone stops
+        suppressing a re-fetch."""
+        if self.event_log is None:
+            return set()
+        stamp = self._log_removal_stamp()
+        if self._home_ids is not None and stamp == self._home_ids_stamp:
+            return self._home_ids
+        seen = set()
+        for record in self.event_log.replay():
+            home = envelope_home(record.payload)
+            if home is None:
+                continue
+            shard_id, offsets = home
+            for offset in offsets:
+                if offset is not None:
+                    seen.add((shard_id, offset))
+        self._home_ids = seen
+        self._home_ids_stamp = stamp
+        return seen
+
+    def _replay_mesh(self, subscription: DurableSubscription,
+                     recovering: bool = False) -> int:
+        """Complete a durable subscription's backlog mesh-wide: for each
+        sibling, replay its replica log (records replication already
+        pulled here), then ``backlog_fetch`` whatever lies above the
+        replica high-water — so the subscriber's backlog is complete
+        regardless of which shard admitted the events, even when a
+        sibling is unreachable for everything replication got here first.
+        Progress is tracked per ``(cursor, sibling)`` fetch cursor in the
+        sibling's offset space; records forwarded here at publish time
+        replay through the local path and are skipped by home id."""
+        if self.event_log is None or not self._siblings:
+            return 0
+        seen = self._home_ids_in_log()
+        description = serialize_description_bytes(
+            TypeDescription.from_type_info(subscription.expected))
+        total = 0
+        for sibling in self._siblings:
+            cursor = foreign_cursor_name(subscription.cursor_name, sibling)
+            fresh_fetch = cursor not in self.cursors
+            self.durability.register_cursor(
+                cursor, peer_id=subscription.peer_id,
+                touch=not recovering,
+                origin=sibling, base=subscription.cursor_name)
+            start = self.cursors.get(cursor)
+            replica = self.replicas.log_for(sibling, create=False) \
+                if self.replicas is not None else None
+            if replica is not None and replica.next_offset > start:
+                total += self.pipeline.replay_foreign(
+                    subscription, sibling,
+                    replica.replay(start, replica.next_offset),
+                    upto=replica.next_offset, seen=seen)
+                start = max(start, replica.next_offset)
+            try:
+                response = self.request(
+                    sibling, KIND_BACKLOG_FETCH,
+                    self._wire_codec.serialize({"description": description,
+                                                "from": start}),
+                    retries=self.max_retries)
+            except (MessageDropped, NetworkError):
+                # The sibling is unreachable: the subscriber got what the
+                # replica log held; the rest arrives on a later replay.
+                self.fetch_failures += 1
+                continue
+            reply = self._wire_codec.deserialize(response)
+            if not fresh_fetch and reply.get("first", 0) > start:
+                # The sibling's retention dropped records this cursor
+                # never fetched: surface the gap, exactly like the local
+                # replay path does (a brand-new fetch cursor on an aged
+                # log missed nothing — it begins at the retained head).
+                self.pipeline.stats.retention_lost_records += \
+                    reply["first"] - start
+            fetched: Iterator[LogRecord] = (
+                LogRecord(item["offset"], item["origin"], item["payload"])
+                for item in reply["records"])
+            total += self.pipeline.replay_foreign(
+                subscription, sibling, fetched,
+                upto=reply["upto"], seen=seen)
+        return total
+
     # -- draining ----------------------------------------------------------
 
     def pending_deliveries(self) -> int:
-        return self.delivery.pending()
+        pending = self.delivery.pending()
+        if self.replication is not None:
+            pending += self.replication.pending()
+        return pending
 
     def flush_delivery(self) -> int:
         """Encode and enqueue one batch message per buffered destination
-        (see :meth:`repro.apps.tps.pipeline.BufferedDelivery.flush`)."""
-        return self.delivery.flush()
+        (see :meth:`repro.apps.tps.pipeline.BufferedDelivery.flush`),
+        plus one replication batch per follower with queued records."""
+        sent = self.delivery.flush()
+        if self.replication is not None:
+            sent += self.replication.flush()
+        return sent
 
     # -- observability -----------------------------------------------------
 
     def _extra_stats(self) -> dict:
-        return {
+        snapshot = {
             "batches_sent": self.transport_stats.batches_sent,
             "batch_events": self.batch_events,
             "forwards_sent": self.forwards_sent,
@@ -317,6 +670,30 @@ class MeshShard(TpsBroker):
             "summary_types": len(self._summaries),
             "pending_deliveries": self.pending_deliveries(),
         }
+        if self.replication is not None:
+            snapshot["replication"] = {
+                "factor": self._replication_factor,
+                "followers": self.replication.watermarks(),
+                "records_replicated": self.pipeline.stats.records_replicated,
+                "batches_sent": self.replication.batches_sent,
+                "resends": self.pipeline.stats.replication_resends,
+            }
+        if self.replicas is not None:
+            snapshot["replicas"] = self.replicas.stats()
+            snapshot["replica_records"] = self.replica_records
+            snapshot["replica_rejects"] = self.replica_rejects
+            snapshot["healed_records"] = self.healed_records
+        if self.event_log is not None:
+            snapshot["events_fetched"] = self.pipeline.stats.events_fetched
+            snapshot["fetches_served"] = self.fetches_served
+            snapshot["fetch_records_served"] = self.fetch_records_served
+            snapshot["fetch_failures"] = self.fetch_failures
+        return snapshot
+
+    def close(self) -> None:
+        super().close()
+        if self.replicas is not None:
+            self.replicas.close()
 
 
 class BrokerMesh:
@@ -331,14 +708,24 @@ class BrokerMesh:
 
     def __init__(self, network: SimulatedNetwork, shard_count: int = 4,
                  name: str = "mesh", log_root: Optional[str] = None,
+                 replication_factor: int = 0,
                  **broker_kwargs):
         if shard_count < 1:
             raise ValueError("a mesh needs at least one shard")
+        if replication_factor >= shard_count:
+            raise ValueError("replication_factor must leave the home shard "
+                             "out (< shard_count)")
+        if replication_factor > 0 and log_root is None:
+            raise ValueError("replication needs durable logs; pass log_root=")
         self.network = network
         #: With a ``log_root``, every shard gets a durable event log under
         #: ``log_root/<shard id>`` — the precondition for durable
         #: subscriptions and :meth:`restart_shard` crash recovery.
         self.log_root = log_root
+        #: Each shard streams its appended records to this many
+        #: rendezvous-chosen follower shards (0 = no replication); see
+        #: :class:`~repro.apps.tps.pipeline.ReplicationStage`.
+        self.replication_factor = replication_factor
         self._broker_kwargs = dict(broker_kwargs)
         self.shards: List[MeshShard] = [
             self._spawn_shard("%s-shard%d" % (name, index))
@@ -353,7 +740,12 @@ class BrokerMesh:
         kwargs = dict(self._broker_kwargs)
         if self.log_root is not None:
             kwargs["log_dir"] = os.path.join(self.log_root, shard_id)
-        return MeshShard(shard_id, self.network, **kwargs)
+        return MeshShard(shard_id, self.network,
+                         replication_factor=self.replication_factor, **kwargs)
+
+    def followers_of(self, shard_id: str) -> List[str]:
+        """The follower shards replicating ``shard_id``'s records."""
+        return self._by_id[shard_id].followers
 
     @property
     def shard_ids(self) -> List[str]:
@@ -453,6 +845,12 @@ class BrokerMesh:
             "gossip_failures": sum(s.gossip_failures for s in self.shards),
             "events_replayed": sum(s.events_replayed for s in self.shards),
             "replay_failures": sum(s.replay_failures for s in self.shards),
+            "events_fetched": sum(
+                s.pipeline.stats.events_fetched for s in self.shards),
+            "records_replicated": sum(
+                s.pipeline.stats.records_replicated for s in self.shards),
+            "replica_records": sum(s.replica_records for s in self.shards),
+            "healed_records": sum(s.healed_records for s in self.shards),
         }
 
     def close(self) -> None:

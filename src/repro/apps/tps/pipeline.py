@@ -39,7 +39,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...net.network import NetworkError, UnknownPeerError
 from ...persistence import CursorStore, EventLog
-from ...transport.protocol import ProtocolError
+from ...serialization.envelope import encode_home, envelope_home
+from ...transport.protocol import KIND_REPLICATE, ProtocolError
 from .routing import RouteEntry, RoutingIndex
 
 #: Default bound on outstanding (issued, unacknowledged) delivery tokens.
@@ -67,16 +68,27 @@ def cursor_name_of(subscription: Any) -> Optional[str]:
     return getattr(subscription, "cursor_name", None) or None
 
 
+def foreign_cursor_name(base: str, origin_shard: str) -> str:
+    """The fetch-cursor name tracking how far durable subscription
+    ``base`` has consumed shard ``origin_shard``'s records.  The name is
+    only a storage key — ownership and retirement flow through the
+    ``base``/``origin`` metadata the cursor entry carries."""
+    return "%s@%s" % (base, origin_shard)
+
+
 class PipelineStats:
     """Counters shared by every stage of one pipeline."""
 
     __slots__ = (
         "events_routed",
         "events_replayed",
+        "events_fetched",
         "replay_failures",
         "delivery_failures",
         "retention_lost_records",
         "records_processed",
+        "records_replicated",
+        "replication_resends",
         "publish_acks_sent",
     )
 
@@ -381,18 +393,22 @@ class DurabilityStage:
 
     # -- cursor advancement ------------------------------------------------
 
-    def advance(self, cursor_name: str, target: int) -> None:
+    def advance(self, cursor_name: str, target: int,
+                touch: bool = True) -> None:
         """The single gate every cursor advance goes through: capped
         below any known-undelivered offset, and a no-op for retired
         cursors — an ack racing an unsubscribe must not resurrect a
-        removed cursor as a zombie entry."""
+        removed cursor as a zombie entry.  ``touch=False`` marks a
+        *mechanical* advance (replay skipping a record nothing was
+        delivered for): it moves the offset without refreshing the
+        idleness stamp :meth:`prune_cursors` reads."""
         if self.cursors is None or cursor_name not in self.cursors:
             return
         block = self.tracker.blocks.get(cursor_name)
         if block is not None:
             target = min(target, block)
         before = self.cursors.get(cursor_name)
-        if self.cursors.advance(cursor_name, target):
+        if self.cursors.advance(cursor_name, target, touch=touch):
             # The floor is the min over all cursors: it can only move
             # when the cursor that advanced WAS the floor — skip the
             # recompute for every other ack on the hot path.
@@ -401,7 +417,8 @@ class DurabilityStage:
                          or before <= self.event_log.retention_floor):
                 self._update_retention_floor()
 
-    def advance_if_idle(self, cursor_name: str, target: int) -> None:
+    def advance_if_idle(self, cursor_name: str, target: int,
+                        touch: bool = True) -> None:
         """Advance a cursor past a record nothing was sent for.
 
         Safe only while no issued-but-unacknowledged token exists for the
@@ -410,7 +427,7 @@ class DurabilityStage:
         When tokens are outstanding, the next ack covers the skipped
         record anyway."""
         if not self.tracker.has_inflight(cursor_name):
-            self.advance(cursor_name, target)
+            self.advance(cursor_name, target, touch=touch)
 
     def settle_local(self, local_acks: Dict[str, bool],
                      log_offset: Optional[int]) -> None:
@@ -427,13 +444,18 @@ class DurabilityStage:
     def register_cursor(self, cursor_name: str,
                         peer_id: Optional[str] = None,
                         description: Optional[str] = None,
-                        touch: bool = True) -> int:
+                        touch: bool = True,
+                        origin: Optional[str] = None,
+                        base: Optional[str] = None) -> int:
         """Create/refresh a cursor through the stage, so a brand-new slow
         cursor starts pinning the retention floor immediately.
         ``touch=False`` is the recovery path: mechanical re-registration
-        must not reset the idleness stamp :meth:`prune_cursors` reads."""
+        must not reset the idleness stamp :meth:`prune_cursors` reads.
+        ``origin``/``base`` register a fetch cursor in a sibling shard's
+        offset space (see :meth:`CursorStore.register`)."""
         offset = self.cursors.register(cursor_name, peer_id=peer_id,
-                                       description=description, touch=touch)
+                                       description=description, touch=touch,
+                                       origin=origin, base=base)
         self._update_retention_floor()
         return offset
 
@@ -442,8 +464,12 @@ class DurabilityStage:
 
     def remove_cursor(self, cursor_name: str) -> None:
         """Retire a cursor entirely (explicit unsubscribe): persisted
-        entry, in-flight windows and retention pin all go."""
+        entry, in-flight windows, retention pin — and any per-sibling
+        fetch cursors derived from it — all go."""
         if self.cursors is not None:
+            for derived in self.cursors.derived(cursor_name):
+                self.cursors.remove(derived)
+                self.tracker.forget_cursor(derived)
             self.cursors.remove(cursor_name)
         self.tracker.forget_cursor(cursor_name)
         self._update_retention_floor()
@@ -487,6 +513,139 @@ class DurabilityStage:
             self.event_log.close()
         if self.cursors is not None:
             self.cursors.flush()
+
+
+# ---------------------------------------------------------------------------
+# cross-shard replication
+# ---------------------------------------------------------------------------
+
+
+class ReplicationStage:
+    """Streams durably appended *origin* records to follower shards.
+
+    Hooked directly after :class:`DurabilityStage` in the pipeline: every
+    record this shard appends as the admitting (home) broker is buffered
+    per follower and drained — alongside the
+    :class:`BufferedDelivery` buffers, on the same flush cycle — as ONE
+    ``replicate`` message per follower per drain, however many records it
+    covers.  Followers store the records in per-origin replica logs *at
+    the origin's offsets*, so a re-sent batch is idempotently absorbed
+    (:meth:`~repro.persistence.log.EventLog.append_at`).
+
+    The coverage protocol is watermark-based, Kafka style: each batch
+    claims ``[from, last record)`` contiguity in the origin's offset
+    space.  A follower whose replica high-water is below ``from`` has a
+    gap (a dropped earlier batch) and rejects the whole message; either
+    way it answers with a one-way ``replicate_ack`` carrying its
+    high-water.  An ack below what this stage already claimed triggers a
+    rebuild of the follower's queue straight from the event log
+    (:meth:`acknowledge`), so a lossy fabric converges instead of
+    silently leaving holes.  Forwarded-in records (payloads carrying a
+    ``home`` attribute — some *other* shard's origin records) are never
+    re-replicated: exactly one shard is authoritative for each record.
+    """
+
+    def __init__(self, host: Any, event_log: EventLog,
+                 stats: Optional[PipelineStats] = None):
+        self.host = host
+        self.event_log = event_log
+        self.stats = stats if stats is not None else PipelineStats()
+        self.followers: List[str] = []
+        #: follower -> records (offset, origin, payload) queued for the
+        #: next flush, in offset order.
+        self._queues: Dict[str, List[Tuple[int, str, bytes]]] = {}
+        #: follower -> high edge of the contiguous coverage claimed so
+        #: far (the ``from`` of the next batch).  First populated at the
+        #: first enqueue — a fresh incarnation must not claim coverage of
+        #: records it never sent.
+        self.sent: Dict[str, int] = {}
+        #: follower -> high-water the follower last acknowledged: the
+        #: replication watermark, below which the follower's replica log
+        #: is known to hold every surviving origin record.
+        self.acked: Dict[str, int] = {}
+        self.batches_sent = 0
+        self.records_sent = 0
+
+    def set_followers(self, followers: Sequence[str]) -> None:
+        self.followers = [follower for follower in followers
+                          if follower != self.host.peer_id]
+
+    def record_appended(self, offset: int, origin: str,
+                        payload: bytes) -> None:
+        """Queue one just-appended origin record for every follower."""
+        if not self.followers:
+            return
+        for follower in self.followers:
+            if follower not in self.sent:
+                self.sent[follower] = offset
+            self._queues.setdefault(follower, []).append(
+                (offset, origin, payload))
+        self.stats.records_replicated += 1
+
+    def pending(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def flush(self) -> int:
+        """One ``replicate`` message per follower with queued records;
+        returns the number of messages enqueued on the fabric."""
+        sent = 0
+        for follower, queue in self._queues.items():
+            if not queue:
+                continue
+            message = self.host._wire_codec.serialize({
+                "from": self.sent[follower],
+                "records": [
+                    {"offset": offset, "origin": origin, "payload": payload}
+                    for offset, origin, payload in queue
+                ],
+            })
+            try:
+                self.host.post_async(follower, KIND_REPLICATE, message)
+            except UnknownPeerError:
+                # The follower is off the fabric (mid-restart): keep the
+                # queue — the next flush retries, and the watermark
+                # protocol heals whatever its replacement missed.
+                self.host.network.stats.record_drop()
+                continue
+            self.batches_sent += 1
+            self.records_sent += len(queue)
+            self.sent[follower] = queue[-1][0] + 1
+            queue.clear()
+            sent += 1
+        return sent
+
+    def acknowledge(self, follower: str, watermark: int) -> None:
+        """Record a follower's high-water; a watermark below the claimed
+        coverage means the follower missed a batch — rebuild its queue
+        from the log so the hole is re-sent (at-least-once; the replica
+        log absorbs the duplicates).  The comparison uses the monotonic
+        ``acked`` high-water, not the raw incoming value: one-way acks
+        can reorder on the fabric, and a stale ack arriving after a newer
+        one must not trigger a spurious full-range resend."""
+        self.acked[follower] = max(self.acked.get(follower, 0), watermark)
+        claimed = self.sent.get(follower)
+        if claimed is None or self.acked[follower] >= claimed:
+            return
+        watermark = self.acked[follower]
+        self.stats.replication_resends += 1
+        queue = []
+        for record in self.event_log.replay(watermark):
+            if envelope_home(record.payload) is not None:
+                continue  # a forwarded-in copy: not this shard's record
+            queue.append((record.offset, record.origin, record.payload))
+        self._queues[follower] = queue
+        self.sent[follower] = watermark
+
+    def watermarks(self) -> Dict[str, Dict[str, int]]:
+        """Per-follower replication positions (the observability surface)."""
+        return {
+            follower: {
+                "sent": self.sent.get(follower, 0),
+                "acked": self.acked.get(follower, 0),
+                "queued": len(self._queues.get(follower, ())),
+            }
+            for follower in self.followers
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -585,8 +744,12 @@ class BufferedDelivery:
         #: Durable-cursor high-water marks covered by the buffered events,
         #: per destination: peer -> {cursor name -> [start, end] offsets}.
         self._outgoing_acks: Dict[str, Dict[str, List[int]]] = {}
-        #: Buffered forwards: (sibling shard, origin publisher) -> events.
-        self._forward_out: Dict[Tuple[str, str], List[Any]] = {}
+        #: Buffered forwards: (sibling shard, origin publisher) ->
+        #: (event, home-record offset) pairs — the offsets travel as the
+        #: envelope's ``home`` attribute so the receiving shard's stored
+        #: copy stays attributable to this shard's log record.
+        self._forward_out: Dict[Tuple[str, str],
+                                List[Tuple[Any, Optional[int]]]] = {}
         self.batch_events = 0
         self.forwards_sent = 0
         self.forward_events = 0
@@ -612,8 +775,10 @@ class BufferedDelivery:
     def finish(self, ctx: dict) -> None:
         pass
 
-    def buffer_forward(self, shard_id: str, origin: str, value: Any) -> None:
-        self._forward_out.setdefault((shard_id, origin), []).append(value)
+    def buffer_forward(self, shard_id: str, origin: str, value: Any,
+                       log_offset: Optional[int] = None) -> None:
+        self._forward_out.setdefault((shard_id, origin), []).append(
+            (value, log_offset))
 
     def pending(self) -> int:
         return (sum(len(events) for events in self._outgoing.values())
@@ -674,15 +839,28 @@ class BufferedDelivery:
             sent += 1
         self._outgoing.clear()
         self._outgoing_acks.clear()
-        for (shard_id, origin), values in self._forward_out.items():
+        #: Forward payloads by content: the same events bound for several
+        #: sibling shards share one encoding (home ids included — they
+        #: name this shard's records, not the destination).
+        forward_encoded: Dict[Tuple[str, Tuple[int, ...]], bytes] = {}
+        for (shard_id, origin), pairs in self._forward_out.items():
+            key = (origin, tuple(id(value) for value, _ in pairs))
+            payload = forward_encoded.get(key)
+            if payload is None:
+                values = [value for value, _ in pairs]
+                envelope = codec.wrap_batch(values, origin=origin)
+                offsets = [offset for _, offset in pairs]
+                if any(offset is not None for offset in offsets):
+                    envelope.home = encode_home(self.host.peer_id, offsets)
+                payload = forward_encoded[key] = \
+                    codec.envelope_to_bytes(envelope)
             try:
-                self.host.post_async(shard_id, self.forward_kind,
-                                     encode(values, origin))
+                self.host.post_async(shard_id, self.forward_kind, payload)
             except UnknownPeerError:
                 self.host.network.stats.record_drop()
                 continue
             self.forwards_sent += 1
-            self.forward_events += len(values)
+            self.forward_events += len(pairs)
             sent += 1
         self._forward_out.clear()
         return sent
@@ -731,8 +909,10 @@ class DeliveryPipeline:
                  durability: Optional[DurabilityStage] = None,
                  admission: Optional[AdmissionStage] = None,
                  stats: Optional[PipelineStats] = None,
-                 forwarder: Optional[Callable[[Any, str], None]] = None,
-                 host: Any = None):
+                 forwarder: Optional[Callable[[Any, str, Optional[int]],
+                                              None]] = None,
+                 host: Any = None,
+                 replication: Optional[ReplicationStage] = None):
         self.routing = routing
         self.delivery = delivery
         self.durability = durability
@@ -740,6 +920,7 @@ class DeliveryPipeline:
         self.stats = stats if stats is not None else PipelineStats()
         self.forwarder = forwarder
         self.host = host
+        self.replication = replication
 
     # -- live path --------------------------------------------------------
 
@@ -761,12 +942,26 @@ class DeliveryPipeline:
         shard's summary-gated cross-shard buffering).
         """
         if not pre_logged and self.durability is not None:
+            if payload is None and self.replication is not None \
+                    and self.durability.event_log is not None:
+                # Replication needs the encoded record bytes anyway:
+                # encode once here instead of appending values and
+                # re-reading the record off the log on the hot path.
+                payload = self.host.codec.encode_batch(values,
+                                                       origin=origin or "")
             if payload is not None:
                 log_offset = self.durability.append_payload(
                     payload, origin or "")
             else:
                 log_offset = self.durability.append_values(
                     values, origin or "")
+        if not pre_logged and log_offset is not None \
+                and self.replication is not None and payload is not None:
+            # Replication covers exactly the records this shard is the
+            # home of — forwarded-in copies arrive ``pre_logged`` and are
+            # some other shard's responsibility.
+            self.replication.record_appended(log_offset, origin or "",
+                                             payload)
         self.stats.records_processed += 1
         local_acks: Dict[str, bool] = {}
         ctx = self.delivery.begin(values, origin, log_offset, envelope)
@@ -775,7 +970,7 @@ class DeliveryPipeline:
             deliveries += self._fan_out(ctx, value, origin, log_offset,
                                         local_acks)
             if forward and self.forwarder is not None:
-                self.forwarder(value, origin)
+                self.forwarder(value, origin, log_offset)
         self.delivery.finish(ctx)
         if self.durability is not None:
             self.durability.settle_local(local_acks, log_offset)
@@ -823,11 +1018,14 @@ class DeliveryPipeline:
 
     def _deliver_local(self, subscription: Any, entry: RouteEntry,
                        value: Any, log_offset: Optional[int],
-                       views: Optional[Dict[int, Any]] = None) -> bool:
+                       views: Optional[Dict[int, Any]] = None,
+                       cursor: Optional[str] = None) -> bool:
         """Run one in-process handler.  With ``isolate_failures`` the
         handler's exceptions are counted and contained — and, for durable
         subscriptions, the cursor is pinned below the failed record until
-        a replay succeeds."""
+        a replay succeeds.  ``cursor`` overrides which cursor the failure
+        block lands on (foreign replay pins the fetch cursor, whose
+        offset space ``log_offset`` then belongs to)."""
         if not self.delivery.isolate_failures:
             subscription.handler(self._shared_view(entry, value, views))
             return True
@@ -836,7 +1034,8 @@ class DeliveryPipeline:
             return True
         except Exception:
             self.stats.delivery_failures += 1
-            cursor = cursor_name_of(subscription)
+            if cursor is None:
+                cursor = cursor_name_of(subscription)
             if log_offset is not None and cursor is not None \
                     and self.durability is not None:
                 self.durability.tracker.block(cursor, log_offset)
@@ -872,14 +1071,18 @@ class DeliveryPipeline:
             return replayed
         return self._replay_remote(subscription, start, upto)
 
-    def _replay_record_local(self, subscription: Any,
-                             record: Any) -> Optional[int]:
-        """Replay one record to an in-process handler (self-acking)."""
+    def _replay_record_local(self, subscription: Any, record: Any,
+                             cursor: Optional[str] = None) -> Optional[int]:
+        """Replay one record to an in-process handler (self-acking).
+        ``cursor`` overrides the advance target — foreign replay acks the
+        per-sibling fetch cursor in the record's own offset space."""
         durability = self.durability
+        if cursor is None:
+            cursor = subscription.cursor_name
         if record.origin and record.origin == subscription.peer_id:
             # Never echo a publisher's own events back — and do not leave
             # the cursor pinned below them either.
-            durability.advance(subscription.cursor_name, record.offset + 1)
+            durability.advance(cursor, record.offset + 1, touch=False)
             return 0
         values = self.admission.materialize_record(
             record, subscription.peer_id or self.host.peer_id)
@@ -888,37 +1091,52 @@ class DeliveryPipeline:
         conforming = self.routing.conforming(values, subscription.expected)
         if not conforming:
             # Nothing to wait for: a local no-op record is acked now.
-            durability.advance(subscription.cursor_name, record.offset + 1)
+            durability.advance(cursor, record.offset + 1, touch=False)
             return 0
         for value, entry in conforming:
             if not self._deliver_local(subscription, entry, value,
-                                       record.offset, {}):
+                                       record.offset, {}, cursor=cursor):
                 return None  # unacked: this pass stops at the failure
             subscription.delivered += 1
             self.stats.events_replayed += 1
-        durability.tracker.clear_block_through(subscription.cursor_name,
-                                               record.offset)
-        durability.advance(subscription.cursor_name, record.offset + 1)
+        durability.tracker.clear_block_through(cursor, record.offset)
+        durability.advance(cursor, record.offset + 1)
         return len(conforming)
 
     def _replay_remote(self, subscription: Any, start: int,
                        upto: int) -> int:
-        """Replay a remote subscription's backlog as coalesced batches.
+        """Replay a remote subscription's local-log backlog."""
+        return self._replay_stream(
+            subscription, subscription.cursor_name,
+            self.durability.event_log.replay(start, upto))
+
+    def _replay_stream(self, subscription: Any, cursor_name: str,
+                       records: Any, skip: Optional[Callable[[Any], bool]] = None,
+                       tail: Optional[int] = None,
+                       counter: str = "events_replayed") -> int:
+        """Replay a stream of records to a remote subscription as
+        coalesced batches, acknowledged against ``cursor_name``.
 
         Consecutive same-origin records pool into one batch message (up
         to :data:`REPLAY_BATCH_RECORDS` records) under ONE cumulative ack
         token — an N-record backlog costs ~N/K messages, not 2N.  Records
-        with nothing to send (non-conforming, self-origin) extend the
-        open batch's ack range, so its acknowledgement consumes them too.
+        with nothing to send (non-conforming, self-origin, or externally
+        ``skip``-ped as already consumed) extend the open batch's ack
+        range, so its acknowledgement consumes them too.  ``tail``
+        (foreign replay: the serving shard's scan end) is consumed after
+        the stream the same way — records the server filtered out must
+        not be re-fetched forever.  ``counter`` names the
+        :class:`PipelineStats` slot delivered events are counted under.
         """
         durability = self.durability
         host = self.host
+        stats = self.stats
         replayed = 0
         batch: List[Any] = []
         batch_origin: Optional[str] = None
         batch_records = 0
-        batch_start = start
-        batch_end = start
+        batch_start = 0
+        batch_end = 0
 
         def flush() -> bool:
             nonlocal batch, batch_origin, batch_records, replayed
@@ -926,7 +1144,7 @@ class DeliveryPipeline:
                 return True
             token = durability.tracker.issue(
                 subscription.peer_id,
-                ((subscription.cursor_name, batch_start, batch_end),))
+                ((cursor_name, batch_start, batch_end),))
             payload = host.codec.encode_batch(batch, origin=batch_origin,
                                               ack=token)
             count = len(batch)
@@ -938,19 +1156,28 @@ class DeliveryPipeline:
                 host.network.stats.record_drop()  # subscriber left
                 return False
             subscription.delivered += count
-            self.stats.events_replayed += count
+            setattr(stats, counter, getattr(stats, counter) + count)
             replayed += count
             return True
 
-        for record in durability.event_log.replay(start, upto):
+        def consume(offset: int) -> None:
+            """A record with nothing to send is folded into the open
+            batch's ack range, or acked directly when nothing is in
+            flight — never re-scanned forever, never skipping an
+            in-flight delivery."""
+            nonlocal batch_end
+            if batch:
+                batch_end = offset + 1
+            else:
+                durability.advance_if_idle(cursor_name, offset + 1,
+                                           touch=False)
+
+        for record in records:
+            if skip is not None and skip(record):
+                consume(record.offset)
+                continue
             if record.origin and record.origin == subscription.peer_id:
-                # Own events are never echoed; fold them into the open
-                # batch's ack range, or advance directly when idle.
-                if batch:
-                    batch_end = record.offset + 1
-                else:
-                    durability.advance_if_idle(subscription.cursor_name,
-                                               record.offset + 1)
+                consume(record.offset)  # own events are never echoed
                 continue
             values = self.admission.materialize_record(
                 record, subscription.peer_id or host.peer_id)
@@ -962,14 +1189,7 @@ class DeliveryPipeline:
             conforming = self.routing.conforming(values,
                                                  subscription.expected)
             if not conforming:
-                if batch:
-                    batch_end = record.offset + 1
-                else:
-                    # Nothing sent and nothing in flight from this pass:
-                    # a tail of non-conforming records is consumed, not
-                    # re-scanned forever.
-                    durability.advance_if_idle(subscription.cursor_name,
-                                               record.offset + 1)
+                consume(record.offset)
                 continue
             origin = record.origin or None
             if batch and (origin != batch_origin
@@ -982,5 +1202,58 @@ class DeliveryPipeline:
             batch_origin = origin
             batch_records += 1
             batch_end = record.offset + 1
+        if tail is not None:
+            if batch:
+                batch_end = max(batch_end, tail)
+            else:
+                durability.advance_if_idle(cursor_name, tail, touch=False)
         flush()
+        return replayed
+
+    # -- foreign replay (replica logs + backlog fetch) ---------------------
+
+    def replay_foreign(self, subscription: Any, origin_shard: str,
+                       records: Any, upto: Optional[int] = None,
+                       seen: Any = frozenset()) -> int:
+        """Deliver another shard's origin records to one durable
+        subscription, tracked by the per-``(cursor, origin shard)`` fetch
+        cursor — offsets here live in ``origin_shard``'s space, never the
+        local log's.
+
+        ``records`` is a stream of that shard's records (from the local
+        replica log, or a conformance-filtered ``backlog_fetch``
+        response); ``upto`` is the position the stream scanned through
+        (consumed even when the last records were filtered out);
+        ``seen`` holds ``(shard, offset)`` home ids already present in
+        the local log — records that were forwarded here at publish time
+        replay through the *local* path and must not arrive twice.
+        """
+        cursor = foreign_cursor_name(subscription.cursor_name, origin_shard)
+
+        def already_seen(record):
+            return (origin_shard, record.offset) in seen
+
+        if subscription.handler is None:
+            return self._replay_stream(subscription, cursor, records,
+                                       skip=already_seen, tail=upto,
+                                       counter="events_fetched")
+        durability = self.durability
+        replayed = 0
+        for record in records:
+            if already_seen(record):
+                durability.advance(cursor, record.offset + 1, touch=False)
+                continue
+            sent = self._replay_record_local(subscription, record,
+                                             cursor=cursor)
+            if sent is None:
+                return replayed  # halt below the failed record
+            if sent:
+                # _replay_record_local counted these as replayed events;
+                # re-book them as fetched so the two paths stay tellable
+                # apart in stats.
+                self.stats.events_replayed -= sent
+                self.stats.events_fetched += sent
+            replayed += sent
+        if upto is not None:
+            durability.advance(cursor, upto, touch=False)
         return replayed

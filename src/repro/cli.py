@@ -7,6 +7,7 @@ Usage::
     python -m repro demo
     python -m repro log inspect DIR
     python -m repro log compact DIR
+    python -m repro log replicas DIR
 
 ``describe`` prints the XML type description(s) of a source file;
 ``check`` compiles a provider and an expected type from two source files
@@ -17,7 +18,9 @@ directory (a broker ``log_dir``, or the ``events`` directory inside one)
 without modifying it; ``log compact`` rewrites its closed segments
 keeping only the latest record per (type fingerprint, entity key) —
 bounded by the slowest cursor in ``cursors.json``, so nothing a durable
-subscriber has yet to acknowledge is lost.
+subscriber has yet to acknowledge is lost; ``log replicas`` lists the
+per-origin replica logs a mesh shard keeps for its siblings (the
+cross-shard replication state) next to the shard's own log.
 
 Source language is inferred from the extension: ``.cs`` (C#-like),
 ``.java`` (Java-like), ``.vb`` (VB-like).
@@ -145,6 +148,8 @@ def cmd_log(args, out) -> int:
         cursors_dir = os.path.dirname(directory.rstrip("/")) or directory
     if args.action == "compact":
         return _compact_log(events_dir, cursors_dir, out)
+    if args.action == "replicas":
+        return _replicas_log(events_dir, cursors_dir, out)
     info = inspect_log(events_dir)
 
     out.write("event log %s\n" % events_dir)
@@ -170,6 +175,13 @@ def cmd_log(args, out) -> int:
         out.write("  cursors       %d\n" % len(store))
         for name in store.names():
             entry = store.entry(name)
+            if entry.get("origin"):
+                # A fetch cursor holds a position in a SIBLING shard's
+                # offset space — "behind" the local log is meaningless.
+                out.write("    %-24s fetched below %-6d from %s  peer=%s\n"
+                          % (name, store.get(name), entry["origin"],
+                             entry.get("peer_id") or "local"))
+                continue
             behind = info["next_offset"] - store.get(name)
             if behind < 0:
                 state = "AHEAD of log end by %d (tail lost?)" % -behind
@@ -179,6 +191,32 @@ def cmd_log(args, out) -> int:
                       % (name, store.get(name), state,
                          entry.get("peer_id") or "local"))
     return 1 if info["torn_segments"] else 0
+
+
+def _replicas_log(events_dir, cursors_dir, out) -> int:
+    """The ``log replicas`` action: this shard's own log next to the
+    per-origin replica logs it keeps for its siblings."""
+    import os
+    from urllib.parse import unquote
+
+    from .persistence.log import inspect_log
+
+    own = inspect_log(events_dir)
+    out.write("shard log %s\n" % events_dir)
+    out.write("  own records   %d in [%d, %d)\n"
+              % (own["records"], own["first_offset"], own["next_offset"]))
+    replicas_root = os.path.join(cursors_dir, "replicas")
+    if not os.path.isdir(replicas_root):
+        out.write("  replicas      none (no replicas/ directory)\n")
+        return 0
+    origins = sorted(os.listdir(replicas_root))
+    out.write("  replicas      %d origin(s)\n" % len(origins))
+    for name in origins:
+        info = inspect_log(os.path.join(replicas_root, name))
+        out.write("    %-24s %6d records  high-water %-8d %10s bytes\n"
+                  % (unquote(name), info["records"], info["next_offset"],
+                     format(info["bytes"], ",")))
+    return 0
 
 
 def _compact_log(events_dir, cursors_dir, out) -> int:
@@ -241,10 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(func=cmd_demo)
 
     log = sub.add_parser("log", help="inspect or compact a durable event log")
-    log.add_argument("action", choices=["inspect", "compact"],
+    log.add_argument("action", choices=["inspect", "compact", "replicas"],
                      help="inspect: print segment/offset/cursor statistics; "
                           "compact: rewrite closed segments keeping the "
-                          "latest record per entity key (cursor-bounded)")
+                          "latest record per entity key (cursor-bounded); "
+                          "replicas: list the per-origin replica logs a "
+                          "mesh shard keeps for its siblings")
     log.add_argument("directory", help="broker log_dir (or its events/ dir)")
     log.set_defaults(func=cmd_log)
 

@@ -86,9 +86,20 @@ class CursorStore:
 
     def min_offset(self) -> Optional[int]:
         """The slowest cursor's offset (``None`` with no cursors) — the
-        retention-floor input, computed without snapshot/sort overhead."""
+        retention-floor input, computed without snapshot/sort overhead.
+        Cursors with an ``origin`` track positions in *another* shard's
+        offset space (backlog-fetch progress) and are excluded: a foreign
+        offset must never pin or release the local log's retention."""
         return min((int(entry["offset"])
-                    for entry in self._entries.values()), default=None)
+                    for entry in self._entries.values()
+                    if not entry.get("origin")), default=None)
+
+    def derived(self, base: str) -> List[str]:
+        """Names of the fetch cursors derived from ``base`` (the
+        per-sibling backlog positions of one durable subscription), so
+        retiring the subscription retires its whole cursor family."""
+        return sorted(name for name, entry in self._entries.items()
+                      if entry.get("base") == base)
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -100,7 +111,9 @@ class CursorStore:
 
     def register(self, name: str, peer_id: Optional[str] = None,
                  description: Optional[str] = None,
-                 touch: bool = True) -> int:
+                 touch: bool = True,
+                 origin: Optional[str] = None,
+                 base: Optional[str] = None) -> int:
         """Create (or refresh the metadata of) a cursor; keeps its offset.
 
         Returns the cursor's current offset — a re-registration under an
@@ -109,6 +122,12 @@ class CursorStore:
         re-registers every persisted cursor mechanically, which must not
         count as the subscriber coming back (or :meth:`prune` could never
         expire an abandoned cursor on a broker that restarts).
+
+        ``origin``/``base`` mark a *fetch cursor*: the per-sibling
+        backlog-fetch position of durable subscription ``base``, held in
+        shard ``origin``'s offset space.  Fetch cursors never gate the
+        local retention floor (:meth:`min_offset`) and are retired with
+        their base subscription (:meth:`derived`).
         """
         if name == _META_KEY:
             raise ValueError("%r is a reserved cursor name" % name)
@@ -117,19 +136,33 @@ class CursorStore:
             entry = self._entries[name] = {"offset": 0}
         entry["peer_id"] = peer_id
         entry["description"] = description
+        if origin is not None:
+            entry["origin"] = origin
+            entry["base"] = base
         if touch:
             entry["last_active"] = self.incarnation
         self._persist()
         return int(entry["offset"])
 
-    def advance(self, name: str, offset: int) -> bool:
-        """Monotonically raise ``name`` to ``offset``; returns whether it moved."""
+    def advance(self, name: str, offset: int, touch: bool = True) -> bool:
+        """Monotonically raise ``name`` to ``offset``; returns whether it moved.
+
+        ``touch=False`` is for *mechanical* advances — replay skipping a
+        non-conforming or self-published record nothing was delivered
+        for.  Only subscriber-driven advances (an echoed ack token, a
+        local handler accepting a record) may refresh the idleness stamp,
+        or recovery replay would count as subscriber activity and
+        :meth:`prune` could never expire an abandoned cursor on a broker
+        that keeps restarting (and replication catch-up makes recovery
+        replays *longer*, widening that window).
+        """
         entry = self._entries.get(name)
         if entry is None:
             entry = self._entries[name] = {
                 "offset": 0, "peer_id": None, "description": None,
             }
-        entry["last_active"] = self.incarnation
+        if touch:
+            entry["last_active"] = self.incarnation
         if offset <= int(entry["offset"]):
             return False
         entry["offset"] = int(offset)

@@ -287,6 +287,7 @@ class EventLog:
         self.fsync_interval_ms = fsync_interval_ms
         self.compact_on_retention = compact_on_retention
         self.appended = 0
+        self.duplicate_appends = 0
         self.torn_tail_truncations = 0
         self.dropped_segments = 0
         self.retention_dropped_records = 0
@@ -379,7 +380,30 @@ class EventLog:
 
     def append(self, payload: bytes, origin: str = "") -> int:
         """Durably append one record; returns its monotonic offset."""
-        offset = self.next_offset
+        return self._append_record(self.next_offset, payload, origin)
+
+    def append_at(self, offset: int, payload: bytes,
+                  origin: str = "") -> Optional[int]:
+        """Idempotently append one record at an *explicit* offset.
+
+        The write path of replication followers and recovery catch-up: a
+        replica log stores another shard's records at the origin's own
+        offsets, and a re-sent batch (a lost ``replicate_ack``, an
+        at-least-once resend) must be absorbed, not duplicated.  An offset
+        below :attr:`next_offset` — the per-origin high-water mark — was
+        already applied (or deliberately skipped by origin-side
+        compaction) and is dropped; returns ``None`` for such a skip and
+        the offset for a real append.  Offsets ahead of ``next_offset``
+        leave a hole, exactly like compaction does — callers that need
+        gap-free replicas (the replicate handler) must reject
+        non-contiguous batches *before* applying them.
+        """
+        if offset < self.next_offset:
+            self.duplicate_appends += 1
+            return None
+        return self._append_record(offset, payload, origin)
+
+    def _append_record(self, offset: int, payload: bytes, origin: str) -> int:
         record = _encode_record(offset, origin, payload)
         segment = self._writable_segment(len(record))
         handle = self._handle_for_append(segment)
@@ -698,6 +722,7 @@ class EventLog:
             "first_offset": self.first_offset,
             "next_offset": self.next_offset,
             "appended": self.appended,
+            "duplicate_appends": self.duplicate_appends,
             "torn_tail_truncations": self.torn_tail_truncations,
             "dropped_segments": self.dropped_segments,
             "retention_dropped_records": self.retention_dropped_records,

@@ -23,7 +23,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import xml.etree.ElementTree as ET
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 from urllib.parse import quote, unquote
 
 from ..cts.types import TypeInfo
@@ -138,6 +138,54 @@ def envelope_record_keys(data: bytes) -> Optional[List[Optional[str]]]:
         return None
 
 
+def encode_home(shard_id: str, offsets: Sequence[Optional[int]]) -> str:
+    """Build the ``home`` attribute: the shard a batch's values were first
+    durably appended at, plus one record offset (or ``-``) per value."""
+    return "%s|%s" % (shard_id, ",".join(
+        "-" if offset is None else str(offset) for offset in offsets))
+
+
+def decode_home(text: str) -> Optional[Tuple[str, List[Optional[int]]]]:
+    """Parse a ``home`` attribute; ``None`` for malformed input (a record
+    whose provenance cannot be read is simply treated as unattributed)."""
+    shard_id, separator, tail = text.partition("|")
+    if not separator or not shard_id:
+        return None
+    offsets: List[Optional[int]] = []
+    for token in tail.split(","):
+        if token == "-":
+            offsets.append(None)
+        else:
+            try:
+                offsets.append(int(token))
+            except ValueError:
+                return None
+    return shard_id, offsets
+
+
+def envelope_home(data: bytes) -> Optional[Tuple[str, List[Optional[int]]]]:
+    """The home-record provenance of one encoded envelope: the shard id
+    the content was first durably appended at and the per-value record
+    offsets there, or ``None`` when the message carries no ``home``
+    attribute (a record the storing shard itself is the home of).
+
+    Like :func:`envelope_record_keys`, this reads only the ``<Payload>``
+    attributes — no payload decode, no runtime — so a shard can classify
+    its stored records (own vs forwarded-in) without materializing them.
+    """
+    try:
+        root = ET.fromstring(data)
+    except ET.ParseError:
+        return None
+    payload_el = root.find("Payload")
+    if payload_el is None:
+        return None
+    home_attr = payload_el.get("home")
+    if home_attr is None:
+        return None
+    return decode_home(home_attr)
+
+
 class TypeEntry:
     """One ``<Type>`` line of the envelope's type-information section."""
 
@@ -173,6 +221,11 @@ class ObjectEnvelope:
     per batched value, its compaction key (see :func:`entity_key`) —
     stored with the record so key-aware log compaction can decide
     latest-state without materializing (or even knowing) the types.
+    ``home`` optionally identifies, per batched value, the log record the
+    value was first durably appended in — ``"<shard id>|o1,o2,..."`` with
+    one home-shard offset (or ``-``) per value — so a mesh shard storing
+    a forwarded-in copy can later recognise the same record arriving
+    again by replication or backlog fetch and not deliver it twice.
     """
 
     def __init__(self, type_entries: List[TypeEntry], encoding: str, payload: bytes,
@@ -180,7 +233,8 @@ class ObjectEnvelope:
                  origin: Optional[str] = None,
                  ack: Optional[str] = None,
                  publish_ack: Optional[str] = None,
-                 keys: Optional[List[Optional[str]]] = None):
+                 keys: Optional[List[Optional[str]]] = None,
+                 home: Optional[str] = None):
         self.type_entries = type_entries
         self.encoding = encoding  # "binary" | "soap"
         self.payload = payload
@@ -189,6 +243,7 @@ class ObjectEnvelope:
         self.ack = ack
         self.publish_ack = publish_ack
         self.keys = keys
+        self.home = home
 
     @property
     def is_batch(self) -> bool:
@@ -334,6 +389,8 @@ class EnvelopeCodec:
             payload_attrs["publish_ack"] = envelope.publish_ack
         if envelope.keys is not None:
             payload_attrs["keys"] = _encode_keys(envelope.keys)
+        if envelope.home is not None:
+            payload_attrs["home"] = envelope.home
         payload = ET.SubElement(root, "Payload", payload_attrs)
         payload.text = base64.b64encode(envelope.payload).decode("ascii")
         return ET.tostring(root, encoding="utf-8")
@@ -398,7 +455,8 @@ class EnvelopeCodec:
                               origin=payload_el.get("origin"),
                               ack=payload_el.get("ack"),
                               publish_ack=payload_el.get("publish_ack"),
-                              keys=keys)
+                              keys=keys,
+                              home=payload_el.get("home"))
 
     def unwrap(self, envelope: ObjectEnvelope) -> Any:
         """Envelope → object graph.

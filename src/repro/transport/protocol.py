@@ -56,6 +56,21 @@ KIND_DELIVERY_ACK = "delivery_ack"
 #: was appended to its durable log, extending at-least-once back to the
 #: publisher (see ``TpsSubscriberMixin.publish_durable``).
 KIND_PUBLISH_ACK = "publish_ack"
+#: One-way cross-shard log replication: an origin shard streams batches
+#: of its durably appended records to rendezvous-chosen follower shards,
+#: which store them in per-origin replica logs at the origin's offsets.
+KIND_REPLICATE = "replicate"
+#: The follower's one-way answer: its per-origin high-water offset, which
+#: the origin uses both as the replication watermark and as the trigger to
+#: re-send a range the follower reports missing (a dropped batch).
+KIND_REPLICATE_ACK = "replicate_ack"
+#: Round-trip backlog fetch: a shard replaying a durable subscription asks
+#: a sibling for the sibling's own records (conformance-filtered server
+#: side) that the local log and replica set are missing.
+KIND_BACKLOG_FETCH = "backlog_fetch"
+#: Round-trip recovery catch-up: a restarted shard whose log was lost asks
+#: its followers for the replicated copy of its own records.
+KIND_REPLICA_PULL = "replica_pull"
 
 #: Safety bound on the materialisation loop (one fetch per unknown type).
 _MAX_CODE_FETCHES = 64

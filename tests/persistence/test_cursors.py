@@ -162,3 +162,37 @@ class TestCursorGC:
         assert store.get("old") == 7
         assert store.incarnation == 1
         assert store.prune(max_idle_incarnations=1) == ["old"]
+
+
+class TestForeignFetchCursors:
+    """Fetch cursors: positions in a *sibling shard's* offset space."""
+
+    def test_origin_cursors_excluded_from_min_offset(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        store.register("c", peer_id="p")
+        store.advance("c", 3)
+        store.register("c@s1", peer_id="p", origin="s1", base="c")
+        store.advance("c@s1", 99)  # a foreign offset, far ahead
+        assert store.min_offset() == 3  # the local floor ignores it
+
+    def test_derived_lists_the_cursor_family(self, tmp_path):
+        store = CursorStore(str(tmp_path / "cursors.json"))
+        store.register("c", peer_id="p")
+        store.register("c@s1", peer_id="p", origin="s1", base="c")
+        store.register("c@s2", peer_id="p", origin="s2", base="c")
+        store.register("other", peer_id="p")
+        assert store.derived("c") == ["c@s1", "c@s2"]
+        assert store.derived("other") == []
+
+    def test_origin_metadata_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "cursors.json")
+        store = CursorStore(path)
+        store.register("c@s1", peer_id="p", origin="s1", base="c")
+        store.advance("c@s1", 7)
+        store.flush()
+        reopened = CursorStore(path)
+        entry = reopened.entry("c@s1")
+        assert entry["origin"] == "s1"
+        assert entry["base"] == "c"
+        assert reopened.get("c@s1") == 7
+        assert reopened.derived("c") == ["c@s1"]

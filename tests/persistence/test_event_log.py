@@ -240,3 +240,45 @@ class TestOffsetMonotonicityAcrossTotalLoss:
         assert recovered.record_count == 0
         assert recovered.next_offset == base  # not 0
         assert recovered.append(b"fresh") == base
+
+
+class TestAppendAt:
+    """Idempotent at-offset appends — the replica-log write path."""
+
+    def test_append_at_explicit_offsets(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        assert log.append_at(0, b"a") == 0
+        assert log.append_at(1, b"b") == 1
+        assert log.next_offset == 2
+        assert [r.payload for r in log.replay()] == [b"a", b"b"]
+
+    def test_below_high_water_is_skipped(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append_at(0, b"a")
+        log.append_at(1, b"b")
+        assert log.append_at(0, b"dup") is None
+        assert log.append_at(1, b"dup") is None
+        assert log.duplicate_appends == 2
+        assert [r.payload for r in log.replay()] == [b"a", b"b"]
+        assert log.stats()["duplicate_appends"] == 2
+
+    def test_holes_are_legal_and_survive_reopen(self, tmp_path):
+        """Origin-side compaction holes reach followers as offset gaps;
+        the recovery scan (which tolerates compaction holes) must accept
+        them."""
+        log = EventLog(str(tmp_path))
+        log.append_at(0, b"a")
+        log.append_at(4, b"b", origin="p")
+        assert log.next_offset == 5
+        log.close()
+        reopened = EventLog(str(tmp_path))
+        assert [r.offset for r in reopened.replay()] == [0, 4]
+        assert reopened.read(4).origin == "p"
+        assert reopened.next_offset == 5
+
+    def test_append_at_interleaves_with_append(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append(b"a")                 # offset 0
+        assert log.append_at(3, b"b") == 3
+        assert log.append(b"c") == 4     # continues after the jump
+        assert [r.offset for r in log.replay()] == [0, 3, 4]

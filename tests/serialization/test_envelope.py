@@ -188,3 +188,34 @@ class TestBatchEnvelopes:
         broken = data.replace(b'roots="0"', b'roots="3"')
         with pytest.raises(WireFormatError, match="out of range"):
             codec.parse(broken)
+
+
+class TestHomeAttribute:
+    """Per-value home-record provenance (mesh replication/fetch dedup)."""
+
+    def test_home_round_trips(self, runtime):
+        from repro.serialization.envelope import (
+            decode_home,
+            encode_home,
+            envelope_home,
+        )
+        codec = EnvelopeCodec(runtime)
+        events = [runtime.new_instance("demo.a.Person", ["h%d" % i])
+                  for i in range(3)]
+        envelope = codec.wrap_batch(events, origin="pub")
+        envelope.home = encode_home("shard0", [4, None, 6])
+        data = codec.envelope_to_bytes(envelope)
+        assert codec.parse(data).home == "shard0|4,-,6"
+        assert envelope_home(data) == ("shard0", [4, None, 6])
+        assert decode_home("s|1,2") == ("s", [1, 2])
+        assert decode_home("garbage") is None
+        assert decode_home("s|1,x") is None
+
+    def test_absent_home_reads_none(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        data = codec.encode_batch(
+            [runtime.new_instance("demo.a.Person", ["n"])])
+        from repro.serialization.envelope import envelope_home
+        assert envelope_home(data) is None
+        assert envelope_home(b"not xml") is None
+        assert codec.parse(data).home is None

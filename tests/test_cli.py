@@ -153,3 +153,65 @@ class TestLogInspect:
         code, output = run(["log", "inspect", "/no/such/log"])
         assert code == 2
         assert "error:" in output
+
+
+class TestLogReplicas:
+    @pytest.fixture
+    def mesh_log_root(self, tmp_path):
+        from repro.apps.tps import BrokerMesh, TpsPeer
+        from repro.fixtures import person_assembly_pair, person_java
+        from repro.net.network import SimulatedNetwork
+
+        network = SimulatedNetwork()
+        mesh = BrokerMesh(network, shard_count=3,
+                          log_root=str(tmp_path / "logs"),
+                          replication_factor=1)
+        publisher = TpsPeer("pub", network)
+        asm_a, _ = person_assembly_pair()
+        publisher.host_assembly(asm_a)
+        for shard_id in mesh.shard_ids:
+            publisher.publish_async(
+                shard_id, publisher.new_instance("demo.a.Person", ["x"]))
+        mesh.run_until_idle()
+        got = []
+        late = TpsPeer("late", network)
+        late.subscribe_durable_remote(mesh.shard_ids[0], person_java(),
+                                      got.append, cursor="late-c")
+        mesh.run_until_idle()
+        mesh.close()
+        return str(tmp_path / "logs"), mesh.shard_ids
+
+    def test_replicas_lists_per_origin_logs(self, mesh_log_root):
+        import os
+        log_root, shard_ids = mesh_log_root
+        listed = 0
+        for shard_id in shard_ids:
+            directory = os.path.join(log_root, shard_id)
+            if not os.path.isdir(os.path.join(directory, "replicas")):
+                continue
+            code, output = run(["log", "replicas", directory])
+            assert code == 0
+            assert "own records" in output
+            assert "origin(s)" in output
+            assert "high-water" in output
+            listed += 1
+        assert listed >= 1  # replication really placed replicas somewhere
+
+    def test_replicas_without_directory(self, mesh_log_root):
+        import os
+        log_root, shard_ids = mesh_log_root
+        # An events-only broker dir (no replicas/) reports none.
+        bare = os.path.join(log_root, "bare")
+        os.makedirs(os.path.join(bare, "events"))
+        code, output = run(["log", "replicas", bare])
+        assert code == 0
+        assert "none" in output
+
+    def test_inspect_marks_fetch_cursors(self, mesh_log_root):
+        import os
+        log_root, shard_ids = mesh_log_root
+        code, output = run(["log", "inspect",
+                            os.path.join(log_root, shard_ids[0])])
+        assert code == 0
+        assert "late-c" in output
+        assert "fetched below" in output  # the per-sibling fetch cursors
