@@ -40,6 +40,59 @@ class TestEnvelopeCost:
         assert restored.GetName() == "Benchmark"
 
 
+class TestHeaderOnlyParse:
+    """The zero-copy hot path consumes only the self-delimiting header
+    prefix of an ``XME2`` frame — routing, forwarding and replication
+    never touch the payload.  These measure that asymmetry on a 50-value
+    batch record (the shape the mesh actually moves)."""
+
+    BATCH = 50
+
+    def _batch_frame(self, runtime):
+        codec = EnvelopeCodec(runtime, encoding="binary")
+        values = [runtime.new_instance("demo.a.Person", ["h%d" % i])
+                  for i in range(self.BATCH)]
+        return codec, codec.encode_batch(values, origin="bench")
+
+    def test_header_only_parse(self, benchmark, runtime):
+        benchmark.extra_info["experiment"] = "zero-copy-header-parse"
+        codec, data = self._batch_frame(runtime)
+        envelope = benchmark(lambda: codec.parse(data))
+        assert envelope.batch_count == self.BATCH
+        benchmark.extra_info["frame_bytes"] = len(data)
+        benchmark.extra_info["codec"] = codec.stats.as_dict()
+
+    def test_full_decode(self, benchmark, runtime):
+        benchmark.extra_info["experiment"] = "zero-copy-full-decode"
+        codec, data = self._batch_frame(runtime)
+        values = benchmark(lambda: codec.unwrap_batch(codec.parse(data)))
+        assert len(values) == self.BATCH
+        benchmark.extra_info["codec"] = codec.stats.as_dict()
+
+    def test_header_parse_at_least_5x_cheaper_than_decode(self, runtime):
+        """The gate: a header-only parse of a batch record must cost at
+        most a fifth of parse + full value decode."""
+        import time
+
+        codec, data = self._batch_frame(runtime)
+        codec.unwrap_batch(codec.parse(data))  # warm both paths
+        n = 300
+        start = time.perf_counter()
+        for _ in range(n):
+            codec.parse(data)
+        header_only = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(n):
+            codec.unwrap_batch(codec.parse(data))
+        full = time.perf_counter() - start
+        assert header_only * 5 <= full, (
+            "header-only parse %.4fs vs full decode %.4fs (< 5x)"
+            % (header_only, full))
+        # The counters tell the two paths apart.
+        assert codec.stats.header_parses >= 2 * n
+        assert codec.stats.decodes >= self.BATCH * n
+
+
 class TestEnvelopeShape:
     def test_binary_payload_smaller_than_soap(self, runtime, person):
         binary = EnvelopeCodec(runtime, encoding="binary").encode(person)

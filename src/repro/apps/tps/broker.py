@@ -43,6 +43,7 @@ from ...describe.description import TypeDescription
 from ...describe.xml_codec import deserialize_description, serialize_description_bytes
 from ...net.network import NetworkError, SimulatedNetwork, UnknownPeerError
 from ...persistence import CursorStore, EventLog
+from ...serialization.errors import WireFormatError
 from ...transport.protocol import (
     KIND_DELIVERY_ACK,
     KIND_PUBLISH_ACK,
@@ -507,6 +508,7 @@ class TpsBroker(InteropPeer):
             },
             "routing": self.index.stats.as_dict(),
             "transport": self.transport_stats.as_dict(),
+            "codec": self.codec.stats.as_dict(),
         }
         if self.event_log is not None:
             snapshot["log"] = self.event_log.stats()
@@ -551,7 +553,12 @@ class TpsBroker(InteropPeer):
         acknowledged back to the publisher only after the append returned
         (extending at-least-once to the publisher).  Plain batches fall
         through to the ordinary per-value delivery path."""
-        envelope = self.codec.parse(payload)
+        try:
+            envelope = self.codec.parse(payload)
+        except WireFormatError:
+            # A coalesced multi-frame container (which never carries a
+            # publish token): the base handler splits and admits it.
+            return super()._handle_object_batch(payload, src)
         if envelope.publish_ack is None:
             return super()._handle_object_batch(payload, src)
         token = envelope.publish_ack

@@ -51,9 +51,16 @@ from ...net.network import (
 )
 from ...persistence import EventLog
 from ...persistence.log import LogRecord
-from ...serialization.envelope import decode_home, envelope_home
+from ...serialization.envelope import (
+    LazyBatch,
+    decode_home,
+    envelope_home,
+    split_frames,
+)
+from ...serialization.errors import WireFormatError
 from ...transport.protocol import (
     KIND_BACKLOG_FETCH,
+    KIND_PUBLISH_ACK,
     KIND_REPLICA_PULL,
     KIND_REPLICATE,
     KIND_REPLICATE_ACK,
@@ -176,6 +183,11 @@ class MeshShard(TpsBroker):
             ReplicaSet(os.path.join(log_dir, "replicas"))
             if log_dir is not None else None)
         self.replication: Optional[ReplicationStage] = None
+        #: The zero-copy hot path: admit publishes header-only and route,
+        #: log, forward and replicate the frame bytes without decoding
+        #: values.  ``lazy_admission=False`` restores the eager
+        #: materialize-everything path (the benchmark baseline).
+        self._lazy_admission = bool(kwargs.pop("lazy_admission", True))
         super().__init__(peer_id, network, **kwargs)
         self._siblings: List[str] = []
         #: Summaries of sibling shards' subscriptions: one refcounted
@@ -413,26 +425,110 @@ class MeshShard(TpsBroker):
 
     # -- routing (buffered by the pipeline's dispatch stage) ---------------
 
-    def _buffer_forwards(self, value: Any, origin: Optional[str],
-                         log_offset: Optional[int] = None) -> None:
-        """The pipeline's forwarder hook: buffer one copy of the event per
-        sibling shard hosting at least one conforming subscriber (routed
-        over the gossip summaries, so the decision reuses cached
-        conformance verdicts).  ``log_offset`` — the record this value was
-        appended in here — travels as the forward's ``home`` id, keeping
-        the receiving shard's copy attributable to this shard's log."""
-        targets = set()
-        for entry, summaries in self.summary_index.route(value.type_info):
-            for summary in summaries:
-                targets.add(summary.peer_id)
-        for shard_id in sorted(targets):
-            self.delivery.buffer_forward(shard_id, origin or "", value,
-                                         log_offset)
+    def _buffer_forwards(self, values: Any, origin: Optional[str],
+                         log_offset: Optional[int] = None,
+                         payload: Optional[bytes] = None) -> None:
+        """The pipeline's forwarder hook: buffer one copy of the record
+        per sibling shard hosting at least one conforming subscriber
+        (routed over the gossip summaries, so the decision reuses cached
+        conformance verdicts).  ``log_offset`` — the record's offset here
+        — travels as the forward's ``home`` id, keeping the receiving
+        shard's copy attributable to this shard's log.
+
+        A lazily-admitted record (``values`` is a
+        :class:`~repro.serialization.envelope.LazyBatch` with its frame in
+        ``payload``) is buffered as the frame itself, targeted on the
+        header's root types — forwarding costs zero value decodes.  The
+        eager path buffers per value, exactly as before.
+        """
+        if payload is not None and isinstance(values, LazyBatch):
+            targets = set()
+            for index in range(len(values)):
+                event_type = values.root_type(index)
+                if event_type is None:
+                    continue
+                for entry, summaries in self.summary_index.route(event_type):
+                    for summary in summaries:
+                        targets.add(summary.peer_id)
+            for shard_id in sorted(targets):
+                self.delivery.buffer_forward_frame(shard_id, payload,
+                                                   len(values), log_offset)
+            return
+        for value in values:
+            targets = set()
+            for entry, summaries in self.summary_index.route(value.type_info):
+                for summary in summaries:
+                    targets.add(summary.peer_id)
+            for shard_id in sorted(targets):
+                self.delivery.buffer_forward(shard_id, origin or "", value,
+                                             log_offset)
+
+    # -- publish admission (the zero-copy hot path) -------------------------
+
+    def _handle_object(self, payload: bytes, src: str) -> bytes:
+        if self._lazy_admission and self._admit_frame(payload, src,
+                                                      batch=False):
+            return b"OK"
+        return super()._handle_object(payload, src)
+
+    def _handle_object_batch(self, payload: bytes, src: str) -> bytes:
+        if self._lazy_admission and self._admit_frame(payload, src,
+                                                      batch=True):
+            return b"OK"
+        return super()._handle_object_batch(payload, src)
+
+    def _admit_frame(self, payload: bytes, src: str, batch: bool) -> bool:
+        """Header-only publish admission: when the frame's type section
+        resolves locally, the record is routed, logged, forwarded and
+        replicated as its *frame* — values decode only at final local
+        delivery, and a record with no in-process subscriber here crosses
+        the shard with zero value decodes.
+
+        Returns ``False`` to defer to the eager base handlers: unknown
+        types (the one-time code-fetch path), soap payloads, legacy
+        frames, or ack-bearing deliveries.
+        """
+        try:
+            envelope = self.codec.parse(payload)
+        except WireFormatError:
+            return False  # let the eager path raise the real error
+        if envelope.ack is not None:
+            return False  # delivery acks ride the base handler
+        lazy = self.pipeline.admission.lazy(envelope)
+        if lazy is None:
+            return False
+        token = envelope.publish_ack
+        origin = envelope.origin or src
+        # ONE header rewrite: the stored/forwarded frame names its
+        # publisher and never carries the publisher's ack token.
+        envelope.origin = origin
+        envelope.publish_ack = None
+        stored = self.codec.envelope_to_bytes(envelope)
+        self.transport_stats.objects_received += len(lazy)
+        if batch:
+            self.transport_stats.batches_received += 1
+        self.pipeline.process(lazy, origin, payload=stored,
+                              envelope=envelope, forward=True)
+        if token is not None:
+            try:
+                self.post_async(src, KIND_PUBLISH_ACK,
+                                token.encode("utf-8"))
+                self.transport_stats.publish_acks_sent += 1
+                self.pipeline.stats.publish_acks_sent += 1
+            except UnknownPeerError:
+                self.network.stats.record_drop()  # publisher left
+        return True
 
     def _handle_forward(self, payload: bytes, src: str) -> bytes:
+        for frame in split_frames(payload):
+            self._apply_forward(frame if isinstance(frame, bytes)
+                                else bytes(frame), src)
+        self.forwards_received += 1
+        return b"OK"
+
+    def _apply_forward(self, payload: bytes, src: str) -> None:
         envelope = self.codec.parse(payload)
         origin = envelope.origin or src
-        self.forwards_received += 1
         # Forwarded-in events are logged too — BEFORE materializing: this
         # shard's log is the full local-delivery history, and a transient
         # code-fetch failure below must not lose the record (the sender
@@ -447,11 +543,16 @@ class MeshShard(TpsBroker):
                 self._home_ids.update((decoded[0], offset)
                                       for offset in decoded[1]
                                       if offset is not None)
-        values = self.pipeline.admission.materialize(envelope, src)
+        values: Any = None
+        if self._lazy_admission:
+            # Zero-copy ingest: route on the header, deliver the frame.
+            values = self.pipeline.admission.lazy(envelope)
+        if values is None:
+            values = self.pipeline.admission.materialize(envelope, src)
         # Never re-forwarded: an event crosses at most one shard boundary.
-        self.pipeline.process(values, origin, log_offset=log_offset,
+        self.pipeline.process(values, origin, payload=payload,
+                              log_offset=log_offset,
                               pre_logged=True, forward=False)
-        return b"OK"
 
     # -- cross-shard replication (follower side) ---------------------------
 
@@ -510,21 +611,48 @@ class MeshShard(TpsBroker):
         for record in self.event_log.replay(request["from"], upto):
             if envelope_home(record.payload) is not None:
                 continue  # some other shard's record, forwarded here
-            values = self.pipeline.admission.materialize_record(
-                record, record.origin or src)
-            if values is None:
+            match = self._record_conforms(record, expected, src)
+            if match is None:
                 # Unservable right now (code unavailable): stop the scan
                 # short of it so the requester retries later instead of
                 # consuming past a record it never saw.
                 upto = record.offset
                 break
-            if self.pipeline.routing.conforming(values, expected):
+            if match:
                 records.append({"offset": record.offset,
                                 "origin": record.origin,
                                 "payload": record.payload})
         self.fetch_records_served += len(records)
         return self._wire_codec.serialize({"upto": upto, "first": first,
                                            "records": records})
+
+    def _record_conforms(self, record: LogRecord, expected: Any,
+                         src: str) -> Optional[bool]:
+        """Does any value of one stored record conform to ``expected``?
+
+        Header-only when the record's type section resolves locally (the
+        common case — this shard admitted it): the decision runs on the
+        header's root types through the same cached routing verdicts as
+        live publish, without decoding a single value.  Otherwise the
+        eager fallback materializes; ``None`` = unservable right now.
+        """
+        if self._lazy_admission:
+            try:
+                envelope = self.codec.parse(record.payload)
+            except WireFormatError:
+                envelope = None
+            if envelope is not None:
+                batch = self.pipeline.admission.lazy(envelope)
+                if batch is not None:
+                    index = self.pipeline.routing.index
+                    return any(
+                        index.lookup(batch.root_type(i), expected) is not None
+                        for i in range(len(batch)))
+        values = self.pipeline.admission.materialize_record(
+            record, record.origin or src)
+        if values is None:
+            return None
+        return bool(self.pipeline.routing.conforming(values, expected))
 
     def _handle_replica_pull(self, payload: bytes, src: str) -> bytes:
         """Serve the replicated copy of ``src``'s own records back to it —

@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...net.network import NetworkError, UnknownPeerError
 from ...persistence import CursorStore, EventLog
-from ...serialization.envelope import encode_home, envelope_home
+from ...serialization.envelope import LazyBatch, encode_home, envelope_home
 from ...transport.protocol import KIND_REPLICATE, ProtocolError
 from .routing import RouteEntry, RoutingIndex
 
@@ -76,10 +76,31 @@ def foreign_cursor_name(base: str, origin_shard: str) -> str:
     return "%s@%s" % (base, origin_shard)
 
 
-class PipelineStats:
-    """Counters shared by every stage of one pipeline."""
+def _merge_ack_windows(into: Dict[str, List[int]],
+                       acks: Optional[Dict[str, List[int]]]) -> None:
+    """Union per-cursor ``[start, end)`` offset windows in place — the ack
+    token of a coalesced flush message covers every record it carries."""
+    if not acks:
+        return
+    for name, window in acks.items():
+        have = into.get(name)
+        if have is None:
+            into[name] = [window[0], window[1]]
+        else:
+            have[0] = min(have[0], window[0])
+            have[1] = max(have[1], window[1])
 
-    __slots__ = (
+
+class PipelineStats:
+    """Counters shared by every stage of one pipeline.
+
+    ``codec`` optionally points at the host codec's
+    :class:`~repro.serialization.envelope.CodecStats`, so the zero-copy
+    invariants (value decodes vs header-only parses) surface in the same
+    snapshot as the pipeline counters.
+    """
+
+    _COUNTERS = (
         "events_routed",
         "events_replayed",
         "events_fetched",
@@ -92,16 +113,23 @@ class PipelineStats:
         "publish_acks_sent",
     )
 
-    def __init__(self):
-        for name in self.__slots__:
-            setattr(self, name, 0)
+    __slots__ = _COUNTERS + ("codec",)
 
-    def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+    def __init__(self):
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        self.codec = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {name: getattr(self, name)
+                               for name in self._COUNTERS}
+        if self.codec is not None:
+            out["codec"] = self.codec.as_dict()
+        return out
 
     def __repr__(self) -> str:
         return "PipelineStats(%s)" % ", ".join(
-            "%s=%d" % item for item in self.as_dict().items()
+            "%s=%r" % item for item in self.as_dict().items()
         )
 
 
@@ -137,6 +165,9 @@ class AdmissionStage:
     def __init__(self, host: Any, stats: Optional[PipelineStats] = None):
         self.host = host
         self.stats = stats if stats is not None else PipelineStats()
+        codec = getattr(host, "codec", None)
+        if codec is not None and getattr(codec, "stats", None) is not None:
+            self.stats.codec = codec.stats
 
     def parse(self, payload: bytes):
         return self.host.codec.parse(payload)
@@ -144,6 +175,15 @@ class AdmissionStage:
     def materialize(self, envelope: Any, src: str) -> List[Any]:
         """Envelope -> values; raises when code cannot be obtained."""
         return self.host._materialize_batch(envelope, src)
+
+    def lazy(self, envelope: Any) -> Optional[LazyBatch]:
+        """A header-driven batch over ``envelope`` — or ``None`` when the
+        lazy path is not safe: a type entry this runtime cannot resolve
+        (the eager path must fetch code) or a non-binary payload."""
+        batch = self.host.codec.lazy_batch(envelope)
+        if not batch.types_known():
+            return None
+        return batch
 
     def materialize_record(self, record: Any,
                            fallback_src: str) -> Optional[List[Any]]:
@@ -667,8 +707,9 @@ class DirectDelivery:
         self.host = host
         self.durability = durability
 
-    def begin(self, values: List[Any], origin: Optional[str],
-              log_offset: Optional[int], envelope: Any) -> dict:
+    def begin(self, values: Any, origin: Optional[str],
+              log_offset: Optional[int], envelope: Any,
+              payload: Optional[bytes] = None) -> dict:
         return {
             "values": values,
             "envelope": envelope,
@@ -714,6 +755,12 @@ class DirectDelivery:
             self.host.send_payload(subscription.peer_id, payload)
         return True
 
+    def remote_frame(self, ctx: dict, subscription: Any, batch: Any,
+                     index: int, log_offset: Optional[int]) -> bool:
+        """Lazy-batch fallback: direct dispatch has no frame relay, so the
+        value is materialized and travels the ordinary remote path."""
+        return self.remote(ctx, subscription, batch.value(index), log_offset)
+
     def finish(self, ctx: dict) -> None:
         pass
 
@@ -750,13 +797,25 @@ class BufferedDelivery:
         #: copy stays attributable to this shard's log record.
         self._forward_out: Dict[Tuple[str, str],
                                 List[Tuple[Any, Optional[int]]]] = {}
+        #: Frame-relay deliveries (the zero-copy path): destination peer
+        #: -> (frame bytes, value count, ack ranges) per record.  The
+        #: frame travels as-is — no value decode, no re-encode; only an
+        #: ack token re-renders the header.
+        self._frame_out: Dict[str, List[Tuple[bytes, int,
+                                              Dict[str, List[int]]]]] = {}
+        #: Frame-relay forwards: sibling shard -> (frame bytes, value
+        #: count, home-record offset) per record.
+        self._forward_frames: Dict[str, List[Tuple[bytes, int,
+                                                   Optional[int]]]] = {}
         self.batch_events = 0
         self.forwards_sent = 0
         self.forward_events = 0
 
-    def begin(self, values: List[Any], origin: Optional[str],
-              log_offset: Optional[int], envelope: Any) -> dict:
-        return {}
+    def begin(self, values: Any, origin: Optional[str],
+              log_offset: Optional[int], envelope: Any,
+              payload: Optional[bytes] = None) -> dict:
+        return {"payload": payload, "count": len(values),
+                "frame_acks": None}
 
     def remote(self, ctx: dict, subscription: Any, value: Any,
                log_offset: Optional[int]) -> bool:
@@ -772,45 +831,89 @@ class BufferedDelivery:
                 window[1] = max(window[1], log_offset + 1)
         return True
 
+    def remote_frame(self, ctx: dict, subscription: Any, batch: Any,
+                     index: int, log_offset: Optional[int]) -> bool:
+        """Queue the record's *frame* for a destination peer, verbatim.
+
+        The whole record travels once per peer however many of its values
+        (or the peer's subscriptions) match — the receiver's own admission
+        gate filters per value, header-only.  Without a frame (no payload
+        reached the pipeline) the value path is used instead.
+        """
+        payload = ctx["payload"]
+        if payload is None:
+            return self.remote(ctx, subscription, batch.value(index),
+                               log_offset)
+        frame_acks = ctx["frame_acks"]
+        if frame_acks is None:
+            frame_acks = ctx["frame_acks"] = {}
+        peer_acks = frame_acks.get(subscription.peer_id)
+        if peer_acks is None:
+            peer_acks = frame_acks[subscription.peer_id] = {}
+        cursor = cursor_name_of(subscription)
+        if log_offset is not None and cursor is not None:
+            window = peer_acks.get(cursor)
+            if window is None:
+                peer_acks[cursor] = [log_offset, log_offset + 1]
+            else:
+                window[0] = min(window[0], log_offset)
+                window[1] = max(window[1], log_offset + 1)
+        return True
+
     def finish(self, ctx: dict) -> None:
-        pass
+        frame_acks = ctx.get("frame_acks")
+        if not frame_acks:
+            return
+        payload = ctx["payload"]
+        count = ctx["count"]
+        for peer_id, acks in frame_acks.items():
+            self._frame_out.setdefault(peer_id, []).append(
+                (payload, count, acks))
 
     def buffer_forward(self, shard_id: str, origin: str, value: Any,
                        log_offset: Optional[int] = None) -> None:
         self._forward_out.setdefault((shard_id, origin), []).append(
             (value, log_offset))
 
+    def buffer_forward_frame(self, shard_id: str, payload: bytes, count: int,
+                             log_offset: Optional[int] = None) -> None:
+        """Queue one record's frame for a sibling shard — forwarded
+        verbatim (plus a ``home`` stamp at flush), zero value decodes."""
+        self._forward_frames.setdefault(shard_id, []).append(
+            (payload, count, log_offset))
+
     def pending(self) -> int:
         return (sum(len(events) for events in self._outgoing.values())
-                + sum(len(events) for events in self._forward_out.values()))
+                + sum(len(events) for events in self._forward_out.values())
+                + sum(len(frames) for frames in self._frame_out.values())
+                + sum(len(frames)
+                      for frames in self._forward_frames.values()))
 
     def flush(self) -> int:
-        """Encode and enqueue one batch message per buffered destination.
+        """Encode and enqueue ONE message per buffered destination.
 
-        Returns the number of network messages enqueued.  Identical event
-        lists bound for different peers share one encoding (and therefore
-        the same payload bytes).  The messages travel when the network
-        scheduler drains — delivery stays out of every publisher's stack.
+        Returns the number of network messages enqueued.  A destination
+        with both value-path events (the eager fallback) and frame-relay
+        records gets them joined into a single multi-frame container —
+        record frames travel verbatim (zero value decodes), and the
+        one-message-per-destination batching economy is preserved.  One
+        ack token covers every durable window in the message; stamping it
+        re-renders a single frame's header, never a payload.  Identical
+        event lists bound for different peers share one encoding.
         """
         #: Wrapped (binary-serialized) envelopes by content; the XML shell
-        #: is rendered per destination only when an ack token personalises
-        #: it — identical ack-free batches still share final bytes.
+        #: is shared across destinations — ack tokens are stamped on one
+        #: frame of the outgoing container, not rendered per batch.
         wrapped: Dict[Tuple[Optional[str], Tuple[int, ...]], Any] = {}
         encoded: Dict[Tuple[Optional[str], Tuple[int, ...]], bytes] = {}
         codec = self.host.codec
 
-        def encode(values: List[Any], origin: Optional[str],
-                   ack: Optional[str] = None) -> bytes:
+        def encode(values: List[Any], origin: Optional[str]) -> bytes:
             key = (origin, tuple(id(value) for value in values))
             envelope = wrapped.get(key)
             if envelope is None:
                 envelope = wrapped[key] = codec.wrap_batch(values,
                                                            origin=origin)
-            if ack is not None:
-                envelope.ack = ack
-                payload = codec.envelope_to_bytes(envelope)
-                envelope.ack = None
-                return payload
             payload = encoded.get(key)
             if payload is None:
                 payload = encoded[key] = codec.envelope_to_bytes(envelope)
@@ -818,31 +921,64 @@ class BufferedDelivery:
 
         sent = 0
         tracker = self.durability.tracker if self.durability else None
+        #: Per peer: frames to join, total event count, merged ack windows.
+        relay: Dict[str, Tuple[List[bytes], List[int],
+                               Dict[str, List[int]]]] = {}
+
+        def relay_slot(dst: str):
+            slot = relay.get(dst)
+            if slot is None:
+                slot = relay[dst] = ([], [0], {})
+            return slot
+
         for dst, values in self._outgoing.items():
-            acks = self._outgoing_acks.get(dst)
+            frames, events, acks = relay_slot(dst)
+            frames.append(encode(values, None))
+            events[0] += len(values)
+            _merge_ack_windows(acks, self._outgoing_acks.get(dst))
+        for dst, buffered in self._frame_out.items():
+            frames, events, acks = relay_slot(dst)
+            for payload, count, record_acks in buffered:
+                frames.append(payload)
+                events[0] += count
+                _merge_ack_windows(acks, record_acks)
+        for dst, (frames, events, acks) in relay.items():
             token: Optional[str] = None
             if acks and tracker is not None:
-                # The batch covers durable subscriptions: its ack advances
-                # their cursors through the logged offset ranges.
+                # The message covers durable subscriptions: its ack
+                # advances their cursors through the logged offset ranges.
                 token = tracker.issue(dst, tuple(
                     (name, window[0], window[1])
                     for name, window in sorted(acks.items())))
+            if token is not None:
+                frames = frames[:-1] + [codec.reframe(frames[-1], ack=token)]
             try:
-                self.host.send_payload_batch(dst, encode(values, None, token),
-                                             len(values))
+                self.host.send_payload_batch(dst, codec.join_frames(frames),
+                                             events[0])
             except UnknownPeerError:
                 if token is not None:
                     tracker.discard(token)
                 self.host.network.stats.record_drop()  # destination left
                 continue
-            self.batch_events += len(values)
+            self.batch_events += events[0]
             sent += 1
         self._outgoing.clear()
         self._outgoing_acks.clear()
+        self._frame_out.clear()
         #: Forward payloads by content: the same events bound for several
         #: sibling shards share one encoding (home ids included — they
         #: name this shard's records, not the destination).
         forward_encoded: Dict[Tuple[str, Tuple[int, ...]], bytes] = {}
+        #: Per sibling shard: frames to join and total event count — one
+        #: mesh-forward message per destination shard per flush.
+        forward_msgs: Dict[str, Tuple[List[bytes], List[int]]] = {}
+
+        def forward_slot(shard_id: str):
+            slot = forward_msgs.get(shard_id)
+            if slot is None:
+                slot = forward_msgs[shard_id] = ([], [0])
+            return slot
+
         for (shard_id, origin), pairs in self._forward_out.items():
             key = (origin, tuple(id(value) for value, _ in pairs))
             payload = forward_encoded.get(key)
@@ -854,15 +990,37 @@ class BufferedDelivery:
                     envelope.home = encode_home(self.host.peer_id, offsets)
                 payload = forward_encoded[key] = \
                     codec.envelope_to_bytes(envelope)
+            frames, events = forward_slot(shard_id)
+            frames.append(payload)
+            events[0] += len(pairs)
+        # Frame forwards: one home-stamped copy per record (a pure header
+        # rewrite), shared across sibling shards.
+        stamped: Dict[int, bytes] = {}
+        for shard_id, buffered in self._forward_frames.items():
+            frames, events = forward_slot(shard_id)
+            for payload, count, log_offset in buffered:
+                out = stamped.get(id(payload))
+                if out is None:
+                    if log_offset is not None:
+                        out = codec.reframe(payload, home=encode_home(
+                            self.host.peer_id, [log_offset] * count))
+                    else:
+                        out = payload
+                    stamped[id(payload)] = out
+                frames.append(out)
+                events[0] += count
+        for shard_id, (frames, events) in forward_msgs.items():
             try:
-                self.host.post_async(shard_id, self.forward_kind, payload)
+                self.host.post_async(shard_id, self.forward_kind,
+                                     codec.join_frames(frames))
             except UnknownPeerError:
                 self.host.network.stats.record_drop()
                 continue
             self.forwards_sent += 1
-            self.forward_events += len(pairs)
+            self.forward_events += events[0]
             sent += 1
         self._forward_out.clear()
+        self._forward_frames.clear()
         return sent
 
 
@@ -873,10 +1031,16 @@ class LocalDelivery:
 
     isolate_failures = False
 
-    def begin(self, values, origin, log_offset, envelope) -> dict:
+    def begin(self, values, origin, log_offset, envelope,
+              payload=None) -> dict:
         return {}
 
     def remote(self, ctx, subscription, value, log_offset) -> bool:
+        raise NetworkError("local pipeline cannot deliver to remote "
+                           "subscription %r" % (subscription,))
+
+    def remote_frame(self, ctx, subscription, batch, index,
+                     log_offset) -> bool:
         raise NetworkError("local pipeline cannot deliver to remote "
                            "subscription %r" % (subscription,))
 
@@ -909,8 +1073,9 @@ class DeliveryPipeline:
                  durability: Optional[DurabilityStage] = None,
                  admission: Optional[AdmissionStage] = None,
                  stats: Optional[PipelineStats] = None,
-                 forwarder: Optional[Callable[[Any, str, Optional[int]],
-                                              None]] = None,
+                 forwarder: Optional[Callable[
+                     [Any, Optional[str], Optional[int], Optional[bytes]],
+                     None]] = None,
                  host: Any = None,
                  replication: Optional[ReplicationStage] = None):
         self.routing = routing
@@ -924,7 +1089,7 @@ class DeliveryPipeline:
 
     # -- live path --------------------------------------------------------
 
-    def process(self, values: List[Any], origin: Optional[str],
+    def process(self, values: Any, origin: Optional[str],
                 payload: Optional[bytes] = None,
                 envelope: Any = None,
                 log_offset: Optional[int] = None,
@@ -932,45 +1097,57 @@ class DeliveryPipeline:
                 forward: bool = False) -> Processed:
         """Run one admitted record through every stage.
 
-        ``payload`` (the encoded batch envelope) is appended to the log
-        when durability is enabled — unless ``pre_logged`` marks it
-        already appended (the forward path logs *before* materialization,
-        so a transient code-fetch failure cannot lose the record) with
-        ``log_offset`` carrying the record's offset.  ``envelope`` is the
-        wrapped form reused by direct durable deliveries.  ``forward``
-        routes each value through the pipeline's forwarder hook (the mesh
-        shard's summary-gated cross-shard buffering).
+        ``values`` is either a materialized list or a
+        :class:`~repro.serialization.envelope.LazyBatch` — the zero-copy
+        path, which routes on header types and decodes a value only when
+        an in-process handler actually receives it.  ``payload`` (the
+        encoded batch envelope) is appended to the log when durability is
+        enabled — unless ``pre_logged`` marks it already appended (the
+        forward path logs *before* materialization, so a transient
+        code-fetch failure cannot lose the record) with ``log_offset``
+        carrying the record's offset.  ``envelope`` is the wrapped form
+        reused by direct durable deliveries.  ``forward`` routes the
+        record through the pipeline's forwarder hook (the mesh shard's
+        summary-gated cross-shard buffering).
         """
+        lazy = isinstance(values, LazyBatch)
         if not pre_logged and self.durability is not None:
             if payload is None and self.replication is not None \
                     and self.durability.event_log is not None:
                 # Replication needs the encoded record bytes anyway:
                 # encode once here instead of appending values and
                 # re-reading the record off the log on the hot path.
-                payload = self.host.codec.encode_batch(values,
+                payload = self.host.codec.encode_batch(list(values),
                                                        origin=origin or "")
             if payload is not None:
                 log_offset = self.durability.append_payload(
                     payload, origin or "")
             else:
                 log_offset = self.durability.append_values(
-                    values, origin or "")
+                    list(values), origin or "")
         if not pre_logged and log_offset is not None \
                 and self.replication is not None and payload is not None:
             # Replication covers exactly the records this shard is the
             # home of — forwarded-in copies arrive ``pre_logged`` and are
-            # some other shard's responsibility.
+            # some other shard's responsibility.  The payload bytes go as
+            # they are: zero value decodes.
             self.replication.record_appended(log_offset, origin or "",
                                              payload)
         self.stats.records_processed += 1
         local_acks: Dict[str, bool] = {}
-        ctx = self.delivery.begin(values, origin, log_offset, envelope)
+        ctx = self.delivery.begin(values, origin, log_offset, envelope,
+                                  payload)
         deliveries = 0
-        for value in values:
-            deliveries += self._fan_out(ctx, value, origin, log_offset,
-                                        local_acks)
-            if forward and self.forwarder is not None:
-                self.forwarder(value, origin, log_offset)
+        if lazy:
+            for index in range(len(values)):
+                deliveries += self._fan_out_lazy(ctx, values, index, origin,
+                                                 log_offset, local_acks)
+        else:
+            for value in values:
+                deliveries += self._fan_out(ctx, value, origin, log_offset,
+                                            local_acks)
+        if forward and self.forwarder is not None:
+            self.forwarder(values, origin, log_offset, payload)
         self.delivery.finish(ctx)
         if self.durability is not None:
             self.durability.settle_local(local_acks, log_offset)
@@ -999,6 +1176,44 @@ class DeliveryPipeline:
                 else:
                     if not self.delivery.remote(ctx, subscription, value,
                                                 log_offset):
+                        continue
+                subscription.delivered += 1
+                self.stats.events_routed += 1
+                deliveries += 1
+        return deliveries
+
+    def _fan_out_lazy(self, ctx: dict, batch: LazyBatch, index: int,
+                      origin: Optional[str], log_offset: Optional[int],
+                      local_acks: Dict[str, bool]) -> int:
+        """Route one *undecoded* value: targets come from the header's
+        root type; the value itself is materialized only for in-process
+        handlers (final local delivery — the one paid decode).  Remote
+        subscribers get the record's frame relayed verbatim."""
+        event_type = batch.root_type(index)
+        if event_type is None:
+            return 0  # admission guarantees resolvability; defensive
+        deliveries = 0
+        views: Dict[int, Any] = {}
+        value: Any = None
+        for entry, subscriptions in self.routing.targets(event_type):
+            for subscription in subscriptions:
+                if origin is not None and subscription.peer_id == origin:
+                    continue  # do not echo events back to their publisher
+                if subscription.handler is not None:
+                    if value is None:
+                        value = batch.value(index)
+                    ok = self._deliver_local(subscription, entry, value,
+                                             log_offset, views)
+                    cursor = cursor_name_of(subscription)
+                    if log_offset is not None and cursor is not None:
+                        local_acks[cursor] = (local_acks.get(cursor, True)
+                                              and ok)
+                    if not ok:
+                        continue  # failures must not abort the fan-out
+                else:
+                    if not self.delivery.remote_frame(ctx, subscription,
+                                                      batch, index,
+                                                      log_offset):
                         continue
                 subscription.delivered += 1
                 self.stats.events_routed += 1

@@ -114,14 +114,17 @@ class _Segment:
         return len(self.offsets)
 
 
-def _encode_record(offset: int, origin: str, payload: bytes) -> bytes:
-    origin_bytes = origin.encode("utf-8")
+def _encode_record_prefix(offset: int, origin_bytes: bytes, payload) -> bytes:
+    """Header + origin prefix of one record.  The payload (any buffer —
+    CRC-32 accepts a ``memoryview``) is written separately, straight from
+    the caller's view, so appending a sliced frame never concatenates an
+    intermediate ``bytes`` copy."""
     crc = zlib.crc32(struct.pack(">Q", offset))
     crc = zlib.crc32(origin_bytes, crc)
     crc = zlib.crc32(payload, crc)
     header = _HEADER.pack(_RECORD_MAGIC, len(payload), crc & 0xFFFFFFFF,
                           offset, len(origin_bytes))
-    return header + origin_bytes + payload
+    return header + origin_bytes
 
 
 def _read_record_at(data: bytes, position: int) -> Optional[Tuple[LogRecord, int]]:
@@ -378,11 +381,13 @@ class EventLog:
     def size_bytes(self) -> int:
         return sum(segment.size for segment in self._segments)
 
-    def append(self, payload: bytes, origin: str = "") -> int:
-        """Durably append one record; returns its monotonic offset."""
+    def append(self, payload, origin: str = "") -> int:
+        """Durably append one record (``payload`` is any bytes-like
+        buffer, including a ``memoryview``); returns its monotonic
+        offset."""
         return self._append_record(self.next_offset, payload, origin)
 
-    def append_at(self, offset: int, payload: bytes,
+    def append_at(self, offset: int, payload,
                   origin: str = "") -> Optional[int]:
         """Idempotently append one record at an *explicit* offset.
 
@@ -403,15 +408,20 @@ class EventLog:
             return None
         return self._append_record(offset, payload, origin)
 
-    def _append_record(self, offset: int, payload: bytes, origin: str) -> int:
-        record = _encode_record(offset, origin, payload)
-        segment = self._writable_segment(len(record))
+    def _append_record(self, offset: int, payload, origin: str) -> int:
+        prefix = _encode_record_prefix(offset, origin.encode("utf-8"), payload)
+        record_size = len(prefix) + len(payload)
+        segment = self._writable_segment(record_size)
         handle = self._handle_for_append(segment)
         position = segment.size
-        handle.write(record)
+        # Two writes: the payload goes to the file straight from the
+        # caller's buffer (possibly a memoryview slice of a received
+        # frame) — no intermediate header+payload concatenation.
+        handle.write(prefix)
+        handle.write(payload)
         handle.flush()
         segment.offsets[offset] = position
-        segment.size += len(record)
+        segment.size += record_size
         self._index[offset] = segment
         self.next_offset = offset + 1
         self.appended += 1

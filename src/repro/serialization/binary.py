@@ -458,3 +458,94 @@ class BinarySerializer:
         if info is None:
             raise UnknownTypeError(type_name, str(guid))
         return info
+
+
+class BatchDecoder:
+    """Incremental, per-value reader over one ``RBS2B`` frame.
+
+    The batch frame shares a single intern table and one back-reference
+    space across all values, so random access is impossible — but *prefix*
+    access is cheap: decoding value ``i`` requires decoding values
+    ``0..i`` exactly once, and every decoded value is cached.  A consumer
+    that dispatches only value 0 of a 64-value batch pays one decode, not
+    sixty-four; a consumer that touches nothing pays zero.
+
+    A plain single-value frame (``RBS2``/``RBS1``) is accepted as a
+    one-value batch, so lazy admission handles every payload uniformly.
+
+    Each value decode snapshots the reader position and table lengths
+    first: an :class:`UnknownTypeError` raised mid-value (the optimistic
+    protocol's fetch-code cue) rolls the decoder back, so the same value
+    can be retried cleanly after the type arrives.
+    """
+
+    __slots__ = ("count", "_serializer", "_reader", "_tables", "_objects",
+                 "_values", "_single")
+
+    def __init__(self, serializer: BinarySerializer, data: Any):
+        if not isinstance(data, (bytes, bytearray)):
+            # memoryview payloads (zero-copy frame slices) are snapshotted
+            # once here: value decode is the paid path by definition.
+            data = bytes(data)
+        self._serializer = serializer
+        self._values: List[Any] = []
+        if data.startswith(_MAGIC_BATCH):
+            self._single = False
+            self._reader = _Reader(bytes(data))
+            self._reader.pos = len(_MAGIC_BATCH)
+            self.count = self._reader.read_varint()
+            self._tables = _DecodeTables()
+            self._objects: List[CtsInstance] = []
+        elif data.startswith(_MAGIC_V2) or data.startswith(_MAGIC_V1):
+            self._single = True
+            self._reader = _Reader(bytes(data))
+            self.count = 1
+            self._tables = None
+            self._objects = []
+        else:
+            raise WireFormatError("bad magic: not a binary payload")
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def decoded_count(self) -> int:
+        return len(self._values)
+
+    def value(self, index: int) -> Any:
+        """Decode (and cache) the batch prefix up to value ``index``."""
+        if not 0 <= index < self.count:
+            raise IndexError("batch value %d out of range (%d values)"
+                             % (index, self.count))
+        while len(self._values) <= index:
+            self._decode_next()
+        return self._values[index]
+
+    def values(self) -> List[Any]:
+        return [self.value(index) for index in range(self.count)]
+
+    def _decode_next(self) -> None:
+        if self._single:
+            self._values.append(self._serializer.deserialize(
+                bytes(self._reader.data)))
+            return
+        reader = self._reader
+        tables = self._tables
+        # Snapshot so an UnknownTypeError mid-value leaves the decoder
+        # exactly where this value started.
+        pos = reader.pos
+        n_strings = len(tables.strings)
+        n_types = len(tables.types)
+        n_objects = len(self._objects)
+        try:
+            value = self._serializer._decode(reader, self._objects, tables)
+        except UnknownTypeError:
+            reader.pos = pos
+            del tables.strings[n_strings:]
+            del tables.types[n_types:]
+            del self._objects[n_objects:]
+            raise
+        if (len(self._values) + 1 == self.count
+                and reader.pos != len(reader.data)):
+            raise WireFormatError("trailing bytes after batch payload")
+        self._values.append(value)

@@ -16,6 +16,19 @@ values share one intern table).  The ``<Payload>`` element carries
 ``batch`` (value count), ``roots`` (per-value index into the type
 section) and optionally ``origin`` (the peer the events were first
 published by, for broker meshes that must not echo events back).
+
+Frame layout (``XME2``, the current wire format)::
+
+    "XME2"  varint(header length)  header XML  payload bytes
+
+The header is the ``<XmlMessage>`` element *without* the payload text —
+a self-delimiting prefix carrying every routing decision input (type
+entries, batch roots, per-value compaction keys, origin/ack/home
+attributes).  Routing, replication, forwarding and log compaction read
+only this prefix; the payload after it is the raw serialized bytes,
+exposed by :meth:`EnvelopeCodec.parse` as a zero-copy ``memoryview``.
+The legacy all-XML frame (``<XmlMessage>`` with a base64 payload text,
+wire v1) is still parsed for old logs and old peers.
 """
 
 from __future__ import annotations
@@ -23,11 +36,13 @@ from __future__ import annotations
 import base64
 import hashlib
 import xml.etree.ElementTree as ET
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
 from urllib.parse import quote, unquote
 
+from ..cts.identity import Guid
 from ..cts.types import TypeInfo
-from .binary import BinarySerializer
+from .binary import BatchDecoder, BinarySerializer, _write_varint
 from .errors import WireFormatError
 from .graph import collect_types
 from .soap import SoapSerializer
@@ -35,6 +50,15 @@ from .soap import SoapSerializer
 #: Field names that designate a value's entity identity, in preference
 #: order; a type declaring none of them keys on its first declared field.
 _KEY_FIELD_NAMES = ("key", "id", "name", "owner")
+
+#: Magic of the framed envelope: header-prefix + raw payload bytes.
+_MAGIC_FRAME = b"XME2"
+
+#: Magic of a multi-frame container: several envelope frames, each
+#: varint-length-prefixed, travelling as one network message.
+_MAGIC_MULTI = b"XMEB"
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 def _type_digest(info: TypeInfo) -> str:
@@ -92,50 +116,28 @@ def _encode_keys(keys: Sequence[Optional[str]]) -> str:
                     for key in keys)
 
 
-def _decode_keys(text: str, count: int) -> Optional[List[Optional[str]]]:
+def _check_keys_text(text: str, count: int) -> None:
+    """Validate the *shape* of a ``keys`` attribute without decoding it.
+
+    Token count and sigils are checked at parse time (so malformed
+    headers fail exactly where they always did); the per-key
+    percent-decoding — the expensive part — is deferred until something
+    actually reads the keys (compaction, mostly).  Routing, forwarding
+    and replication never do."""
     tokens = text.split(" ") if text else []
     if len(tokens) != count:
         raise WireFormatError(
             "keys attribute holds %d entries, envelope declares %d values"
             % (len(tokens), count))
-    keys: List[Optional[str]] = []
     for token in tokens:
-        if token == "-":
-            keys.append(None)
-        elif token.startswith("_"):
-            keys.append(unquote(token[1:]))
-        else:
+        if token != "-" and not token.startswith("_"):
             raise WireFormatError("malformed keys token %r" % token)
-    return keys
 
 
-def envelope_record_keys(data: bytes) -> Optional[List[Optional[str]]]:
-    """The per-value compaction keys of one encoded envelope, or ``None``
-    when the message carries no ``keys`` attribute (records written
-    before key extraction existed, or batches of unkeyed values).
-
-    Reads only the ``<Payload>`` attributes — no payload decode, no
-    runtime, no type knowledge — so offline tools (``repro log compact``)
-    can key-compact a log they cannot materialize.  Unparseable data is
-    reported as unkeyed rather than raised: compaction must retain what
-    it cannot read.
-    """
-    try:
-        root = ET.fromstring(data)
-    except ET.ParseError:
-        return None
-    payload_el = root.find("Payload")
-    if payload_el is None:
-        return None
-    keys_attr = payload_el.get("keys")
-    if keys_attr is None:
-        return None
-    batch_attr = payload_el.get("batch")
-    try:
-        count = int(batch_attr) if batch_attr is not None else 1
-        return _decode_keys(keys_attr, count)
-    except (ValueError, WireFormatError):
-        return None
+def _decode_keys(text: str, count: int) -> Optional[List[Optional[str]]]:
+    _check_keys_text(text, count)
+    return [None if token == "-" else unquote(token[1:])
+            for token in (text.split(" ") if text else [])]
 
 
 def encode_home(shard_id: str, offsets: Sequence[Optional[int]]) -> str:
@@ -163,27 +165,279 @@ def decode_home(text: str) -> Optional[Tuple[str, List[Optional[int]]]]:
     return shard_id, offsets
 
 
-def envelope_home(data: bytes) -> Optional[Tuple[str, List[Optional[int]]]]:
+class CodecStats:
+    """Observability counters of one :class:`EnvelopeCodec`.
+
+    ``decodes`` counts *value-level* decodes — the expensive operation the
+    zero-copy hot path exists to avoid; ``header_parses`` counts
+    header-only envelope parses (the cheap operation that replaces them);
+    ``header_parse_errors`` counts malformed headers swallowed by the
+    lenient readers (:func:`parse_frame_header` and friends);
+    ``buffer_pool_hits`` counts encode buffers served from the reuse pool
+    instead of freshly allocated.
+    """
+
+    _COUNTERS = ("decodes", "header_parses", "header_parse_errors",
+                 "buffer_pool_hits")
+
+    __slots__ = _COUNTERS
+
+    def __init__(self):
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self._COUNTERS}
+
+    def __repr__(self) -> str:
+        return "CodecStats(%s)" % ", ".join(
+            "%s=%d" % (name, getattr(self, name)) for name in self._COUNTERS)
+
+
+class _BufferPool:
+    """A tiny free-list of encode buffers.
+
+    ``envelope_to_bytes``/``reframe`` borrow a ``bytearray``, build the
+    frame in it and return an immutable ``bytes`` copy; the scratch buffer
+    goes back to the pool so steady-state encoding reuses a warm buffer
+    (and its grown capacity) instead of allocating one per record.
+    """
+
+    _MAX_FREE = 4
+
+    __slots__ = ("_free", "_stats")
+
+    def __init__(self, stats: Optional[CodecStats] = None):
+        self._free: List[bytearray] = []
+        self._stats = stats
+
+    def acquire(self) -> bytearray:
+        if self._free:
+            if self._stats is not None:
+                self._stats.buffer_pool_hits += 1
+            return self._free.pop()
+        return bytearray()
+
+    def release(self, buf: bytearray) -> None:
+        if len(self._free) < self._MAX_FREE:
+            del buf[:]
+            self._free.append(buf)
+
+
+def _read_varint_at(data: Buffer, pos: int) -> Tuple[int, int]:
+    """Read one varint out of a buffer; returns ``(value, next position)``."""
+    shift = 0
+    value = 0
+    size = len(data)
+    while True:
+        if pos >= size:
+            raise WireFormatError("truncated frame header length")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise WireFormatError("frame header length varint too long")
+
+
+def split_frames(data: Buffer) -> List[Buffer]:
+    """Split a multi-frame container into its envelope frames.
+
+    A message that is not a container (a plain ``XME2`` or legacy frame)
+    passes through unchanged as a one-element list — senders only pay
+    the container prefix when they actually coalesce several records
+    into one message (see :meth:`EnvelopeCodec.join_frames`).
+    """
+    if bytes(data[:4]) != _MAGIC_MULTI:
+        return [data]
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    frames: List[Buffer] = []
+    pos = len(_MAGIC_MULTI)
+    total = len(view)
+    while pos < total:
+        length, pos = _read_varint_at(view, pos)
+        end = pos + length
+        if end > total:
+            raise WireFormatError("truncated frame container")
+        frames.append(view[pos:end])
+        pos = end
+    if not frames:
+        raise WireFormatError("empty frame container")
+    return frames
+
+
+class FrameHeader:
+    """The routing-relevant prefix of one encoded envelope.
+
+    Everything a shard needs to route, forward, replicate, compact or
+    classify a record — without touching the payload.  ``payload_offset``
+    is the byte position the raw payload starts at for ``XME2`` frames,
+    or ``None`` for legacy all-XML frames (whose payload is base64 text
+    and has no zero-copy representation).
+    """
+
+    __slots__ = ("type_entries", "encoding", "batch_roots", "origin", "ack",
+                 "publish_ack", "_keys", "_keys_text", "home",
+                 "payload_offset")
+
+    def __init__(self, type_entries, encoding, batch_roots, origin, ack,
+                 publish_ack, keys_text, home, payload_offset):
+        self.type_entries = type_entries
+        self.encoding = encoding
+        self.batch_roots = batch_roots
+        self.origin = origin
+        self.ack = ack
+        self.publish_ack = publish_ack
+        self._keys: Optional[List[Optional[str]]] = None
+        self._keys_text = keys_text
+        self.home = home
+        self.payload_offset = payload_offset
+
+    @property
+    def batch_count(self) -> int:
+        return len(self.batch_roots) if self.batch_roots is not None else 1
+
+    @property
+    def keys(self) -> Optional[List[Optional[str]]]:
+        """Per-value record keys, percent-decoded on first access."""
+        if self._keys is None and self._keys_text is not None:
+            self._keys = _decode_keys(self._keys_text, self.batch_count)
+        return self._keys
+
+
+def _split_frame(data: Buffer) -> Tuple[bytes, Optional[memoryview]]:
+    """Split an encoded envelope into (header XML bytes, payload view).
+
+    The payload view is ``None`` for legacy all-XML frames.  Raises
+    :class:`WireFormatError` for anything else.
+    """
+    prefix = bytes(data[:4]) if isinstance(data, memoryview) else bytes(data[:4])
+    if prefix == _MAGIC_FRAME:
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        header_len, pos = _read_varint_at(view, len(_MAGIC_FRAME))
+        end = pos + header_len
+        if end > len(view):
+            raise WireFormatError("truncated frame header")
+        return bytes(view[pos:end]), view[end:]
+    if prefix[:1] == b"<":
+        return bytes(data), None
+    raise WireFormatError("not an envelope frame")
+
+
+def _parse_header_strict(data: Buffer) -> FrameHeader:
+    header_bytes, payload = _split_frame(data)
+    try:
+        root = ET.fromstring(header_bytes)
+    except ET.ParseError as exc:
+        raise WireFormatError("invalid envelope header XML: %s" % exc)
+    if root.tag != "XmlMessage":
+        raise WireFormatError("expected <XmlMessage>, found <%s>" % root.tag)
+    type_info = root.find("TypeInformation")
+    entries: List[TypeEntry] = []
+    if type_info is not None:
+        for element in type_info.findall("Type"):
+            name = element.get("name")
+            guid_text = element.get("guid")
+            if not name or not guid_text:
+                raise WireFormatError("<Type> missing name/guid")
+            entries.append(
+                TypeEntry(name, guid_text, element.get("assembly", "default"),
+                          element.get("path"))
+            )
+    payload_el = root.find("Payload")
+    if payload_el is None:
+        raise WireFormatError("envelope missing <Payload>")
+    encoding = payload_el.get("encoding", "binary")
+    if encoding not in ("binary", "soap"):
+        raise WireFormatError("unknown payload encoding %r" % encoding)
+    batch_roots: Optional[List[int]] = None
+    batch_attr = payload_el.get("batch")
+    if batch_attr is not None:
+        try:
+            count = int(batch_attr)
+            batch_roots = [int(part) for part in
+                           (payload_el.get("roots") or "").split()]
+        except ValueError:
+            raise WireFormatError("malformed batch attributes")
+        if count != len(batch_roots):
+            raise WireFormatError(
+                "batch count %d does not match %d roots"
+                % (count, len(batch_roots))
+            )
+        for index in batch_roots:
+            if not 0 <= index < len(entries):
+                raise WireFormatError("batch root %d out of range" % index)
+    keys_text = payload_el.get("keys")
+    if keys_text is not None:
+        _check_keys_text(keys_text,
+                         len(batch_roots) if batch_roots is not None else 1)
+    payload_offset = None
+    if payload is not None:
+        payload_offset = len(data) - len(payload)
+    return FrameHeader(entries, encoding, batch_roots,
+                       payload_el.get("origin"), payload_el.get("ack"),
+                       payload_el.get("publish_ack"), keys_text,
+                       payload_el.get("home"), payload_offset)
+
+
+def parse_frame_header(data: Buffer,
+                       stats: Optional[CodecStats] = None) -> Optional[FrameHeader]:
+    """Read just the header prefix of one encoded envelope.
+
+    The uniform lenient entry point for mid-pipeline header reads: *any*
+    malformed input — truncated frame, legacy XML that does not parse,
+    corrupt attributes — returns ``None`` (counting one
+    ``header_parse_errors`` on ``stats``) and never raises.  Both the
+    ``XME2`` frame and the legacy all-XML envelope are accepted.
+    """
+    try:
+        header = _parse_header_strict(data)
+    except (WireFormatError, ValueError, TypeError):
+        if stats is not None:
+            stats.header_parse_errors += 1
+        return None
+    if stats is not None:
+        stats.header_parses += 1
+    return header
+
+
+def envelope_record_keys(data: Buffer,
+                         stats: Optional[CodecStats] = None,
+                         ) -> Optional[List[Optional[str]]]:
+    """The per-value compaction keys of one encoded envelope, or ``None``
+    when the message carries no ``keys`` attribute (records written
+    before key extraction existed, or batches of unkeyed values).
+
+    Reads only the header prefix — no payload decode, no runtime, no type
+    knowledge — so offline tools (``repro log compact``) can key-compact
+    a log they cannot materialize.  Unparseable data is reported as
+    unkeyed rather than raised: compaction must retain what it cannot
+    read.
+    """
+    header = parse_frame_header(data, stats=stats)
+    if header is None:
+        return None
+    return header.keys
+
+
+def envelope_home(data: Buffer,
+                  stats: Optional[CodecStats] = None,
+                  ) -> Optional[Tuple[str, List[Optional[int]]]]:
     """The home-record provenance of one encoded envelope: the shard id
     the content was first durably appended at and the per-value record
     offsets there, or ``None`` when the message carries no ``home``
     attribute (a record the storing shard itself is the home of).
 
-    Like :func:`envelope_record_keys`, this reads only the ``<Payload>``
-    attributes — no payload decode, no runtime — so a shard can classify
-    its stored records (own vs forwarded-in) without materializing them.
+    Like :func:`envelope_record_keys`, this reads only the header prefix
+    — no payload decode, no runtime — so a shard can classify its stored
+    records (own vs forwarded-in) without materializing them.
     """
-    try:
-        root = ET.fromstring(data)
-    except ET.ParseError:
+    header = parse_frame_header(data, stats=stats)
+    if header is None or header.home is None:
         return None
-    payload_el = root.find("Payload")
-    if payload_el is None:
-        return None
-    home_attr = payload_el.get("home")
-    if home_attr is None:
-        return None
-    return decode_home(home_attr)
+    return decode_home(header.home)
 
 
 class TypeEntry:
@@ -209,32 +463,37 @@ class TypeEntry:
 class ObjectEnvelope:
     """A parsed (or to-be-sent) hybrid message.
 
-    ``batch_roots`` is ``None`` for a classic single-object envelope; for
-    a batch it lists, per batched value, the index of that value's root
-    type in :attr:`type_entries`.  ``origin`` optionally names the peer
-    the content was first published by (meshes forward on its behalf).
-    ``ack`` optionally carries an opaque acknowledgement token: a receiver
-    that processes the message echoes the token back to the sender, which
-    uses it to advance durable replay cursors.  ``publish_ack`` is the
-    publisher-side counterpart: a broker that durably appends the batch
-    echoes the token back to the publisher.  ``keys`` optionally carries,
-    per batched value, its compaction key (see :func:`entity_key`) —
-    stored with the record so key-aware log compaction can decide
-    latest-state without materializing (or even knowing) the types.
-    ``home`` optionally identifies, per batched value, the log record the
-    value was first durably appended in — ``"<shard id>|o1,o2,..."`` with
-    one home-shard offset (or ``-``) per value — so a mesh shard storing
-    a forwarded-in copy can later recognise the same record arriving
-    again by replication or backlog fetch and not deliver it twice.
+    ``payload`` holds the serialized value bytes — a ``memoryview`` into
+    the received frame when parsed from an ``XME2`` message (zero-copy),
+    plain ``bytes`` otherwise.  ``batch_roots`` is ``None`` for a classic
+    single-object envelope; for a batch it lists, per batched value, the
+    index of that value's root type in :attr:`type_entries`.  ``origin``
+    optionally names the peer the content was first published by (meshes
+    forward on its behalf).  ``ack`` optionally carries an opaque
+    acknowledgement token: a receiver that processes the message echoes
+    the token back to the sender, which uses it to advance durable replay
+    cursors.  ``publish_ack`` is the publisher-side counterpart: a broker
+    that durably appends the batch echoes the token back to the
+    publisher.  ``keys`` optionally carries, per batched value, its
+    compaction key (see :func:`entity_key`) — stored with the record so
+    key-aware log compaction can decide latest-state without
+    materializing (or even knowing) the types.  ``home`` optionally
+    identifies, per batched value, the log record the value was first
+    durably appended in — ``"<shard id>|o1,o2,..."`` with one home-shard
+    offset (or ``-``) per value — so a mesh shard storing a forwarded-in
+    copy can later recognise the same record arriving again by
+    replication or backlog fetch and not deliver it twice.
     """
 
-    def __init__(self, type_entries: List[TypeEntry], encoding: str, payload: bytes,
+    def __init__(self, type_entries: List[TypeEntry], encoding: str,
+                 payload: Buffer,
                  batch_roots: Optional[List[int]] = None,
                  origin: Optional[str] = None,
                  ack: Optional[str] = None,
                  publish_ack: Optional[str] = None,
                  keys: Optional[List[Optional[str]]] = None,
-                 home: Optional[str] = None):
+                 home: Optional[str] = None,
+                 keys_text: Optional[str] = None):
         self.type_entries = type_entries
         self.encoding = encoding  # "binary" | "soap"
         self.payload = payload
@@ -242,7 +501,8 @@ class ObjectEnvelope:
         self.origin = origin
         self.ack = ack
         self.publish_ack = publish_ack
-        self.keys = keys
+        self._keys = keys
+        self._keys_text = keys_text if keys is None else None
         self.home = home
 
     @property
@@ -252,6 +512,36 @@ class ObjectEnvelope:
     @property
     def batch_count(self) -> int:
         return len(self.batch_roots) if self.batch_roots is not None else 1
+
+    @property
+    def keys(self) -> Optional[List[Optional[str]]]:
+        """Per-value record keys, percent-decoded on first access (a
+        parsed envelope keeps the raw attribute text until then)."""
+        if self._keys is None and self._keys_text is not None:
+            self._keys = _decode_keys(self._keys_text, self.batch_count)
+        return self._keys
+
+    @keys.setter
+    def keys(self, value: Optional[List[Optional[str]]]) -> None:
+        self._keys = value
+        self._keys_text = None
+
+    def keys_attr(self) -> Optional[str]:
+        """The ``keys`` attribute text to render: the raw parse text
+        verbatim when nothing rewrote the keys (no decode + re-encode
+        round trip on the re-frame hot path), freshly encoded otherwise."""
+        if self._keys_text is not None:
+            return self._keys_text
+        if self._keys is not None:
+            return _encode_keys(self._keys)
+        return None
+
+    def payload_bytes(self) -> bytes:
+        """The payload as immutable ``bytes`` (copying a memoryview)."""
+        payload = self.payload
+        if isinstance(payload, bytes):
+            return payload
+        return bytes(payload)
 
     def type_names(self) -> List[str]:
         return [entry.name for entry in self.type_entries]
@@ -279,33 +569,160 @@ class ObjectEnvelope:
         )
 
 
+class LazyBatch:
+    """A batch admitted by header only; values decode on first access.
+
+    Exposes count, per-value root types (resolved against the local
+    registry from the header's type entries) and per-value compaction
+    keys without touching the payload.  :meth:`value` decodes the batch
+    prefix incrementally — per value, not whole-batch — so a record that
+    is only logged, replicated or forwarded crosses the shard with zero
+    value-level decodes, and a record with one matching local subscriber
+    decodes exactly the values dispatched to it (plus their prefix, which
+    the shared intern table requires).
+    """
+
+    _UNRESOLVED = object()
+
+    __slots__ = ("envelope", "_codec", "_registry", "_types", "_decoder",
+                 "_counted")
+
+    def __init__(self, codec: "EnvelopeCodec", envelope: ObjectEnvelope,
+                 registry=None):
+        self.envelope = envelope
+        self._codec = codec
+        self._registry = registry
+        self._types: List[Any] = [self._UNRESOLVED] * envelope.batch_count
+        self._decoder: Optional[BatchDecoder] = None
+        self._counted = 0
+
+    def __len__(self) -> int:
+        return self.envelope.batch_count
+
+    def _resolve(self, entry: TypeEntry) -> Optional[TypeInfo]:
+        if self._registry is None:
+            return None
+        memo = self._codec._resolve_memo
+        info = memo.get(entry.guid_text)
+        if info is not None:
+            return info
+        try:
+            guid = Guid.parse(entry.guid_text)
+        except ValueError:
+            return None
+        info = self._registry.get_by_guid(guid)
+        if info is None:
+            candidate = self._registry.get(entry.name)
+            if candidate is not None and candidate.guid == guid:
+                info = candidate
+        if info is not None:
+            memo[entry.guid_text] = info
+        return info
+
+    def root_type(self, index: int) -> Optional[TypeInfo]:
+        """The locally-resolved root type of value ``index`` (or ``None``)."""
+        cached = self._types[index]
+        if cached is not self._UNRESOLVED:
+            return cached
+        info = self._resolve(self.envelope.batch_root_entry(index))
+        self._types[index] = info
+        return info
+
+    def key(self, index: int) -> Optional[str]:
+        keys = self.envelope.keys
+        return keys[index] if keys is not None else None
+
+    def types_known(self) -> bool:
+        """True when *every* header type entry resolves locally.
+
+        The type section is the union of all reachable types, so full
+        resolvability guarantees :meth:`value` cannot hit
+        :class:`~repro.serialization.errors.UnknownTypeError` — the
+        admission gate for the lazy path (anything else falls back to the
+        eager, code-fetching path).
+        """
+        if self.envelope.encoding != "binary":
+            return False
+        entries = self.envelope.type_entries
+        if not entries:
+            return False
+        return all(self._resolve(entry) is not None for entry in entries)
+
+    def value(self, index: int) -> Any:
+        """Decode (and cache) value ``index`` — the one paid decode."""
+        decoder = self._decoder
+        if decoder is None:
+            decoder = BatchDecoder(self._codec._binary, self.envelope.payload)
+            if len(decoder) != len(self):
+                raise WireFormatError(
+                    "batch payload holds %d values, envelope declares %d"
+                    % (len(decoder), len(self)))
+            self._decoder = decoder
+        value = decoder.value(index)
+        decoded = decoder.decoded_count
+        if decoded > self._counted:
+            self._codec.stats.decodes += decoded - self._counted
+            self._counted = decoded
+        return value
+
+    def values(self) -> List[Any]:
+        return [self.value(index) for index in range(len(self))]
+
+    def __repr__(self) -> str:
+        return "LazyBatch(%d values, %d decoded)" % (
+            len(self), self._decoder.decoded_count if self._decoder else 0)
+
+
+_UNSET = object()
+
+
 class EnvelopeCodec:
     """Builds and parses hybrid envelopes.
 
     ``encoding`` selects the payload serializer: ``"binary"`` (compact) or
     ``"soap"`` (verbose XML) — both available exactly as in the paper.
+    Encoded frames use the ``XME2`` layout (header prefix + raw payload);
+    the legacy all-XML frame remains parseable.  :attr:`stats` counts
+    value decodes, header parses and buffer-pool reuse.
     """
 
     def __init__(self, runtime=None, encoding: str = "binary"):
         if encoding not in ("binary", "soap"):
             raise ValueError("encoding must be 'binary' or 'soap'")
         self.encoding = encoding
+        self.stats = CodecStats()
+        self._pool = _BufferPool(self.stats)
         self._binary = BinarySerializer(runtime)
         self._soap = SoapSerializer(runtime)
+        # guid text -> locally resolved TypeInfo.  Positive entries only:
+        # the registry is add-only, so a hit can never go stale, while a
+        # miss may succeed later (after a code fetch) and must be retried.
+        self._resolve_memo: Dict[str, TypeInfo] = {}
 
     def _payload_serializer(self, encoding: str):
         return self._binary if encoding == "binary" else self._soap
 
+    @property
+    def registry(self):
+        runtime = self._binary.runtime
+        return runtime.registry if runtime is not None else None
+
     # -- build ------------------------------------------------------------
 
     def wrap(self, value: Any) -> ObjectEnvelope:
-        """Object graph → envelope (types section + serialized payload)."""
+        """Object graph → envelope (types section + serialized payload).
+
+        The value's compaction key rides along (``keys`` attribute) so a
+        broker can log and compact the frame without materializing it.
+        """
         entries = [TypeEntry.for_type(t) for t in collect_types(value)]
         payload = self._payload_serializer(self.encoding).serialize(value)
-        return ObjectEnvelope(entries, self.encoding, payload)
+        key = entity_key(value)
+        return ObjectEnvelope(entries, self.encoding, payload,
+                              keys=None if key is None else [key])
 
     def encode(self, value: Any) -> bytes:
-        """Object graph → wire bytes of the full XML message."""
+        """Object graph → wire bytes of the full framed message."""
         return self.envelope_to_bytes(self.wrap(value))
 
     def wrap_batch(self, values: List[Any],
@@ -358,12 +775,12 @@ class EnvelopeCodec:
                      ack: Optional[str] = None,
                      publish_ack: Optional[str] = None,
                      keys: Optional[List[Optional[str]]] = None) -> bytes:
-        """Many object graphs → wire bytes of one batch XML message."""
+        """Many object graphs → wire bytes of one batch message."""
         return self.envelope_to_bytes(
             self.wrap_batch(values, origin=origin, ack=ack,
                             publish_ack=publish_ack, keys=keys))
 
-    def envelope_to_bytes(self, envelope: ObjectEnvelope) -> bytes:
+    def _render_header(self, envelope: ObjectEnvelope) -> bytes:
         root = ET.Element("XmlMessage")
         type_info = ET.SubElement(root, "TypeInformation")
         for entry in envelope.type_entries:
@@ -387,22 +804,119 @@ class EnvelopeCodec:
             payload_attrs["ack"] = envelope.ack
         if envelope.publish_ack is not None:
             payload_attrs["publish_ack"] = envelope.publish_ack
-        if envelope.keys is not None:
-            payload_attrs["keys"] = _encode_keys(envelope.keys)
+        keys_attr = envelope.keys_attr()
+        if keys_attr is not None:
+            payload_attrs["keys"] = keys_attr
         if envelope.home is not None:
             payload_attrs["home"] = envelope.home
-        payload = ET.SubElement(root, "Payload", payload_attrs)
-        payload.text = base64.b64encode(envelope.payload).decode("ascii")
+        ET.SubElement(root, "Payload", payload_attrs)
         return ET.tostring(root, encoding="utf-8")
+
+    def envelope_to_bytes(self, envelope: ObjectEnvelope) -> bytes:
+        """Envelope → ``XME2`` frame bytes.
+
+        The payload bytes (possibly a zero-copy ``memoryview`` from a
+        parsed frame) are appended verbatim after the rendered header —
+        re-framing a parsed envelope never touches, let alone decodes,
+        the payload.  The scratch buffer comes from the codec's pool; the
+        returned frame is an immutable ``bytes`` snapshot, safe to hand
+        across any flush boundary.
+        """
+        header = self._render_header(envelope)
+        buf = self._pool.acquire()
+        try:
+            buf += _MAGIC_FRAME
+            _write_varint(buf, len(header))
+            buf += header
+            buf += envelope.payload
+            return bytes(buf)
+        finally:
+            self._pool.release(buf)
+
+    def join_frames(self, frames: Sequence[Buffer]) -> bytes:
+        """Coalesce several envelope frames into one network message.
+
+        A single frame travels as-is (byte-identical to sending it
+        alone); two or more become an ``XMEB`` container of
+        varint-length-prefixed frames that :func:`split_frames` undoes.
+        Frames are copied, never decoded — this is how a flush keeps the
+        one-message-per-destination economy without touching payloads.
+        """
+        if not frames:
+            raise ValueError("join_frames needs at least one frame")
+        if len(frames) == 1:
+            frame = frames[0]
+            return frame if isinstance(frame, bytes) else bytes(frame)
+        buf = self._pool.acquire()
+        try:
+            buf += _MAGIC_MULTI
+            for frame in frames:
+                _write_varint(buf, len(frame))
+                buf += frame
+            return bytes(buf)
+        finally:
+            self._pool.release(buf)
+
+    def envelope_to_legacy_bytes(self, envelope: ObjectEnvelope) -> bytes:
+        """Envelope → legacy all-XML frame (wire v1: base64 payload text).
+
+        Kept for compatibility fixtures and old-peer interop tests; the
+        live pipeline always emits :meth:`envelope_to_bytes`.
+        """
+        root = ET.fromstring(self._render_header(envelope))
+        payload_el = root.find("Payload")
+        payload_el.text = base64.b64encode(
+            envelope.payload_bytes()).decode("ascii")
+        return ET.tostring(root, encoding="utf-8")
+
+    def reframe(self, data: Buffer,
+                origin: Any = _UNSET,
+                ack: Any = _UNSET,
+                publish_ack: Any = _UNSET,
+                home: Any = _UNSET,
+                keys: Any = _UNSET) -> bytes:
+        """Re-render a frame's header with changed attributes.
+
+        The payload bytes are reused verbatim (zero value-level decodes);
+        only the header XML is rebuilt, in a pooled buffer.  This is how
+        the pipeline stamps ``origin`` at admission, ``home`` on
+        forwarded copies and ``ack`` tokens on per-subscriber deliveries
+        without re-encoding the values.
+        """
+        envelope = self.parse(data)
+        if origin is not _UNSET:
+            envelope.origin = origin
+        if ack is not _UNSET:
+            envelope.ack = ack
+        if publish_ack is not _UNSET:
+            envelope.publish_ack = publish_ack
+        if home is not _UNSET:
+            envelope.home = home
+        if keys is not _UNSET:
+            envelope.keys = keys
+        return self.envelope_to_bytes(envelope)
 
     # -- parse ------------------------------------------------------------
 
-    def parse(self, data: bytes) -> ObjectEnvelope:
-        """Wire bytes → envelope (payload NOT yet deserialized)."""
+    def parse(self, data: Buffer) -> ObjectEnvelope:
+        """Wire bytes → envelope (payload NOT yet deserialized).
+
+        For ``XME2`` frames this is a header-only parse: the returned
+        envelope's payload is a ``memoryview`` into ``data`` — no copy,
+        no base64, no value decode.  Legacy all-XML frames are still
+        accepted (their base64 payload text must be decoded to bytes).
+        """
+        header_bytes, payload = _split_frame(data)
         try:
-            root = ET.fromstring(data)
+            root = ET.fromstring(header_bytes)
         except ET.ParseError as exc:
             raise WireFormatError("invalid envelope XML: %s" % exc)
+        envelope = self._envelope_from_root(root, payload)
+        self.stats.header_parses += 1
+        return envelope
+
+    def _envelope_from_root(self, root: ET.Element,
+                            payload: Optional[Buffer]) -> ObjectEnvelope:
         if root.tag != "XmlMessage":
             raise WireFormatError("expected <XmlMessage>, found <%s>" % root.tag)
         type_info = root.find("TypeInformation")
@@ -423,10 +937,11 @@ class EnvelopeCodec:
         encoding = payload_el.get("encoding", "binary")
         if encoding not in ("binary", "soap"):
             raise WireFormatError("unknown payload encoding %r" % encoding)
-        try:
-            payload = base64.b64decode(payload_el.text or "", validate=True)
-        except (ValueError, TypeError):
-            raise WireFormatError("payload is not valid base64")
+        if payload is None:
+            try:
+                payload = base64.b64decode(payload_el.text or "", validate=True)
+            except (ValueError, TypeError):
+                raise WireFormatError("payload is not valid base64")
         batch_roots: Optional[List[int]] = None
         batch_attr = payload_el.get("batch")
         if batch_attr is not None:
@@ -444,19 +959,21 @@ class EnvelopeCodec:
             for index in batch_roots:
                 if not 0 <= index < len(entries):
                     raise WireFormatError("batch root %d out of range" % index)
-        keys: Optional[List[Optional[str]]] = None
-        keys_attr = payload_el.get("keys")
-        if keys_attr is not None:
-            keys = _decode_keys(
-                keys_attr,
-                len(batch_roots) if batch_roots is not None else 1)
+        keys_text = payload_el.get("keys")
+        if keys_text is not None:
+            _check_keys_text(keys_text,
+                             len(batch_roots) if batch_roots is not None else 1)
         return ObjectEnvelope(entries, encoding, payload,
                               batch_roots=batch_roots,
                               origin=payload_el.get("origin"),
                               ack=payload_el.get("ack"),
                               publish_ack=payload_el.get("publish_ack"),
-                              keys=keys,
+                              keys_text=keys_text,
                               home=payload_el.get("home"))
+
+    def lazy_batch(self, envelope: ObjectEnvelope) -> LazyBatch:
+        """Wrap a parsed envelope for header-driven, decode-on-dispatch use."""
+        return LazyBatch(self, envelope, self.registry)
 
     def unwrap(self, envelope: ObjectEnvelope) -> Any:
         """Envelope → object graph.
@@ -466,7 +983,10 @@ class EnvelopeCodec:
         """
         if envelope.is_batch:
             raise WireFormatError("batch envelope: use unwrap_batch")
-        return self._payload_serializer(envelope.encoding).deserialize(envelope.payload)
+        value = self._payload_serializer(envelope.encoding).deserialize(
+            envelope.payload_bytes())
+        self.stats.decodes += 1
+        return value
 
     def unwrap_batch(self, envelope: ObjectEnvelope) -> List[Any]:
         """Batch envelope → list of object graphs (single → one-element).
@@ -476,14 +996,15 @@ class EnvelopeCodec:
         """
         if not envelope.is_batch:
             return [self.unwrap(envelope)]
-        values = self._binary.deserialize_batch(envelope.payload)
+        values = self._binary.deserialize_batch(envelope.payload_bytes())
         if len(values) != envelope.batch_count:
             raise WireFormatError(
                 "batch payload holds %d values, envelope declares %d"
                 % (len(values), envelope.batch_count)
             )
+        self.stats.decodes += len(values)
         return values
 
-    def decode(self, data: bytes) -> Any:
+    def decode(self, data: Buffer) -> Any:
         """Wire bytes → object graph in one step."""
         return self.unwrap(self.parse(data))

@@ -42,7 +42,12 @@ from ..net.peer import Peer, error_response
 from ..remoting.dynamic import wrap_with_result
 from ..runtime.loader import Runtime
 from ..serialization.binary import BinarySerializer
-from ..serialization.envelope import EnvelopeCodec, ObjectEnvelope
+from ..serialization.envelope import (
+    EnvelopeCodec,
+    LazyBatch,
+    ObjectEnvelope,
+    split_frames,
+)
 from ..serialization.errors import UnknownTypeError
 
 KIND_OBJECT = "object"
@@ -137,6 +142,29 @@ class ReceivedObject:
     def __repr__(self) -> str:
         state = "accepted" if self.accepted else "rejected"
         return "ReceivedObject(%s from %s, %s)" % (self.type_name, self.sender, state)
+
+
+class _FetchScope:
+    """Scoped rebind of a peer's resolver fetch hook to one sending peer
+    (nested member types of rule recursion fetch from the sender)."""
+
+    __slots__ = ("_peer", "_src", "_saved")
+
+    def __init__(self, peer: "InteropPeer", src: str):
+        self._peer = peer
+        self._src = src
+
+    def __enter__(self) -> "_FetchScope":
+        peer, src = self._peer, self._src
+        self._saved = peer.resolver.fetch
+        peer.resolver.fetch = (
+            lambda name, path: peer._obtain_description(src, name, path)
+        )
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._peer.resolver.fetch = self._saved
+        return False
 
 
 class InteropPeer(Peer):
@@ -244,21 +272,32 @@ class InteropPeer(Peer):
         return b"OK"
 
     def _handle_object_batch(self, payload: bytes, src: str) -> bytes:
-        """Receive one batch message: materialize the shared frame once,
-        then admit each value through the usual interest check.
+        """Receive one batch message — possibly a multi-frame container
+        (several records a mesh flush coalesced into one message), each
+        frame admitted independently."""
+        for frame in split_frames(payload):
+            self._receive_batch_frame(frame, src)
+        return b"OK"
 
-        Batches trade one optimistic nicety for fan-out economy: the frame
-        is decoded (and missing code fetched) *before* per-value
-        conformance runs, because the values share one intern table.  The
-        senders that batch (brokers) only batch events that already passed
-        a conformance check, so in practice no code is fetched for
-        doomed values.
+    def _receive_batch_frame(self, frame, src: str) -> None:
+        """Admit one batch frame.
+
+        When every type in the frame's header section is already known
+        locally, admission is *lazy*: the interest check runs against the
+        header's per-value root type and only accepted values are ever
+        deserialized — a rejected value costs zero decode work.  A frame
+        naming unknown types falls back to the eager path: materialize
+        the shared frame once (fetching missing code), then admit each
+        value.  The senders that batch (brokers) only batch events that
+        already passed a conformance check, so in practice no code is
+        fetched for doomed values.
         """
-        envelope = self.codec.parse(payload)
+        envelope = self.codec.parse(frame)
         self.transport_stats.batches_received += 1
-        values = self._materialize_batch(envelope, src)
-        for value in values:
-            self._deliver(self._admit_value(value, src))
+        if not self._admit_batch_lazy(envelope, src):
+            values = self._materialize_batch(envelope, src)
+            for value in values:
+                self._deliver(self._admit_value(value, src))
         if envelope.ack is not None:
             # The batch carried a durable-delivery token: acknowledge it on
             # the queued one-way path, so cursor advancement flows through
@@ -268,7 +307,45 @@ class InteropPeer(Peer):
                                 envelope.ack.encode("utf-8"))
             except UnknownPeerError:
                 self.network.stats.record_drop()  # sender left the fabric
-        return b"OK"
+
+    def _admit_batch_lazy(self, envelope: ObjectEnvelope, src: str) -> bool:
+        """Header-only batch admission; ``False`` defers to the eager path
+        (some type in the frame is not resolvable locally yet)."""
+        batch = self.codec.lazy_batch(envelope)
+        if not batch.types_known():
+            return False
+        for index in range(len(batch)):
+            self._deliver(self._admit_lazy_value(batch, index, src))
+        return True
+
+    def _admit_lazy_value(self, batch: LazyBatch, index: int,
+                          src: str) -> ReceivedObject:
+        """Interest check on the header's root type BEFORE any decode —
+        the lazy twin of :meth:`_admit_value`."""
+        self.transport_stats.objects_received += 1
+        provider_info = batch.root_type(index)
+        interest: Optional[TypeInfo] = None
+        result: Optional[ConformanceResult] = None
+        if self.interests:
+            with self._fetching_from(src):
+                for candidate in self.interests:
+                    verdict = self.checker.conforms(provider_info, candidate)
+                    if verdict.ok:
+                        interest = candidate
+                        result = verdict
+                        break
+            if interest is None:
+                self.transport_stats.objects_rejected += 1
+                return ReceivedObject(
+                    src, provider_info.full_name, None, None, None, result
+                )
+        value = batch.value(index)
+        view: Any = value
+        if interest is not None and result is not None:
+            view = wrap_with_result(value, interest, result, self.checker)
+        return ReceivedObject(
+            src, provider_info.full_name, value, view, interest, result
+        )
 
     def _deliver(self, received: ReceivedObject) -> None:
         self.inbox.append(received)
@@ -382,20 +459,7 @@ class InteropPeer(Peer):
     def _fetching_from(self, src: str):
         """Context manager: route the resolver's description fetches to the
         sending peer (nested member types of rule recursion, Section 5.2)."""
-        peer = self
-
-        class _Scope:
-            def __enter__(self_inner):
-                self_inner.saved = peer.resolver.fetch
-                peer.resolver.fetch = (
-                    lambda name, path: peer._obtain_description(src, name, path)
-                )
-
-            def __exit__(self_inner, *exc):
-                peer.resolver.fetch = self_inner.saved
-                return False
-
-        return _Scope()
+        return _FetchScope(self, src)
 
     # -- step 4-5 helpers ---------------------------------------------------
 

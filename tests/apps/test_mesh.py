@@ -628,12 +628,12 @@ class TestMultiValueRecordLocalDurable:
 
         mesh.shard(other).subscribe_durable(person_java(), flaky,
                                             cursor="flaky-c")
-        # Publish both events before any drain: they cross the shard
-        # boundary as ONE mesh_forward batch -> ONE log record at `other`.
-        publisher.publish_async(
-            home, publisher.new_instance("demo.a.Person", ["v0"]))
-        publisher.publish_async(
-            home, publisher.new_instance("demo.a.Person", ["v1"]))
+        # Publish both events as ONE durable batch: it is logged as ONE
+        # record at `home`, crosses the shard boundary as ONE forwarded
+        # frame, and lands as ONE log record at `other`.
+        publisher.publish_durable(
+            home, [publisher.new_instance("demo.a.Person", ["v0"]),
+                   publisher.new_instance("demo.a.Person", ["v1"])])
         mesh.run_until_idle()
         shard = mesh.shard(other)
         assert got == ["v0", "v1"]  # v1's handler crashed after being called

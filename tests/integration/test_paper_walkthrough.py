@@ -148,9 +148,17 @@ class TestSection6Serialization:
         runtime.load_type(person_csharp())
         codec = EnvelopeCodec(runtime)
         data = codec.encode(runtime.new_instance("demo.a.Person", ["Fig3"]))
-        assert data.startswith(b"<XmlMessage>")
+        # The framed message keeps Figure 3's shape: an XML header carrying
+        # the type information, then the serialized object (now as a raw
+        # length-delimited suffix rather than base64 text).
+        assert data.startswith(b"XME2")
+        assert b"<XmlMessage>" in data
         assert b"TypeInformation" in data
         assert b"Payload" in data
+        # The legacy all-XML rendering is still available for old peers.
+        legacy = codec.envelope_to_legacy_bytes(codec.parse(data))
+        assert legacy.startswith(b"<")
+        assert codec.parse(legacy).root_entry().name == "demo.a.Person"
 
     def test_pass_by_reference_through_dynamic_proxy(self):
         """'the interposing of a dynamic proxy as a wrapper is necessary

@@ -178,7 +178,9 @@ class TestBatchEnvelopes:
         broken = data.replace(b'batch="1"', b'batch="2"')
         with pytest.raises(WireFormatError, match="does not match"):
             codec.parse(broken)
-        garbage = data.replace(b'batch="1"', b'batch="zz"')
+        # Same-length corruption: the frame header is length-prefixed, so
+        # a size-changing splice would truncate the XML instead.
+        garbage = data.replace(b'batch="1"', b'batch="z"')
         with pytest.raises(WireFormatError, match="malformed"):
             codec.parse(garbage)
 
@@ -188,6 +190,71 @@ class TestBatchEnvelopes:
         broken = data.replace(b'roots="0"', b'roots="3"')
         with pytest.raises(WireFormatError, match="out of range"):
             codec.parse(broken)
+
+
+class TestLenientHeaderReaders:
+    """Uniform malformed-header handling: the mid-pipeline header readers
+    (``envelope_record_keys``, ``envelope_home``) return ``None`` and
+    count ``header_parse_errors`` for ANY malformed input — they never
+    raise (a corrupt stored record must not take down compaction or
+    record classification)."""
+
+    def _readers(self):
+        from repro.serialization.envelope import (
+            envelope_home,
+            envelope_record_keys,
+            parse_frame_header,
+        )
+        return envelope_record_keys, envelope_home, parse_frame_header
+
+    def _assert_swallowed(self, data, expected_errors=3):
+        from repro.serialization.envelope import CodecStats
+        stats = CodecStats()
+        for reader in self._readers():
+            assert reader(data, stats=stats) is None
+        assert stats.header_parse_errors == expected_errors
+        assert stats.header_parses == 0
+
+    def test_truncated_frame(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        data = codec.encode_batch([runtime.new_instance("demo.a.Person",
+                                                        ["T"])])
+        # Cut mid-header: the length prefix promises more than is there.
+        self._assert_swallowed(data[:12])
+        # Cut mid-length-prefix.
+        self._assert_swallowed(b"XME2")
+
+    def test_corrupt_v1_xml(self):
+        self._assert_swallowed(b"<XmlMessage><TypeInformation>")
+        self._assert_swallowed(b"<Wrong/>")
+
+    def test_corrupt_attributes(self, runtime):
+        codec = EnvelopeCodec(runtime)
+        data = codec.encode_batch(
+            [runtime.new_instance("demo.a.Person", ["C"])])
+        self._assert_swallowed(data.replace(b'batch="1"', b'batch="z"'))
+        self._assert_swallowed(data.replace(b'roots="0"', b'roots="9"'))
+
+    def test_garbage(self):
+        self._assert_swallowed(b"")
+        self._assert_swallowed(b"\x00\x01\x02\x03garbage")
+
+    def test_wellformed_v1_still_reads(self, runtime):
+        """The lenient readers accept the legacy all-XML frame too."""
+        from repro.serialization.envelope import (
+            CodecStats,
+            envelope_home,
+            envelope_record_keys,
+        )
+        codec = EnvelopeCodec(runtime)
+        envelope = codec.wrap_batch(
+            [runtime.new_instance("demo.a.Person", ["L"])])
+        legacy = codec.envelope_to_legacy_bytes(envelope)
+        stats = CodecStats()
+        assert envelope_record_keys(legacy, stats=stats) is not None
+        assert envelope_home(legacy, stats=stats) is None  # no home attr
+        assert stats.header_parse_errors == 0
+        assert stats.header_parses == 2
 
 
 class TestHomeAttribute:
