@@ -105,6 +105,38 @@ def print_report(by_experiment, out=sys.stdout) -> None:
                 )
             out.write("  %-28s %12.6f ms%s\n" % (experiment, row["mean_ms"], extra))
 
+    wire = [experiment for experiment in sorted(by_experiment)
+            if experiment.startswith(("transport-", "soak-"))]
+    if wire:
+        out.write("\nSocket transport / soak:\n")
+        for experiment in wire:
+            row = by_experiment[experiment]
+            extras = row["extras"]
+            out.write("  %-28s %12.3f ms\n" % (experiment, row["mean_ms"]))
+            latency = extras.get("latency_ms")
+            if latency:
+                out.write("      latency ms         p50=%.2f p99=%.2f "
+                          "p999=%.2f max=%.2f (%d samples)\n"
+                          % (latency.get("p50", 0.0),
+                             latency.get("p99", 0.0),
+                             latency.get("p999", 0.0),
+                             latency.get("max", 0.0),
+                             latency.get("samples", 0)))
+            for key in ("publish_eps", "delivery_eps", "socket_multiple",
+                        "published", "deliveries", "churn_ops"):
+                if key in extras:
+                    out.write("      %-18s %s\n" % (key, extras[key]))
+            transport = extras.get("transport") or {}
+            for node in sorted(transport):
+                snapshot = transport[node]
+                out.write("      %-18s frames=%s lost=%s queue_hw=%s "
+                          "pool_hits=%s\n"
+                          % (node, snapshot.get("frames_received", 0),
+                             snapshot.get("frames_lost", 0),
+                             snapshot.get("queue_high_water", 0),
+                             (snapshot.get("recv_pool") or {})
+                             .get("buffer_pool_hits", 0)))
+
     durability = [experiment for experiment in sorted(by_experiment)
                   if experiment.startswith("durability-")]
     if durability:
@@ -121,19 +153,33 @@ def print_report(by_experiment, out=sys.stdout) -> None:
                       % (experiment, row["mean_ms"], rate))
 
 
+def _machine_entry(row):
+    """One experiment's emitted entry.  Latency percentiles and transport
+    counters (schema v2) are promoted out of the extras grab-bag into
+    first-class fields so downstream diffing need not know which bench
+    recorded them."""
+    extras = dict(row["extras"])
+    entry = {
+        "mean_ms": row["mean_ms"],
+        "paper_ms": row["paper_ms"],
+        "extras": extras,
+    }
+    for promoted in ("latency_ms", "transport"):
+        value = extras.pop(promoted, None)
+        if value is not None:
+            entry[promoted] = value
+    return entry
+
+
 def emit_machine(by_experiment, path: str, source: str) -> None:
     """Write the per-commit machine-readable results file."""
     document = {
-        "schema": "repro-bench/1",
+        "schema": "repro-bench/2",
         "source": source,
         "sha": os.environ.get("GITHUB_SHA"),
         "ref": os.environ.get("GITHUB_REF"),
         "experiments": {
-            experiment: {
-                "mean_ms": row["mean_ms"],
-                "paper_ms": row["paper_ms"],
-                "extras": row["extras"],
-            }
+            experiment: _machine_entry(row)
             for experiment, row in sorted(by_experiment.items())
         },
     }

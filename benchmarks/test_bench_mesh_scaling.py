@@ -48,9 +48,14 @@ def subscribe_all(subscribe, events):
 
 
 def build_seed_world():
-    """The seed path: one broker, one synchronous post per subscription."""
+    """The seed path: one broker, one synchronous post per subscription.
+
+    ``lazy_admission=False`` pins the preserved eager baseline: the
+    default broker now relays each record's frame once per peer, which
+    already captures most of the batching win this gate exists to
+    measure against."""
     network = SimulatedNetwork()
-    broker = TpsBroker("broker", network)
+    broker = TpsBroker("broker", network, lazy_admission=False)
     publisher = TpsPeer("publisher", network)
     asm_a, _ = person_assembly_pair()
     publisher.host_assembly(asm_a)

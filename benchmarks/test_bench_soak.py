@@ -1,0 +1,53 @@
+"""Multi-process soak smoke: zero loss under churn, latency recorded.
+
+Runs one short :func:`repro.apps.tps.soak.run_soak` — 4 shard processes
+by default — and asserts the loss oracle: every stable subscriber holds
+every published event exactly once.  The report's throughput, latency
+percentiles and transport counters land in ``extra_info`` so
+``benchmarks/report.py --emit`` folds them into ``BENCH_<sha>.json``.
+
+Environment knobs (the CI ``soak-smoke`` job turns them up):
+
+- ``SOAK_DURATION_S``  publish window in seconds (default 1.0)
+- ``SOAK_SHARDS``      shard process count (default 4)
+- ``SOAK_SKEW``        ``uniform`` (default) or ``zipf`` hot-shard traffic
+- ``SOAK_EMIT``        path to additionally write the full soak report
+"""
+
+import json
+import os
+
+from repro.apps.tps.soak import run_soak
+
+DURATION_S = float(os.environ.get("SOAK_DURATION_S", "1.0"))
+SHARDS = int(os.environ.get("SOAK_SHARDS", "4"))
+SKEW = os.environ.get("SOAK_SKEW", "uniform")
+
+
+def test_soak_zero_loss_under_churn(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_soak(shards=SHARDS, duration_s=DURATION_S, skew=SKEW,
+                         name="benchsoak"),
+        rounds=1, iterations=1)
+
+    emit = os.environ.get("SOAK_EMIT")
+    if emit:
+        with open(emit, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    assert report["published"] > 0
+    # The loss oracle: nothing lost, nothing delivered twice — across
+    # real processes, real sockets, and live subscription churn.
+    assert report["lost"] == 0, report["per_subscriber"]
+    assert report["duplicates"] == 0, report["per_subscriber"]
+
+    benchmark.extra_info["experiment"] = "soak-%dshard-%s" % (SHARDS, SKEW)
+    benchmark.extra_info["config"] = report["config"]
+    benchmark.extra_info["published"] = report["published"]
+    benchmark.extra_info["deliveries"] = report["deliveries"]
+    benchmark.extra_info["churn_ops"] = report["churn_ops"]
+    benchmark.extra_info["publish_eps"] = report["publish_eps"]
+    benchmark.extra_info["delivery_eps"] = report["delivery_eps"]
+    benchmark.extra_info["latency_ms"] = report["latency_ms"]
+    benchmark.extra_info["transport"] = report["transport"]

@@ -191,8 +191,15 @@ class TpsBroker(InteropPeer):
                  log_dir: Optional[str] = None,
                  log_kwargs: Optional[dict] = None,
                  cursor_sync_every: int = 1,
-                 retain_unacked: bool = False, **kwargs):
+                 retain_unacked: bool = False,
+                 lazy_admission: bool = True, **kwargs):
         kwargs.setdefault("options", ConformanceOptions.pragmatic())
+        #: The zero-copy hot path (shared with the mesh shard): admit
+        #: publishes header-only and route/log/ack on the frame bytes,
+        #: decoding values only at local dispatch.
+        #: ``lazy_admission=False`` restores the eager
+        #: materialize-everything path (the benchmark baseline).
+        self._lazy_admission = bool(lazy_admission)
         super().__init__(peer_id, network, **kwargs)
         self.index = RoutingIndex(self.checker, self.runtime.registry)
         self._next_id = 1
@@ -546,13 +553,26 @@ class TpsBroker(InteropPeer):
                               payload=payload, envelope=envelope,
                               forward=True)
 
+    # -- publish admission (the zero-copy hot path) -------------------------
+
+    def _handle_object(self, payload: bytes, src: str) -> bytes:
+        if self._lazy_admission and self._admit_frame(payload, src,
+                                                      batch=False):
+            return b"OK"
+        return super()._handle_object(payload, src)
+
     def _handle_object_batch(self, payload: bytes, src: str) -> bytes:
-        """Broker-side batch admission: a batch carrying a ``publish_ack``
-        token is a *durable publish* — the whole batch is appended as ONE
-        log record and fanned out through the pipeline, and the token is
-        acknowledged back to the publisher only after the append returned
-        (extending at-least-once to the publisher).  Plain batches fall
-        through to the ordinary per-value delivery path."""
+        """Broker-side batch admission: header-only (lazy) whenever the
+        frame's type section resolves locally; otherwise a batch carrying
+        a ``publish_ack`` token is a *durable publish* — the whole batch
+        is appended as ONE log record and fanned out through the
+        pipeline, and the token is acknowledged back to the publisher
+        only after the append returned (extending at-least-once to the
+        publisher).  Plain batches fall through to the ordinary per-value
+        delivery path."""
+        if self._lazy_admission and self._admit_frame(payload, src,
+                                                      batch=True):
+            return b"OK"
         try:
             envelope = self.codec.parse(payload)
         except WireFormatError:
@@ -574,6 +594,47 @@ class TpsBroker(InteropPeer):
         except UnknownPeerError:
             self.network.stats.record_drop()  # publisher left the fabric
         return b"OK"
+
+    def _admit_frame(self, payload: bytes, src: str, batch: bool) -> bool:
+        """Header-only publish admission: when the frame's type section
+        resolves locally, the record is routed, logged (and, on a mesh
+        shard, forwarded and replicated) as its *frame* — values decode
+        only at final local delivery.
+
+        Returns ``False`` to defer to the eager base handlers: unknown
+        types (the one-time code-fetch path), soap payloads, legacy
+        frames, or ack-bearing deliveries.
+        """
+        try:
+            envelope = self.codec.parse(payload)
+        except WireFormatError:
+            return False  # let the eager path raise the real error
+        if envelope.ack is not None:
+            return False  # delivery acks ride the base handler
+        lazy = self.pipeline.admission.lazy(envelope)
+        if lazy is None:
+            return False
+        token = envelope.publish_ack
+        origin = envelope.origin or src
+        # ONE header rewrite: the stored/forwarded frame names its
+        # publisher and never carries the publisher's ack token.
+        envelope.origin = origin
+        envelope.publish_ack = None
+        stored = self.codec.envelope_to_bytes(envelope)
+        self.transport_stats.objects_received += len(lazy)
+        if batch:
+            self.transport_stats.batches_received += 1
+        self.pipeline.process(lazy, origin, payload=stored,
+                              envelope=envelope, forward=True)
+        if token is not None:
+            try:
+                self.post_async(src, KIND_PUBLISH_ACK,
+                                token.encode("utf-8"))
+                self.transport_stats.publish_acks_sent += 1
+                self.pipeline.stats.publish_acks_sent += 1
+            except UnknownPeerError:
+                self.network.stats.record_drop()  # publisher left
+        return True
 
 
 class TpsSubscriberMixin:

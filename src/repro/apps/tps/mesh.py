@@ -183,11 +183,8 @@ class MeshShard(TpsBroker):
             ReplicaSet(os.path.join(log_dir, "replicas"))
             if log_dir is not None else None)
         self.replication: Optional[ReplicationStage] = None
-        #: The zero-copy hot path: admit publishes header-only and route,
-        #: log, forward and replicate the frame bytes without decoding
-        #: values.  ``lazy_admission=False`` restores the eager
-        #: materialize-everything path (the benchmark baseline).
-        self._lazy_admission = bool(kwargs.pop("lazy_admission", True))
+        #: ``lazy_admission`` (the zero-copy hot path, default on) is
+        #: inherited from :class:`TpsBroker` and flows through ``kwargs``.
         super().__init__(peer_id, network, **kwargs)
         self._siblings: List[str] = []
         #: Summaries of sibling shards' subscriptions: one refcounted
@@ -462,62 +459,6 @@ class MeshShard(TpsBroker):
             for shard_id in sorted(targets):
                 self.delivery.buffer_forward(shard_id, origin or "", value,
                                              log_offset)
-
-    # -- publish admission (the zero-copy hot path) -------------------------
-
-    def _handle_object(self, payload: bytes, src: str) -> bytes:
-        if self._lazy_admission and self._admit_frame(payload, src,
-                                                      batch=False):
-            return b"OK"
-        return super()._handle_object(payload, src)
-
-    def _handle_object_batch(self, payload: bytes, src: str) -> bytes:
-        if self._lazy_admission and self._admit_frame(payload, src,
-                                                      batch=True):
-            return b"OK"
-        return super()._handle_object_batch(payload, src)
-
-    def _admit_frame(self, payload: bytes, src: str, batch: bool) -> bool:
-        """Header-only publish admission: when the frame's type section
-        resolves locally, the record is routed, logged, forwarded and
-        replicated as its *frame* — values decode only at final local
-        delivery, and a record with no in-process subscriber here crosses
-        the shard with zero value decodes.
-
-        Returns ``False`` to defer to the eager base handlers: unknown
-        types (the one-time code-fetch path), soap payloads, legacy
-        frames, or ack-bearing deliveries.
-        """
-        try:
-            envelope = self.codec.parse(payload)
-        except WireFormatError:
-            return False  # let the eager path raise the real error
-        if envelope.ack is not None:
-            return False  # delivery acks ride the base handler
-        lazy = self.pipeline.admission.lazy(envelope)
-        if lazy is None:
-            return False
-        token = envelope.publish_ack
-        origin = envelope.origin or src
-        # ONE header rewrite: the stored/forwarded frame names its
-        # publisher and never carries the publisher's ack token.
-        envelope.origin = origin
-        envelope.publish_ack = None
-        stored = self.codec.envelope_to_bytes(envelope)
-        self.transport_stats.objects_received += len(lazy)
-        if batch:
-            self.transport_stats.batches_received += 1
-        self.pipeline.process(lazy, origin, payload=stored,
-                              envelope=envelope, forward=True)
-        if token is not None:
-            try:
-                self.post_async(src, KIND_PUBLISH_ACK,
-                                token.encode("utf-8"))
-                self.transport_stats.publish_acks_sent += 1
-                self.pipeline.stats.publish_acks_sent += 1
-            except UnknownPeerError:
-                self.network.stats.record_drop()  # publisher left
-        return True
 
     def _handle_forward(self, payload: bytes, src: str) -> bytes:
         for frame in split_frames(payload):

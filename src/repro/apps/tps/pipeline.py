@@ -40,7 +40,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ...net.network import NetworkError, UnknownPeerError
 from ...persistence import CursorStore, EventLog
 from ...serialization.envelope import LazyBatch, encode_home, envelope_home
-from ...transport.protocol import KIND_REPLICATE, ProtocolError
+from ...serialization.errors import SerializationError
+from ...transport.protocol import (KIND_OBJECT_BATCH, KIND_REPLICATE,
+                                   ProtocolError)
 from .routing import RouteEntry, RoutingIndex
 
 #: Default bound on outstanding (issued, unacknowledged) delivery tokens.
@@ -713,8 +715,10 @@ class DirectDelivery:
         return {
             "values": values,
             "envelope": envelope,
+            "payload": payload,   # the record's stored frame, if it has one
             "payloads": {},       # id(value) -> encoded single envelope
             "durable_sent": set(),  # subscription ids already sent the record
+            "frame_sent": set(),  # peers already relayed the record frame
         }
 
     def remote(self, ctx: dict, subscription: Any, value: Any,
@@ -757,8 +761,34 @@ class DirectDelivery:
 
     def remote_frame(self, ctx: dict, subscription: Any, batch: Any,
                      index: int, log_offset: Optional[int]) -> bool:
-        """Lazy-batch fallback: direct dispatch has no frame relay, so the
-        value is materialized and travels the ordinary remote path."""
+        """Lazy-batch dispatch, value decodes avoided wherever the bytes
+        already exist.  A durable live delivery sends the record's batch
+        envelope under an ack token (only the XML shell re-renders); a
+        non-durable one relays the record's stored frame verbatim, once
+        per peer — the receiver's own admission gate filters per value,
+        header-only.  Only a record that never had a frame (value-level
+        publish from the eager path) falls back to per-value encoding."""
+        if log_offset is not None and ctx["envelope"] is not None \
+                and cursor_name_of(subscription) is not None:
+            return self.remote(ctx, subscription, None, log_offset)
+        payload = ctx["payload"]
+        if payload is not None:
+            if subscription.peer_id in ctx["frame_sent"]:
+                # The record already travelled to this peer; its dispatch
+                # there serves this subscription too, so it still counts.
+                return True
+            # Inline post, like send_payload: DirectDelivery dispatches in
+            # this call stack, it never leaves traffic for a later drain.
+            try:
+                self.host.post(subscription.peer_id, KIND_OBJECT_BATCH,
+                               payload, retries=self.host.max_retries)
+            except UnknownPeerError:
+                self.host.network.stats.record_drop()
+                return False
+            self.host.transport_stats.objects_sent += len(batch)
+            self.host.transport_stats.batches_sent += 1
+            ctx["frame_sent"].add(subscription.peer_id)
+            return True
         return self.remote(ctx, subscription, batch.value(index), log_offset)
 
     def finish(self, ctx: dict) -> None:
@@ -1286,6 +1316,44 @@ class DeliveryPipeline:
             return replayed
         return self._replay_remote(subscription, start, upto)
 
+    def _conforming_from_record(self, record: Any, fallback_src: str,
+                                expected: Any) -> Optional[List[Tuple[Any, Any]]]:
+        """Conformance-filter one stored record for replay, header-only
+        where per-value roots suffice: when the record's type section
+        resolves locally (the common case — this broker admitted it), the
+        filter runs on the header's root types through the cached routing
+        verdicts and only the values that will actually travel are
+        decoded.  A record with nothing conforming costs zero value
+        decodes.  Falls back to eager materialization for unknown types
+        (the code-fetch path) and legacy payloads; ``None`` (after
+        counting the failure) = unservable right now, halt the pass.
+        """
+        try:
+            envelope = self.admission.parse(record.payload)
+        except SerializationError:
+            envelope = None
+        if envelope is not None:
+            batch = self.admission.lazy(envelope)
+            if batch is not None:
+                matched: List[Tuple[Any, Any]] = []
+                try:
+                    for index in range(len(batch)):
+                        entry = self.routing.index.lookup(
+                            batch.root_type(index), expected)
+                        if entry is not None:
+                            matched.append((batch.value(index), entry))
+                except SerializationError:
+                    # The header promised a value the body cannot yield —
+                    # a corrupt record is unservable, exactly like a
+                    # failed materialization.
+                    self.stats.replay_failures += 1
+                    return None
+                return matched
+        values = self.admission.materialize_record(record, fallback_src)
+        if values is None:
+            return None
+        return self.routing.conforming(values, expected)
+
     def _replay_record_local(self, subscription: Any, record: Any,
                              cursor: Optional[str] = None) -> Optional[int]:
         """Replay one record to an in-process handler (self-acking).
@@ -1299,11 +1367,11 @@ class DeliveryPipeline:
             # the cursor pinned below them either.
             durability.advance(cursor, record.offset + 1, touch=False)
             return 0
-        values = self.admission.materialize_record(
-            record, subscription.peer_id or self.host.peer_id)
-        if values is None:
+        conforming = self._conforming_from_record(
+            record, subscription.peer_id or self.host.peer_id,
+            subscription.expected)
+        if conforming is None:
             return None  # halt: a later ack must not skip this record
-        conforming = self.routing.conforming(values, subscription.expected)
         if not conforming:
             # Nothing to wait for: a local no-op record is acked now.
             durability.advance(cursor, record.offset + 1, touch=False)
@@ -1394,15 +1462,14 @@ class DeliveryPipeline:
             if record.origin and record.origin == subscription.peer_id:
                 consume(record.offset)  # own events are never echoed
                 continue
-            values = self.admission.materialize_record(
-                record, subscription.peer_id or host.peer_id)
-            if values is None:
+            conforming = self._conforming_from_record(
+                record, subscription.peer_id or host.peer_id,
+                subscription.expected)
+            if conforming is None:
                 # Deliver what already accumulated (its ack stops below
                 # the failed record), then halt the pass.
                 flush()
                 return replayed
-            conforming = self.routing.conforming(values,
-                                                 subscription.expected)
             if not conforming:
                 consume(record.offset)
                 continue

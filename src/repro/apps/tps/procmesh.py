@@ -1,0 +1,340 @@
+"""Socket-backed mesh runners: one logical TPS broker over real bytes.
+
+Two deployment shapes of the very same :class:`~repro.apps.tps.mesh.MeshShard`:
+
+- :class:`SocketMesh` — every shard on its own :class:`SocketNetwork`
+  node of one shared-loop :class:`SocketHub`, all in this process.  The
+  cheapest way to put the whole mesh protocol on real sockets: tests and
+  benchmarks drive it deterministically (pump, then inspect), yet every
+  publish, forward, replica batch and ack crosses a Unix-domain socket.
+- :class:`ProcessMesh` — one shard per OS process, each pumping its own
+  event loop, the control plane (ping / stats / stop) riding the same
+  length-prefixed socket protocol as the data plane.  This is the soak
+  harness's substrate: real processes, real kernels buffers, real
+  backpressure.
+
+Both expose the :class:`~repro.apps.tps.mesh.BrokerMesh` addressing
+surface (``shard_ids``/``shard_for``) so client code moves between the
+simulator and the socket fabrics unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from ...net.network import NetworkError
+from ...net.socket_transport import SocketHub, SocketNetwork
+from .mesh import MeshShard, rendezvous_shard
+
+__all__ = [
+    "KIND_PROC_PING",
+    "KIND_PROC_STATS",
+    "KIND_PROC_STOP",
+    "ProcessMesh",
+    "SocketMesh",
+    "shard_addresses",
+]
+
+KIND_PROC_PING = "proc_ping"
+KIND_PROC_STATS = "proc_stats"
+KIND_PROC_STOP = "proc_stop"
+
+
+def shard_addresses(sock_dir: str, shard_ids: List[str]) -> Dict[str, str]:
+    """The deterministic address book: every shard listens on a Unix
+    socket named after it, so each process computes the full directory
+    from (dir, shard ids) alone — no discovery round."""
+    return {shard_id: "unix:%s/%s.sock" % (sock_dir, shard_id)
+            for shard_id in shard_ids}
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort coercion of a stats tree to JSON-safe values — the
+    control plane must never crash on an exotic counter type."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class SocketMesh:
+    """N mesh shards on one :class:`SocketHub` — real sockets, one process.
+
+    Client peers join via :meth:`client_network` (a hub node pre-routed
+    to every shard) and the whole fabric drains deterministically with
+    :meth:`run_until_idle`, mirroring ``BrokerMesh`` on the simulator.
+    """
+
+    def __init__(self, shard_count: int = 4, name: str = "mesh",
+                 sock_dir: Optional[str] = None,
+                 log_root: Optional[str] = None,
+                 replication_factor: int = 0,
+                 **broker_kwargs):
+        if shard_count < 1:
+            raise ValueError("a mesh needs at least one shard")
+        self.hub = SocketHub()
+        self._tmp_dir = sock_dir is None
+        self.sock_dir = sock_dir if sock_dir is not None \
+            else tempfile.mkdtemp(prefix="repro-socketmesh-")
+        shard_ids = ["%s-shard%d" % (name, index)
+                     for index in range(shard_count)]
+        self.addresses = shard_addresses(self.sock_dir, shard_ids)
+        self.shards: List[MeshShard] = []
+        self.nodes: List[SocketNetwork] = []
+        for shard_id in shard_ids:
+            node = self.hub.network(shard_id + "-node")
+            node.listen(self.addresses[shard_id])
+            kwargs = dict(broker_kwargs)
+            if log_root is not None:
+                kwargs["log_dir"] = os.path.join(log_root, shard_id)
+            self.shards.append(
+                MeshShard(shard_id, node,
+                          replication_factor=replication_factor, **kwargs))
+            self.nodes.append(node)
+        for node in self.nodes:
+            node.add_routes({sid: addr
+                             for sid, addr in self.addresses.items()
+                             if sid + "-node" != node.node_id})
+        for shard in self.shards:
+            shard.set_siblings(shard_ids)
+        self._by_id = {shard.peer_id: shard for shard in self.shards}
+
+    @property
+    def shard_ids(self) -> List[str]:
+        return [shard.peer_id for shard in self.shards]
+
+    def shard_for(self, peer_id: str) -> str:
+        return rendezvous_shard(peer_id, self.shard_ids)
+
+    def shard(self, shard_id: str) -> MeshShard:
+        return self._by_id[shard_id]
+
+    def client_network(self, node_id: str, **kwargs) -> SocketNetwork:
+        """A hub node for client peers, pre-routed to every shard."""
+        node = self.hub.network(node_id, **kwargs)
+        node.add_routes(self.addresses)
+        return node
+
+    # -- draining ----------------------------------------------------------
+
+    def flush(self) -> int:
+        progressed = self.hub.poll(0.001)
+        for shard in self.shards:
+            progressed += shard.flush_delivery()
+        return progressed
+
+    def run_until_idle(self, max_rounds: int = 10_000) -> int:
+        """Pump the hub and the shard delivery buffers until the whole
+        fabric is quiescent: every data frame sent was received (or
+        accounted lost) and no shard holds buffered deliveries."""
+        total = 0
+        for _ in range(max_rounds):
+            progressed = self.flush()
+            total += progressed
+            if not progressed and self.hub.idle() and not any(
+                    shard.pending_deliveries() for shard in self.shards):
+                return total
+        raise NetworkError("socket mesh did not go idle in %d rounds"
+                           % max_rounds)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        per_shard = {shard.peer_id: shard.stats() for shard in self.shards}
+        return {
+            "shards": per_shard,
+            "events_routed": sum(s.events_routed for s in self.shards),
+            "forwards_sent": sum(s.forwards_sent for s in self.shards),
+            "forward_events": sum(s.forward_events for s in self.shards),
+            "batch_events": sum(s.batch_events for s in self.shards),
+        }
+
+    def transport_stats(self) -> Dict[str, dict]:
+        return {node.node_id: node.transport_snapshot()
+                for node in self.nodes}
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+        self.hub.close()
+
+
+# ---------------------------------------------------------------------------
+# one shard per OS process
+# ---------------------------------------------------------------------------
+
+
+def _shard_process_main(shard_id: str, shard_ids: List[str],
+                        sock_dir: str, log_root: Optional[str],
+                        replication_factor: int,
+                        broker_kwargs: dict) -> None:
+    """Entry point of one shard process: build the shard on its own
+    socket node, serve the control kinds, and pump until told to stop."""
+    addresses = shard_addresses(sock_dir, shard_ids)
+    network = SocketNetwork(shard_id + "-node")
+    network.listen(addresses[shard_id])
+    kwargs = dict(broker_kwargs)
+    if log_root is not None:
+        kwargs["log_dir"] = os.path.join(log_root, shard_id)
+    shard = MeshShard(shard_id, network,
+                      replication_factor=replication_factor, **kwargs)
+    network.add_routes({sid: addr for sid, addr in addresses.items()
+                        if sid != shard_id})
+    shard.set_siblings(shard_ids)
+    stopping = []
+
+    def handle_ping(payload: bytes, src: str) -> bytes:
+        return b"PONG"
+
+    def handle_stats(payload: bytes, src: str) -> bytes:
+        snapshot = {
+            "shard": shard_id,
+            "pending_deliveries": shard.pending_deliveries(),
+            "network_pending": network.pending(),
+            "idle": network.idle() and not shard.pending_deliveries(),
+            "stats": shard.stats(),
+            "transport": network.transport_snapshot(),
+        }
+        return json.dumps(_jsonable(snapshot)).encode("utf-8")
+
+    def handle_stop(payload: bytes, src: str) -> bytes:
+        stopping.append(True)
+        return b"OK"
+
+    shard.on(KIND_PROC_PING, handle_ping)
+    shard.on(KIND_PROC_STATS, handle_stats)
+    shard.on(KIND_PROC_STOP, handle_stop)
+
+    while not stopping:
+        network.poll(0.005)
+        shard.flush_delivery()
+    # One farewell pump so the stop response and any buffered deliveries
+    # reach the wire before teardown.
+    for _ in range(10):
+        network.poll(0.002)
+        shard.flush_delivery()
+    shard.close()
+    network.close()
+
+
+class ProcessMesh:
+    """A mesh of shard *processes* plus a driver-side socket node.
+
+    Spawns one OS process per shard (each running
+    :func:`_shard_process_main`), waits for every shard to answer a ping,
+    and exposes :attr:`network` — a :class:`SocketNetwork` in the calling
+    process, routed to every shard — for client peers to register on.
+    The control plane (:meth:`ping`, :meth:`shard_stats`, :meth:`stop`)
+    rides the same socket protocol as publishes and deliveries.
+    """
+
+    def __init__(self, shard_count: int = 4, name: str = "procmesh",
+                 sock_dir: Optional[str] = None,
+                 log_root: Optional[str] = None,
+                 replication_factor: int = 0,
+                 start_timeout: float = 30.0,
+                 **broker_kwargs):
+        if shard_count < 1:
+            raise ValueError("a mesh needs at least one shard")
+        self._tmp_dir = sock_dir is None
+        self.sock_dir = sock_dir if sock_dir is not None \
+            else tempfile.mkdtemp(prefix="repro-procmesh-")
+        self.shard_ids = ["%s-shard%d" % (name, index)
+                          for index in range(shard_count)]
+        self.addresses = shard_addresses(self.sock_dir, self.shard_ids)
+        # fork (where available) keeps startup cheap and works however the
+        # parent was launched; the child builds its event loop and sockets
+        # from scratch, so no live I/O state crosses the fork.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self.processes = []
+        for shard_id in self.shard_ids:
+            process = context.Process(
+                target=_shard_process_main,
+                args=(shard_id, self.shard_ids, self.sock_dir, log_root,
+                      replication_factor, dict(broker_kwargs)),
+                daemon=True, name=shard_id)
+            process.start()
+            self.processes.append(process)
+        self.network = SocketNetwork(name + "-driver")
+        self.network.add_routes(self.addresses)
+        self._admin = name + "-admin"
+        self._stopped = False
+        try:
+            self._wait_ready(start_timeout)
+        except Exception:
+            self.stop()
+            raise
+
+    def _wait_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        for shard_id in self.shard_ids:
+            while True:
+                try:
+                    self.ping(shard_id)
+                    break
+                except NetworkError:
+                    if time.monotonic() > deadline:
+                        raise NetworkError(
+                            "shard %s did not come up in %.0fs"
+                            % (shard_id, timeout))
+                    time.sleep(0.05)
+
+    def shard_for(self, peer_id: str) -> str:
+        return rendezvous_shard(peer_id, self.shard_ids)
+
+    # -- control plane -----------------------------------------------------
+
+    def ping(self, shard_id: str) -> None:
+        response = self.network.request(self._admin, shard_id,
+                                        KIND_PROC_PING, b"")
+        if response != b"PONG":
+            raise NetworkError("unexpected ping response %r" % response)
+
+    def shard_stats(self, shard_id: str) -> dict:
+        response = self.network.request(self._admin, shard_id,
+                                        KIND_PROC_STATS, b"")
+        return json.loads(response.decode("utf-8"))
+
+    def all_idle(self) -> bool:
+        """Every shard reports an empty delivery buffer and an idle node
+        — the cross-process quiescence check (the driver's own queues are
+        its caller's to drain)."""
+        return all(self.shard_stats(shard_id).get("idle")
+                   for shard_id in self.shard_ids)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for shard_id in self.shard_ids:
+            try:
+                self.network.request(self._admin, shard_id, KIND_PROC_STOP,
+                                     b"")
+            except NetworkError:
+                pass  # already gone; the join below settles it
+        for process in self.processes:
+            process.join(timeout=timeout)
+        for process in self.processes:
+            if process.is_alive():  # pragma: no cover - stuck-shard safety
+                process.terminate()
+                process.join(timeout=5.0)
+        self.network.close()
+
+    def close(self) -> None:
+        self.stop()
+
+    def __enter__(self) -> "ProcessMesh":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,285 @@
+"""Soak harness: sustained publish/subscribe churn over a socket mesh.
+
+Drives a :class:`~repro.apps.tps.procmesh.ProcessMesh` (one shard per OS
+process; the default) or an in-process
+:class:`~repro.apps.tps.procmesh.SocketMesh` with a configurable load:
+
+- **publishers** spread events over the shards, uniformly or Zipf-skewed
+  (hot-shard traffic), with configurable payload sizes;
+- **stable subscribers** live for the whole run and are the loss oracle:
+  every one of them must receive *every* published event exactly once —
+  ``lost``/``duplicates`` in the report must both be zero;
+- **churn subscribers** subscribe and unsubscribe continuously (at the
+  Zipf-hot shards when skew is on), exercising the gossip/forwarding
+  control plane under load; their deliveries are traffic, not oracle.
+
+Latency is measured end to end: each event's payload embeds the
+publisher's ``monotonic_ns`` stamp, read back in the subscriber's handler
+(one machine, one clock — exactly the soak setting).  The report carries
+p50/p99/p999/max percentiles, throughput, and the transport counters
+(per-kind bytes/messages, queue high-water marks, receive-pool hits) in
+the shape ``benchmarks/report.py --emit`` folds into ``BENCH_<sha>.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Optional
+
+from ...fixtures import person_assembly_pair, person_java
+from ...net.network import NetworkError
+from .broker import TpsPeer
+from .procmesh import ProcessMesh, SocketMesh
+
+__all__ = ["latency_percentiles", "run_soak"]
+
+_DRAIN_TIMEOUT_S = 60.0
+_IDLE_CHECK_EVERY_S = 0.05
+
+
+def latency_percentiles(samples_ms: List[float]) -> Dict[str, float]:
+    """p50/p99/p999/max over one latency sample set (milliseconds)."""
+    if not samples_ms:
+        return {"p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0,
+                "samples": 0}
+    ordered = sorted(samples_ms)
+    last = len(ordered) - 1
+
+    def at(q: float) -> float:
+        return ordered[min(last, int(q * len(ordered)))]
+
+    return {
+        "p50": at(0.50),
+        "p99": at(0.99),
+        "p999": at(0.999),
+        "max": ordered[-1],
+        "samples": len(ordered),
+    }
+
+
+class _StableSubscriber:
+    """A run-long subscriber: counts deliveries, checks uniqueness and
+    records the publisher-stamp → handler latency per event."""
+
+    def __init__(self, peer: TpsPeer, shard_id: str):
+        self.peer = peer
+        self.shard_id = shard_id
+        self.received = 0
+        self.duplicates = 0
+        self.seen = set()
+        self.latencies_ms: List[float] = []
+
+    def deliver(self, event: Any) -> None:
+        name = event.getPersonName()
+        seq, _, rest = name.partition("|")
+        stamp, _, _ = rest.partition("|")
+        now = time.monotonic_ns()
+        self.received += 1
+        if seq in self.seen:
+            self.duplicates += 1
+        else:
+            self.seen.add(seq)
+        try:
+            self.latencies_ms.append((now - int(stamp)) / 1e6)
+        except ValueError:
+            pass  # malformed stamp: latency lost, the count still stands
+
+
+def _shard_picker(shard_ids: List[str], skew: str, zipf_s: float,
+                  rng: random.Random):
+    """Uniform or Zipf-ranked shard selection for publishes and churn."""
+    if skew == "zipf":
+        weights = [1.0 / (rank + 1) ** zipf_s
+                   for rank in range(len(shard_ids))]
+        return lambda: rng.choices(shard_ids, weights=weights)[0]
+    if skew != "uniform":
+        raise ValueError("skew must be 'uniform' or 'zipf', got %r" % skew)
+    return lambda: rng.choice(shard_ids)
+
+
+def run_soak(shards: int = 4,
+             duration_s: float = 5.0,
+             payload_bytes: int = 64,
+             publishers: int = 2,
+             subscribers: int = 3,
+             churners: int = 2,
+             churn_every: int = 50,
+             burst: int = 10,
+             skew: str = "uniform",
+             zipf_s: float = 1.2,
+             seed: int = 0,
+             processes: bool = True,
+             log_root: Optional[str] = None,
+             name: str = "soak") -> Dict[str, Any]:
+    """Run one soak; returns the report dict (see module docstring).
+
+    ``processes=True`` runs one shard per OS process
+    (:class:`ProcessMesh`); ``False`` keeps every shard in-process on one
+    :class:`SocketHub` — same sockets, cheaper setup, fully
+    deterministic pumping."""
+    rng = random.Random(seed)
+    pick_shard = None
+    mesh: Any = None
+    report: Dict[str, Any] = {
+        "config": {
+            "shards": shards, "duration_s": duration_s,
+            "payload_bytes": payload_bytes, "publishers": publishers,
+            "subscribers": subscribers, "churners": churners,
+            "churn_every": churn_every, "burst": burst, "skew": skew,
+            "zipf_s": zipf_s, "seed": seed, "processes": processes,
+        },
+    }
+    if processes:
+        mesh = ProcessMesh(shard_count=shards, name=name, log_root=log_root)
+        driver = mesh.network
+    else:
+        mesh = SocketMesh(shard_count=shards, name=name, log_root=log_root)
+        driver = mesh.client_network(name + "-driver")
+    try:
+        shard_ids = list(mesh.shard_ids)
+        pick_shard = _shard_picker(shard_ids, skew, zipf_s, rng)
+
+        def pump() -> None:
+            driver.poll(0.001)
+            if not processes:
+                mesh.flush()
+
+        asm_a, _ = person_assembly_pair()
+        pub_peers = []
+        for index in range(publishers):
+            peer = TpsPeer("%s-pub-%d" % (name, index), driver)
+            peer.host_assembly(asm_a)
+            pub_peers.append(peer)
+
+        stable: List[_StableSubscriber] = []
+        for index in range(subscribers):
+            peer = TpsPeer("%s-sub-%d" % (name, index), driver)
+            subscriber = _StableSubscriber(
+                peer, shard_ids[index % len(shard_ids)])
+            peer.subscribe_remote(subscriber.shard_id, person_java(),
+                                  subscriber.deliver)
+            stable.append(subscriber)
+
+        churn_peers = [TpsPeer("%s-churn-%d" % (name, index), driver)
+                       for index in range(churners)]
+        churn_subs: Dict[int, tuple] = {}
+        churn_ops = 0
+
+        def churn_step() -> None:
+            nonlocal churn_ops
+            if not churn_peers:
+                return
+            index = rng.randrange(len(churn_peers))
+            peer = churn_peers[index]
+            active = churn_subs.pop(index, None)
+            if active is not None:
+                shard_id, subscription_id = active
+                peer.unsubscribe_remote(shard_id, subscription_id)
+            shard_id = pick_shard()
+            subscription_id = peer.subscribe_remote(
+                shard_id, person_java(), lambda event: None)
+            churn_subs[index] = (shard_id, subscription_id)
+            churn_ops += 1
+
+        # Warm every (publisher, shard) path so the one-time code fetches
+        # happen before the clock starts — the soak measures the
+        # steady-state protocol, not the cold start the paper prices
+        # separately.
+        warmed = 0
+        for peer in pub_peers:
+            for shard_id in shard_ids:
+                peer.publish_async(shard_id, peer.new_instance(
+                    "demo.a.Person", ["w%d|0|" % warmed]))
+                warmed += 1
+        deadline = time.monotonic() + _DRAIN_TIMEOUT_S
+        while any(s.received < warmed for s in stable):
+            pump()
+            if time.monotonic() > deadline:
+                raise NetworkError("soak warm-up did not drain")
+        for subscriber in stable:
+            subscriber.received = 0
+            subscriber.seen.clear()
+            subscriber.latencies_ms.clear()
+
+        published = 0
+        padding = "x" * max(0, payload_bytes - 32)
+        start = time.monotonic()
+        while time.monotonic() - start < duration_s:
+            for peer in pub_peers:
+                target = pick_shard()
+                for _ in range(burst):
+                    stamp = time.monotonic_ns()
+                    event = peer.new_instance(
+                        "demo.a.Person",
+                        ["%d|%d|%s" % (published, stamp, padding)])
+                    peer.publish_async(target, event)
+                    published += 1
+            pump()
+            if churn_every and published % (churn_every * burst) < burst:
+                churn_step()
+        publish_elapsed = time.monotonic() - start
+
+        # Drain to quiescence: every stable subscriber holds every event.
+        deadline = time.monotonic() + _DRAIN_TIMEOUT_S
+        last_idle_check = 0.0
+        while True:
+            pump()
+            if all(s.received >= published for s in stable):
+                now = time.monotonic()
+                if now - last_idle_check >= _IDLE_CHECK_EVERY_S:
+                    last_idle_check = now
+                    if processes:
+                        if mesh.all_idle() and driver.idle():
+                            break
+                    elif mesh.hub.idle() and not any(
+                            shard.pending_deliveries()
+                            for shard in mesh.shards):
+                        break
+            if time.monotonic() > deadline:
+                break  # report the loss instead of raising
+        elapsed = time.monotonic() - start
+
+        latencies = [sample for subscriber in stable
+                     for sample in subscriber.latencies_ms]
+        delivered = sum(subscriber.received for subscriber in stable)
+        expected = published * len(stable)
+        if processes:
+            shard_reports = {shard_id: mesh.shard_stats(shard_id)
+                             for shard_id in shard_ids}
+            transport = {"driver": driver.transport_snapshot()}
+            transport.update({shard_id: entry["transport"]
+                              for shard_id, entry in shard_reports.items()})
+        else:
+            transport = {"driver": driver.transport_snapshot()}
+            transport.update(mesh.transport_stats())
+        report.update({
+            "published": published,
+            "expected_deliveries": expected,
+            "deliveries": delivered,
+            "lost": max(0, expected - delivered),
+            "duplicates": sum(s.duplicates for s in stable),
+            "churn_ops": churn_ops,
+            "publish_elapsed_s": round(publish_elapsed, 3),
+            "elapsed_s": round(elapsed, 3),
+            "publish_eps": round(published / publish_elapsed, 1)
+            if publish_elapsed else 0.0,
+            "delivery_eps": round(delivered / elapsed, 1)
+            if elapsed else 0.0,
+            "latency_ms": latency_percentiles(latencies),
+            "per_subscriber": {
+                subscriber.peer.peer_id: {
+                    "shard": subscriber.shard_id,
+                    "received": subscriber.received,
+                    "duplicates": subscriber.duplicates,
+                }
+                for subscriber in stable
+            },
+            "transport": transport,
+        })
+        return report
+    finally:
+        if processes:
+            mesh.stop()
+        else:
+            mesh.close()

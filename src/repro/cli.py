@@ -254,6 +254,46 @@ def _compact_log(events_dir, cursors_dir, out) -> int:
     return 0
 
 
+def cmd_soak(args, out) -> int:
+    import json
+
+    from .apps.tps.soak import run_soak
+
+    report = run_soak(
+        shards=args.shards,
+        duration_s=args.duration,
+        payload_bytes=args.payload_bytes,
+        publishers=args.publishers,
+        subscribers=args.subscribers,
+        churners=args.churners,
+        skew=args.skew,
+        seed=args.seed,
+        processes=args.processes,
+        log_root=args.log_root,
+    )
+    latency = report["latency_ms"]
+    out.write("soak %s: %d shard(s), %.1fs publish window\n"
+              % ("processes" if args.processes else "in-process",
+                 args.shards, report["publish_elapsed_s"]))
+    out.write("  published     %d (%.1f events/s)\n"
+              % (report["published"], report["publish_eps"]))
+    out.write("  deliveries    %d of %d expected (%.1f events/s)\n"
+              % (report["deliveries"], report["expected_deliveries"],
+                 report["delivery_eps"]))
+    out.write("  lost          %d\n" % report["lost"])
+    out.write("  duplicates    %d\n" % report["duplicates"])
+    out.write("  churn ops     %d\n" % report["churn_ops"])
+    out.write("  latency ms    p50=%.2f p99=%.2f p999=%.2f max=%.2f\n"
+              % (latency["p50"], latency["p99"], latency["p999"],
+                 latency["max"]))
+    if args.emit:
+        with open(args.emit, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("  report        %s\n" % args.emit)
+    return 1 if (report["lost"] or report["duplicates"]) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "mesh shard keeps for its siblings")
     log.add_argument("directory", help="broker log_dir (or its events/ dir)")
     log.set_defaults(func=cmd_log)
+
+    soak = sub.add_parser(
+        "soak", help="run a multi-process publish/subscribe soak")
+    soak.add_argument("--shards", type=int, default=4)
+    soak.add_argument("--duration", type=float, default=5.0,
+                      help="publish window in seconds (default 5)")
+    soak.add_argument("--payload-bytes", type=int, default=64)
+    soak.add_argument("--publishers", type=int, default=2)
+    soak.add_argument("--subscribers", type=int, default=3)
+    soak.add_argument("--churners", type=int, default=2)
+    soak.add_argument("--skew", choices=["uniform", "zipf"],
+                      default="uniform",
+                      help="shard selection for publishes and churn")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--log-root", default=None,
+                      help="root directory for per-shard durable logs")
+    soak.add_argument("--in-process", dest="processes", action="store_false",
+                      help="run every shard on one in-process socket hub "
+                           "instead of one OS process per shard")
+    soak.add_argument("--emit", default=None, metavar="PATH",
+                      help="write the full JSON report to PATH")
+    soak.set_defaults(func=cmd_soak, processes=True)
 
     return parser
 

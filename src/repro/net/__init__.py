@@ -1,4 +1,10 @@
-"""Simulated network substrate: peers, cost accounting, code repository."""
+"""Network substrate: peers, cost accounting, code repository.
+
+Two interchangeable fabrics share one peer surface: the deterministic
+:class:`SimulatedNetwork` (the twin every protocol property is proved
+on) and the asyncio :class:`SocketNetwork` (real TCP / Unix-domain
+bytes, pumped single-threaded).
+"""
 
 from .codeserver import CodeRepository, KIND_GET_ASSEMBLY, KIND_GET_DESCRIPTION
 from .network import (
@@ -9,9 +15,17 @@ from .network import (
     UnknownPeerError,
 )
 from .peer import Peer, error_response
+from .socket_transport import (
+    DEFAULT_ZERO_COPY_KINDS,
+    SocketHub,
+    SocketNetwork,
+    format_address,
+    parse_address,
+)
 
 __all__ = [
     "CodeRepository",
+    "DEFAULT_ZERO_COPY_KINDS",
     "KIND_GET_ASSEMBLY",
     "KIND_GET_DESCRIPTION",
     "MessageDropped",
@@ -19,6 +33,10 @@ __all__ = [
     "NetworkStats",
     "Peer",
     "SimulatedNetwork",
+    "SocketHub",
+    "SocketNetwork",
     "UnknownPeerError",
     "error_response",
+    "format_address",
+    "parse_address",
 ]

@@ -195,21 +195,31 @@ class CodecStats:
 
 
 class _BufferPool:
-    """A tiny free-list of encode buffers.
+    """A tiny free-list of reusable byte buffers.
 
-    ``envelope_to_bytes``/``reframe`` borrow a ``bytearray``, build the
-    frame in it and return an immutable ``bytes`` copy; the scratch buffer
-    goes back to the pool so steady-state encoding reuses a warm buffer
-    (and its grown capacity) instead of allocating one per record.
+    Encode side: ``envelope_to_bytes``/``reframe`` borrow a ``bytearray``,
+    build the frame in it and return an immutable ``bytes`` copy; the
+    scratch buffer goes back to the pool so steady-state encoding reuses a
+    warm buffer (and its grown capacity) instead of allocating one per
+    record.
+
+    Receive side (the socket transport): each link borrows one buffer for
+    its lifetime and parses inbound frames out of it as memoryviews, so a
+    drain cycle allocates O(links), not O(records) — connection churn
+    recycles warm buffers through the same free list.  ``max_free`` sizes
+    the list for that usage (one retained buffer per expected concurrent
+    link instead of the encode path's small scratch set).
     """
 
     _MAX_FREE = 4
 
-    __slots__ = ("_free", "_stats")
+    __slots__ = ("_free", "_stats", "_max_free")
 
-    def __init__(self, stats: Optional[CodecStats] = None):
+    def __init__(self, stats: Optional[CodecStats] = None,
+                 max_free: Optional[int] = None):
         self._free: List[bytearray] = []
         self._stats = stats
+        self._max_free = self._MAX_FREE if max_free is None else max_free
 
     def acquire(self) -> bytearray:
         if self._free:
@@ -219,8 +229,13 @@ class _BufferPool:
         return bytearray()
 
     def release(self, buf: bytearray) -> None:
-        if len(self._free) < self._MAX_FREE:
-            del buf[:]
+        if len(self._free) < self._max_free:
+            try:
+                del buf[:]
+            except BufferError:
+                # A consumer kept a memoryview into the buffer alive: the
+                # view holders own it now; pool a fresh one instead.
+                return
             self._free.append(buf)
 
 

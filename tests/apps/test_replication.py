@@ -429,8 +429,12 @@ class TestBacklogFetchFiltering:
             TypeDescription.from_type_info(person_java()))
         request = shard._wire_codec.serialize(
             {"description": description, "from": 0})
+        shard.codec.stats.decodes = 0
         reply = shard._wire_codec.deserialize(
             shard._handle_backlog_fetch(request, "tester"))
+        # The serving-side filter is header-only: deciding which of the
+        # 4 records conform cost zero value-level decodes.
+        assert shard.codec.stats.decodes == 0
         assert reply["upto"] == shard.event_log.next_offset
         assert len(reply["records"]) == 2  # the Person records only
         for item in reply["records"]:
@@ -439,6 +443,45 @@ class TestBacklogFetchFiltering:
             assert any("Person" in name for name in names)
             assert not any("Account" in name for name in names)
         assert shard.fetch_records_served == 2
+
+    def test_durable_replay_filter_is_header_only(self, tmp_path):
+        """Satellite unit: the durable-replay conformance filter runs on
+        frame headers — a backlog with nothing conforming replays with
+        zero value-level decodes, and a mixed backlog decodes only the
+        records that actually travel."""
+        network, mesh, publisher = make_world(tmp_path, shard_count=1)
+        publisher.host_assembly(Assembly("bank", [account_csharp()]))
+        home = mesh.shard_ids[0]
+        for index in range(3):
+            publisher.publish_async(
+                home, publisher.new_instance("demo.a.Person", ["p%d" % index]))
+        mesh.run_until_idle()
+        shard = mesh.shard(home)
+        assert shard.event_log.record_count == 3
+
+        # Nothing in the log conforms to Account: replay must not decode.
+        account_type = publisher.new_instance(
+            "demo.bank.Account", ["o", 1])._repro_type()
+        bank_got = []
+        bank_sub = TpsPeer("bank-sub", network)
+        bank_sub.host_assembly(Assembly("bank", [account_csharp()]))
+        shard.codec.stats.decodes = 0
+        bank_sub.subscribe_durable_remote(home, account_type, bank_got.append,
+                                          cursor="bank-c")
+        mesh.run_until_idle()
+        assert bank_got == []
+        assert shard.codec.stats.decodes == 0
+
+        # A conforming subscriber decodes exactly the records it receives.
+        person_got = []
+        person_sub = TpsPeer("person-sub", network)
+        shard.codec.stats.decodes = 0
+        person_sub.subscribe_durable_remote(home, person_java(),
+                                            person_got.append,
+                                            cursor="person-c")
+        mesh.run_until_idle()
+        assert len(person_got) == 3
+        assert shard.codec.stats.decodes == 3
 
     def test_fetch_skips_forwarded_in_records(self, tmp_path):
         """Only records a shard is home to are served — forwarded-in

@@ -1,0 +1,300 @@
+"""Socket transport: round trips, zero-copy dispatch, and the failure
+paths the simulator cannot exercise — truncated frames on a real wire,
+peers vanishing mid-batch, and send queues hitting backpressure."""
+
+import os
+import socket
+import tempfile
+
+import pytest
+
+from repro.net.network import NetworkError, UnknownPeerError
+from repro.net.socket_transport import (
+    SocketHub,
+    SocketNetwork,
+    _write_varint,
+    format_address,
+    parse_address,
+)
+
+
+def encode_frame(src, dst, kind, payload, flags=0, req_id=0):
+    """A from-scratch encoder mirroring the wire layout, so these tests
+    assert the format itself rather than whatever _encode_frame emits."""
+    body = bytearray()
+    body.append(flags)
+    _write_varint(body, req_id)
+    for field in (src, dst, kind):
+        raw = field.encode("utf-8")
+        _write_varint(body, len(raw))
+        body += raw
+    body += payload
+    frame = bytearray()
+    _write_varint(frame, len(body))
+    frame += body
+    return bytes(frame)
+
+
+def uds_address():
+    directory = tempfile.mkdtemp(prefix="repro-sock-")
+    return "unix:%s/node.sock" % directory
+
+
+@pytest.fixture
+def hub():
+    hub = SocketHub()
+    yield hub
+    hub.close()
+
+
+def test_parse_and_format_addresses():
+    assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    assert parse_address("tcp:127.0.0.1:9000") == ("tcp", ("127.0.0.1", 9000))
+    assert format_address("unix", "/tmp/x.sock") == "unix:/tmp/x.sock"
+    assert format_address("tcp", ("127.0.0.1", 9000)) == "tcp:127.0.0.1:9000"
+    with pytest.raises(ValueError):
+        parse_address("carrier-pigeon:coop")
+
+
+def test_uds_request_and_oneway_roundtrip(hub):
+    server = hub.network("server-node")
+    client = hub.network("client-node")
+    address = uds_address()
+    server.listen(address)
+    client.add_route("service", address)
+
+    seen = []
+
+    def handler(kind, payload, src):
+        seen.append((kind, bytes(payload), src))
+        return b"pong:" + bytes(payload)
+
+    server.register("service", handler)
+    assert client.request("caller", "service", "echo", b"hi") == b"pong:hi"
+
+    for index in range(5):
+        client.post_async("caller", "service", "tick", b"%d" % index)
+    hub.run_until_idle()
+    oneways = [entry for entry in seen if entry[0] == "tick"]
+    # FIFO survives the socket: one-way frames arrive in publish order.
+    assert [payload for _, payload, _ in oneways] == \
+        [b"0", b"1", b"2", b"3", b"4"]
+    assert all(src == "caller" for _, _, src in oneways)
+    assert hub.idle()
+
+
+def test_tcp_port_zero_resolves_and_serves(hub):
+    server = hub.network("server-node")
+    client = hub.network("client-node")
+    bound = server.listen("tcp:127.0.0.1:0")
+    scheme, (host, port) = parse_address(bound)
+    assert scheme == "tcp" and port != 0
+    server.register("service", lambda kind, payload, src: b"over-tcp")
+    client.add_route("service", bound)
+    assert client.request("caller", "service", "ping", b"") == b"over-tcp"
+
+
+def test_peer_learning_via_announce(hub):
+    server = hub.network("server-node")
+    client = hub.network("client-node")
+    address = uds_address()
+    server.listen(address)
+    server.register("early", lambda kind, payload, src: b"OK")
+    client.add_route("early", address)
+    assert client.request("caller", "early", "ping", b"") == b"OK"
+    # A peer registered AFTER the link exists is announced over it: the
+    # client can now reach it with no route of its own.
+    server.register("late", lambda kind, payload, src: b"LATE")
+    hub.run_until_idle()
+    assert client.request("caller", "late", "ping", b"") == b"LATE"
+
+
+def test_unknown_peer_raises_immediately(hub):
+    client = hub.network("client-node")
+    with pytest.raises(UnknownPeerError):
+        client.post_async("caller", "nowhere", "tick", b"")
+
+
+def test_zero_copy_kinds_arrive_as_memoryview(hub):
+    server = hub.network("server-node")
+    client = hub.network("client-node")
+    address = uds_address()
+    server.listen(address)
+    types_seen = {}
+
+    def handler(kind, payload, src):
+        types_seen[kind] = type(payload)
+        return b"OK"
+
+    server.register("service", handler)
+    client.add_route("service", address)
+    client.post_async("caller", "service", "object", b"zero-copy")
+    client.post_async("caller", "service", "tps_subscribe", b"copied")
+    hub.run_until_idle()
+    # Hot kinds are views into the link's pooled receive buffer; cold
+    # kinds get a private bytes copy their handlers may retain.
+    assert types_seen["object"] is memoryview
+    assert types_seen["tps_subscribe"] is bytes
+
+
+def test_truncated_frame_on_the_wire_is_counted():
+    server = SocketNetwork("server-node")
+    try:
+        address = uds_address()
+        server.listen(address)
+        received = []
+        server.register("service",
+                        lambda kind, payload, src:
+                        received.append(bytes(payload)) or b"OK")
+        path = parse_address(address)[1]
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(path)
+        raw.sendall(encode_frame("caller", "service", "object", b"whole"))
+        for _ in range(50):
+            server.poll(0.01)
+            if received:
+                break
+        # Half a frame, then the peer vanishes mid-transmission.
+        raw.sendall(encode_frame("caller", "service", "object",
+                                 b"never finished")[:-5])
+        raw.close()
+        for _ in range(50):
+            server.poll(0.01)
+            if server.framing_errors:
+                break
+        assert received == [b"whole"]
+        assert server.framing_errors == 1
+        assert server.frames_received == 1
+    finally:
+        server.close()
+
+
+def test_malformed_frame_aborts_only_that_link(hub):
+    server = hub.network("server-node")
+    client = hub.network("client-node")
+    address = uds_address()
+    server.listen(address)
+    server.register("service", lambda kind, payload, src: b"OK")
+    client.add_route("service", address)
+
+    path = parse_address(address)[1]
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(path)
+    raw.sendall(b"\xff" * 16)  # unbounded varint: not a frame
+    for _ in range(50):
+        hub.poll(0.01)
+        if server.framing_errors:
+            break
+    raw.close()
+    assert server.framing_errors == 1
+    # The poisoned link died alone — a healthy peer is unaffected.
+    assert client.request("caller", "service", "ping", b"") == b"OK"
+
+
+def test_backpressure_blocks_the_publisher_never_drops():
+    directory = tempfile.mkdtemp(prefix="repro-sock-")
+    path = os.path.join(directory, "sink.sock")
+    sink = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sink.bind(path)
+    sink.listen(1)
+    client = SocketNetwork("client-node", max_queue_bytes=64 * 1024,
+                           backpressure_timeout=0.3)
+    try:
+        client.add_route("sink", "unix:" + path)
+        payload = b"x" * 32 * 1024
+        # The sink accepts but never reads: the kernel buffer fills, the
+        # asyncio transport pauses, frames pile into the link's queue —
+        # and the publisher BLOCKS at the cap instead of buffering on.
+        accepted = None
+        with pytest.raises(NetworkError, match="full"):
+            for _ in range(1000):
+                client.post_async("caller", "sink", "object", payload)
+                if accepted is None:
+                    client.poll(0.01)
+                    sink.setblocking(False)
+                    try:
+                        accepted = sink.accept()[0]
+                    except BlockingIOError:
+                        accepted = None
+        assert client.blocked_sends >= 1
+        # Nothing was silently discarded: every frame sent is still
+        # queued on the link or already handed to the kernel.
+        assert client.frames_lost == 0
+    finally:
+        client.close()
+        if accepted is not None:
+            accepted.close()
+        sink.close()
+
+
+def test_peer_disconnect_mid_batch_fails_pending_request():
+    directory = tempfile.mkdtemp(prefix="repro-sock-")
+    path = os.path.join(directory, "flaky.sock")
+    flaky = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    flaky.bind(path)
+    flaky.listen(1)
+    client = SocketNetwork("client-node", request_timeout=5.0)
+    try:
+        client.add_route("flaky", "unix:" + path)
+        client.connect("unix:" + path)
+        client.poll(0.01)
+        accepted = flaky.accept()[0]
+        accepted.close()  # the peer dies with the request in flight
+        with pytest.raises(NetworkError, match="lost"):
+            client.request("caller", "flaky", "fetch", b"")
+    finally:
+        client.close()
+        flaky.close()
+
+
+def test_dead_link_counts_queued_frames_as_lost():
+    directory = tempfile.mkdtemp(prefix="repro-sock-")
+    path = os.path.join(directory, "gone.sock")
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(path)
+    listener.listen(1)
+    client = SocketNetwork("client-node")
+    try:
+        client.add_route("gone", "unix:" + path)
+        client.connect("unix:" + path)
+        client.poll(0.01)
+        accepted = listener.accept()[0]
+        # Stay under max_queue_bytes so no send blocks; the peer never
+        # reads, so most frames are still queued when it dies.
+        payload = b"y" * 128 * 1024
+        for _ in range(24):
+            client.post_async("caller", "gone", "object", payload)
+        accepted.close()
+        for _ in range(100):
+            client.poll(0.01)
+            if client.frames_lost:
+                break
+        # Whatever had not reached the kernel when the peer died is
+        # accounted, loudly, in both counter surfaces.
+        assert client.frames_lost > 0
+        assert client.stats.dropped >= client.frames_lost
+        snapshot = client.transport_snapshot()
+        assert snapshot["frames_lost"] == client.frames_lost
+    finally:
+        client.close()
+        listener.close()
+
+
+def test_transport_snapshot_shape(hub):
+    server = hub.network("server-node")
+    client = hub.network("client-node")
+    address = uds_address()
+    server.listen(address)
+    server.register("service", lambda kind, payload, src: b"OK")
+    client.add_route("service", address)
+    client.request("caller", "service", "ping", b"data")
+    hub.run_until_idle()
+    snapshot = client.transport_snapshot()
+    for key in ("node", "frames_sent", "frames_received", "frames_lost",
+                "bytes_received", "framing_errors", "blocked_sends",
+                "queue_high_water", "links", "recv_pool",
+                "by_kind_messages", "by_kind_bytes"):
+        assert key in snapshot, key
+    assert snapshot["node"] == "client-node"
+    assert snapshot["by_kind_messages"].get("ping") == 1
+    assert "buffer_pool_hits" in snapshot["recv_pool"]
