@@ -155,7 +155,8 @@ def print_report(by_experiment, out=sys.stdout) -> None:
 
 def _machine_entry(row):
     """One experiment's emitted entry.  Latency percentiles and transport
-    counters (schema v2) are promoted out of the extras grab-bag into
+    counters (schema v2), and the full metrics-registry snapshot
+    (schema v3), are promoted out of the extras grab-bag into
     first-class fields so downstream diffing need not know which bench
     recorded them."""
     extras = dict(row["extras"])
@@ -164,7 +165,7 @@ def _machine_entry(row):
         "paper_ms": row["paper_ms"],
         "extras": extras,
     }
-    for promoted in ("latency_ms", "transport"):
+    for promoted in ("latency_ms", "transport", "metrics"):
         value = extras.pop(promoted, None)
         if value is not None:
             entry[promoted] = value
@@ -174,7 +175,7 @@ def _machine_entry(row):
 def emit_machine(by_experiment, path: str, source: str) -> None:
     """Write the per-commit machine-readable results file."""
     document = {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/3",
         "source": source,
         "sha": os.environ.get("GITHUB_SHA"),
         "ref": os.environ.get("GITHUB_REF"),

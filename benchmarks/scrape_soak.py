@@ -1,0 +1,102 @@
+"""Scrape a live soak's HTTP endpoints mid-run (the CI soak-smoke job).
+
+The soak harness serves its registry over HTTP when ``SOAK_HTTP_FILE``
+is set, writing the endpoint map (driver + per-shard addresses) to that
+path once the servers are listening.  This script waits for the map,
+curls ``/metrics`` and ``/stats`` from the driver and ``/metrics`` from
+every shard node while the soak is still publishing, asserts the
+Prometheus exposition parses and the loss-oracle gauges
+(``repro_soak_lost``, ``repro_soak_duplicates``) read zero, and writes
+the scraped snapshot to ``--emit`` for the artifact upload.
+
+Usage:
+    PYTHONPATH=src python benchmarks/scrape_soak.py ENDPOINT_FILE \
+        [--emit SNAPSHOT.json] [--timeout SECONDS]
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.metrics import parse_exposition
+
+
+def fetch(url, deadline):
+    """GET with retries until ``deadline`` — the soak's polled servers
+    answer only once their pump loops are running."""
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            last_error = error
+            time.sleep(0.2)
+    raise SystemExit("could not fetch %s: %s" % (url, last_error))
+
+
+def wait_for_endpoints(path, deadline):
+    while time.monotonic() < deadline:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            time.sleep(0.2)
+    raise SystemExit("endpoint map %s never appeared" % path)
+
+
+def gauge_value(samples, name):
+    if name not in samples:
+        raise SystemExit("loss-oracle gauge %s missing from /metrics" % name)
+    return sum(samples[name].values())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("endpoint_file")
+    parser.add_argument("--emit", default=None,
+                        help="write the scraped snapshot here")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    args = parser.parse_args(argv)
+
+    deadline = time.monotonic() + args.timeout
+    endpoints = wait_for_endpoints(args.endpoint_file, deadline)
+    snapshot = {"endpoints": endpoints}
+
+    driver = endpoints["driver"]
+    page = fetch(driver + "/metrics", deadline)
+    samples = parse_exposition(page)
+    lost = gauge_value(samples, "repro_soak_lost")
+    duplicates = gauge_value(samples, "repro_soak_duplicates")
+    if lost or duplicates:
+        raise SystemExit("loss oracle violated mid-run: lost=%s dup=%s"
+                         % (lost, duplicates))
+    if "repro_soak_published" not in samples:
+        raise SystemExit("repro_soak_published missing from driver /metrics")
+    snapshot["driver_metrics"] = page
+    snapshot["driver_stats"] = json.loads(fetch(driver + "/stats", deadline))
+
+    # Every shard node serves its own parseable exposition page.
+    snapshot["shards"] = {}
+    for shard_id, address in sorted(endpoints.get("shards", {}).items()):
+        page = fetch(address + "/metrics", deadline)
+        shard_samples = parse_exposition(page)
+        if "repro_pipeline_events_routed" not in shard_samples:
+            raise SystemExit("pipeline family missing from %s" % shard_id)
+        snapshot["shards"][shard_id] = page
+
+    if args.emit:
+        with open(args.emit, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print("scraped driver + %d shard(s): lost=0 duplicates=0 published=%s"
+          % (len(snapshot["shards"]),
+             snapshot["driver_stats"].get("published")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

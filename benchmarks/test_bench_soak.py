@@ -12,6 +12,8 @@ Environment knobs (the CI ``soak-smoke`` job turns them up):
 - ``SOAK_SHARDS``      shard process count (default 4)
 - ``SOAK_SKEW``        ``uniform`` (default) or ``zipf`` hot-shard traffic
 - ``SOAK_EMIT``        path to additionally write the full soak report
+- ``SOAK_HTTP_FILE``   serve the harness registry over HTTP and write the
+  endpoint map here (the CI job scrapes it mid-run)
 """
 
 import json
@@ -22,12 +24,13 @@ from repro.apps.tps.soak import run_soak
 DURATION_S = float(os.environ.get("SOAK_DURATION_S", "1.0"))
 SHARDS = int(os.environ.get("SOAK_SHARDS", "4"))
 SKEW = os.environ.get("SOAK_SKEW", "uniform")
+HTTP_FILE = os.environ.get("SOAK_HTTP_FILE") or None
 
 
 def test_soak_zero_loss_under_churn(benchmark):
     report = benchmark.pedantic(
         lambda: run_soak(shards=SHARDS, duration_s=DURATION_S, skew=SKEW,
-                         name="benchsoak"),
+                         name="benchsoak", http_file=HTTP_FILE),
         rounds=1, iterations=1)
 
     emit = os.environ.get("SOAK_EMIT")
@@ -51,3 +54,6 @@ def test_soak_zero_loss_under_churn(benchmark):
     benchmark.extra_info["delivery_eps"] = report["delivery_eps"]
     benchmark.extra_info["latency_ms"] = report["latency_ms"]
     benchmark.extra_info["transport"] = report["transport"]
+    # Schema v3: the full metrics-registry snapshot (driver + per-shard)
+    # rides along so the perf trajectory carries the whole telemetry tree.
+    benchmark.extra_info["metrics"] = report["metrics"]

@@ -42,6 +42,12 @@ from ...cts.types import TypeInfo
 from ...describe.description import TypeDescription
 from ...describe.xml_codec import deserialize_description, serialize_description_bytes
 from ...net.network import NetworkError, SimulatedNetwork, UnknownPeerError
+from ...obs.bridge import (
+    register_broker_metrics,
+    register_local_broker_metrics,
+)
+from ...obs.metrics import MetricsRegistry
+from ...obs.tracing import TraceBuffer, TraceIdSource
 from ...persistence import CursorStore, EventLog
 from ...serialization.errors import WireFormatError
 from ...transport.protocol import (
@@ -137,6 +143,8 @@ class LocalBroker:
         )
         self._next_id = 1
         self.published = 0
+        self.metrics = MetricsRegistry()
+        register_local_broker_metrics(self.metrics, self)
 
     @property
     def delivered(self) -> int:
@@ -192,7 +200,9 @@ class TpsBroker(InteropPeer):
                  log_kwargs: Optional[dict] = None,
                  cursor_sync_every: int = 1,
                  retain_unacked: bool = False,
-                 lazy_admission: bool = True, **kwargs):
+                 lazy_admission: bool = True,
+                 tracing: bool = True,
+                 trace_capacity: int = 512, **kwargs):
         kwargs.setdefault("options", ConformanceOptions.pragmatic())
         #: The zero-copy hot path (shared with the mesh shard): admit
         #: publishes header-only and route/log/ack on the frame bytes,
@@ -226,16 +236,29 @@ class TpsBroker(InteropPeer):
             cursors = CursorStore(os.path.join(log_dir, "cursors.json"),
                                   sync_every=cursor_sync_every)
         stats = PipelineStats()
+        #: Per-record tracing (see :mod:`repro.obs.tracing`): ids are
+        #: minted at origin publish admission, spans land in a bounded
+        #: ring buffer.  ``tracing=False`` turns both off (the benchmark
+        #: baseline for the tracing-overhead gate).
+        self.tracer: Optional[TraceBuffer] = (
+            TraceBuffer(peer_id, trace_capacity) if tracing else None)
+        self._trace_ids: Optional[TraceIdSource] = (
+            TraceIdSource(peer_id) if tracing else None)
         self.durability = DurabilityStage(
             self, event_log, cursors, stats=stats,
             ack_cap=lambda: _MAX_PENDING_ACKS,
             retain_unacked=retain_unacked)
+        self.durability.tracker.tracer = self.tracer
         self.pipeline = self._build_pipeline(stats)
         self.on(KIND_TPS_SUBSCRIBE, self._handle_subscribe)
         self.on(KIND_TPS_UNSUBSCRIBE, self._handle_unsubscribe)
         self.on(KIND_TPS_SUBSCRIBE_DURABLE, self._handle_subscribe_durable)
         self.on(KIND_DELIVERY_ACK, self._handle_delivery_ack)
         self.on_receive(self._route)
+        #: The queryable metrics tree (every ``stats()`` key has a
+        #: sampled family here; see :mod:`repro.obs.bridge`).
+        self.metrics = MetricsRegistry()
+        register_broker_metrics(self.metrics, self)
 
     def _build_pipeline(self, stats: PipelineStats) -> DeliveryPipeline:
         """The stage composition hook: the mesh shard overrides this to
@@ -247,6 +270,7 @@ class TpsBroker(InteropPeer):
             admission=AdmissionStage(self, stats),
             stats=stats,
             host=self,
+            tracer=self.tracer,
         )
 
     # -- pipeline state, re-exported for observability ---------------------
@@ -548,7 +572,14 @@ class TpsBroker(InteropPeer):
             #: durable live delivery — the RBS2B frame is serialized once;
             #: only the XML shell is re-rendered per ack token.
             envelope = self.codec.wrap_batch([value], origin=received.sender)
+            if self._trace_ids is not None:
+                envelope.trace = self._trace_ids.next()
             payload = self.codec.envelope_to_bytes(envelope)
+            if self.tracer is not None:
+                self.tracer.record(envelope.trace, "admit",
+                                   {"src": received.sender,
+                                    "origin": received.sender,
+                                    "bytes": len(payload)})
         self.pipeline.process([value], received.sender,
                               payload=payload, envelope=envelope,
                               forward=True)
@@ -617,10 +648,19 @@ class TpsBroker(InteropPeer):
         token = envelope.publish_ack
         origin = envelope.origin or src
         # ONE header rewrite: the stored/forwarded frame names its
-        # publisher and never carries the publisher's ack token.
+        # publisher and never carries the publisher's ack token.  The
+        # trace id is minted here, in the same rewrite — it then travels
+        # inside the frame bytes through every forward/replicate/replay
+        # hop at zero extra cost.
         envelope.origin = origin
         envelope.publish_ack = None
+        if envelope.trace is None and self._trace_ids is not None:
+            envelope.trace = self._trace_ids.next()
         stored = self.codec.envelope_to_bytes(envelope)
+        if self.tracer is not None and envelope.trace is not None:
+            self.tracer.record(envelope.trace, "admit",
+                               {"src": src, "origin": origin,
+                                "bytes": len(stored)})
         self.transport_stats.objects_received += len(lazy)
         if batch:
             self.transport_stats.batches_received += 1

@@ -49,6 +49,7 @@ from ...net.network import (
     SimulatedNetwork,
     UnknownPeerError,
 )
+from ...obs.bridge import register_mesh_shard_metrics
 from ...persistence import EventLog
 from ...persistence.log import LogRecord
 from ...serialization.envelope import (
@@ -213,6 +214,7 @@ class MeshShard(TpsBroker):
         self.on(KIND_REPLICATE_ACK, self._handle_replicate_ack)
         self.on(KIND_BACKLOG_FETCH, self._handle_backlog_fetch)
         self.on(KIND_REPLICA_PULL, self._handle_replica_pull)
+        register_mesh_shard_metrics(self.metrics, self)
 
     def _build_pipeline(self, stats: PipelineStats) -> DeliveryPipeline:
         """Same stages as the single broker, with buffered dispatch, the
@@ -233,6 +235,7 @@ class MeshShard(TpsBroker):
             forwarder=self._buffer_forwards,
             host=self,
             replication=self.replication,
+            tracer=self.tracer,
         )
 
     @property
@@ -470,6 +473,10 @@ class MeshShard(TpsBroker):
     def _apply_forward(self, payload: bytes, src: str) -> None:
         envelope = self.codec.parse(payload)
         origin = envelope.origin or src
+        if self.tracer is not None and envelope.trace is not None:
+            self.tracer.record(envelope.trace, "admit",
+                               {"src": src, "origin": origin,
+                                "via": "forward", "bytes": len(payload)})
         # Forwarded-in events are logged too — BEFORE materializing: this
         # shard's log is the full local-delivery history, and a transient
         # code-fetch failure below must not lose the record (the sender
@@ -493,7 +500,8 @@ class MeshShard(TpsBroker):
         # Never re-forwarded: an event crosses at most one shard boundary.
         self.pipeline.process(values, origin, payload=payload,
                               log_offset=log_offset,
-                              pre_logged=True, forward=False)
+                              pre_logged=True, forward=False,
+                              trace=envelope.trace)
 
     # -- cross-shard replication (follower side) ---------------------------
 

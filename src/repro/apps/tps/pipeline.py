@@ -266,6 +266,12 @@ class AckTracker:
         self.blocks: Dict[str, int] = {}
         self._seq = 0
         self._epoch = next(_EPOCH)
+        #: Optional span recorder (see :mod:`repro.obs.tracing`) plus the
+        #: token -> trace-ids map that lets an incoming ack close the
+        #: loop on the records it covered.  Bounded by the pending cap:
+        #: entries are popped on acknowledge/discard/forget.
+        self.tracer = None
+        self._token_traces: Dict[str, tuple] = {}
 
     # -- issuing ----------------------------------------------------------
 
@@ -290,6 +296,12 @@ class AckTracker:
     def pending_count(self) -> int:
         return len(self.pending)
 
+    def tag(self, token: str, traces) -> None:
+        """Associate a token with the trace ids of the records it
+        covers, so the eventual ack records an ``ack`` span per trace."""
+        if self.tracer is not None and traces:
+            self._token_traces[token] = tuple(traces)
+
     # -- retirement -------------------------------------------------------
 
     def discard(self, token: str):
@@ -301,6 +313,7 @@ class AckTracker:
         acks cannot skip the hole, and the next replay (which clears the
         block) redelivers it."""
         entry = self.pending.pop(token, None)
+        self._token_traces.pop(token, None)
         if entry is not None:
             for cursor_name, start, _ in entry[1]:
                 window = self.windows.get(cursor_name)
@@ -333,6 +346,7 @@ class AckTracker:
                 self.pending[token] = (entry[0], remaining)
             else:
                 del self.pending[token]
+                self._token_traces.pop(token, None)
 
     def block(self, cursor_name: str, offset: int) -> None:
         """Pin a cursor below a known-undelivered offset."""
@@ -364,6 +378,10 @@ class AckTracker:
         if entry is None or entry[0] != src:
             return False
         del self.pending[token]
+        traces = self._token_traces.pop(token, None)
+        if traces is not None:
+            for trace in traces:
+                self.tracer.record(trace, "ack", {"peer": src})
         for cursor_name, _, _ in entry[1]:
             window = self.windows.get(cursor_name)
             if window is None:
@@ -679,15 +697,26 @@ class ReplicationStage:
         self.sent[follower] = watermark
 
     def watermarks(self) -> Dict[str, Dict[str, int]]:
-        """Per-follower replication positions (the observability surface)."""
-        return {
-            follower: {
-                "sent": self.sent.get(follower, 0),
-                "acked": self.acked.get(follower, 0),
-                "queued": len(self._queues.get(follower, ())),
+        """Per-follower replication positions (the observability surface).
+
+        ``lag`` is the follower's total replication debt: records queued
+        but not yet sent, plus the sent-but-unacknowledged in-flight
+        depth (``sent - acked``, an offset-space upper bound).  A stalled
+        follower shows a growing ``lag`` even when its queue is empty —
+        the depth the plain sent/acked/queued triple left invisible.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for follower in self.followers:
+            sent = self.sent.get(follower, 0)
+            acked = self.acked.get(follower, 0)
+            queued = len(self._queues.get(follower, ()))
+            out[follower] = {
+                "sent": sent,
+                "acked": acked,
+                "queued": queued,
+                "lag": max(0, sent - acked) + queued,
             }
-            for follower in self.followers
-        }
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -750,6 +779,8 @@ class DirectDelivery:
             finally:
                 envelope.ack = None
             ctx["durable_sent"].add(subscription.subscription_id)
+            if envelope.trace is not None:
+                tracker.tag(token, (envelope.trace,))
         else:
             payload = ctx["payloads"].get(id(value))
             if payload is None:
@@ -828,11 +859,12 @@ class BufferedDelivery:
         self._forward_out: Dict[Tuple[str, str],
                                 List[Tuple[Any, Optional[int]]]] = {}
         #: Frame-relay deliveries (the zero-copy path): destination peer
-        #: -> (frame bytes, value count, ack ranges) per record.  The
-        #: frame travels as-is — no value decode, no re-encode; only an
-        #: ack token re-renders the header.
+        #: -> (frame bytes, value count, ack ranges, trace id) per
+        #: record.  The frame travels as-is — no value decode, no
+        #: re-encode; only an ack token re-renders the header.
         self._frame_out: Dict[str, List[Tuple[bytes, int,
-                                              Dict[str, List[int]]]]] = {}
+                                              Dict[str, List[int]],
+                                              Optional[str]]]] = {}
         #: Frame-relay forwards: sibling shard -> (frame bytes, value
         #: count, home-record offset) per record.
         self._forward_frames: Dict[str, List[Tuple[bytes, int,
@@ -845,7 +877,8 @@ class BufferedDelivery:
               log_offset: Optional[int], envelope: Any,
               payload: Optional[bytes] = None) -> dict:
         return {"payload": payload, "count": len(values),
-                "frame_acks": None}
+                "frame_acks": None,
+                "trace": getattr(envelope, "trace", None)}
 
     def remote(self, ctx: dict, subscription: Any, value: Any,
                log_offset: Optional[int]) -> bool:
@@ -898,7 +931,7 @@ class BufferedDelivery:
         count = ctx["count"]
         for peer_id, acks in frame_acks.items():
             self._frame_out.setdefault(peer_id, []).append(
-                (payload, count, acks))
+                (payload, count, acks, ctx["trace"]))
 
     def buffer_forward(self, shard_id: str, origin: str, value: Any,
                        log_offset: Optional[int] = None) -> None:
@@ -951,28 +984,31 @@ class BufferedDelivery:
 
         sent = 0
         tracker = self.durability.tracker if self.durability else None
-        #: Per peer: frames to join, total event count, merged ack windows.
+        #: Per peer: frames to join, total event count, merged ack
+        #: windows, trace ids of the covered records.
         relay: Dict[str, Tuple[List[bytes], List[int],
-                               Dict[str, List[int]]]] = {}
+                               Dict[str, List[int]], List[str]]] = {}
 
         def relay_slot(dst: str):
             slot = relay.get(dst)
             if slot is None:
-                slot = relay[dst] = ([], [0], {})
+                slot = relay[dst] = ([], [0], {}, [])
             return slot
 
         for dst, values in self._outgoing.items():
-            frames, events, acks = relay_slot(dst)
+            frames, events, acks, _ = relay_slot(dst)
             frames.append(encode(values, None))
             events[0] += len(values)
             _merge_ack_windows(acks, self._outgoing_acks.get(dst))
         for dst, buffered in self._frame_out.items():
-            frames, events, acks = relay_slot(dst)
-            for payload, count, record_acks in buffered:
+            frames, events, acks, traces = relay_slot(dst)
+            for payload, count, record_acks, trace in buffered:
                 frames.append(payload)
                 events[0] += count
                 _merge_ack_windows(acks, record_acks)
-        for dst, (frames, events, acks) in relay.items():
+                if trace is not None:
+                    traces.append(trace)
+        for dst, (frames, events, acks, traces) in relay.items():
             token: Optional[str] = None
             if acks and tracker is not None:
                 # The message covers durable subscriptions: its ack
@@ -980,6 +1016,7 @@ class BufferedDelivery:
                 token = tracker.issue(dst, tuple(
                     (name, window[0], window[1])
                     for name, window in sorted(acks.items())))
+                tracker.tag(token, traces)
             if token is not None:
                 frames = frames[:-1] + [codec.reframe(frames[-1], ack=token)]
             try:
@@ -1107,7 +1144,8 @@ class DeliveryPipeline:
                      [Any, Optional[str], Optional[int], Optional[bytes]],
                      None]] = None,
                  host: Any = None,
-                 replication: Optional[ReplicationStage] = None):
+                 replication: Optional[ReplicationStage] = None,
+                 tracer: Any = None):
         self.routing = routing
         self.delivery = delivery
         self.durability = durability
@@ -1116,6 +1154,11 @@ class DeliveryPipeline:
         self.forwarder = forwarder
         self.host = host
         self.replication = replication
+        #: Optional per-shard span ring (:class:`repro.obs.tracing
+        #: .TraceBuffer`); spans are recorded only for records whose
+        #: envelope carries a trace id, so the eager/untraced paths pay
+        #: one attribute read.
+        self.tracer = tracer
 
     # -- live path --------------------------------------------------------
 
@@ -1124,7 +1167,8 @@ class DeliveryPipeline:
                 envelope: Any = None,
                 log_offset: Optional[int] = None,
                 pre_logged: bool = False,
-                forward: bool = False) -> Processed:
+                forward: bool = False,
+                trace: Optional[str] = None) -> Processed:
         """Run one admitted record through every stage.
 
         ``values`` is either a materialized list or a
@@ -1141,6 +1185,11 @@ class DeliveryPipeline:
         summary-gated cross-shard buffering).
         """
         lazy = isinstance(values, LazyBatch)
+        tracer = self.tracer
+        if envelope is not None:
+            trace = getattr(envelope, "trace", None)
+        if tracer is None:
+            trace = None
         if not pre_logged and self.durability is not None:
             if payload is None and self.replication is not None \
                     and self.durability.event_log is not None:
@@ -1155,6 +1204,8 @@ class DeliveryPipeline:
             else:
                 log_offset = self.durability.append_values(
                     list(values), origin or "")
+        if trace is not None and log_offset is not None:
+            tracer.record(trace, "append", {"offset": log_offset})
         if not pre_logged and log_offset is not None \
                 and self.replication is not None and payload is not None:
             # Replication covers exactly the records this shard is the
@@ -1163,10 +1214,22 @@ class DeliveryPipeline:
             # they are: zero value decodes.
             self.replication.record_appended(log_offset, origin or "",
                                              payload)
+            if trace is not None and self.replication.followers:
+                tracer.record(trace, "replicate", {
+                    "offset": log_offset,
+                    "followers": list(self.replication.followers),
+                })
         self.stats.records_processed += 1
+        if trace is not None:
+            tracer.record(trace, "route", {"records": len(values)})
         local_acks: Dict[str, bool] = {}
         ctx = self.delivery.begin(values, origin, log_offset, envelope,
                                   payload)
+        if trace is not None and ctx.get("trace") is None:
+            # Forward-hop records reach the pipeline pre-parsed (no
+            # envelope object); hand the delivery stage the trace id so
+            # buffered relay deliveries still tag their ack tokens.
+            ctx["trace"] = trace
         deliveries = 0
         if lazy:
             for index in range(len(values)):
@@ -1176,6 +1239,8 @@ class DeliveryPipeline:
             for value in values:
                 deliveries += self._fan_out(ctx, value, origin, log_offset,
                                             local_acks)
+        if trace is not None:
+            tracer.record(trace, "dispatch", {"deliveries": deliveries})
         if forward and self.forwarder is not None:
             self.forwarder(values, origin, log_offset, payload)
         self.delivery.finish(ctx)

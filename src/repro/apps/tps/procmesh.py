@@ -8,14 +8,19 @@ Two deployment shapes of the very same :class:`~repro.apps.tps.mesh.MeshShard`:
   benchmarks drive it deterministically (pump, then inspect), yet every
   publish, forward, replica batch and ack crosses a Unix-domain socket.
 - :class:`ProcessMesh` — one shard per OS process, each pumping its own
-  event loop, the control plane (ping / stats / stop) riding the same
-  length-prefixed socket protocol as the data plane.  This is the soak
-  harness's substrate: real processes, real kernels buffers, real
-  backpressure.
+  event loop, the control plane (ping / stats / metrics / trace / admin
+  / stop) riding the same length-prefixed socket protocol as the data
+  plane.  This is the soak harness's substrate: real processes, real
+  kernel buffers, real backpressure.
 
 Both expose the :class:`~repro.apps.tps.mesh.BrokerMesh` addressing
 surface (``shard_ids``/``shard_for``) so client code moves between the
-simulator and the socket fabrics unchanged.
+simulator and the socket fabrics unchanged — and both carry the
+telemetry plane: every node registers its socket transport into the
+shard's metrics registry and serves the HTTP operational API
+(:mod:`repro.obs.http`).  Mutating control operations (``proc_stop``,
+the admin ops) are guarded by a shared bearer token minted at mesh
+construction.
 """
 
 from __future__ import annotations
@@ -23,18 +28,26 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import secrets
 import tempfile
 import time
 from typing import Any, Dict, List, Optional
 
 from ...net.network import NetworkError
 from ...net.socket_transport import SocketHub, SocketNetwork
+from ...obs.bridge import register_network_metrics
+from ...obs.http import HttpError, ObsHttpServer, json_body
+from ...obs.tracing import render_timeline, stitch
 from .mesh import MeshShard, rendezvous_shard
 
 __all__ = [
     "KIND_PROC_PING",
     "KIND_PROC_STATS",
     "KIND_PROC_STOP",
+    "KIND_PROC_METRICS",
+    "KIND_PROC_TRACE",
+    "KIND_PROC_ADMIN",
+    "ADMIN_OPS",
     "ProcessMesh",
     "SocketMesh",
     "shard_addresses",
@@ -43,6 +56,14 @@ __all__ = [
 KIND_PROC_PING = "proc_ping"
 KIND_PROC_STATS = "proc_stats"
 KIND_PROC_STOP = "proc_stop"
+KIND_PROC_METRICS = "proc_metrics"
+KIND_PROC_TRACE = "proc_trace"
+KIND_PROC_ADMIN = "proc_admin"
+
+#: Admin operations served by ``proc_admin`` and the ``/admin/*`` routes.
+ADMIN_OPS = ("compact", "prune", "restart_shard")
+
+_EXPOSITION_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def shard_addresses(sock_dir: str, shard_ids: List[str]) -> Dict[str, str]:
@@ -65,18 +86,38 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def merge_expositions(pages: List[str]) -> str:
+    """Concatenate per-shard exposition pages into one, keeping the first
+    ``# HELP``/``# TYPE`` comment for each metric and dropping repeats."""
+    seen = set()
+    lines: List[str] = []
+    for page in pages:
+        for line in page.splitlines():
+            if line.startswith("#"):
+                if line in seen:
+                    continue
+                seen.add(line)
+            if line:
+                lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
 class SocketMesh:
     """N mesh shards on one :class:`SocketHub` — real sockets, one process.
 
     Client peers join via :meth:`client_network` (a hub node pre-routed
     to every shard) and the whole fabric drains deterministically with
     :meth:`run_until_idle`, mirroring ``BrokerMesh`` on the simulator.
+    :meth:`serve_http` opens one HTTP operational endpoint for the whole
+    mesh (polled from :meth:`flush`); admin routes require
+    :attr:`auth_token`.
     """
 
     def __init__(self, shard_count: int = 4, name: str = "mesh",
                  sock_dir: Optional[str] = None,
                  log_root: Optional[str] = None,
                  replication_factor: int = 0,
+                 auth_token: Optional[str] = None,
                  **broker_kwargs):
         if shard_count < 1:
             raise ValueError("a mesh needs at least one shard")
@@ -84,6 +125,11 @@ class SocketMesh:
         self._tmp_dir = sock_dir is None
         self.sock_dir = sock_dir if sock_dir is not None \
             else tempfile.mkdtemp(prefix="repro-socketmesh-")
+        self.auth_token = auth_token if auth_token is not None \
+            else secrets.token_hex(8)
+        self._log_root = log_root
+        self._replication_factor = replication_factor
+        self._broker_kwargs = dict(broker_kwargs)
         shard_ids = ["%s-shard%d" % (name, index)
                      for index in range(shard_count)]
         self.addresses = shard_addresses(self.sock_dir, shard_ids)
@@ -92,12 +138,7 @@ class SocketMesh:
         for shard_id in shard_ids:
             node = self.hub.network(shard_id + "-node")
             node.listen(self.addresses[shard_id])
-            kwargs = dict(broker_kwargs)
-            if log_root is not None:
-                kwargs["log_dir"] = os.path.join(log_root, shard_id)
-            self.shards.append(
-                MeshShard(shard_id, node,
-                          replication_factor=replication_factor, **kwargs))
+            self.shards.append(self._spawn_shard(shard_id, node))
             self.nodes.append(node)
         for node in self.nodes:
             node.add_routes({sid: addr
@@ -106,6 +147,17 @@ class SocketMesh:
         for shard in self.shards:
             shard.set_siblings(shard_ids)
         self._by_id = {shard.peer_id: shard for shard in self.shards}
+        self.http: Optional[ObsHttpServer] = None
+
+    def _spawn_shard(self, shard_id: str, node: SocketNetwork) -> MeshShard:
+        kwargs = dict(self._broker_kwargs)
+        if self._log_root is not None:
+            kwargs["log_dir"] = os.path.join(self._log_root, shard_id)
+        shard = MeshShard(shard_id, node,
+                          replication_factor=self._replication_factor,
+                          **kwargs)
+        register_network_metrics(shard.metrics, node)
+        return shard
 
     @property
     def shard_ids(self) -> List[str]:
@@ -123,12 +175,35 @@ class SocketMesh:
         node.add_routes(self.addresses)
         return node
 
+    # -- crash/restart ------------------------------------------------------
+
+    def restart_shard(self, shard_id: str) -> MeshShard:
+        """Crash-restart one shard in place, mirroring
+        :meth:`~repro.apps.tps.mesh.BrokerMesh.restart_shard` but over
+        the socket fabric: the replacement reopens the same event log on
+        the same hub node, resynchronises summaries and replays each
+        durable subscription's unacknowledged backlog."""
+        old = self._by_id.get(shard_id)
+        if old is None:
+            raise ValueError("no shard %r in this mesh" % shard_id)
+        shard_ids = self.shard_ids
+        position = self.shards.index(old)
+        old.close()  # unregisters from the node, closes the log
+        shard = self._spawn_shard(shard_id, self.nodes[position])
+        shard.set_siblings(shard_ids)
+        self.shards[position] = shard
+        self._by_id[shard_id] = shard
+        shard.recover()
+        return shard
+
     # -- draining ----------------------------------------------------------
 
     def flush(self) -> int:
         progressed = self.hub.poll(0.001)
         for shard in self.shards:
             progressed += shard.flush_delivery()
+        if self.http is not None:
+            self.http.poll()
         return progressed
 
     def run_until_idle(self, max_rounds: int = 10_000) -> int:
@@ -161,10 +236,159 @@ class SocketMesh:
         return {node.node_id: node.transport_snapshot()
                 for node in self.nodes}
 
+    def metrics_exposition(self) -> str:
+        """One exposition page covering every shard (``shard`` label)."""
+        return merge_expositions([
+            shard.metrics.exposition(
+                extra_labels=(("shard", shard.peer_id),))
+            for shard in self.shards])
+
+    def trace_events(self, trace: Optional[str] = None) -> List[dict]:
+        """Span events from every shard's ring, stitched into one
+        wall-clock timeline (optionally filtered to one trace id)."""
+        return stitch([shard.tracer.events(trace)
+                       for shard in self.shards
+                       if shard.tracer is not None], trace)
+
+    def render_trace(self, trace: str) -> str:
+        return render_timeline(self.trace_events(trace), trace)
+
+    # -- HTTP operational API ----------------------------------------------
+
+    def serve_http(self, host: str = "127.0.0.1",
+                   port: int = 0) -> ObsHttpServer:
+        """Open the mesh-wide HTTP endpoint (idempotent).  The server is
+        polled from :meth:`flush`, so handlers run on the mesh's own
+        pump thread."""
+        if self.http is not None:
+            return self.http
+        server = ObsHttpServer(host, port, token=self.auth_token)
+        _install_mesh_routes(server, self)
+        self.http = server
+        return server
+
+    def admin_op(self, op: str, shard_id: Optional[str] = None,
+                 args: Optional[dict] = None) -> dict:
+        """Run one admin operation against one shard (or, for
+        ``compact``/``prune``, against every shard when ``shard_id`` is
+        omitted)."""
+        args = dict(args or {})
+        if op not in ADMIN_OPS:
+            raise ValueError("unknown admin op %r" % op)
+        if op == "restart_shard":
+            if shard_id is None:
+                raise ValueError("restart_shard needs a shard id")
+            self.restart_shard(shard_id)
+            return {"restarted": shard_id}
+        targets = [shard_id] if shard_id is not None else self.shard_ids
+        results = {}
+        for sid in targets:
+            shard = self._by_id.get(sid)
+            if shard is None:
+                raise ValueError("no shard %r in this mesh" % sid)
+            results[sid] = _shard_admin_op(shard, op, args)
+        return {op: results}
+
     def close(self) -> None:
+        if self.http is not None:
+            self.http.close()
+            self.http = None
         for shard in self.shards:
             shard.close()
         self.hub.close()
+
+
+def _shard_admin_op(shard: MeshShard, op: str, args: dict) -> Any:
+    """The shared compact/prune implementations (restart is fabric-level
+    and handled by the caller)."""
+    if shard.event_log is None:
+        raise ValueError("shard %s has no event log" % shard.peer_id)
+    if op == "compact":
+        return shard.compact_log()
+    if op == "prune":
+        return {"pruned": shard.prune_cursors(
+            int(args.get("max_idle_incarnations", 3)))}
+    raise ValueError("unknown admin op %r" % op)
+
+
+def _install_mesh_routes(server: ObsHttpServer, mesh: SocketMesh) -> None:
+    """The whole-mesh route table: every read endpoint takes an optional
+    ``?shard=`` filter; admin POSTs are token-guarded."""
+
+    def target(query: dict) -> Optional[MeshShard]:
+        shard_id = query.get("shard")
+        if shard_id is None:
+            return None
+        shard = mesh._by_id.get(shard_id)
+        if shard is None:
+            raise HttpError(404, "no shard %r" % shard_id)
+        return shard
+
+    def metrics_route(query: dict, body: bytes):
+        shard = target(query)
+        if shard is not None:
+            page = shard.metrics.exposition(
+                extra_labels=(("shard", shard.peer_id),))
+        else:
+            page = mesh.metrics_exposition()
+        return (_EXPOSITION_TYPE, page.encode("utf-8"))
+
+    def stats_route(query: dict, body: bytes):
+        shard = target(query)
+        return _jsonable(shard.stats() if shard is not None
+                         else mesh.stats())
+
+    def per_shard(query: dict, pick) -> dict:
+        shard = target(query)
+        shards = [shard] if shard is not None else mesh.shards
+        return _jsonable({s.peer_id: pick(s) for s in shards})
+
+    def log_route(query: dict, body: bytes):
+        return per_shard(query, lambda s: s.event_log.stats()
+                         if s.event_log is not None else None)
+
+    def cursors_route(query: dict, body: bytes):
+        return per_shard(query, lambda s: s.cursors.as_dict()
+                         if s.event_log is not None else None)
+
+    def replicas_route(query: dict, body: bytes):
+        return per_shard(query, lambda s: s.replicas.stats()
+                         if s.replicas is not None else None)
+
+    def trace_route(query: dict, body: bytes):
+        trace = query.get("id")
+        spans = mesh.trace_events(trace)
+        result = {"spans": spans}
+        if trace is not None:
+            result["trace"] = trace
+            result["timeline"] = render_timeline(spans, trace)
+        else:
+            seen: List[str] = []
+            for span in spans:
+                if span["trace"] not in seen:
+                    seen.append(span["trace"])
+            result["traces"] = seen
+        return _jsonable(result)
+
+    def admin_route(op: str):
+        def handler(query: dict, body: bytes):
+            args = json_body(body)
+            shard_id = args.pop("shard", None)
+            try:
+                return _jsonable(mesh.admin_op(op, shard_id, args))
+            except ValueError as error:
+                raise HttpError(400, str(error))
+        return handler
+
+    server.route("GET", "/metrics", metrics_route)
+    server.route("GET", "/stats", stats_route)
+    server.route("GET", "/mesh/stats", stats_route)
+    server.route("GET", "/log", log_route)
+    server.route("GET", "/cursors", cursors_route)
+    server.route("GET", "/replicas", replicas_route)
+    server.route("GET", "/trace", trace_route)
+    for op in ADMIN_OPS:
+        server.route("POST", "/admin/" + op, admin_route(op), auth=True)
 
 
 # ---------------------------------------------------------------------------
@@ -175,54 +399,312 @@ class SocketMesh:
 def _shard_process_main(shard_id: str, shard_ids: List[str],
                         sock_dir: str, log_root: Optional[str],
                         replication_factor: int,
-                        broker_kwargs: dict) -> None:
+                        broker_kwargs: dict,
+                        auth_token: Optional[str] = None,
+                        http: bool = True) -> None:
     """Entry point of one shard process: build the shard on its own
-    socket node, serve the control kinds, and pump until told to stop."""
+    socket node, serve the control kinds and the HTTP API, and pump
+    until told to stop."""
     addresses = shard_addresses(sock_dir, shard_ids)
     network = SocketNetwork(shard_id + "-node")
     network.listen(addresses[shard_id])
     kwargs = dict(broker_kwargs)
     if log_root is not None:
         kwargs["log_dir"] = os.path.join(log_root, shard_id)
-    shard = MeshShard(shard_id, network,
-                      replication_factor=replication_factor, **kwargs)
-    network.add_routes({sid: addr for sid, addr in addresses.items()
-                        if sid != shard_id})
-    shard.set_siblings(shard_ids)
-    stopping = []
+    stopping: List[bool] = []
+    restart_queue: List[bool] = []
+    control = {"unauthorized": 0, "restarts": 0}
+    state: Dict[str, MeshShard] = {}
+    server_box: Dict[str, ObsHttpServer] = {}  # filled once http binds
+    probe = shard_id + "-obs"  # reply address for fan-out requests
+
+    def http_unauthorized() -> int:
+        server = server_box.get("server")
+        return server.unauthorized if server is not None else 0
+
+    def authorized(token_bytes: bytes) -> bool:
+        if auth_token is None:
+            return True  # explicitly unsecured mesh
+        return token_bytes == auth_token.encode("utf-8")
+
+    # -- control-plane handlers (closures over the mutable shard slot) ---
 
     def handle_ping(payload: bytes, src: str) -> bytes:
         return b"PONG"
 
-    def handle_stats(payload: bytes, src: str) -> bytes:
-        snapshot = {
+    def node_snapshot() -> dict:
+        shard = state["shard"]
+        return {
             "shard": shard_id,
             "pending_deliveries": shard.pending_deliveries(),
             "network_pending": network.pending(),
             "idle": network.idle() and not shard.pending_deliveries(),
             "stats": shard.stats(),
             "transport": network.transport_snapshot(),
+            "unauthorized": control["unauthorized"],
+            "http_unauthorized": http_unauthorized(),
+            "restarts": control["restarts"],
         }
-        return json.dumps(_jsonable(snapshot)).encode("utf-8")
+
+    def handle_stats(payload: bytes, src: str) -> bytes:
+        return json.dumps(_jsonable(node_snapshot())).encode("utf-8")
+
+    def handle_metrics(payload: bytes, src: str) -> bytes:
+        shard = state["shard"]
+        body = {
+            "shard": shard_id,
+            "snapshot": shard.metrics.snapshot(),
+            "exposition": shard.metrics.exposition(
+                extra_labels=(("shard", shard_id),)),
+        }
+        return json.dumps(_jsonable(body)).encode("utf-8")
+
+    def handle_trace(payload: bytes, src: str) -> bytes:
+        shard = state["shard"]
+        trace = payload.decode("utf-8") or None
+        if shard.tracer is None:
+            body = {"node": shard_id, "spans": [], "traces": []}
+        else:
+            body = {"node": shard_id,
+                    "spans": shard.tracer.events(trace),
+                    "traces": shard.tracer.trace_ids()}
+        return json.dumps(_jsonable(body)).encode("utf-8")
 
     def handle_stop(payload: bytes, src: str) -> bytes:
+        if not authorized(payload):
+            control["unauthorized"] += 1
+            return b"DENIED"
         stopping.append(True)
         return b"OK"
 
-    shard.on(KIND_PROC_PING, handle_ping)
-    shard.on(KIND_PROC_STATS, handle_stats)
-    shard.on(KIND_PROC_STOP, handle_stop)
+    def do_admin(op: str, args: dict) -> Any:
+        if op == "restart_shard":
+            # Deferred to the pump loop: rebuilding the shard from inside
+            # a dispatch handler would re-enter the network mid-poll.
+            restart_queue.append(True)
+            return {"restarting": shard_id}
+        return _shard_admin_op(state["shard"], op, args)
+
+    def handle_admin(payload: bytes, src: str) -> bytes:
+        try:
+            request = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return json.dumps({"error": "bad admin request"}).encode("utf-8")
+        token = request.get("token") or ""
+        if not authorized(token.encode("utf-8")):
+            control["unauthorized"] += 1
+            return json.dumps({"error": "unauthorized"}).encode("utf-8")
+        op = request.get("op")
+        if op not in ADMIN_OPS:
+            return json.dumps(
+                {"error": "unknown admin op %r" % (op,)}).encode("utf-8")
+        try:
+            result = do_admin(op, request.get("args") or {})
+        except Exception as error:
+            return json.dumps({"error": str(error)}).encode("utf-8")
+        return json.dumps(
+            _jsonable({"ok": True, "result": result})).encode("utf-8")
+
+    def build_shard() -> MeshShard:
+        shard = MeshShard(shard_id, network,
+                          replication_factor=replication_factor, **kwargs)
+        register_network_metrics(shard.metrics, network)
+        shard.metrics.gauge("control.unauthorized",
+                            "rejected control-plane requests",
+                            sample=lambda: control["unauthorized"])
+        shard.metrics.gauge("control.restarts",
+                            "in-place shard restarts served",
+                            sample=lambda: control["restarts"])
+        shard.metrics.gauge("control.http_unauthorized",
+                            "rejected HTTP admin requests",
+                            sample=http_unauthorized)
+        shard.on(KIND_PROC_PING, handle_ping)
+        shard.on(KIND_PROC_STATS, handle_stats)
+        shard.on(KIND_PROC_METRICS, handle_metrics)
+        shard.on(KIND_PROC_TRACE, handle_trace)
+        shard.on(KIND_PROC_ADMIN, handle_admin)
+        shard.on(KIND_PROC_STOP, handle_stop)
+        state["shard"] = shard
+        return shard
+
+    build_shard()
+    network.add_routes({sid: addr for sid, addr in addresses.items()
+                        if sid != shard_id})
+    state["shard"].set_siblings(shard_ids)
+
+    # -- HTTP API: any node answers for itself and (via the control
+    # plane) for the whole mesh -------------------------------------------
+    server: Optional[ObsHttpServer] = None
+    if http:
+        server = ObsHttpServer(token=auth_token)
+        server_box["server"] = server
+        _install_node_routes(server, state, shard_id, shard_ids, network,
+                             probe, auth_token, do_admin)
+        # The address file appears before the first poll answers a ping,
+        # so a shard that responds to ping is already scrapable.
+        with open(os.path.join(sock_dir, shard_id + ".http"), "w") as handle:
+            handle.write(server.address)
 
     while not stopping:
         network.poll(0.005)
-        shard.flush_delivery()
+        if restart_queue:
+            del restart_queue[:]
+            state["shard"].close()
+            shard = build_shard()
+            shard.set_siblings(shard_ids)
+            shard.recover()
+            control["restarts"] += 1
+        state["shard"].flush_delivery()
+        if server is not None:
+            server.poll()
     # One farewell pump so the stop response and any buffered deliveries
     # reach the wire before teardown.
     for _ in range(10):
         network.poll(0.002)
-        shard.flush_delivery()
-    shard.close()
+        state["shard"].flush_delivery()
+    if server is not None:
+        server.close()
+    state["shard"].close()
     network.close()
+
+
+def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
+                         shard_id: str, shard_ids: List[str],
+                         network: SocketNetwork, probe: str,
+                         auth_token: Optional[str],
+                         do_admin) -> None:
+    """The per-process route table.  ``/metrics``..``/trace`` read this
+    node; the ``/mesh/*`` routes fan out over the ``proc_*`` control
+    plane so any one node answers for the whole mesh; ``/admin/*``
+    POSTs (token-guarded) run locally or forward to the named shard."""
+
+    def metrics_route(query: dict, body: bytes):
+        page = state["shard"].metrics.exposition(
+            extra_labels=(("shard", shard_id),))
+        return (_EXPOSITION_TYPE, page.encode("utf-8"))
+
+    def stats_route(query: dict, body: bytes):
+        shard = state["shard"]
+        return _jsonable({
+            "shard": shard_id,
+            "pending_deliveries": shard.pending_deliveries(),
+            "stats": shard.stats(),
+            "transport": network.transport_snapshot(),
+        })
+
+    def log_route(query: dict, body: bytes):
+        shard = state["shard"]
+        if shard.event_log is None:
+            raise HttpError(404, "shard has no event log")
+        return _jsonable(shard.event_log.stats())
+
+    def cursors_route(query: dict, body: bytes):
+        shard = state["shard"]
+        if shard.event_log is None:
+            raise HttpError(404, "shard has no event log")
+        return _jsonable(shard.cursors.as_dict())
+
+    def replicas_route(query: dict, body: bytes):
+        shard = state["shard"]
+        if shard.replicas is None:
+            return {}
+        return _jsonable(shard.replicas.stats())
+
+    def trace_route(query: dict, body: bytes):
+        shard = state["shard"]
+        if shard.tracer is None:
+            raise HttpError(404, "tracing disabled on this shard")
+        trace = query.get("id")
+        return _jsonable({"node": shard_id,
+                          "spans": shard.tracer.events(trace),
+                          "traces": shard.tracer.trace_ids()})
+
+    def fan_out(kind: str, payload: bytes):
+        """(shard_id, decoded JSON | None) for every *other* shard."""
+        for sid in shard_ids:
+            if sid == shard_id:
+                continue
+            try:
+                response = network.request(probe, sid, kind, payload)
+                yield sid, json.loads(response.decode("utf-8"))
+            except (NetworkError, ValueError) as error:
+                yield sid, {"error": str(error)}
+
+    def mesh_stats_route(query: dict, body: bytes):
+        snapshots = {shard_id: stats_route(query, body)}
+        for sid, snapshot in fan_out(KIND_PROC_STATS, b""):
+            snapshots[sid] = snapshot
+        return {"mesh": _jsonable(snapshots)}
+
+    def mesh_metrics_route(query: dict, body: bytes):
+        pages = [state["shard"].metrics.exposition(
+            extra_labels=(("shard", shard_id),))]
+        for sid, result in fan_out(KIND_PROC_METRICS, b""):
+            page = result.get("exposition") if isinstance(result, dict) \
+                else None
+            if page:
+                pages.append(page)
+        return (_EXPOSITION_TYPE, merge_expositions(pages).encode("utf-8"))
+
+    def mesh_trace_route(query: dict, body: bytes):
+        trace = query.get("id")
+        shard = state["shard"]
+        span_lists = []
+        if shard.tracer is not None:
+            span_lists.append(shard.tracer.events(trace))
+        for sid, result in fan_out(KIND_PROC_TRACE,
+                                   (trace or "").encode("utf-8")):
+            if isinstance(result, dict) and "spans" in result:
+                span_lists.append(result["spans"])
+        spans = stitch(span_lists, trace)
+        result = {"spans": spans}
+        if trace is not None:
+            result["trace"] = trace
+            result["timeline"] = render_timeline(spans, trace)
+        else:
+            seen: List[str] = []
+            for span in spans:
+                if span["trace"] not in seen:
+                    seen.append(span["trace"])
+            result["traces"] = seen
+        return _jsonable(result)
+
+    def admin_route(op: str):
+        def handler(query: dict, body: bytes):
+            args = json_body(body)
+            target = args.pop("shard", None)
+            if target in (None, shard_id):
+                try:
+                    return _jsonable({"shard": shard_id, "ok": True,
+                                      "result": do_admin(op, args)})
+                except ValueError as error:
+                    raise HttpError(400, str(error))
+            if target not in shard_ids:
+                raise HttpError(404, "no shard %r" % target)
+            payload = json.dumps({"token": auth_token, "op": op,
+                                  "args": args}).encode("utf-8")
+            try:
+                response = network.request(probe, target, KIND_PROC_ADMIN,
+                                           payload)
+            except NetworkError as error:
+                raise HttpError(502, str(error))
+            result = json.loads(response.decode("utf-8"))
+            if "error" in result:
+                raise HttpError(502, str(result["error"]))
+            return _jsonable({"shard": target, **result})
+        return handler
+
+    server.route("GET", "/metrics", metrics_route)
+    server.route("GET", "/stats", stats_route)
+    server.route("GET", "/log", log_route)
+    server.route("GET", "/cursors", cursors_route)
+    server.route("GET", "/replicas", replicas_route)
+    server.route("GET", "/trace", trace_route)
+    server.route("GET", "/mesh/stats", mesh_stats_route)
+    server.route("GET", "/mesh/metrics", mesh_metrics_route)
+    server.route("GET", "/mesh/trace", mesh_trace_route)
+    for op in ADMIN_OPS:
+        server.route("POST", "/admin/" + op, admin_route(op), auth=True)
 
 
 class ProcessMesh:
@@ -232,8 +714,12 @@ class ProcessMesh:
     :func:`_shard_process_main`), waits for every shard to answer a ping,
     and exposes :attr:`network` — a :class:`SocketNetwork` in the calling
     process, routed to every shard — for client peers to register on.
-    The control plane (:meth:`ping`, :meth:`shard_stats`, :meth:`stop`)
-    rides the same socket protocol as publishes and deliveries.
+    The control plane (:meth:`ping`, :meth:`shard_stats`,
+    :meth:`shard_metrics`, :meth:`trace_events`, :meth:`admin`,
+    :meth:`stop`) rides the same socket protocol as publishes and
+    deliveries; mutating operations carry :attr:`auth_token`, minted
+    here and shared with every shard at spawn.  Each shard also serves
+    the HTTP API; :meth:`http_address` reads the advertised URL.
     """
 
     def __init__(self, shard_count: int = 4, name: str = "procmesh",
@@ -241,12 +727,17 @@ class ProcessMesh:
                  log_root: Optional[str] = None,
                  replication_factor: int = 0,
                  start_timeout: float = 30.0,
+                 auth_token: Optional[str] = None,
+                 http: bool = True,
                  **broker_kwargs):
         if shard_count < 1:
             raise ValueError("a mesh needs at least one shard")
         self._tmp_dir = sock_dir is None
         self.sock_dir = sock_dir if sock_dir is not None \
             else tempfile.mkdtemp(prefix="repro-procmesh-")
+        self.auth_token = auth_token if auth_token is not None \
+            else secrets.token_hex(8)
+        self.http_enabled = http
         self.shard_ids = ["%s-shard%d" % (name, index)
                           for index in range(shard_count)]
         self.addresses = shard_addresses(self.sock_dir, self.shard_ids)
@@ -261,7 +752,8 @@ class ProcessMesh:
             process = context.Process(
                 target=_shard_process_main,
                 args=(shard_id, self.shard_ids, self.sock_dir, log_root,
-                      replication_factor, dict(broker_kwargs)),
+                      replication_factor, dict(broker_kwargs),
+                      self.auth_token, http),
                 daemon=True, name=shard_id)
             process.start()
             self.processes.append(process)
@@ -305,6 +797,72 @@ class ProcessMesh:
                                         KIND_PROC_STATS, b"")
         return json.loads(response.decode("utf-8"))
 
+    def shard_metrics(self, shard_id: str) -> dict:
+        """One shard's registry: ``{"snapshot": tree, "exposition": text}``."""
+        response = self.network.request(self._admin, shard_id,
+                                        KIND_PROC_METRICS, b"")
+        return json.loads(response.decode("utf-8"))
+
+    def metrics_snapshots(self) -> Dict[str, dict]:
+        """Every shard's ``snapshot()`` tree, keyed by shard id — the
+        soak report embeds this."""
+        return {shard_id: self.shard_metrics(shard_id).get("snapshot", {})
+                for shard_id in self.shard_ids}
+
+    def metrics_exposition(self) -> str:
+        """One exposition page covering every shard."""
+        return merge_expositions([
+            self.shard_metrics(shard_id).get("exposition", "")
+            for shard_id in self.shard_ids])
+
+    def trace_events(self, trace: Optional[str] = None) -> List[dict]:
+        """Collect every shard's span ring over ``proc_trace`` and stitch
+        them into one wall-clock timeline."""
+        payload = (trace or "").encode("utf-8")
+        span_lists = []
+        for shard_id in self.shard_ids:
+            response = self.network.request(self._admin, shard_id,
+                                            KIND_PROC_TRACE, payload)
+            span_lists.append(
+                json.loads(response.decode("utf-8")).get("spans", []))
+        return stitch(span_lists, trace)
+
+    def render_trace(self, trace: str) -> str:
+        """The ``repro trace`` view: the stitched cross-process timeline."""
+        return render_timeline(self.trace_events(trace), trace)
+
+    def admin(self, op: str, shard_id: str,
+              args: Optional[dict] = None) -> dict:
+        """Run a token-authenticated admin operation on one shard."""
+        payload = json.dumps({"token": self.auth_token, "op": op,
+                              "args": dict(args or {})}).encode("utf-8")
+        response = self.network.request(self._admin, shard_id,
+                                        KIND_PROC_ADMIN, payload)
+        result = json.loads(response.decode("utf-8"))
+        if "error" in result:
+            raise NetworkError("admin %s on %s failed: %s"
+                               % (op, shard_id, result["error"]))
+        return result
+
+    def restart_shard(self, shard_id: str) -> dict:
+        """Ask one shard process to crash-restart its shard in place (the
+        rebuild happens on the shard's next pump tick)."""
+        return self.admin("restart_shard", shard_id)
+
+    def http_address(self, shard_id: str) -> str:
+        """The ``http://host:port`` base URL one shard advertised."""
+        path = os.path.join(self.sock_dir, shard_id + ".http")
+        try:
+            with open(path, "r") as handle:
+                return handle.read().strip()
+        except OSError:
+            raise NetworkError("shard %s advertises no HTTP endpoint"
+                               % shard_id)
+
+    def http_addresses(self) -> Dict[str, str]:
+        return {shard_id: self.http_address(shard_id)
+                for shard_id in self.shard_ids}
+
     def all_idle(self) -> bool:
         """Every shard reports an empty delivery buffer and an idle node
         — the cross-process quiescence check (the driver's own queues are
@@ -316,10 +874,11 @@ class ProcessMesh:
         if self._stopped:
             return
         self._stopped = True
+        token = (self.auth_token or "").encode("utf-8")
         for shard_id in self.shard_ids:
             try:
                 self.network.request(self._admin, shard_id, KIND_PROC_STOP,
-                                     b"")
+                                     token)
             except NetworkError:
                 pass  # already gone; the join below settles it
         for process in self.processes:

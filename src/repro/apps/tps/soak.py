@@ -29,10 +29,15 @@ from typing import Any, Dict, List, Optional
 
 from ...fixtures import person_assembly_pair, person_java
 from ...net.network import NetworkError
+from ...obs.bridge import register_network_metrics
+from ...obs.http import ObsHttpServer
+from ...obs.metrics import MetricsRegistry
 from .broker import TpsPeer
-from .procmesh import ProcessMesh, SocketMesh
+from .procmesh import ProcessMesh, SocketMesh, _jsonable
 
 __all__ = ["latency_percentiles", "run_soak"]
+
+_EXPOSITION_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _DRAIN_TIMEOUT_S = 60.0
 _IDLE_CHECK_EVERY_S = 0.05
@@ -60,7 +65,10 @@ def latency_percentiles(samples_ms: List[float]) -> Dict[str, float]:
 
 class _StableSubscriber:
     """A run-long subscriber: counts deliveries, checks uniqueness and
-    records the publisher-stamp → handler latency per event."""
+    records the publisher-stamp → handler latency per event.  Once the
+    harness attaches :attr:`histogram` (after warm-up), every latency
+    sample also lands in the registry's fixed-bucket histogram — the
+    source of the report's p50/p99/p999."""
 
     def __init__(self, peer: TpsPeer, shard_id: str):
         self.peer = peer
@@ -69,6 +77,7 @@ class _StableSubscriber:
         self.duplicates = 0
         self.seen = set()
         self.latencies_ms: List[float] = []
+        self.histogram = None
 
     def deliver(self, event: Any) -> None:
         name = event.getPersonName()
@@ -81,9 +90,12 @@ class _StableSubscriber:
         else:
             self.seen.add(seq)
         try:
-            self.latencies_ms.append((now - int(stamp)) / 1e6)
+            latency_ms = (now - int(stamp)) / 1e6
         except ValueError:
-            pass  # malformed stamp: latency lost, the count still stands
+            return  # malformed stamp: latency lost, the count still stands
+        self.latencies_ms.append(latency_ms)
+        if self.histogram is not None:
+            self.histogram.observe(latency_ms)
 
 
 def _shard_picker(shard_ids: List[str], skew: str, zipf_s: float,
@@ -111,13 +123,20 @@ def run_soak(shards: int = 4,
              seed: int = 0,
              processes: bool = True,
              log_root: Optional[str] = None,
+             http_file: Optional[str] = None,
              name: str = "soak") -> Dict[str, Any]:
     """Run one soak; returns the report dict (see module docstring).
 
     ``processes=True`` runs one shard per OS process
     (:class:`ProcessMesh`); ``False`` keeps every shard in-process on one
     :class:`SocketHub` — same sockets, cheaper setup, fully
-    deterministic pumping."""
+    deterministic pumping.
+
+    ``http_file`` additionally serves the harness's own metrics registry
+    (loss-oracle gauges, the latency histogram, the driver transport)
+    over HTTP and writes a JSON map ``{"driver": url, "shards": {...}}``
+    to that path, so an external watcher (the CI smoke job) can scrape a
+    live run mid-flight."""
     rng = random.Random(seed)
     pick_shard = None
     mesh: Any = None
@@ -139,11 +158,15 @@ def run_soak(shards: int = 4,
     try:
         shard_ids = list(mesh.shard_ids)
         pick_shard = _shard_picker(shard_ids, skew, zipf_s, rng)
+        published = 0
+        http_server: Optional[ObsHttpServer] = None
 
         def pump() -> None:
             driver.poll(0.001)
             if not processes:
                 mesh.flush()
+            if http_server is not None:
+                http_server.poll()
 
         asm_a, _ = person_assembly_pair()
         pub_peers = []
@@ -165,6 +188,49 @@ def run_soak(shards: int = 4,
                        for index in range(churners)]
         churn_subs: Dict[int, tuple] = {}
         churn_ops = 0
+
+        # The harness's own registry: the loss oracle as gauges, the
+        # end-to-end latency histogram, and the driver node's transport.
+        registry = MetricsRegistry()
+        latency_hist = registry.histogram(
+            "soak.latency_ms", "publisher-stamp to handler latency (ms)")
+        registry.counter("soak.published", "events published",
+                         sample=lambda: published)
+        registry.counter("soak.delivered", "stable-subscriber deliveries",
+                         sample=lambda: sum(s.received for s in stable))
+        registry.gauge("soak.duplicates",
+                       "oracle violations: events seen twice",
+                       sample=lambda: sum(s.duplicates for s in stable))
+        lost_gauge = registry.gauge(
+            "soak.lost", "oracle violations: events missing after drain")
+        registry.counter("soak.churn_ops", "subscribe/unsubscribe cycles",
+                         sample=lambda: churn_ops)
+        register_network_metrics(registry, driver)
+
+        if http_file is not None:
+            import json as _json
+
+            http_server = ObsHttpServer(token=mesh.auth_token)
+            http_server.route(
+                "GET", "/metrics",
+                lambda query, body: (_EXPOSITION_TYPE, registry.exposition(
+                    extra_labels=(("node", "driver"),)).encode("utf-8")))
+            http_server.route(
+                "GET", "/stats",
+                lambda query, body: _jsonable({
+                    "published": published,
+                    "delivered": sum(s.received for s in stable),
+                    "duplicates": sum(s.duplicates for s in stable),
+                    "churn_ops": churn_ops,
+                }))
+            endpoints: Dict[str, Any] = {"driver": http_server.address}
+            if processes:
+                endpoints["shards"] = mesh.http_addresses()
+            else:
+                endpoints["mesh"] = mesh.serve_http().address
+            with open(http_file, "w", encoding="utf-8") as handle:
+                _json.dump(endpoints, handle, indent=2)
+                handle.write("\n")
 
         def churn_step() -> None:
             nonlocal churn_ops
@@ -201,8 +267,10 @@ def run_soak(shards: int = 4,
             subscriber.received = 0
             subscriber.seen.clear()
             subscriber.latencies_ms.clear()
+            # Measurement starts here: warm-up samples never reach the
+            # histogram (it has no reset).
+            subscriber.histogram = latency_hist
 
-        published = 0
         padding = "x" * max(0, payload_bytes - 32)
         start = time.monotonic()
         while time.monotonic() - start < duration_s:
@@ -240,19 +308,21 @@ def run_soak(shards: int = 4,
                 break  # report the loss instead of raising
         elapsed = time.monotonic() - start
 
-        latencies = [sample for subscriber in stable
-                     for sample in subscriber.latencies_ms]
         delivered = sum(subscriber.received for subscriber in stable)
         expected = published * len(stable)
+        lost_gauge.set(max(0, expected - delivered))
         if processes:
             shard_reports = {shard_id: mesh.shard_stats(shard_id)
                              for shard_id in shard_ids}
             transport = {"driver": driver.transport_snapshot()}
             transport.update({shard_id: entry["transport"]
                               for shard_id, entry in shard_reports.items()})
+            shard_metrics = mesh.metrics_snapshots()
         else:
             transport = {"driver": driver.transport_snapshot()}
             transport.update(mesh.transport_stats())
+            shard_metrics = {shard.peer_id: shard.metrics.snapshot()
+                             for shard in mesh.shards}
         report.update({
             "published": published,
             "expected_deliveries": expected,
@@ -266,7 +336,7 @@ def run_soak(shards: int = 4,
             if publish_elapsed else 0.0,
             "delivery_eps": round(delivered / elapsed, 1)
             if elapsed else 0.0,
-            "latency_ms": latency_percentiles(latencies),
+            "latency_ms": latency_hist.labels().percentiles(),
             "per_subscriber": {
                 subscriber.peer.peer_id: {
                     "shard": subscriber.shard_id,
@@ -276,6 +346,10 @@ def run_soak(shards: int = 4,
                 for subscriber in stable
             },
             "transport": transport,
+            "metrics": _jsonable({
+                "driver": registry.snapshot(),
+                "shards": shard_metrics,
+            }),
         })
         return report
     finally:

@@ -8,6 +8,8 @@ Usage::
     python -m repro log inspect DIR
     python -m repro log compact DIR
     python -m repro log replicas DIR
+    python -m repro soak [--shards N] [--http-file PATH] [--emit PATH]
+    python -m repro trace TRACE_ID SPANS.json... [--url http://host:port]
 
 ``describe`` prints the XML type description(s) of a source file;
 ``check`` compiles a provider and an expected type from two source files
@@ -270,6 +272,7 @@ def cmd_soak(args, out) -> int:
         seed=args.seed,
         processes=args.processes,
         log_root=args.log_root,
+        http_file=args.http_file,
     )
     latency = report["latency_ms"]
     out.write("soak %s: %d shard(s), %.1fs publish window\n"
@@ -292,6 +295,50 @@ def cmd_soak(args, out) -> int:
             handle.write("\n")
         out.write("  report        %s\n" % args.emit)
     return 1 if (report["lost"] or report["duplicates"]) else 0
+
+
+def cmd_trace(args, out) -> int:
+    import json
+    from urllib.request import urlopen
+
+    from .obs.tracing import render_timeline, stitch
+
+    if args.list_traces and args.trace_id is not None:
+        # `repro trace --list spans.json`: the optional trace-id
+        # positional ate the first source path — hand it back.
+        args.sources.insert(0, args.trace_id)
+        args.trace_id = None
+    if not args.list_traces and args.trace_id is None:
+        raise CliError("a trace id is required (or use --list)")
+    span_lists = []
+    for path in args.sources:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        span_lists.append(data.get("spans", []) if isinstance(data, dict)
+                          else data)
+    for base in args.url:
+        target = base.rstrip("/")
+        if not target.endswith("/trace"):
+            target += "/trace"
+        if args.trace_id is not None:
+            target += "?id=" + args.trace_id
+        data = json.loads(urlopen(target, timeout=10).read().decode("utf-8"))
+        span_lists.append(data.get("spans", []))
+    if not span_lists:
+        raise CliError("no span sources (give JSON files and/or --url)")
+    if args.list_traces:
+        spans = stitch(span_lists)
+        counts: dict = {}
+        for span in spans:
+            counts[span["trace"]] = counts.get(span["trace"], 0) + 1
+        for trace_id, count in counts.items():
+            out.write("%-24s %d span(s)\n" % (trace_id, count))
+        if not counts:
+            out.write("(no spans)\n")
+        return 0
+    spans = stitch(span_lists, args.trace_id)
+    out.write(render_timeline(spans, args.trace_id) + "\n")
+    return 0 if spans else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -348,7 +395,26 @@ def build_parser() -> argparse.ArgumentParser:
                            "instead of one OS process per shard")
     soak.add_argument("--emit", default=None, metavar="PATH",
                       help="write the full JSON report to PATH")
+    soak.add_argument("--http-file", default=None, metavar="PATH",
+                      help="serve the harness metrics over HTTP and write "
+                           "the endpoint map (driver + shards) to PATH")
     soak.set_defaults(func=cmd_soak, processes=True)
+
+    trace = sub.add_parser(
+        "trace", help="stitch per-shard span dumps into one timeline")
+    trace.add_argument("trace_id", nargs="?", default=None,
+                       help="the trace id to reconstruct (omit with --list)")
+    trace.add_argument("sources", nargs="*",
+                       help="span dump JSON files — the /trace or "
+                            "/mesh/trace response of a node, or a bare "
+                            "span list")
+    trace.add_argument("--url", action="append", default=[],
+                       metavar="BASE",
+                       help="also scrape BASE/trace from a live node "
+                            "(repeatable)")
+    trace.add_argument("--list", action="store_true", dest="list_traces",
+                       help="list the trace ids present in the sources")
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

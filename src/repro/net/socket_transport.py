@@ -368,6 +368,11 @@ class SocketNetwork:
         self.bytes_received = 0
         self.framing_errors = 0
         self.blocked_sends = 0        # post_async calls that hit backpressure
+        #: Opt-in bounded frame log in the simulator's ``(src, dst, kind,
+        #: size)`` shape, so :func:`repro.net.trace.sequence_chart` renders
+        #: real socket traffic exactly like simulated traffic.
+        self.frame_log_enabled = False
+        self.frame_log: Deque[Tuple[str, str, str, int]] = deque(maxlen=512)
 
     # -- membership (simulator-compatible) ---------------------------------
 
@@ -422,6 +427,8 @@ class SocketNetwork:
     # -- delivery (simulator-compatible) -----------------------------------
 
     def request(self, src: str, dst: str, kind: str, payload: bytes) -> bytes:
+        if self.frame_log_enabled:
+            self.frame_log.append((src, dst, kind, len(payload)))
         handler = self._handlers.get(dst)
         if handler is not None:
             # Local round trip, exactly like the simulator: inline call.
@@ -465,6 +472,8 @@ class SocketNetwork:
 
     def post_async(self, src: str, dst: str, kind: str,
                    payload: bytes) -> None:
+        if self.frame_log_enabled:
+            self.frame_log.append((src, dst, kind, len(payload)))
         if dst in self._handlers:
             self._local.append((src, dst, kind, bytes(payload)))
             self.stats.record(kind, len(payload), round_trip=False)
@@ -586,6 +595,9 @@ class SocketNetwork:
     def _dispatch_entry(self, link: _Link, entry: _Inbound) -> None:
         self.frames_received += 1
         self.bytes_received += entry.end - entry.start
+        if self.frame_log_enabled:
+            self.frame_log.append((entry.src, entry.dst, entry.kind,
+                                   entry.end - entry.start))
         handler = self._handlers.get(entry.dst)
         if handler is None:
             if entry.flags == _FLAG_REQUEST:
@@ -800,6 +812,13 @@ class SocketNetwork:
         link.send_frame(frame)
 
     # -- observability -----------------------------------------------------
+
+    def frame_chart(self, peers=None) -> str:
+        """Message sequence chart of the bounded frame log (opt in with
+        ``frame_log_enabled = True``): the simulator's renderer applied
+        to real socket frames."""
+        from .trace import sequence_chart
+        return sequence_chart(list(self.frame_log), peers=peers)
 
     #: Kept API-compatible with the simulator for error forensics.
     @property

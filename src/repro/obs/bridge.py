@@ -1,0 +1,151 @@
+"""Registration glue: existing stats objects -> one metrics registry.
+
+The hand-rolled counter objects (``PipelineStats``, ``CodecStats``,
+``RoutingStats``, ``TransportStats``, the ``EventLog`` counters, the
+socket transport snapshot) stay the source of truth on their hot paths;
+these helpers register *sampled* families that read them at
+snapshot/exposition time.  Each broker calls the matching helper once at
+construction, so every broker/shard owns a complete queryable tree —
+``broker.stats()`` remains the dict-shaped compatibility view.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "register_local_broker_metrics",
+    "register_broker_metrics",
+    "register_mesh_shard_metrics",
+    "register_network_metrics",
+]
+
+#: EventLog.stats() keys worth a gauge (everything numeric).
+_LOG_KEYS = (
+    "segments", "records", "bytes", "first_offset", "next_offset",
+    "appended", "duplicate_appends", "torn_tail_truncations",
+    "dropped_segments", "retention_dropped_records", "retention_pinned",
+    "fsyncs", "compactions", "compacted_records", "compacted_bytes",
+)
+
+
+def _attr_families(registry: MetricsRegistry, prefix: str, obj: Any,
+                   names, kind: str = "counter", help_text: str = "") -> None:
+    declare = registry.counter if kind == "counter" else registry.gauge
+    for name in names:
+        declare("%s.%s" % (prefix, name), help_text,
+                sample=(lambda obj=obj, name=name: getattr(obj, name)))
+
+
+def register_local_broker_metrics(registry: MetricsRegistry,
+                                  broker: Any) -> None:
+    """The :class:`~repro.apps.tps.broker.LocalBroker` tree: publish and
+    routing-cache counters."""
+    registry.counter("broker.published", "events published",
+                     sample=lambda: broker.published)
+    registry.counter("broker.delivered", "events delivered",
+                     sample=lambda: broker.delivered)
+    _attr_families(registry, "routing", broker.index.stats,
+                   type(broker.index.stats).__slots__)
+
+
+def register_broker_metrics(registry: MetricsRegistry, broker: Any) -> None:
+    """The :class:`~repro.apps.tps.broker.TpsBroker` tree: pipeline,
+    codec, routing, protocol, durable-log and cursor families."""
+    stats = broker.pipeline.stats
+    _attr_families(registry, "pipeline", stats, type(stats)._COUNTERS)
+    codec_stats = broker.codec.stats
+    _attr_families(registry, "codec", codec_stats,
+                   type(codec_stats)._COUNTERS)
+    _attr_families(registry, "routing", broker.index.stats,
+                   type(broker.index.stats).__slots__)
+    _attr_families(registry, "protocol", broker.transport_stats,
+                   type(broker.transport_stats).__slots__)
+    if broker.event_log is not None:
+        for key in _LOG_KEYS:
+            registry.gauge("log.%s" % key,
+                           sample=(lambda broker=broker, key=key:
+                                   broker.event_log.stats().get(key, 0)))
+        registry.gauge("log.cursor_count", "durable cursors",
+                       sample=lambda: len(broker.cursors.as_dict()))
+        registry.gauge("log.cursor_offset", "cursor positions",
+                       labelnames=("cursor",),
+                       sample=lambda: broker.cursors.as_dict())
+        registry.gauge("pipeline.pending_acks", "in-flight delivery tokens",
+                       sample=broker.pending_ack_count)
+    if getattr(broker, "tracer", None) is not None:
+        registry.gauge("trace.spans", "span events in the ring buffer",
+                       sample=lambda: len(broker.tracer))
+
+
+def register_mesh_shard_metrics(registry: MetricsRegistry,
+                                shard: Any) -> None:
+    """The mesh-shard additions: forward/batch/gossip counters, the
+    replication families (including the per-follower ``watermark_lag``
+    gauge — the stalled-follower signal), replica-store counters and the
+    backlog-fetch service counters."""
+    for name in ("batch_events", "forwards_sent", "forward_events",
+                 "forwards_received", "gossip_failures"):
+        registry.counter("mesh.%s" % name,
+                         sample=(lambda shard=shard, name=name:
+                                 getattr(shard, name)))
+    registry.gauge("mesh.summary_types", "gossiped summary entries",
+                   sample=lambda: len(shard._summaries))
+    registry.gauge("mesh.pending_deliveries", "buffered deliveries",
+                   sample=shard.pending_deliveries)
+    if shard.replication is not None:
+        replication = shard.replication
+        registry.gauge("replication.factor",
+                       sample=lambda: shard._replication_factor)
+        registry.counter("replication.batches_sent",
+                         sample=lambda: replication.batches_sent)
+        registry.counter("replication.records_sent",
+                         sample=lambda: replication.records_sent)
+        for key in ("sent", "acked", "queued", "lag"):
+            registry.gauge(
+                "replication.watermark_%s" % key,
+                "per-follower replication %s" % key,
+                labelnames=("follower",),
+                sample=(lambda replication=replication, key=key: {
+                    follower: marks[key]
+                    for follower, marks in replication.watermarks().items()
+                }))
+    if shard.replicas is not None:
+        for name in ("replica_records", "replica_rejects", "healed_records"):
+            registry.counter("replication.%s" % name,
+                             sample=(lambda shard=shard, name=name:
+                                     getattr(shard, name)))
+        registry.gauge("replication.replica_origins",
+                       "origins with a local replica log",
+                       sample=lambda: len(shard.replicas.stats()))
+    if shard.event_log is not None:
+        for name in ("fetches_served", "fetch_records_served",
+                     "fetch_failures"):
+            registry.counter("mesh.%s" % name,
+                             sample=(lambda shard=shard, name=name:
+                                     getattr(shard, name)))
+
+
+def register_network_metrics(registry: MetricsRegistry,
+                             network: Any) -> None:
+    """The :class:`~repro.net.socket_transport.SocketNetwork` tree,
+    under ``transport.*`` — scalar counters plus per-kind message/byte
+    families sampled from the live ``NetworkStats``."""
+    for name in ("frames_sent", "frames_received", "frames_lost",
+                 "bytes_received", "framing_errors", "blocked_sends"):
+        registry.counter("transport.%s" % name,
+                         sample=(lambda network=network, name=name:
+                                 getattr(network, name)))
+    registry.gauge("transport.queue_high_water",
+                   "deepest send queue observed",
+                   sample=lambda: network.queue_high_water)
+    registry.gauge("transport.links", "connected links",
+                   sample=lambda: network.transport_snapshot()["links"])
+    registry.counter("transport.messages", "messages by kind",
+                     labelnames=("kind",),
+                     sample=lambda: dict(network.stats.by_kind_messages))
+    registry.counter("transport.bytes", "bytes by kind",
+                     labelnames=("kind",),
+                     sample=lambda: dict(network.stats.by_kind_bytes))

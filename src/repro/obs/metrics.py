@@ -1,0 +1,381 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order:
+
+1. **Lock-free single-threaded fast path.**  Every broker/shard runs one
+   pump loop, so a metric update is a plain attribute add — no locks, no
+   atomics, no allocation.  Cross-thread readers (the polled HTTP server
+   runs in the same loop; there are none) are not a supported use.
+2. **Bridge, don't rewrite.**  The existing hand-rolled counters
+   (``PipelineStats``, ``CodecStats``, ``TransportStats``, ``EventLog``
+   counters, ...) stay the source of truth on their hot paths; the
+   registry *samples* them at snapshot/exposition time via sampled
+   families.  New code (histograms, watermark-lag gauges, auth
+   counters) uses native instruments.
+3. **One queryable tree.**  Family names are dotted
+   (``pipeline.events_routed``, ``replication.watermark_lag``);
+   ``snapshot()`` returns the nested dict tree, ``exposition()`` the
+   Prometheus text format (dots become underscores under a ``repro_``
+   prefix).
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Family",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "parse_exposition",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: Exponential-ish latency buckets, in milliseconds: 50µs .. 10s.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """Monotonic counter.  ``inc()`` is the whole hot-path API."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def get(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value (may go down)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def get(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count/max.
+
+    ``observe()`` is a bisect into the (immutable, shared) bound tuple
+    plus three adds — cheap enough for per-delivery latency recording.
+    Percentiles are bucket-resolution: the reported quantile is the
+    upper bound of the bucket the sample landed in (the exact observed
+    maximum caps the overflow bucket), which is the honest answer a
+    fixed-bucket histogram can give.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "counts", "sum", "count", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS):
+        bounds = tuple(float(bound) for bound in bounds)
+        if not bounds or any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, quantile: float) -> float:
+        """Upper bound of the bucket holding the ``quantile``-th sample."""
+        if not self.count:
+            return 0.0
+        rank = quantile * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index == len(self.bounds):
+                    return self.max
+                return min(self.bounds[index], self.max) \
+                    if self.max else self.bounds[index]
+        return self.max
+
+    def percentiles(self) -> Dict[str, float]:
+        """The soak-report percentile summary (schema-compatible with the
+        old exact-list ``latency_percentiles``)."""
+        return {
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+            "max": self.max,
+            "samples": self.count,
+        }
+
+    def get(self) -> Dict[str, object]:
+        cumulative, buckets = 0, {}
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            buckets["%g" % bound] = cumulative
+        buckets["+Inf"] = self.count
+        return {"count": self.count, "sum": self.sum, "max": self.max,
+                "buckets": buckets}
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class Family:
+    """A named metric family; labeled children are created on demand.
+
+    An unlabeled family proxies ``inc``/``set``/``observe`` straight to
+    its single anonymous child, so ``registry.counter("x").inc()`` works
+    without a ``labels()`` hop.  A *sampled* family has no children: its
+    value is pulled from ``sample()`` at snapshot time (scalar for
+    unlabeled families, ``{label_value: scalar}`` for labeled ones) —
+    that is the bridge that lets the existing hand-rolled counters feed
+    the tree without touching their hot paths.
+    """
+
+    __slots__ = ("name", "help", "kind", "labelnames", "sample",
+                 "_children", "_make")
+
+    def __init__(self, name: str, kind: str, help_text: str = "",
+                 labelnames: Sequence[str] = (),
+                 sample: Optional[Callable[[], object]] = None,
+                 buckets: Optional[Sequence[float]] = None):
+        if not _NAME_RE.match(name):
+            raise ValueError("bad metric name %r" % name)
+        if kind not in _KINDS:
+            raise ValueError("bad metric kind %r" % kind)
+        if len(labelnames) > 1:
+            raise ValueError("at most one label dimension is supported")
+        if sample is not None and kind == "histogram":
+            raise ValueError("histograms cannot be sampled")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self.sample = sample
+        self._children: Dict[str, object] = {}
+        if kind == "histogram":
+            bounds = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS_MS
+            self._make = lambda: Histogram(bounds)
+        else:
+            self._make = _KINDS[kind]
+        if not self.labelnames and sample is None:
+            self.labels()  # a zero sample from birth, not on first touch
+
+    def labels(self, label_value: str = ""):
+        child = self._children.get(label_value)
+        if child is None:
+            child = self._children[label_value] = self._make()
+        return child
+
+    # -- unlabeled conveniences -------------------------------------------
+
+    def inc(self, amount=1) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value) -> None:
+        self.labels().set(value)
+
+    def observe(self, value) -> None:
+        self.labels().observe(value)
+
+    # -- read side ---------------------------------------------------------
+
+    def items(self) -> List[Tuple[str, object]]:
+        """``(label_value, value)`` pairs; sampled families evaluate
+        their callback here."""
+        if self.sample is not None:
+            sampled = self.sample()
+            if isinstance(sampled, dict):
+                return sorted(sampled.items())
+            return [("", sampled)]
+        return [(label, child.get())
+                for label, child in sorted(self._children.items())]
+
+    def value(self):
+        """The family's snapshot-tree leaf."""
+        entries = self.items()
+        if not self.labelnames:
+            if not entries:
+                return 0
+            return entries[0][1]
+        return dict(entries)
+
+
+class MetricsRegistry:
+    """The per-broker/per-node family tree."""
+
+    def __init__(self):
+        self._families: Dict[str, Family] = {}
+
+    # -- declaration -------------------------------------------------------
+
+    def _declare(self, name, kind, help_text, labelnames, sample=None,
+                 buckets=None) -> Family:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError("metric %r already registered as %s"
+                                 % (name, existing.kind))
+            return existing
+        family = Family(name, kind, help_text, labelnames, sample, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = (),
+                sample: Optional[Callable[[], object]] = None) -> Family:
+        return self._declare(name, "counter", help_text, labelnames, sample)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = (),
+              sample: Optional[Callable[[], object]] = None) -> Family:
+        return self._declare(name, "gauge", help_text, labelnames, sample)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Family:
+        return self._declare(name, "histogram", help_text, labelnames,
+                             buckets=buckets)
+
+    def get(self, name: str) -> Optional[Family]:
+        return self._families.get(name)
+
+    def families(self) -> Iterable[Family]:
+        return self._families.values()
+
+    # -- read side ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The queryable tree: dotted family names become nested dicts."""
+        tree: Dict[str, object] = {}
+        for name, family in sorted(self._families.items()):
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = family.value()
+        return tree
+
+    def exposition(self, prefix: str = "repro",
+                   extra_labels: Sequence[Tuple[str, str]] = ()) -> str:
+        """Prometheus text exposition (format 0.0.4).
+
+        ``extra_labels`` (e.g. ``[("shard", "soak-shard0")]``) are
+        attached to every sample — the mesh-level endpoints use it to
+        merge per-shard registries into one page.
+        """
+        lines: List[str] = []
+        for name, family in sorted(self._families.items()):
+            metric = "%s_%s" % (prefix, name.replace(".", "_"))
+            if family.help:
+                lines.append("# HELP %s %s" % (metric, family.help))
+            lines.append("# TYPE %s %s" % (metric, family.kind))
+            label_name = family.labelnames[0] if family.labelnames else None
+            if family.kind == "histogram":
+                for label_value, data in family.items():
+                    base = list(extra_labels)
+                    if label_name is not None:
+                        base.append((label_name, label_value))
+                    for bound, cumulative in data["buckets"].items():
+                        lines.append("%s_bucket%s %d" % (
+                            metric, _labels(base + [("le", bound)]),
+                            cumulative))
+                    lines.append("%s_sum%s %s"
+                                 % (metric, _labels(base), _num(data["sum"])))
+                    lines.append("%s_count%s %d"
+                                 % (metric, _labels(base), data["count"]))
+                continue
+            for label_value, value in family.items():
+                pairs = list(extra_labels)
+                if label_name is not None:
+                    pairs.append((label_name, label_value))
+                lines.append("%s%s %s" % (metric, _labels(pairs), _num(value)))
+        return "\n".join(lines) + "\n"
+
+
+def _labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        '%s="%s"' % (key, str(value).replace("\\", "\\\\")
+                     .replace('"', '\\"').replace("\n", "\\n"))
+        for key, value in pairs
+    )
+    return "{%s}" % rendered
+
+
+def _num(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return "%g" % float(value)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Strict-enough parser for the text exposition format.
+
+    Returns ``{metric_name: {label_pairs_tuple: value}}`` and raises
+    ``ValueError`` on any line that is neither a comment nor a valid
+    sample — the CI smoke job uses this to assert a live node's
+    ``/metrics`` page parses.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError("bad exposition line: %r" % raw)
+        labels: List[Tuple[str, str]] = []
+        if match.group("labels"):
+            for pair in re.findall(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                                   match.group("labels")):
+                labels.append(pair)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError("bad exposition value: %r" % raw)
+        samples.setdefault(match.group("name"), {})[tuple(labels)] = value
+    if not samples:
+        raise ValueError("empty exposition")
+    return samples

@@ -1,0 +1,178 @@
+"""Per-record tracing: span ring buffers and cross-shard timelines.
+
+A trace id is stamped into the XME2 header once, at origin publish (the
+same single header rewrite the admission path already performs), and
+travels verbatim inside the stored/forwarded/replicated frame bytes —
+propagation costs nothing on the zero-copy path.  Each shard records
+per-stage span events (``admit``, ``route``, ``append``, ``replicate``,
+``dispatch``, ``ack``) into a bounded ring buffer; ``repro trace <id>``
+collects the rings from every shard (over the ``proc_*`` control plane
+or the HTTP API) and stitches them into one timeline plus a message
+sequence chart (reusing :mod:`repro.net.trace`'s renderer).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from hashlib import blake2b
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..net.trace import sequence_chart
+
+__all__ = [
+    "SPAN_STAGES",
+    "TraceIdSource",
+    "TraceBuffer",
+    "stitch",
+    "spans_to_log",
+    "render_timeline",
+]
+
+#: The documented span stages, in pipeline order.
+SPAN_STAGES = ("admit", "route", "append", "replicate", "dispatch", "ack")
+
+
+class TraceIdSource:
+    """Mints compact per-node trace ids: ``<node-tag>-<hex counter>``.
+
+    The tag is a 3-byte blake2b of the node name, so ids stay short
+    (varint-cheap in the header) and collision-safe across shards
+    without coordination.
+    """
+
+    __slots__ = ("tag", "_next")
+
+    def __init__(self, node: str):
+        self.tag = blake2b(node.encode("utf-8"), digest_size=3).hexdigest()
+        self._next = 0
+
+    def next(self) -> str:
+        self._next += 1
+        return "%s-%x" % (self.tag, self._next)
+
+
+class TraceBuffer:
+    """Bounded per-shard ring buffer of span events.
+
+    ``record`` is the hot-path call: one monotonic sequence bump, one
+    wall-clock read (wall clock, not monotonic, so rings from different
+    OS processes stitch into one timeline), one deque append.  The deque
+    ``maxlen`` bounds memory no matter how long the shard runs.
+    """
+
+    __slots__ = ("node", "capacity", "_events", "_seq")
+
+    def __init__(self, node: str, capacity: int = 512):
+        self.node = node
+        self.capacity = capacity
+        self._events = deque(maxlen=max(1, capacity))
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, trace: Optional[str], stage: str,
+               info: Optional[dict] = None) -> None:
+        if trace is None:
+            return
+        self._seq += 1
+        self._events.append((self._seq, time.time(), trace, stage, info))
+
+    def events(self, trace: Optional[str] = None) -> List[dict]:
+        """Spans as dicts (JSON-ready), oldest first, optionally filtered
+        to one trace id."""
+        out = []
+        for seq, ts, span_trace, stage, info in self._events:
+            if trace is not None and span_trace != trace:
+                continue
+            span = {"seq": seq, "ts": ts, "node": self.node,
+                    "trace": span_trace, "stage": stage}
+            if info:
+                span.update(info)
+            out.append(span)
+        return out
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids currently in the ring, oldest first."""
+        seen: List[str] = []
+        for _, __, trace, ___, ____ in self._events:
+            if trace not in seen:
+                seen.append(trace)
+        return seen
+
+
+def stitch(span_lists: Iterable[Sequence[dict]],
+           trace: Optional[str] = None) -> List[dict]:
+    """Merge per-shard span dumps into one timeline, ordered by wall
+    clock (ties broken by node then per-ring sequence)."""
+    merged: List[dict] = []
+    for spans in span_lists:
+        for span in spans:
+            if trace is not None and span.get("trace") != trace:
+                continue
+            merged.append(span)
+    merged.sort(key=lambda span: (span.get("ts", 0.0),
+                                  str(span.get("node", "")),
+                                  span.get("seq", 0)))
+    return merged
+
+
+def spans_to_log(spans: Sequence[dict]) -> List[tuple]:
+    """Project cross-peer spans onto ``net.trace`` log entries
+    ``(src, dst, kind, size)``; point events (route/append) have no
+    second lifeline and stay out of the chart."""
+    log: List[tuple] = []
+    for span in spans:
+        node = str(span.get("node", "?"))
+        stage = span.get("stage", "?")
+        size = int(span.get("bytes", 0) or 0)
+        if stage == "admit":
+            src = span.get("src")
+            if src and src != node:
+                log.append((str(src), node, "admit", size))
+        elif stage == "replicate":
+            for follower in span.get("followers", ()) or ():
+                log.append((node, str(follower), "replicate", size))
+        elif stage in ("dispatch", "ack"):
+            peer = span.get("peer")
+            if peer and peer != node:
+                if stage == "ack":
+                    log.append((str(peer), node, "ack", size))
+                else:
+                    log.append((node, str(peer), "dispatch", size))
+    return log
+
+
+def _format_info(span: dict) -> str:
+    skip = ("seq", "ts", "node", "trace", "stage")
+    parts = ["%s=%s" % (key, value) for key, value in sorted(span.items())
+             if key not in skip]
+    return " ".join(parts)
+
+
+def render_timeline(spans: Sequence[dict],
+                    trace: Optional[str] = None) -> str:
+    """The ``repro trace`` output: a chronological span table followed by
+    the cross-shard sequence chart."""
+    ordered = stitch([spans], trace=trace)
+    if not ordered:
+        return "(no spans%s)" % (" for trace %s" % trace if trace else "")
+    t0 = ordered[0].get("ts", 0.0)
+    lines = ["trace %s — %d spans across %d node(s)" % (
+        trace or ordered[0].get("trace", "?"),
+        len(ordered),
+        len({span.get("node") for span in ordered}),
+    )]
+    for span in ordered:
+        lines.append("  +%9.3fms  %-18s %-10s %s" % (
+            (span.get("ts", t0) - t0) * 1000.0,
+            str(span.get("node", "?")),
+            span.get("stage", "?"),
+            _format_info(span),
+        ))
+    log = spans_to_log(ordered)
+    if log:
+        lines.append("")
+        lines.append(sequence_chart(log))
+    return "\n".join(lines)

@@ -294,11 +294,11 @@ class FrameHeader:
     """
 
     __slots__ = ("type_entries", "encoding", "batch_roots", "origin", "ack",
-                 "publish_ack", "_keys", "_keys_text", "home",
+                 "publish_ack", "_keys", "_keys_text", "home", "trace",
                  "payload_offset")
 
     def __init__(self, type_entries, encoding, batch_roots, origin, ack,
-                 publish_ack, keys_text, home, payload_offset):
+                 publish_ack, keys_text, home, payload_offset, trace=None):
         self.type_entries = type_entries
         self.encoding = encoding
         self.batch_roots = batch_roots
@@ -308,6 +308,7 @@ class FrameHeader:
         self._keys: Optional[List[Optional[str]]] = None
         self._keys_text = keys_text
         self.home = home
+        self.trace = trace
         self.payload_offset = payload_offset
 
     @property
@@ -394,7 +395,8 @@ def _parse_header_strict(data: Buffer) -> FrameHeader:
     return FrameHeader(entries, encoding, batch_roots,
                        payload_el.get("origin"), payload_el.get("ack"),
                        payload_el.get("publish_ack"), keys_text,
-                       payload_el.get("home"), payload_offset)
+                       payload_el.get("home"), payload_offset,
+                       trace=payload_el.get("trace"))
 
 
 def parse_frame_header(data: Buffer,
@@ -497,7 +499,11 @@ class ObjectEnvelope:
     durably appended in — ``"<shard id>|o1,o2,..."`` with one home-shard
     offset (or ``-``) per value — so a mesh shard storing a forwarded-in
     copy can later recognise the same record arriving again by
-    replication or backlog fetch and not deliver it twice.
+    replication or backlog fetch and not deliver it twice.  ``trace``
+    optionally carries the record's trace id (stamped once at origin
+    publish, see :mod:`repro.obs.tracing`): it travels inside the frame
+    bytes, so forwarding/replicating/replaying a record propagates the
+    id with zero extra work on the zero-copy path.
     """
 
     def __init__(self, type_entries: List[TypeEntry], encoding: str,
@@ -508,7 +514,8 @@ class ObjectEnvelope:
                  publish_ack: Optional[str] = None,
                  keys: Optional[List[Optional[str]]] = None,
                  home: Optional[str] = None,
-                 keys_text: Optional[str] = None):
+                 keys_text: Optional[str] = None,
+                 trace: Optional[str] = None):
         self.type_entries = type_entries
         self.encoding = encoding  # "binary" | "soap"
         self.payload = payload
@@ -519,6 +526,7 @@ class ObjectEnvelope:
         self._keys = keys
         self._keys_text = keys_text if keys is None else None
         self.home = home
+        self.trace = trace
 
     @property
     def is_batch(self) -> bool:
@@ -824,6 +832,8 @@ class EnvelopeCodec:
             payload_attrs["keys"] = keys_attr
         if envelope.home is not None:
             payload_attrs["home"] = envelope.home
+        if envelope.trace is not None:
+            payload_attrs["trace"] = envelope.trace
         ET.SubElement(root, "Payload", payload_attrs)
         return ET.tostring(root, encoding="utf-8")
 
@@ -889,7 +899,8 @@ class EnvelopeCodec:
                 ack: Any = _UNSET,
                 publish_ack: Any = _UNSET,
                 home: Any = _UNSET,
-                keys: Any = _UNSET) -> bytes:
+                keys: Any = _UNSET,
+                trace: Any = _UNSET) -> bytes:
         """Re-render a frame's header with changed attributes.
 
         The payload bytes are reused verbatim (zero value-level decodes);
@@ -909,6 +920,8 @@ class EnvelopeCodec:
             envelope.home = home
         if keys is not _UNSET:
             envelope.keys = keys
+        if trace is not _UNSET:
+            envelope.trace = trace
         return self.envelope_to_bytes(envelope)
 
     # -- parse ------------------------------------------------------------
@@ -984,7 +997,8 @@ class EnvelopeCodec:
                               ack=payload_el.get("ack"),
                               publish_ack=payload_el.get("publish_ack"),
                               keys_text=keys_text,
-                              home=payload_el.get("home"))
+                              home=payload_el.get("home"),
+                              trace=payload_el.get("trace"))
 
     def lazy_batch(self, envelope: ObjectEnvelope) -> LazyBatch:
         """Wrap a parsed envelope for header-driven, decode-on-dispatch use."""

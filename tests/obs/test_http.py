@@ -1,0 +1,161 @@
+"""Unit tests for the polled HTTP operational server: routing, render
+rules, auth, and error handling.
+
+The production server is polled from a pump loop; here a daemon thread
+polls it so plain ``urllib`` calls from the test thread get answered.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.obs.http import HttpError, ObsHttpServer, json_body
+
+
+@contextmanager
+def serving(server):
+    stop = threading.Event()
+
+    def pump():
+        # poll() never blocks (zero-timeout select); yield the GIL so the
+        # test thread's urllib call makes progress between polls.
+        while not stop.is_set():
+            server.poll()
+            time.sleep(0.001)
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        stop.set()
+        thread.join(timeout=2)
+        server.close()
+
+
+def get(url, token=None, method="GET", body=None):
+    request = urllib.request.Request(url, data=body, method=method)
+    if token is not None:
+        request.add_header("Authorization", "Bearer " + token)
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, response.headers.get("Content-Type"), \
+                response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type"), error.read()
+
+
+class TestJsonBody:
+    def test_empty_body_is_empty_object(self):
+        assert json_body(b"") == {}
+
+    def test_object_parses(self):
+        assert json_body(b'{"op": "compact"}') == {"op": "compact"}
+
+    @pytest.mark.parametrize("body", [b"not json", b"[1,2]", b'"str"',
+                                      b"\xff\xfe"])
+    def test_non_object_rejected_with_400(self, body):
+        with pytest.raises(HttpError) as excinfo:
+            json_body(body)
+        assert excinfo.value.status == 400
+
+
+class TestRoutesAndRender:
+    def test_render_rules_and_query(self):
+        server = ObsHttpServer()
+        server.route("GET", "/text", lambda query, body: "plain\n")
+        server.route("GET", "/json",
+                     lambda query, body: {"q": query.get("x")})
+        server.route("GET", "/raw",
+                     lambda query, body: ("application/x-custom", b"\x00\x01"))
+        with serving(server):
+            status, content_type, payload = get(server.address + "/text")
+            assert (status, payload) == (200, b"plain\n")
+            assert content_type.startswith("text/plain")
+
+            status, content_type, payload = get(server.address + "/json?x=7&x=9")
+            assert status == 200
+            assert content_type == "application/json"
+            assert json.loads(payload) == {"q": "9"}  # last value wins
+
+            status, content_type, payload = get(server.address + "/raw")
+            assert (content_type, payload) == ("application/x-custom",
+                                               b"\x00\x01")
+
+    def test_post_body_reaches_handler(self):
+        server = ObsHttpServer(token="secret")
+        server.route("POST", "/echo",
+                     lambda query, body: {"got": body.decode("utf-8")},
+                     auth=True)
+        with serving(server):
+            status, _, payload = get(server.address + "/echo", token="secret",
+                                     method="POST", body=b"hello")
+            assert status == 200
+            assert json.loads(payload) == {"got": "hello"}
+
+    def test_404_405_and_request_counter(self):
+        server = ObsHttpServer()
+        server.route("GET", "/only-get", lambda query, body: "ok")
+        with serving(server):
+            assert get(server.address + "/missing")[0] == 404
+            assert get(server.address + "/only-get", method="POST",
+                       body=b"")[0] == 405
+            assert get(server.address + "/only-get")[0] == 200
+        assert server.requests >= 3
+
+    def test_http_error_sets_status(self):
+        server = ObsHttpServer()
+
+        def handler(query, body):
+            raise HttpError(400, "bad shard")
+
+        server.route("GET", "/boom", handler)
+        with serving(server):
+            status, _, payload = get(server.address + "/boom")
+            assert (status, payload) == (400, b"bad shard\n")
+
+    def test_handler_crash_is_500_not_fatal(self):
+        server = ObsHttpServer()
+        server.route("GET", "/crash",
+                     lambda query, body: 1 / 0)
+        server.route("GET", "/fine", lambda query, body: "ok")
+        with serving(server):
+            assert get(server.address + "/crash")[0] == 500
+            # The pump survived the broken route.
+            assert get(server.address + "/fine")[0] == 200
+
+
+class TestAuth:
+    def test_wrong_and_missing_token_rejected_and_counted(self):
+        server = ObsHttpServer(token="secret")
+        server.route("POST", "/admin", lambda query, body: {"ok": True},
+                     auth=True)
+        with serving(server):
+            assert get(server.address + "/admin", method="POST",
+                       body=b"")[0] == 401
+            assert get(server.address + "/admin", token="wrong",
+                       method="POST", body=b"")[0] == 401
+            assert get(server.address + "/admin", token="secret",
+                       method="POST", body=b"")[0] == 200
+        assert server.unauthorized == 2
+
+    def test_no_token_seals_admin_surface(self):
+        server = ObsHttpServer(token=None)
+        server.route("POST", "/admin", lambda query, body: {"ok": True},
+                     auth=True)
+        with serving(server):
+            # Even an empty bearer token cannot open a token-less server.
+            assert get(server.address + "/admin", token="",
+                       method="POST", body=b"")[0] == 401
+        assert server.unauthorized == 1
+
+    def test_unauthenticated_read_routes_stay_open(self):
+        server = ObsHttpServer(token="secret")
+        server.route("GET", "/stats", lambda query, body: {"up": 1})
+        with serving(server):
+            assert get(server.address + "/stats")[0] == 200

@@ -1,0 +1,255 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms,
+families, snapshot tree, Prometheus exposition and its parser)."""
+
+import pytest
+
+from repro.apps.tps.procmesh import merge_expositions
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        assert counter.get() == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.get() == 42
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(7)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.get() == 5
+
+    def test_histogram_counts_and_sum(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        data = histogram.get()
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(555.5)
+        assert data["max"] == 500.0
+        # Cumulative buckets, +Inf last.
+        assert data["buckets"] == {"1": 1, "10": 2, "100": 3, "+Inf": 4}
+
+    def test_histogram_percentile_is_bucket_resolution(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for _ in range(99):
+            histogram.observe(0.5)
+        histogram.observe(50.0)
+        # p50 lands in the first bucket: reported as its upper bound,
+        # capped by the observed max when that is lower.
+        assert histogram.percentile(0.50) == 1.0
+        # The tail quantile lands in the 100.0 bucket but the reported
+        # value is capped by the exact observed maximum.
+        assert histogram.percentile(0.999) == 50.0
+
+    def test_histogram_overflow_bucket_reports_exact_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(123.0)
+        assert histogram.percentile(0.99) == 123.0
+
+    def test_histogram_max_caps_bucket_bound(self):
+        histogram = Histogram(bounds=(1.0, 1000.0))
+        histogram.observe(2.0)
+        # The sample sits in the 1000.0 bucket but the observed max is 2.
+        assert histogram.percentile(0.5) == 2.0
+
+    def test_empty_histogram_percentiles(self):
+        histogram = Histogram()
+        assert histogram.percentile(0.99) == 0.0
+        assert histogram.percentiles() == {
+            "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0, "samples": 0}
+
+    def test_percentiles_schema(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.percentiles()
+        assert set(summary) == {"p50", "p99", "p999", "max", "samples"}
+        assert summary["samples"] == 3
+        assert summary["max"] == 3.0
+
+    @pytest.mark.parametrize("bounds", [(), (1.0, 1.0), (2.0, 1.0)])
+    def test_bad_bounds_rejected(self, bounds):
+        with pytest.raises(ValueError):
+            Histogram(bounds=bounds)
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == \
+            sorted(set(DEFAULT_LATENCY_BUCKETS_MS))
+
+
+class TestFamily:
+    def test_bad_name_rejected(self):
+        for name in ("Bad", "1x", "a..b", "a-b", ""):
+            with pytest.raises(ValueError):
+                Family(name, "counter")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Family("x", "summary")
+
+    def test_two_label_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Family("x", "counter", labelnames=("a", "b"))
+
+    def test_sampled_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            Family("x", "histogram", sample=lambda: 1)
+
+    def test_unlabeled_family_proxies_to_anonymous_child(self):
+        family = Family("x", "counter")
+        family.inc(3)
+        assert family.value() == 3
+        assert family.items() == [("", 3)]
+
+    def test_unlabeled_native_family_samples_zero_from_birth(self):
+        # An untouched family must still emit a sample line — the CI
+        # loss-oracle gauges are scraped before anything increments them.
+        assert Family("x", "gauge").value() == 0
+        assert Family("x", "counter").items() == [("", 0)]
+
+    def test_labeled_children_on_demand(self):
+        family = Family("x", "counter", labelnames=("node",))
+        family.labels("a").inc()
+        family.labels("b").inc(2)
+        assert family.value() == {"a": 1, "b": 2}
+
+    def test_sampled_scalar_and_dict(self):
+        box = {"n": 5}
+        scalar = Family("x", "gauge", sample=lambda: box["n"])
+        assert scalar.value() == 5
+        box["n"] = 9
+        assert scalar.value() == 9  # read at snapshot time, not declare time
+        labeled = Family("y", "gauge", labelnames=("k",),
+                         sample=lambda: {"b": 2, "a": 1})
+        assert labeled.items() == [("a", 1), ("b", 2)]
+
+
+class TestRegistry:
+    def test_declare_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a.b", "help")
+        again = registry.counter("a.b")
+        assert first is again
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ValueError):
+            registry.gauge("a.b")
+
+    def test_get_and_families(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("x")
+        assert registry.get("x") is family
+        assert registry.get("missing") is None
+        assert family in list(registry.families())
+
+    def test_snapshot_nests_dotted_names(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.events_routed").inc(3)
+        registry.gauge("pipeline.pending").set(1)
+        registry.counter("transport.frames_sent").inc()
+        registry.gauge("lag", labelnames=("follower",),
+                       sample=lambda: {"f1": 4})
+        tree = registry.snapshot()
+        assert tree == {
+            "pipeline": {"events_routed": 3, "pending": 1},
+            "transport": {"frames_sent": 1},
+            "lag": {"f1": 4},
+        }
+
+    def test_snapshot_includes_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", buckets=(1.0, 10.0)).observe(0.5)
+        leaf = registry.snapshot()["latency"]
+        assert leaf["count"] == 1
+        assert leaf["buckets"]["+Inf"] == 1
+
+
+class TestExposition:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.events_routed", "routed").inc(7)
+        registry.gauge("soak.lost", "loss oracle")
+        registry.gauge("replication.watermark_lag", "per-follower lag",
+                       labelnames=("follower",),
+                       sample=lambda: {"shard1": 2})
+        registry.histogram("soak.latency_ms", "latency",
+                           buckets=(1.0, 10.0)).observe(3.0)
+        return registry
+
+    def test_exposition_round_trips_through_parser(self):
+        text = self.build().exposition()
+        samples = parse_exposition(text)
+        assert samples["repro_pipeline_events_routed"][()] == 7.0
+        assert samples["repro_soak_lost"][()] == 0.0
+        assert samples["repro_replication_watermark_lag"][
+            (("follower", "shard1"),)] == 2.0
+        assert samples["repro_soak_latency_ms_count"][()] == 1.0
+        assert samples["repro_soak_latency_ms_sum"][()] == 3.0
+        assert samples["repro_soak_latency_ms_bucket"][(("le", "10"),)] == 1.0
+        assert samples["repro_soak_latency_ms_bucket"][(("le", "+Inf"),)] == 1.0
+
+    def test_exposition_has_help_and_type_lines(self):
+        text = self.build().exposition()
+        assert "# HELP repro_pipeline_events_routed routed" in text
+        assert "# TYPE repro_pipeline_events_routed counter" in text
+        assert "# TYPE repro_soak_latency_ms histogram" in text
+
+    def test_extra_labels_attach_to_every_sample(self):
+        text = self.build().exposition(extra_labels=[("shard", "s0")])
+        samples = parse_exposition(text)
+        assert samples["repro_pipeline_events_routed"][
+            (("shard", "s0"),)] == 7.0
+        assert samples["repro_replication_watermark_lag"][
+            (("shard", "s0"), ("follower", "shard1"))] == 2.0
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert "myapp_a 1" in registry.exposition(prefix="myapp")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("x", labelnames=("k",),
+                       sample=lambda: {'we"ird\n': 1})
+        samples = parse_exposition(registry.exposition())
+        (pairs,) = samples["repro_x"]
+        assert pairs[0][0] == "k"
+
+    @pytest.mark.parametrize("text", [
+        "", "# only a comment\n", "not a sample line !\n",
+        "repro_x{unterminated 1\n", "repro_x notanumber\n",
+    ])
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_exposition(text)
+
+
+class TestMergeExpositions:
+    def test_merge_dedupes_comment_lines(self):
+        registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+        registry_a.counter("x", "the x counter").inc()
+        registry_b.counter("x", "the x counter").inc(2)
+        merged = merge_expositions([
+            registry_a.exposition(extra_labels=[("shard", "a")]),
+            registry_b.exposition(extra_labels=[("shard", "b")]),
+            "",
+        ])
+        assert merged.count("# HELP repro_x") == 1
+        assert merged.count("# TYPE repro_x") == 1
+        samples = parse_exposition(merged)
+        assert samples["repro_x"][(("shard", "a"),)] == 1.0
+        assert samples["repro_x"][(("shard", "b"),)] == 2.0

@@ -1,0 +1,131 @@
+"""Unit tests for per-record tracing: id minting, the bounded span
+ring, cross-shard stitching and the timeline renderer."""
+
+from repro.obs.tracing import (
+    SPAN_STAGES,
+    TraceBuffer,
+    TraceIdSource,
+    render_timeline,
+    spans_to_log,
+    stitch,
+)
+
+
+class TestTraceIdSource:
+    def test_ids_are_unique_and_tagged(self):
+        source = TraceIdSource("shard0")
+        ids = [source.next() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert all(trace.startswith(source.tag + "-") for trace in ids)
+
+    def test_different_nodes_get_different_tags(self):
+        assert TraceIdSource("shard0").tag != TraceIdSource("shard1").tag
+
+    def test_ids_are_compact(self):
+        # Varint-cheap in the header: tag (6 hex) + dash + short counter.
+        assert len(TraceIdSource("a-very-long-shard-name").next()) <= 12
+
+
+class TestTraceBuffer:
+    def test_record_and_events(self):
+        ring = TraceBuffer("shard0")
+        ring.record("t-1", "admit", {"src": "pub", "bytes": 10})
+        ring.record("t-1", "route", {"records": 1})
+        spans = ring.events()
+        assert [span["stage"] for span in spans] == ["admit", "route"]
+        assert spans[0]["node"] == "shard0"
+        assert spans[0]["trace"] == "t-1"
+        assert spans[0]["src"] == "pub"
+        assert spans[0]["seq"] < spans[1]["seq"]
+
+    def test_none_trace_is_not_recorded(self):
+        ring = TraceBuffer("shard0")
+        ring.record(None, "admit")
+        assert len(ring) == 0
+
+    def test_ring_is_bounded(self):
+        ring = TraceBuffer("shard0", capacity=8)
+        for index in range(100):
+            ring.record("t-%d" % index, "route")
+        assert len(ring) == 8
+        # Oldest events fell off; the newest survived.
+        assert ring.events()[-1]["trace"] == "t-99"
+        assert ring.events()[0]["trace"] == "t-92"
+
+    def test_events_filter_by_trace(self):
+        ring = TraceBuffer("shard0")
+        ring.record("t-1", "admit")
+        ring.record("t-2", "admit")
+        ring.record("t-1", "dispatch")
+        assert [span["stage"] for span in ring.events("t-1")] == \
+            ["admit", "dispatch"]
+
+    def test_trace_ids_distinct_oldest_first(self):
+        ring = TraceBuffer("shard0")
+        for trace in ("a", "b", "a", "c"):
+            ring.record(trace, "route")
+        assert ring.trace_ids() == ["a", "b", "c"]
+
+
+class TestStitch:
+    def test_orders_by_wall_clock_then_node_then_seq(self):
+        shard_a = [{"ts": 2.0, "node": "a", "seq": 1, "trace": "t"},
+                   {"ts": 1.0, "node": "a", "seq": 2, "trace": "t"}]
+        shard_b = [{"ts": 1.0, "node": "b", "seq": 1, "trace": "t"},
+                   {"ts": 1.0, "node": "a", "seq": 1, "trace": "t"}]
+        merged = stitch([shard_a, shard_b])
+        keys = [(span["ts"], span["node"], span["seq"]) for span in merged]
+        assert keys == sorted(keys)
+
+    def test_filters_to_one_trace(self):
+        spans = [{"ts": 1.0, "trace": "x"}, {"ts": 2.0, "trace": "y"}]
+        assert [span["trace"] for span in stitch([spans], trace="y")] == ["y"]
+
+
+class TestSpansToLog:
+    def test_cross_peer_stages_chart(self):
+        spans = [
+            {"node": "s1", "stage": "admit", "src": "pub", "bytes": 64},
+            {"node": "s1", "stage": "append", "offset": 0},
+            {"node": "s1", "stage": "replicate",
+             "followers": ["s2", "s3"], "bytes": 64},
+            {"node": "s1", "stage": "route", "records": 1},
+            {"node": "s1", "stage": "ack", "peer": "sub0"},
+        ]
+        log = spans_to_log(spans)
+        assert ("pub", "s1", "admit", 64) in log
+        assert ("s1", "s2", "replicate", 64) in log
+        assert ("s1", "s3", "replicate", 64) in log
+        assert ("sub0", "s1", "ack", 0) in log
+        # Point events (append/route) have no second lifeline.
+        assert not any(entry[2] in ("append", "route") for entry in log)
+
+    def test_local_admit_stays_out_of_chart(self):
+        assert spans_to_log(
+            [{"node": "s1", "stage": "admit", "src": "s1"}]) == []
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert render_timeline([]) == "(no spans)"
+        assert "t-9" in render_timeline([], trace="t-9")
+
+    def test_timeline_table_and_chart(self):
+        spans = [
+            {"seq": 1, "ts": 10.0, "node": "s1", "trace": "t-1",
+             "stage": "admit", "src": "pub", "bytes": 32},
+            {"seq": 2, "ts": 10.001, "node": "s1", "trace": "t-1",
+             "stage": "route", "records": 1},
+            {"seq": 1, "ts": 10.002, "node": "s2", "trace": "t-1",
+             "stage": "admit", "src": "s1", "bytes": 32},
+        ]
+        text = render_timeline(spans, trace="t-1")
+        assert "trace t-1 — 3 spans across 2 node(s)" in text
+        assert "+    0.000ms" in text
+        assert "admit" in text and "route" in text
+        # The sequence chart section renders the cross-shard hop.
+        assert "s1" in text and "s2" in text
+
+    def test_span_stages_cover_pipeline(self):
+        assert SPAN_STAGES == ("admit", "route", "append", "replicate",
+                               "dispatch", "ack")

@@ -215,3 +215,57 @@ class TestLogReplicas:
         assert code == 0
         assert "late-c" in output
         assert "fetched below" in output  # the per-sibling fetch cursors
+
+
+class TestTrace:
+    """The `repro trace` subcommand stitches span dumps into a timeline."""
+
+    @pytest.fixture
+    def span_files(self, tmp_path):
+        spans_a = [
+            {"trace": "t-1", "stage": "admit", "node": "shard0",
+             "src": "publisher", "ts": 1.0, "seq": 1, "attrs": {}},
+            {"trace": "t-1", "stage": "append", "node": "shard0",
+             "src": None, "ts": 2.0, "seq": 2, "attrs": {"offset": 0}},
+            {"trace": "t-2", "stage": "admit", "node": "shard0",
+             "src": "publisher", "ts": 5.0, "seq": 3, "attrs": {}},
+        ]
+        spans_b = [
+            {"trace": "t-1", "stage": "admit", "node": "shard1",
+             "src": "shard0", "ts": 3.0, "seq": 1,
+             "attrs": {"via": "forward"}},
+            {"trace": "t-1", "stage": "dispatch", "node": "shard1",
+             "src": None, "ts": 4.0, "seq": 2, "attrs": {"deliveries": 2}},
+        ]
+        a = tmp_path / "a.json"
+        a.write_text(__import__("json").dumps({"spans": spans_a}))
+        b = tmp_path / "b.json"
+        b.write_text(__import__("json").dumps(spans_b))  # bare list form
+        return str(a), str(b)
+
+    def test_timeline_across_files(self, span_files):
+        code, output = run(["trace", "t-1", *span_files])
+        assert code == 0
+        assert "t-1" in output and "2 node(s)" in output
+        assert "admit" in output and "dispatch" in output
+        assert "t-2" not in output
+
+    def test_list_traces(self, span_files):
+        code, output = run(["trace", "--list", *span_files])
+        assert code == 0
+        assert "t-1" in output and "4 span(s)" in output
+        assert "t-2" in output and "1 span(s)" in output
+
+    def test_unknown_trace_exits_nonzero(self, span_files):
+        code, output = run(["trace", "t-missing", *span_files])
+        assert code == 1
+
+    def test_no_id_and_no_list_is_an_error(self):
+        code, output = run(["trace"])
+        assert code == 2
+        assert "trace id is required" in output
+
+    def test_no_sources_is_an_error(self):
+        code, output = run(["trace", "t-1"])
+        assert code == 2
+        assert "no span sources" in output
