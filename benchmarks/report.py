@@ -123,19 +123,22 @@ def print_report(by_experiment, out=sys.stdout) -> None:
                              latency.get("max", 0.0),
                              latency.get("samples", 0)))
             for key in ("publish_eps", "delivery_eps", "socket_multiple",
-                        "published", "deliveries", "churn_ops"):
+                        "send_multiple", "splice_multiple",
+                        "forward_multiple", "published", "deliveries",
+                        "churn_ops"):
                 if key in extras:
                     out.write("      %-18s %s\n" % (key, extras[key]))
             transport = extras.get("transport") or {}
             for node in sorted(transport):
                 snapshot = transport[node]
                 out.write("      %-18s frames=%s lost=%s queue_hw=%s "
-                          "pool_hits=%s\n"
+                          "pool_hits=%s copied=%s\n"
                           % (node, snapshot.get("frames_received", 0),
                              snapshot.get("frames_lost", 0),
                              snapshot.get("queue_high_water", 0),
                              (snapshot.get("recv_pool") or {})
-                             .get("buffer_pool_hits", 0)))
+                             .get("buffer_pool_hits", 0),
+                             snapshot.get("bytes_copied", 0)))
 
     durability = [experiment for experiment in sorted(by_experiment)
                   if experiment.startswith("durability-")]
@@ -155,8 +158,10 @@ def print_report(by_experiment, out=sys.stdout) -> None:
 
 def _machine_entry(row):
     """One experiment's emitted entry.  Latency percentiles and transport
-    counters (schema v2), and the full metrics-registry snapshot
-    (schema v3), are promoted out of the extras grab-bag into
+    counters (schema v2), the full metrics-registry snapshot (schema
+    v3), and the codec counter block the send-path benches record
+    (schema v4: header_renders/header_splices alongside the transport
+    bytes_copied counter) are promoted out of the extras grab-bag into
     first-class fields so downstream diffing need not know which bench
     recorded them."""
     extras = dict(row["extras"])
@@ -165,7 +170,7 @@ def _machine_entry(row):
         "paper_ms": row["paper_ms"],
         "extras": extras,
     }
-    for promoted in ("latency_ms", "transport", "metrics"):
+    for promoted in ("latency_ms", "transport", "metrics", "codec"):
         value = extras.pop(promoted, None)
         if value is not None:
             entry[promoted] = value
@@ -175,7 +180,7 @@ def _machine_entry(row):
 def emit_machine(by_experiment, path: str, source: str) -> None:
     """Write the per-commit machine-readable results file."""
     document = {
-        "schema": "repro-bench/3",
+        "schema": "repro-bench/4",
         "source": source,
         "sha": os.environ.get("GITHUB_SHA"),
         "ref": os.environ.get("GITHUB_REF"),

@@ -5,9 +5,11 @@ is set, writing the endpoint map (driver + per-shard addresses) to that
 path once the servers are listening.  This script waits for the map,
 curls ``/metrics`` and ``/stats`` from the driver and ``/metrics`` from
 every shard node while the soak is still publishing, asserts the
-Prometheus exposition parses and the loss-oracle gauges
-(``repro_soak_lost``, ``repro_soak_duplicates``) read zero, and writes
-the scraped snapshot to ``--emit`` for the artifact upload.
+Prometheus exposition parses, the loss-oracle gauges
+(``repro_soak_lost``, ``repro_soak_duplicates``) read zero, and the
+zero-copy oracle (``repro_transport_bytes_copied``) is flat on every
+node mid-forwarding, and writes the scraped snapshot to ``--emit`` for
+the artifact upload.
 
 Usage:
     PYTHONPATH=src python benchmarks/scrape_soak.py ENDPOINT_FILE \
@@ -54,6 +56,17 @@ def gauge_value(samples, name):
     return sum(samples[name].values())
 
 
+def assert_zero_copy(samples, node):
+    """The send path carries payloads by reference: mid-run, with
+    records actively forwarded, no node may have snapshotted a byte."""
+    if "repro_transport_bytes_copied" not in samples:
+        raise SystemExit("bytes_copied family missing from %s" % node)
+    copied = sum(samples["repro_transport_bytes_copied"].values())
+    if copied:
+        raise SystemExit("zero-copy oracle violated on %s: bytes_copied=%s"
+                         % (node, copied))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("endpoint_file")
@@ -76,6 +89,7 @@ def main(argv=None):
                          % (lost, duplicates))
     if "repro_soak_published" not in samples:
         raise SystemExit("repro_soak_published missing from driver /metrics")
+    assert_zero_copy(samples, "driver")
     snapshot["driver_metrics"] = page
     snapshot["driver_stats"] = json.loads(fetch(driver + "/stats", deadline))
 
@@ -86,13 +100,15 @@ def main(argv=None):
         shard_samples = parse_exposition(page)
         if "repro_pipeline_events_routed" not in shard_samples:
             raise SystemExit("pipeline family missing from %s" % shard_id)
+        assert_zero_copy(shard_samples, shard_id)
         snapshot["shards"][shard_id] = page
 
     if args.emit:
         with open(args.emit, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
-    print("scraped driver + %d shard(s): lost=0 duplicates=0 published=%s"
+    print("scraped driver + %d shard(s): lost=0 duplicates=0 "
+          "bytes_copied=0 published=%s"
           % (len(snapshot["shards"]),
              snapshot["driver_stats"].get("published")))
     return 0

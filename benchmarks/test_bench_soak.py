@@ -14,6 +14,7 @@ Environment knobs (the CI ``soak-smoke`` job turns them up):
 - ``SOAK_EMIT``        path to additionally write the full soak report
 - ``SOAK_HTTP_FILE``   serve the harness registry over HTTP and write the
   endpoint map here (the CI job scrapes it mid-run)
+- ``SOAK_SCHEME``      shard transport: ``unix`` (default) or ``tcp``
 """
 
 import json
@@ -25,12 +26,14 @@ DURATION_S = float(os.environ.get("SOAK_DURATION_S", "1.0"))
 SHARDS = int(os.environ.get("SOAK_SHARDS", "4"))
 SKEW = os.environ.get("SOAK_SKEW", "uniform")
 HTTP_FILE = os.environ.get("SOAK_HTTP_FILE") or None
+SCHEME = os.environ.get("SOAK_SCHEME", "unix")
 
 
 def test_soak_zero_loss_under_churn(benchmark):
     report = benchmark.pedantic(
         lambda: run_soak(shards=SHARDS, duration_s=DURATION_S, skew=SKEW,
-                         name="benchsoak", http_file=HTTP_FILE),
+                         name="benchsoak", http_file=HTTP_FILE,
+                         scheme=SCHEME),
         rounds=1, iterations=1)
 
     emit = os.environ.get("SOAK_EMIT")
@@ -45,7 +48,12 @@ def test_soak_zero_loss_under_churn(benchmark):
     assert report["lost"] == 0, report["per_subscriber"]
     assert report["duplicates"] == 0, report["per_subscriber"]
 
-    benchmark.extra_info["experiment"] = "soak-%dshard-%s" % (SHARDS, SKEW)
+    # The TCP variant keys its own history series; the UDS experiment
+    # id stays unchanged so the existing BENCH trajectory is unbroken.
+    experiment = "soak-%dshard-%s" % (SHARDS, SKEW)
+    if SCHEME == "tcp":
+        experiment += "-tcp"
+    benchmark.extra_info["experiment"] = experiment
     benchmark.extra_info["config"] = report["config"]
     benchmark.extra_info["published"] = report["published"]
     benchmark.extra_info["deliveries"] = report["deliveries"]

@@ -49,6 +49,7 @@ from ...obs.bridge import (
 from ...obs.metrics import MetricsRegistry
 from ...obs.tracing import TraceBuffer, TraceIdSource
 from ...persistence import CursorStore, EventLog
+from ...serialization.envelope import EnvelopeCodec
 from ...serialization.errors import WireFormatError
 from ...transport.protocol import (
     KIND_DELIVERY_ACK,
@@ -129,14 +130,25 @@ class DurableSubscription(Subscription):
 
 
 class LocalBroker:
-    """In-process type-based publish/subscribe (a local-dispatch pipeline)."""
+    """In-process type-based publish/subscribe (a local-dispatch pipeline).
+
+    Constructed with a ``runtime``, the broker also accepts *encoded*
+    publishes (:meth:`publish_frame`): routing then runs on the frame
+    header through the same :class:`~repro.serialization.envelope.LazyBatch`
+    matching the mesh uses, so a publish that matches no local handler
+    decodes zero values.
+    """
 
     def __init__(self, checker: Optional[ConformanceChecker] = None,
-                 registry: Optional[TypeRegistry] = None):
+                 registry: Optional[TypeRegistry] = None,
+                 runtime: Any = None):
         self.checker = checker if checker is not None else ConformanceChecker(
             options=ConformanceOptions.pragmatic()
         )
+        if runtime is not None and registry is None:
+            registry = runtime.registry
         self.index = RoutingIndex(self.checker, registry)
+        self.codec = EnvelopeCodec(runtime) if runtime is not None else None
         self.pipeline = DeliveryPipeline(
             routing=RoutingStage(self.index),
             delivery=LocalDelivery(),
@@ -145,6 +157,26 @@ class LocalBroker:
         self.published = 0
         self.metrics = MetricsRegistry()
         register_local_broker_metrics(self.metrics, self)
+
+    def publish_frame(self, payload: Any) -> int:
+        """Route one encoded batch frame; returns the number of deliveries.
+
+        Header-driven: the frame's type section decides which local
+        subscriptions match, and a value is deserialized only at the
+        moment a matching handler actually receives it — a no-match
+        publish touches the header and nothing else.  Frames whose type
+        section does not resolve locally (foreign guids, soap payloads,
+        legacy all-XML frames) fall back to eager materialization.
+        """
+        if self.codec is None:
+            raise TypeError("publish_frame requires LocalBroker(runtime=...)")
+        envelope = self.codec.parse(payload)
+        batch = self.codec.lazy_batch(envelope)
+        self.published += len(batch)
+        if batch.types_known():
+            return self.pipeline.process(batch, origin=None).deliveries
+        return self.pipeline.process(
+            self.codec.unwrap_batch(envelope), origin=None).deliveries
 
     @property
     def delivered(self) -> int:
@@ -614,6 +646,10 @@ class TpsBroker(InteropPeer):
             return super()._handle_object_batch(payload, src)
         token = envelope.publish_ack
         envelope.publish_ack = None  # never propagates to subscribers
+        # Strip the token from the frame bytes too: the stored frame must
+        # stay byte-equivalent to the envelope, so ack stamping can splice
+        # it and neither the log nor a replay re-carries the token.
+        payload = self.codec.reframe(payload, publish_ack=None)
         self.transport_stats.batches_received += 1
         values = self.pipeline.admission.materialize(envelope, src)
         self.pipeline.process(values, src, payload=payload,

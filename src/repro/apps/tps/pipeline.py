@@ -763,12 +763,21 @@ class DirectDelivery:
             token = tracker.issue(subscription.peer_id,
                                   ((cursor, log_offset, log_offset + 1),))
             envelope = ctx["envelope"]
-            envelope.ack = token
+            stored = ctx["payload"]
             try:
+                if stored is not None:
+                    # The record's stored frame exists: personalising it
+                    # with the ack token is a header byte splice, not a
+                    # full XML re-render.
+                    frame = self.host.codec.reframe(stored, ack=token)
+                else:
+                    envelope.ack = token
+                    try:
+                        frame = self.host.codec.envelope_to_bytes(envelope)
+                    finally:
+                        envelope.ack = None
                 self.host.send_payload_batch(
-                    subscription.peer_id,
-                    self.host.codec.envelope_to_bytes(envelope),
-                    len(ctx["values"]))
+                    subscription.peer_id, frame, len(ctx["values"]))
             except UnknownPeerError:
                 # The durable subscriber is offline: its record stays
                 # unacked (replayed when it returns) and the rest of the
@@ -776,8 +785,6 @@ class DirectDelivery:
                 tracker.discard(token)
                 self.host.network.stats.record_drop()
                 return False
-            finally:
-                envelope.ack = None
             ctx["durable_sent"].add(subscription.subscription_id)
             if envelope.trace is not None:
                 tracker.tag(token, (envelope.trace,))

@@ -29,6 +29,7 @@ import json
 import multiprocessing
 import os
 import secrets
+import socket
 import tempfile
 import time
 from typing import Any, Dict, List, Optional
@@ -66,12 +67,38 @@ ADMIN_OPS = ("compact", "prune", "restart_shard")
 _EXPOSITION_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
-def shard_addresses(sock_dir: str, shard_ids: List[str]) -> Dict[str, str]:
+def shard_addresses(sock_dir: str, shard_ids: List[str],
+                    scheme: str = "unix",
+                    ports: Optional[Dict[str, int]] = None) -> Dict[str, str]:
     """The deterministic address book: every shard listens on a Unix
     socket named after it, so each process computes the full directory
-    from (dir, shard ids) alone — no discovery round."""
+    from (dir, shard ids) alone — no discovery round.  The ``tcp``
+    scheme needs driver-picked ``ports`` (port 0 would resolve
+    differently in every process, breaking the recomputation property),
+    so TCP meshes pass the resolved book to each shard instead."""
+    if scheme == "tcp":
+        if ports is None:
+            raise ValueError("tcp shard addresses need pre-picked ports")
+        return {shard_id: "tcp:127.0.0.1:%d" % ports[shard_id]
+                for shard_id in shard_ids}
     return {shard_id: "unix:%s/%s.sock" % (sock_dir, shard_id)
             for shard_id in shard_ids}
+
+
+def _allocate_tcp_ports(shard_ids: List[str]) -> Dict[str, int]:
+    """One free loopback port per shard, picked by binding port 0 and
+    releasing it (the standard ephemeral-port trick; SO_REUSEADDR keeps
+    the just-released port bindable by the shard that inherits it)."""
+    ports: Dict[str, int] = {}
+    for shard_id in shard_ids:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            ports[shard_id] = sock.getsockname()[1]
+        finally:
+            sock.close()
+    return ports
 
 
 def _jsonable(value: Any) -> Any:
@@ -118,9 +145,12 @@ class SocketMesh:
                  log_root: Optional[str] = None,
                  replication_factor: int = 0,
                  auth_token: Optional[str] = None,
+                 scheme: str = "unix",
                  **broker_kwargs):
         if shard_count < 1:
             raise ValueError("a mesh needs at least one shard")
+        if scheme not in ("unix", "tcp"):
+            raise ValueError("scheme must be 'unix' or 'tcp'")
         self.hub = SocketHub()
         self._tmp_dir = sock_dir is None
         self.sock_dir = sock_dir if sock_dir is not None \
@@ -132,7 +162,11 @@ class SocketMesh:
         self._broker_kwargs = dict(broker_kwargs)
         shard_ids = ["%s-shard%d" % (name, index)
                      for index in range(shard_count)]
-        self.addresses = shard_addresses(self.sock_dir, shard_ids)
+        self.scheme = scheme
+        self.addresses = shard_addresses(
+            self.sock_dir, shard_ids, scheme=scheme,
+            ports=_allocate_tcp_ports(shard_ids) if scheme == "tcp"
+            else None)
         self.shards: List[MeshShard] = []
         self.nodes: List[SocketNetwork] = []
         for shard_id in shard_ids:
@@ -401,11 +435,15 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
                         replication_factor: int,
                         broker_kwargs: dict,
                         auth_token: Optional[str] = None,
-                        http: bool = True) -> None:
+                        http: bool = True,
+                        addresses: Optional[Dict[str, str]] = None) -> None:
     """Entry point of one shard process: build the shard on its own
     socket node, serve the control kinds and the HTTP API, and pump
-    until told to stop."""
-    addresses = shard_addresses(sock_dir, shard_ids)
+    until told to stop.  ``addresses`` carries the driver's resolved
+    book for non-recomputable schemes (TCP ports); Unix meshes omit it
+    and recompute the deterministic directory locally."""
+    if addresses is None:
+        addresses = shard_addresses(sock_dir, shard_ids)
     network = SocketNetwork(shard_id + "-node")
     network.listen(addresses[shard_id])
     kwargs = dict(broker_kwargs)
@@ -729,18 +767,25 @@ class ProcessMesh:
                  start_timeout: float = 30.0,
                  auth_token: Optional[str] = None,
                  http: bool = True,
+                 scheme: str = "unix",
                  **broker_kwargs):
         if shard_count < 1:
             raise ValueError("a mesh needs at least one shard")
+        if scheme not in ("unix", "tcp"):
+            raise ValueError("scheme must be 'unix' or 'tcp'")
         self._tmp_dir = sock_dir is None
         self.sock_dir = sock_dir if sock_dir is not None \
             else tempfile.mkdtemp(prefix="repro-procmesh-")
         self.auth_token = auth_token if auth_token is not None \
             else secrets.token_hex(8)
         self.http_enabled = http
+        self.scheme = scheme
         self.shard_ids = ["%s-shard%d" % (name, index)
                           for index in range(shard_count)]
-        self.addresses = shard_addresses(self.sock_dir, self.shard_ids)
+        self.addresses = shard_addresses(
+            self.sock_dir, self.shard_ids, scheme=scheme,
+            ports=_allocate_tcp_ports(self.shard_ids) if scheme == "tcp"
+            else None)
         # fork (where available) keeps startup cheap and works however the
         # parent was launched; the child builds its event loop and sockets
         # from scratch, so no live I/O state crosses the fork.
@@ -753,7 +798,8 @@ class ProcessMesh:
                 target=_shard_process_main,
                 args=(shard_id, self.shard_ids, self.sock_dir, log_root,
                       replication_factor, dict(broker_kwargs),
-                      self.auth_token, http),
+                      self.auth_token, http,
+                      self.addresses if scheme == "tcp" else None),
                 daemon=True, name=shard_id)
             process.start()
             self.processes.append(process)

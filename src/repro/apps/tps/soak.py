@@ -124,13 +124,18 @@ def run_soak(shards: int = 4,
              processes: bool = True,
              log_root: Optional[str] = None,
              http_file: Optional[str] = None,
-             name: str = "soak") -> Dict[str, Any]:
+             name: str = "soak",
+             scheme: str = "unix") -> Dict[str, Any]:
     """Run one soak; returns the report dict (see module docstring).
 
     ``processes=True`` runs one shard per OS process
     (:class:`ProcessMesh`); ``False`` keeps every shard in-process on one
     :class:`SocketHub` — same sockets, cheaper setup, fully
     deterministic pumping.
+
+    ``scheme`` selects the shard transport: ``"unix"`` (domain sockets
+    in the mesh's socket directory) or ``"tcp"`` (loopback, driver-picked
+    ports) — the CI smoke jobs run one soak under each.
 
     ``http_file`` additionally serves the harness's own metrics registry
     (loss-oracle gauges, the latency histogram, the driver transport)
@@ -147,13 +152,16 @@ def run_soak(shards: int = 4,
             "subscribers": subscribers, "churners": churners,
             "churn_every": churn_every, "burst": burst, "skew": skew,
             "zipf_s": zipf_s, "seed": seed, "processes": processes,
+            "scheme": scheme,
         },
     }
     if processes:
-        mesh = ProcessMesh(shard_count=shards, name=name, log_root=log_root)
+        mesh = ProcessMesh(shard_count=shards, name=name, log_root=log_root,
+                           scheme=scheme)
         driver = mesh.network
     else:
-        mesh = SocketMesh(shard_count=shards, name=name, log_root=log_root)
+        mesh = SocketMesh(shard_count=shards, name=name, log_root=log_root,
+                          scheme=scheme)
         driver = mesh.client_network(name + "-driver")
     try:
         shard_ids = list(mesh.shard_ids)

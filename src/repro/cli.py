@@ -270,6 +270,7 @@ def cmd_soak(args, out) -> int:
         churners=args.churners,
         skew=args.skew,
         seed=args.seed,
+        scheme=args.scheme,
         processes=args.processes,
         log_root=args.log_root,
         http_file=args.http_file,
@@ -388,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default="uniform",
                       help="shard selection for publishes and churn")
     soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--scheme", choices=["unix", "tcp"], default="unix",
+                      help="shard transport: unix domain sockets or "
+                           "loopback TCP")
     soak.add_argument("--log-root", default=None,
                       help="root directory for per-shard durable logs")
     soak.add_argument("--in-process", dest="processes", action="store_false",

@@ -22,6 +22,16 @@ nothing the subscriber does not dispatch.  All other kinds (control
 plane, acks, replication protocol messages) are copied to ``bytes``
 before dispatch, because their handlers may retain them.
 
+The send path is scatter-gather: encoding builds only the small frame
+header (length prefix, flags, request id and memoized length-prefixed
+``src``/``dst``/``kind`` encodings) and queues it alongside the payload
+*by reference* as a :class:`_WireFrame` segment list; draining flushes
+each frame with ``transport.writelines`` (writev-style), so a
+steady-state send never materializes a payload-sized buffer.  Payloads
+that arrive as anything but ``bytes`` are snapshotted once — queued
+frames outlive their caller's buffers — and that copy is counted in
+``bytes_copied``, keeping the zero-copy claim observable.
+
 Delivery discipline:
 
 - **Send queues are bounded per link** (``max_queue_bytes``).  A full
@@ -47,7 +57,7 @@ import os
 import socket
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple, Union
 
 from ..serialization.envelope import CodecStats, _BufferPool
 from .network import Handler, NetworkError, NetworkStats, UnknownPeerError
@@ -86,6 +96,14 @@ _MAX_FRAME_BYTES = 256 * 1024 * 1024
 #: makes the queue bound (and its backpressure) meaningful.
 _WRITE_HIGH_WATER = 64 * 1024
 
+#: Payload size above which a scatter frame is flushed as two ``write``
+#: calls instead of one ``writelines`` when the transport's ``writelines``
+#: is the joining base implementation (CPython < 3.12 selector
+#: transports): past this point the joined payload-sized copy costs more
+#: than the extra syscall.  Transports with a native scatter-gather
+#: ``writelines`` (sendmsg-based) always get the single segmented call.
+_SEGMENT_WRITE_MIN = 4096
+
 
 def _write_varint(out: bytearray, value: int) -> None:
     while True:
@@ -96,6 +114,21 @@ def _write_varint(out: bytearray, value: int) -> None:
         else:
             out.append(byte)
             return
+
+
+def _varint_size(value: int) -> int:
+    size = 1
+    while value > 0x7F:
+        value >>= 7
+        size += 1
+    return size
+
+
+#: Cap on the memoized ``src``/``dst``/``kind`` field encodings.  The
+#: stable strings of a mesh (node ids, peer ids, message kinds) number in
+#: the hundreds; the cap only matters under unbounded peer churn, where
+#: the oldest (coldest) entry is evicted FIFO.
+_FIELD_MEMO_MAX = 1024
 
 
 def _scan_varint(data, pos: int, end: int) -> Optional[Tuple[int, int]]:
@@ -134,6 +167,32 @@ def format_address(scheme: str, target) -> str:
     return "tcp:%s:%d" % target
 
 
+class _WireFrame:
+    """One encoded outbound message as a scatter-gather segment list.
+
+    ``segments`` is ``(header, payload)``: the small frame header (length
+    prefix + flags + req id + field table, ~20 bytes steady-state) plus
+    the payload carried **by reference** — encoding a send allocates the
+    header only, never a payload-sized buffer.  ``len()`` is the total
+    wire size, so every byte-accounting site (``tx_bytes``, high-water,
+    the backpressure bound) works unchanged on either frame shape.
+    """
+
+    __slots__ = ("segments", "size")
+
+    def __init__(self, segments: Tuple[bytes, ...], size: int):
+        self.segments = segments
+        self.size = size
+
+    def __len__(self) -> int:
+        return self.size
+
+
+#: What a link's send queue holds: scatter-gather frames on the default
+#: path, flat ``bytes`` on the ``scatter_send=False`` baseline path.
+_OutFrame = Union[bytes, _WireFrame]
+
+
 class _Inbound:
     """One parsed-but-not-yet-dispatched inbound frame: header fields are
     decoded eagerly (they are tiny), the payload stays as ``[start, end)``
@@ -163,8 +222,10 @@ class _Link(asyncio.Protocol):
         self.dead = False
         self.failed = False
         self.paused = False
+        self._draining = False
+        self._joining_writelines = True
         #: Outbound frames not yet written to the transport.
-        self.tx: Deque[bytes] = deque()
+        self.tx: Deque[_OutFrame] = deque()
         self.tx_bytes = 0
         self.tx_high_water = 0
         #: Pooled receive buffer; ``scan`` is the parse position.
@@ -176,7 +237,7 @@ class _Link(asyncio.Protocol):
 
     # -- sending -----------------------------------------------------------
 
-    def send_frame(self, frame: bytes) -> None:
+    def send_frame(self, frame: _OutFrame) -> None:
         self.tx.append(frame)
         self.tx_bytes += len(frame)
         if self.tx_bytes > self.tx_high_water:
@@ -185,11 +246,34 @@ class _Link(asyncio.Protocol):
             self._drain()
 
     def _drain(self) -> None:
-        transport = self.transport
-        while self.tx and not self.paused and transport is not None:
-            frame = self.tx.popleft()
-            self.tx_bytes -= len(frame)
-            transport.write(frame)
+        # Idempotent under re-entry: a write that crosses the transport's
+        # high-water mark can fire pause_writing and (once the kernel
+        # drains) resume_writing *synchronously*, and resume_writing calls
+        # _drain while the outer loop still owns the queue.  The guard
+        # turns the nested call into a no-op, so each frame is popped and
+        # written exactly once, in order, at recursion depth one.
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            transport = self.transport
+            while self.tx and not self.paused and transport is not None:
+                frame = self.tx.popleft()
+                self.tx_bytes -= len(frame)
+                if type(frame) is _WireFrame:
+                    # writev-style flush: header + payload go down as
+                    # separate segments, no joined payload-sized copy.
+                    segments = frame.segments
+                    if (self._joining_writelines
+                            and len(segments[-1]) >= _SEGMENT_WRITE_MIN):
+                        for segment in segments:
+                            transport.write(segment)
+                    else:
+                        transport.writelines(segments)
+                else:
+                    transport.write(frame)
+        finally:
+            self._draining = False
 
     def pause_writing(self) -> None:
         self.paused = True
@@ -203,6 +287,9 @@ class _Link(asyncio.Protocol):
     def connection_made(self, transport) -> None:
         self.transport = transport
         self.connected = True
+        self._joining_writelines = (
+            type(transport).writelines
+            is asyncio.transports.WriteTransport.writelines)
         transport.set_write_buffer_limits(high=_WRITE_HIGH_WATER)
         sock = transport.get_extra_info("socket")
         if sock is not None and sock.family == getattr(socket, "AF_INET",
@@ -329,8 +416,13 @@ class SocketNetwork:
                  request_timeout: float = 30.0,
                  backpressure_timeout: float = 30.0,
                  zero_copy_kinds=DEFAULT_ZERO_COPY_KINDS,
-                 recv_pool_stats: Optional[CodecStats] = None):
+                 recv_pool_stats: Optional[CodecStats] = None,
+                 scatter_send: bool = True):
         self.node_id = node_id
+        #: Encode sends as scatter-gather segment lists (header + payload
+        #: by reference); False restores the flat per-send bytes copy
+        #: (benchmark baseline).
+        self.scatter_send = bool(scatter_send)
         self._owns_loop = loop is None
         self._loop = loop if loop is not None else asyncio.new_event_loop()
         self.max_queue_bytes = max_queue_bytes
@@ -361,6 +453,10 @@ class SocketNetwork:
         self.recv_pool_stats = recv_pool_stats if recv_pool_stats is not None \
             else CodecStats()
         self._recv_pool = _BufferPool(self.recv_pool_stats, max_free=64)
+        #: Scratch pool for frame headers and memoized length-prefixed
+        #: ``src``/``dst``/``kind`` encodings (see :meth:`_encode_frame`).
+        self._header_pool = _BufferPool()
+        self._field_memo: Dict[str, bytes] = {}
         # Transport counters beyond the simulator's NetworkStats.
         self.frames_sent = 0          # data frames enqueued (incl. responses)
         self.frames_received = 0      # data frames dispatched/fulfilled
@@ -368,6 +464,7 @@ class SocketNetwork:
         self.bytes_received = 0
         self.framing_errors = 0
         self.blocked_sends = 0        # post_async calls that hit backpressure
+        self.bytes_copied = 0         # payload bytes snapshotted at encode
         #: Opt-in bounded frame log in the simulator's ``(src, dst, kind,
         #: size)`` shape, so :func:`repro.net.trace.sequence_chart` renders
         #: real socket traffic exactly like simulated traffic.
@@ -680,7 +777,7 @@ class SocketNetwork:
         asyncio.ensure_future(_open(), loop=self._loop)
         return link
 
-    def _hello_frame(self) -> bytes:
+    def _hello_frame(self) -> _OutFrame:
         body = "\n".join([self.node_id] + sorted(self._handlers))
         return self._encode_frame(_FLAG_CONTROL, 0, "", "", _CTRL_HELLO,
                                   body.encode("utf-8"))
@@ -775,21 +872,60 @@ class SocketNetwork:
     # -- sending machinery -------------------------------------------------
 
     def _encode_frame(self, flags: int, req_id: int, src: str, dst: str,
-                      kind: str, payload: bytes) -> bytes:
-        body = bytearray()
-        body.append(flags)
-        _write_varint(body, req_id)
+                      kind: str, payload: bytes) -> _OutFrame:
+        if not isinstance(payload, bytes):
+            # A queued frame can outlive the caller's buffer (a paused
+            # link, a blocked peer, a receive buffer about to compact) —
+            # non-bytes payloads must be snapshotted, and the copy is
+            # accounted so the zero-copy claim stays checkable.
+            payload = bytes(payload)
+            self.bytes_copied += len(payload)
+        if not self.scatter_send:
+            body = bytearray()
+            body.append(flags)
+            _write_varint(body, req_id)
+            for field in (src, dst, kind):
+                raw = field.encode("utf-8")
+                _write_varint(body, len(raw))
+                body += raw
+            body += payload
+            frame = bytearray()
+            _write_varint(frame, len(body))
+            frame += body
+            return bytes(frame)
+        memo = self._field_memo
+        entries = []
+        body_len = 1 + _varint_size(req_id) + len(payload)
         for field in (src, dst, kind):
-            raw = field.encode("utf-8")
-            _write_varint(body, len(raw))
-            body += raw
-        body += payload
-        frame = bytearray()
-        _write_varint(frame, len(body))
-        frame += body
-        return bytes(frame)
+            entry = memo.get(field)
+            if entry is None:
+                raw = field.encode("utf-8")
+                scratch = self._header_pool.acquire()
+                try:
+                    _write_varint(scratch, len(raw))
+                    scratch += raw
+                    entry = bytes(scratch)
+                finally:
+                    self._header_pool.release(scratch)
+                if len(memo) >= _FIELD_MEMO_MAX:
+                    memo.pop(next(iter(memo)))
+                memo[field] = entry
+            entries.append(entry)
+            body_len += len(entry)
+        header = self._header_pool.acquire()
+        try:
+            _write_varint(header, body_len)
+            header.append(flags)
+            _write_varint(header, req_id)
+            for entry in entries:
+                header += entry
+            return _WireFrame((bytes(header), payload),
+                              len(header) + len(payload))
+        finally:
+            self._header_pool.release(header)
 
-    def _send_with_backpressure(self, link: _Link, frame: bytes) -> None:
+    def _send_with_backpressure(self, link: _Link,
+                                frame: _OutFrame) -> None:
         if link.tx_bytes + len(frame) > self.max_queue_bytes \
                 and not link.dead:
             # Block the publisher: pump I/O (never dispatch — handlers
@@ -847,6 +983,7 @@ class SocketNetwork:
             "bytes_received": self.bytes_received,
             "framing_errors": self.framing_errors,
             "blocked_sends": self.blocked_sends,
+            "bytes_copied": self.bytes_copied,
             "queue_high_water": self.queue_high_water,
             "links": len(self._links),
             "recv_pool": self.recv_pool_stats.as_dict(),

@@ -49,6 +49,12 @@ def register_local_broker_metrics(registry: MetricsRegistry,
                      sample=lambda: broker.delivered)
     _attr_families(registry, "routing", broker.index.stats,
                    type(broker.index.stats).__slots__)
+    codec = getattr(broker, "codec", None)
+    if codec is not None:
+        # Frame-publish brokers route on headers; the codec families make
+        # the zero-decode claim visible on the local dispatch path too.
+        _attr_families(registry, "codec", codec.stats,
+                       type(codec.stats)._COUNTERS)
 
 
 def register_broker_metrics(registry: MetricsRegistry, broker: Any) -> None:
@@ -134,7 +140,8 @@ def register_network_metrics(registry: MetricsRegistry,
     under ``transport.*`` — scalar counters plus per-kind message/byte
     families sampled from the live ``NetworkStats``."""
     for name in ("frames_sent", "frames_received", "frames_lost",
-                 "bytes_received", "framing_errors", "blocked_sends"):
+                 "bytes_received", "framing_errors", "blocked_sends",
+                 "bytes_copied"):
         registry.counter("transport.%s" % name,
                          sample=(lambda network=network, name=name:
                                  getattr(network, name)))

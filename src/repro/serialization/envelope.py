@@ -58,6 +58,33 @@ _MAGIC_FRAME = b"XME2"
 #: varint-length-prefixed, travelling as one network message.
 _MAGIC_MULTI = b"XMEB"
 
+try:
+    # The splice path must produce the exact bytes ET.tostring would, so
+    # attribute values are escaped with ET's own escaper when available.
+    from xml.etree.ElementTree import _escape_attrib
+except ImportError:  # pragma: no cover - stdlib reshuffle guard
+    def _escape_attrib(text: str) -> str:
+        text = text.replace("&", "&amp;")
+        text = text.replace("<", "&lt;")
+        text = text.replace(">", "&gt;")
+        text = text.replace('"', "&quot;")
+        text = text.replace("\r", "&#13;")
+        text = text.replace("\n", "&#10;")
+        text = text.replace("\t", "&#09;")
+        return text
+
+#: ``<Payload>`` attributes in the exact order :meth:`_render_header`
+#: emits them — a spliced-in attribute lands where a re-render would put
+#: it, keeping the two paths byte-identical on codec-built frames.
+_PAYLOAD_ATTR_ORDER = ("encoding", "batch", "roots", "origin", "ack",
+                       "publish_ack", "keys", "home", "trace")
+
+#: Attributes :meth:`EnvelopeCodec.reframe` may stamp by splicing header
+#: bytes: single string values with no cross-attribute invariants (keys
+#: and batch shape are validated at parse time, so changing them must go
+#: through the full parse + re-render path).
+_SPLICE_ATTRS = frozenset(("origin", "ack", "publish_ack", "home", "trace"))
+
 Buffer = Union[bytes, bytearray, memoryview]
 
 
@@ -174,11 +201,15 @@ class CodecStats:
     ``header_parse_errors`` counts malformed headers swallowed by the
     lenient readers (:func:`parse_frame_header` and friends);
     ``buffer_pool_hits`` counts encode buffers served from the reuse pool
-    instead of freshly allocated.
+    instead of freshly allocated; ``header_renders`` counts full XML
+    header builds (every ``envelope_to_bytes``); ``header_splices``
+    counts single-attribute re-stamps served by patching the header
+    bytes in place instead of a parse + re-render (see
+    :meth:`EnvelopeCodec.reframe`).
     """
 
     _COUNTERS = ("decodes", "header_parses", "header_parse_errors",
-                 "buffer_pool_hits")
+                 "buffer_pool_hits", "header_renders", "header_splices")
 
     __slots__ = _COUNTERS
 
@@ -714,6 +745,10 @@ class EnvelopeCodec:
             raise ValueError("encoding must be 'binary' or 'soap'")
         self.encoding = encoding
         self.stats = CodecStats()
+        # Single-attribute re-stamps (ack/home/trace/origin) patch the
+        # header bytes in place instead of re-rendering the XML; False
+        # forces the full parse + re-render path (benchmark baseline).
+        self.splice_enabled = True
         self._pool = _BufferPool(self.stats)
         self._binary = BinarySerializer(runtime)
         self._soap = SoapSerializer(runtime)
@@ -835,6 +870,7 @@ class EnvelopeCodec:
         if envelope.trace is not None:
             payload_attrs["trace"] = envelope.trace
         ET.SubElement(root, "Payload", payload_attrs)
+        self.stats.header_renders += 1
         return ET.tostring(root, encoding="utf-8")
 
     def envelope_to_bytes(self, envelope: ObjectEnvelope) -> bytes:
@@ -908,21 +944,103 @@ class EnvelopeCodec:
         the pipeline stamps ``origin`` at admission, ``home`` on
         forwarded copies and ``ack`` tokens on per-subscriber deliveries
         without re-encoding the values.
+
+        When exactly one string-valued attribute changes (the hot
+        per-subscriber ack / per-forward home stamp), the header bytes
+        are spliced in place — no XML parse, no re-render — producing
+        output byte-identical to the full path on codec-built frames.
+        Anything else (several attributes, removals, ``keys``, legacy
+        frames, hand-built headers) falls back to parse + re-render.
         """
-        envelope = self.parse(data)
+        changes = {}
         if origin is not _UNSET:
-            envelope.origin = origin
+            changes["origin"] = origin
         if ack is not _UNSET:
-            envelope.ack = ack
+            changes["ack"] = ack
         if publish_ack is not _UNSET:
-            envelope.publish_ack = publish_ack
+            changes["publish_ack"] = publish_ack
         if home is not _UNSET:
-            envelope.home = home
+            changes["home"] = home
         if keys is not _UNSET:
-            envelope.keys = keys
+            changes["keys"] = keys
         if trace is not _UNSET:
-            envelope.trace = trace
+            changes["trace"] = trace
+        if self.splice_enabled and len(changes) == 1:
+            (name, value), = changes.items()
+            if name in _SPLICE_ATTRS and isinstance(value, str):
+                patched = self._splice_attr(data, name, value)
+                if patched is not None:
+                    return patched
+        envelope = self.parse(data)
+        for name, value in changes.items():
+            setattr(envelope, name, value)
         return self.envelope_to_bytes(envelope)
+
+    def _splice_attr(self, data: Buffer, name: str,
+                     value: str) -> Optional[bytes]:
+        """Stamp one ``<Payload>`` attribute by patching header bytes.
+
+        Replaces the attribute's value bytes when it is already present,
+        or inserts the whole ``name="value"`` pair at its canonical
+        render position otherwise.  ET escapes ``<``/``>``/``"`` inside
+        attribute values, so the markup needles below can only match at
+        genuine element/attribute boundaries.  Returns ``None`` when the
+        frame's shape defeats the splice (not ``XME2``, no ``<Payload``
+        element, unterminated attribute) — the caller falls back to the
+        full parse + re-render path.
+        """
+        view = memoryview(data)
+        if bytes(view[:4]) != _MAGIC_FRAME:
+            return None
+        try:
+            header_len, pos = _read_varint_at(view, len(_MAGIC_FRAME))
+        except WireFormatError:
+            return None
+        end = pos + header_len
+        if end > len(view):
+            return None
+        header = bytes(view[pos:end])
+        elem = header.find(b"<Payload ")
+        if elem < 0:
+            return None
+        close = header.find(b"/>", elem)
+        if close < 0:
+            return None
+        encoded = _escape_attrib(value).encode("utf-8")
+        needle = b' %s="' % name.encode("ascii")
+        at = header.find(needle, elem, close)
+        if at >= 0:
+            start = at + len(needle)
+            stop = header.find(b'"', start, close)
+            if stop < 0:
+                return None
+            insert = encoded
+        else:
+            rank = _PAYLOAD_ATTR_ORDER.index(name)
+            for later in _PAYLOAD_ATTR_ORDER[rank + 1:]:
+                later_at = header.find(b' %s="' % later.encode("ascii"),
+                                       elem, close)
+                if later_at >= 0:
+                    start = stop = later_at
+                    break
+            else:
+                # ET renders a childless element as `<Payload ... />`:
+                # slot the new attribute in before that trailing space.
+                start = stop = close - 1 if header[close - 1:close] == b" " \
+                    else close
+            insert = b' %s="%s"' % (name.encode("ascii"), encoded)
+        buf = self._pool.acquire()
+        try:
+            buf += _MAGIC_FRAME
+            _write_varint(buf, header_len - (stop - start) + len(insert))
+            buf += header[:start]
+            buf += insert
+            buf += header[stop:]
+            buf += view[end:]
+            self.stats.header_splices += 1
+            return bytes(buf)
+        finally:
+            self._pool.release(buf)
 
     # -- parse ------------------------------------------------------------
 

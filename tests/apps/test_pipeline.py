@@ -14,6 +14,7 @@ from repro.apps.tps.pipeline import (
     AdmissionStage,
     BufferedDelivery,
     DeliveryPipeline,
+    DirectDelivery,
     DurabilityStage,
     LocalDelivery,
     RoutingStage,
@@ -317,6 +318,68 @@ class TestPipelineProcess:
         index.add(Subscription(person_java(), explode, 1))
         with pytest.raises(RuntimeError):
             pipeline.process([person(runtime, "n")], origin=None)
+
+
+class TestAckSpliceCounters:
+    """The acceptance gate on the durable live path: personalising a
+    stored record frame with an ack token is a header byte splice —
+    ``header_splices`` counts it, ``header_renders`` stays at zero."""
+
+    def make_durable(self):
+        runtime = make_runtime()
+        host = _StubHost(runtime)
+        return runtime, host, DurabilityStage(host)
+
+    def test_direct_durable_delivery_splices_stored_frame(self):
+        runtime, host, durability = self.make_durable()
+        delivery = DirectDelivery(host, durability)
+        frame = host.codec.encode_batch([person(runtime, "d")])
+        envelope = host.codec.parse(frame)
+        stats = host.codec.stats
+        stats.header_renders = 0
+        stats.header_splices = 0
+        ctx = delivery.begin([None], "pub", 5, envelope, payload=frame)
+        subs = [DurableSubscription(person_java(), None, index,
+                                    peer_id="peer-%d" % index,
+                                    cursor_name="c%d" % index)
+                for index in range(3)]
+        for sub in subs:
+            assert delivery.remote(ctx, sub, None, 5)
+        assert stats.header_renders == 0
+        assert stats.header_splices == len(subs)
+        # Every stamped frame carries its own live token over the SAME
+        # payload bytes the record was stored with.
+        tokens = set()
+        for _, payload, _ in host.batches:
+            stamped = host.codec.parse(payload)
+            assert stamped.ack is not None
+            tokens.add(stamped.ack)
+            assert stamped.payload_bytes() == envelope.payload_bytes()
+        assert len(tokens) == len(subs)
+        assert durability.tracker.pending_count() == len(subs)
+
+    def test_buffered_flush_stamps_ack_without_rerender(self):
+        runtime, host, durability = self.make_durable()
+        delivery = BufferedDelivery(host, durability=durability,
+                                    forward_kind="mesh_forward")
+        frame = host.codec.encode_batch([person(runtime, "b")])
+        batch = host.codec.lazy_batch(host.codec.parse(frame))
+        ctx = delivery.begin([None], "pub", 9, batch.envelope,
+                             payload=frame)
+        sub = DurableSubscription(person_java(), None, 1, peer_id="east",
+                                  cursor_name="c-east")
+        assert delivery.remote_frame(ctx, sub, batch, 0, 9)
+        delivery.finish(ctx)
+        stats = host.codec.stats
+        stats.header_renders = 0
+        stats.header_splices = 0
+        assert delivery.flush() == 1
+        assert stats.header_renders == 0
+        assert stats.header_splices == 1
+        (_, payload, _), = host.batches
+        stamped = host.codec.parse(payload)
+        assert stamped.ack is not None
+        assert stamped.payload_bytes() == batch.envelope.payload_bytes()
 
 
 class TestDurableSubscriptionDuckTyping:

@@ -10,8 +10,12 @@ import pytest
 
 from repro.net.network import NetworkError, UnknownPeerError
 from repro.net.socket_transport import (
+    _FIELD_MEMO_MAX,
+    _SEGMENT_WRITE_MIN,
     SocketHub,
     SocketNetwork,
+    _Link,
+    _WireFrame,
     _write_varint,
     format_address,
     parse_address,
@@ -278,6 +282,221 @@ def test_dead_link_counts_queued_frames_as_lost():
     finally:
         client.close()
         listener.close()
+
+
+def wire_bytes(frame):
+    """Flatten a queued frame to the bytes the kernel would see."""
+    if type(frame) is _WireFrame:
+        return b"".join(frame.segments)
+    return bytes(frame)
+
+
+class _ReentrantTransport:
+    """A fake transport where every write crosses the high-water mark:
+    it fires ``pause_writing`` and then (kernel drained) ``resume_writing``
+    *synchronously*, re-entering ``_drain`` from inside ``_drain``."""
+
+    def __init__(self, link):
+        self.link = link
+        self.writes = []
+
+    def write(self, data):
+        self.writes.append(bytes(data))
+        self.link.pause_writing()
+        self.link.resume_writing()
+
+    def writelines(self, segments):
+        self.writes.append(b"".join(segments))
+        self.link.pause_writing()
+        self.link.resume_writing()
+
+
+def test_drain_reentry_from_resume_writing_writes_each_frame_once():
+    """Regression: resume_writing used to re-enter _drain while the outer
+    loop still owned the queue.  With the guard, a deep queue under
+    synchronous pause/resume per write drains exactly once, in FIFO
+    order, at recursion depth one (no RecursionError)."""
+    network = SocketNetwork("drain-node")
+    try:
+        link = _Link(network, None)
+        link.transport = _ReentrantTransport(link)
+        link.connected = True
+        frames = [network._encode_frame(0, 0, "src", "dst", "object",
+                                        b"%04d" % index)
+                  for index in range(2000)]
+        for frame in frames:
+            link.tx.append(frame)
+            link.tx_bytes += len(frame)
+        link._drain()
+        assert link.transport.writes == [wire_bytes(frame)
+                                         for frame in frames]
+        assert not link.tx
+        assert link.tx_bytes == 0
+        assert not link.paused
+    finally:
+        network.close()
+
+
+def test_send_frame_under_reentrant_transport_is_exactly_once():
+    network = SocketNetwork("drain-node")
+    try:
+        link = _Link(network, None)
+        link.transport = _ReentrantTransport(link)
+        link.connected = True
+        for index in range(10):
+            link.send_frame(network._encode_frame(
+                0, 0, "src", "dst", "object", b"n%d" % index))
+        assert len(link.transport.writes) == 10
+        assert link.tx_bytes == 0
+    finally:
+        network.close()
+
+
+def test_scatter_frame_matches_flat_encoding_and_counts_copies():
+    fast = SocketNetwork("fast-node")
+    flat = SocketNetwork("flat-node", scatter_send=False)
+    try:
+        payload = b"p" * 513
+        wire = fast._encode_frame(2, 77, "a-node", "b-node", "object",
+                                  payload)
+        baseline = flat._encode_frame(2, 77, "a-node", "b-node", "object",
+                                      payload)
+        reference = encode_frame("a-node", "b-node", "object", payload,
+                                 flags=2, req_id=77)
+        # Same bytes on the wire, whichever path built them.
+        assert wire_bytes(wire) == baseline == reference
+        assert len(wire) == len(baseline)
+        # The payload segment is the caller's object, by reference.
+        assert wire.segments[1] is payload
+        assert fast.bytes_copied == 0
+        # A non-bytes payload must be snapshotted (queued frames outlive
+        # receive buffers) — and the copy is accounted.
+        fast._encode_frame(0, 0, "a-node", "b-node", "object",
+                           memoryview(payload)[:100])
+        assert fast.bytes_copied == 100
+        assert flat.bytes_copied == 0
+    finally:
+        fast.close()
+        flat.close()
+
+
+class _RecordingTransport:
+    """Records each flush call with its flattened bytes, so tests can
+    assert both *how* a frame went down (write vs writelines) and that
+    the wire bytes are exact either way."""
+
+    def __init__(self):
+        self.calls = []
+
+    def write(self, data):
+        self.calls.append(("write", bytes(data)))
+
+    def writelines(self, segments):
+        self.calls.append(
+            ("writelines", b"".join(bytes(s) for s in segments)))
+
+
+def test_large_frames_write_segments_individually_on_joining_transports():
+    """When the transport's writelines is the joining base implementation,
+    a large scatter frame is flushed as per-segment writes (skipping the
+    payload-sized join); small frames and native-writelines transports
+    keep the single segmented call.  Wire bytes are identical on every
+    path."""
+    network = SocketNetwork("segment-node")
+    try:
+        link = _Link(network, None)
+        transport = _RecordingTransport()
+        link.transport = transport
+        link.connected = True
+        assert link._joining_writelines  # conservative default
+
+        big = network._encode_frame(0, 0, "src", "dst", "object",
+                                    b"x" * _SEGMENT_WRITE_MIN)
+        small = network._encode_frame(0, 0, "src", "dst", "object",
+                                      b"y" * (_SEGMENT_WRITE_MIN - 1))
+        link.send_frame(big)
+        link.send_frame(small)
+        assert [name for name, _ in transport.calls] == \
+            ["write", "write", "writelines"]
+        assert b"".join(data for _, data in transport.calls[:2]) == \
+            wire_bytes(big)
+        assert transport.calls[2][1] == wire_bytes(small)
+
+        # A native scatter-gather writelines (sendmsg-based) always gets
+        # the single segmented call, payload size notwithstanding.
+        link._joining_writelines = False
+        transport.calls.clear()
+        link.send_frame(big)
+        assert [name for name, _ in transport.calls] == ["writelines"]
+        assert transport.calls[0][1] == wire_bytes(big)
+    finally:
+        network.close()
+
+
+def test_connection_made_detects_joining_writelines():
+    """The flag comes from the transport class: asyncio's base
+    ``writelines`` joins the segments (one payload-sized copy), so only
+    transports that override it get unconditional ``writelines``."""
+    import asyncio
+
+    class _FakeBase(asyncio.Transport):
+        def __init__(self):
+            super().__init__()
+            self.writes = []
+
+        def write(self, data):
+            self.writes.append(bytes(data))
+
+        def set_write_buffer_limits(self, high=None, low=None):
+            pass
+
+        def get_extra_info(self, name, default=None):
+            return default
+
+        def close(self):
+            pass
+
+    class _FakeNative(_FakeBase):
+        def writelines(self, list_of_data):
+            for data in list_of_data:
+                self.write(data)
+
+    network = SocketNetwork("detect-node")
+    try:
+        joining = _Link(network, None)
+        joining.connection_made(_FakeBase())
+        assert joining._joining_writelines
+
+        native = _Link(network, None)
+        native.connection_made(_FakeNative())
+        assert not native._joining_writelines
+    finally:
+        network.close()
+
+
+def test_field_memo_is_bounded_and_correct_under_peer_churn():
+    """The src/dst/kind encode memo caps at _FIELD_MEMO_MAX entries and
+    survives eviction: churning through more distinct peers than the cap
+    never grows the memo past the bound, and frames for evicted (and
+    re-admitted) fields still encode byte-identically."""
+    network = SocketNetwork("memo-node")
+    try:
+        for index in range(_FIELD_MEMO_MAX + 300):
+            dst = "peer-%d" % index
+            frame = network._encode_frame(0, 0, "caller", dst, "object",
+                                          b"x")
+            assert wire_bytes(frame) == \
+                encode_frame("caller", dst, "object", b"x")
+            assert len(network._field_memo) <= _FIELD_MEMO_MAX
+        # "caller" was evicted along the way; re-encoding re-admits it
+        # and the frame is still exact.
+        frame = network._encode_frame(0, 0, "caller", "peer-0", "object",
+                                      b"y")
+        assert wire_bytes(frame) == \
+            encode_frame("caller", "peer-0", "object", b"y")
+        assert len(network._field_memo) <= _FIELD_MEMO_MAX
+    finally:
+        network.close()
 
 
 def test_transport_snapshot_shape(hub):

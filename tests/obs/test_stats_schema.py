@@ -48,7 +48,8 @@ BROKER_MESH_KEYS = {"shards", "events_routed", "forwards_sent",
 
 TRANSPORT_SNAPSHOT_KEYS = {"node", "frames_sent", "frames_received",
                            "frames_lost", "bytes_received", "framing_errors",
-                           "blocked_sends", "queue_high_water", "links",
+                           "blocked_sends", "bytes_copied",
+                           "queue_high_water", "links",
                            "recv_pool", "by_kind_messages", "by_kind_bytes"}
 
 WATERMARK_KEYS = {"sent", "acked", "queued", "lag"}

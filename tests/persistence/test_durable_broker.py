@@ -126,6 +126,29 @@ class TestRemoteDurable:
         assert [v.getPersonName() for v in got] == ["live-1", "live-2"]
         assert broker.cursors.get("sub-c") == broker.event_log.next_offset
 
+    def test_live_durable_ack_path_never_rerenders(self, tmp_path):
+        """The acceptance gate end to end: across live durable
+        deliveries the broker renders each record's header exactly once
+        (admission canonicalises the stored frame) — the per-subscriber
+        ack stamp is a header splice, never an XML re-render."""
+        network, broker, publisher = make_world(tmp_path)
+        got = []
+        subscriber = TpsPeer("sub", network)
+        subscriber.subscribe_durable_remote("broker", person_java(),
+                                            got.append, cursor="sub-c")
+        network.run_until_idle()
+        stats = broker.codec.stats
+        stats.header_renders = 0
+        stats.header_splices = 0
+        publish(publisher, ["live-%d" % i for i in range(4)])
+        network.run_until_idle()
+        assert [v.getPersonName() for v in got] == \
+            ["live-%d" % i for i in range(4)]
+        # One render per publish — admission only — and one ack splice
+        # per durable live delivery.  Nothing else touched the XML.
+        assert stats.header_renders == 4
+        assert stats.header_splices == 4
+
     def test_no_duplicates_across_replay_live_boundary(self, tmp_path):
         """Acceptance: backlog + live with no duplicate across the ack
         boundary, events in publish order."""

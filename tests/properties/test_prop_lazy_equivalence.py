@@ -253,6 +253,86 @@ def test_lazy_broker_equals_eager_broker(ops):
         shutil.rmtree(root, ignore_errors=True)
 
 
+_local_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("person"), st.integers(1, 3)),
+        st.tuples(st.just("account"), st.integers(1, 3)),
+        st.tuples(st.just("sub"),),
+    ),
+    min_size=1, max_size=10,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=_local_ops)
+def test_local_broker_frame_publish_equals_eager(ops):
+    """The in-process broker's frame-publish path is the same
+    optimisation contract: a ``publish_frame`` on the lazy header-driven
+    broker delivers the byte-identical value sequence the eager
+    decode-everything baseline delivers, and a publish that matches no
+    local subscription decodes ZERO values."""
+    from repro.apps.tps.broker import LocalBroker
+    from repro.fixtures import account_csharp
+    from repro.cts.assembly import Assembly
+    from repro.runtime.loader import Runtime
+    from repro.serialization.envelope import EnvelopeCodec
+
+    runtime = Runtime()
+    asm_a, _ = person_assembly_pair()
+    runtime.load_assembly(asm_a)
+    runtime.load_assembly(Assembly("bank", [account_csharp()]))
+    encoder = EnvelopeCodec(runtime)
+
+    lazy = LocalBroker(runtime=runtime)
+    eager = LocalBroker(runtime=runtime)
+    lazy_delivered, eager_delivered = [], []
+
+    def subscribe():
+        # Subscriptions match Person only — Account publishes are the
+        # no-match traffic that must stay decode-free on the lazy side.
+        # Handlers receive conformance proxies; the proxied name is the
+        # observable value identity.
+        lazy.subscribe(person_java(),
+                       lambda event: lazy_delivered.append(
+                           event.getPersonName()))
+        eager.subscribe(person_java(),
+                        lambda event: eager_delivered.append(
+                            event.getPersonName()))
+
+    seq = 0
+    for op in ops:
+        if op[0] == "sub":
+            subscribe()
+            continue
+        type_name = ("demo.a.Person" if op[0] == "person"
+                     else "demo.bank.Account")
+        values = [
+            runtime.new_instance(type_name, ["v%d-%d" % (seq, j)]
+                                 if op[0] == "person"
+                                 else ["v%d-%d" % (seq, j), j])
+            for j in range(op[1])
+        ]
+        seq += 1
+        frame = encoder.encode_batch(values)
+        counted = lazy.publish_frame(frame)
+        # Eager baseline: materialize every value up front, publish one
+        # by one — the pre-frame-publish behaviour.
+        decoded = eager.codec.unwrap_batch(eager.codec.parse(frame))
+        eager_count = sum(eager.publish(value) for value in decoded)
+        assert counted == eager_count
+
+    assert lazy_delivered == eager_delivered
+    assert lazy.published == eager.published
+
+    # The zero-decode claim, isolated: with subscriptions attached that
+    # cannot match, a fresh no-match publish touches the header only.
+    no_match = LocalBroker(runtime=runtime)
+    no_match.subscribe(person_java(), lambda event: None)
+    account = runtime.new_instance("demo.bank.Account", ["acct", 1])
+    assert no_match.publish_frame(encoder.encode_batch([account])) == 0
+    assert no_match.codec.stats.decodes == 0
+
+
 @settings(max_examples=10, deadline=None)
 @given(ops=_ops, drop_percent=st.integers(0, 30), seed=st.integers(0, 7))
 def test_replicas_stay_byte_identical_under_loss(ops, drop_percent, seed):
