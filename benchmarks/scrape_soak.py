@@ -73,6 +73,12 @@ def main(argv=None):
     parser.add_argument("--emit", default=None,
                         help="write the scraped snapshot here")
     parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--expect-epoch", type=int, default=None,
+                        help="membership soak: poll the mesh /topology "
+                             "view until its epoch reaches this value "
+                             "(the elastic-smoke job's mid-run gate), and "
+                             "require the replication watermark-lag "
+                             "gauges on every shard page")
     args = parser.parse_args(argv)
 
     deadline = time.monotonic() + args.timeout
@@ -101,7 +107,34 @@ def main(argv=None):
         if "repro_pipeline_events_routed" not in shard_samples:
             raise SystemExit("pipeline family missing from %s" % shard_id)
         assert_zero_copy(shard_samples, shard_id)
+        if args.expect_epoch is not None \
+                and "repro_replication_watermark_lag" not in shard_samples:
+            raise SystemExit("watermark-lag gauges missing from %s"
+                             % shard_id)
         snapshot["shards"][shard_id] = page
+
+    if args.expect_epoch is not None:
+        # The expansion fires while the soak is still publishing: poll
+        # the membership view until every scheduled join has committed.
+        base = endpoints.get("mesh") or driver
+        view = {}
+        while time.monotonic() < deadline:
+            view = json.loads(fetch(base + "/topology", deadline))
+            if int(view.get("epoch", 0)) >= args.expect_epoch:
+                break
+            time.sleep(0.5)
+        if int(view.get("epoch", 0)) < args.expect_epoch:
+            raise SystemExit("mesh epoch stuck at %s (expected >= %d)"
+                             % (view.get("epoch"), args.expect_epoch))
+        snapshot["topology"] = view
+        # Replication health is what makes an eventual removal safe:
+        # the aggregated mesh page must expose the per-follower
+        # watermark-lag gauges mid-migration.
+        page = fetch(base + "/metrics", deadline)
+        if "repro_replication_watermark_lag" not in parse_exposition(page):
+            raise SystemExit("watermark-lag gauges missing from the "
+                             "mesh /metrics page")
+        snapshot["mesh_metrics"] = page
 
     if args.emit:
         with open(args.emit, "w", encoding="utf-8") as handle:

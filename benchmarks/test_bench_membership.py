@@ -1,0 +1,89 @@
+"""Elastic-membership gate: a live 4 -> 8 shard expansion under load.
+
+Runs one membership soak that doubles the mesh while publishers keep
+publishing and durable subscribers keep consuming, then asserts the
+PR's acceptance contract:
+
+- **zero loss** — every stable subscriber holds every published event;
+- **no duplicate durable deliveries** — exactly-once across every
+  adoption's dual-routing window;
+- **bounded migration latency** — p99 publish->deliver latency inside
+  the migration windows stays within ``MIGRATION_P99_FACTOR`` (default
+  5x) of the steady-state p99, with an absolute floor so a sub-ms
+  steady p99 cannot fail the gate on scheduler noise alone.
+
+Environment knobs (the CI ``elastic-smoke`` job turns them up):
+
+- ``MEMBERSHIP_DURATION_S``   publish window in seconds (default 4.0)
+- ``MEMBERSHIP_SHARDS``       starting shard count (default 4)
+- ``MEMBERSHIP_EXPAND_TO``    final shard count (default 8)
+- ``MEMBERSHIP_LEAVES``       shard removals fired after the joins (0)
+- ``MEMBERSHIP_SEED``         harness seed (default 0)
+- ``MEMBERSHIP_EMIT``         path to additionally write the full report
+- ``MEMBERSHIP_HTTP_FILE``    serve the harness registry over HTTP and
+  write the endpoint map here (the CI job scrapes /topology mid-run)
+"""
+
+import json
+import os
+
+from repro.apps.tps.soak import run_soak
+
+DURATION_S = float(os.environ.get("MEMBERSHIP_DURATION_S", "4.0"))
+SHARDS = int(os.environ.get("MEMBERSHIP_SHARDS", "4"))
+EXPAND_TO = int(os.environ.get("MEMBERSHIP_EXPAND_TO", "8"))
+LEAVES = int(os.environ.get("MEMBERSHIP_LEAVES", "0"))
+SEED = int(os.environ.get("MEMBERSHIP_SEED", "0"))
+HTTP_FILE = os.environ.get("MEMBERSHIP_HTTP_FILE") or None
+MIGRATION_P99_FACTOR = 5.0
+MIGRATION_P99_FLOOR_MS = 50.0
+
+
+def test_membership_expansion_zero_loss_bounded_latency(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_soak(shards=SHARDS, duration_s=DURATION_S,
+                         publishers=2, subscribers=3, burst=10,
+                         processes=False, seed=SEED, name="benchmember",
+                         expand_to=EXPAND_TO, leaves=LEAVES,
+                         durable=True, replication_factor=1,
+                         http_file=HTTP_FILE),
+        rounds=1, iterations=1)
+
+    emit = os.environ.get("MEMBERSHIP_EMIT")
+    if emit:
+        with open(emit, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    assert report["published"] > 0
+    joins = EXPAND_TO - SHARDS
+    ops = report["membership_ops"]
+    assert len(ops) == joins + LEAVES, ops
+    assert report["epoch"] == 1 + joins + LEAVES
+
+    # The loss oracle across every adoption's dual-routing window.
+    assert report["lost"] == 0, report["per_subscriber"]
+    assert report["duplicates"] == 0, report["per_subscriber"]
+
+    # The migration windows may hiccup, but boundedly so.
+    steady = report["latency_phases"]["steady"]
+    migration = report["latency_phases"]["migration"]
+    assert steady["samples"] > 0 and migration["samples"] > 0
+    ceiling = max(steady["p99"] * MIGRATION_P99_FACTOR,
+                  MIGRATION_P99_FLOOR_MS)
+    assert migration["p99"] <= ceiling, (
+        "migration p99 %.2fms exceeds %.2fms (steady p99 %.2fms x %.1f)"
+        % (migration["p99"], ceiling, steady["p99"], MIGRATION_P99_FACTOR))
+
+    benchmark.extra_info["experiment"] = "membership-%dto%d" % (SHARDS,
+                                                                EXPAND_TO)
+    benchmark.extra_info["config"] = report["config"]
+    benchmark.extra_info["published"] = report["published"]
+    benchmark.extra_info["deliveries"] = report["deliveries"]
+    benchmark.extra_info["membership_ops"] = ops
+    benchmark.extra_info["epoch"] = report["epoch"]
+    benchmark.extra_info["publish_eps"] = report["publish_eps"]
+    benchmark.extra_info["latency_ms"] = report["latency_ms"]
+    benchmark.extra_info["latency_phases"] = report["latency_phases"]
+    benchmark.extra_info["transport"] = report["transport"]
+    benchmark.extra_info["metrics"] = report["metrics"]

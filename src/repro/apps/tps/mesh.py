@@ -36,9 +36,8 @@ path, exactly as in the paper; only the one-way event fan-out is queued.
 
 from __future__ import annotations
 
-import hashlib
 import os
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from urllib.parse import quote, unquote
 
 from ...describe.description import TypeDescription
@@ -77,32 +76,33 @@ from .pipeline import (
     foreign_cursor_name,
 )
 from .routing import RoutingIndex
+from .topology import MeshConfig, Topology, rendezvous_rank, rendezvous_shard
+
+__all__ = [
+    "BrokerMesh",
+    "MeshShard",
+    "ReplicaSet",
+    "Topology",
+    "rendezvous_rank",
+    "rendezvous_shard",
+    "KIND_MESH_FORWARD",
+    "KIND_MESH_SUMMARY",
+    "KIND_MESH_SYNC",
+    "KIND_MESH_TOPOLOGY",
+    "KIND_MESH_HANDOFF",
+]
 
 KIND_MESH_FORWARD = "mesh_forward"
 KIND_MESH_SUMMARY = "mesh_summary"
 KIND_MESH_SYNC = "mesh_sync"
-
-
-def rendezvous_rank(key: str, shard_ids: Sequence[str]) -> List[str]:
-    """Every shard ranked by highest-random-weight score for ``key`` —
-    position 0 is the rendezvous winner, positions 1..N the natural
-    follower preference list (deterministic, uniform, and minimally
-    disruptive when shards come and go)."""
-    def score(shard: str) -> int:
-        digest = hashlib.blake2b(
-            ("%s|%s" % (shard, key)).encode("utf-8"), digest_size=8
-        ).digest()
-        return int.from_bytes(digest, "big")
-
-    return sorted(shard_ids, key=lambda shard: (-score(shard), shard))
-
-
-def rendezvous_shard(key: str, shard_ids: Sequence[str]) -> str:
-    """The rendezvous-hash home shard for ``key`` (see
-    :func:`rendezvous_rank`)."""
-    if not shard_ids:
-        raise ValueError("no shards to hash onto")
-    return rendezvous_rank(key, shard_ids)[0]
+#: Membership announcement/query: payload carries a serialized
+#: :class:`Topology`; the shard commits it (epoch-gated) and answers
+#: with the topology it now holds.  An empty payload is a pure query.
+KIND_MESH_TOPOLOGY = "mesh_topology"
+#: Durable-subscription migration: the leaving shard asks the new home
+#: to adopt one subscription (cursor name, owner, type description, and
+#: the per-origin cursor position vector).
+KIND_MESH_HANDOFF = "mesh_handoff"
 
 
 class ReplicaSet:
@@ -188,6 +188,10 @@ class MeshShard(TpsBroker):
         #: inherited from :class:`TpsBroker` and flows through ``kwargs``.
         super().__init__(peer_id, network, **kwargs)
         self._siblings: List[str] = []
+        #: The membership epoch this shard last committed (see
+        #: :meth:`set_topology`); ``None`` until a topology is applied —
+        #: legacy ``set_siblings`` wiring leaves it unset.
+        self.topology: Optional[Topology] = None
         #: Summaries of sibling shards' subscriptions: one refcounted
         #: entry per (shard, expected-type GUID), indexed for routing.
         self.summary_index = RoutingIndex(self.checker, self.runtime.registry)
@@ -195,12 +199,24 @@ class MeshShard(TpsBroker):
         self._next_summary_id = 1
         self.forwards_received = 0
         self.gossip_failures = 0
-        #: Cached home ids of forwarded-in records (see
-        #: :meth:`_home_ids_in_log`), maintained incrementally as
-        #: forwards arrive; the stamp invalidates it whenever retention
-        #: or compaction removed records.
-        self._home_ids: Optional[set] = None
+        #: Cached home ids of forwarded-in records mapped to the local
+        #: offset their copy sits at (see :meth:`_home_ids_in_log`),
+        #: maintained incrementally as forwards arrive; the stamp
+        #: invalidates it whenever retention or compaction removed
+        #: records.
+        self._home_ids: Optional[Dict[Tuple[str, int], int]] = None
         self._home_ids_stamp: Optional[Tuple[int, int, int]] = None
+        #: Elastic-membership counters: durable subscriptions handed to a
+        #: new home shard / adopted from their previous home.
+        self.handoffs = 0
+        self.adoptions = 0
+        #: Adopted subscriptions whose backlog replay could not reach the
+        #: subscriber (no transport route yet — clients dial shards, and
+        #: nothing has dialed a just-joined shard until it publishes or
+        #: resubscribes), mapped to their dual-routing bounds.  Retried
+        #: from the delivery pump until a pass completes with the
+        #: subscriber reachable (see :meth:`retry_stalled_replays`).
+        self._stalled_replays: Dict[str, Dict[str, int]] = {}
         self.replica_records = 0
         self.replica_rejects = 0
         self.fetches_served = 0
@@ -210,6 +226,8 @@ class MeshShard(TpsBroker):
         self.on(KIND_MESH_FORWARD, self._handle_forward)
         self.on(KIND_MESH_SUMMARY, self._handle_summary)
         self.on(KIND_MESH_SYNC, self._handle_sync)
+        self.on(KIND_MESH_TOPOLOGY, self._handle_topology)
+        self.on(KIND_MESH_HANDOFF, self._handle_handoff)
         self.on(KIND_REPLICATE, self._handle_replicate)
         self.on(KIND_REPLICATE_ACK, self._handle_replicate_ack)
         self.on(KIND_BACKLOG_FETCH, self._handle_backlog_fetch)
@@ -263,11 +281,81 @@ class MeshShard(TpsBroker):
             self.replication.set_followers(rendezvous_rank(
                 self.peer_id, self._siblings)[:self._replication_factor])
 
+    def set_topology(self, topology: Topology) -> bool:
+        """Commit a membership view: adopt its sibling list (follower
+        placement recomputes deterministically) and drop summaries of
+        shards that are no longer live.  Epoch-gated — a stale topology
+        (epoch at or below the committed one) is ignored, so reordered
+        membership announcements cannot roll the shard backwards.
+        Returns whether the commit happened."""
+        if self.topology is not None and topology.epoch <= self.topology.epoch:
+            return False
+        self.topology = topology
+        self.set_siblings(topology.shard_ids)
+        live = set(topology.shard_ids)
+        for key in [key for key in self._summaries if key[0] not in live]:
+            summary, _ = self._summaries.pop(key)
+            self.summary_index.remove(summary.subscription_id,
+                                      peer_id=key[0])
+        return True
+
+    @property
+    def epoch(self) -> int:
+        """The committed membership epoch (0 = statically wired)."""
+        return self.topology.epoch if self.topology is not None else 0
+
     @property
     def followers(self) -> List[str]:
         """The sibling shards this shard replicates its records to."""
         return list(self.replication.followers) \
             if self.replication is not None else []
+
+    def ensure_replica_coverage(self) -> int:
+        """Probe any follower this incarnation never replicated to (see
+        :meth:`ReplicationStage.ensure_coverage`): a membership change
+        reassigns followers, and the probe's ack round-trip makes the
+        existing gap-resend protocol backfill exactly what the new
+        follower is missing."""
+        if self.replication is None:
+            return 0
+        return self.replication.ensure_coverage()
+
+    def _code_fallback_sources(self, src: str) -> List[str]:
+        """Siblings stand in for an unreachable publisher.  Every peer
+        re-serves the assemblies it downloads, so records this shard
+        archived without ever admitting them — replica backfill after a
+        join, or a departed shard's history — stay servable even when
+        their origin has no transport link to this shard (real sockets,
+        unlike the simulator, only reach peers that dialed us)."""
+        sources = super()._code_fallback_sources(src)
+        sources += [sid for sid in self._siblings if sid != src]
+        return sources
+
+    def _replication_target(self) -> int:
+        """One past the last *own* (non-forwarded) record in the log —
+        the watermark every follower must reach before this shard's
+        history is safe without it.  Forwarded-in copies at the log tail
+        never replicate, so the raw ``next_offset`` can be unreachable."""
+        if self.event_log is None:
+            return 0
+        target = 0
+        for record in self.event_log.replay():
+            if envelope_home(record.payload) is None:
+                target = record.offset + 1
+        return target
+
+    def replication_covered(self) -> bool:
+        """Is every own record acknowledged by every follower?  The
+        retirement gate: a leaving shard may only be torn down once this
+        holds (its whole history then lives on in its followers' replica
+        logs)."""
+        target = self._replication_target()
+        if target == 0:
+            return True
+        if self.replication is None or not self.replication.followers:
+            return False
+        marks = self.replication.watermarks()
+        return all(mark["acked"] >= target for mark in marks.values())
 
     # -- subscription management + gossip ---------------------------------
 
@@ -300,14 +388,24 @@ class MeshShard(TpsBroker):
                 self.gossip_failures += 1
 
     def _handle_summary(self, payload: bytes, src: str) -> bytes:
+        """Apply one gossiped summary mutation.  The response carries
+        this shard's log end (``next_offset``) *as of indexing the
+        mutation*: for a subscription adoption's summary-add this is the
+        exact dual-routing bound — every record this shard admits after
+        answering is forwarded to the new home live, so the adopter's
+        backlog fetch stops below it (handlers run serially per shard,
+        making the partition gapless and overlap-free)."""
         message = self._wire_codec.deserialize(payload)
+        next_offset = self.event_log.next_offset \
+            if self.event_log is not None else 0
         if message["op"] == "reset":
             # A restarted sibling is about to re-announce its world: drop
             # whatever we believed about it (stale refcounts included).
             for key in [key for key in self._summaries if key[0] == src]:
                 summary, _ = self._summaries.pop(key)
                 self.summary_index.remove(summary.subscription_id, peer_id=src)
-            return self._wire_codec.serialize({"ok": True})
+            return self._wire_codec.serialize({"ok": True,
+                                               "next_offset": next_offset})
         key = (src, message["guid"])
         entry = self._summaries.get(key)
         if message["op"] == "add":
@@ -321,7 +419,8 @@ class MeshShard(TpsBroker):
             if entry[1] <= 0:
                 self.summary_index.remove(entry[0].subscription_id, peer_id=src)
                 del self._summaries[key]
-        return self._wire_codec.serialize({"ok": True})
+        return self._wire_codec.serialize({"ok": True,
+                                           "next_offset": next_offset})
 
     def _add_summary(self, src: str, guid: str, description,
                      count: int) -> None:
@@ -482,15 +581,19 @@ class MeshShard(TpsBroker):
         # code-fetch failure below must not lose the record (the sender
         # will not resend; replay retries materialization later).
         log_offset = self.durability.append_payload(payload, origin)
-        if self._home_ids is not None and envelope.home is not None:
+        if self._home_ids is not None and envelope.home is not None \
+                and log_offset is not None:
             # Keep the home-id cache exact without a rescan; a retention
             # drop this append may have triggered changes the removal
             # stamp, which forces the rebuild on the next read.
             decoded = decode_home(envelope.home)
             if decoded is not None:
-                self._home_ids.update((decoded[0], offset)
-                                      for offset in decoded[1]
-                                      if offset is not None)
+                for offset in decoded[1]:
+                    if offset is None:
+                        continue
+                    key = (decoded[0], offset)
+                    if self._home_ids.get(key, -1) < log_offset:
+                        self._home_ids[key] = log_offset
         values: Any = None
         if self._lazy_admission:
             # Zero-copy ingest: route on the header, deliver the frame.
@@ -543,22 +646,43 @@ class MeshShard(TpsBroker):
         matching records cross the wire.  Forwarded-in copies are never
         served (their home shard is authoritative).  ``upto`` reports how
         far the scan got — the requester consumes through it so filtered
-        records are not re-fetched forever."""
+        records are not re-fetched forever.
+
+        Two elastic-membership extensions ride the same request shape: a
+        requester's ``upto`` clamps the scan (an adoption fetch stops at
+        the dual-routing bound — everything above arrives by live
+        forward), and ``origin`` names a *departed* shard whose archived
+        records should be served from this shard's replica log of it
+        instead of the local event log (the archivist path — a removed
+        shard's history outlives it in its followers)."""
         request = self._wire_codec.deserialize(payload)
-        if self.event_log is None:
+        origin = request.get("origin")
+        own_only = True
+        if origin is not None and origin != self.peer_id:
+            log = self.replicas.log_for(origin, create=False) \
+                if self.replicas is not None else None
+            # Replica logs hold only the origin's own records — no
+            # forwarded-in copies to filter out.
+            own_only = False
+        else:
+            log = self.event_log
+        if log is None:
             return self._wire_codec.serialize({"upto": 0, "records": []})
         expected = deserialize_description(
             request["description"]).to_type_info()
         self.runtime.registry.register(expected)
         self.fetches_served += 1
-        upto = self.event_log.next_offset
+        upto = log.next_offset
+        clamp = request.get("upto")
+        if clamp is not None:
+            upto = min(upto, int(clamp))
         #: Retention may have dropped records the requester never fetched
         #: — report how far the retained log actually starts, so the
         #: requester can surface the gap instead of silently skipping it.
-        first = self.event_log.first_offset
+        first = log.first_offset
         records = []
-        for record in self.event_log.replay(request["from"], upto):
-            if envelope_home(record.payload) is not None:
+        for record in log.replay(request["from"], upto):
+            if own_only and envelope_home(record.payload) is not None:
                 continue  # some other shard's record, forwarded here
             match = self._record_conforms(record, expected, src)
             if match is None:
@@ -629,22 +753,26 @@ class MeshShard(TpsBroker):
         return (log.dropped_segments, log.retention_dropped_records,
                 log.compactions)
 
-    def _home_ids_in_log(self) -> set:
-        """The ``(home shard, home offset)`` ids of every forwarded-in
-        record retained in the local log — records the local replay path
-        already covers, which replica replay and backlog fetch must not
-        deliver a second time.
+    def _home_ids_in_log(self) -> Dict[Tuple[str, int], int]:
+        """The ``(home shard, home offset)`` id of every forwarded-in
+        record retained in the local log, mapped to the local offset its
+        copy sits at — records the local replay path already covers,
+        which replica replay and backlog fetch must not deliver a second
+        time.  The local offset is what makes the skip *floor-aware*: an
+        adopted subscription replays locally only from its adoption
+        floor, so a copy lying below the floor does NOT cover it (see
+        :meth:`~repro.apps.tps.pipeline.DeliveryPipeline.replay_foreign`).
 
         Built by scanning the log once, then maintained incrementally
         (each forwarded-in append adds its ids); a retention drop or
         compaction pass rebuilds, so an id whose record is gone stops
         suppressing a re-fetch."""
         if self.event_log is None:
-            return set()
+            return {}
         stamp = self._log_removal_stamp()
         if self._home_ids is not None and stamp == self._home_ids_stamp:
             return self._home_ids
-        seen = set()
+        seen: Dict[Tuple[str, int], int] = {}
         for record in self.event_log.replay():
             home = envelope_home(record.payload)
             if home is None:
@@ -652,13 +780,28 @@ class MeshShard(TpsBroker):
             shard_id, offsets = home
             for offset in offsets:
                 if offset is not None:
-                    seen.add((shard_id, offset))
+                    key = (shard_id, offset)
+                    if seen.get(key, -1) < record.offset:
+                        seen[key] = record.offset
         self._home_ids = seen
         self._home_ids_stamp = stamp
         return seen
 
+    def _cursor_floor(self, cursor_name: str) -> int:
+        """An adopted subscription's local replay floor (0 otherwise):
+        the log end captured when this shard adopted the cursor.  Local
+        replay starts at the floor; everything below it reaches the
+        subscriber through the foreign passes — including the *self*
+        pass over this shard's own pre-adoption records."""
+        if self.cursors is None:
+            return 0
+        entry = self.cursors.entry(cursor_name)
+        return int(entry.get("floor", 0)) if entry else 0
+
     def _replay_mesh(self, subscription: DurableSubscription,
-                     recovering: bool = False) -> int:
+                     recovering: bool = False,
+                     bounds: Optional[Dict[str, int]] = None,
+                     ceiling: Optional[int] = None) -> int:
         """Complete a durable subscription's backlog mesh-wide: for each
         sibling, replay its replica log (records replication already
         pulled here), then ``backlog_fetch`` whatever lies above the
@@ -667,43 +810,106 @@ class MeshShard(TpsBroker):
         sibling is unreachable for everything replication got here first.
         Progress is tracked per ``(cursor, sibling)`` fetch cursor in the
         sibling's offset space; records forwarded here at publish time
-        replay through the local path and are skipped by home id."""
-        if self.event_log is None or not self._siblings:
+        replay through the local path and are skipped by home id.
+
+        Elastic membership adds three passes on the same machinery: an
+        *adopted* subscription (non-zero floor) first replays this
+        shard's OWN pre-adoption records from the handed self-position
+        (the local path only covers the log from the floor up); each
+        *departed* shard's records are fetched from its old followers'
+        replica archives (the archivist path, tried in the departed
+        shard's rendezvous preference order); and during adoption each
+        live sibling's pass is clamped to its dual-routing bound
+        (``bounds``) — records above the bound arrive by live forward.
+        ``ceiling`` is the handoff catch-up form (see
+        :meth:`_handoff_subscription`): forwarded-in copies logged at or
+        above it were never delivered locally, so the foreign passes
+        must deliver them instead of skip-consuming.
+        """
+        if self.event_log is None:
             return 0
         seen = self._home_ids_in_log()
+        floor = self._cursor_floor(subscription.cursor_name)
         description = serialize_description_bytes(
             TypeDescription.from_type_info(subscription.expected))
         total = 0
-        for sibling in self._siblings:
-            cursor = foreign_cursor_name(subscription.cursor_name, sibling)
+        if floor > 0:
+            cursor = foreign_cursor_name(subscription.cursor_name,
+                                         self.peer_id)
+            self.durability.register_cursor(
+                cursor, peer_id=subscription.peer_id,
+                touch=not recovering,
+                origin=self.peer_id, base=subscription.cursor_name)
+            # ``local=True``: this fetch cursor tracks the LOCAL log, so
+            # unlike its sibling-space kin it must pin the retention
+            # floor until its pass drains.
+            self.cursors.annotate(cursor, local=True)
+            start = self.cursors.get(cursor)
+            if start < floor:
+                own = (record
+                       for record in self.event_log.replay(start, floor)
+                       if envelope_home(record.payload) is None)
+                total += self.pipeline.replay_foreign(
+                    subscription, self.peer_id, own, upto=floor,
+                    floor=floor)
+        departed = [shard_id for shard_id in
+                    (self.topology.departed
+                     if self.topology is not None else ())
+                    if shard_id != self.peer_id]
+        for origin in list(self._siblings) + departed:
+            bound = None if bounds is None else bounds.get(origin)
+            cursor = foreign_cursor_name(subscription.cursor_name, origin)
             fresh_fetch = cursor not in self.cursors
             self.durability.register_cursor(
                 cursor, peer_id=subscription.peer_id,
                 touch=not recovering,
-                origin=sibling, base=subscription.cursor_name)
+                origin=origin, base=subscription.cursor_name)
             start = self.cursors.get(cursor)
-            replica = self.replicas.log_for(sibling, create=False) \
+            replica = self.replicas.log_for(origin, create=False) \
                 if self.replicas is not None else None
             if replica is not None and replica.next_offset > start:
-                total += self.pipeline.replay_foreign(
-                    subscription, sibling,
-                    replica.replay(start, replica.next_offset),
-                    upto=replica.next_offset, seen=seen)
-                start = max(start, replica.next_offset)
-            try:
-                response = self.request(
-                    sibling, KIND_BACKLOG_FETCH,
-                    self._wire_codec.serialize({"description": description,
-                                                "from": start}),
-                    retries=self.max_retries)
-            except (MessageDropped, NetworkError):
-                # The sibling is unreachable: the subscriber got what the
-                # replica log held; the rest arrives on a later replay.
-                self.fetch_failures += 1
+                replica_end = replica.next_offset if bound is None \
+                    else min(replica.next_offset, bound)
+                if replica_end > start:
+                    total += self.pipeline.replay_foreign(
+                        subscription, origin,
+                        replica.replay(start, replica_end),
+                        upto=replica_end, seen=seen, floor=floor,
+                        ceiling=ceiling)
+                    start = max(start, replica_end)
+            if bound is not None and start >= bound:
                 continue
-            reply = self._wire_codec.deserialize(response)
+            request = {"description": description, "from": start}
+            if bound is not None:
+                request["upto"] = bound
+            if origin in self._siblings:
+                servers = [origin]
+            else:
+                # The departed shard's records survive in its old
+                # followers' replica logs; any live shard may hold one.
+                request["origin"] = origin
+                servers = rendezvous_rank(origin, self._siblings)
+            reply = None
+            for server in servers:
+                try:
+                    response = self.request(
+                        server, KIND_BACKLOG_FETCH,
+                        self._wire_codec.serialize(request),
+                        retries=self.max_retries)
+                except (MessageDropped, NetworkError):
+                    # Unreachable: the subscriber got what the replica
+                    # log held; the rest arrives on a later replay.
+                    self.fetch_failures += 1
+                    continue
+                candidate = self._wire_codec.deserialize(response)
+                if candidate["upto"] <= start and len(servers) > 1:
+                    continue  # no (new) archive here: try the next one
+                reply = candidate
+                break
+            if reply is None:
+                continue
             if not fresh_fetch and reply.get("first", 0) > start:
-                # The sibling's retention dropped records this cursor
+                # The server's retention dropped records this cursor
                 # never fetched: surface the gap, exactly like the local
                 # replay path does (a brand-new fetch cursor on an aged
                 # log missed nothing — it begins at the retained head).
@@ -713,9 +919,258 @@ class MeshShard(TpsBroker):
                 LogRecord(item["offset"], item["origin"], item["payload"])
                 for item in reply["records"])
             total += self.pipeline.replay_foreign(
-                subscription, sibling, fetched,
-                upto=reply["upto"], seen=seen)
+                subscription, origin, fetched,
+                upto=reply["upto"], seen=seen, floor=floor,
+                ceiling=ceiling)
         return total
+
+    # -- elastic membership (handoff / adoption) ---------------------------
+
+    def _handle_topology(self, payload: bytes, src: str) -> bytes:
+        """Commit a membership announcement — or, on an empty payload,
+        answer with the currently committed view (the query form the
+        operational API's ``GET /topology`` rides)."""
+        if not payload:
+            return self._wire_codec.serialize({
+                "ok": True, "epoch": self.epoch,
+                "topology": self.topology.as_dict()
+                if self.topology is not None else None,
+            })
+        message = self._wire_codec.deserialize(payload)
+        committed = self.set_topology(Topology.from_dict(message["topology"]))
+        if committed:
+            self.ensure_replica_coverage()
+            if message.get("resync"):
+                # A joining shard asks its new siblings to re-serve their
+                # summaries right after they learn of it, closing the race
+                # where gossip sent before the join was unroutable.
+                self._sync_summaries()
+        return self._wire_codec.serialize({
+            "ok": True, "committed": committed, "epoch": self.epoch})
+
+    def _handle_handoff(self, payload: bytes, src: str) -> bytes:
+        message = self._wire_codec.deserialize(payload)
+        description = message["description"]
+        if isinstance(description, str):
+            description = description.encode("utf-8")
+        try:
+            result = self.adopt_subscription(
+                message["cursor"], message["peer_id"], description,
+                {origin: int(offset)
+                 for origin, offset in message["positions"].items()})
+        except (ValueError, NetworkError) as exc:
+            return self._wire_codec.serialize({"ok": False,
+                                               "error": str(exc)})
+        return self._wire_codec.serialize(result)
+
+    def adopt_subscription(self, cursor: str, peer_id: str,
+                           description: bytes,
+                           positions: Dict[str, int]) -> Dict[str, Any]:
+        """Become the home of a durable subscription handed off by its
+        previous home shard.
+
+        The *floor* — this shard's log end at adoption — is the seam
+        between histories: the base cursor starts there, so the local
+        replay path covers exactly the records admitted here from now
+        on, while everything before reaches the subscriber through the
+        per-origin foreign passes resumed from the handed ``positions``
+        (including the *self* pass over this shard's own pre-adoption
+        records, handed under this shard's id).  Live deliveries begin
+        the moment the subscription enters the index; handlers run
+        serially, so nothing can append between the floor capture and
+        that registration — the seam is exact.
+        """
+        if self.event_log is None or self.cursors is None:
+            raise NetworkError("shard %s has no event log; cannot adopt "
+                               "durable cursor %r" % (self.peer_id, cursor))
+        if cursor in self.cursors:
+            # A retried handoff whose first attempt landed (the ok
+            # response was lost): adopting is idempotent.
+            return {"ok": True, "already": True,
+                    "floor": self._cursor_floor(cursor)}
+        expected = deserialize_description(description).to_type_info()
+        self.runtime.registry.register(expected)
+        floor = self.event_log.next_offset
+        subscription = DurableSubscription(expected, None, self._next_id,
+                                           peer_id=peer_id,
+                                           cursor_name=cursor)
+        self._next_id += 1
+        self.index.add(subscription)
+        self.durability.register_cursor(cursor, peer_id=peer_id,
+                                        description=description.decode(
+                                            "utf-8"))
+        self.cursors.advance(cursor, floor, touch=False)
+        self.cursors.annotate(cursor, floor=floor)
+        # Resume the previous home's consumed-through marks: each handed
+        # position becomes a fetch cursor in that origin's offset space.
+        # A position keyed by THIS shard is the old home's fetch progress
+        # over us — the self pass (``local=True`` pins local retention
+        # until it drains).
+        for origin in sorted(positions):
+            fetch = foreign_cursor_name(cursor, origin)
+            self.durability.register_cursor(fetch, peer_id=peer_id,
+                                            origin=origin, base=cursor)
+            self.cursors.advance(fetch, positions[origin], touch=False)
+            if origin == self.peer_id:
+                self.cursors.annotate(fetch, local=True)
+        # Announce the adoption to every sibling with a synchronous
+        # summary-add, collecting each one's log end as the dual-routing
+        # bound: records a sibling admitted before indexing the add can
+        # only arrive through this adoption's bounded fetch; records
+        # after it are forwarded here live.  The old home keeps its
+        # summary until the handoff completes (add-before-remove), so no
+        # publish falls between the two homes.
+        announce = self._wire_codec.serialize({
+            "op": "add", "guid": str(expected.guid),
+            "description": serialize_description_bytes(
+                TypeDescription.from_type_info(expected)),
+        })
+        bounds: Dict[str, int] = {}
+        for shard_id in self._siblings:
+            try:
+                response = self.request(shard_id, KIND_MESH_SUMMARY,
+                                        announce, retries=self.max_retries)
+            except (MessageDropped, NetworkError):
+                # No summary indexed there means no live forwards from
+                # it either: the unbounded fetch below stays exact.
+                self.gossip_failures += 1
+                continue
+            bound = self._wire_codec.deserialize(response).get("next_offset")
+            if bound is not None:
+                bounds[shard_id] = int(bound)
+        self.adoptions += 1
+        unreachable = self.pipeline.stats.replay_unreachable
+        self._replay_mesh(subscription, bounds=bounds)
+        if self.pipeline.stats.replay_unreachable > unreachable:
+            # The subscriber has no route to this shard yet, so part of
+            # the adopted backlog could not go out (its cursors stay
+            # blocked below the undelivered records).  Park the pass for
+            # the delivery pump to retry once a route appears.
+            self._stalled_replays[cursor] = bounds
+        return {"ok": True, "floor": floor}
+
+    def handoff_durable_subscriptions(
+            self, topology: Topology,
+            pump: Optional[Callable[[], Any]] = None) -> List[str]:
+        """Migrate every remote durable subscription whose subscriber
+        re-homes away from this shard under ``topology``; returns the
+        moved cursor names.  ``pump`` drives the fabric while in-flight
+        ack windows settle (the mesh runner passes its flush loop).
+        Local-handler durable subscriptions cannot migrate — their
+        handler lives in this process — and raise."""
+        moved: List[str] = []
+        if self.event_log is None:
+            return moved
+        for subscription in list(self.index.subscriptions()):
+            if not isinstance(subscription, DurableSubscription):
+                continue
+            if subscription.peer_id is None:
+                if self.peer_id in topology:
+                    continue  # rebalance: a pinned local sub may stay put
+                raise NetworkError(
+                    "durable cursor %r has a local handler pinned to "
+                    "shard %s; detach it before removing the shard"
+                    % (subscription.cursor_name, self.peer_id))
+            new_home = topology.shard_for(subscription.peer_id)
+            if new_home == self.peer_id:
+                continue
+            self._handoff_subscription(subscription, new_home, pump)
+            moved.append(subscription.cursor_name)
+        return moved
+
+    def _handoff_subscription(self, subscription: DurableSubscription,
+                              new_home: str,
+                              pump: Optional[Callable[[], Any]]) -> None:
+        """Hand one durable subscription to ``new_home``: deactivate it
+        here, settle its in-flight ack windows so the cursor family holds
+        exact consumed-through marks, ship the position vector, and —
+        only once the new home confirmed adoption — retire the cursors
+        and gossip the summary-remove that closes the dual-routing
+        window.  Any failure reactivates the subscription here: the
+        membership operation aborts with the subscription still live at
+        its old home."""
+        cursor = subscription.cursor_name
+        self.index.remove(subscription.subscription_id)
+        try:
+            self._settle_cursor_family(cursor, pump)
+            # Catch-up pass: a handed fetch position must be a contiguous
+            # consumed prefix of its origin's offsets, but consumption of
+            # live-FORWARDED records is tracked in the LOCAL offset space
+            # (the base cursor + home-id skip), not the fetch cursors.
+            # Re-running the mesh replay with the settled base frontier as
+            # the ceiling advances every fetch cursor across that gap:
+            # copies delivered here skip-consume, copies logged after
+            # deactivation (at or above the frontier, hence never
+            # delivered) go out to the subscriber now.
+            frontier = self.cursors.get(cursor)
+            self._replay_mesh(subscription, ceiling=frontier)
+            self._settle_cursor_family(cursor, pump)
+            floor = self._cursor_floor(cursor)
+            selfpass = foreign_cursor_name(cursor, self.peer_id)
+            if floor and selfpass in self.cursors \
+                    and self.cursors.get(selfpass) < floor:
+                # Chained adoption whose own-history pass has not drained
+                # even after the catch-up: the handed self-position would
+                # be non-contiguous with the base cursor.  Abort loudly.
+                raise NetworkError(
+                    "cursor %r's adoption replay on shard %s has not "
+                    "drained; cannot hand it off" % (cursor, self.peer_id))
+            positions = {self.peer_id: self.cursors.get(cursor)}
+            for name in self.cursors.derived(cursor):
+                entry = self.cursors.entry(name)
+                origin = entry.get("origin")
+                if origin and origin != self.peer_id:
+                    positions[origin] = int(entry["offset"])
+            response = self.request(
+                new_home, KIND_MESH_HANDOFF,
+                self._wire_codec.serialize({
+                    "cursor": cursor,
+                    "peer_id": subscription.peer_id,
+                    "description": serialize_description_bytes(
+                        TypeDescription.from_type_info(
+                            subscription.expected)),
+                    "positions": positions,
+                }),
+                retries=self.max_retries)
+            reply = self._wire_codec.deserialize(response)
+            if not reply.get("ok"):
+                raise NetworkError("shard %s refused handoff of %r: %s"
+                                   % (new_home, cursor,
+                                      reply.get("error")))
+        except (MessageDropped, NetworkError):
+            self.index.add(subscription)
+            raise
+        self._forget_cursor_tokens(cursor)
+        self.durability.remove_cursor(cursor)
+        self._stalled_replays.pop(cursor, None)
+        self.handoffs += 1
+        self._gossip({"op": "remove",
+                      "guid": str(subscription.expected.guid)})
+
+    def _settle_cursor_family(self, base: str,
+                              pump: Optional[Callable[[], Any]],
+                              max_rounds: int = 1000) -> bool:
+        """Drive the fabric until no ack window is in flight for ``base``
+        or any of its derived fetch cursors — the precondition for the
+        cursor offsets to be exact consumed-through marks.  Returns
+        whether everything settled (an unreachable subscriber leaves
+        windows open; the at-least-once contract covers the redelivery
+        the stale positions then cause)."""
+        family = [base] + (self.cursors.derived(base)
+                           if self.cursors is not None else [])
+
+        def inflight() -> bool:
+            return any(self.durability.tracker.has_inflight(name)
+                       for name in family)
+
+        for _ in range(max_rounds):
+            self.flush_delivery()
+            if not inflight():
+                return True
+            if pump is None:
+                break
+            pump()
+        return not inflight()
 
     # -- draining ----------------------------------------------------------
 
@@ -732,7 +1187,77 @@ class MeshShard(TpsBroker):
         sent = self.delivery.flush()
         if self.replication is not None:
             sent += self.replication.flush()
+        sent += self.retry_stalled_replays()
         return sent
+
+    def retry_stalled_replays(self) -> int:
+        """Re-deliver durable backlog that stalled on an unreachable
+        subscriber; returns the number of records delivered.
+
+        Two stall sources feed the candidate set: adoption-time replays
+        parked in ``_stalled_replays`` (the subscriber had no route to
+        this freshly joined shard), and any remote durable cursor whose
+        family carries an undelivered-range *block* — a live delivery
+        that failed the same way.  A blocked cursor also suppresses
+        further live sends (see ``BufferedDelivery.remote``), so this
+        replay is the only path that moves it again.
+
+        Each retry waits for the subscriber to become routable (cheap
+        check, no RPCs while it is not) and for every in-flight ack
+        window of the cursor family to land — re-sending a range whose
+        ack is merely late would double-deliver it.  Every retry replays
+        the local log from the base cursor, which covers suppressed live
+        deliveries: forwarded-in records are appended here before
+        delivery, so live-path blocks only ever form in the base
+        cursor's (local) offset space.  Only a *parked* entry re-runs
+        the per-origin mesh passes, under its stored dual-routing
+        bounds — an unbounded sibling fetch would race forwards still in
+        flight and double-deliver them.  A mesh pass that completes
+        without hitting an unreachable subscriber retires the parked
+        entry: whatever remains undelivered is covered by in-flight acks
+        and the cursor blocks."""
+        if self.cursors is None:
+            return 0
+        tracker = self.durability.tracker
+        candidates: Dict[str, Optional[Dict[str, int]]] = \
+            dict(self._stalled_replays)
+        if tracker.blocks:
+            for sub in self.index.subscriptions():
+                if not isinstance(sub, DurableSubscription) \
+                        or sub.peer_id is None or sub.cursor_name is None \
+                        or sub.cursor_name in candidates:
+                    continue
+                family = [sub.cursor_name] \
+                    + self.cursors.derived(sub.cursor_name)
+                if any(name in tracker.blocks for name in family):
+                    candidates[sub.cursor_name] = None
+        if not candidates:
+            return 0
+        delivered = 0
+        can_route = getattr(self.network, "can_route", None)
+        for cursor, bounds in candidates.items():
+            subscription = next(
+                (sub for sub in self.index.subscriptions()
+                 if isinstance(sub, DurableSubscription)
+                 and sub.cursor_name == cursor), None)
+            if subscription is None:
+                # Deactivated (unsubscribe or an in-progress handoff):
+                # keep any parked entry — a resumed or reactivated
+                # subscription still owes the backlog; a completed
+                # handoff drops it.
+                continue
+            if can_route is not None and not can_route(subscription.peer_id):
+                continue
+            family = [cursor] + self.cursors.derived(cursor)
+            if any(tracker.has_inflight(name) for name in family):
+                continue
+            unreachable = self.pipeline.stats.replay_unreachable
+            delivered += self.pipeline.replay(subscription)
+            if cursor in self._stalled_replays:
+                delivered += self._replay_mesh(subscription, bounds=bounds)
+                if self.pipeline.stats.replay_unreachable == unreachable:
+                    del self._stalled_replays[cursor]
+        return delivered
 
     # -- observability -----------------------------------------------------
 
@@ -746,6 +1271,9 @@ class MeshShard(TpsBroker):
             "gossip_failures": self.gossip_failures,
             "summary_types": len(self._summaries),
             "pending_deliveries": self.pending_deliveries(),
+            "epoch": self.epoch,
+            "handoffs": self.handoffs,
+            "adoptions": self.adoptions,
         }
         if self.replication is not None:
             snapshot["replication"] = {
@@ -783,34 +1311,36 @@ class BrokerMesh:
     forwards and deliveries to quiescence.
     """
 
-    def __init__(self, network: SimulatedNetwork, shard_count: int = 4,
+    def __init__(self, network: SimulatedNetwork,
+                 shard_count: Optional[int] = None,
                  name: str = "mesh", log_root: Optional[str] = None,
                  replication_factor: int = 0,
+                 topology: Optional[Topology] = None,
                  **broker_kwargs):
-        if shard_count < 1:
-            raise ValueError("a mesh needs at least one shard")
-        if replication_factor >= shard_count:
-            raise ValueError("replication_factor must leave the home shard "
-                             "out (< shard_count)")
-        if replication_factor > 0 and log_root is None:
-            raise ValueError("replication needs durable logs; pass log_root=")
+        config = MeshConfig(topology=topology, shard_count=shard_count,
+                            name=name, log_root=log_root,
+                            replication_factor=replication_factor,
+                            broker_kwargs=broker_kwargs)
         self.network = network
+        #: The committed membership view; every live membership change
+        #: goes through :meth:`add_shard` / :meth:`remove_shard`, which
+        #: replace it with the next epoch.
+        self.topology = config.topology
+        self.name = config.topology.name
         #: With a ``log_root``, every shard gets a durable event log under
         #: ``log_root/<shard id>`` — the precondition for durable
         #: subscriptions and :meth:`restart_shard` crash recovery.
-        self.log_root = log_root
+        self.log_root = config.log_root
         #: Each shard streams its appended records to this many
         #: rendezvous-chosen follower shards (0 = no replication); see
         #: :class:`~repro.apps.tps.pipeline.ReplicationStage`.
-        self.replication_factor = replication_factor
-        self._broker_kwargs = dict(broker_kwargs)
+        self.replication_factor = config.replication_factor
+        self._broker_kwargs = config.broker_kwargs
         self.shards: List[MeshShard] = [
-            self._spawn_shard("%s-shard%d" % (name, index))
-            for index in range(shard_count)
+            self._spawn_shard(shard_id) for shard_id in config.shard_ids
         ]
-        shard_ids = [shard.peer_id for shard in self.shards]
         for shard in self.shards:
-            shard.set_siblings(shard_ids)
+            shard.set_topology(self.topology)
         self._by_id = {shard.peer_id: shard for shard in self.shards}
 
     def _spawn_shard(self, shard_id: str) -> MeshShard:
@@ -837,6 +1367,122 @@ class BrokerMesh:
 
     def shard(self, shard_id: str) -> MeshShard:
         return self._by_id[shard_id]
+
+    @property
+    def epoch(self) -> int:
+        return self.topology.epoch
+
+    # -- elastic membership ------------------------------------------------
+
+    def _commit_topology(self, topology: Topology) -> None:
+        self.topology = topology
+        for shard in self.shards:
+            shard.set_topology(topology)
+
+    def add_shard(self, shard_id: Optional[str] = None) -> MeshShard:
+        """Grow the mesh by one live shard (epoch + 1).
+
+        The new shard is spawned, told the proposed topology, and
+        resynchronised against every sibling's subscription summaries
+        BEFORE the survivors commit — so the instant an existing shard
+        learns the new epoch, the newcomer is already routable and
+        forwarding-aware.  If the newcomer cannot come up, it is torn
+        down and the epoch stays unchanged: a failed join leaves no
+        trace.  Existing durable subscriptions stay where they are until
+        :meth:`rebalance` moves the re-homed ones.
+        """
+        proposed = self.topology.with_shard(shard_id)
+        new_id = [sid for sid in proposed.shard_ids
+                  if sid not in self.topology][0]
+        shard = self._spawn_shard(new_id)
+        try:
+            shard.set_topology(proposed)
+            shard._sync_summaries()
+        except Exception:
+            shard.close()
+            raise
+        self.shards.append(shard)
+        self._by_id[new_id] = shard
+        self._commit_topology(proposed)
+        # Follower sets shifted with the membership: probe any follower
+        # a shard never replicated to so the gap-resend protocol
+        # backfills its history onto the new placement.
+        for existing in self.shards:
+            existing.ensure_replica_coverage()
+        return shard
+
+    def remove_shard(self, shard_id: str,
+                     coverage_rounds: int = 1000) -> Topology:
+        """Retire one shard for good (epoch + 1), losing nothing.
+
+        The leaving shard's own records must first be fully replicated
+        (``replication_covered`` — its history then survives in its
+        followers' replica logs, where the archivist fetch path serves
+        it), then every durable subscription homed there is handed to
+        its new rendezvous home.  Only after both gates pass does the
+        topology commit and the shard close; any failure before that
+        aborts with the epoch unchanged and the shard still live.
+        """
+        leaving = self._by_id.get(shard_id)
+        if leaving is None:
+            raise ValueError("no shard %r in this mesh" % shard_id)
+        proposed = self.topology.without_shard(shard_id)
+        if self.replication_factor >= len(proposed):
+            raise ValueError(
+                "removing %r would leave %d shards — too few for "
+                "replication_factor=%d" % (shard_id, len(proposed),
+                                           self.replication_factor))
+        for subscription in leaving.index.subscriptions():
+            if isinstance(subscription, DurableSubscription) \
+                    and subscription.peer_id is None:
+                raise ValueError(
+                    "durable cursor %r has a local handler pinned to "
+                    "shard %s; detach it before removing the shard"
+                    % (subscription.cursor_name, shard_id))
+        self.run_until_idle()
+        has_history = leaving.event_log is not None \
+            and leaving._replication_target() > 0
+        if has_history and self.replication_factor < 1:
+            raise ValueError(
+                "shard %r holds durable records but the mesh does not "
+                "replicate (replication_factor=0); its history would be "
+                "lost" % shard_id)
+        if has_history:
+            leaving.ensure_replica_coverage()
+            for _ in range(coverage_rounds):
+                if leaving.replication_covered():
+                    break
+                self.flush()
+            if not leaving.replication_covered():
+                raise NetworkError(
+                    "shard %r's history is not fully replicated to its "
+                    "followers; aborting the removal" % shard_id)
+        leaving.handoff_durable_subscriptions(proposed, pump=self.flush)
+        self.run_until_idle()
+        # Point of no return: commit, purge the leaver from routing
+        # state (set_topology drops its summaries on every survivor),
+        # and close it.
+        self.shards.remove(leaving)
+        del self._by_id[shard_id]
+        self._commit_topology(proposed)
+        leaving.close()
+        for shard in self.shards:
+            shard.ensure_replica_coverage()
+        return proposed
+
+    def rebalance(self) -> Dict[str, Any]:
+        """Move every durable subscription to its rendezvous home under
+        the committed topology (after :meth:`add_shard`, the ~1/N of
+        subscribers whose home moved onto the newcomer).  Returns the
+        moved cursor names per source shard."""
+        moved: Dict[str, List[str]] = {}
+        for shard in list(self.shards):
+            cursors = shard.handoff_durable_subscriptions(self.topology,
+                                                          pump=self.flush)
+            if cursors:
+                moved[shard.peer_id] = cursors
+        self.run_until_idle()
+        return {"epoch": self.topology.epoch, "moved": moved}
 
     # -- crash recovery ----------------------------------------------------
 
@@ -866,7 +1512,7 @@ class BrokerMesh:
         position = self.shards.index(old)
         old.close()  # unregisters from the fabric, closes the log
         shard = self._spawn_shard(shard_id)
-        shard.set_siblings(self.shard_ids)
+        shard.set_topology(self.topology)
         self.shards[position] = shard
         self._by_id[shard_id] = shard
         shard.recover()
@@ -915,6 +1561,7 @@ class BrokerMesh:
         per_shard = {shard.peer_id: shard.stats() for shard in self.shards}
         return {
             "shards": per_shard,
+            "epoch": self.topology.epoch,
             "events_routed": self.events_routed(),
             "forwards_sent": sum(s.forwards_sent for s in self.shards),
             "forward_events": sum(s.forward_events for s in self.shards),

@@ -107,6 +107,7 @@ class PipelineStats:
         "events_replayed",
         "events_fetched",
         "replay_failures",
+        "replay_unreachable",
         "delivery_failures",
         "retention_lost_records",
         "records_processed",
@@ -696,6 +697,40 @@ class ReplicationStage:
         self._queues[follower] = queue
         self.sent[follower] = watermark
 
+    def ensure_coverage(self) -> int:
+        """Probe every follower this incarnation has not replicated to
+        yet; returns the number of probes queued.
+
+        A membership change (or a follower-set reshuffle after one) can
+        assign a follower that holds none — or only part — of this
+        shard's history.  Queuing an empty batch claiming
+        ``[next_offset, next_offset)`` makes that follower answer with
+        its actual high-water; if it is behind, :meth:`acknowledge`
+        rebuilds its queue from the log and the normal gap-resend
+        protocol backfills exactly what it is missing.  Followers already
+        tracked in ``sent`` need no probe — their coverage claims are
+        live and self-healing.
+        """
+        probes = 0
+        for follower in self.followers:
+            if follower in self.sent:
+                continue
+            claim = self.event_log.next_offset
+            message = self.host._wire_codec.serialize(
+                {"from": claim, "records": []})
+            try:
+                self.host.post_async(follower, KIND_REPLICATE, message)
+            except UnknownPeerError:
+                # Off the fabric (mid-restart): leave it unprobed so a
+                # later ensure_coverage pass retries.
+                self.host.network.stats.record_drop()
+                continue
+            self.sent[follower] = claim
+            self._queues.setdefault(follower, [])
+            self.batches_sent += 1
+            probes += 1
+        return probes
+
     def watermarks(self) -> Dict[str, Dict[str, int]]:
         """Per-follower replication positions (the observability surface).
 
@@ -760,6 +795,11 @@ class DirectDelivery:
             if subscription.subscription_id in ctx["durable_sent"]:
                 return False  # the record already travelled to this peer
             tracker = self.durability.tracker
+            if tracker.blocks.get(cursor) is not None:
+                # The cursor is pinned below an undelivered range; the
+                # record stays in the log for the replay that lifts the
+                # block — sending it now would strand or duplicate it.
+                return False
             token = tracker.issue(subscription.peer_id,
                                   ((cursor, log_offset, log_offset + 1),))
             envelope = ctx["envelope"]
@@ -889,8 +929,18 @@ class BufferedDelivery:
 
     def remote(self, ctx: dict, subscription: Any, value: Any,
                log_offset: Optional[int]) -> bool:
-        self._outgoing.setdefault(subscription.peer_id, []).append(value)
         cursor = cursor_name_of(subscription)
+        if log_offset is not None and cursor is not None \
+                and self.durability is not None \
+                and self.durability.tracker.blocks.get(cursor) is not None:
+            # The cursor is pinned below a once-failed (undelivered)
+            # range.  Delivering this later record now would either let
+            # its cumulative ack strand the gap or double-deliver it
+            # under the replay that fills the gap — the record is in the
+            # log, so the blocked-cursor replay redelivers it in order
+            # instead (see MeshShard.retry_stalled_replays).
+            return False
+        self._outgoing.setdefault(subscription.peer_id, []).append(value)
         if log_offset is not None and cursor is not None:
             acks = self._outgoing_acks.setdefault(subscription.peer_id, {})
             window = acks.get(cursor)
@@ -910,6 +960,14 @@ class BufferedDelivery:
         gate filters per value, header-only.  Without a frame (no payload
         reached the pipeline) the value path is used instead.
         """
+        cursor = cursor_name_of(subscription)
+        if log_offset is not None and cursor is not None \
+                and self.durability is not None \
+                and self.durability.tracker.blocks.get(cursor) is not None:
+            # Same blocked-cursor suppression as the value path: the
+            # replay that lifts the block redelivers this record from
+            # the log in order.
+            return False
         payload = ctx["payload"]
         if payload is None:
             return self.remote(ctx, subscription, batch.value(index),
@@ -920,7 +978,6 @@ class BufferedDelivery:
         peer_acks = frame_acks.get(subscription.peer_id)
         if peer_acks is None:
             peer_acks = frame_acks[subscription.peer_id] = {}
-        cursor = cursor_name_of(subscription)
         if log_offset is not None and cursor is not None:
             window = peer_acks.get(cursor)
             if window is None:
@@ -1507,9 +1564,20 @@ class DeliveryPipeline:
             try:
                 host.send_payload_batch(subscription.peer_id, payload, count)
             except UnknownPeerError:
+                # No route to the subscriber right now (it may simply not
+                # have dialed this shard yet — e.g. a freshly adopted
+                # subscription on a just-joined shard).  The discarded
+                # token blocks the cursor below the batch, so a later
+                # retry redelivers instead of cumulatively acking the
+                # records away.
                 durability.tracker.discard(token)
-                host.network.stats.record_drop()  # subscriber left
+                stats.replay_unreachable += 1
+                host.network.stats.record_drop()
                 return False
+            # A once-failed (blocked) record inside this batch went back
+            # out: lift the block so the coming ack can advance past it.
+            durability.tracker.clear_block_through(cursor_name,
+                                                   batch_end - 1)
             subscription.delivered += count
             setattr(stats, counter, getattr(stats, counter) + count)
             replayed += count
@@ -1521,6 +1589,11 @@ class DeliveryPipeline:
             flight — never re-scanned forever, never skipping an
             in-flight delivery."""
             nonlocal batch_end
+            # A skipped record needs no delivery, so a block pinned at it
+            # (a once-failed range whose records were since consumed
+            # elsewhere — e.g. delivered through the local path) must not
+            # hold the cursor forever.
+            durability.tracker.clear_block_through(cursor_name, offset)
             if batch:
                 batch_end = offset + 1
             else:
@@ -1568,7 +1641,8 @@ class DeliveryPipeline:
 
     def replay_foreign(self, subscription: Any, origin_shard: str,
                        records: Any, upto: Optional[int] = None,
-                       seen: Any = frozenset()) -> int:
+                       seen: Any = None, floor: int = 0,
+                       ceiling: Optional[int] = None) -> int:
         """Deliver another shard's origin records to one durable
         subscription, tracked by the per-``(cursor, origin shard)`` fetch
         cursor — offsets here live in ``origin_shard``'s space, never the
@@ -1578,14 +1652,31 @@ class DeliveryPipeline:
         replica log, or a conformance-filtered ``backlog_fetch``
         response); ``upto`` is the position the stream scanned through
         (consumed even when the last records were filtered out);
-        ``seen`` holds ``(shard, offset)`` home ids already present in
-        the local log — records that were forwarded here at publish time
-        replay through the *local* path and must not arrive twice.
+        ``seen`` maps ``(shard, offset)`` home ids already present in
+        the local log to the local offset of the forwarded-in copy —
+        records that were forwarded here at publish time replay through
+        the *local* path and must not arrive twice.
+
+        ``floor``/``ceiling`` bound the local offsets the subscription's
+        LOCAL replay path actually covers — only copies inside
+        ``[floor, ceiling)`` count as seen; anything outside must be
+        delivered by this foreign pass rather than skipped.  An
+        *adopted* subscription's base cursor starts at the adoption-time
+        log end (``floor`` — copies below it are invisible to its local
+        replay); a subscription being HANDED OFF stops its local
+        delivery at the settled cursor frontier (``ceiling`` — copies at
+        or above it were logged after deactivation and never
+        delivered).  The defaults (0, unbounded) make every local copy
+        count as seen — the ordinary-subscription behavior.
         """
         cursor = foreign_cursor_name(subscription.cursor_name, origin_shard)
+        if seen is None:
+            seen = {}
 
         def already_seen(record):
-            return (origin_shard, record.offset) in seen
+            local = seen.get((origin_shard, record.offset))
+            return (local is not None and local >= floor
+                    and (ceiling is None or local < ceiling))
 
         if subscription.handler is None:
             return self._replay_stream(subscription, cursor, records,

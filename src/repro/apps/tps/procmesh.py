@@ -15,12 +15,15 @@ Two deployment shapes of the very same :class:`~repro.apps.tps.mesh.MeshShard`:
 
 Both expose the :class:`~repro.apps.tps.mesh.BrokerMesh` addressing
 surface (``shard_ids``/``shard_for``) so client code moves between the
-simulator and the socket fabrics unchanged — and both carry the
-telemetry plane: every node registers its socket transport into the
-shard's metrics registry and serves the HTTP operational API
-(:mod:`repro.obs.http`).  Mutating control operations (``proc_stop``,
-the admin ops) are guarded by a shared bearer token minted at mesh
-construction.
+simulator and the socket fabrics unchanged — including the elastic
+membership surface: :meth:`add_shard` / :meth:`remove_shard` /
+:meth:`rebalance`, driven by the same epoch-versioned
+:class:`~repro.apps.tps.topology.Topology` the simulator mesh commits.
+Admin operations live in one table (:data:`ADMIN_REGISTRY`) shared by
+the HTTP routes, the socket ``proc_admin`` kind and the CLI, and every
+admin response carries the uniform ``{ok, op, shard, epoch, result}``
+envelope.  Mutating control operations are guarded by a shared bearer
+token minted at mesh construction.
 """
 
 from __future__ import annotations
@@ -32,14 +35,16 @@ import secrets
 import socket
 import tempfile
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ...net.network import NetworkError
 from ...net.socket_transport import SocketHub, SocketNetwork
 from ...obs.bridge import register_network_metrics
 from ...obs.http import HttpError, ObsHttpServer, json_body
 from ...obs.tracing import render_timeline, stitch
+from .broker import DurableSubscription
 from .mesh import MeshShard, rendezvous_shard
+from .topology import MeshConfig, Topology
 
 __all__ = [
     "KIND_PROC_PING",
@@ -49,6 +54,9 @@ __all__ = [
     "KIND_PROC_TRACE",
     "KIND_PROC_ADMIN",
     "ADMIN_OPS",
+    "ADMIN_REGISTRY",
+    "AdminOp",
+    "run_admin_op",
     "ProcessMesh",
     "SocketMesh",
     "shard_addresses",
@@ -60,9 +68,6 @@ KIND_PROC_STOP = "proc_stop"
 KIND_PROC_METRICS = "proc_metrics"
 KIND_PROC_TRACE = "proc_trace"
 KIND_PROC_ADMIN = "proc_admin"
-
-#: Admin operations served by ``proc_admin`` and the ``/admin/*`` routes.
-ADMIN_OPS = ("compact", "prune", "restart_shard")
 
 _EXPOSITION_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -129,6 +134,124 @@ def merge_expositions(pages: List[str]) -> str:
     return "\n".join(lines) + "\n"
 
 
+# ---------------------------------------------------------------------------
+# the admin-op registry
+# ---------------------------------------------------------------------------
+
+
+class AdminOp:
+    """One table entry of the shared admin-operation registry.
+
+    ``scope`` places the implementation: ``"shard"`` ops run against one
+    :class:`MeshShard` (or every shard when no target is named),
+    ``"mesh"`` ops run against the mesh runner itself (membership and
+    restarts), and ``"node"`` ops are internal to the process fabric's
+    membership protocol — reachable over ``proc_admin`` but never
+    published on the public surface (:data:`ADMIN_OPS`)."""
+
+    __slots__ = ("name", "scope", "run", "needs_shard", "help")
+
+    def __init__(self, name: str, scope: str,
+                 run: Optional[Callable[..., Any]] = None,
+                 needs_shard: bool = False, help: str = ""):
+        self.name = name
+        self.scope = scope
+        self.run = run
+        self.needs_shard = needs_shard
+        self.help = help
+
+
+def _op_compact(shard: MeshShard, args: dict) -> Any:
+    if shard.event_log is None:
+        raise ValueError("shard %s has no event log" % shard.peer_id)
+    return shard.compact_log()
+
+
+def _op_prune(shard: MeshShard, args: dict) -> Any:
+    if shard.event_log is None:
+        raise ValueError("shard %s has no event log" % shard.peer_id)
+    return {"pruned": shard.prune_cursors(
+        int(args.get("max_idle_incarnations", 3)))}
+
+
+def _mesh_restart(mesh: Any, shard_id: Optional[str], args: dict) -> Any:
+    mesh.restart_shard(shard_id)
+    return {"restarted": shard_id}
+
+
+def _mesh_add_shard(mesh: Any, shard_id: Optional[str], args: dict) -> Any:
+    added = mesh.add_shard(shard_id)
+    return {"added": getattr(added, "peer_id", added),
+            "shards": list(mesh.shard_ids)}
+
+
+def _mesh_remove_shard(mesh: Any, shard_id: Optional[str], args: dict) -> Any:
+    mesh.remove_shard(shard_id)
+    return {"removed": shard_id, "shards": list(mesh.shard_ids)}
+
+
+def _mesh_rebalance(mesh: Any, shard_id: Optional[str], args: dict) -> Any:
+    return mesh.rebalance()
+
+
+#: The one registry every dispatch surface (HTTP routes, ``proc_admin``,
+#: the CLI, :func:`run_admin_op`) works from.  Adding an op here is the
+#: whole registration.
+ADMIN_REGISTRY: Dict[str, AdminOp] = {
+    "compact": AdminOp("compact", "shard", _op_compact,
+                       help="fold the event log below the slowest cursor"),
+    "prune": AdminOp("prune", "shard", _op_prune,
+                     help="expire cursors of subscribers that never "
+                          "returned"),
+    "restart_shard": AdminOp("restart_shard", "mesh", _mesh_restart,
+                             needs_shard=True,
+                             help="crash-restart one shard in place"),
+    "add_shard": AdminOp("add_shard", "mesh", _mesh_add_shard,
+                         help="grow the mesh by one live shard "
+                              "(epoch + 1)"),
+    "remove_shard": AdminOp("remove_shard", "mesh", _mesh_remove_shard,
+                            needs_shard=True,
+                            help="retire one shard for good (epoch + 1)"),
+    "rebalance": AdminOp("rebalance", "mesh", _mesh_rebalance,
+                         help="move durable subscriptions to their "
+                              "rendezvous homes"),
+    # Internal membership-protocol ops of the process fabric: the driver
+    # speaks them over proc_admin; they never appear in ADMIN_OPS.
+    "set_topology": AdminOp("set_topology", "node"),
+    "resync": AdminOp("resync", "node"),
+    "retire": AdminOp("retire", "node"),
+    "job_status": AdminOp("job_status", "node"),
+}
+
+#: The public admin surface (HTTP ``/admin/*`` routes and the CLI).
+ADMIN_OPS = tuple(name for name, spec in ADMIN_REGISTRY.items()
+                  if spec.scope != "node")
+
+
+def run_admin_op(mesh: Any, op: str, shard_id: Optional[str] = None,
+                 args: Optional[dict] = None) -> dict:
+    """Dispatch one public admin operation against a mesh runner and
+    wrap the outcome in the uniform ``{ok, op, shard, epoch, result}``
+    envelope (``epoch`` read *after* the op, so membership changes
+    report the epoch they produced)."""
+    spec = ADMIN_REGISTRY.get(op)
+    if spec is None or spec.scope == "node":
+        raise ValueError("unknown admin op %r" % op)
+    args = dict(args or {})
+    if spec.needs_shard and shard_id is None:
+        raise ValueError("%s needs a shard id" % op)
+    if spec.scope == "mesh":
+        result = spec.run(mesh, shard_id, args)
+    else:
+        targets = [shard_id] if shard_id is not None else list(mesh.shard_ids)
+        results = {}
+        for sid in targets:
+            results[sid] = mesh.run_shard_op(sid, op, args)
+        result = results[shard_id] if shard_id is not None else results
+    return {"ok": True, "op": op, "shard": shard_id,
+            "epoch": mesh.epoch, "result": result}
+
+
 class SocketMesh:
     """N mesh shards on one :class:`SocketHub` — real sockets, one process.
 
@@ -140,15 +263,18 @@ class SocketMesh:
     :attr:`auth_token`.
     """
 
-    def __init__(self, shard_count: int = 4, name: str = "mesh",
+    def __init__(self, shard_count: Optional[int] = None, name: str = "mesh",
                  sock_dir: Optional[str] = None,
                  log_root: Optional[str] = None,
                  replication_factor: int = 0,
                  auth_token: Optional[str] = None,
                  scheme: str = "unix",
+                 topology: Optional[Topology] = None,
                  **broker_kwargs):
-        if shard_count < 1:
-            raise ValueError("a mesh needs at least one shard")
+        config = MeshConfig(topology=topology, shard_count=shard_count,
+                            name=name, log_root=log_root,
+                            replication_factor=replication_factor,
+                            broker_kwargs=broker_kwargs)
         if scheme not in ("unix", "tcp"):
             raise ValueError("scheme must be 'unix' or 'tcp'")
         self.hub = SocketHub()
@@ -157,19 +283,22 @@ class SocketMesh:
             else tempfile.mkdtemp(prefix="repro-socketmesh-")
         self.auth_token = auth_token if auth_token is not None \
             else secrets.token_hex(8)
-        self._log_root = log_root
-        self._replication_factor = replication_factor
-        self._broker_kwargs = dict(broker_kwargs)
-        shard_ids = ["%s-shard%d" % (name, index)
-                     for index in range(shard_count)]
+        #: The committed membership view; live membership changes go
+        #: through :meth:`add_shard` / :meth:`remove_shard`.
+        self.topology = config.topology
+        self.name = config.topology.name
+        self._log_root = config.log_root
+        self._replication_factor = config.replication_factor
+        self._broker_kwargs = config.broker_kwargs
         self.scheme = scheme
         self.addresses = shard_addresses(
-            self.sock_dir, shard_ids, scheme=scheme,
-            ports=_allocate_tcp_ports(shard_ids) if scheme == "tcp"
+            self.sock_dir, config.shard_ids, scheme=scheme,
+            ports=_allocate_tcp_ports(config.shard_ids) if scheme == "tcp"
             else None)
         self.shards: List[MeshShard] = []
         self.nodes: List[SocketNetwork] = []
-        for shard_id in shard_ids:
+        self._client_nodes: List[SocketNetwork] = []
+        for shard_id in config.shard_ids:
             node = self.hub.network(shard_id + "-node")
             node.listen(self.addresses[shard_id])
             self.shards.append(self._spawn_shard(shard_id, node))
@@ -178,10 +307,10 @@ class SocketMesh:
             node.add_routes({sid: addr
                              for sid, addr in self.addresses.items()
                              if sid + "-node" != node.node_id})
-        for shard in self.shards:
-            shard.set_siblings(shard_ids)
         self._by_id = {shard.peer_id: shard for shard in self.shards}
+        self._commit_topology(self.topology)
         self.http: Optional[ObsHttpServer] = None
+        self._http_polling = False
 
     def _spawn_shard(self, shard_id: str, node: SocketNetwork) -> MeshShard:
         kwargs = dict(self._broker_kwargs)
@@ -197,6 +326,10 @@ class SocketMesh:
     def shard_ids(self) -> List[str]:
         return [shard.peer_id for shard in self.shards]
 
+    @property
+    def epoch(self) -> int:
+        return self.topology.epoch
+
     def shard_for(self, peer_id: str) -> str:
         return rendezvous_shard(peer_id, self.shard_ids)
 
@@ -204,10 +337,127 @@ class SocketMesh:
         return self._by_id[shard_id]
 
     def client_network(self, node_id: str, **kwargs) -> SocketNetwork:
-        """A hub node for client peers, pre-routed to every shard."""
+        """A hub node for client peers, pre-routed to every shard (and
+        kept routed as the membership changes)."""
         node = self.hub.network(node_id, **kwargs)
         node.add_routes(self.addresses)
+        self._client_nodes.append(node)
         return node
+
+    # -- elastic membership ------------------------------------------------
+
+    def _commit_topology(self, topology: Topology) -> None:
+        self.topology = topology
+        for shard, node in zip(self.shards, self.nodes):
+            shard.set_topology(topology)
+            node.set_epoch(topology.epoch)
+
+    def add_shard(self, shard_id: Optional[str] = None) -> MeshShard:
+        """Grow the mesh by one live shard (epoch + 1), mirroring
+        :meth:`~repro.apps.tps.mesh.BrokerMesh.add_shard` over the hub:
+        the newcomer gets its own listening node, resynchronises
+        summaries BEFORE the survivors commit, and a failed join leaves
+        the epoch unchanged (its dead node stays in the hub's ledger so
+        the idle accounting keeps balancing)."""
+        proposed = self.topology.with_shard(shard_id)
+        new_id = [sid for sid in proposed.shard_ids
+                  if sid not in self.topology][0]
+        address = shard_addresses(
+            self.sock_dir, [new_id], scheme=self.scheme,
+            ports=_allocate_tcp_ports([new_id]) if self.scheme == "tcp"
+            else None)[new_id]
+        node = self.hub.network(new_id + "-node")
+        node.listen(address)
+        node.add_routes(dict(self.addresses))
+        shard = self._spawn_shard(new_id, node)
+        try:
+            shard.set_topology(proposed)
+            shard._sync_summaries()
+        except Exception:
+            shard.close()
+            node.close()  # stays in hub.nodes: its counters must keep
+            raise         # participating in the idle balance
+        self.addresses[new_id] = address
+        for other in self.nodes + self._client_nodes:
+            other.add_route(new_id, address)
+        self.shards.append(shard)
+        self.nodes.append(node)
+        self._by_id[new_id] = shard
+        self._commit_topology(proposed)
+        for existing in self.shards:
+            existing.ensure_replica_coverage()
+        return shard
+
+    def remove_shard(self, shard_id: str,
+                     coverage_rounds: int = 1000) -> Topology:
+        """Retire one shard for good (epoch + 1), losing nothing — the
+        same gates as the simulator mesh (history fully replicated,
+        durable subscriptions handed off) plus the socket bookkeeping:
+        the leaver's node closes but stays in the hub's ledger, and its
+        route disappears from every surviving and client node."""
+        leaving = self._by_id.get(shard_id)
+        if leaving is None:
+            raise ValueError("no shard %r in this mesh" % shard_id)
+        proposed = self.topology.without_shard(shard_id)
+        if self._replication_factor >= len(proposed):
+            raise ValueError(
+                "removing %r would leave %d shards — too few for "
+                "replication_factor=%d" % (shard_id, len(proposed),
+                                           self._replication_factor))
+        for subscription in leaving.index.subscriptions():
+            if isinstance(subscription, DurableSubscription) \
+                    and subscription.peer_id is None:
+                raise ValueError(
+                    "durable cursor %r has a local handler pinned to "
+                    "shard %s; detach it before removing the shard"
+                    % (subscription.cursor_name, shard_id))
+        self.run_until_idle()
+        has_history = leaving.event_log is not None \
+            and leaving._replication_target() > 0
+        if has_history and self._replication_factor < 1:
+            raise ValueError(
+                "shard %r holds durable records but the mesh does not "
+                "replicate (replication_factor=0); its history would be "
+                "lost" % shard_id)
+        if has_history:
+            leaving.ensure_replica_coverage()
+            for _ in range(coverage_rounds):
+                if leaving.replication_covered():
+                    break
+                self.flush()
+            if not leaving.replication_covered():
+                raise NetworkError(
+                    "shard %r's history is not fully replicated to its "
+                    "followers; aborting the removal" % shard_id)
+        leaving.handoff_durable_subscriptions(proposed, pump=self.flush)
+        self.run_until_idle()
+        position = self.shards.index(leaving)
+        node = self.nodes[position]
+        del self.shards[position]
+        del self.nodes[position]
+        del self._by_id[shard_id]
+        self.addresses.pop(shard_id, None)
+        self._commit_topology(proposed)
+        leaving.close()
+        node.close()  # stays in hub.nodes for the idle balance
+        for other in self.nodes + self._client_nodes:
+            other.remove_route(shard_id)
+        for shard in self.shards:
+            shard.ensure_replica_coverage()
+        return proposed
+
+    def rebalance(self) -> Dict[str, Any]:
+        """Move every durable subscription to its rendezvous home under
+        the committed topology; returns the moved cursor names per
+        source shard."""
+        moved: Dict[str, List[str]] = {}
+        for shard in list(self.shards):
+            cursors = shard.handoff_durable_subscriptions(self.topology,
+                                                          pump=self.flush)
+            if cursors:
+                moved[shard.peer_id] = cursors
+        self.run_until_idle()
+        return {"epoch": self.topology.epoch, "moved": moved}
 
     # -- crash/restart ------------------------------------------------------
 
@@ -220,11 +470,10 @@ class SocketMesh:
         old = self._by_id.get(shard_id)
         if old is None:
             raise ValueError("no shard %r in this mesh" % shard_id)
-        shard_ids = self.shard_ids
         position = self.shards.index(old)
         old.close()  # unregisters from the node, closes the log
         shard = self._spawn_shard(shard_id, self.nodes[position])
-        shard.set_siblings(shard_ids)
+        shard.set_topology(self.topology)
         self.shards[position] = shard
         self._by_id[shard_id] = shard
         shard.recover()
@@ -236,8 +485,15 @@ class SocketMesh:
         progressed = self.hub.poll(0.001)
         for shard in self.shards:
             progressed += shard.flush_delivery()
-        if self.http is not None:
-            self.http.poll()
+        if self.http is not None and not self._http_polling:
+            # Admin handlers (add/remove/rebalance) pump the mesh via
+            # this very method; the guard keeps a handler from
+            # re-entering the HTTP poll that invoked it.
+            self._http_polling = True
+            try:
+                self.http.poll()
+            finally:
+                self._http_polling = False
         return progressed
 
     def run_until_idle(self, max_rounds: int = 10_000) -> int:
@@ -259,6 +515,7 @@ class SocketMesh:
     def stats(self) -> dict:
         per_shard = {shard.peer_id: shard.stats() for shard in self.shards}
         return {
+            "epoch": self.topology.epoch,
             "shards": per_shard,
             "events_routed": sum(s.events_routed for s in self.shards),
             "forwards_sent": sum(s.forwards_sent for s in self.shards),
@@ -301,27 +558,18 @@ class SocketMesh:
         self.http = server
         return server
 
+    def run_shard_op(self, shard_id: str, op: str, args: dict) -> Any:
+        """Run one shard-scope registry op against one local shard."""
+        shard = self._by_id.get(shard_id)
+        if shard is None:
+            raise ValueError("no shard %r in this mesh" % shard_id)
+        return ADMIN_REGISTRY[op].run(shard, args)
+
     def admin_op(self, op: str, shard_id: Optional[str] = None,
                  args: Optional[dict] = None) -> dict:
-        """Run one admin operation against one shard (or, for
-        ``compact``/``prune``, against every shard when ``shard_id`` is
-        omitted)."""
-        args = dict(args or {})
-        if op not in ADMIN_OPS:
-            raise ValueError("unknown admin op %r" % op)
-        if op == "restart_shard":
-            if shard_id is None:
-                raise ValueError("restart_shard needs a shard id")
-            self.restart_shard(shard_id)
-            return {"restarted": shard_id}
-        targets = [shard_id] if shard_id is not None else self.shard_ids
-        results = {}
-        for sid in targets:
-            shard = self._by_id.get(sid)
-            if shard is None:
-                raise ValueError("no shard %r in this mesh" % sid)
-            results[sid] = _shard_admin_op(shard, op, args)
-        return {op: results}
+        """Run one admin operation (see :func:`run_admin_op`); shard-scope
+        ops with no ``shard_id`` run against every shard."""
+        return run_admin_op(self, op, shard_id, args)
 
     def close(self) -> None:
         if self.http is not None:
@@ -330,19 +578,6 @@ class SocketMesh:
         for shard in self.shards:
             shard.close()
         self.hub.close()
-
-
-def _shard_admin_op(shard: MeshShard, op: str, args: dict) -> Any:
-    """The shared compact/prune implementations (restart is fabric-level
-    and handled by the caller)."""
-    if shard.event_log is None:
-        raise ValueError("shard %s has no event log" % shard.peer_id)
-    if op == "compact":
-        return shard.compact_log()
-    if op == "prune":
-        return {"pruned": shard.prune_cursors(
-            int(args.get("max_idle_incarnations", 3)))}
-    raise ValueError("unknown admin op %r" % op)
 
 
 def _install_mesh_routes(server: ObsHttpServer, mesh: SocketMesh) -> None:
@@ -389,6 +624,14 @@ def _install_mesh_routes(server: ObsHttpServer, mesh: SocketMesh) -> None:
         return per_shard(query, lambda s: s.replicas.stats()
                          if s.replicas is not None else None)
 
+    def topology_route(query: dict, body: bytes):
+        return _jsonable({
+            "epoch": mesh.epoch,
+            "topology": mesh.topology.as_dict(),
+            "shard_epochs": {shard.peer_id: shard.epoch
+                             for shard in mesh.shards},
+        })
+
     def trace_route(query: dict, body: bytes):
         trace = query.get("id")
         spans = mesh.trace_events(trace)
@@ -412,6 +655,8 @@ def _install_mesh_routes(server: ObsHttpServer, mesh: SocketMesh) -> None:
                 return _jsonable(mesh.admin_op(op, shard_id, args))
             except ValueError as error:
                 raise HttpError(400, str(error))
+            except NetworkError as error:
+                raise HttpError(502, str(error))
         return handler
 
     server.route("GET", "/metrics", metrics_route)
@@ -420,6 +665,7 @@ def _install_mesh_routes(server: ObsHttpServer, mesh: SocketMesh) -> None:
     server.route("GET", "/log", log_route)
     server.route("GET", "/cursors", cursors_route)
     server.route("GET", "/replicas", replicas_route)
+    server.route("GET", "/topology", topology_route)
     server.route("GET", "/trace", trace_route)
     for op in ADMIN_OPS:
         server.route("POST", "/admin/" + op, admin_route(op), auth=True)
@@ -429,8 +675,12 @@ def _install_mesh_routes(server: ObsHttpServer, mesh: SocketMesh) -> None:
 # one shard per OS process
 # ---------------------------------------------------------------------------
 
+#: Pump rounds a retiring shard grants its followers to acknowledge the
+#: replication watermark before the removal aborts.
+_RETIRE_COVERAGE_ROUNDS = 5000
 
-def _shard_process_main(shard_id: str, shard_ids: List[str],
+
+def _shard_process_main(shard_id: str, topology: Dict[str, Any],
                         sock_dir: str, log_root: Optional[str],
                         replication_factor: int,
                         broker_kwargs: dict,
@@ -439,11 +689,14 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
                         addresses: Optional[Dict[str, str]] = None) -> None:
     """Entry point of one shard process: build the shard on its own
     socket node, serve the control kinds and the HTTP API, and pump
-    until told to stop.  ``addresses`` carries the driver's resolved
-    book for non-recomputable schemes (TCP ports); Unix meshes omit it
-    and recompute the deterministic directory locally."""
+    until told to stop.  ``topology`` is the membership view (wire
+    shape) the shard starts from; the driver pushes newer epochs over
+    ``set_topology``.  ``addresses`` carries the driver's resolved book
+    for non-recomputable schemes (TCP ports); Unix meshes omit it and
+    recompute the deterministic directory locally."""
+    topo = Topology.from_dict(topology)
     if addresses is None:
-        addresses = shard_addresses(sock_dir, shard_ids)
+        addresses = shard_addresses(sock_dir, topo.shard_ids)
     network = SocketNetwork(shard_id + "-node")
     network.listen(addresses[shard_id])
     kwargs = dict(broker_kwargs)
@@ -451,8 +704,15 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
         kwargs["log_dir"] = os.path.join(log_root, shard_id)
     stopping: List[bool] = []
     restart_queue: List[bool] = []
+    #: Deferred membership jobs (retire / rebalance).  They must run at
+    #: pump-loop top level: a job settles subscriber ack windows, and
+    #: running it inside a blocking driver request would leave the
+    #: driver pumping requests-only — its hosted subscribers' acks
+    #: would stall and the settle could never drain.
+    jobs: List[tuple] = []
+    job_state: Dict[str, Any] = {"done": True, "error": None, "value": None}
     control = {"unauthorized": 0, "restarts": 0}
-    state: Dict[str, MeshShard] = {}
+    state: Dict[str, Any] = {"topology": topo}
     server_box: Dict[str, ObsHttpServer] = {}  # filled once http binds
     probe = shard_id + "-obs"  # reply address for fan-out requests
 
@@ -465,6 +725,10 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
             return True  # explicitly unsecured mesh
         return token_bytes == auth_token.encode("utf-8")
 
+    def pump_once() -> None:
+        network.poll(0.002)
+        state["shard"].flush_delivery()
+
     # -- control-plane handlers (closures over the mutable shard slot) ---
 
     def handle_ping(payload: bytes, src: str) -> bytes:
@@ -474,6 +738,7 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
         shard = state["shard"]
         return {
             "shard": shard_id,
+            "epoch": shard.epoch,
             "pending_deliveries": shard.pending_deliveries(),
             "network_pending": network.pending(),
             "idle": network.idle() and not shard.pending_deliveries(),
@@ -515,13 +780,91 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
         stopping.append(True)
         return b"OK"
 
-    def do_admin(op: str, args: dict) -> Any:
+    def do_retire(survivors: Topology) -> List[str]:
+        """The leaving-shard half of a removal: gate on full replica
+        coverage of the shard's own history, then hand every durable
+        subscription to its new rendezvous home.  Any raise leaves the
+        shard live and the epoch unchanged."""
+        shard = state["shard"]
+        for subscription in shard.index.subscriptions():
+            if isinstance(subscription, DurableSubscription) \
+                    and subscription.peer_id is None:
+                raise ValueError(
+                    "durable cursor %r has a local handler pinned to "
+                    "shard %s; detach it before removing the shard"
+                    % (subscription.cursor_name, shard_id))
+        has_history = shard.event_log is not None \
+            and shard._replication_target() > 0
+        if has_history and replication_factor < 1:
+            raise ValueError(
+                "shard %r holds durable records but the mesh does not "
+                "replicate (replication_factor=0); its history would "
+                "be lost" % shard_id)
+        if has_history:
+            shard.ensure_replica_coverage()
+            for _ in range(_RETIRE_COVERAGE_ROUNDS):
+                if shard.replication_covered():
+                    break
+                pump_once()
+            if not shard.replication_covered():
+                raise NetworkError(
+                    "shard %r's history is not fully replicated to its "
+                    "followers; aborting the removal" % shard_id)
+        return shard.handoff_durable_subscriptions(survivors,
+                                                   pump=pump_once)
+
+    def run_job(op: str, args: dict) -> Any:
+        if op == "retire":
+            survivors = Topology.from_dict(args["topology"])
+            return {"handed_off": do_retire(survivors)}
+        if op == "rebalance":
+            moved = state["shard"].handoff_durable_subscriptions(
+                state["topology"], pump=pump_once)
+            return {"handed_off": moved}
+        raise ValueError("unknown membership job %r" % op)
+
+    def do_admin(op: str, args: dict, inline: bool = False) -> Any:
+        shard = state["shard"]
         if op == "restart_shard":
             # Deferred to the pump loop: rebuilding the shard from inside
             # a dispatch handler would re-enter the network mid-poll.
             restart_queue.append(True)
             return {"restarting": shard_id}
-        return _shard_admin_op(state["shard"], op, args)
+        if op == "set_topology":
+            topo = Topology.from_dict(args["topology"])
+            extra = {sid: addr
+                     for sid, addr in (args.get("addresses") or {}).items()
+                     if sid != shard_id}
+            if extra:
+                network.add_routes(extra)
+            committed = shard.set_topology(topo)
+            if committed:
+                state["topology"] = topo
+                network.set_epoch(topo.epoch)
+                shard.ensure_replica_coverage()
+            return {"committed": committed, "epoch": shard.epoch}
+        if op == "resync":
+            return {"synced": shard._sync_summaries()}
+        if op == "job_status":
+            return dict(job_state)
+        if op in ("retire", "rebalance"):
+            if inline:
+                # HTTP handlers run from server.poll() at pump-loop top
+                # level, so the job may run right here.
+                return run_job(op, args)
+            if not job_state["done"]:
+                raise ValueError("a membership job is already running")
+            job_state.update(done=False, error=None, value=None)
+            jobs.append((op, dict(args)))
+            return {"queued": op}
+        spec = ADMIN_REGISTRY.get(op)
+        if spec is None or spec.scope != "shard" or spec.run is None:
+            raise ValueError("op %r is not a shard-process operation" % op)
+        return spec.run(shard, args)
+
+    def admin_envelope(op: str, result: Any) -> dict:
+        return {"ok": True, "op": op, "shard": shard_id,
+                "epoch": state["shard"].epoch, "result": result}
 
     def handle_admin(payload: bytes, src: str) -> bytes:
         try:
@@ -533,7 +876,7 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
             control["unauthorized"] += 1
             return json.dumps({"error": "unauthorized"}).encode("utf-8")
         op = request.get("op")
-        if op not in ADMIN_OPS:
+        if op not in ADMIN_REGISTRY:
             return json.dumps(
                 {"error": "unknown admin op %r" % (op,)}).encode("utf-8")
         try:
@@ -541,7 +884,7 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
         except Exception as error:
             return json.dumps({"error": str(error)}).encode("utf-8")
         return json.dumps(
-            _jsonable({"ok": True, "result": result})).encode("utf-8")
+            _jsonable(admin_envelope(op, result))).encode("utf-8")
 
     def build_shard() -> MeshShard:
         shard = MeshShard(shard_id, network,
@@ -568,7 +911,8 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
     build_shard()
     network.add_routes({sid: addr for sid, addr in addresses.items()
                         if sid != shard_id})
-    state["shard"].set_siblings(shard_ids)
+    state["shard"].set_topology(topo)
+    network.set_epoch(topo.epoch)
 
     # -- HTTP API: any node answers for itself and (via the control
     # plane) for the whole mesh -------------------------------------------
@@ -576,7 +920,7 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
     if http:
         server = ObsHttpServer(token=auth_token)
         server_box["server"] = server
-        _install_node_routes(server, state, shard_id, shard_ids, network,
+        _install_node_routes(server, state, shard_id, network,
                              probe, auth_token, do_admin)
         # The address file appears before the first poll answers a ping,
         # so a shard that responds to ping is already scrapable.
@@ -585,11 +929,19 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
 
     while not stopping:
         network.poll(0.005)
+        if jobs:
+            op, args = jobs.pop(0)
+            try:
+                value = run_job(op, args)
+            except Exception as error:
+                job_state.update(done=True, error=str(error), value=None)
+            else:
+                job_state.update(done=True, error=None, value=value)
         if restart_queue:
             del restart_queue[:]
             state["shard"].close()
             shard = build_shard()
-            shard.set_siblings(shard_ids)
+            shard.set_topology(state["topology"])
             shard.recover()
             control["restarts"] += 1
         state["shard"].flush_delivery()
@@ -606,8 +958,8 @@ def _shard_process_main(shard_id: str, shard_ids: List[str],
     network.close()
 
 
-def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
-                         shard_id: str, shard_ids: List[str],
+def _install_node_routes(server: ObsHttpServer, state: Dict[str, Any],
+                         shard_id: str,
                          network: SocketNetwork, probe: str,
                          auth_token: Optional[str],
                          do_admin) -> None:
@@ -615,6 +967,9 @@ def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
     node; the ``/mesh/*`` routes fan out over the ``proc_*`` control
     plane so any one node answers for the whole mesh; ``/admin/*``
     POSTs (token-guarded) run locally or forward to the named shard."""
+
+    def shard_ids() -> List[str]:
+        return state["topology"].shard_ids
 
     def metrics_route(query: dict, body: bytes):
         page = state["shard"].metrics.exposition(
@@ -625,6 +980,7 @@ def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
         shard = state["shard"]
         return _jsonable({
             "shard": shard_id,
+            "epoch": shard.epoch,
             "pending_deliveries": shard.pending_deliveries(),
             "stats": shard.stats(),
             "transport": network.transport_snapshot(),
@@ -648,6 +1004,16 @@ def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
             return {}
         return _jsonable(shard.replicas.stats())
 
+    def topology_route(query: dict, body: bytes):
+        shard = state["shard"]
+        snapshot = network.transport_snapshot()
+        return _jsonable({
+            "shard": shard_id,
+            "epoch": shard.epoch,
+            "topology": state["topology"].as_dict(),
+            "peer_epochs": snapshot.get("peer_epochs", {}),
+        })
+
     def trace_route(query: dict, body: bytes):
         shard = state["shard"]
         if shard.tracer is None:
@@ -659,7 +1025,7 @@ def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
 
     def fan_out(kind: str, payload: bytes):
         """(shard_id, decoded JSON | None) for every *other* shard."""
-        for sid in shard_ids:
+        for sid in shard_ids():
             if sid == shard_id:
                 continue
             try:
@@ -713,11 +1079,13 @@ def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
             target = args.pop("shard", None)
             if target in (None, shard_id):
                 try:
-                    return _jsonable({"shard": shard_id, "ok": True,
-                                      "result": do_admin(op, args)})
+                    result = do_admin(op, args, inline=True)
                 except ValueError as error:
                     raise HttpError(400, str(error))
-            if target not in shard_ids:
+                return _jsonable({"ok": True, "op": op, "shard": shard_id,
+                                  "epoch": state["shard"].epoch,
+                                  "result": result})
+            if target not in shard_ids():
                 raise HttpError(404, "no shard %r" % target)
             payload = json.dumps({"token": auth_token, "op": op,
                                   "args": args}).encode("utf-8")
@@ -729,7 +1097,7 @@ def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
             result = json.loads(response.decode("utf-8"))
             if "error" in result:
                 raise HttpError(502, str(result["error"]))
-            return _jsonable({"shard": target, **result})
+            return _jsonable(result)
         return handler
 
     server.route("GET", "/metrics", metrics_route)
@@ -737,11 +1105,14 @@ def _install_node_routes(server: ObsHttpServer, state: Dict[str, MeshShard],
     server.route("GET", "/log", log_route)
     server.route("GET", "/cursors", cursors_route)
     server.route("GET", "/replicas", replicas_route)
+    server.route("GET", "/topology", topology_route)
     server.route("GET", "/trace", trace_route)
     server.route("GET", "/mesh/stats", mesh_stats_route)
     server.route("GET", "/mesh/metrics", mesh_metrics_route)
     server.route("GET", "/mesh/trace", mesh_trace_route)
     for op in ADMIN_OPS:
+        # Driver-level ops (add_shard/remove_shard) answer 400 here: a
+        # node cannot spawn or reap its peers' processes.
         server.route("POST", "/admin/" + op, admin_route(op), auth=True)
 
 
@@ -758,9 +1129,18 @@ class ProcessMesh:
     deliveries; mutating operations carry :attr:`auth_token`, minted
     here and shared with every shard at spawn.  Each shard also serves
     the HTTP API; :meth:`http_address` reads the advertised URL.
+
+    Membership changes are driver-orchestrated: :meth:`add_shard`
+    spawns a process, resynchronises it, and pushes the new epoch to
+    every survivor; :meth:`remove_shard` runs the leaving shard's
+    ``retire`` job (coverage gate + cursor handoff) *asynchronously* —
+    the driver polls ``job_status`` while fully pumping its own node,
+    so subscriber acks hosted on the driver keep flowing during the
+    settle — and only then stops the process.
     """
 
-    def __init__(self, shard_count: int = 4, name: str = "procmesh",
+    def __init__(self, shard_count: Optional[int] = None,
+                 name: str = "procmesh",
                  sock_dir: Optional[str] = None,
                  log_root: Optional[str] = None,
                  replication_factor: int = 0,
@@ -768,9 +1148,12 @@ class ProcessMesh:
                  auth_token: Optional[str] = None,
                  http: bool = True,
                  scheme: str = "unix",
+                 topology: Optional[Topology] = None,
                  **broker_kwargs):
-        if shard_count < 1:
-            raise ValueError("a mesh needs at least one shard")
+        config = MeshConfig(topology=topology, shard_count=shard_count,
+                            name=name, log_root=log_root,
+                            replication_factor=replication_factor,
+                            broker_kwargs=broker_kwargs)
         if scheme not in ("unix", "tcp"):
             raise ValueError("scheme must be 'unix' or 'tcp'")
         self._tmp_dir = sock_dir is None
@@ -780,29 +1163,25 @@ class ProcessMesh:
             else secrets.token_hex(8)
         self.http_enabled = http
         self.scheme = scheme
-        self.shard_ids = ["%s-shard%d" % (name, index)
-                          for index in range(shard_count)]
+        self.topology = config.topology
+        self.name = config.topology.name
+        self._log_root = config.log_root
+        self._replication_factor = config.replication_factor
+        self._broker_kwargs = config.broker_kwargs
+        self._start_timeout = start_timeout
         self.addresses = shard_addresses(
-            self.sock_dir, self.shard_ids, scheme=scheme,
-            ports=_allocate_tcp_ports(self.shard_ids) if scheme == "tcp"
+            self.sock_dir, config.shard_ids, scheme=scheme,
+            ports=_allocate_tcp_ports(config.shard_ids) if scheme == "tcp"
             else None)
         # fork (where available) keeps startup cheap and works however the
         # parent was launched; the child builds its event loop and sockets
         # from scratch, so no live I/O state crosses the fork.
         methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
+        self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        self.processes = []
-        for shard_id in self.shard_ids:
-            process = context.Process(
-                target=_shard_process_main,
-                args=(shard_id, self.shard_ids, self.sock_dir, log_root,
-                      replication_factor, dict(broker_kwargs),
-                      self.auth_token, http,
-                      self.addresses if scheme == "tcp" else None),
-                daemon=True, name=shard_id)
-            process.start()
-            self.processes.append(process)
+        self.processes: Dict[str, multiprocessing.process.BaseProcess] = {}
+        for shard_id in config.shard_ids:
+            self._spawn_process(shard_id, self.topology)
         self.network = SocketNetwork(name + "-driver")
         self.network.add_routes(self.addresses)
         self._admin = name + "-admin"
@@ -813,9 +1192,24 @@ class ProcessMesh:
             self.stop()
             raise
 
-    def _wait_ready(self, timeout: float) -> None:
+    def _spawn_process(self, shard_id: str, topology: Topology):
+        process = self._context.Process(
+            target=_shard_process_main,
+            args=(shard_id, topology.as_dict(), self.sock_dir,
+                  self._log_root, self._replication_factor,
+                  dict(self._broker_kwargs), self.auth_token,
+                  self.http_enabled,
+                  dict(self.addresses) if self.scheme == "tcp" else None),
+            daemon=True, name=shard_id)
+        process.start()
+        self.processes[shard_id] = process
+        return process
+
+    def _wait_ready(self, timeout: float,
+                    shard_ids: Optional[List[str]] = None) -> None:
         deadline = time.monotonic() + timeout
-        for shard_id in self.shard_ids:
+        for shard_id in (shard_ids if shard_ids is not None
+                         else self.topology.shard_ids):
             while True:
                 try:
                     self.ping(shard_id)
@@ -827,8 +1221,129 @@ class ProcessMesh:
                             % (shard_id, timeout))
                     time.sleep(0.05)
 
+    @property
+    def shard_ids(self) -> List[str]:
+        return self.topology.shard_ids
+
+    @property
+    def epoch(self) -> int:
+        return self.topology.epoch
+
     def shard_for(self, peer_id: str) -> str:
         return rendezvous_shard(peer_id, self.shard_ids)
+
+    # -- elastic membership ------------------------------------------------
+
+    def _broadcast_topology(self, topology: Topology,
+                            targets: List[str],
+                            addresses: Optional[Dict[str, str]] = None
+                            ) -> None:
+        args: Dict[str, Any] = {"topology": topology.as_dict()}
+        if addresses:
+            args["addresses"] = dict(addresses)
+        for sid in targets:
+            self.admin("set_topology", sid, args)
+
+    def add_shard(self, shard_id: Optional[str] = None) -> str:
+        """Grow the mesh by one shard *process* (epoch + 1).
+
+        The newcomer is spawned on the proposed topology, pinged up and
+        resynchronised against every sibling's summaries, and only then
+        is the new epoch pushed to the survivors — so the instant an
+        old shard commits it, the newcomer is routable and
+        forwarding-aware.  A newcomer that cannot come up is terminated
+        and the epoch stays unchanged."""
+        proposed = self.topology.with_shard(shard_id)
+        new_id = [sid for sid in proposed.shard_ids
+                  if sid not in self.topology][0]
+        address = shard_addresses(
+            self.sock_dir, [new_id], scheme=self.scheme,
+            ports=_allocate_tcp_ports([new_id]) if self.scheme == "tcp"
+            else None)[new_id]
+        self.addresses[new_id] = address
+        process = self._spawn_process(new_id, proposed)
+        self.network.add_route(new_id, address)
+        try:
+            self._wait_ready(self._start_timeout, [new_id])
+            self.admin("resync", new_id)
+            self._broadcast_topology(proposed, self.topology.shard_ids,
+                                     addresses={new_id: address})
+        except Exception:
+            process.terminate()
+            process.join(timeout=5.0)
+            self.processes.pop(new_id, None)
+            self.network.remove_route(new_id)
+            self.addresses.pop(new_id, None)
+            raise
+        self.topology = proposed
+        return new_id
+
+    def remove_shard(self, shard_id: str,
+                     timeout: float = 120.0) -> Topology:
+        """Retire one shard process for good (epoch + 1), losing
+        nothing: the shard runs its ``retire`` job (replica-coverage
+        gate, then durable-cursor handoff) while the driver pumps its
+        own node so hosted subscribers keep acking; the process is
+        stopped only after the handoff lands and the survivors commit
+        the new epoch."""
+        if shard_id not in self.topology:
+            raise ValueError("no shard %r in this mesh" % shard_id)
+        proposed = self.topology.without_shard(shard_id)
+        if self._replication_factor >= len(proposed):
+            raise ValueError(
+                "removing %r would leave %d shards — too few for "
+                "replication_factor=%d" % (shard_id, len(proposed),
+                                           self._replication_factor))
+        self._run_job(shard_id, "retire",
+                      {"topology": proposed.as_dict()}, timeout=timeout)
+        self._broadcast_topology(proposed, proposed.shard_ids)
+        token = (self.auth_token or "").encode("utf-8")
+        try:
+            self.network.request(self._admin, shard_id, KIND_PROC_STOP,
+                                 token)
+        except NetworkError:
+            pass  # already gone; the join below settles it
+        process = self.processes.pop(shard_id, None)
+        if process is not None:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - stuck-shard safety
+                process.terminate()
+                process.join(timeout=5.0)
+        self.network.remove_route(shard_id)
+        self.addresses.pop(shard_id, None)
+        self.topology = proposed
+        return proposed
+
+    def rebalance(self, timeout: float = 120.0) -> Dict[str, Any]:
+        """Move every durable subscription to its rendezvous home under
+        the committed topology, one shard job at a time."""
+        moved: Dict[str, List[str]] = {}
+        for sid in list(self.topology.shard_ids):
+            value = self._run_job(sid, "rebalance", {}, timeout=timeout)
+            handed = (value or {}).get("handed_off") or []
+            if handed:
+                moved[sid] = handed
+        return {"epoch": self.epoch, "moved": moved}
+
+    def _run_job(self, shard_id: str, op: str, args: Optional[dict] = None,
+                 timeout: float = 120.0) -> Any:
+        """Queue a deferred membership job on one shard and poll it to
+        completion, fully pumping the driver node between polls (the
+        job settles subscriber ack windows; peers hosted on this very
+        node must keep receiving and acking while it runs)."""
+        self.admin(op, shard_id, args)
+        deadline = time.monotonic() + timeout
+        while True:
+            self.network.poll(0.01)
+            status = self.admin("job_status", shard_id).get("result") or {}
+            if status.get("done"):
+                if status.get("error"):
+                    raise NetworkError("%s on %s failed: %s"
+                                       % (op, shard_id, status["error"]))
+                return status.get("value")
+            if time.monotonic() > deadline:
+                raise NetworkError("%s on %s did not finish in %.0fs"
+                                   % (op, shard_id, timeout))
 
     # -- control plane -----------------------------------------------------
 
@@ -879,7 +1394,8 @@ class ProcessMesh:
 
     def admin(self, op: str, shard_id: str,
               args: Optional[dict] = None) -> dict:
-        """Run a token-authenticated admin operation on one shard."""
+        """Run a token-authenticated admin operation on one shard; the
+        reply is the wire envelope (``{ok, op, shard, epoch, result}``)."""
         payload = json.dumps({"token": self.auth_token, "op": op,
                               "args": dict(args or {})}).encode("utf-8")
         response = self.network.request(self._admin, shard_id,
@@ -890,10 +1406,28 @@ class ProcessMesh:
                                % (op, shard_id, result["error"]))
         return result
 
+    def run_shard_op(self, shard_id: str, op: str, args: dict) -> Any:
+        """One shard-scope registry op over the wire (the
+        :func:`run_admin_op` fan-out hook)."""
+        if shard_id not in self.topology:
+            raise ValueError("no shard %r in this mesh" % shard_id)
+        return self.admin(op, shard_id, args).get("result")
+
+    def admin_op(self, op: str, shard_id: Optional[str] = None,
+                 args: Optional[dict] = None) -> dict:
+        """Run one public admin operation (see :func:`run_admin_op`)."""
+        return run_admin_op(self, op, shard_id, args)
+
     def restart_shard(self, shard_id: str) -> dict:
         """Ask one shard process to crash-restart its shard in place (the
         rebuild happens on the shard's next pump tick)."""
         return self.admin("restart_shard", shard_id)
+
+    def topology_view(self, shard_id: str) -> dict:
+        """One shard's committed membership view (epoch + topology),
+        read over ``proc_stats``."""
+        snapshot = self.shard_stats(shard_id)
+        return {"shard": shard_id, "epoch": snapshot.get("epoch")}
 
     def http_address(self, shard_id: str) -> str:
         """The ``http://host:port`` base URL one shard advertised."""
@@ -921,15 +1455,15 @@ class ProcessMesh:
             return
         self._stopped = True
         token = (self.auth_token or "").encode("utf-8")
-        for shard_id in self.shard_ids:
+        for shard_id in list(self.processes):
             try:
                 self.network.request(self._admin, shard_id, KIND_PROC_STOP,
                                      token)
             except NetworkError:
                 pass  # already gone; the join below settles it
-        for process in self.processes:
+        for process in self.processes.values():
             process.join(timeout=timeout)
-        for process in self.processes:
+        for process in self.processes.values():
             if process.is_alive():  # pragma: no cover - stuck-shard safety
                 process.terminate()
                 process.join(timeout=5.0)

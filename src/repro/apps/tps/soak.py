@@ -11,7 +11,14 @@ process; the default) or an in-process
   ``lost``/``duplicates`` in the report must both be zero;
 - **churn subscribers** subscribe and unsubscribe continuously (at the
   Zipf-hot shards when skew is on), exercising the gossip/forwarding
-  control plane under load; their deliveries are traffic, not oracle.
+  control plane under load; their deliveries are traffic, not oracle;
+- **membership churn** (``expand_to=`` / ``leaves=``) adds and removes
+  live shards *during* the publish window — the elastic-membership
+  acceptance path.  Every op is followed by a rebalance, the publish
+  pick-list refreshes around each change (a leaver is excluded *before*
+  its removal starts, a joiner included once rebalanced in), and each
+  latency sample is tagged ``steady`` or ``migration`` so the report can
+  price the migration window separately (``latency_phases``).
 
 Latency is measured end to end: each event's payload embeds the
 publisher's ``monotonic_ns`` stamp, read back in the subscriber's handler
@@ -34,6 +41,7 @@ from ...obs.http import ObsHttpServer
 from ...obs.metrics import MetricsRegistry
 from .broker import TpsPeer
 from .procmesh import ProcessMesh, SocketMesh, _jsonable
+from .topology import Topology
 
 __all__ = ["latency_percentiles", "run_soak"]
 
@@ -70,7 +78,8 @@ class _StableSubscriber:
     sample also lands in the registry's fixed-bucket histogram — the
     source of the report's p50/p99/p999."""
 
-    def __init__(self, peer: TpsPeer, shard_id: str):
+    def __init__(self, peer: TpsPeer, shard_id: str,
+                 phase: Optional[Dict[str, Any]] = None):
         self.peer = peer
         self.shard_id = shard_id
         self.received = 0
@@ -78,6 +87,12 @@ class _StableSubscriber:
         self.seen = set()
         self.latencies_ms: List[float] = []
         self.histogram = None
+        # Shared phase box ({"active": bool, "until": monotonic s}): set
+        # by the harness around membership ops so each sample lands in
+        # the right per-phase bucket.
+        self.phase = phase
+        self.phase_latencies: Dict[str, List[float]] = {
+            "steady": [], "migration": []}
 
     def deliver(self, event: Any) -> None:
         name = event.getPersonName()
@@ -94,6 +109,11 @@ class _StableSubscriber:
         except ValueError:
             return  # malformed stamp: latency lost, the count still stands
         self.latencies_ms.append(latency_ms)
+        if self.phase is not None:
+            migrating = (self.phase["active"]
+                         or now / 1e9 < self.phase["until"])
+            self.phase_latencies[
+                "migration" if migrating else "steady"].append(latency_ms)
         if self.histogram is not None:
             self.histogram.observe(latency_ms)
 
@@ -125,7 +145,12 @@ def run_soak(shards: int = 4,
              log_root: Optional[str] = None,
              http_file: Optional[str] = None,
              name: str = "soak",
-             scheme: str = "unix") -> Dict[str, Any]:
+             scheme: str = "unix",
+             expand_to: Optional[int] = None,
+             leaves: int = 0,
+             durable: bool = False,
+             replication_factor: int = 0,
+             migration_window_s: float = 1.0) -> Dict[str, Any]:
     """Run one soak; returns the report dict (see module docstring).
 
     ``processes=True`` runs one shard per OS process
@@ -141,7 +166,33 @@ def run_soak(shards: int = 4,
     (loss-oracle gauges, the latency histogram, the driver transport)
     over HTTP and writes a JSON map ``{"driver": url, "shards": {...}}``
     to that path, so an external watcher (the CI smoke job) can scrape a
-    live run mid-flight."""
+    live run mid-flight.
+
+    ``expand_to=N`` grows the mesh to ``N`` shards during the publish
+    window (one :meth:`add_shard` + :meth:`rebalance` per joiner, spread
+    over the window); ``leaves=K`` then removes ``K`` shards live.
+    Removals need ``durable=True`` — plain remote subscriptions die with
+    their home shard, durable ones hand off — which in turn needs a
+    ``log_root`` (a private temporary one is made when none is given).
+    Each latency sample is phase-tagged: everything from the start of a
+    membership op until ``migration_window_s`` after it commits counts
+    as ``migration``, the rest as ``steady``."""
+    if expand_to is not None and expand_to < shards:
+        raise ValueError("expand_to=%d is below the starting %d shards"
+                         % (expand_to, shards))
+    joins = (expand_to - shards) if expand_to is not None else 0
+    if leaves and not durable:
+        raise ValueError("leaves=%d needs durable=True: non-durable "
+                         "subscriptions die with their home shard"
+                         % leaves)
+    if leaves >= shards + joins:
+        raise ValueError("leaves=%d would empty the mesh" % leaves)
+    own_log_root = None
+    if (durable or replication_factor) and log_root is None:
+        import tempfile
+
+        own_log_root = tempfile.mkdtemp(prefix=name + "-logs-")
+        log_root = own_log_root
     rng = random.Random(seed)
     pick_shard = None
     mesh: Any = None
@@ -152,16 +203,20 @@ def run_soak(shards: int = 4,
             "subscribers": subscribers, "churners": churners,
             "churn_every": churn_every, "burst": burst, "skew": skew,
             "zipf_s": zipf_s, "seed": seed, "processes": processes,
-            "scheme": scheme,
+            "scheme": scheme, "expand_to": expand_to, "leaves": leaves,
+            "durable": durable, "replication_factor": replication_factor,
         },
     }
+    topology = Topology.sized(shards, name)
     if processes:
-        mesh = ProcessMesh(shard_count=shards, name=name, log_root=log_root,
-                           scheme=scheme)
+        mesh = ProcessMesh(topology=topology, log_root=log_root,
+                           scheme=scheme,
+                           replication_factor=replication_factor)
         driver = mesh.network
     else:
-        mesh = SocketMesh(shard_count=shards, name=name, log_root=log_root,
-                          scheme=scheme)
+        mesh = SocketMesh(topology=topology, log_root=log_root,
+                          scheme=scheme,
+                          replication_factor=replication_factor)
         driver = mesh.client_network(name + "-driver")
     try:
         shard_ids = list(mesh.shard_ids)
@@ -183,13 +238,20 @@ def run_soak(shards: int = 4,
             peer.host_assembly(asm_a)
             pub_peers.append(peer)
 
+        phase = {"active": False, "until": 0.0}
+        membership_ops: List[Dict[str, Any]] = []
         stable: List[_StableSubscriber] = []
         for index in range(subscribers):
             peer = TpsPeer("%s-sub-%d" % (name, index), driver)
             subscriber = _StableSubscriber(
-                peer, shard_ids[index % len(shard_ids)])
-            peer.subscribe_remote(subscriber.shard_id, person_java(),
-                                  subscriber.deliver)
+                peer, shard_ids[index % len(shard_ids)], phase=phase)
+            if durable:
+                peer.subscribe_durable_remote(
+                    subscriber.shard_id, person_java(), subscriber.deliver,
+                    cursor="%s-cursor-%d" % (name, index))
+            else:
+                peer.subscribe_remote(subscriber.shard_id, person_java(),
+                                      subscriber.deliver)
             stable.append(subscriber)
 
         churn_peers = [TpsPeer("%s-churn-%d" % (name, index), driver)
@@ -256,6 +318,43 @@ def run_soak(shards: int = 4,
             churn_subs[index] = (shard_id, subscription_id)
             churn_ops += 1
 
+        # Membership ops fire at evenly spaced fractions of the publish
+        # window: joins first (each followed by a rebalance), leaves
+        # after, so the mesh peaks at ``expand_to`` before shrinking.
+        plan: List[str] = ["add"] * joins + ["remove"] * leaves
+        op_count = len(plan)
+
+        def refresh_picker(exclude: Optional[str] = None) -> None:
+            nonlocal shard_ids, pick_shard
+            shard_ids = [sid for sid in mesh.shard_ids if sid != exclude]
+            pick_shard = _shard_picker(shard_ids, skew, zipf_s, rng)
+
+        def membership_step(op: str, at_s: float) -> None:
+            phase["active"] = True
+            try:
+                if op == "add":
+                    added = mesh.add_shard()
+                    shard = getattr(added, "peer_id", added)
+                    mesh.rebalance()
+                    refresh_picker()
+                else:
+                    shard = rng.choice(list(mesh.shard_ids))
+                    # Publishes stop targeting the leaver BEFORE its
+                    # retirement starts; churn subscriptions on it die
+                    # with the shard, so drop the unsubscribe debt.
+                    refresh_picker(exclude=shard)
+                    for index, active in list(churn_subs.items()):
+                        if active[0] == shard:
+                            churn_subs.pop(index)
+                    mesh.remove_shard(shard)
+                    refresh_picker()
+            finally:
+                phase["active"] = False
+                phase["until"] = time.monotonic() + migration_window_s
+            membership_ops.append({"op": op, "shard": shard,
+                                   "epoch": mesh.epoch,
+                                   "at_s": round(at_s, 3)})
+
         # Warm every (publisher, shard) path so the one-time code fetches
         # happen before the clock starts — the soak measures the
         # steady-state protocol, not the cold start the paper prices
@@ -275,11 +374,14 @@ def run_soak(shards: int = 4,
             subscriber.received = 0
             subscriber.seen.clear()
             subscriber.latencies_ms.clear()
+            for bucket in subscriber.phase_latencies.values():
+                bucket.clear()
             # Measurement starts here: warm-up samples never reach the
             # histogram (it has no reset).
             subscriber.histogram = latency_hist
 
         padding = "x" * max(0, payload_bytes - 32)
+        next_op = 0
         start = time.monotonic()
         while time.monotonic() - start < duration_s:
             for peer in pub_peers:
@@ -292,8 +394,18 @@ def run_soak(shards: int = 4,
                     peer.publish_async(target, event)
                     published += 1
             pump()
+            elapsed_s = time.monotonic() - start
+            if next_op < op_count and \
+                    elapsed_s >= duration_s * (next_op + 1) / (op_count + 1):
+                membership_step(plan[next_op], elapsed_s)
+                next_op += 1
             if churn_every and published % (churn_every * burst) < burst:
                 churn_step()
+        # A window too short for its schedule still honours the
+        # expand_to/leaves contract: run the leftover ops now.
+        while next_op < op_count:
+            membership_step(plan[next_op], time.monotonic() - start)
+            next_op += 1
         publish_elapsed = time.monotonic() - start
 
         # Drain to quiescence: every stable subscriber holds every event.
@@ -345,6 +457,13 @@ def run_soak(shards: int = 4,
             "delivery_eps": round(delivered / elapsed, 1)
             if elapsed else 0.0,
             "latency_ms": latency_hist.labels().percentiles(),
+            "latency_phases": {
+                label: latency_percentiles(
+                    [sample for subscriber in stable
+                     for sample in subscriber.phase_latencies[label]])
+                for label in ("steady", "migration")},
+            "membership_ops": membership_ops,
+            "epoch": mesh.epoch,
             "per_subscriber": {
                 subscriber.peer.peer_id: {
                     "shard": subscriber.shard_id,
@@ -365,3 +484,7 @@ def run_soak(shards: int = 4,
             mesh.stop()
         else:
             mesh.close()
+        if own_log_root is not None:
+            import shutil
+
+            shutil.rmtree(own_log_root, ignore_errors=True)

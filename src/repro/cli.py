@@ -9,12 +9,18 @@ Usage::
     python -m repro log compact DIR
     python -m repro log replicas DIR
     python -m repro soak [--shards N] [--http-file PATH] [--emit PATH]
+    python -m repro mesh topology --url http://host:port
+    python -m repro mesh rebalance --url http://host:port --token TOKEN
     python -m repro trace TRACE_ID SPANS.json... [--url http://host:port]
 
 ``describe`` prints the XML type description(s) of a source file;
 ``check`` compiles a provider and an expected type from two source files
 and reports the conformance verdict (exit status 0 = conformant);
 ``demo`` runs the paper's Section 3.1 scenario end to end;
+``mesh`` reads a live mesh's membership (``topology``) or drives its
+token-guarded admin operations — ``add_shard``, ``remove_shard``,
+``rebalance``, ``restart_shard``, ``compact``, ``prune`` — over the
+operational HTTP API, printing the uniform admin envelope;
 ``log inspect`` dumps segment/offset statistics of a durable event log
 directory (a broker ``log_dir``, or the ``events`` directory inside one)
 without modifying it; ``log compact`` rewrites its closed segments
@@ -31,6 +37,7 @@ Source language is inferred from the extension: ``.cs`` (C#-like),
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -274,6 +281,10 @@ def cmd_soak(args, out) -> int:
         processes=args.processes,
         log_root=args.log_root,
         http_file=args.http_file,
+        expand_to=args.expand_to,
+        leaves=args.leaves,
+        durable=args.durable,
+        replication_factor=args.replication_factor,
     )
     latency = report["latency_ms"]
     out.write("soak %s: %d shard(s), %.1fs publish window\n"
@@ -290,12 +301,94 @@ def cmd_soak(args, out) -> int:
     out.write("  latency ms    p50=%.2f p99=%.2f p999=%.2f max=%.2f\n"
               % (latency["p50"], latency["p99"], latency["p999"],
                  latency["max"]))
+    if report.get("membership_ops"):
+        ops = report["membership_ops"]
+        out.write("  membership    %d op(s), final epoch %d: %s\n"
+                  % (len(ops), report["epoch"],
+                     " ".join("%s(%s)@%.1fs" % (op["op"], op["shard"],
+                                                op["at_s"])
+                              for op in ops)))
+        for label in ("steady", "migration"):
+            bucket = report["latency_phases"][label]
+            if bucket["samples"]:
+                out.write("  %-9s ms  p50=%.2f p99=%.2f max=%.2f (%d)\n"
+                          % (label, bucket["p50"], bucket["p99"],
+                             bucket["max"], bucket["samples"]))
     if args.emit:
         with open(args.emit, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         out.write("  report        %s\n" % args.emit)
     return 1 if (report["lost"] or report["duplicates"]) else 0
+
+
+def cmd_mesh(args, out) -> int:
+    """``repro mesh ACTION --url BASE``: read or administer a live mesh
+    over its operational HTTP API.  ``topology`` is a read; every other
+    action resolves through the same admin-op registry the HTTP routes
+    and socket admin protocol are built from, so the CLI surface can
+    never drift from what the mesh actually serves."""
+    from urllib.error import HTTPError, URLError
+    from urllib.request import Request, urlopen
+
+    from .apps.tps.procmesh import ADMIN_REGISTRY
+
+    base = args.url.rstrip("/")
+    if args.action == "topology":
+        try:
+            with urlopen(base + "/topology", timeout=args.timeout) as response:
+                data = json.loads(response.read().decode("utf-8"))
+        except (HTTPError, URLError) as exc:
+            raise CliError("cannot read %s/topology: %s" % (base, exc))
+        topology = data.get("topology", {})
+        out.write("epoch     %s\n" % data.get("epoch"))
+        out.write("shards    %s\n" % " ".join(topology.get("shards", [])))
+        departed = topology.get("departed") or []
+        if departed:
+            out.write("departed  %s\n" % " ".join(departed))
+        # Driver nodes report every shard's committed epoch; process
+        # nodes report the epochs their live peers announced.
+        for key in ("shard_epochs", "peer_epochs"):
+            entries = data.get(key) or {}
+            if entries:
+                out.write("%s\n" % key.replace("_", " "))
+                for peer, epoch in sorted(entries.items()):
+                    out.write("  %-24s %s\n" % (peer, epoch))
+        return 0
+
+    op = ADMIN_REGISTRY.get(args.action)
+    if op is None or op.run is None:
+        choices = ["topology"] + sorted(
+            name for name, entry in ADMIN_REGISTRY.items()
+            if entry.run is not None)
+        raise CliError("unknown mesh action %r (one of: %s)"
+                       % (args.action, ", ".join(choices)))
+    if op.needs_shard and not args.shard:
+        raise CliError("mesh %s requires --shard" % op.name)
+    body = dict(args.body or {})
+    if args.shard:
+        body["shard"] = args.shard
+    request = Request(base + "/admin/" + op.name,
+                      data=json.dumps(body).encode("utf-8"), method="POST")
+    if args.token:
+        request.add_header("Authorization", "Bearer " + args.token)
+    try:
+        with urlopen(request, timeout=args.timeout) as response:
+            payload = response.read()
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        raise CliError("mesh %s failed: HTTP %d %s"
+                       % (op.name, exc.code, detail))
+    except URLError as exc:
+        raise CliError("cannot reach %s: %s" % (base, exc))
+    envelope = json.loads(payload)
+    out.write("op        %s\n" % envelope.get("op"))
+    if envelope.get("shard"):
+        out.write("shard     %s\n" % envelope["shard"])
+    out.write("epoch     %s\n" % envelope.get("epoch"))
+    out.write("result    %s\n"
+              % json.dumps(envelope.get("result"), sort_keys=True))
+    return 0 if envelope.get("ok") else 1
 
 
 def cmd_trace(args, out) -> int:
@@ -394,6 +487,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "loopback TCP")
     soak.add_argument("--log-root", default=None,
                       help="root directory for per-shard durable logs")
+    soak.add_argument("--expand-to", type=int, default=None, metavar="N",
+                      help="grow the mesh to N shards live, during the "
+                           "publish window (add + rebalance per joiner)")
+    soak.add_argument("--leaves", type=int, default=0, metavar="K",
+                      help="remove K shards live after any joins "
+                           "(needs --durable)")
+    soak.add_argument("--durable", action="store_true",
+                      help="stable subscribers use durable cursors (they "
+                           "survive shard removal via handoff)")
+    soak.add_argument("--replication-factor", type=int, default=0,
+                      help="replicate each shard's log to this many "
+                           "siblings")
     soak.add_argument("--in-process", dest="processes", action="store_false",
                       help="run every shard on one in-process socket hub "
                            "instead of one OS process per shard")
@@ -403,6 +508,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serve the harness metrics over HTTP and write "
                            "the endpoint map (driver + shards) to PATH")
     soak.set_defaults(func=cmd_soak, processes=True)
+
+    mesh = sub.add_parser(
+        "mesh", help="read or administer a live mesh over HTTP")
+    mesh.add_argument("action",
+                      help="topology (read the membership view), or an "
+                           "admin operation: add_shard, remove_shard, "
+                           "rebalance, restart_shard, compact, prune")
+    mesh.add_argument("--url", required=True, metavar="BASE",
+                      help="a mesh node's HTTP base URL")
+    mesh.add_argument("--token", default=None,
+                      help="bearer token for admin operations")
+    mesh.add_argument("--shard", default=None,
+                      help="target shard id (required by shard-targeted "
+                           "operations)")
+    mesh.add_argument("--body", type=json.loads, default=None,
+                      metavar="JSON",
+                      help="extra JSON arguments for the operation")
+    mesh.add_argument("--timeout", type=float, default=60.0,
+                      help="HTTP timeout in seconds (default 60)")
+    mesh.set_defaults(func=cmd_mesh)
 
     trace = sub.add_parser(
         "trace", help="stitch per-shard span dumps into one timeline")

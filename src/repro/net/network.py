@@ -161,6 +161,12 @@ class SimulatedNetwork:
     def peers(self) -> List[str]:
         return sorted(self._handlers)
 
+    def can_route(self, peer_id: str) -> bool:
+        """Whether a send to ``peer_id`` can currently be delivered (it
+        may still be dropped by the loss model).  On the simulated fabric
+        every registered peer is reachable."""
+        return peer_id in self._handlers
+
     # -- delivery ------------------------------------------------------------
 
     def _charge(self, kind: str, size: int, round_trip: bool) -> None:

@@ -234,6 +234,9 @@ class _Link(asyncio.Protocol):
         self.inbound: Deque[_Inbound] = deque()
         self.remote_node: Optional[str] = None
         self.remote_peers: Set[str] = set()
+        #: The membership epoch the remote node last advertised (0 until
+        #: a hello/announce carried an ``!epoch=`` tag).
+        self.remote_epoch = 0
 
     # -- sending -----------------------------------------------------------
 
@@ -419,6 +422,9 @@ class SocketNetwork:
                  recv_pool_stats: Optional[CodecStats] = None,
                  scatter_send: bool = True):
         self.node_id = node_id
+        #: The topology epoch this node advertises in its greetings (0 =
+        #: not membership-aware); see :meth:`set_epoch`.
+        self.epoch = 0
         #: Encode sends as scatter-gather segment lists (header + payload
         #: by reference); False restores the flat per-send bytes copy
         #: (benchmark baseline).
@@ -486,6 +492,16 @@ class SocketNetwork:
     def peers(self) -> List[str]:
         return sorted(self._handlers)
 
+    def can_route(self, peer_id: str) -> bool:
+        """Whether a send to ``peer_id`` can currently be resolved: a
+        local handler, a live link that announced the peer, or a static
+        directory entry.  Lets callers defer work for a peer that has
+        simply not dialed this node yet instead of burning a send."""
+        if peer_id in self._handlers or peer_id in self._routes:
+            return True
+        link = self._learned.get(peer_id)
+        return link is not None and not link.dead
+
     # -- addressing --------------------------------------------------------
 
     def listen(self, address: str) -> str:
@@ -516,6 +532,22 @@ class SocketNetwork:
     def add_routes(self, routes: Dict[str, str]) -> None:
         for peer_id, address in routes.items():
             self.add_route(peer_id, address)
+
+    def remove_route(self, peer_id: str) -> None:
+        """Forget the directory entry for a departed peer (an open link,
+        if any, stays up until it drains or dies — only *new* resolution
+        stops)."""
+        self._routes.pop(peer_id, None)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Advertise a committed membership epoch: stamped into every
+        future ``hello`` and announced immediately on live links as an
+        ``!epoch=N`` tag riding the ``announce`` control kind (the ``!``
+        prefix reserves a tag namespace no legal peer id uses)."""
+        if epoch == self.epoch:
+            return
+        self.epoch = int(epoch)
+        self._broadcast_control(_CTRL_ANNOUNCE, ["!epoch=%d" % self.epoch])
 
     def connect(self, address: str) -> None:
         """Pre-open a link (links otherwise open lazily on first send)."""
@@ -778,7 +810,10 @@ class SocketNetwork:
         return link
 
     def _hello_frame(self) -> _OutFrame:
-        body = "\n".join([self.node_id] + sorted(self._handlers))
+        lines = [self.node_id]
+        if self.epoch:
+            lines.append("!epoch=%d" % self.epoch)
+        body = "\n".join(lines + sorted(self._handlers))
         return self._encode_frame(_FLAG_CONTROL, 0, "", "", _CTRL_HELLO,
                                   body.encode("utf-8"))
 
@@ -812,9 +847,20 @@ class SocketNetwork:
         elif kind != _CTRL_ANNOUNCE:
             return  # unknown control frames are ignored (forward compat)
         for peer_id in names:
-            if peer_id:
-                link.remote_peers.add(peer_id)
-                self._learned[peer_id] = link
+            if not peer_id:
+                continue
+            if peer_id.startswith("!"):
+                # Reserved tag line, not a peer: currently only the
+                # advertised membership epoch.
+                key, _, value = peer_id[1:].partition("=")
+                if key == "epoch":
+                    try:
+                        link.remote_epoch = int(value)
+                    except ValueError:
+                        pass
+                continue
+            link.remote_peers.add(peer_id)
+            self._learned[peer_id] = link
 
     def _fulfill(self, req_id: int, payload: bytes) -> None:
         self.frames_received += 1
@@ -977,6 +1023,10 @@ class SocketNetwork:
         """Socket-specific counters, shaped for the BENCH json flow."""
         return {
             "node": self.node_id,
+            "epoch": self.epoch,
+            "peer_epochs": {link.remote_node: link.remote_epoch
+                            for link in self._links
+                            if link.remote_node is not None},
             "frames_sent": self.frames_sent,
             "frames_received": self.frames_received,
             "frames_lost": self.frames_lost,

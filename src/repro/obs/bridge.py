@@ -97,6 +97,13 @@ def register_mesh_shard_metrics(registry: MetricsRegistry,
         registry.counter("mesh.%s" % name,
                          sample=(lambda shard=shard, name=name:
                                  getattr(shard, name)))
+    registry.gauge("mesh.epoch", "committed membership epoch",
+                   sample=lambda: shard.epoch)
+    for name in ("handoffs", "adoptions"):
+        registry.counter("mesh.%s" % name, "durable cursors moved by "
+                         "membership changes",
+                         sample=(lambda shard=shard, name=name:
+                                 getattr(shard, name)))
     registry.gauge("mesh.summary_types", "gossiped summary entries",
                    sample=lambda: len(shard._summaries))
     registry.gauge("mesh.pending_deliveries", "buffered deliveries",

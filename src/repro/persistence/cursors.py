@@ -89,10 +89,15 @@ class CursorStore:
         retention-floor input, computed without snapshot/sort overhead.
         Cursors with an ``origin`` track positions in *another* shard's
         offset space (backlog-fetch progress) and are excluded: a foreign
-        offset must never pin or release the local log's retention."""
+        offset must never pin or release the local log's retention.  The
+        exception is a ``local``-flagged fetch cursor — an adopted
+        subscription's self-pass over this shard's OWN log (its "origin"
+        is the shard itself, so its offsets are local) — which must pin
+        retention until its pass drains."""
         return min((int(entry["offset"])
                     for entry in self._entries.values()
-                    if not entry.get("origin")), default=None)
+                    if not entry.get("origin") or entry.get("local")),
+                   default=None)
 
     def derived(self, base: str) -> List[str]:
         """Names of the fetch cursors derived from ``base`` (the
@@ -143,6 +148,17 @@ class CursorStore:
             entry["last_active"] = self.incarnation
         self._persist()
         return int(entry["offset"])
+
+    def annotate(self, name: str, **fields: object) -> None:
+        """Persist extra JSON fields on an existing cursor entry (e.g.
+        an adopted subscription's replay ``floor``, or the ``local`` flag
+        marking a self-pass fetch cursor); raises on an unknown name —
+        annotations ride a cursor, they never create one."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError("no cursor %r to annotate" % name)
+        entry.update(fields)
+        self._persist()
 
     def advance(self, name: str, offset: int, touch: bool = True) -> bool:
         """Monotonically raise ``name`` to ``offset``; returns whether it moved.

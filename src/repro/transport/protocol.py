@@ -439,11 +439,24 @@ class InteropPeer(Peer):
         if self.cache.contains_name(type_name):
             return self.cache.get_by_name(type_name)
         description = self.fetch_description(src, type_name)
-        if description is None and self.code_source is not None and self.code_source != src:
-            description = self.fetch_description(self.code_source, type_name)
+        if description is None:
+            for source in self._code_fallback_sources(src):
+                description = self.fetch_description(source, type_name)
+                if description is not None:
+                    break
         if description is not None:
             self.cache.put(description)
         return description
+
+    def _code_fallback_sources(self, src: str) -> List[str]:
+        """Peers to ask for code/descriptions after ``src`` failed.  The
+        base peer knows at most one fallback repository; mesh shards
+        extend this with their live siblings — peers re-serve every
+        assembly they download, so any shard that admitted the type can
+        stand in for an unreachable publisher."""
+        if self.code_source is not None and self.code_source != src:
+            return [self.code_source]
+        return []
 
     def fetch_description(self, source: str, type_name: str) -> Optional[TypeDescription]:
         try:
@@ -493,8 +506,11 @@ class InteropPeer(Peer):
                 self.transport_stats.unknown_type_retries += 1
                 target = paths.get(missing.type_name) or missing.type_name
                 assembly = self.fetch_assembly(src, target)
-                if assembly is None and self.code_source is not None:
-                    assembly = self.fetch_assembly(self.code_source, target)
+                if assembly is None:
+                    for source in self._code_fallback_sources(src):
+                        assembly = self.fetch_assembly(source, target)
+                        if assembly is not None:
+                            break
                 if assembly is None:
                     raise ProtocolError(
                         "cannot obtain code for type %s (asked %s)"

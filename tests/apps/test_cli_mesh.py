@@ -1,0 +1,120 @@
+"""CLI coverage for ``repro mesh``: the topology read and the
+registry-driven admin operations against a live SocketMesh HTTP API."""
+
+import io
+import threading
+
+import pytest
+
+from repro.apps.tps import TpsPeer
+from repro.apps.tps.procmesh import SocketMesh
+from repro.apps.tps.topology import Topology
+from repro.cli import main
+from repro.fixtures import person_assembly_pair, person_java
+
+
+@pytest.fixture
+def live_mesh(tmp_path):
+    mesh = SocketMesh(topology=Topology.sized(3, "climesh"),
+                      log_root=str(tmp_path / "logs"), replication_factor=1)
+    driver = mesh.client_network("climesh-driver")
+    publisher = TpsPeer("publisher", driver)
+    asm_a, _ = person_assembly_pair()
+    publisher.host_assembly(asm_a)
+    got = []
+    subscriber = TpsPeer("cli-sub", driver)
+    subscriber.subscribe_durable_remote(mesh.shard_for("cli-sub"),
+                                        person_java(), got.append,
+                                        cursor="cli-c")
+    mesh.run_until_idle()
+    server = mesh.serve_http()
+    try:
+        yield mesh, server.address
+    finally:
+        mesh.close()
+
+
+def run_cli(mesh, argv):
+    """Run the CLI on a helper thread while this thread pumps the mesh —
+    the in-process SocketMesh HTTP server only answers while polled."""
+    out = io.StringIO()
+    box = {}
+
+    def invoke():
+        box["code"] = main(argv, out=out)
+
+    thread = threading.Thread(target=invoke, daemon=True)
+    thread.start()
+    while thread.is_alive():
+        mesh.flush()
+        thread.join(timeout=0.001)
+    return box["code"], out.getvalue()
+
+
+class TestMeshTopologyCommand:
+    def test_reads_membership_view(self, live_mesh):
+        mesh, base = live_mesh
+        code, output = run_cli(mesh, ["mesh", "topology", "--url", base])
+        assert code == 0
+        assert "epoch     1" in output
+        for shard_id in mesh.shard_ids:
+            assert shard_id in output
+
+    def test_shows_departed_after_removal(self, live_mesh):
+        mesh, base = live_mesh
+        victim = sorted(set(mesh.shard_ids)
+                        - {mesh.shard_for("cli-sub")})[0]
+        mesh.remove_shard(victim)
+        code, output = run_cli(mesh, ["mesh", "topology", "--url", base])
+        assert code == 0
+        assert "epoch     2" in output
+        assert "departed  %s" % victim in output
+
+
+class TestMeshAdminCommands:
+    def test_rebalance_prints_uniform_envelope(self, live_mesh):
+        mesh, base = live_mesh
+        code, output = run_cli(mesh, [
+            "mesh", "rebalance", "--url", base, "--token", mesh.auth_token])
+        assert code == 0
+        assert "op        rebalance" in output
+        assert "epoch     1" in output
+        assert "result    " in output
+
+    def test_add_then_remove_shard_over_http(self, live_mesh):
+        mesh, base = live_mesh
+        code, output = run_cli(mesh, [
+            "mesh", "add_shard", "--url", base, "--token", mesh.auth_token])
+        assert code == 0
+        assert "op        add_shard" in output
+        assert "epoch     2" in output
+        newcomer = mesh.shard_ids[-1]
+        assert len(mesh.shard_ids) == 4
+
+        code, output = run_cli(mesh, [
+            "mesh", "remove_shard", "--url", base, "--shard", newcomer,
+            "--token", mesh.auth_token])
+        assert code == 0
+        assert "op        remove_shard" in output
+        assert "epoch     3" in output
+        assert newcomer not in mesh.shard_ids
+
+    def test_admin_without_token_fails_loudly(self, live_mesh):
+        mesh, base = live_mesh
+        code, output = run_cli(mesh, ["mesh", "rebalance", "--url", base])
+        assert code == 2
+        assert "401" in output
+
+    def test_shard_targeted_op_requires_shard(self, live_mesh):
+        mesh, base = live_mesh
+        code, output = run_cli(mesh, [
+            "mesh", "remove_shard", "--url", base,
+            "--token", mesh.auth_token])
+        assert code == 2
+        assert "--shard" in output
+
+    def test_unknown_action_lists_choices(self, live_mesh):
+        mesh, base = live_mesh
+        code, output = run_cli(mesh, ["mesh", "explode", "--url", base])
+        assert code == 2
+        assert "topology" in output and "rebalance" in output

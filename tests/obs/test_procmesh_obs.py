@@ -151,7 +151,10 @@ class TestSocketMeshHttp:
         status, payload = mesh_get(mesh, url, token=mesh.auth_token,
                                    method="POST", body=b"")
         assert status == 200
-        assert set(json.loads(payload)["compact"]) == set(mesh.shard_ids)
+        envelope = json.loads(payload)
+        assert envelope["ok"] and envelope["op"] == "compact"
+        assert envelope["epoch"] == mesh.epoch
+        assert set(envelope["result"]) == set(mesh.shard_ids)
 
     def test_admin_prune_and_bad_op_routes(self, socket_mesh):
         mesh, publisher, _ = socket_mesh
@@ -161,7 +164,9 @@ class TestSocketMeshHttp:
             method="POST", body=json.dumps({"max_idle_incarnations": 1})
             .encode("utf-8"))
         assert status == 200
-        assert set(json.loads(payload)["prune"]) == set(mesh.shard_ids)
+        envelope = json.loads(payload)
+        assert envelope["ok"] and envelope["op"] == "prune"
+        assert set(envelope["result"]) == set(mesh.shard_ids)
         assert mesh_get(mesh, server.address + "/admin/explode",
                         token=mesh.auth_token, method="POST",
                         body=b"")[0] == 404

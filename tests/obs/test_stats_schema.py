@@ -36,17 +36,19 @@ MESH_SHARD_EXTRA_KEYS = {"batches_sent", "batch_events", "forwards_sent",
                          "pending_deliveries", "replicas", "replica_records",
                          "replica_rejects", "healed_records",
                          "events_fetched", "fetches_served",
-                         "fetch_records_served", "fetch_failures"}
+                         "fetch_records_served", "fetch_failures",
+                         "epoch", "handoffs", "adoptions"}
 
 MESH_REPLICATED_EXTRA_KEYS = {"replication"}
 
-BROKER_MESH_KEYS = {"shards", "events_routed", "forwards_sent",
+BROKER_MESH_KEYS = {"epoch", "shards", "events_routed", "forwards_sent",
                     "forward_events", "batch_events", "gossip_failures",
                     "events_replayed", "replay_failures", "events_fetched",
                     "records_replicated", "replica_records",
                     "healed_records"}
 
-TRANSPORT_SNAPSHOT_KEYS = {"node", "frames_sent", "frames_received",
+TRANSPORT_SNAPSHOT_KEYS = {"node", "epoch", "peer_epochs",
+                           "frames_sent", "frames_received",
                            "frames_lost", "bytes_received", "framing_errors",
                            "blocked_sends", "bytes_copied",
                            "queue_high_water", "links",
